@@ -1,0 +1,51 @@
+//! **Ablation A4** — stuck-at faults (beyond-paper robustness probe). The
+//! paper studies multiplicative variation only; real arrays also suffer
+//! hard defects. How much of the PDIP loop's noise tolerance carries over?
+
+use memlp_bench::{run_trials, Stats, Table};
+use memlp_core::{CrossbarPdipSolver, CrossbarSolverOptions};
+use memlp_crossbar::{CrossbarConfig, FaultModel};
+use memlp_lp::generator::RandomLp;
+use memlp_solvers::{LpSolver, NormalEqPdip};
+
+fn main() {
+    let m = 48;
+    let trials = std::env::var("MEMLP_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    println!("Ablation: stuck-at fault rate at m = {m}, 5% variation, {trials} trials");
+
+    let mut t = Table::new(
+        "Algorithm 1 vs symmetric stuck-at fault rate",
+        &["fault rate", "mean err %", "max err %", "success"],
+    );
+    for rate in [0.0, 1e-4, 1e-3, 5e-3, 1e-2] {
+        let outcomes = run_trials(trials, |trial| {
+            let seed = 6000 + trial as u64;
+            let lp = RandomLp::paper(m, seed).feasible();
+            let reference = NormalEqPdip::default().solve(&lp);
+            let cfg = CrossbarConfig {
+                faults: FaultModel::symmetric(rate),
+                ..CrossbarConfig::paper_default().with_variation(5.0).with_seed(seed)
+            };
+            let r = CrossbarPdipSolver::new(cfg, CrossbarSolverOptions::default()).solve(&lp);
+            if r.solution.status.is_optimal() {
+                Some(
+                    (r.solution.objective - reference.objective).abs()
+                        / (1.0 + reference.objective.abs()),
+                )
+            } else {
+                None
+            }
+        });
+        let ok = outcomes.iter().filter(|o| o.is_some()).count();
+        let errs: Stats = outcomes.into_iter().flatten().collect();
+        t.row(vec![
+            format!("{rate}"),
+            format!("{:.3}", errs.mean() * 100.0),
+            format!("{:.3}", errs.max() * 100.0),
+            format!("{ok}/{trials}"),
+        ]);
+    }
+    t.finish("ablation_faults");
+    println!("\nExpected shape: graceful degradation through ~1e-3, breakdown near 1e-2 —");
+    println!("hard defects are costlier than the same magnitude of analog variation.");
+}

@@ -1,0 +1,40 @@
+//! **Figure 5(a)** — accuracy of the memristor crossbar-based linear
+//! program solver (Algorithm 1) vs the `linprog` reference.
+//!
+//! Relative objective error over randomly generated feasible problems,
+//! constraints swept exponentially, under 0/5/10/20% process variation.
+//! Paper result: 0.2%–9.9% inaccuracy, decreasing with problem size.
+//!
+//! Run with `MEMLP_FULL=1` for the paper's full grid (m up to 1024).
+
+use memlp_bench::experiments::{feasible_grid, SolverKind};
+use memlp_bench::{Sweep, Table};
+
+fn main() {
+    let sweep = Sweep::paper(1024);
+    println!(
+        "Fig 5(a): Algorithm 1 accuracy — sizes {:?}, {} trials/point",
+        sweep.sizes, sweep.trials
+    );
+    let grid = feasible_grid(SolverKind::Alg1, &sweep);
+
+    let mut t = Table::new(
+        "Fig 5(a): relative error of Algorithm 1 vs reference (mean over optimal trials)",
+        &["m", "var %", "mean err %", "max err %", "success", "iterations"],
+    );
+    for p in &grid {
+        t.row(vec![
+            p.m.to_string(),
+            format!("{:.0}", p.var_pct),
+            format!("{:.3}", p.rel_error.mean() * 100.0),
+            format!("{:.3}", p.rel_error.max() * 100.0),
+            format!("{:.0}%", p.success_rate * 100.0),
+            format!("{:.1}", p.iterations.mean()),
+        ]);
+    }
+    t.finish("fig5a_accuracy");
+
+    // Shape assertions mirroring the paper's qualitative claims.
+    let worst = grid.iter().map(|p| p.rel_error.max()).fold(0.0f64, f64::max);
+    println!("\nworst-case error anywhere on the grid: {:.2}% (paper: ≤ ~10%)", worst * 100.0);
+}

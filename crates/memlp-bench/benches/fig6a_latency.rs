@@ -1,0 +1,59 @@
+//! **Figure 6(a)** — estimated computation latency of the crossbar solver
+//! (Algorithm 1) compared with the `linprog` stand-in and the dense
+//! software PDIP baseline.
+//!
+//! Hardware latency is *estimated* exactly as in the paper: simulated
+//! iteration counts × per-iteration hardware activity (2(n+m) coefficient
+//! updates, one analog MVM + one analog solve, conversions), costed with
+//! the `CostParams` constants. Software latency is *measured wall-clock*
+//! of our Rust baselines (faster than the paper's Matlab, so the speedups
+//! reported here are conservative). Paper result at m = 1024: 78–239 ms for
+//! the crossbar (by variation) vs 6.23 s for `linprog` (≥ 26×).
+
+use memlp_bench::experiments::{feasible_grid, software_latency, SolverKind};
+use memlp_bench::{fmt_time, Sweep, Table};
+
+fn main() {
+    let sweep = Sweep::paper(1024);
+    println!(
+        "Fig 6(a): Algorithm 1 estimated latency — sizes {:?}, {} trials/point",
+        sweep.sizes, sweep.trials
+    );
+    let grid = feasible_grid(SolverKind::Alg1, &sweep);
+
+    // Software baselines per size (dense PDIP capped: O(N³)/iteration).
+    let mut t = Table::new(
+        "Fig 6(a): estimated latency, Algorithm 1 vs software",
+        &["m", "var %", "crossbar (est)", "linprog-sub (wall)", "dense PDIP (wall)", "speedup"],
+    );
+    for &m in &sweep.sizes {
+        let (normal, dense) = software_latency(m, sweep.trials.min(3), 256);
+        for p in grid.iter().filter(|p| p.m == m) {
+            let speedup = normal.mean() / p.hw_run_s.mean();
+            t.row(vec![
+                m.to_string(),
+                format!("{:.0}", p.var_pct),
+                fmt_time(p.hw_run_s.mean()),
+                fmt_time(normal.mean()),
+                fmt_time(dense.mean()),
+                format!("{:.1}x", speedup),
+            ]);
+        }
+    }
+    t.finish("fig6a_latency");
+
+    println!("\nShape checks (paper’s qualitative claims):");
+    for &m in &sweep.sizes {
+        let at = |v: f64| {
+            grid.iter()
+                .find(|p| p.m == m && p.var_pct == v)
+                .map(|p| p.hw_run_s.mean())
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "  m={m:>5}: latency var0={} var20={} (paper: grows with variation)",
+            fmt_time(at(0.0)),
+            fmt_time(at(20.0))
+        );
+    }
+}

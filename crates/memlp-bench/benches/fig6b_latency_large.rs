@@ -1,0 +1,36 @@
+//! **Figure 6(b)** — estimated computation latency of the large-scale
+//! solver (Algorithm 2) vs the `linprog` stand-in.
+//!
+//! Paper result: < 80 ms at m = 1024 even at 20% variation, and — unlike
+//! Algorithm 1 — latency roughly flat in the variation level thanks to the
+//! constant step length.
+
+use memlp_bench::experiments::{feasible_grid, software_latency, SolverKind};
+use memlp_bench::{fmt_time, Sweep, Table};
+
+fn main() {
+    let sweep = Sweep::paper(1024);
+    println!(
+        "Fig 6(b): Algorithm 2 estimated latency — sizes {:?}, {} trials/point",
+        sweep.sizes, sweep.trials
+    );
+    let grid = feasible_grid(SolverKind::Alg2, &sweep);
+
+    let mut t = Table::new(
+        "Fig 6(b): estimated latency, Algorithm 2 (large-scale) vs software",
+        &["m", "var %", "crossbar (est)", "linprog-sub (wall)", "speedup"],
+    );
+    for &m in &sweep.sizes {
+        let (normal, _) = software_latency(m, sweep.trials.min(3), 0);
+        for p in grid.iter().filter(|p| p.m == m) {
+            t.row(vec![
+                m.to_string(),
+                format!("{:.0}", p.var_pct),
+                fmt_time(p.hw_run_s.mean()),
+                fmt_time(normal.mean()),
+                format!("{:.1}x", normal.mean() / p.hw_run_s.mean()),
+            ]);
+        }
+    }
+    t.finish("fig6b_latency_large");
+}

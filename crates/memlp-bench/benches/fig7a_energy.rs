@@ -1,0 +1,49 @@
+//! **Figure 7(a)** — estimated energy consumption of the crossbar solver
+//! (Algorithm 1) vs the CPU baselines.
+//!
+//! Crossbar energy = ledger dynamic energy (writes, conversions, settle
+//! currents) + static peripheral power × run time. CPU energy = measured
+//! wall-clock × 35 W (the paper's implied constant). Paper result at
+//! m = 1024: 0.9–12.1 J (by variation) vs 218.1 J for `linprog` (≥ 24×).
+
+use memlp_bench::experiments::{feasible_grid, software_latency, SolverKind};
+use memlp_bench::{cpu_energy_j, fmt_energy, Sweep, Table};
+
+fn main() {
+    let sweep = Sweep::paper(1024);
+    println!(
+        "Fig 7(a): Algorithm 1 estimated energy — sizes {:?}, {} trials/point",
+        sweep.sizes, sweep.trials
+    );
+    let grid = feasible_grid(SolverKind::Alg1, &sweep);
+
+    let mut t = Table::new(
+        "Fig 7(a): estimated energy, Algorithm 1 vs software (35 W CPU model)",
+        &["m", "var %", "crossbar (est)", "linprog-sub (cpu)", "ratio"],
+    );
+    for &m in &sweep.sizes {
+        let (normal, _) = software_latency(m, sweep.trials.min(3), 0);
+        let cpu = cpu_energy_j(normal.mean());
+        for p in grid.iter().filter(|p| p.m == m) {
+            t.row(vec![
+                m.to_string(),
+                format!("{:.0}", p.var_pct),
+                fmt_energy(p.hw_energy_j.mean()),
+                fmt_energy(cpu),
+                format!("{:.1}x", cpu / p.hw_energy_j.mean()),
+            ]);
+        }
+    }
+    t.finish("fig7a_energy");
+
+    println!("\nShape check: energy grows with variation (write-verify + iterations):");
+    for &m in &sweep.sizes {
+        let at = |v: f64| {
+            grid.iter()
+                .find(|p| p.m == m && p.var_pct == v)
+                .map(|p| p.hw_energy_j.mean())
+                .unwrap_or(f64::NAN)
+        };
+        println!("  m={m:>5}: var0={} var20={}", fmt_energy(at(0.0)), fmt_energy(at(20.0)));
+    }
+}

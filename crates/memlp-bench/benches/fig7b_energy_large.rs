@@ -1,0 +1,36 @@
+//! **Figure 7(b)** — estimated energy consumption of the large-scale
+//! solver (Algorithm 2) vs the CPU baseline.
+//!
+//! Paper result: the large-scale solver's energy advantage is the largest
+//! of all configurations (average ~273× vs `linprog` at m = 1024).
+
+use memlp_bench::experiments::{feasible_grid, software_latency, SolverKind};
+use memlp_bench::{cpu_energy_j, fmt_energy, Sweep, Table};
+
+fn main() {
+    let sweep = Sweep::paper(1024);
+    println!(
+        "Fig 7(b): Algorithm 2 estimated energy — sizes {:?}, {} trials/point",
+        sweep.sizes, sweep.trials
+    );
+    let grid = feasible_grid(SolverKind::Alg2, &sweep);
+
+    let mut t = Table::new(
+        "Fig 7(b): estimated energy, Algorithm 2 (large-scale) vs software (35 W CPU model)",
+        &["m", "var %", "crossbar (est)", "linprog-sub (cpu)", "ratio"],
+    );
+    for &m in &sweep.sizes {
+        let (normal, _) = software_latency(m, sweep.trials.min(3), 0);
+        let cpu = cpu_energy_j(normal.mean());
+        for p in grid.iter().filter(|p| p.m == m) {
+            t.row(vec![
+                m.to_string(),
+                format!("{:.0}", p.var_pct),
+                fmt_energy(p.hw_energy_j.mean()),
+                fmt_energy(cpu),
+                format!("{:.1}x", cpu / p.hw_energy_j.mean()),
+            ]);
+        }
+    }
+    t.finish("fig7b_energy_large");
+}

@@ -1,0 +1,105 @@
+//! **§4.4 headline numbers** — the largest-size comparison the paper
+//! quotes in prose:
+//!
+//! * feasible, m = 1024: `linprog` 6.23 s / 218.1 J; crossbar 78–239 ms and
+//!   0.9–12.1 J depending on variation (≥ 26× speed, ≥ 24× energy);
+//! * infeasible, m = 1024: `linprog` ~30 s / 1023 J; crossbar 265 ms /
+//!   10.9 J at 20% variation (≥ 113×).
+//!
+//! This bench reproduces the table at the largest size in the active sweep
+//! (default m = 256; set `MEMLP_FULL=1` for m = 1024).
+
+use memlp_bench::experiments::{run_one, SolverKind};
+use memlp_bench::{cpu_energy_j, fmt_energy, fmt_time, run_trials, Stats, Sweep, Table};
+use memlp_lp::generator::RandomLp;
+use memlp_lp::LpStatus;
+use memlp_solvers::{LpSolver, NormalEqPdip};
+use std::time::Instant;
+
+fn main() {
+    let sweep = Sweep::paper(1024);
+    let m = *sweep.sizes.last().expect("non-empty sweep");
+    let trials = sweep.trials.min(5);
+    println!("§4.4 headline table at m = {m} ({trials} trials/cell)");
+
+    // Software baseline on feasible and infeasible instances.
+    let sw_feas: Stats = run_trials(trials, |t| {
+        let lp = RandomLp::paper(m, 9000 + t as u64).feasible();
+        let t0 = Instant::now();
+        let s = NormalEqPdip::default().solve(&lp);
+        let wall = t0.elapsed().as_secs_f64();
+        if s.status.is_optimal() { wall } else { f64::NAN }
+    })
+    .into_iter()
+    .collect();
+    let sw_inf: Stats = run_trials(trials, |t| {
+        let lp = RandomLp::paper(m, 9100 + t as u64).infeasible();
+        let t0 = Instant::now();
+        let s = NormalEqPdip::default().solve(&lp);
+        let wall = t0.elapsed().as_secs_f64();
+        if s.status == LpStatus::Infeasible { wall } else { f64::NAN }
+    })
+    .into_iter()
+    .collect();
+
+    let mut t = Table::new(
+        format!("§4.4 headline (m = {m}): latency & energy vs variation"),
+        &[
+            "workload", "solver", "var %", "latency", "energy", "speedup", "energy ratio",
+        ],
+    );
+    t.row(vec![
+        "feasible".into(),
+        "linprog-sub".into(),
+        "-".into(),
+        fmt_time(sw_feas.mean()),
+        fmt_energy(cpu_energy_j(sw_feas.mean())),
+        "1.0x".into(),
+        "1.0x".into(),
+    ]);
+    t.row(vec![
+        "infeasible".into(),
+        "linprog-sub".into(),
+        "-".into(),
+        fmt_time(sw_inf.mean()),
+        fmt_energy(cpu_energy_j(sw_inf.mean())),
+        "1.0x".into(),
+        "1.0x".into(),
+    ]);
+
+    for kind in [SolverKind::Alg1, SolverKind::Alg2] {
+        for &var in &[0.0, 5.0, 10.0, 20.0] {
+            for (label, infeasible, sw) in
+                [("feasible", false, &sw_feas), ("infeasible", true, &sw_inf)]
+            {
+                let outcomes = run_trials(trials, |tr| {
+                    let seed = 9200 + tr as u64 + (var as u64) * 7;
+                    let gen = RandomLp::paper(m, seed);
+                    let lp = if infeasible { gen.infeasible() } else { gen.feasible() };
+                    run_one(kind, &lp, var, seed)
+                });
+                let expected = if infeasible { LpStatus::Infeasible } else { LpStatus::Optimal };
+                let lat: Stats = outcomes
+                    .iter()
+                    .filter(|o| o.status == expected)
+                    .map(|o| o.hw_run_s)
+                    .collect();
+                let en: Stats = outcomes
+                    .iter()
+                    .filter(|o| o.status == expected)
+                    .map(|o| o.hw_energy_j)
+                    .collect();
+                t.row(vec![
+                    label.into(),
+                    kind.label().into(),
+                    format!("{var:.0}"),
+                    fmt_time(lat.mean()),
+                    fmt_energy(en.mean()),
+                    format!("{:.1}x", sw.mean() / lat.mean()),
+                    format!("{:.1}x", cpu_energy_j(sw.mean()) / en.mean()),
+                ]);
+            }
+        }
+    }
+    t.finish("headline_table");
+}

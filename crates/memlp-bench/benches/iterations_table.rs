@@ -1,0 +1,52 @@
+//! **§4.2/§4.3 iteration study** — the iteration counts every latency and
+//! energy estimate in the paper is built from: iterations to converge on
+//! feasible problems and iterations to detect infeasibility, vs problem
+//! size and variation level.
+
+use memlp_bench::experiments::{feasible_grid, infeasible_grid, SolverKind};
+use memlp_bench::{Sweep, Table};
+
+fn main() {
+    let sweep = Sweep::paper(1024);
+    println!(
+        "Iteration study — sizes {:?}, {} trials/point",
+        sweep.sizes, sweep.trials
+    );
+
+    let mut t = Table::new(
+        "Iterations to converge / to detect infeasibility",
+        &["solver", "workload", "m", "var %", "mean iters", "min", "max", "success"],
+    );
+    for kind in [SolverKind::Alg1, SolverKind::Alg2] {
+        let feas = feasible_grid(kind, &sweep);
+        for p in &feas {
+            t.row(vec![
+                kind.label().into(),
+                "feasible".into(),
+                p.m.to_string(),
+                format!("{:.0}", p.var_pct),
+                format!("{:.1}", p.iterations.mean()),
+                format!("{:.0}", p.iterations.min()),
+                format!("{:.0}", p.iterations.max()),
+                format!("{:.0}%", p.success_rate * 100.0),
+            ]);
+        }
+        // The infeasible sweep is limited to two variation levels to keep
+        // the default run fast; MEMLP_FULL expands the trial count.
+        let inf_sweep = sweep.clone().with_variations(vec![0.0, 20.0]);
+        let inf = infeasible_grid(kind, &inf_sweep);
+        for p in &inf {
+            t.row(vec![
+                kind.label().into(),
+                "infeasible".into(),
+                p.m.to_string(),
+                format!("{:.0}", p.var_pct),
+                format!("{:.1}", p.iterations.mean()),
+                format!("{:.0}", p.iterations.min()),
+                format!("{:.0}", p.iterations.max()),
+                format!("{:.0}%", p.success_rate * 100.0),
+            ]);
+        }
+    }
+    t.finish("iterations_table");
+}

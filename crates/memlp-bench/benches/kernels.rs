@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the workspace's hot kernels: the dense LU
+//! (the simulator's cost and the software baseline's inner loop), the
+//! crossbar analog ops, the §3.2 transform, and workload generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use memlp_core::SignSplit;
+use memlp_crossbar::{Crossbar, CrossbarConfig};
+use memlp_linalg::{LuFactors, Matrix};
+use memlp_lp::generator::RandomLp;
+
+fn test_matrix(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let v = (((i * 7919 + j * 104729) % 1000) as f64) / 1000.0 - 0.5;
+        v + if i == j { 8.0 } else { 0.0 }
+    })
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu_factor");
+    for &n in &[64usize, 256, 512] {
+        let a = test_matrix(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| LuFactors::factor(a.clone()).expect("non-singular"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_crossbar_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossbar");
+    for &n in &[64usize, 256] {
+        let a = test_matrix(n).map(f64::abs);
+        let mut xb = Crossbar::new(n, CrossbarConfig::paper_default().with_variation(10.0))
+            .expect("fits");
+        xb.program(&a).expect("non-negative");
+        let x = vec![0.5; n];
+        g.bench_with_input(BenchmarkId::new("mvm", n), &x, |b, x| b.iter(|| xb.mvm(x).unwrap()));
+        let bvec = vec![1.0; n];
+        g.bench_with_input(BenchmarkId::new("solve", n), &bvec, |b, bv| {
+            b.iter(|| xb.solve(bv).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sign_split");
+    for &m in &[64usize, 256] {
+        let lp = RandomLp::paper(m, 1).feasible();
+        g.bench_with_input(BenchmarkId::from_parameter(m), lp.a(), |b, a| {
+            b.iter(|| SignSplit::split(a))
+        });
+    }
+    g.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator");
+    for &m in &[64usize, 256] {
+        g.bench_with_input(BenchmarkId::new("feasible", m), &m, |b, &m| {
+            b.iter(|| RandomLp::paper(m, 7).feasible())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lu, bench_crossbar_ops, bench_transform, bench_generator
+}
+criterion_main!(kernels);

@@ -1,0 +1,329 @@
+//! Hardware context for the structured (block-wise) crossbar simulation.
+//!
+//! The Newton systems the solvers build are huge but extremely structured —
+//! a handful of dense blocks (`A′`, `A″`, transposes) plus diagonals. The
+//! monolithic [`memlp_crossbar::Crossbar`] would materialize the full
+//! `≈4(n+m)` square array; this context instead realizes each block
+//! individually with exactly the same per-write physics (variation redrawn
+//! per write, Eqn 18) and the same ledger charging, which is both faithful
+//! and fast enough for the m = 1024 sweeps. See DESIGN.md §4.
+
+use memlp_crossbar::{CostLedger, CrossbarConfig, Phase, Quantizer};
+use memlp_linalg::Matrix;
+use memlp_noc::NocConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-solve hardware state: RNG, converters and the cost ledger.
+#[derive(Debug, Clone)]
+pub struct HwContext {
+    config: CrossbarConfig,
+    noc: NocConfig,
+    rng: StdRng,
+    ledger: CostLedger,
+    adc: Quantizer,
+    dac: Quantizer,
+}
+
+impl HwContext {
+    /// Creates a context from a crossbar configuration, with the default
+    /// hierarchical NoC coordinating tiles whenever a system exceeds the
+    /// configured maximum array size (§3.4).
+    pub fn new(config: CrossbarConfig) -> Self {
+        HwContext::with_noc(config, NocConfig::hierarchical())
+    }
+
+    /// Creates a context with an explicit NoC fabric.
+    pub fn with_noc(config: CrossbarConfig, noc: NocConfig) -> Self {
+        HwContext {
+            adc: Quantizer::new(config.adc_bits),
+            dac: Quantizer::new(config.dac_bits),
+            rng: StdRng::seed_from_u64(config.seed),
+            ledger: CostLedger::new(),
+            noc,
+            config,
+        }
+    }
+
+    /// Number of crossbar tiles a `dim × dim` system occupies given the
+    /// configured maximum array side.
+    pub fn tiles_for(&self, dim: usize) -> usize {
+        let per_side = dim.div_ceil(self.config.max_size.max(1));
+        per_side * per_side
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// The accumulated cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Charges an externally computed cost (NoC overheads).
+    pub fn charge_noc(&mut self, time_s: f64, energy_j: f64, transfers: u64) {
+        self.ledger.charge_noc_transfer(time_s, energy_j, transfers);
+    }
+
+    /// Re-seeds the RNG — the §4.3 re-solve ("double checking") scheme:
+    /// re-writing the array redraws every variation deviate.
+    pub fn reseed(&mut self, salt: u64) {
+        self.rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(salt));
+    }
+
+    /// Writes a non-negative block matrix; returns the realized block.
+    /// Charges one write per **non-zero** coefficient (erased cells already
+    /// sit at `g_off`; zero coefficients need no pulse). Stuck-at faults
+    /// pin cells to the block's full-scale value (`stuck-on`) or zero
+    /// (`stuck-off`) regardless of the programmed target.
+    pub fn write_matrix(&mut self, target: &Matrix, phase: Phase) -> Matrix {
+        let a_max = target.max_abs();
+        let mut nonzero = 0u64;
+        let realized = target.map_with(|v| {
+            match self.config.faults.draw(&mut self.rng) {
+                memlp_crossbar::FaultKind::StuckOn => return a_max,
+                memlp_crossbar::FaultKind::StuckOff => return 0.0,
+                memlp_crossbar::FaultKind::Healthy => {}
+            }
+            if v == 0.0 {
+                0.0
+            } else {
+                nonzero += 1;
+                self.config.variation.perturb(v, &mut self.rng).max(0.0)
+            }
+        });
+        self.ledger
+            .charge_writes(&self.config.cost, phase, nonzero, self.config.variation.max_fraction);
+        realized
+    }
+
+    /// Writes a non-negative diagonal (or other dense vector of cells);
+    /// returns realized values. Charges one write per entry — diagonals are
+    /// rewritten wholesale each iteration (the paper's 2.7·N updates).
+    pub fn write_diag(&mut self, target: &[f64], phase: Phase) -> Vec<f64> {
+        let a_max = target.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let realized: Vec<f64> = target
+            .iter()
+            .map(|&v| match self.config.faults.draw(&mut self.rng) {
+                memlp_crossbar::FaultKind::StuckOn => a_max,
+                memlp_crossbar::FaultKind::StuckOff => 0.0,
+                memlp_crossbar::FaultKind::Healthy => {
+                    self.config.variation.perturb(v.max(0.0), &mut self.rng).max(0.0)
+                }
+            })
+            .collect();
+        self.ledger.charge_writes(
+            &self.config.cost,
+            phase,
+            target.len() as u64,
+            self.config.variation.max_fraction,
+        );
+        realized
+    }
+
+    /// DAC-quantizes a voltage vector driven into the array.
+    pub fn dac(&mut self, v: &[f64]) -> Vec<f64> {
+        self.dac.quantize_vec(v)
+    }
+
+    /// DAC-quantizes a vector segment by segment (`lens` are the segment
+    /// lengths). Each block of the Newton vectors is driven by its own DAC
+    /// bank with an independent programmable reference, so a small-scale
+    /// block (e.g. a nearly-converged residual) is not crushed by the
+    /// dynamic range of its large-scale neighbours.
+    pub fn dac_blocks(&mut self, v: &[f64], lens: &[usize]) -> Vec<f64> {
+        debug_assert_eq!(lens.iter().sum::<usize>(), v.len());
+        let mut out = Vec::with_capacity(v.len());
+        let mut at = 0;
+        for &len in lens {
+            out.extend(self.dac.quantize_vec(&v[at..at + len]));
+            at += len;
+        }
+        out
+    }
+
+    /// ADC counterpart of [`HwContext::dac_blocks`].
+    pub fn adc_blocks(&mut self, v: &[f64], lens: &[usize]) -> Vec<f64> {
+        debug_assert_eq!(lens.iter().sum::<usize>(), v.len());
+        let mut out = Vec::with_capacity(v.len());
+        let mut at = 0;
+        for &len in lens {
+            out.extend(self.adc.quantize_vec(&v[at..at + len]));
+            at += len;
+        }
+        out
+    }
+
+    /// ADC-quantizes a voltage vector read from the array.
+    pub fn adc(&mut self, v: &[f64]) -> Vec<f64> {
+        self.adc.quantize_vec(v)
+    }
+
+    /// ADC-quantizes with an auto-ranged reference **capped** at
+    /// `max_scale`: the converter ranges on the signal as usual (keeping
+    /// fine resolution for small read-outs) but the programmable reference
+    /// tops out, so over-range components saturate instead of stretching
+    /// the quantization grid. Algorithm 2 relies on this to bound the
+    /// weakly determined step components its `RU`/`RL` fill produces
+    /// without losing late-iteration resolution.
+    pub fn adc_clipped(&mut self, v: &[f64], max_scale: f64) -> Vec<f64> {
+        let auto = v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        let fs = auto.min(max_scale);
+        v.iter().map(|&x| self.adc.quantize_against(x, fs)).collect()
+    }
+
+    /// Charges one analog operation over an array of `dim` lines.
+    /// `g_estimate` is the total active conductance for settle energy.
+    /// When the system spans more than one physical tile (its side exceeds
+    /// `max_size`), per-tile NoC transfers through the configured fabric
+    /// are charged on top (§3.4): every tile ships its line segment to the
+    /// accumulating arbiters.
+    pub fn charge_analog(&mut self, is_solve: bool, inputs: usize, outputs: usize, g_estimate: f64) {
+        self.ledger.charge_analog_op(
+            &self.config.cost,
+            is_solve,
+            inputs as u64,
+            outputs as u64,
+            g_estimate,
+            self.config.device.v_read,
+        );
+        let dim = inputs.max(outputs);
+        let tiles = self.tiles_for(dim);
+        if tiles > 1 {
+            let lines = dim.div_ceil(tiles);
+            let (t, e) = self.noc.transfer_cost(tiles, lines);
+            self.ledger
+                .charge_noc_transfer(t * tiles as f64, e * tiles as f64, tiles as u64);
+        }
+    }
+
+    /// Rough total-conductance estimate for a block set: `g_off` leakage on
+    /// every cell plus mapped conductance proportional to the stored sum.
+    pub fn conductance_estimate(&self, cells: usize, value_sum: f64, a_max: f64) -> f64 {
+        let d = &self.config.device;
+        let slope = (d.g_on() - d.g_off()) / a_max.max(f64::MIN_POSITIVE);
+        d.g_off() * cells as f64 + slope * value_sum
+    }
+}
+
+/// Extension: `Matrix::map` with a stateful closure (not in `memlp-linalg`
+/// because `map` there takes `Fn`; the write path needs `FnMut` for the
+/// RNG).
+trait MapWith {
+    fn map_with(&self, f: impl FnMut(f64) -> f64) -> Matrix;
+}
+
+impl MapWith for Matrix {
+    fn map_with(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
+        Matrix::from_fn(self.rows(), self.cols(), |i, j| f(self[(i, j)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(var_pct: f64) -> HwContext {
+        HwContext::new(CrossbarConfig::paper_default().with_variation(var_pct).with_seed(7))
+    }
+
+    #[test]
+    fn write_matrix_preserves_zeros_and_counts_nonzeros() {
+        let mut c = ctx(20.0);
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let r = c.write_matrix(&m, Phase::Setup);
+        assert_eq!(r[(0, 1)], 0.0);
+        assert_eq!(r[(1, 0)], 0.0);
+        assert!(r[(0, 0)] > 0.0);
+        assert_eq!(c.ledger().counts().setup_writes, 2);
+    }
+
+    #[test]
+    fn write_matrix_respects_variation_band() {
+        let mut c = ctx(10.0);
+        let m = Matrix::from_fn(8, 8, |i, j| 1.0 + (i * 8 + j) as f64 * 0.1);
+        let r = c.write_matrix(&m, Phase::Setup);
+        for i in 0..8 {
+            for j in 0..8 {
+                let t = m[(i, j)];
+                assert!((r[(i, j)] - t).abs() <= 0.10 * t + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn write_diag_charges_run_phase() {
+        let mut c = ctx(0.0);
+        let r = c.write_diag(&[1.0, 2.0, 3.0], Phase::Run);
+        assert_eq!(r, vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.ledger().counts().update_writes, 3);
+    }
+
+    #[test]
+    fn write_diag_clamps_negative_targets() {
+        // The §3.4 constant-θ solver can momentarily produce negative state
+        // values; the crossbar saturates them at zero rather than erroring.
+        let mut c = ctx(0.0);
+        let r = c.write_diag(&[-0.5, 1.0], Phase::Run);
+        assert_eq!(r[0], 0.0);
+    }
+
+    #[test]
+    fn converters_quantize() {
+        let mut c = ctx(0.0);
+        let v = vec![1.0, 0.333333333, -0.2];
+        let q = c.dac(&v);
+        assert_eq!(q[0], 1.0);
+        assert!((q[1] - v[1]).abs() <= 0.5 / 127.0 + 1e-12);
+        let q2 = c.adc(&q);
+        assert_eq!(q2, q, "ADC of a DAC grid point is idempotent at equal bits");
+    }
+
+    #[test]
+    fn reseed_changes_draws() {
+        let m = Matrix::from_rows(&[&[1.0; 8]]).unwrap();
+        let mut c1 = ctx(20.0);
+        let r1 = c1.write_matrix(&m, Phase::Setup);
+        let mut c2 = ctx(20.0);
+        c2.reseed(1);
+        let r2 = c2.write_matrix(&m, Phase::Setup);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn analog_charges_accumulate() {
+        let mut c = ctx(0.0);
+        c.charge_analog(true, 16, 16, 1e-3);
+        assert_eq!(c.ledger().counts().solve_ops, 1);
+        assert!(c.ledger().run_time_s() > 0.0);
+    }
+
+    #[test]
+    fn tiles_follow_max_size() {
+        let c = ctx(0.0);
+        let max = c.config().max_size;
+        assert_eq!(c.tiles_for(max), 1);
+        assert_eq!(c.tiles_for(max + 1), 4);
+        assert_eq!(c.tiles_for(3 * max), 9);
+    }
+
+    #[test]
+    fn oversized_systems_charge_noc_transfers() {
+        let mut c = ctx(0.0);
+        let max = c.config().max_size;
+        c.charge_analog(false, max, max, 1e-3);
+        assert_eq!(c.ledger().counts().noc_transfers, 0, "single tile needs no NoC");
+        c.charge_analog(false, 2 * max, 2 * max, 1e-3);
+        assert_eq!(c.ledger().counts().noc_transfers, 4, "2×2 tile grid");
+    }
+
+    #[test]
+    fn conductance_estimate_scales_with_content() {
+        let c = ctx(0.0);
+        let lo = c.conductance_estimate(100, 10.0, 10.0);
+        let hi = c.conductance_estimate(100, 90.0, 10.0);
+        assert!(hi > lo);
+    }
+}

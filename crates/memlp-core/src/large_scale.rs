@@ -1,0 +1,873 @@
+use memlp_crossbar::{CostLedger, CrossbarConfig, Phase};
+use memlp_linalg::{ops, LuFactors, Matrix};
+use memlp_lp::{LpProblem, LpSolution, LpStatus};
+use memlp_solvers::pdip::{PdipOptions, PdipState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hw::HwContext;
+use crate::trace::{IterationRecord, SolverTrace};
+use crate::transform::SignSplit;
+
+/// Options for the large-scale solver (Algorithm 2, §3.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LargeScaleOptions {
+    /// Outer-loop options (tolerances, iteration cap, divergence bound).
+    pub pdip: PdipOptions,
+    /// The base step length θ (§3.4: "θ … were found to be better to be
+    /// constant to guarantee convergence"). See [`LargeScaleOptions::theta_decay`].
+    pub theta: f64,
+    /// Step-length decay half-life in iterations (0 disables decay and
+    /// keeps the paper's strictly constant θ). A slow decay
+    /// `θ_k = θ / (1 + k/decay)` damps the limit-cycle oscillation the
+    /// constant-step split iteration otherwise settles into.
+    pub theta_decay: usize,
+    /// Magnitude of the `RU`/`RL` fill relative to the mean |A| coefficient
+    /// — the "very small" values that make Eqn 16c non-singular.
+    pub fill_scale: f64,
+    /// The §3.2 relaxed feasibility parameter α for the final check.
+    pub alpha: f64,
+    /// Re-solve attempts (the §4.3 double-checking scheme).
+    pub retries: usize,
+    /// Iterations without improvement before declaring a noise-floor stall.
+    pub stall_window: usize,
+    /// Largest relative score accepted as converged at a stall.
+    pub accept_floor: f64,
+    /// Relative primal-residual level at (or above) which a stalled run is
+    /// classified as infeasible: a planted contradiction pins the residual
+    /// at the contradiction gap, far above the solver's noise floor.
+    pub infeasible_floor: f64,
+    /// Row-equilibrate the problem before mapping it onto the crossbar.
+    /// The converters quantize relative to the *global* signal maximum, so
+    /// constraints with small coefficients drown in other rows' noise
+    /// unless rows are normalized; dual variables are un-scaled digitally
+    /// on the way out.
+    pub equilibrate: bool,
+    /// Gain κ on the dual residual-feedback term: the `Δy` read-out from
+    /// the `[ρ, 0]` solve carries the unresolved primal residual
+    /// `r⊥ = ρ − A·Δx` (scaled by 1/λ); it is re-scaled by `−κ·λ` in the
+    /// summing-amplifier stage and added to the min-norm dual step. The
+    /// sign flip corrects the positive-only fill's anti-Newton polarity
+    /// (crossbars cannot store negative λ); without this term the primal
+    /// residual floors at the least-squares residual of `A`.
+    pub dual_feedback: f64,
+}
+
+impl Default for LargeScaleOptions {
+    fn default() -> Self {
+        LargeScaleOptions {
+            pdip: PdipOptions {
+                eps_primal: 8e-3,
+                eps_dual: 8e-3,
+                eps_gap: 4e-3,
+                max_iterations: 400,
+                ..PdipOptions::default()
+            },
+            theta: 0.30,
+            theta_decay: 30,
+            fill_scale: 0.05,
+            // The large-scale solver's residual floor is coarser than
+            // Algorithm 1's (as is its accuracy in the paper), so its
+            // "close but greater than 1" α is looser.
+            alpha: 1.10,
+            retries: 3,
+            stall_window: 40,
+            // The split iteration stalls at a higher residual floor than
+            // Algorithm 1 (the paper likewise reports coarser accuracy for
+            // the large-scale solver: 0.8–8.5% vs 0.2–9.9%); the αb
+            // post-check remains the hard guard on what is accepted.
+            accept_floor: 0.25,
+            infeasible_floor: 0.30,
+            equilibrate: false,
+            dual_feedback: 1.0,
+        }
+    }
+}
+
+/// **Algorithm 2** — the memristor crossbar linear program solver for
+/// large-scale operations (paper §3.4).
+///
+/// Instead of one `≈4(n+m)`-sized crossbar system per iteration, the Newton
+/// step is split into:
+///
+/// 1. a **static** `(n+m+k)` system (Eqn 16c/16d) for `(Δx, Δy)` — `A` and
+///    `Aᵀ` blocks with small random `RU`/`RL` fill to remove the
+///    singularity of `diag(A, Aᵀ)`, programmed once; its right-hand side is
+///    produced on a fill-free copy per Eqn 17a;
+/// 2. a **diagonal** `(n+m)` system (Eqn 16b) for `(Δz, Δw)` — the only
+///    per-iteration coefficient updates (O(N) writes of `X`, `Y`).
+///
+/// Steps use a constant θ; convergence failures re-solve with fresh
+/// variation. The matrices a single crossbar must hold shrink from
+/// `≈4(n+m)` to `≈(n+m+k)`, which is the scalability win the paper claims.
+#[derive(Debug, Clone)]
+pub struct LargeScaleSolver {
+    config: CrossbarConfig,
+    options: LargeScaleOptions,
+}
+
+/// Realized hardware state for one Algorithm-2 attempt.
+struct LargeScaleSystem {
+    n: usize,
+    m: usize,
+    split_a: SignSplit,
+    split_at: SignSplit,
+    // Solve realization (with fill), reduced to the (n+m) core and factored
+    // once — the system is static across iterations.
+    core_lu: LuFactors,
+    // Effective corrections for Δp back-substitution.
+    ipx: Vec<f64>,
+    ipy: Vec<f64>,
+    an_solve: Matrix,
+    atn_solve: Matrix,
+    // MVM realization (without fill) per Eqn 17a.
+    ap_mvm: Matrix,
+    an_mvm: Matrix,
+    atp_mvm: Matrix,
+    atn_mvm: Matrix,
+    selx_mvm: Vec<f64>,
+    sely_mvm: Vec<f64>,
+    ipx_mvm: Vec<f64>,
+    ipy_mvm: Vec<f64>,
+    // Per-iteration diagonal realization of M2 = diag(X, Y).
+    xd: Vec<f64>,
+    yd: Vec<f64>,
+    cells: usize,
+    /// Nominal λ the controller targeted for the RU/RL fill.
+    fill_nominal: f64,
+    /// Residual-feedback gain κ (from the solver options).
+    dual_feedback: f64,
+}
+
+impl LargeScaleSolver {
+    /// Creates a solver over the given hardware configuration.
+    pub fn new(config: CrossbarConfig, options: LargeScaleOptions) -> Self {
+        LargeScaleSolver { config, options }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.config
+    }
+
+    /// Solves `lp` with the retry scheme. Failed attempts are kept and the
+    /// best-scoring one (smallest relative residual/gap) is what the final
+    /// classification sees once the retry budget is spent.
+    pub fn solve(&self, lp: &LpProblem) -> crate::CrossbarSolution {
+        let mut ledger = CostLedger::new();
+        let bnorm = 1.0 + ops::inf_norm(lp.b());
+        let cnorm = 1.0 + ops::inf_norm(lp.c());
+        let score_of = |sol: &LpSolution| -> f64 {
+            if sol.x.is_empty() {
+                return f64::INFINITY;
+            }
+            let pr = sol.primal_residual / bnorm;
+            let dr = sol.dual_residual / cnorm;
+            let gap = sol.duality_gap / (1.0 + sol.objective.abs());
+            pr.max(dr).max(gap)
+        };
+        let mut best: Option<(f64, LpSolution, SolverTrace, usize)> = None;
+        for attempt in 0..=self.options.retries {
+            let mut hw = HwContext::new(self.config);
+            hw.reseed(0x1A26_0000 + attempt as u64);
+            let outcome = self.attempt(lp, &mut hw, attempt as u64);
+            ledger.merge(hw.ledger());
+            match outcome {
+                Ok((mut solution, trace)) => {
+                    let failed = matches!(solution.status, LpStatus::NumericalFailure)
+                        || (solution.status == LpStatus::IterationLimit
+                            && attempt < self.options.retries);
+                    if !failed {
+                        self.classify_exhausted(lp, &mut solution);
+                        return crate::CrossbarSolution {
+                            solution,
+                            ledger,
+                            trace,
+                            retries_used: attempt,
+                        };
+                    }
+                    let score = score_of(&solution);
+                    if best.as_ref().map(|(s, ..)| score < *s).unwrap_or(true) {
+                        best = Some((score, solution, trace, attempt));
+                    }
+                }
+                Err(()) => {
+                    if best.is_none() {
+                        best = Some((
+                            f64::INFINITY,
+                            LpSolution::failed(LpStatus::NumericalFailure, 0),
+                            SolverTrace::new(),
+                            attempt,
+                        ));
+                    }
+                }
+            }
+        }
+        let (_, mut solution, trace, attempt) = best.expect("at least one attempt ran");
+        self.classify_exhausted(lp, &mut solution);
+        crate::CrossbarSolution { solution, ledger, trace, retries_used: attempt }
+    }
+
+    /// Per §3.2, once the retry budget is spent a run whose residual is
+    /// still pinned at the infeasibility level — or whose iterate fails the
+    /// relaxed `A·x ⪯ α·b` check grossly — is the infeasibility verdict
+    /// (variation is redrawn each retry, so a feasible problem would almost
+    /// surely have passed at least once).
+    fn classify_exhausted(&self, lp: &LpProblem, solution: &mut LpSolution) {
+        if matches!(solution.status, LpStatus::NumericalFailure | LpStatus::IterationLimit)
+            && !solution.x.is_empty()
+        {
+            let bnorm = 1.0 + ops::inf_norm(lp.b());
+            let cnorm = 1.0 + ops::inf_norm(lp.c());
+            let pr = solution.primal_residual / bnorm;
+            let dr = solution.dual_residual / cnorm;
+            let gap = solution.duality_gap / (1.0 + solution.objective.abs());
+            let score = pr.max(dr).max(gap);
+            if pr >= self.options.infeasible_floor
+                && !lp.satisfies_relaxed_scaled(&solution.x, self.options.alpha)
+            {
+                solution.status = LpStatus::Infeasible;
+            } else if score <= self.options.accept_floor
+                && {
+                    let dual: f64 =
+                        lp.b().iter().zip(&solution.y).map(|(b, y)| b * y).sum();
+                    (solution.objective - dual).abs() / (1.0 + solution.objective.abs()) <= 0.5
+                }
+                && lp.satisfies_relaxed_scaled(&solution.x, self.options.alpha)
+            {
+                // Fall back to the coarse acceptance level once the retry
+                // budget is spent: the tighter small-problem floor was
+                // aspirational, not a correctness bound.
+                solution.status = LpStatus::Optimal;
+            }
+        }
+    }
+
+    fn attempt(
+        &self,
+        lp: &LpProblem,
+        hw: &mut HwContext,
+        salt: u64,
+    ) -> Result<(LpSolution, SolverTrace), ()> {
+        let opts = &self.options.pdip;
+        // Hardware sees the equilibrated problem (`wlp`); acceptance checks
+        // and the reported solution always refer to the original `lp`
+        // (x is shared; duals/slacks are un-scaled via `finish`).
+        let (wlp, eq) = if self.options.equilibrate {
+            let (scaled, eq) = memlp_lp::equilibrate(lp);
+            (scaled, Some(eq))
+        } else {
+            (lp.clone(), None)
+        };
+        let wlp = &wlp;
+        let finish = |mut state: PdipState, status: LpStatus, iter: usize, trace: SolverTrace| {
+            if let Some(eq) = &eq {
+                state.y = eq.unscale_duals(&state.y);
+                for (w, s) in state.w.iter_mut().zip(&eq.row_scales) {
+                    *w *= s;
+                }
+            }
+            Ok((state.into_solution(lp, status, iter), trace))
+        };
+        let mut state = PdipState::new(wlp, opts);
+        let mut trace = SolverTrace::new();
+        let mut sys = LargeScaleSystem::program(
+            wlp,
+            &state,
+            self.options.fill_scale,
+            self.options.dual_feedback,
+            hw,
+            salt,
+        )
+        .ok_or(())?;
+
+        let bnorm = 1.0 + ops::inf_norm(wlp.b());
+        let cnorm = 1.0 + ops::inf_norm(wlp.c());
+        let base_theta = self.options.theta;
+        // Small systems have genuinely lower noise floors (fewer summed
+        // noise terms per output line), so the stall-acceptance level
+        // tightens below ~40 state variables.
+        let accept_floor = if lp.num_vars() + lp.num_constraints() < 40 {
+            0.4 * self.options.accept_floor
+        } else {
+            self.options.accept_floor
+        };
+        let mut best_state = state.clone();
+        let mut best_score = f64::INFINITY;
+        let mut best_iter = 0usize;
+        // Tail averaging: the constant-θ iteration orbits the solution
+        // rather than landing on it; the running mean of the orbit is a
+        // far better iterate. Purely digital (the controller keeps sums).
+        let mut tail = TailAverage::new(lp.num_vars(), lp.num_constraints());
+
+        for iter in 0..opts.max_iterations {
+            if !(ops::all_finite(&state.x) && ops::all_finite(&state.y)) {
+                return finish(state, LpStatus::NumericalFailure, iter, trace);
+            }
+            if ops::inf_norm(&state.y) > opts.divergence_bound {
+                return finish(state, LpStatus::Infeasible, iter, trace);
+            }
+            if ops::inf_norm(&state.x) > opts.divergence_bound {
+                return finish(state, LpStatus::Unbounded, iter, trace);
+            }
+
+            let theta = if self.options.theta_decay == 0 {
+                base_theta
+            } else {
+                base_theta / (1.0 + iter as f64 / self.options.theta_decay as f64)
+            };
+
+            // --- System 1: r1 via the fill-free MVM (Eqn 17a).
+            let mu = state.mu(opts.delta);
+            let r1 = sys.rhs1(wlp, &state, hw);
+            let (rho, sigma) = (&r1[..sys.m], &r1[sys.m..sys.m + sys.n]);
+            let pr = ops::inf_norm(rho) / bnorm;
+            let dr = ops::inf_norm(sigma) / cnorm;
+            let gap = state.duality_gap() / (1.0 + wlp.objective(&state.x).abs());
+            trace.push(IterationRecord { mu, gap, primal_residual: pr, dual_residual: dr, theta });
+            if pr <= opts.eps_primal && dr <= opts.eps_dual && gap <= opts.eps_gap {
+                let status = if lp.satisfies_relaxed_scaled(&state.x, self.options.alpha) {
+                    LpStatus::Optimal
+                } else {
+                    LpStatus::NumericalFailure
+                };
+                return finish(state, status, iter, trace);
+            }
+            let score = pr.max(dr).max(gap);
+            if score < 0.95 * best_score {
+                best_score = score;
+                best_state = state.clone();
+                best_iter = iter;
+            } else {
+                tail.accumulate(&state);
+                if iter - best_iter >= self.options.stall_window {
+                    // Noise-floor stall: prefer the orbit average when it
+                    // is (digitally verified) more primal-feasible, then
+                    // classify via the §3.2 relaxed check.
+                    let candidate = tail
+                        .mean()
+                        .filter(|avg| {
+                            let avg_pr = ops::inf_norm(&avg.primal_residual(wlp)) / bnorm;
+                            avg_pr < best_score
+                        })
+                        .unwrap_or_else(|| best_state.clone());
+                    let cand_pr = ops::inf_norm(&candidate.primal_residual(wlp)) / bnorm;
+                    let cand_score = best_score.min(cand_pr);
+                    // A corrupted dual pair can show a small zᵀx + yᵀw
+                    // while the primal and dual objectives disagree badly.
+                    // A *catastrophic* disagreement blocks acceptance (the
+                    // duals of the split iteration are legitimately sloppy,
+                    // so only gross mismatch is disqualifying).
+                    let cobj = wlp.objective(&candidate.x);
+                    let cdual: f64 =
+                        wlp.b().iter().zip(&candidate.y).map(|(b, y)| b * y).sum();
+                    let obj_gap = (cobj - cdual).abs() / (1.0 + cobj.abs());
+                    // Classification by stall level: the solver's noise
+                    // floor sits well below accept_floor; a residual pinned
+                    // at infeasible_floor or above is a contradiction gap,
+                    // not noise. The band in between is ambiguous — retry
+                    // with fresh variation (§4.3 double checking).
+                    let status = if cand_score <= accept_floor && obj_gap <= 0.5 {
+                        LpStatus::Optimal
+                    } else if cand_score >= self.options.infeasible_floor {
+                        LpStatus::Infeasible
+                    } else {
+                        LpStatus::NumericalFailure
+                    };
+                    return finish(candidate, status, iter, trace);
+                }
+            }
+
+            // --- Solve system 1 (static crossbar). The ADC reference is
+            // set a decade above the current iterate magnitude; weakly
+            // determined step components saturate there.
+            let clip = 10.0
+                * (1.0 + ops::inf_norm(&state.x).max(ops::inf_norm(&state.y)));
+            let Some((dx, dy)) = sys.solve1(&r1, clip, hw) else {
+                return finish(state, LpStatus::NumericalFailure, iter, trace);
+            };
+
+            // --- Update s1 = (x, y) with constant θ, capped at the
+            // positivity boundary (the paper's uncapped constant step
+            // diverges whenever an iterate crosses zero; see DESIGN.md §8).
+            let theta1 = positivity_cap(theta, &state.x, &dx).min(positivity_cap(theta, &state.y, &dy));
+            for (v, d) in state.x.iter_mut().zip(&dx) {
+                *v = (*v + theta1 * d).max(1e-9);
+            }
+            for (v, d) in state.y.iter_mut().zip(&dy) {
+                *v = (*v + theta1 * d).max(1e-9);
+            }
+
+            // --- System 2: update M2 diagonals (the O(N) writes), derive
+            //     r2 (Eqn 17b), solve the diagonal system (Eqn 16b).
+            sys.update_diagonals(&state, hw);
+            let clip2 = 10.0
+                * (1.0 + ops::inf_norm(&state.z).max(ops::inf_norm(&state.w)));
+            let (dz, dw) = sys.solve2(&state, mu, clip2, hw).ok_or(())?;
+            let theta2 = positivity_cap(theta, &state.z, &dz).min(positivity_cap(theta, &state.w, &dw));
+            for (v, d) in state.z.iter_mut().zip(&dz) {
+                *v = (*v + theta2 * d).max(1e-9);
+            }
+            for (v, d) in state.w.iter_mut().zip(&dw) {
+                *v = (*v + theta2 * d).max(1e-9);
+            }
+        }
+
+        let status = match () {
+            _ if ops::inf_norm(&state.y) > opts.divergence_bound => LpStatus::Infeasible,
+            _ if ops::inf_norm(&state.x) > opts.divergence_bound => LpStatus::Unbounded,
+            _ => LpStatus::IterationLimit,
+        };
+        let iters = opts.max_iterations;
+        finish(state, status, iters, trace)
+    }
+}
+
+/// Running mean of the iterate orbit (digital controller state).
+struct TailAverage {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    w: Vec<f64>,
+    z: Vec<f64>,
+    count: usize,
+}
+
+impl TailAverage {
+    fn new(n: usize, m: usize) -> Self {
+        TailAverage { x: vec![0.0; n], y: vec![0.0; m], w: vec![0.0; m], z: vec![0.0; n], count: 0 }
+    }
+
+    fn accumulate(&mut self, s: &PdipState) {
+        for (a, v) in self.x.iter_mut().zip(&s.x) {
+            *a += v;
+        }
+        for (a, v) in self.y.iter_mut().zip(&s.y) {
+            *a += v;
+        }
+        for (a, v) in self.w.iter_mut().zip(&s.w) {
+            *a += v;
+        }
+        for (a, v) in self.z.iter_mut().zip(&s.z) {
+            *a += v;
+        }
+        self.count += 1;
+    }
+
+    fn mean(&self) -> Option<PdipState> {
+        if self.count == 0 {
+            return None;
+        }
+        let k = self.count as f64;
+        Some(PdipState {
+            x: self.x.iter().map(|v| v / k).collect(),
+            y: self.y.iter().map(|v| v / k).collect(),
+            w: self.w.iter().map(|v| v / k).collect(),
+            z: self.z.iter().map(|v| v / k).collect(),
+        })
+    }
+}
+
+/// Caps a constant step length at 90% of the positivity boundary:
+/// `min(θ, 0.9 / max_i(−d_i / v_i))`.
+fn positivity_cap(theta: f64, v: &[f64], d: &[f64]) -> f64 {
+    let mut max_ratio = 0.0f64;
+    for (vi, di) in v.iter().zip(d) {
+        if *di < 0.0 {
+            max_ratio = max_ratio.max(-di / vi.max(f64::MIN_POSITIVE));
+        }
+    }
+    if max_ratio <= 0.0 {
+        theta
+    } else {
+        theta.min(0.9 / max_ratio)
+    }
+}
+
+impl LargeScaleSystem {
+    fn program(
+        lp: &LpProblem,
+        state: &PdipState,
+        fill_scale: f64,
+        dual_feedback: f64,
+        hw: &mut HwContext,
+        salt: u64,
+    ) -> Option<LargeScaleSystem> {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        let split_a = SignSplit::split(lp.a());
+        let at = lp.a().transpose();
+        let split_at = SignSplit::split(&at);
+        let kx = split_a.num_compensations();
+        let ky = split_at.num_compensations();
+
+        // RU (m×m) and RL (n×n) fill: λ on the diagonal, jittered slightly
+        // per cell. A diagonal fill makes Eqn 16c the classic *regularized
+        // saddle system* [[A, λI], [λI, Aᵀ]]: solving it against [ρ, 0]
+        // yields the least-squares primal step in its Δx component, and
+        // against [0, σ] the minimum-norm dual step in its Δy component —
+        // both bounded for small λ, unlike a dense random fill whose weakly
+        // determined directions explode (see DESIGN.md §8).
+        let mean_abs = lp.a().as_slice().iter().map(|v| v.abs()).sum::<f64>()
+            / (lp.a().as_slice().len() as f64).max(1.0);
+        let fill = fill_scale * mean_abs.max(f64::MIN_POSITIVE);
+        let mut frng = StdRng::seed_from_u64(0xF111_0000 ^ salt);
+        let ru: Vec<f64> = (0..m).map(|_| frng.random_range(0.75 * fill..1.25 * fill)).collect();
+        let rl: Vec<f64> = (0..n).map(|_| frng.random_range(0.75 * fill..1.25 * fill)).collect();
+
+        // --- Solve realization (with fill).
+        let ap_s = hw.write_matrix(&split_a.pos, Phase::Setup);
+        let an_s = hw.write_matrix(&split_a.neg, Phase::Setup);
+        let atp_s = hw.write_matrix(&split_at.pos, Phase::Setup);
+        let atn_s = hw.write_matrix(&split_at.neg, Phase::Setup);
+        let ru_s = hw.write_diag(&ru, Phase::Setup);
+        let rl_s = hw.write_diag(&rl, Phase::Setup);
+        let selx = hw.write_diag(&vec![1.0; kx], Phase::Setup);
+        let sely = hw.write_diag(&vec![1.0; ky], Phase::Setup);
+        let ipx = hw.write_diag(&vec![1.0; kx], Phase::Setup);
+        let ipy = hw.write_diag(&vec![1.0; ky], Phase::Setup);
+        if ipx.iter().chain(&ipy).any(|v| *v == 0.0) {
+            return None;
+        }
+
+        // Eliminate Δp: effective A blocks get column corrections.
+        let mut ax_eff = ap_s.clone();
+        for (r, &j) in split_a.comp_cols.iter().enumerate() {
+            let f = selx[r] / ipx[r];
+            for i in 0..m {
+                ax_eff[(i, j)] -= an_s[(i, r)] * f;
+            }
+        }
+        let mut ay_eff = atp_s.clone();
+        for (r, &j) in split_at.comp_cols.iter().enumerate() {
+            let f = sely[r] / ipy[r];
+            for i in 0..n {
+                ay_eff[(i, j)] -= atn_s[(i, r)] * f;
+            }
+        }
+        // Core (m+n) system: [A_eff λI; λI Aᵀ_eff], factored once.
+        let dim = n + m;
+        let mut k = Matrix::zeros(dim, dim);
+        k.set_block(0, 0, &ax_eff);
+        k.set_diag_block(0, n, &ru_s);
+        k.set_diag_block(m, 0, &rl_s);
+        k.set_block(m, n, &ay_eff);
+        let core_lu = LuFactors::factor(k).ok()?;
+
+        // --- MVM realization (fill-free, Eqn 17a) — independently written,
+        //     so it carries its own variation draws.
+        let ap_mvm = hw.write_matrix(&split_a.pos, Phase::Setup);
+        let an_mvm = hw.write_matrix(&split_a.neg, Phase::Setup);
+        let atp_mvm = hw.write_matrix(&split_at.pos, Phase::Setup);
+        let atn_mvm = hw.write_matrix(&split_at.neg, Phase::Setup);
+        let selx_mvm = hw.write_diag(&vec![1.0; kx], Phase::Setup);
+        let sely_mvm = hw.write_diag(&vec![1.0; ky], Phase::Setup);
+        let ipx_mvm = hw.write_diag(&vec![1.0; kx], Phase::Setup);
+        let ipy_mvm = hw.write_diag(&vec![1.0; ky], Phase::Setup);
+
+        let cells = 2 * (m * n * 2 + m * kx + n * ky) + m * m + n * n + 2 * (kx + ky);
+        let mut sys = LargeScaleSystem {
+            n,
+            m,
+            split_a,
+            split_at,
+            core_lu,
+            ipx,
+            ipy,
+            an_solve: an_s,
+            atn_solve: atn_s,
+            ap_mvm,
+            an_mvm,
+            atp_mvm,
+            atn_mvm,
+            selx_mvm,
+            sely_mvm,
+            ipx_mvm,
+            ipy_mvm,
+            xd: Vec::new(),
+            yd: Vec::new(),
+            cells,
+            fill_nominal: fill,
+            dual_feedback,
+        };
+        sys.update_diagonals(state, hw);
+        Some(sys)
+    }
+
+    /// O(N) per-iteration updates: rewrite `X` and `Y` on the diagonal
+    /// crossbar `M2`.
+    fn update_diagonals(&mut self, state: &PdipState, hw: &mut HwContext) {
+        self.xd = hw.write_diag(&state.x, Phase::Run);
+        self.yd = hw.write_diag(&state.y, Phase::Run);
+    }
+
+    /// Eqn 17a: `r1 = [b − w, c + z, 0] − M̂·[x, y, p]` using the
+    /// fill-free MVM realization.
+    fn rhs1(&self, lp: &LpProblem, state: &PdipState, hw: &mut HwContext) -> Vec<f64> {
+        let (n, m) = (self.n, self.m);
+        let kx = self.ipx_mvm.len();
+        let ky = self.ipy_mvm.len();
+        let mut s = Vec::with_capacity(n + m + kx + ky);
+        s.extend_from_slice(&state.x);
+        s.extend_from_slice(&state.y);
+        s.extend(self.split_a.compensation_values(&state.x));
+        s.extend(self.split_at.compensation_values(&state.y));
+        let sq = hw.dac_blocks(&s, &[n, m, kx + ky]);
+        let x = &sq[..n];
+        let y = &sq[n..n + m];
+        let (px, py) = sq[n + m..].split_at(kx);
+
+        let mut out = Vec::with_capacity(n + m + kx + ky);
+        // Row 1: A′x + A″p_x ≈ A·x.
+        let mut row1 = self.ap_mvm.matvec(x);
+        if kx > 0 {
+            let e = self.an_mvm.matvec(px);
+            for (r, v) in row1.iter_mut().zip(&e) {
+                *r += v;
+            }
+        }
+        out.extend(row1);
+        // Row 2: Aᵀ′y + Aᵀ″p_y ≈ Aᵀ·y.
+        let mut row2 = self.atp_mvm.matvec(y);
+        if ky > 0 {
+            let e = self.atn_mvm.matvec(py);
+            for (r, v) in row2.iter_mut().zip(&e) {
+                *r += v;
+            }
+        }
+        out.extend(row2);
+        // Row 3 (consistency rows): sel·(x|y) + Ip·p ≈ 0.
+        out.extend(
+            self.split_a
+                .comp_cols
+                .iter()
+                .enumerate()
+                .map(|(r, &j)| self.selx_mvm[r] * x[j] + self.ipx_mvm[r] * px[r]),
+        );
+        out.extend(
+            self.split_at
+                .comp_cols
+                .iter()
+                .enumerate()
+                .map(|(r, &j)| self.sely_mvm[r] * y[j] + self.ipy_mvm[r] * py[r]),
+        );
+        let g = hw.conductance_estimate(self.cells / 2, 1.0, 1.0);
+        hw.charge_analog(false, sq.len(), out.len(), g);
+        let ms = hw.adc_blocks(&out, &[m, n, kx + ky]);
+
+        // Constant part: [b − w, c + z, 0] (summing amplifiers).
+        let mut r = Vec::with_capacity(ms.len());
+        for i in 0..m {
+            r.push(lp.b()[i] - state.w[i] - ms[i]);
+        }
+        for j in 0..n {
+            r.push(lp.c()[j] + state.z[j] - ms[m + j]);
+        }
+        for t in 0..kx + ky {
+            r.push(0.0 - ms[m + n + t]);
+        }
+        r
+    }
+
+    /// Solves system 1 (Eqn 16c/16d) on the static crossbar; returns
+    /// `(Δx, Δy)`.
+    /// Solves system 1 as two analog solves against the same static
+    /// crossbar: the right-hand side `[ρ, 0]` yields the least-squares
+    /// primal step in its `Δx` lines, and `[0, σ]` the minimum-norm dual
+    /// step in its `Δy` lines (the complementary lines carry the
+    /// `residual/λ` component and are simply not read out). See the
+    /// fill-construction comment in [`LargeScaleSystem::program`].
+    fn solve1(&self, r1: &[f64], clip: f64, hw: &mut HwContext) -> Option<(Vec<f64>, Vec<f64>)> {
+        let (n, m) = (self.n, self.m);
+        let kx = self.ipx.len();
+        let rq = hw.dac_blocks(r1, &[m, n, kx + self.ipy.len()]);
+        let ra = &rq[..m];
+        let rb = &rq[m..m + n];
+        let (r7x, r7y) = rq[m + n..].split_at(kx);
+
+        // Fold the Δp elimination corrections into each block.
+        let mut top = ra.to_vec();
+        if kx > 0 {
+            let t: Vec<f64> = (0..kx).map(|r| r7x[r] / self.ipx[r]).collect();
+            let corr = self.an_solve.matvec(&t);
+            for (v, c) in top.iter_mut().zip(&corr) {
+                *v -= c;
+            }
+        }
+        let mut bot = rb.to_vec();
+        if !r7y.is_empty() {
+            let t: Vec<f64> = (0..r7y.len()).map(|r| r7y[r] / self.ipy[r]).collect();
+            let corr = self.atn_solve.matvec(&t);
+            for (v, c) in bot.iter_mut().zip(&corr) {
+                *v -= c;
+            }
+        }
+
+        let g = hw.conductance_estimate(self.cells / 2, 1.0, 1.0);
+
+        // Solve 1: rhs [ρ, 0] → read the Δx lines, plus the Δy lines
+        // (they carry r⊥/λ, the unresolved primal residual).
+        let mut rhs_a = top;
+        rhs_a.resize(n + m, 0.0);
+        let sol_a = self.core_lu.solve(&rhs_a).ok()?;
+        if !ops::all_finite(&sol_a) {
+            return None;
+        }
+        let dx = hw.adc_clipped(&sol_a[..n], clip);
+        let dy_feedback_raw = hw.adc_clipped(&sol_a[n..], clip / self.fill_nominal.max(1e-9));
+        hw.charge_analog(true, n + m, n + m, g);
+
+        // Solve 2: rhs [0, σ] → read the Δy lines (min-norm dual step).
+        let mut rhs_b = vec![0.0; m];
+        rhs_b.extend(bot);
+        let sol_b = self.core_lu.solve(&rhs_b).ok()?;
+        if !ops::all_finite(&sol_b) {
+            return None;
+        }
+        let dy_minnorm = hw.adc_clipped(&sol_b[n..], clip);
+        hw.charge_analog(true, n + m, m, g);
+
+        // Combine in the summing-amplifier stage: re-scale the feedback by
+        // −κ·λ (flipping the positive-fill polarity back to Newton's) and
+        // add the min-norm step.
+        let gain = -self.dual_feedback * self.fill_nominal;
+        let dy: Vec<f64> = dy_minnorm
+            .iter()
+            .zip(&dy_feedback_raw)
+            .map(|(mn, fb)| mn + gain * fb)
+            .collect();
+        Some((dx, dy))
+    }
+
+    /// System 2 (Eqns 16b/17b): derive `r2` on the diagonal crossbar and
+    /// solve it — `Δz = r_z / X`, `Δw = r_w / Y`.
+    fn solve2(
+        &self,
+        state: &PdipState,
+        mu: f64,
+        clip: f64,
+        hw: &mut HwContext,
+    ) -> Option<(Vec<f64>, Vec<f64>)> {
+        let (n, m) = (self.n, self.m);
+        // MVM: M2·[z, w] = [X·z, Y·w].
+        let mut s = Vec::with_capacity(n + m);
+        s.extend_from_slice(&state.z);
+        s.extend_from_slice(&state.w);
+        let sq = hw.dac_blocks(&s, &[n, m]);
+        let mut prod = Vec::with_capacity(n + m);
+        prod.extend((0..n).map(|j| self.xd[j] * sq[j]));
+        prod.extend((0..m).map(|i| self.yd[i] * sq[n + i]));
+        let g = hw.conductance_estimate(n + m, 1.0, 1.0);
+        hw.charge_analog(false, n + m, n + m, g);
+        let prodq = hw.adc_blocks(&prod, &[n, m]);
+
+        // r2 = [µ, µ] − M2·[z, w]; then the diagonal solve.
+        let r2: Vec<f64> = prodq.iter().map(|p| mu - p).collect();
+        let r2q = hw.dac_blocks(&r2, &[n, m]);
+        let mut out = Vec::with_capacity(n + m);
+        for j in 0..n {
+            if self.xd[j] == 0.0 {
+                return None;
+            }
+            out.push(r2q[j] / self.xd[j]);
+        }
+        for i in 0..m {
+            if self.yd[i] == 0.0 {
+                return None;
+            }
+            out.push(r2q[n + i] / self.yd[i]);
+        }
+        if !ops::all_finite(&out) {
+            return None;
+        }
+        let outq = hw.adc_clipped(&out, clip);
+        hw.charge_analog(true, n + m, n + m, g);
+        Some((outq[..n].to_vec(), outq[n..].to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlp_lp::generator::RandomLp;
+    use memlp_solvers::{LpSolver, NormalEqPdip};
+
+    fn solver(var_pct: f64, seed: u64) -> LargeScaleSolver {
+        LargeScaleSolver::new(
+            CrossbarConfig::paper_default().with_variation(var_pct).with_seed(seed),
+            LargeScaleOptions::default(),
+        )
+    }
+
+    #[test]
+    fn solves_small_ideal() {
+        let lp = RandomLp::paper(24, 31).feasible();
+        let res = solver(0.0, 1).solve(&lp);
+        assert_eq!(res.solution.status, LpStatus::Optimal, "{}", res.solution);
+        let reference = NormalEqPdip::default().solve(&lp);
+        let rel = (res.solution.objective - reference.objective).abs()
+            / (1.0 + reference.objective.abs());
+        // The paper reports 0.8-8.5% inaccuracy for the large-scale solver.
+        assert!(rel < 0.10, "relative error {rel}");
+    }
+
+    #[test]
+    fn solves_under_variation() {
+        let lp = RandomLp::paper(24, 33).feasible();
+        let res = solver(10.0, 3).solve(&lp);
+        assert_eq!(res.solution.status, LpStatus::Optimal, "{}", res.solution);
+        let reference = NormalEqPdip::default().solve(&lp);
+        let rel = (res.solution.objective - reference.objective).abs()
+            / (1.0 + reference.objective.abs());
+        assert!(rel < 0.15, "relative error {rel}");
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        for seed in [35, 36, 37] {
+            let lp = RandomLp::paper(24, seed).infeasible();
+            let res = solver(0.0, seed).solve(&lp);
+            assert_eq!(res.solution.status, LpStatus::Infeasible, "seed {seed}: {}", res.solution);
+        }
+    }
+
+    #[test]
+    fn equilibrated_path_solves_and_unscales_duals() {
+        let lp = RandomLp::paper(48, 41).feasible();
+        let reference = NormalEqPdip::default().solve(&lp);
+        let opts = LargeScaleOptions { equilibrate: true, ..LargeScaleOptions::default() };
+        let res = LargeScaleSolver::new(CrossbarConfig::paper_default().with_seed(2), opts).solve(&lp);
+        assert_eq!(res.solution.status, LpStatus::Optimal, "{}", res.solution);
+        let rel = (res.solution.objective - reference.objective).abs()
+            / (1.0 + reference.objective.abs());
+        assert!(rel < 0.12, "relative error {rel}");
+        // Duals must come back in the ORIGINAL row scaling: weak duality
+        // against the original b (generous tolerance for analog noise).
+        let dual_obj: f64 = lp.b().iter().zip(&res.solution.y).map(|(b, y)| b * y).sum();
+        assert!(
+            dual_obj >= res.solution.objective - 0.5 * (1.0 + res.solution.objective.abs()),
+            "dual {dual_obj} vs primal {} — unscaling broken?",
+            res.solution.objective
+        );
+    }
+
+    #[test]
+    fn per_iteration_updates_are_n_plus_m() {
+        let lp = RandomLp::paper(24, 37).feasible();
+        let res = solver(0.0, 7).solve(&lp);
+        let counts = res.ledger.counts();
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        let iters = res.solution.iterations as u64;
+        // One (n+m) diagonal rewrite at programming plus one per iteration.
+        assert_eq!(counts.update_writes, (n + m) as u64 * (iters + 1));
+    }
+
+    #[test]
+    fn static_system_means_no_matrix_rewrites() {
+        let lp = RandomLp::paper(16, 39).feasible();
+        let res = solver(0.0, 9).solve(&lp);
+        // All matrix-block writes happen during setup.
+        assert!(res.ledger.counts().setup_writes > 0);
+        assert!(res.ledger.setup_time_s() > 0.0);
+    }
+}

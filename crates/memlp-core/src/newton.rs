@@ -1,0 +1,452 @@
+//! The augmented Newton system of Eqn 14a, realized block-by-block on
+//! simulated crossbar hardware.
+//!
+//! Unknown ordering (columns of `M`):
+//!
+//! ```text
+//! Δs = [ Δx (n) | Δy (m) | Δw (m) | Δz (n) | Δu (m) | Δv (n) | Δp (k) ]
+//! ```
+//!
+//! with `k = kx + ky` compensation variables (`Δp = [Δp_x | Δp_y]`,
+//! `Δp_x[r] = −Δx[cx_r]`, `Δp_y[r] = −Δy[cy_r]`). Row blocks of `M`:
+//!
+//! ```text
+//! R1 (m):  A′·Δx            + Iw·Δw                    + A″·Δp_x   = ρ
+//! R2 (n):          Aᵀ′·Δy                    + Iv·Δv   + Aᵀ″·Δp_y  = σ
+//! R3 (n):  Z·Δx                     + X·Δz                         = µe−XZe
+//! R4 (m):          W·Δy    + Y·Δw                                  = µe−YWe
+//! R5 (m):                    I₁·Δw          + I₂·Δu               = 0
+//! R6 (n):                             I₃·Δz          + I₄·Δv      = 0
+//! R7 (k):  AI·Δx + ATI·Δy                              + Ip·Δp    = 0
+//! ```
+//!
+//! Every symbol above is the **realized** (variation-perturbed) block. The
+//! analog array solves this entire system in O(1); the simulator recovers
+//! the identical solution by exact block elimination down to an `(n+m)`
+//! dense core (DESIGN.md §4) — pure algebra, no approximation.
+
+use memlp_crossbar::Phase;
+use memlp_linalg::{LuFactors, Matrix};
+use memlp_lp::LpProblem;
+use memlp_solvers::pdip::{PdipState, StepDirections};
+
+use crate::hw::HwContext;
+use crate::transform::SignSplit;
+
+/// The realized augmented system: static blocks written once, diagonal
+/// blocks rewritten every iteration.
+#[derive(Debug, Clone)]
+pub struct AugmentedSystem {
+    n: usize,
+    m: usize,
+    /// Sign split of `A` (columns with negatives → `Δp_x`).
+    split_a: SignSplit,
+    /// Sign split of `Aᵀ` (rows of `A` with negatives → `Δp_y`).
+    split_at: SignSplit,
+    // --- realized static blocks ---
+    ap: Matrix,
+    an: Matrix,
+    atp: Matrix,
+    atn: Matrix,
+    iw: Vec<f64>,
+    iv: Vec<f64>,
+    i1: Vec<f64>,
+    i2: Vec<f64>,
+    i3: Vec<f64>,
+    i4: Vec<f64>,
+    ipx: Vec<f64>,
+    ipy: Vec<f64>,
+    selx: Vec<f64>,
+    sely: Vec<f64>,
+    // --- realized per-iteration diagonals ---
+    zd: Vec<f64>,
+    xd: Vec<f64>,
+    wd: Vec<f64>,
+    yd: Vec<f64>,
+    /// Total cell count (for settle-energy estimates).
+    cells: usize,
+}
+
+/// Solution of the augmented system: the four PDIP directions plus the
+/// consistency variables (useful for invariant tests).
+#[derive(Debug, Clone)]
+pub struct AugmentedDirections {
+    /// The PDIP step directions.
+    pub dirs: StepDirections,
+    /// Δu (should equal −Δw up to hardware noise).
+    pub du: Vec<f64>,
+    /// Δv (should equal −Δz up to hardware noise).
+    pub dv: Vec<f64>,
+    /// Δp (should equal −Δx/−Δy at the compensated indices).
+    pub dp: Vec<f64>,
+}
+
+impl AugmentedSystem {
+    /// Number of compensation variables `k = kx + ky`.
+    pub fn num_compensations(&self) -> usize {
+        self.ipx.len() + self.ipy.len()
+    }
+
+    /// Total dimension of `M` (`3n + 3m + k`).
+    pub fn dim(&self) -> usize {
+        3 * self.n + 3 * self.m + self.num_compensations()
+    }
+
+    /// Programs the static blocks of `M` for problem `lp` (setup phase) and
+    /// writes the initial diagonals (run phase).
+    pub fn program(lp: &LpProblem, state: &PdipState, hw: &mut HwContext) -> AugmentedSystem {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        let split_a = SignSplit::split(lp.a());
+        let at = lp.a().transpose();
+        let split_at = SignSplit::split(&at);
+        let kx = split_a.num_compensations();
+        let ky = split_at.num_compensations();
+
+        let ap = hw.write_matrix(&split_a.pos, Phase::Setup);
+        let an = hw.write_matrix(&split_a.neg, Phase::Setup);
+        let atp = hw.write_matrix(&split_at.pos, Phase::Setup);
+        let atn = hw.write_matrix(&split_at.neg, Phase::Setup);
+        let iw = hw.write_diag(&vec![1.0; m], Phase::Setup);
+        let iv = hw.write_diag(&vec![1.0; n], Phase::Setup);
+        let i1 = hw.write_diag(&vec![1.0; m], Phase::Setup);
+        let i2 = hw.write_diag(&vec![1.0; m], Phase::Setup);
+        let i3 = hw.write_diag(&vec![1.0; n], Phase::Setup);
+        let i4 = hw.write_diag(&vec![1.0; n], Phase::Setup);
+        let ipx = hw.write_diag(&vec![1.0; kx], Phase::Setup);
+        let ipy = hw.write_diag(&vec![1.0; ky], Phase::Setup);
+        let selx = hw.write_diag(&vec![1.0; kx], Phase::Setup);
+        let sely = hw.write_diag(&vec![1.0; ky], Phase::Setup);
+
+        let cells = m * n * 2 + m * kx + n * ky + 4 * (n + m) + 2 * (kx + ky);
+        let mut sys = AugmentedSystem {
+            n,
+            m,
+            split_a,
+            split_at,
+            ap,
+            an,
+            atp,
+            atn,
+            iw,
+            iv,
+            i1,
+            i2,
+            i3,
+            i4,
+            ipx,
+            ipy,
+            selx,
+            sely,
+            zd: Vec::new(),
+            xd: Vec::new(),
+            wd: Vec::new(),
+            yd: Vec::new(),
+            cells,
+        };
+        sys.update_diagonals(state, hw);
+        sys
+    }
+
+    /// Rewrites the `X`, `Y`, `Z`, `W` diagonals for the current iterate —
+    /// the paper's O(N) per-iteration coefficient updates (2(n+m) ≈ 2.7·m
+    /// writes when n = m/3).
+    pub fn update_diagonals(&mut self, state: &PdipState, hw: &mut HwContext) {
+        self.zd = hw.write_diag(&state.z, Phase::Run);
+        self.xd = hw.write_diag(&state.x, Phase::Run);
+        self.wd = hw.write_diag(&state.w, Phase::Run);
+        self.yd = hw.write_diag(&state.y, Phase::Run);
+    }
+
+    /// Ages the **static** blocks by the drift factor for `dt` seconds of
+    /// hardware time (the per-iteration diagonals are rewritten every
+    /// iteration, so only the write-once blocks accumulate retention loss).
+    pub fn age(&mut self, dt_s: f64, hw: &HwContext) {
+        let f = hw.config().drift.factor(dt_s);
+        if f >= 1.0 {
+            return;
+        }
+        for m in [&mut self.ap, &mut self.an, &mut self.atp, &mut self.atn] {
+            m.scale_mut(f);
+        }
+        for d in [
+            &mut self.iw, &mut self.iv, &mut self.i1, &mut self.i2, &mut self.i3, &mut self.i4,
+            &mut self.ipx, &mut self.ipy, &mut self.selx, &mut self.sely,
+        ] {
+            memlp_linalg::ops::scale(f, d);
+        }
+    }
+
+    /// Re-programs all static blocks from the pristine targets (run-phase
+    /// writes) — the periodic-refresh mitigation for drift.
+    pub fn refresh_static(&mut self, hw: &mut HwContext) {
+        let kx = self.ipx.len();
+        let ky = self.ipy.len();
+        self.ap = hw.write_matrix(&self.split_a.pos, Phase::Run);
+        self.an = hw.write_matrix(&self.split_a.neg, Phase::Run);
+        self.atp = hw.write_matrix(&self.split_at.pos, Phase::Run);
+        self.atn = hw.write_matrix(&self.split_at.neg, Phase::Run);
+        let m = self.m;
+        let n = self.n;
+        self.iw = hw.write_diag(&vec![1.0; m], Phase::Run);
+        self.iv = hw.write_diag(&vec![1.0; n], Phase::Run);
+        self.i1 = hw.write_diag(&vec![1.0; m], Phase::Run);
+        self.i2 = hw.write_diag(&vec![1.0; m], Phase::Run);
+        self.i3 = hw.write_diag(&vec![1.0; n], Phase::Run);
+        self.i4 = hw.write_diag(&vec![1.0; n], Phase::Run);
+        self.ipx = hw.write_diag(&vec![1.0; kx], Phase::Run);
+        self.ipy = hw.write_diag(&vec![1.0; ky], Phase::Run);
+        self.selx = hw.write_diag(&vec![1.0; kx], Phase::Run);
+        self.sely = hw.write_diag(&vec![1.0; ky], Phase::Run);
+    }
+
+    /// The full `s` vector `[x, y, w, z, u, v, p]` the controller drives
+    /// into the array for the Eqn 15b right-hand-side MVM (`u = −w`,
+    /// `v = −z`, `p` = negated compensated components).
+    pub fn s_vector(&self, state: &PdipState) -> Vec<f64> {
+        let mut s = Vec::with_capacity(self.dim());
+        s.extend_from_slice(&state.x);
+        s.extend_from_slice(&state.y);
+        s.extend_from_slice(&state.w);
+        s.extend_from_slice(&state.z);
+        s.extend(state.w.iter().map(|v| -v));
+        s.extend(state.z.iter().map(|v| -v));
+        s.extend(self.split_a.compensation_values(&state.x));
+        s.extend(self.split_at.compensation_values(&state.y));
+        s
+    }
+
+    /// The analog MVM `M̃·s` (Eqn 15b), with DAC-quantized input and
+    /// ADC-quantized output, charged to the ledger.
+    pub fn mvm(&self, s: &[f64], hw: &mut HwContext) -> Vec<f64> {
+        assert_eq!(s.len(), self.dim(), "s vector must span the full system");
+        let (n, m) = (self.n, self.m);
+        let kx = self.ipx.len();
+        let ky = self.ipy.len();
+        let sq = hw.dac_blocks(s, &[n, m, m, n, m, n, kx + ky]);
+        let x = &sq[..n];
+        let y = &sq[n..n + m];
+        let w = &sq[n + m..n + 2 * m];
+        let z = &sq[n + 2 * m..2 * n + 2 * m];
+        let u = &sq[2 * n + 2 * m..2 * n + 3 * m];
+        let v = &sq[2 * n + 3 * m..3 * n + 3 * m];
+        let p = &sq[3 * n + 3 * m..];
+        let (px, py) = p.split_at(kx);
+
+        let mut out = Vec::with_capacity(self.dim());
+        // R1: A′x + Iw·w + A″·p_x.
+        let mut r1 = self.ap.matvec(x);
+        for (r, (ww, c)) in r1.iter_mut().zip(w.iter().zip(&self.iw)) {
+            *r += ww * c;
+        }
+        if kx > 0 {
+            let extra = self.an.matvec(px);
+            for (r, e) in r1.iter_mut().zip(&extra) {
+                *r += e;
+            }
+        }
+        out.extend(r1);
+        // R2: Aᵀ′y + Iv·v + Aᵀ″·p_y.
+        let mut r2 = self.atp.matvec(y);
+        for (r, (vv, c)) in r2.iter_mut().zip(v.iter().zip(&self.iv)) {
+            *r += vv * c;
+        }
+        if !py.is_empty() {
+            let extra = self.atn.matvec(py);
+            for (r, e) in r2.iter_mut().zip(&extra) {
+                *r += e;
+            }
+        }
+        out.extend(r2);
+        // R3: Z·x + X·z.
+        out.extend((0..n).map(|j| self.zd[j] * x[j] + self.xd[j] * z[j]));
+        // R4: W·y + Y·w.
+        out.extend((0..m).map(|i| self.wd[i] * y[i] + self.yd[i] * w[i]));
+        // R5: I₁·w + I₂·u.
+        out.extend((0..m).map(|i| self.i1[i] * w[i] + self.i2[i] * u[i]));
+        // R6: I₃·z + I₄·v.
+        out.extend((0..n).map(|j| self.i3[j] * z[j] + self.i4[j] * v[j]));
+        // R7: selector·(x or y) + Ip·p.
+        out.extend(
+            self.split_a
+                .comp_cols
+                .iter()
+                .enumerate()
+                .map(|(r, &j)| self.selx[r] * x[j] + self.ipx[r] * px[r]),
+        );
+        out.extend(
+            self.split_at
+                .comp_cols
+                .iter()
+                .enumerate()
+                .map(|(r, &j)| self.sely[r] * y[j] + self.ipy[r] * py[r]),
+        );
+
+        let g = hw.conductance_estimate(self.cells, 1.0, 1.0);
+        hw.charge_analog(false, self.dim(), self.dim(), g);
+        let kx = self.ipx.len();
+        let ky = self.ipy.len();
+        hw.adc_blocks(&out, &[m, n, n, m, m, n, kx + ky])
+    }
+
+    /// The analog solve `M̃·Δs = r` (DAC-quantized `r`, ADC-quantized
+    /// `Δs`), computed by exact block elimination of the realized system.
+    ///
+    /// Returns `None` when the realized system is singular — the §4.3
+    /// variation-induced failure mode the caller handles by re-solving.
+    pub fn solve(&self, r: &[f64], hw: &mut HwContext) -> Option<AugmentedDirections> {
+        assert_eq!(r.len(), self.dim(), "rhs must span the full system");
+        let (n, m) = (self.n, self.m);
+        let kx = self.ipx.len();
+        let ky = self.ipy.len();
+        let rq = hw.dac_blocks(r, &[m, n, n, m, m, n, kx + ky]);
+        let r1 = &rq[..m];
+        let r2 = &rq[m..m + n];
+        let r3 = &rq[m + n..m + 2 * n];
+        let r4 = &rq[m + 2 * n..2 * m + 2 * n];
+        let r5 = &rq[2 * m + 2 * n..3 * m + 2 * n];
+        let r6 = &rq[3 * m + 2 * n..3 * m + 3 * n];
+        let r7 = &rq[3 * m + 3 * n..];
+        let (r7x, r7y) = r7.split_at(kx);
+
+        // Diagonals must be invertible for the elimination.
+        for d in self.xd.iter().chain(&self.yd).chain(&self.i2).chain(&self.i4).chain(&self.ipx).chain(&self.ipy) {
+            if *d == 0.0 {
+                return None;
+            }
+        }
+
+        // Effective A-blocks after eliminating Δp (column corrections).
+        let mut ax_eff = self.ap.clone();
+        for (rr, &j) in self.split_a.comp_cols.iter().enumerate() {
+            let f = self.selx[rr] / self.ipx[rr];
+            for i in 0..m {
+                ax_eff[(i, j)] -= self.an[(i, rr)] * f;
+            }
+        }
+        let mut ay_eff = self.atp.clone();
+        for (rr, &j) in self.split_at.comp_cols.iter().enumerate() {
+            let f = self.sely[rr] / self.ipy[rr];
+            for i in 0..n {
+                ay_eff[(i, j)] -= self.atn[(i, rr)] * f;
+            }
+        }
+
+        // r1' = r1 − Iw·(r4/Y) − A″·(r7x/Ipx); Δw = (r4 − W·Δy)/Y.
+        let mut r1p: Vec<f64> = (0..m).map(|i| r1[i] - self.iw[i] * r4[i] / self.yd[i]).collect();
+        if kx > 0 {
+            let t: Vec<f64> = (0..kx).map(|rr| r7x[rr] / self.ipx[rr]).collect();
+            let corr = self.an.matvec(&t);
+            for (v, c) in r1p.iter_mut().zip(&corr) {
+                *v -= c;
+            }
+        }
+        // Δy coefficient in R1: −diag(Iw·W/Y).
+        let d1: Vec<f64> = (0..m).map(|i| self.iw[i] * self.wd[i] / self.yd[i]).collect();
+
+        // R2 reduction: Δv = (r6 − I₃·Δz)/I₄, Δz = (r3 − Z·Δx)/X.
+        // Iv·Δv = Iv/I₄·r6 − (Iv·I₃)/(I₄·X)·r3 + (Iv·I₃·Z)/(I₄·X)·Δx.
+        let mut r2p: Vec<f64> = (0..n)
+            .map(|j| {
+                let f = self.iv[j] / self.i4[j];
+                r2[j] - f * r6[j] + f * self.i3[j] * r3[j] / self.xd[j]
+            })
+            .collect();
+        if ky > 0 {
+            let t: Vec<f64> = (0..ky).map(|rr| r7y[rr] / self.ipy[rr]).collect();
+            let corr = self.atn.matvec(&t);
+            for (v, c) in r2p.iter_mut().zip(&corr) {
+                *v -= c;
+            }
+        }
+        // Δx coefficient in R2: +diag(Iv·I₃·Z/(I₄·X)).
+        let d2: Vec<f64> = (0..n)
+            .map(|j| self.iv[j] * self.i3[j] * self.zd[j] / (self.i4[j] * self.xd[j]))
+            .collect();
+
+        // Assemble the (m+n) core: rows R1 then R2, unknowns [Δx | Δy].
+        let dim = n + m;
+        let mut k = Matrix::zeros(dim, dim);
+        k.set_block(0, 0, &ax_eff);
+        k.set_diag_block(0, n, &d1.iter().map(|v| -v).collect::<Vec<_>>());
+        k.set_diag_block(m, 0, &d2);
+        k.set_block(m, n, &ay_eff);
+        let mut rhs = Vec::with_capacity(dim);
+        rhs.extend_from_slice(&r1p);
+        rhs.extend_from_slice(&r2p);
+
+        let core = LuFactors::factor(k).ok()?.solve(&rhs).ok()?;
+        let dx = core[..n].to_vec();
+        let dy = core[n..].to_vec();
+
+        // Back-substitution.
+        let dz: Vec<f64> = (0..n).map(|j| (r3[j] - self.zd[j] * dx[j]) / self.xd[j]).collect();
+        let dw: Vec<f64> = (0..m).map(|i| (r4[i] - self.wd[i] * dy[i]) / self.yd[i]).collect();
+        let du: Vec<f64> = (0..m).map(|i| (r5[i] - self.i1[i] * dw[i]) / self.i2[i]).collect();
+        let dv: Vec<f64> = (0..n).map(|j| (r6[j] - self.i3[j] * dz[j]) / self.i4[j]).collect();
+        let mut dp = Vec::with_capacity(kx + ky);
+        for (rr, &j) in self.split_a.comp_cols.iter().enumerate() {
+            dp.push((r7x[rr] - self.selx[rr] * dx[j]) / self.ipx[rr]);
+        }
+        for (rr, &j) in self.split_at.comp_cols.iter().enumerate() {
+            dp.push((r7y[rr] - self.sely[rr] * dy[j]) / self.ipy[rr]);
+        }
+
+        // One ADC pass over the full Δs read-out.
+        let mut full = Vec::with_capacity(self.dim());
+        full.extend_from_slice(&dx);
+        full.extend_from_slice(&dy);
+        full.extend_from_slice(&dw);
+        full.extend_from_slice(&dz);
+        full.extend_from_slice(&du);
+        full.extend_from_slice(&dv);
+        full.extend_from_slice(&dp);
+        if !full.iter().all(|v| v.is_finite()) {
+            return None;
+        }
+        let fullq = hw.adc_blocks(&full, &[n, m, m, n, m, n, kx + ky]);
+        let g = hw.conductance_estimate(self.cells, 1.0, 1.0);
+        hw.charge_analog(true, self.dim(), self.dim(), g);
+
+        let dx = fullq[..n].to_vec();
+        let dy = fullq[n..n + m].to_vec();
+        let dw = fullq[n + m..n + 2 * m].to_vec();
+        let dz = fullq[n + 2 * m..2 * n + 2 * m].to_vec();
+        let du = fullq[2 * n + 2 * m..2 * n + 3 * m].to_vec();
+        let dv = fullq[2 * n + 3 * m..3 * n + 3 * m].to_vec();
+        let dp = fullq[3 * n + 3 * m..].to_vec();
+        Some(AugmentedDirections { dirs: StepDirections { dx, dy, dw, dz }, du, dv, dp })
+    }
+
+    /// The constant part of Eqn 15a's right-hand side:
+    /// `[b, c, µe, µe, 0, 0, 0]`.
+    pub fn rhs_constant(&self, lp: &LpProblem, mu: f64) -> Vec<f64> {
+        let mut r = Vec::with_capacity(self.dim());
+        r.extend_from_slice(lp.b());
+        r.extend_from_slice(lp.c());
+        r.extend(std::iter::repeat(mu).take(self.n));
+        r.extend(std::iter::repeat(mu).take(self.m));
+        r.extend(std::iter::repeat(0.0).take(self.m + self.n + self.num_compensations()));
+        r
+    }
+
+    /// Assembles Eqn 15a's `r` from the constant part and the Eqn 15b MVM
+    /// (rows R3/R4 of `M·s` equal `2XZe`/`2YWe`, so they are halved — the
+    /// paper's "dividing-by-2 procedure").
+    pub fn assemble_rhs(&self, constant: &[f64], ms: &[f64]) -> Vec<f64> {
+        let (n, m) = (self.n, self.m);
+        let mut r = Vec::with_capacity(self.dim());
+        for (idx, (cst, prod)) in constant.iter().zip(ms).enumerate() {
+            // Rows R3 (n entries) and R4 (m entries) sit at [m+n, 2m+2n).
+            let halved = idx >= m + n && idx < 2 * (m + n);
+            let p = if halved { 0.5 * prod } else { *prod };
+            r.push(cst - p);
+        }
+        r
+    }
+
+    /// Residual views into an assembled `r`: (primal ρ, dual σ).
+    pub fn residual_views<'a>(&self, r: &'a [f64]) -> (&'a [f64], &'a [f64]) {
+        (&r[..self.m], &r[self.m..self.m + self.n])
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-iteration convergence traces.
+//!
+//! The paper's latency/energy estimates are assembled from *simulated
+//! iteration counts* (§4.4); the trace is how the benchmark harness gets at
+//! them, and it doubles as a debugging aid for convergence studies.
+
+/// One iteration's convergence snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Barrier parameter µ (Eqn 8).
+    pub mu: f64,
+    /// Relative duality gap at the start of the iteration.
+    pub gap: f64,
+    /// Relative primal residual (hardware-observed).
+    pub primal_residual: f64,
+    /// Relative dual residual (hardware-observed).
+    pub dual_residual: f64,
+    /// Step length θ taken (Eqn 11); 0 if the iteration exited early.
+    pub theta: f64,
+}
+
+/// A solve attempt's full iteration history.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolverTrace {
+    /// Records in iteration order.
+    pub records: Vec<IterationRecord>,
+}
+
+impl SolverTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        SolverTrace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, r: IterationRecord) {
+        self.records.push(r);
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no iterations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Geometric mean of the per-iteration gap reduction factor — a scalar
+    /// summary of convergence speed.
+    pub fn mean_gap_reduction(&self) -> Option<f64> {
+        if self.records.len() < 2 {
+            return None;
+        }
+        let first = self.records.first()?.gap;
+        let last = self.records.last()?.gap;
+        if first <= 0.0 || last <= 0.0 {
+            return None;
+        }
+        Some((last / first).powf(1.0 / (self.records.len() - 1) as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(gap: f64) -> IterationRecord {
+        IterationRecord { mu: 0.1, gap, primal_residual: 0.0, dual_residual: 0.0, theta: 1.0 }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut t = SolverTrace::new();
+        assert!(t.is_empty());
+        t.push(rec(1.0));
+        t.push(rec(0.5));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn gap_reduction_geometric_mean() {
+        let mut t = SolverTrace::new();
+        for k in 0..5 {
+            t.push(rec(1.0 * 0.5f64.powi(k)));
+        }
+        let r = t.mean_gap_reduction().unwrap();
+        assert!((r - 0.5).abs() < 1e-12, "reduction {r}");
+    }
+
+    #[test]
+    fn gap_reduction_requires_two_records() {
+        let mut t = SolverTrace::new();
+        assert_eq!(t.mean_gap_reduction(), None);
+        t.push(rec(1.0));
+        assert_eq!(t.mean_gap_reduction(), None);
+    }
+}

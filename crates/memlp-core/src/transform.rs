@@ -1,0 +1,191 @@
+//! Negative-coefficient elimination (paper §3.2, Eqns 13–14).
+//!
+//! Memristances are non-negative, so a matrix with negative entries cannot
+//! be written onto a crossbar directly. The paper's transform introduces,
+//! for each *column* `j` of `A` containing at least one negative entry, a
+//! compensation variable `x_c = −x_j`; the negative entries of column `j`
+//! move (as absolute values) into a new column multiplying `x_c`, and a
+//! consistency row `x_j + x_c = 0` keeps the system square (Eqn 13).
+//!
+//! [`SignSplit`] captures the decomposition `A = A′ − A″·S` where `A′ ⪰ 0`
+//! holds the non-negative part, `A″ ⪰ 0` holds the absolute values of the
+//! negative entries (one column per compensated source column), and `S` is
+//! the 0/1 selector picking the compensated columns.
+
+use memlp_linalg::Matrix;
+
+/// The §3.2 sign decomposition of a matrix.
+///
+/// For any `x`: `A·x = pos·x − neg·x[comp_cols]` (see [`SignSplit::split`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignSplit {
+    /// `A′`: the matrix with negative entries replaced by zero (m×n, ⪰ 0).
+    pub pos: Matrix,
+    /// `A″`: absolute values of the negative entries, one column per entry
+    /// of `comp_cols` (m×k, ⪰ 0). Empty (m×0 ≡ 0 columns) when `A ⪰ 0`.
+    pub neg: Matrix,
+    /// Source column of each compensation column: `comp_cols[r] = j` means
+    /// compensation variable `r` equals `−x_j`.
+    pub comp_cols: Vec<usize>,
+}
+
+impl SignSplit {
+    /// Splits `a` into its crossbar-mappable parts.
+    pub fn split(a: &Matrix) -> SignSplit {
+        let m = a.rows();
+        let n = a.cols();
+        let comp_cols: Vec<usize> = (0..n)
+            .filter(|&j| (0..m).any(|i| a[(i, j)] < 0.0))
+            .collect();
+        let mut pos = Matrix::zeros(m, n);
+        let mut neg = Matrix::zeros(m, comp_cols.len());
+        for i in 0..m {
+            for j in 0..n {
+                let v = a[(i, j)];
+                if v >= 0.0 {
+                    pos[(i, j)] = v;
+                }
+            }
+        }
+        for (r, &j) in comp_cols.iter().enumerate() {
+            for i in 0..m {
+                let v = a[(i, j)];
+                if v < 0.0 {
+                    neg[(i, r)] = -v;
+                }
+            }
+        }
+        SignSplit { pos, neg, comp_cols }
+    }
+
+    /// Number of compensation variables `k` this split introduces.
+    pub fn num_compensations(&self) -> usize {
+        self.comp_cols.len()
+    }
+
+    /// Reconstructs the original matrix (`A = A′ − A″·S`); used by tests
+    /// and the digital-side feasibility checks.
+    pub fn reconstruct(&self) -> Matrix {
+        let mut a = self.pos.clone();
+        for (r, &j) in self.comp_cols.iter().enumerate() {
+            for i in 0..a.rows() {
+                a[(i, j)] -= self.neg[(i, r)];
+            }
+        }
+        a
+    }
+
+    /// Applies the original operator: `A·x` computed from the split parts —
+    /// the identity the augmented crossbar system relies on
+    /// (`A′·x + A″·p = A·x` with `p = −x[comp_cols]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.pos.cols()`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.pos.matvec(x);
+        if !self.comp_cols.is_empty() {
+            let p: Vec<f64> = self.comp_cols.iter().map(|&j| -x[j]).collect();
+            let yn = self.neg.matvec(&p);
+            for (yi, ni) in y.iter_mut().zip(&yn) {
+                *yi += ni;
+            }
+        }
+        y
+    }
+
+    /// The compensation values `p = −x[comp_cols]` for a given `x`.
+    pub fn compensation_values(&self, x: &[f64]) -> Vec<f64> {
+        self.comp_cols.iter().map(|&j| -x[j]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, -2.0, 0.0],
+            &[-0.5, 3.0, 1.0],
+            &[2.0, 0.0, -4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn split_parts_are_nonnegative() {
+        let s = SignSplit::split(&mixed());
+        assert!(s.pos.is_nonnegative());
+        assert!(s.neg.is_nonnegative());
+    }
+
+    #[test]
+    fn comp_cols_are_the_columns_with_negatives() {
+        let s = SignSplit::split(&mixed());
+        assert_eq!(s.comp_cols, vec![0, 1, 2]);
+        let nonneg = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 3.0]]).unwrap();
+        assert_eq!(SignSplit::split(&nonneg).num_compensations(), 0);
+    }
+
+    #[test]
+    fn reconstruct_roundtrips() {
+        let a = mixed();
+        assert_eq!(SignSplit::split(&a).reconstruct(), a);
+    }
+
+    #[test]
+    fn apply_matches_direct_matvec() {
+        let a = mixed();
+        let s = SignSplit::split(&a);
+        let x = [1.0, -2.0, 0.5];
+        let direct = a.matvec(&x);
+        let split = s.apply(&x);
+        for (d, sp) in direct.iter().zip(&split) {
+            assert!((d - sp).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_on_nonnegative_matrix_is_plain_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 3.0]]).unwrap();
+        let s = SignSplit::split(&a);
+        assert_eq!(s.num_compensations(), 0);
+        assert_eq!(s.apply(&[1.0, 1.0]), a.matvec(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn compensation_values_negate_selected() {
+        let s = SignSplit::split(&mixed());
+        let p = s.compensation_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(p, vec![-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn single_negative_entry_single_compensation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, -0.25]]).unwrap();
+        let s = SignSplit::split(&a);
+        assert_eq!(s.comp_cols, vec![1]);
+        assert_eq!(s.neg[(1, 0)], 0.25);
+        assert_eq!(s.neg[(0, 0)], 0.0);
+        assert_eq!(s.pos[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn eqn13_identity_holds_columnwise() {
+        // The augmented system identity: A′x + A″p = Ax with p = −x_sel.
+        let a = mixed();
+        let s = SignSplit::split(&a);
+        let x = [0.3, 0.7, -1.1];
+        let p = s.compensation_values(&x);
+        let mut lhs = s.pos.matvec(&x);
+        let contrib = s.neg.matvec(&p);
+        for (l, c) in lhs.iter_mut().zip(&contrib) {
+            *l += c;
+        }
+        let rhs = a.matvec(&x);
+        for (l, r) in lhs.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+}

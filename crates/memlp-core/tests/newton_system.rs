@@ -1,0 +1,196 @@
+//! Direct tests of the Eqn-14a augmented system against the textbook
+//! Newton system it must reproduce.
+
+use memlp_core::{AugmentedSystem, HwContext};
+use memlp_crossbar::CrossbarConfig;
+use memlp_linalg::ops;
+use memlp_lp::generator::RandomLp;
+use memlp_solvers::pdip::{PdipOptions, PdipState};
+use memlp_solvers::{DensePdip, LpSolver};
+
+/// Ideal hardware (no variation, 16-bit converters) for exact comparisons.
+fn ideal_hw() -> HwContext {
+    HwContext::new(CrossbarConfig::ideal())
+}
+
+#[test]
+fn dimensions_follow_eqn_14a() {
+    let lp = RandomLp::paper(18, 1).feasible();
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+    let state = PdipState::new(&lp, &PdipOptions::default());
+    let mut hw = ideal_hw();
+    let sys = AugmentedSystem::program(&lp, &state, &mut hw);
+    // k = columns of A with negatives + rows of A with negatives.
+    let k = sys.num_compensations();
+    assert!(k > 0, "mixed-sign A must need compensation");
+    assert_eq!(sys.dim(), 3 * n + 3 * m + k);
+    assert_eq!(sys.s_vector(&state).len(), sys.dim());
+}
+
+#[test]
+fn mvm_consistency_rows_vanish() {
+    // Rows R5–R7 of M·s encode u = −w, v = −z, p = −(x|y)_sel; on ideal
+    // hardware they must evaluate to ~0 (quantization only).
+    let lp = RandomLp::paper(15, 3).feasible();
+    let state = PdipState::new(&lp, &PdipOptions::default());
+    let mut hw = ideal_hw();
+    let sys = AugmentedSystem::program(&lp, &state, &mut hw);
+    let s = sys.s_vector(&state);
+    let ms = sys.mvm(&s, &mut hw);
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+    let scale = ops::inf_norm(&ms).max(1.0);
+    for (i, v) in ms[2 * (n + m)..].iter().enumerate() {
+        assert!(
+            v.abs() < 1e-3 * scale,
+            "consistency row {i} is {v} (scale {scale})"
+        );
+    }
+}
+
+#[test]
+fn mvm_rows_3_4_are_twice_the_complementarity_products() {
+    let lp = RandomLp::paper(12, 5).feasible();
+    let mut state = PdipState::new(&lp, &PdipOptions::default());
+    // Non-uniform state exercises the diagonal blocks properly.
+    for (i, v) in state.x.iter_mut().enumerate() {
+        *v = 0.5 + 0.1 * i as f64;
+    }
+    for (i, v) in state.z.iter_mut().enumerate() {
+        *v = 1.5 - 0.05 * i as f64;
+    }
+    let mut hw = ideal_hw();
+    let sys = AugmentedSystem::program(&lp, &state, &mut hw);
+    let s = sys.s_vector(&state);
+    let ms = sys.mvm(&s, &mut hw);
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+    // Row block R3 = Z·x + X·z = 2·XZe.
+    for j in 0..n {
+        let expect = 2.0 * state.x[j] * state.z[j];
+        let got = ms[m + n + j];
+        assert!(
+            (got - expect).abs() < 0.02 * expect.abs().max(1.0),
+            "R3[{j}]: {got} vs {expect}"
+        );
+    }
+}
+
+#[test]
+fn augmented_solve_matches_dense_newton_directions() {
+    // On ideal hardware the augmented system's (Δx, Δy, Δw, Δz) must match
+    // the full Eqn-12 system solved in f64 (they are algebraically the
+    // same system; the compensation rows only re-encode negativity).
+    let lp = RandomLp::paper(12, 7).feasible();
+    let opts = PdipOptions::default();
+    let state = PdipState::new(&lp, &opts);
+    let mut hw = ideal_hw();
+    let sys = AugmentedSystem::program(&lp, &state, &mut hw);
+
+    let mu = state.mu(opts.delta);
+    let constant = sys.rhs_constant(&lp, mu);
+    let s = sys.s_vector(&state);
+    let ms = sys.mvm(&s, &mut hw);
+    let r = sys.assemble_rhs(&constant, &ms);
+    let aug = sys.solve(&r, &mut hw).expect("ideal hardware must not be singular");
+
+    // Reference: one DensePdip iteration's directions, reproduced here via
+    // its public solve on a single-iteration budget is impractical;
+    // instead verify the Newton equations directly.
+    let a = lp.a();
+    let rho = state.primal_residual(&lp);
+    let sigma = state.dual_residual(&lp);
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+
+    // (9a): A·Δx + Δw = ρ.
+    let adx = a.matvec(&aug.dirs.dx);
+    for i in 0..m {
+        let got = adx[i] + aug.dirs.dw[i];
+        assert!((got - rho[i]).abs() < 2e-2 * (1.0 + rho[i].abs()), "(9a) row {i}: {got} vs {}", rho[i]);
+    }
+    // (9b): Aᵀ·Δy − Δz = σ.
+    let atdy = a.matvec_transposed(&aug.dirs.dy);
+    for j in 0..n {
+        let got = atdy[j] - aug.dirs.dz[j];
+        assert!((got - sigma[j]).abs() < 2e-2 * (1.0 + sigma[j].abs()), "(9b) row {j}");
+    }
+    // (9c): Z·Δx + X·Δz = µe − XZe.
+    for j in 0..n {
+        let got = state.z[j] * aug.dirs.dx[j] + state.x[j] * aug.dirs.dz[j];
+        let expect = mu - state.x[j] * state.z[j];
+        assert!((got - expect).abs() < 2e-2 * (1.0 + expect.abs()), "(9c) row {j}");
+    }
+    // Consistency variables mirror their primaries.
+    for (du, dw) in aug.du.iter().zip(&aug.dirs.dw) {
+        assert!((du + dw).abs() < 2e-2 * (1.0 + dw.abs()), "Δu = −Δw violated");
+    }
+    for (dv, dz) in aug.dv.iter().zip(&aug.dirs.dz) {
+        assert!((dv + dz).abs() < 2e-2 * (1.0 + dz.abs()), "Δv = −Δz violated");
+    }
+}
+
+#[test]
+fn augmented_path_agrees_with_dense_pdip_on_objective() {
+    // Full-solve agreement (ideal hardware vs f64 software).
+    let lp = RandomLp::paper(21, 9).feasible();
+    let sw = DensePdip::default().solve(&lp);
+    let hw = memlp_core::CrossbarPdipSolver::new(
+        CrossbarConfig::ideal(),
+        memlp_core::CrossbarSolverOptions::default(),
+    )
+    .solve(&lp);
+    assert!(hw.solution.status.is_optimal());
+    let rel = (hw.solution.objective - sw.objective).abs() / (1.0 + sw.objective.abs());
+    assert!(rel < 5e-3, "ideal hardware should be near-exact: {rel}");
+}
+
+#[test]
+fn ageing_scales_static_blocks_and_refresh_restores_them() {
+    use memlp_crossbar::CrossbarConfig;
+    use memlp_device::DriftModel;
+
+    let lp = RandomLp::paper(12, 13).feasible();
+    let state = PdipState::new(&lp, &PdipOptions::default());
+    let cfg = CrossbarConfig {
+        drift: DriftModel::exponential(1.0),
+        ..CrossbarConfig::ideal()
+    };
+    let mut hw = HwContext::new(cfg);
+    let mut sys = AugmentedSystem::program(&lp, &state, &mut hw);
+
+    // One second of drift at τ = 1 s decays static coefficients by 1/e.
+    let s = sys.s_vector(&state);
+    let before = sys.mvm(&s, &mut hw);
+    sys.age(1.0, &hw);
+    let after = sys.mvm(&s, &mut hw);
+    let m = lp.num_constraints();
+    // Row block 1 = A′x + w + A″p: the A-parts decay, so outputs shrink in
+    // magnitude for rows dominated by static coefficients.
+    let shrunk = (0..m)
+        .filter(|&i| after[i].abs() < before[i].abs() - 1e-9)
+        .count();
+    assert!(shrunk > 0, "drift must visibly decay the static blocks");
+
+    // Refresh restores pristine values (ideal hardware → exact).
+    sys.refresh_static(&mut hw);
+    let restored = sys.mvm(&s, &mut hw);
+    for (r, b) in restored.iter().zip(&before) {
+        assert!((r - b).abs() < 2e-3 * b.abs().max(1.0), "{r} vs {b}");
+    }
+}
+
+#[test]
+fn update_diagonals_uses_run_phase_budget() {
+    let lp = RandomLp::paper(12, 11).feasible();
+    let state = PdipState::new(&lp, &PdipOptions::default());
+    let mut hw = ideal_hw();
+    let mut sys = AugmentedSystem::program(&lp, &state, &mut hw);
+    let before = hw.ledger().counts().update_writes;
+    sys.update_diagonals(&state, &mut hw);
+    let after = hw.ledger().counts().update_writes;
+    let n = lp.num_vars() as u64;
+    let m = lp.num_constraints() as u64;
+    assert_eq!(after - before, 2 * (n + m), "one full X/Y/Z/W rewrite");
+}

@@ -1,0 +1,151 @@
+use memlp_device::{CostParams, DeviceParams, DriftModel, VariationModel};
+
+use crate::fault::FaultModel;
+
+/// Simulation fidelity for analog operations (see DESIGN.md §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Paper-faithful functional model: per-write multiplicative variation
+    /// on logical coefficients (Eqn 18), quantized I/O; zero coefficients
+    /// stay exactly zero. Fast enough for the full m = 1024 sweeps.
+    #[default]
+    Functional,
+    /// Circuit-level model: variation applied in the conductance domain,
+    /// zero coefficients leak through the finite off-conductance `g_off`,
+    /// and MVM outputs pass through the Eqn 5 resistive divider. Costs a
+    /// dense solve over the whole array; intended for small/medium N.
+    Circuit,
+}
+
+/// How MVM outputs are converted back to logical values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadoutMode {
+    /// Digitally divide out the known column-sum factors `d_j` (the
+    /// controller programmed the array, so it knows them) and subtract the
+    /// `g_off` common-mode term. Default.
+    #[default]
+    Calibrated,
+    /// The fast approximation of Hu et al. \[8\] quoted by the paper:
+    /// `b = g_s·VO`, i.e. treat the divider denominator as `g_s`. Accurate
+    /// only when `g_s` dominates the column conductance sums.
+    RawDivider,
+}
+
+/// Full configuration of a simulated crossbar array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossbarConfig {
+    /// Maximum physical array side (manufacturing limit, §3.4). Programming
+    /// a larger matrix is an error; the NoC crate tiles around this.
+    pub max_size: usize,
+    /// Device parameters (resistance range, thresholds, pulse widths).
+    pub device: DeviceParams,
+    /// Per-write process variation (§4.1).
+    pub variation: VariationModel,
+    /// Stuck-at fault injection (beyond-paper robustness probe).
+    pub faults: FaultModel,
+    /// Conductance drift / retention loss (beyond-paper physical effect;
+    /// perfect retention by default, matching the paper's assumption).
+    pub drift: DriftModel,
+    /// Simulation fidelity.
+    pub fidelity: Fidelity,
+    /// ADC resolution in bits for analog outputs (paper: 8).
+    pub adc_bits: u32,
+    /// DAC resolution in bits for analog inputs (paper: 8).
+    pub dac_bits: u32,
+    /// MVM read-out calibration mode.
+    pub readout: ReadoutMode,
+    /// Sense conductance `g_s` at each bit line, S (Eqn 5).
+    pub sense_conductance: f64,
+    /// Timing/energy constants for the cost ledger.
+    pub cost: CostParams,
+    /// Seed for the array's private RNG (variation and fault draws);
+    /// deterministic runs make experiments reproducible.
+    pub seed: u64,
+}
+
+impl CrossbarConfig {
+    /// Paper-default configuration: functional fidelity, 8-bit I/O,
+    /// calibrated read-out, no variation (add one with [`with_variation`]).
+    ///
+    /// [`with_variation`]: CrossbarConfig::with_variation
+    pub fn paper_default() -> Self {
+        CrossbarConfig {
+            // Manufacturing-realistic single-array limit (§3.4); larger
+            // systems are tiled across the analog NoC.
+            max_size: 512,
+            device: DeviceParams::default(),
+            variation: VariationModel::none(),
+            faults: FaultModel::none(),
+            drift: DriftModel::none(),
+            fidelity: Fidelity::Functional,
+            adc_bits: 8,
+            dac_bits: 8,
+            readout: ReadoutMode::Calibrated,
+            sense_conductance: 10.0 * DeviceParams::default().g_on(),
+            cost: CostParams::default(),
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// An idealized array: no variation, no faults, 16-bit converters.
+    /// Useful for functional testing where hardware noise is unwanted.
+    pub fn ideal() -> Self {
+        CrossbarConfig { adc_bits: 16, dac_bits: 16, ..CrossbarConfig::paper_default() }
+    }
+
+    /// Returns a copy with uniform process variation of `pct` percent.
+    pub fn with_variation(self, pct: f64) -> Self {
+        CrossbarConfig { variation: VariationModel::uniform_pct(pct), ..self }
+    }
+
+    /// Returns a copy with the given RNG seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        CrossbarConfig { seed, ..self }
+    }
+
+    /// Returns a copy at circuit fidelity.
+    pub fn circuit(self) -> Self {
+        CrossbarConfig { fidelity: Fidelity::Circuit, ..self }
+    }
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        CrossbarConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_8_bit_functional() {
+        let c = CrossbarConfig::paper_default();
+        assert_eq!(c.adc_bits, 8);
+        assert_eq!(c.dac_bits, 8);
+        assert_eq!(c.fidelity, Fidelity::Functional);
+        assert!(c.variation.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = CrossbarConfig::paper_default().with_variation(10.0).with_seed(42).circuit();
+        assert_eq!(c.variation.max_fraction, 0.10);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.fidelity, Fidelity::Circuit);
+    }
+
+    #[test]
+    fn ideal_has_high_precision() {
+        let c = CrossbarConfig::ideal();
+        assert_eq!(c.adc_bits, 16);
+        assert!(c.variation.is_none());
+    }
+
+    #[test]
+    fn sense_conductance_dominates_device() {
+        let c = CrossbarConfig::paper_default();
+        assert!(c.sense_conductance > c.device.g_on());
+    }
+}

@@ -1,0 +1,291 @@
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use memlp_device::CostParams;
+
+/// Which accounting bucket an operation belongs to.
+///
+/// The paper's latency/energy results cover the *iterative* phase only; the
+/// O(N²) initial programming is acknowledged separately (§3.5: "the
+/// initialization time complexity is O(N²)"). The ledger keeps both so the
+/// benches can report them side by side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase {
+    /// One-time programming of the static blocks before iteration starts.
+    Setup,
+    /// Per-iteration work: coefficient updates, analog ops, conversions.
+    #[default]
+    Run,
+}
+
+/// Raw operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Coefficients programmed during setup.
+    pub setup_writes: u64,
+    /// Coefficients re-programmed during the run phase (the paper's 2.7·N
+    /// per-iteration updates land here).
+    pub update_writes: u64,
+    /// Analog matrix–vector multiplications.
+    pub mvm_ops: u64,
+    /// Analog linear-system solves.
+    pub solve_ops: u64,
+    /// ADC samples taken.
+    pub adc_samples: u64,
+    /// DAC samples produced.
+    pub dac_samples: u64,
+    /// NoC transfers (filled in by the `memlp-noc` crate).
+    pub noc_transfers: u64,
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+
+    fn add(self, o: OpCounts) -> OpCounts {
+        OpCounts {
+            setup_writes: self.setup_writes + o.setup_writes,
+            update_writes: self.update_writes + o.update_writes,
+            mvm_ops: self.mvm_ops + o.mvm_ops,
+            solve_ops: self.solve_ops + o.solve_ops,
+            adc_samples: self.adc_samples + o.adc_samples,
+            dac_samples: self.dac_samples + o.dac_samples,
+            noc_transfers: self.noc_transfers + o.noc_transfers,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, o: OpCounts) {
+        *self = *self + o;
+    }
+}
+
+/// Latency and energy ledger for simulated hardware.
+///
+/// Every crossbar/NoC operation charges time and energy here using the
+/// [`CostParams`] constants. Times accumulate as if operations were
+/// sequential (the solver's control flow is sequential per iteration);
+/// energy includes a static-power term proportional to elapsed time, added
+/// on read-out by [`CostLedger::energy_j`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostLedger {
+    setup_time_s: f64,
+    run_time_s: f64,
+    dynamic_energy_j: f64,
+    counts: OpCounts,
+}
+
+impl CostLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Charges programming of `n` coefficients at variation level
+    /// `var_fraction` in the given phase.
+    pub fn charge_writes(&mut self, cost: &CostParams, phase: Phase, n: u64, var_fraction: f64) {
+        let t = cost.write_time(var_fraction) * n as f64;
+        let e = cost.write_energy(var_fraction) * n as f64;
+        match phase {
+            Phase::Setup => {
+                self.setup_time_s += t;
+                self.counts.setup_writes += n;
+            }
+            Phase::Run => {
+                self.run_time_s += t;
+                self.counts.update_writes += n;
+            }
+        }
+        self.dynamic_energy_j += e;
+    }
+
+    /// Charges one analog operation (MVM or solve) with `inputs` DAC samples
+    /// and `outputs` ADC samples. `array_conductance_s` is the total
+    /// conductance of the active array, used for the settle-phase dynamic
+    /// energy (`P ≈ V_read² · G_total`).
+    pub fn charge_analog_op(
+        &mut self,
+        cost: &CostParams,
+        is_solve: bool,
+        inputs: u64,
+        outputs: u64,
+        array_conductance_s: f64,
+        v_read: f64,
+    ) {
+        // Converters on all lines run in parallel: one conversion time each
+        // way, not one per sample. Solves settle through feedback, charged
+        // at twice the open-loop settle time.
+        let settle = if is_solve { 2.0 * cost.settle_time_s } else { cost.settle_time_s };
+        self.run_time_s += cost.dac_time_s + settle + cost.adc_time_s;
+        self.dynamic_energy_j += inputs as f64 * cost.dac_energy_j
+            + outputs as f64 * cost.adc_energy_j
+            + v_read * v_read * array_conductance_s * settle;
+        self.counts.dac_samples += inputs;
+        self.counts.adc_samples += outputs;
+        if is_solve {
+            self.counts.solve_ops += 1;
+        } else {
+            self.counts.mvm_ops += 1;
+        }
+    }
+
+    /// Charges a NoC hop/transfer (used by `memlp-noc`).
+    pub fn charge_noc_transfer(&mut self, time_s: f64, energy_j: f64, transfers: u64) {
+        self.run_time_s += time_s;
+        self.dynamic_energy_j += energy_j;
+        self.counts.noc_transfers += transfers;
+    }
+
+    /// Run-phase latency, s (what the paper's Fig 6 reports).
+    pub fn run_time_s(&self) -> f64 {
+        self.run_time_s
+    }
+
+    /// Setup-phase latency, s (initial O(N²) programming).
+    pub fn setup_time_s(&self) -> f64 {
+        self.setup_time_s
+    }
+
+    /// Total latency, s.
+    pub fn total_time_s(&self) -> f64 {
+        self.setup_time_s + self.run_time_s
+    }
+
+    /// Total energy, J: dynamic energy plus static peripheral power over the
+    /// run-phase duration (what the paper's Fig 7 reports).
+    pub fn energy_j(&self, cost: &CostParams) -> f64 {
+        self.dynamic_energy_j + cost.static_power_w * self.run_time_s
+    }
+
+    /// Dynamic (activity-proportional) energy only, J.
+    pub fn dynamic_energy_j(&self) -> f64 {
+        self.dynamic_energy_j
+    }
+
+    /// Operation counters.
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    /// Merges another ledger into this one (tile ledgers → NoC total).
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.setup_time_s += other.setup_time_s;
+        self.run_time_s += other.run_time_s;
+        self.dynamic_energy_j += other.dynamic_energy_j;
+        self.counts += other.counts;
+    }
+
+    /// Resets the ledger to empty.
+    pub fn reset(&mut self) {
+        *self = CostLedger::default();
+    }
+}
+
+impl fmt::Display for CostLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.counts;
+        write!(
+            f,
+            "setup {:.3} ms | run {:.3} ms | dynamic {:.3} mJ | writes {}+{} | mvm {} | solve {} | adc {} | dac {} | noc {}",
+            self.setup_time_s * 1e3,
+            self.run_time_s * 1e3,
+            self.dynamic_energy_j * 1e3,
+            c.setup_writes,
+            c.update_writes,
+            c.mvm_ops,
+            c.solve_ops,
+            c.adc_samples,
+            c.dac_samples,
+            c.noc_transfers,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_split_by_phase() {
+        let cost = CostParams::default();
+        let mut l = CostLedger::new();
+        l.charge_writes(&cost, Phase::Setup, 100, 0.0);
+        l.charge_writes(&cost, Phase::Run, 10, 0.0);
+        assert_eq!(l.counts().setup_writes, 100);
+        assert_eq!(l.counts().update_writes, 10);
+        assert!(l.setup_time_s() > l.run_time_s());
+    }
+
+    #[test]
+    fn variation_makes_writes_slower() {
+        let cost = CostParams::default();
+        let mut a = CostLedger::new();
+        let mut b = CostLedger::new();
+        a.charge_writes(&cost, Phase::Run, 100, 0.0);
+        b.charge_writes(&cost, Phase::Run, 100, 0.20);
+        assert!(b.run_time_s() > a.run_time_s());
+    }
+
+    #[test]
+    fn analog_op_counts_and_time() {
+        let cost = CostParams::default();
+        let mut l = CostLedger::new();
+        l.charge_analog_op(&cost, false, 64, 64, 1e-3, 0.3);
+        l.charge_analog_op(&cost, true, 64, 64, 1e-3, 0.3);
+        let c = l.counts();
+        assert_eq!(c.mvm_ops, 1);
+        assert_eq!(c.solve_ops, 1);
+        assert_eq!(c.adc_samples, 128);
+        assert_eq!(c.dac_samples, 128);
+        assert!(l.run_time_s() > 0.0);
+    }
+
+    #[test]
+    fn solve_settles_longer_than_mvm() {
+        let cost = CostParams::default();
+        let mut mvm = CostLedger::new();
+        let mut solve = CostLedger::new();
+        mvm.charge_analog_op(&cost, false, 1, 1, 0.0, 0.3);
+        solve.charge_analog_op(&cost, true, 1, 1, 0.0, 0.3);
+        assert!(solve.run_time_s() > mvm.run_time_s());
+    }
+
+    #[test]
+    fn energy_includes_static_power() {
+        let cost = CostParams::default();
+        let mut l = CostLedger::new();
+        l.charge_writes(&cost, Phase::Run, 1000, 0.0);
+        let e = l.energy_j(&cost);
+        assert!(e > l.dynamic_energy_j());
+        let expect_static = cost.static_power_w * l.run_time_s();
+        assert!((e - l.dynamic_energy_j() - expect_static).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let cost = CostParams::default();
+        let mut a = CostLedger::new();
+        a.charge_writes(&cost, Phase::Run, 5, 0.0);
+        let mut b = CostLedger::new();
+        b.charge_writes(&cost, Phase::Run, 7, 0.0);
+        b.charge_noc_transfer(1e-6, 1e-9, 3);
+        a.merge(&b);
+        assert_eq!(a.counts().update_writes, 12);
+        assert_eq!(a.counts().noc_transfers, 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let cost = CostParams::default();
+        let mut l = CostLedger::new();
+        l.charge_writes(&cost, Phase::Setup, 5, 0.0);
+        l.reset();
+        assert_eq!(l, CostLedger::default());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let l = CostLedger::new();
+        assert!(!l.to_string().is_empty());
+    }
+}

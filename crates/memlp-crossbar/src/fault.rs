@@ -1,0 +1,103 @@
+use rand::Rng;
+
+/// Stuck-at fault injection for crossbar cells.
+///
+/// Fabrication defects leave some cells stuck at their extreme conductances
+/// regardless of programming. The paper does not model faults (only
+/// variation); this is a beyond-paper robustness probe used by the
+/// `ablation_faults` bench to ask how much of the PDIP loop's noise
+/// tolerance extends to hard defects.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultModel {
+    /// Probability a cell is stuck at `g_on` (shorted ON).
+    pub stuck_on_rate: f64,
+    /// Probability a cell is stuck at `g_off` (stuck OFF).
+    pub stuck_off_rate: f64,
+}
+
+/// Outcome of a fault draw for one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Cell programs normally.
+    Healthy,
+    /// Cell reads as `g_on` regardless of programming.
+    StuckOn,
+    /// Cell reads as `g_off` regardless of programming.
+    StuckOff,
+}
+
+impl FaultModel {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultModel::default()
+    }
+
+    /// Symmetric fault model: each kind occurs with `rate` probability.
+    pub fn symmetric(rate: f64) -> Self {
+        FaultModel { stuck_on_rate: rate, stuck_off_rate: rate }
+    }
+
+    /// Returns `true` if this model never injects faults.
+    pub fn is_none(&self) -> bool {
+        self.stuck_on_rate == 0.0 && self.stuck_off_rate == 0.0
+    }
+
+    /// Draws the fault state of one cell.
+    pub fn draw(&self, rng: &mut impl Rng) -> FaultKind {
+        if self.is_none() {
+            return FaultKind::Healthy;
+        }
+        let u: f64 = rng.random_range(0.0..1.0);
+        if u < self.stuck_on_rate {
+            FaultKind::StuckOn
+        } else if u < self.stuck_on_rate + self.stuck_off_rate {
+            FaultKind::StuckOff
+        } else {
+            FaultKind::Healthy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_always_healthy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = FaultModel::none();
+        for _ in 0..1000 {
+            assert_eq!(f.draw(&mut rng), FaultKind::Healthy);
+        }
+    }
+
+    #[test]
+    fn rates_are_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = FaultModel { stuck_on_rate: 0.1, stuck_off_rate: 0.2 };
+        let n = 100_000;
+        let mut on = 0;
+        let mut off = 0;
+        for _ in 0..n {
+            match f.draw(&mut rng) {
+                FaultKind::StuckOn => on += 1,
+                FaultKind::StuckOff => off += 1,
+                FaultKind::Healthy => {}
+            }
+        }
+        let on_rate = on as f64 / n as f64;
+        let off_rate = off as f64 / n as f64;
+        assert!((on_rate - 0.1).abs() < 0.01, "stuck-on rate {on_rate}");
+        assert!((off_rate - 0.2).abs() < 0.01, "stuck-off rate {off_rate}");
+    }
+
+    #[test]
+    fn symmetric_constructor() {
+        let f = FaultModel::symmetric(0.05);
+        assert_eq!(f.stuck_on_rate, 0.05);
+        assert_eq!(f.stuck_off_rate, 0.05);
+        assert!(!f.is_none());
+    }
+}

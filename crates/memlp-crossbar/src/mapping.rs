@@ -1,0 +1,115 @@
+//! Logical-value ↔ conductance mapping.
+//!
+//! Following Hu et al. \[8\] (the mapping the paper adopts in §2.3), a
+//! non-negative logical coefficient `a ∈ [0, a_max]` is stored as the
+//! conductance
+//!
+//! ```text
+//! g(a) = g_off + (a / a_max) · (g_on − g_off)
+//! ```
+//!
+//! so the largest coefficient maps to the most conductive state and zero
+//! maps to the off state. The map is affine, which is why a zero logical
+//! coefficient still leaks `g_off` of conductance in circuit-fidelity
+//! simulations — the `g_off` common-mode term that calibrated read-out
+//! subtracts digitally.
+
+use memlp_device::DeviceParams;
+
+/// An affine logical↔conductance map for a fixed scale `a_max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConductanceMap {
+    a_max: f64,
+    g_on: f64,
+    g_off: f64,
+}
+
+impl ConductanceMap {
+    /// Creates the map for coefficients in `[0, a_max]` on the given device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a_max` is not strictly positive and finite.
+    pub fn new(a_max: f64, device: &DeviceParams) -> Self {
+        assert!(a_max.is_finite() && a_max > 0.0, "a_max must be positive and finite, got {a_max}");
+        ConductanceMap { a_max, g_on: device.g_on(), g_off: device.g_off() }
+    }
+
+    /// The full-scale logical value.
+    pub fn a_max(&self) -> f64 {
+        self.a_max
+    }
+
+    /// Conductance per unit logical value.
+    pub fn slope(&self) -> f64 {
+        (self.g_on - self.g_off) / self.a_max
+    }
+
+    /// The off conductance (logical zero).
+    pub fn g_off(&self) -> f64 {
+        self.g_off
+    }
+
+    /// Maps a logical value to a conductance, clamping to the physical
+    /// range (values above `a_max` saturate — the §2.3 constraint that the
+    /// crossbar stores only what its dynamic range allows).
+    pub fn to_conductance(&self, a: f64) -> f64 {
+        let a = a.clamp(0.0, self.a_max);
+        self.g_off + a * self.slope()
+    }
+
+    /// Inverse map: recovers the logical value a conductance represents.
+    pub fn to_logical(&self, g: f64) -> f64 {
+        ((g - self.g_off) / self.slope()).clamp(0.0, self.a_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ConductanceMap {
+        ConductanceMap::new(10.0, &DeviceParams::default())
+    }
+
+    #[test]
+    fn endpoints_map_to_rails() {
+        let m = map();
+        let d = DeviceParams::default();
+        assert!((m.to_conductance(0.0) - d.g_off()).abs() < 1e-15);
+        assert!((m.to_conductance(10.0) - d.g_on()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn roundtrip_is_identity_in_range() {
+        let m = map();
+        for &a in &[0.0, 0.1, 3.7, 9.99, 10.0] {
+            let back = m.to_logical(m.to_conductance(a));
+            assert!((back - a).abs() < 1e-10, "a={a}, back={back}");
+        }
+    }
+
+    #[test]
+    fn saturates_out_of_range() {
+        let m = map();
+        assert_eq!(m.to_conductance(20.0), m.to_conductance(10.0));
+        assert_eq!(m.to_conductance(-5.0), m.to_conductance(0.0));
+    }
+
+    #[test]
+    fn map_is_monotone() {
+        let m = map();
+        let mut prev = m.to_conductance(0.0);
+        for k in 1..=100 {
+            let g = m.to_conductance(k as f64 * 0.1);
+            assert!(g >= prev);
+            prev = g;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_amax() {
+        ConductanceMap::new(0.0, &DeviceParams::default());
+    }
+}

@@ -1,0 +1,151 @@
+/// An ADC/DAC pair with per-vector dynamic-range scaling.
+///
+/// The paper stores all voltage inputs and outputs with 8-bit precision
+/// (§4.1). A physical converter with a programmable reference digitizes a
+/// vector relative to its own full-scale range, so the quantizer here
+/// auto-ranges on the largest absolute entry of each vector (block
+/// floating-point semantics): the quantization step is `max|v| / (2^(b-1) − 1)`.
+///
+/// # Example
+///
+/// ```
+/// use memlp_crossbar::Quantizer;
+///
+/// let q = Quantizer::new(8);
+/// let v = q.quantize_vec(&[1.0, -0.5, 0.003]);
+/// assert!((v[0] - 1.0).abs() < 1e-12);         // full-scale is exact
+/// assert!((v[1] + 0.5).abs() <= 1.0 / 254.0);  // inside one step
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantizer {
+    bits: u32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with the given resolution (1..=24 bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=24`.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=24).contains(&bits), "quantizer resolution {bits} outside 1..=24 bits");
+        Quantizer { bits }
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of positive levels (`2^(bits-1) − 1`).
+    pub fn levels(&self) -> f64 {
+        ((1u32 << (self.bits - 1)) - 1) as f64
+    }
+
+    /// Quantizes one value against an explicit full-scale range.
+    pub fn quantize_against(&self, v: f64, full_scale: f64) -> f64 {
+        if full_scale == 0.0 || !v.is_finite() {
+            return 0.0;
+        }
+        let levels = self.levels();
+        let code = (v / full_scale * levels).round().clamp(-levels, levels);
+        code / levels * full_scale
+    }
+
+    /// Quantizes a vector, auto-ranging on its largest absolute entry.
+    pub fn quantize_vec(&self, v: &[f64]) -> Vec<f64> {
+        let full_scale = v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        v.iter().map(|&x| self.quantize_against(x, full_scale)).collect()
+    }
+
+    /// Quantizes a vector in place; returns the full-scale range used.
+    pub fn quantize_in_place(&self, v: &mut [f64]) -> f64 {
+        let full_scale = v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        for x in v.iter_mut() {
+            *x = self.quantize_against(*x, full_scale);
+        }
+        full_scale
+    }
+
+    /// Worst-case absolute quantization error for a vector whose largest
+    /// absolute entry is `full_scale` (half a step).
+    pub fn max_error(&self, full_scale: f64) -> f64 {
+        0.5 * full_scale / self.levels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_is_representable_exactly() {
+        let q = Quantizer::new(8);
+        let v = q.quantize_vec(&[-3.0, 1.0, 3.0]);
+        assert_eq!(v[0], -3.0);
+        assert_eq!(v[2], 3.0);
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let q = Quantizer::new(8);
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7133).sin() * 2.5).collect();
+        let quant = q.quantize_vec(&data);
+        let full = data.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        let bound = q.max_error(full) + 1e-15;
+        for (a, b) in data.iter().zip(&quant) {
+            assert!((a - b).abs() <= bound, "{a} -> {b}, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn zero_vector_stays_zero() {
+        let q = Quantizer::new(8);
+        assert_eq!(q.quantize_vec(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let lo = Quantizer::new(4);
+        let hi = Quantizer::new(12);
+        assert!(hi.max_error(1.0) < lo.max_error(1.0));
+    }
+
+    #[test]
+    fn quantize_in_place_returns_range() {
+        let q = Quantizer::new(8);
+        let mut v = vec![0.5, -2.0];
+        let fs = q.quantize_in_place(&mut v);
+        assert_eq!(fs, 2.0);
+        assert_eq!(v[1], -2.0);
+    }
+
+    #[test]
+    fn non_finite_maps_to_zero() {
+        let q = Quantizer::new(8);
+        assert_eq!(q.quantize_against(f64::NAN, 1.0), 0.0);
+        assert_eq!(q.quantize_against(f64::INFINITY, 1.0), 0.0);
+    }
+
+    #[test]
+    fn clamps_beyond_full_scale() {
+        let q = Quantizer::new(8);
+        // Explicit range smaller than the value: saturates at full scale.
+        assert_eq!(q.quantize_against(5.0, 1.0), 1.0);
+        assert_eq!(q.quantize_against(-5.0, 1.0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=24")]
+    fn rejects_zero_bits() {
+        Quantizer::new(0);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let q = Quantizer::new(6);
+        let v = q.quantize_vec(&[0.37, -0.91, 0.05]);
+        let w = q.quantize_vec(&v);
+        assert_eq!(v, w);
+    }
+}

@@ -1,0 +1,172 @@
+use std::sync::Arc;
+
+use crate::model::{DynamicModel, LinearIonDrift};
+use crate::params::DeviceParams;
+
+/// A stateful memristor device instance.
+///
+/// Wraps a [`DynamicModel`] and the device's internal state `x ∈ [0, 1]`.
+/// Reads (below-threshold biases) report conductance without disturbing the
+/// state — the paper notes the compute-phase disturb is negligible (§2.3) —
+/// while write pulses (above threshold) move the state.
+///
+/// # Example
+///
+/// ```
+/// use memlp_device::{DeviceParams, Memristor};
+///
+/// let p = DeviceParams::default();
+/// let mut d = Memristor::new(p);
+/// let g0 = d.read_conductance();
+/// d.apply_pulse(p.v_write, p.pulse_width);
+/// assert!(d.read_conductance() > g0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memristor {
+    params: DeviceParams,
+    model: Arc<dyn DynamicModel>,
+    state: f64,
+}
+
+impl Memristor {
+    /// Creates a device with the default [`LinearIonDrift`] model, starting
+    /// fully OFF (`x = 0`).
+    pub fn new(params: DeviceParams) -> Self {
+        Memristor { params, model: Arc::new(LinearIonDrift::default()), state: 0.0 }
+    }
+
+    /// Creates a device with a custom dynamic model.
+    pub fn with_model(params: DeviceParams, model: Arc<dyn DynamicModel>) -> Self {
+        Memristor { params, model, state: 0.0 }
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Internal state `x ∈ [0, 1]`.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Forces the internal state (test/bench helper; hardware cannot do
+    /// this — it must program via pulses).
+    pub fn set_state(&mut self, x: f64) {
+        self.state = x.clamp(0.0, 1.0);
+    }
+
+    /// Non-destructive conductance read at the device's read voltage.
+    pub fn read_conductance(&self) -> f64 {
+        // The read bias is below threshold, so state is untouched and the
+        // device is Ohmic: g = i/v = 1/M(x).
+        self.params.conductance(self.state)
+    }
+
+    /// Current drawn at an arbitrary bias `v` (state unchanged; callers use
+    /// this for sub-threshold compute biases).
+    pub fn current_at(&self, v: f64) -> f64 {
+        self.model.current(&self.params, self.state, v)
+    }
+
+    /// Applies one voltage pulse of amplitude `v` and width `dt` seconds,
+    /// integrating the state dynamics in sub-steps for accuracy. Returns the
+    /// energy dissipated in the device during the pulse (J).
+    pub fn apply_pulse(&mut self, v: f64, dt: f64) -> f64 {
+        const SUBSTEPS: usize = 8;
+        let h = dt / SUBSTEPS as f64;
+        let mut energy = 0.0;
+        for _ in 0..SUBSTEPS {
+            let i = self.model.current(&self.params, self.state, v);
+            energy += (v * i).abs() * h;
+            self.state = self.model.step(&self.params, self.state, v, h);
+        }
+        energy
+    }
+
+    /// Applies the half-select disturb bias `V_dd/2` used while programming
+    /// *other* devices in a crossbar (§3.3). With `|V_dd/2| < V_th` this is
+    /// a no-op on the state; modelled explicitly so tests can confirm the
+    /// biasing scheme is safe.
+    pub fn apply_half_select(&mut self, dt: f64) -> f64 {
+        self.apply_pulse(0.5 * self.params.v_write, dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Yakopcic;
+
+    #[test]
+    fn new_device_starts_off() {
+        let d = Memristor::new(DeviceParams::default());
+        assert_eq!(d.state(), 0.0);
+        assert!((d.read_conductance() - d.params().g_off()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn positive_pulses_increase_conductance() {
+        let p = DeviceParams::default();
+        let mut d = Memristor::new(p);
+        let g0 = d.read_conductance();
+        for _ in 0..100 {
+            d.apply_pulse(p.v_write, p.pulse_width);
+        }
+        assert!(d.read_conductance() > g0);
+    }
+
+    #[test]
+    fn negative_pulses_reverse() {
+        let p = DeviceParams::default();
+        let mut d = Memristor::new(p);
+        d.set_state(0.8);
+        let g_hi = d.read_conductance();
+        for _ in 0..100 {
+            d.apply_pulse(-p.v_write, p.pulse_width);
+        }
+        assert!(d.read_conductance() < g_hi);
+    }
+
+    #[test]
+    fn half_select_does_not_disturb() {
+        let p = DeviceParams::default();
+        let mut d = Memristor::new(p);
+        d.set_state(0.5);
+        for _ in 0..1000 {
+            d.apply_half_select(p.pulse_width);
+        }
+        assert_eq!(d.state(), 0.5, "V_dd/2 < V_th must not move the state");
+    }
+
+    #[test]
+    fn pulse_reports_positive_energy() {
+        let p = DeviceParams::default();
+        let mut d = Memristor::new(p);
+        d.set_state(0.5);
+        let e = d.apply_pulse(p.v_write, p.pulse_width);
+        assert!(e > 0.0);
+        // Sanity: energy ≈ V²/M · t within an order of magnitude.
+        let rough = p.v_write * p.v_write / p.memristance(0.5) * p.pulse_width;
+        assert!(e > 0.1 * rough && e < 10.0 * rough, "e={e}, rough={rough}");
+    }
+
+    #[test]
+    fn set_state_clamps() {
+        let mut d = Memristor::new(DeviceParams::default());
+        d.set_state(5.0);
+        assert_eq!(d.state(), 1.0);
+        d.set_state(-1.0);
+        assert_eq!(d.state(), 0.0);
+    }
+
+    #[test]
+    fn custom_model_is_used() {
+        let p = DeviceParams::default();
+        let mut d = Memristor::with_model(p, Arc::new(Yakopcic::default()));
+        d.set_state(0.5);
+        // Yakopcic current at read voltage differs from Ohmic read.
+        let i = d.current_at(p.v_read);
+        assert!(i != 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+/// Conductance drift (retention loss).
+///
+/// Programmed memristor states relax over time — dopants diffuse back and
+/// the stored conductance decays toward the OFF state. The paper assumes
+/// perfect retention over a solve (defensible at millisecond scale); this
+/// model makes the assumption testable: stored values decay exponentially,
+/// `v(t) = v₀ · exp(−t/τ)`, and the `ablation_drift` bench asks when a
+/// solve starts needing periodic refresh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Retention time constant τ, s (`None` = perfect retention).
+    pub tau_s: Option<f64>,
+}
+
+impl DriftModel {
+    /// Perfect retention (the paper's implicit assumption).
+    pub fn none() -> Self {
+        DriftModel { tau_s: None }
+    }
+
+    /// Exponential decay with time constant `tau_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau_s` is not strictly positive.
+    pub fn exponential(tau_s: f64) -> Self {
+        assert!(tau_s > 0.0, "retention time constant must be positive, got {tau_s}");
+        DriftModel { tau_s: Some(tau_s) }
+    }
+
+    /// Returns `true` for perfect retention.
+    pub fn is_none(&self) -> bool {
+        self.tau_s.is_none()
+    }
+
+    /// Multiplicative decay factor after `dt` seconds.
+    pub fn factor(&self, dt: f64) -> f64 {
+        match self.tau_s {
+            None => 1.0,
+            Some(tau) => (-dt.max(0.0) / tau).exp(),
+        }
+    }
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        DriftModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_decays() {
+        let d = DriftModel::none();
+        assert!(d.is_none());
+        assert_eq!(d.factor(1e9), 1.0);
+    }
+
+    #[test]
+    fn exponential_decay_shape() {
+        let d = DriftModel::exponential(1.0);
+        assert!((d.factor(1.0) - (-1.0f64).exp()).abs() < 1e-15);
+        assert_eq!(d.factor(0.0), 1.0);
+        assert!(d.factor(2.0) < d.factor(1.0));
+    }
+
+    #[test]
+    fn negative_dt_is_clamped() {
+        let d = DriftModel::exponential(1.0);
+        assert_eq!(d.factor(-5.0), 1.0);
+    }
+
+    #[test]
+    fn composition_property() {
+        // factor(a+b) = factor(a)·factor(b): ageing twice equals ageing once.
+        let d = DriftModel::exponential(3.0);
+        let lhs = d.factor(0.7 + 1.3);
+        let rhs = d.factor(0.7) * d.factor(1.3);
+        assert!((lhs - rhs).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_non_positive_tau() {
+        DriftModel::exponential(0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Memristor device models for the `memlp` workspace.
+//!
+//! The paper's solver hardware is built from TiO₂-style memristors (§2.2,
+//! Eqn 4) arranged in crossbars. This crate provides the device-level
+//! substrate:
+//!
+//! * [`DeviceParams`] — physical parameters (R_on/R_off, threshold voltage,
+//!   film thickness, dopant mobility) with HP-TiO₂-like defaults,
+//! * [`LinearIonDrift`] — the HP linear ion-drift dynamic model (Eqn 4)
+//!   with selectable [`Window`] functions (Joglekar, Biolek),
+//! * [`Yakopcic`] — a generalized threshold model in the style of the
+//!   paper's timing/energy reference \[23\],
+//! * [`Memristor`] — a stateful device instance driven by voltage pulses,
+//! * [`PulseProgrammer`] — write-pulse-train programming with write–verify,
+//!   the §3.3 mechanism for writing matrix coefficients,
+//! * [`VariationModel`] — the §4.1 process-variation model
+//!   (`M′ = M + M ∘ (var · Rd)`, uniform `Rd`),
+//! * [`CostParams`] — the named timing/energy constants behind every
+//!   latency/energy estimate in the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use memlp_device::{DeviceParams, Memristor, PulseProgrammer};
+//!
+//! let params = DeviceParams::default();
+//! let mut device = Memristor::new(params);
+//! let programmer = PulseProgrammer::new(params);
+//! let target = 0.5 * (params.g_on() + params.g_off());
+//! let report = programmer.program(&mut device, target);
+//! assert!(report.achieved_within(target, 0.05));
+//! ```
+
+mod device;
+mod drift;
+mod energy;
+mod model;
+mod params;
+mod programming;
+mod variation;
+mod window;
+
+pub use device::Memristor;
+pub use drift::DriftModel;
+pub use energy::CostParams;
+pub use model::{DynamicModel, LinearIonDrift, Yakopcic};
+pub use params::DeviceParams;
+pub use programming::{ProgramReport, PulseProgrammer};
+pub use variation::{VariationDistribution, VariationModel};
+pub use window::Window;

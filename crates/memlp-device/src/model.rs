@@ -1,0 +1,201 @@
+use crate::params::DeviceParams;
+use crate::window::Window;
+
+/// A dynamic memristor model: current response plus state evolution.
+///
+/// Implementations advance the internal state `x ∈ [0, 1]` under an applied
+/// voltage. The trait is object-safe so a [`crate::Memristor`] can hold any
+/// model behind a `Box<dyn DynamicModel>`.
+pub trait DynamicModel: std::fmt::Debug + Send + Sync {
+    /// Instantaneous current through the device at state `x` under voltage `v`.
+    fn current(&self, params: &DeviceParams, x: f64, v: f64) -> f64;
+
+    /// State derivative `dx/dt` at state `x` under voltage `v`.
+    fn state_derivative(&self, params: &DeviceParams, x: f64, v: f64) -> f64;
+
+    /// Advances the state by `dt` seconds under constant voltage `v`,
+    /// returning the new state. Default implementation is an RK2 (midpoint)
+    /// step clamped to `[0, 1]`.
+    fn step(&self, params: &DeviceParams, x: f64, v: f64, dt: f64) -> f64 {
+        let k1 = self.state_derivative(params, x, v);
+        let mid = (x + 0.5 * dt * k1).clamp(0.0, 1.0);
+        let k2 = self.state_derivative(params, mid, v);
+        (x + dt * k2).clamp(0.0, 1.0)
+    }
+}
+
+/// The HP linear ion-drift model (paper §2.2, Eqn 4).
+///
+/// `M(x) = R_on·x + R_off·(1 − x)`, `dx/dt = µ_v·R_on/D² · i(t) · f(x)`,
+/// with a hard voltage threshold: below `V_th` the device behaves as a pure
+/// resistor (§2.3), which is what makes non-destructive reads and the
+/// half-`V_dd` write-biasing scheme (§3.3) possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearIonDrift {
+    /// Boundary window applied to the state derivative.
+    pub window: Window,
+}
+
+impl LinearIonDrift {
+    /// Creates the model with the given window.
+    pub fn new(window: Window) -> Self {
+        LinearIonDrift { window }
+    }
+}
+
+impl Default for LinearIonDrift {
+    fn default() -> Self {
+        // Biolek window: unlike Joglekar it does not lock the state at the
+        // boundaries (a device starting fully OFF must still be
+        // programmable upward).
+        LinearIonDrift { window: Window::Biolek { p: 2 } }
+    }
+}
+
+impl DynamicModel for LinearIonDrift {
+    fn current(&self, params: &DeviceParams, x: f64, v: f64) -> f64 {
+        v / params.memristance(x)
+    }
+
+    fn state_derivative(&self, params: &DeviceParams, x: f64, v: f64) -> f64 {
+        // Strictly-greater: a bias of exactly V_th (e.g. the V_dd/2
+        // half-select level of §3.3) must not disturb the state.
+        if v.abs() <= params.v_threshold {
+            return 0.0;
+        }
+        let i = self.current(params, x, v);
+        let k = params.mobility * params.r_on / (params.thickness * params.thickness);
+        k * i * self.window.evaluate(x, i)
+    }
+}
+
+/// A generalized threshold model in the style of Yakopcic et al., the
+/// paper's timing/energy reference \[23\].
+///
+/// Current is a hyperbolic-sine function of voltage (electron tunnelling),
+/// and the state only moves when the voltage magnitude exceeds the
+/// threshold, with an exponential drive beyond it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Yakopcic {
+    /// Current prefactor in the ON-most state, A.
+    pub a1: f64,
+    /// Current prefactor in the OFF-most state, A.
+    pub a2: f64,
+    /// Sinh slope, 1/V.
+    pub b: f64,
+    /// State-change rate prefactor, 1/s.
+    pub eta: f64,
+    /// Exponential sensitivity of the drive beyond threshold, 1/V.
+    pub gamma: f64,
+    /// Boundary window.
+    pub window: Window,
+}
+
+impl Default for Yakopcic {
+    fn default() -> Self {
+        // Magnitudes chosen so read currents and write speeds are of the
+        // same order as the LinearIonDrift defaults; see DESIGN.md §3 on
+        // calibration.
+        Yakopcic {
+            a1: 4e-3,
+            a2: 2.5e-5,
+            b: 1.2,
+            eta: 8e6,
+            gamma: 4.0,
+            window: Window::Biolek { p: 2 },
+        }
+    }
+}
+
+impl DynamicModel for Yakopcic {
+    fn current(&self, _params: &DeviceParams, x: f64, v: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        let a = self.a1 * x + self.a2 * (1.0 - x);
+        a * (self.b * v).sinh()
+    }
+
+    fn state_derivative(&self, params: &DeviceParams, x: f64, v: f64) -> f64 {
+        if v.abs() <= params.v_threshold {
+            return 0.0;
+        }
+        let drive = (self.gamma * (v.abs() - params.v_threshold)).exp_m1();
+        let sign = v.signum();
+        sign * self.eta * drive.max(0.0) * self.window.evaluate(x, sign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_is_resistor_below_threshold() {
+        let p = DeviceParams::default();
+        let m = LinearIonDrift::default();
+        assert_eq!(m.state_derivative(&p, 0.5, 0.5 * p.v_threshold), 0.0);
+        // Ohm's law at the read voltage.
+        let i = m.current(&p, 0.5, p.v_read);
+        assert!((i - p.v_read / p.memristance(0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn drift_moves_state_above_threshold() {
+        let p = DeviceParams::default();
+        let m = LinearIonDrift::default();
+        let x0 = 0.5;
+        let x1 = m.step(&p, x0, p.v_write, p.pulse_width);
+        assert!(x1 > x0, "positive write pulse should increase x: {x0} -> {x1}");
+        let x2 = m.step(&p, x0, -p.v_write, p.pulse_width);
+        assert!(x2 < x0, "negative write pulse should decrease x");
+    }
+
+    #[test]
+    fn drift_state_stays_in_bounds() {
+        let p = DeviceParams::default();
+        let m = LinearIonDrift::new(Window::None);
+        let mut x = 0.9;
+        for _ in 0..10_000 {
+            x = m.step(&p, x, p.v_write, p.pulse_width);
+        }
+        assert!((0.0..=1.0).contains(&x));
+        assert!(x > 0.99, "long positive drive should saturate near 1, got {x}");
+    }
+
+    #[test]
+    fn yakopcic_is_quiet_below_threshold() {
+        let p = DeviceParams::default();
+        let m = Yakopcic::default();
+        assert_eq!(m.state_derivative(&p, 0.3, 0.9), 0.0);
+    }
+
+    #[test]
+    fn yakopcic_current_monotone_in_state() {
+        let p = DeviceParams::default();
+        let m = Yakopcic::default();
+        let lo = m.current(&p, 0.1, 0.3);
+        let hi = m.current(&p, 0.9, 0.3);
+        assert!(hi > lo, "more-ON device should carry more current");
+    }
+
+    #[test]
+    fn yakopcic_polarity() {
+        let p = DeviceParams::default();
+        let m = Yakopcic::default();
+        assert!(m.state_derivative(&p, 0.5, 2.0) > 0.0);
+        assert!(m.state_derivative(&p, 0.5, -2.0) < 0.0);
+        // Antisymmetric current.
+        let ip = m.current(&p, 0.5, 0.4);
+        let im = m.current(&p, 0.5, -0.4);
+        assert!((ip + im).abs() < 1e-15);
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        let models: Vec<Box<dyn DynamicModel>> =
+            vec![Box::new(LinearIonDrift::default()), Box::new(Yakopcic::default())];
+        let p = DeviceParams::default();
+        for m in &models {
+            let _ = m.step(&p, 0.5, 2.0, 1e-9);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+/// Physical parameters of a memristor device.
+///
+/// Defaults follow the HP TiO₂ thin-film device of Strukov et al. (the
+/// paper's Eqn 4 and references \[3\]\[12-15\]): `R_on = 100 Ω`,
+/// `R_off = 16 kΩ`, 10 nm film, dopant mobility `1e-14 m²/(V·s)`, and a
+/// write threshold around 1 V with ±2 V programming pulses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Low resistance state, Ω.
+    pub r_on: f64,
+    /// High resistance state, Ω.
+    pub r_off: f64,
+    /// Film thickness `D`, m.
+    pub thickness: f64,
+    /// Effective dopant mobility `µ_v`, m²/(V·s). The default is the
+    /// high-field *effective* mobility calibrated so a full OFF→ON sweep
+    /// takes a few hundred 50 ns pulses (≈8-bit programming granularity);
+    /// the low-field literature value (~1e-14) corresponds to the
+    /// sub-threshold regime where the state must not move at all.
+    pub mobility: f64,
+    /// Write threshold voltage `V_th`, V. Biases below this magnitude do not
+    /// disturb the state (§2.3).
+    pub v_threshold: f64,
+    /// Programming pulse amplitude `V_dd`, V (|V_dd| > |V_th|).
+    pub v_write: f64,
+    /// Read voltage, V (|V_read| < |V_th| so reads are non-destructive).
+    pub v_read: f64,
+    /// Width of one programming pulse, s.
+    pub pulse_width: f64,
+}
+
+impl DeviceParams {
+    /// Maximum device conductance `g_on = 1/R_on`, S.
+    #[inline]
+    pub fn g_on(&self) -> f64 {
+        1.0 / self.r_on
+    }
+
+    /// Minimum device conductance `g_off = 1/R_off`, S.
+    #[inline]
+    pub fn g_off(&self) -> f64 {
+        1.0 / self.r_off
+    }
+
+    /// On/off conductance ratio `R_off / R_on`.
+    #[inline]
+    pub fn on_off_ratio(&self) -> f64 {
+        self.r_off / self.r_on
+    }
+
+    /// Memristance at internal state `x ∈ [0, 1]` under the linear ion-drift
+    /// model: `M(x) = R_on·x + R_off·(1 − x)` (x = 1 is fully doped / lowest
+    /// resistance). This is Eqn 4 of the paper with `x = µ_v·R_on/D²·q`.
+    #[inline]
+    pub fn memristance(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        self.r_on * x + self.r_off * (1.0 - x)
+    }
+
+    /// Conductance at internal state `x ∈ [0, 1]`.
+    #[inline]
+    pub fn conductance(&self, x: f64) -> f64 {
+        1.0 / self.memristance(x)
+    }
+
+    /// Internal state that realizes conductance `g` (clamped to the valid
+    /// range `[g_off, g_on]`).
+    #[inline]
+    pub fn state_for_conductance(&self, g: f64) -> f64 {
+        let g = g.clamp(self.g_off(), self.g_on());
+        let m = 1.0 / g;
+        ((self.r_off - m) / (self.r_off - self.r_on)).clamp(0.0, 1.0)
+    }
+
+    /// Validates parameter sanity (positive resistances, `r_off > r_on`,
+    /// `v_write > v_threshold > v_read`).
+    pub fn is_valid(&self) -> bool {
+        self.r_on > 0.0
+            && self.r_off > self.r_on
+            && self.thickness > 0.0
+            && self.mobility > 0.0
+            && self.v_threshold > 0.0
+            && self.v_write.abs() > self.v_threshold
+            && self.v_read.abs() < self.v_threshold
+            && self.pulse_width > 0.0
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        DeviceParams {
+            r_on: 100.0,
+            r_off: 16_000.0,
+            thickness: 10e-9,
+            mobility: 4e-10,
+            v_threshold: 1.0,
+            v_write: 2.0,
+            v_read: 0.3,
+            pulse_width: 50e-9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(DeviceParams::default().is_valid());
+    }
+
+    #[test]
+    fn conductance_bounds() {
+        let p = DeviceParams::default();
+        assert!((p.conductance(1.0) - p.g_on()).abs() < 1e-12);
+        assert!((p.conductance(0.0) - p.g_off()).abs() < 1e-12);
+        assert!(p.g_on() > p.g_off());
+    }
+
+    #[test]
+    fn memristance_interpolates() {
+        let p = DeviceParams::default();
+        let mid = p.memristance(0.5);
+        assert!(mid > p.r_on && mid < p.r_off);
+        // Clamps out-of-range states.
+        assert_eq!(p.memristance(-1.0), p.r_off);
+        assert_eq!(p.memristance(2.0), p.r_on);
+    }
+
+    #[test]
+    fn state_conductance_roundtrip() {
+        let p = DeviceParams::default();
+        for &x in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let g = p.conductance(x);
+            let back = p.state_for_conductance(g);
+            assert!((back - x).abs() < 1e-10, "x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn state_for_out_of_range_conductance_clamps() {
+        let p = DeviceParams::default();
+        assert_eq!(p.state_for_conductance(1e9), 1.0);
+        assert_eq!(p.state_for_conductance(0.0), 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut p = DeviceParams::default();
+        p.r_on = -1.0;
+        assert!(!p.is_valid());
+        let mut p = DeviceParams::default();
+        p.v_read = 1.5; // read above threshold would disturb state
+        assert!(!p.is_valid());
+        let mut p = DeviceParams::default();
+        p.v_write = 0.5; // write below threshold cannot program
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn on_off_ratio_default() {
+        assert!((DeviceParams::default().on_off_ratio() - 160.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+use rand::Rng;
+
+/// Distribution family for per-write process variation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariationDistribution {
+    /// Uniform on `[-1, 1]` scaled by the maximum percentage — the paper's
+    /// model (§4.1: "we model it as a uniform distribution with a maximum
+    /// range", Eqn 18).
+    Uniform,
+    /// Zero-mean Gaussian whose 3σ equals the maximum percentage; provided
+    /// for sensitivity studies beyond the paper.
+    Gaussian,
+}
+
+/// The §4.1 process-variation model: `M′ = M + M ∘ (var · Rd)` where `Rd`
+/// has i.i.d. entries with `|Rd| ≤ 1`.
+///
+/// Variation is drawn **per write**: every time a coefficient is programmed
+/// into a crossbar, a fresh deviate corrupts the stored conductance. This
+/// matches the paper's observation (§4.3) that re-solving after a failure
+/// redraws the variation and thereby restores convergence.
+///
+/// # Example
+///
+/// ```
+/// use memlp_device::VariationModel;
+/// use rand::SeedableRng;
+///
+/// let var = VariationModel::uniform_pct(10.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let v = var.perturb(2.0, &mut rng);
+/// assert!((v - 2.0).abs() <= 0.2 + 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Maximum variation magnitude as a fraction (0.10 = "up to 10%").
+    pub max_fraction: f64,
+    /// Distribution family.
+    pub distribution: VariationDistribution,
+}
+
+impl VariationModel {
+    /// No variation at all (ideal hardware).
+    pub fn none() -> Self {
+        VariationModel { max_fraction: 0.0, distribution: VariationDistribution::Uniform }
+    }
+
+    /// Uniform variation with maximum `pct` percent (the paper sweeps 5, 10
+    /// and 20).
+    pub fn uniform_pct(pct: f64) -> Self {
+        VariationModel { max_fraction: pct / 100.0, distribution: VariationDistribution::Uniform }
+    }
+
+    /// Gaussian variation whose 3σ corresponds to `pct` percent.
+    pub fn gaussian_pct(pct: f64) -> Self {
+        VariationModel { max_fraction: pct / 100.0, distribution: VariationDistribution::Gaussian }
+    }
+
+    /// Returns `true` if this model never perturbs values.
+    pub fn is_none(&self) -> bool {
+        self.max_fraction == 0.0
+    }
+
+    /// Draws the multiplicative factor `(1 + var·rd)` for one write.
+    pub fn draw_factor(&self, rng: &mut impl Rng) -> f64 {
+        if self.max_fraction == 0.0 {
+            return 1.0;
+        }
+        let rd = match self.distribution {
+            VariationDistribution::Uniform => rng.random_range(-1.0..=1.0),
+            VariationDistribution::Gaussian => {
+                // Box–Muller; clamp to [-1, 1] to respect the "maximum
+                // range" semantics of Eqn 18 (3σ = max).
+                let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.random_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (z / 3.0).clamp(-1.0, 1.0)
+            }
+        };
+        1.0 + self.max_fraction * rd
+    }
+
+    /// Perturbs a single written value: `m′ = m · (1 + var·rd)` (Eqn 18
+    /// applied entrywise).
+    pub fn perturb(&self, value: f64, rng: &mut impl Rng) -> f64 {
+        value * self.draw_factor(rng)
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        VariationModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = VariationModel::none();
+        assert!(v.is_none());
+        for _ in 0..100 {
+            assert_eq!(v.perturb(3.5, &mut rng), 3.5);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_max_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = VariationModel::uniform_pct(20.0);
+        for _ in 0..10_000 {
+            let f = v.draw_factor(&mut rng);
+            assert!((0.8..=1.2).contains(&f), "factor {f} outside 20% band");
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_band() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = VariationModel::uniform_pct(10.0);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for _ in 0..10_000 {
+            let f = v.draw_factor(&mut rng);
+            lo = lo.min(f);
+            hi = hi.max(f);
+        }
+        assert!(lo < 0.92, "never drew near the lower edge: {lo}");
+        assert!(hi > 1.08, "never drew near the upper edge: {hi}");
+    }
+
+    #[test]
+    fn gaussian_respects_max_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = VariationModel::gaussian_pct(10.0);
+        for _ in 0..10_000 {
+            let f = v.draw_factor(&mut rng);
+            assert!((0.9..=1.1).contains(&f));
+        }
+    }
+
+    #[test]
+    fn mean_factor_near_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = VariationModel::uniform_pct(20.0);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| v.draw_factor(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_value_stays_zero() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = VariationModel::uniform_pct(20.0);
+        assert_eq!(v.perturb(0.0, &mut rng), 0.0);
+    }
+}

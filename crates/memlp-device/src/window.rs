@@ -1,0 +1,100 @@
+/// Window functions for ion-drift memristor models.
+///
+/// A window function `f(x)` multiplies the state derivative so that dopant
+/// drift slows near the film boundaries (`x = 0`, `x = 1`), keeping the
+/// state physical. The literature's standard choices are provided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Window {
+    /// No window: `f(x) = 1`. The raw HP model (paper Eqn 4); the state must
+    /// then be clamped externally.
+    None,
+    /// Joglekar window `f(x) = 1 − (2x − 1)^{2p}`. Symmetric, zero exactly
+    /// at the boundaries.
+    Joglekar {
+        /// Steepness exponent `p ≥ 1`; larger values approximate a hard clamp.
+        p: u32,
+    },
+    /// Biolek window `f(x, i) = 1 − (x − step(−i))^{2p}`. Depends on current
+    /// direction, which avoids the Joglekar window's boundary lock-up.
+    Biolek {
+        /// Steepness exponent `p ≥ 1`.
+        p: u32,
+    },
+}
+
+impl Window {
+    /// Evaluates the window at state `x` for drift driven by current `i`
+    /// (sign convention: positive current grows `x`).
+    pub fn evaluate(&self, x: f64, i: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        match *self {
+            Window::None => 1.0,
+            Window::Joglekar { p } => 1.0 - (2.0 * x - 1.0).powi(2 * p as i32),
+            Window::Biolek { p } => {
+                let step = if i >= 0.0 { 0.0 } else { 1.0 };
+                1.0 - (x - step).powi(2 * p as i32)
+            }
+        }
+    }
+}
+
+impl Default for Window {
+    fn default() -> Self {
+        Window::Joglekar { p: 2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_unity_everywhere() {
+        for &x in &[0.0, 0.3, 1.0] {
+            assert_eq!(Window::None.evaluate(x, 1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn joglekar_vanishes_at_boundaries() {
+        let w = Window::Joglekar { p: 2 };
+        assert!(w.evaluate(0.0, 1.0).abs() < 1e-12);
+        assert!(w.evaluate(1.0, 1.0).abs() < 1e-12);
+        assert!((w.evaluate(0.5, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joglekar_symmetric() {
+        let w = Window::Joglekar { p: 1 };
+        assert!((w.evaluate(0.2, 1.0) - w.evaluate(0.8, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biolek_depends_on_current_direction() {
+        let w = Window::Biolek { p: 1 };
+        // Near x=1, positive current (growing x) is suppressed...
+        assert!(w.evaluate(1.0, 1.0).abs() < 1e-12);
+        // ...but negative current (shrinking x) is not.
+        assert!(w.evaluate(1.0, -1.0) > 0.9);
+    }
+
+    #[test]
+    fn windows_bounded_zero_one() {
+        for w in [Window::None, Window::Joglekar { p: 3 }, Window::Biolek { p: 3 }] {
+            for k in 0..=10 {
+                let x = k as f64 / 10.0;
+                for &i in &[-1.0, 1.0] {
+                    let v = w.evaluate(x, i);
+                    assert!((0.0..=1.0).contains(&v), "{w:?} at x={x}, i={i} gave {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn higher_p_is_flatter_in_the_middle() {
+        let lo = Window::Joglekar { p: 1 }.evaluate(0.25, 1.0);
+        let hi = Window::Joglekar { p: 4 }.evaluate(0.25, 1.0);
+        assert!(hi > lo);
+    }
+}

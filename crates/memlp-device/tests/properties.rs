@@ -1,0 +1,107 @@
+//! Property-based tests for the memristor device substrate.
+
+use memlp_device::{
+    DeviceParams, DynamicModel, LinearIonDrift, Memristor, PulseProgrammer, VariationModel,
+    Window, Yakopcic,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// State stays in [0, 1] under arbitrary pulse sequences, for both
+    /// dynamic models and every window.
+    #[test]
+    fn state_always_bounded(
+        pulses in proptest::collection::vec((-3.0f64..3.0, 1e-9f64..1e-6), 1..50),
+        x0 in 0.0f64..1.0,
+        use_yakopcic in any::<bool>(),
+    ) {
+        let p = DeviceParams::default();
+        let mut d = if use_yakopcic {
+            Memristor::with_model(p, std::sync::Arc::new(Yakopcic::default()))
+        } else {
+            Memristor::new(p)
+        };
+        d.set_state(x0);
+        for (v, dt) in pulses {
+            d.apply_pulse(v, dt);
+            prop_assert!((0.0..=1.0).contains(&d.state()));
+        }
+    }
+
+    /// Sub-threshold biases never move the state (the §3.3 half-select
+    /// guarantee).
+    #[test]
+    fn sub_threshold_is_nondestructive(
+        x0 in 0.0f64..1.0,
+        bias in -0.99f64..0.99,
+        dt in 1e-9f64..1e-5,
+    ) {
+        let p = DeviceParams::default();
+        let mut d = Memristor::new(p);
+        d.set_state(x0);
+        let before = d.state();
+        d.apply_pulse(bias * p.v_threshold, dt);
+        prop_assert_eq!(d.state(), before);
+    }
+
+    /// Conductance is monotone non-decreasing in state.
+    #[test]
+    fn conductance_monotone_in_state(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let p = DeviceParams::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(p.conductance(lo) <= p.conductance(hi) + 1e-18);
+    }
+
+    /// The programmer reaches any in-range target within its tolerance.
+    #[test]
+    fn programmer_reaches_targets(frac in 0.02f64..0.98, x0 in 0.0f64..1.0) {
+        let p = DeviceParams::default();
+        let mut d = Memristor::new(p);
+        d.set_state(x0);
+        let target = p.g_off() + frac * (p.g_on() - p.g_off());
+        let prog = PulseProgrammer::new(p);
+        let rep = prog.program(&mut d, target);
+        prop_assert!(rep.converged, "target fraction {} from x0 {}", frac, x0);
+        prop_assert!((rep.final_conductance - target).abs()
+            <= prog.tolerance * (p.g_on() - p.g_off()) + 1e-15);
+    }
+
+    /// Variation factors always stay within the declared maximum band.
+    #[test]
+    fn variation_band_respected(pct in 0.0f64..30.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = VariationModel::uniform_pct(pct);
+        for _ in 0..100 {
+            let f = v.draw_factor(&mut rng);
+            prop_assert!((f - 1.0).abs() <= pct / 100.0 + 1e-12);
+        }
+        let g = VariationModel::gaussian_pct(pct);
+        for _ in 0..100 {
+            let f = g.draw_factor(&mut rng);
+            prop_assert!((f - 1.0).abs() <= pct / 100.0 + 1e-12);
+        }
+    }
+
+    /// Window functions stay in [0, 1] over the full state range.
+    #[test]
+    fn windows_bounded(x in -0.5f64..1.5, i in -2.0f64..2.0, pw in 1u32..6) {
+        for w in [Window::None, Window::Joglekar { p: pw }, Window::Biolek { p: pw }] {
+            let v = w.evaluate(x, i);
+            prop_assert!((0.0..=1.0).contains(&v), "{:?} gave {}", w, v);
+        }
+    }
+
+    /// Current through the drift model obeys Ohm's law below threshold.
+    #[test]
+    fn ohmic_below_threshold(x in 0.0f64..1.0, bias in -0.9f64..0.9) {
+        let p = DeviceParams::default();
+        let m = LinearIonDrift::default();
+        let v = bias * p.v_threshold;
+        let i = m.current(&p, x, v);
+        prop_assert!((i - v / p.memristance(x)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,207 @@
+//! Iterative linear-system solvers.
+//!
+//! §3.5 of the paper contrasts the crossbar's O(1) analog solve with
+//! software alternatives: direct methods at O(N³) and iterative methods
+//! (Gauss–Seidel) at O(N²) per sweep. These implementations exist so the
+//! benchmark harness can reproduce that comparison, and as an internal tool
+//! for the NoC's tiled block solves.
+
+use crate::error::{dim_mismatch, LinalgError};
+use crate::matrix::Matrix;
+use crate::ops;
+
+/// Options controlling an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterOptions {
+    /// Maximum number of sweeps before giving up.
+    pub max_sweeps: usize,
+    /// Convergence tolerance on the infinity norm of the residual, relative
+    /// to `‖b‖∞` (absolute if `b = 0`).
+    pub tol: f64,
+    /// Successive over-relaxation factor (1.0 = plain Gauss–Seidel).
+    pub relaxation: f64,
+}
+
+impl Default for IterOptions {
+    fn default() -> Self {
+        IterOptions { max_sweeps: 10_000, tol: 1e-10, relaxation: 1.0 }
+    }
+}
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterSolution {
+    /// Solution estimate.
+    pub x: Vec<f64>,
+    /// Sweeps actually performed.
+    pub sweeps: usize,
+    /// Final residual infinity norm.
+    pub residual: f64,
+}
+
+/// Solves `A·x = b` with (successively over-relaxed) Gauss–Seidel sweeps.
+///
+/// Converges for strictly diagonally dominant or symmetric positive-definite
+/// systems; the caller is responsible for supplying a suitable matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] on shape mismatch,
+/// [`LinalgError::Singular`] if a diagonal entry is zero, and
+/// [`LinalgError::NotConverged`] if the tolerance is not reached.
+pub fn gauss_seidel(a: &Matrix, b: &[f64], opts: IterOptions) -> Result<IterSolution, LinalgError> {
+    check_shapes(a, b)?;
+    let n = a.rows();
+    for i in 0..n {
+        if a[(i, i)] == 0.0 {
+            return Err(LinalgError::Singular { column: i });
+        }
+    }
+    let bnorm = ops::inf_norm(b).max(1.0);
+    let mut x = vec![0.0; n];
+    for sweep in 1..=opts.max_sweeps {
+        for i in 0..n {
+            let row = a.row(i);
+            let mut s = b[i];
+            for (j, &aij) in row.iter().enumerate() {
+                if j != i {
+                    s -= aij * x[j];
+                }
+            }
+            let xi_new = s / row[i];
+            x[i] += opts.relaxation * (xi_new - x[i]);
+        }
+        let residual = residual_inf(a, &x, b);
+        if residual <= opts.tol * bnorm {
+            return Ok(IterSolution { x, sweeps: sweep, residual });
+        }
+    }
+    let residual = residual_inf(a, &x, b);
+    Err(LinalgError::NotConverged { iterations: opts.max_sweeps, residual })
+}
+
+/// Solves `A·x = b` with Jacobi sweeps (fully parallelizable variant; used
+/// as the behavioural model for simultaneous analog relaxation across NoC
+/// tiles).
+///
+/// # Errors
+///
+/// Same conditions as [`gauss_seidel`].
+pub fn jacobi(a: &Matrix, b: &[f64], opts: IterOptions) -> Result<IterSolution, LinalgError> {
+    check_shapes(a, b)?;
+    let n = a.rows();
+    for i in 0..n {
+        if a[(i, i)] == 0.0 {
+            return Err(LinalgError::Singular { column: i });
+        }
+    }
+    let bnorm = ops::inf_norm(b).max(1.0);
+    let mut x = vec![0.0; n];
+    let mut xn = vec![0.0; n];
+    for sweep in 1..=opts.max_sweeps {
+        for i in 0..n {
+            let row = a.row(i);
+            let mut s = b[i];
+            for (j, &aij) in row.iter().enumerate() {
+                if j != i {
+                    s -= aij * x[j];
+                }
+            }
+            xn[i] = x[i] + opts.relaxation * (s / row[i] - x[i]);
+        }
+        std::mem::swap(&mut x, &mut xn);
+        let residual = residual_inf(a, &x, b);
+        if residual <= opts.tol * bnorm {
+            return Ok(IterSolution { x, sweeps: sweep, residual });
+        }
+    }
+    let residual = residual_inf(a, &x, b);
+    Err(LinalgError::NotConverged { iterations: opts.max_sweeps, residual })
+}
+
+fn check_shapes(a: &Matrix, b: &[f64]) -> Result<(), LinalgError> {
+    if !a.is_square() {
+        return Err(dim_mismatch("square matrix", format!("{}x{}", a.rows(), a.cols())));
+    }
+    if b.len() != a.rows() {
+        return Err(dim_mismatch(format!("vector of length {}", a.rows()), format!("length {}", b.len())));
+    }
+    Ok(())
+}
+
+fn residual_inf(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.matvec(x);
+    ops::inf_norm(&ops::sub(b, &ax))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dominant_system() -> (Matrix, Vec<f64>, Vec<f64>) {
+        let a = Matrix::from_rows(&[&[10.0, 1.0, 2.0], &[1.0, 8.0, -1.0], &[2.0, -1.0, 12.0]]).unwrap();
+        let xtrue = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&xtrue);
+        (a, b, xtrue)
+    }
+
+    #[test]
+    fn gauss_seidel_converges_on_dominant() {
+        let (a, b, xtrue) = dominant_system();
+        let sol = gauss_seidel(&a, &b, IterOptions::default()).unwrap();
+        for (x, t) in sol.x.iter().zip(&xtrue) {
+            assert!((x - t).abs() < 1e-8);
+        }
+        assert!(sol.sweeps < 100);
+    }
+
+    #[test]
+    fn jacobi_converges_on_dominant() {
+        let (a, b, xtrue) = dominant_system();
+        let sol = jacobi(&a, &b, IterOptions::default()).unwrap();
+        for (x, t) in sol.x.iter().zip(&xtrue) {
+            assert!((x - t).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_converges_faster_than_jacobi() {
+        let (a, b, _) = dominant_system();
+        let gs = gauss_seidel(&a, &b, IterOptions::default()).unwrap();
+        let ja = jacobi(&a, &b, IterOptions::default()).unwrap();
+        assert!(gs.sweeps <= ja.sweeps, "GS {} vs Jacobi {}", gs.sweeps, ja.sweeps);
+    }
+
+    #[test]
+    fn reports_not_converged() {
+        // Not diagonally dominant; Jacobi diverges.
+        let a = Matrix::from_rows(&[&[1.0, 5.0], &[7.0, 1.0]]).unwrap();
+        let b = vec![1.0, 1.0];
+        let err = jacobi(&a, &b, IterOptions { max_sweeps: 50, ..Default::default() }).unwrap_err();
+        assert!(matches!(err, LinalgError::NotConverged { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let err = gauss_seidel(&a, &[1.0, 1.0], IterOptions::default()).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { column: 0 }));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        assert!(gauss_seidel(&a, &[1.0, 1.0], IterOptions::default()).is_err());
+        let a = Matrix::identity(2);
+        assert!(jacobi(&a, &[1.0], IterOptions::default()).is_err());
+    }
+
+    #[test]
+    fn sor_accelerates_convergence() {
+        let (a, b, _) = dominant_system();
+        let plain = gauss_seidel(&a, &b, IterOptions::default()).unwrap();
+        let sor = gauss_seidel(&a, &b, IterOptions { relaxation: 1.05, ..Default::default() }).unwrap();
+        // SOR with a mild factor should not be dramatically worse.
+        assert!(sor.sweeps <= plain.sweeps + 10);
+    }
+}

@@ -1,0 +1,82 @@
+//! Dense linear algebra substrate for the `memlp` workspace.
+//!
+//! The memristor-crossbar LP solver simulates analog hardware by solving the
+//! *perturbed* linear systems the hardware would physically settle to, so the
+//! whole workspace rests on a small, fast, dependency-free dense linear
+//! algebra kernel:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with block operations,
+//! * [`LuFactors`] — blocked LU decomposition with partial pivoting
+//!   (the O(N³) direct method the paper's complexity comparison targets),
+//! * [`iterative`] — Gauss–Seidel and Jacobi (the O(N²)-per-iteration
+//!   methods mentioned in §3.5 of the paper),
+//! * [`ops`] — vector kernels (dot, axpy, norms) on plain `&[f64]` slices.
+//!
+//! Vectors are deliberately plain `Vec<f64>` / `&[f64]`: every consumer in
+//! the workspace (solvers, crossbar models, generators) wants to own and
+//! mutate raw buffers, and a wrapper type would add friction without adding
+//! invariants.
+//!
+//! # Example
+//!
+//! ```
+//! use memlp_linalg::{Matrix, solve};
+//!
+//! # fn main() -> Result<(), memlp_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let x = solve(&a, &[1.0, 2.0])?;
+//! assert!((a.matvec(&x)[0] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod lu;
+mod matrix;
+mod norms;
+mod sparse;
+
+pub mod iterative;
+pub mod ops;
+
+pub use error::LinalgError;
+pub use lu::LuFactors;
+pub use matrix::Matrix;
+pub use sparse::SparseMatrix;
+pub use norms::{cond_1_estimate, inf_norm_mat, one_norm_mat};
+
+/// Solves the dense linear system `A·x = b` by LU decomposition with partial
+/// pivoting.
+///
+/// This is a convenience wrapper around [`LuFactors::factor`] followed by
+/// [`LuFactors::solve`]; factor explicitly when solving against multiple
+/// right-hand sides.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `A` is not square or `b`
+/// has the wrong length, and [`LinalgError::Singular`] if a zero pivot is
+/// encountered.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    LuFactors::factor(a.clone())?.solve(b)
+}
+
+/// Solves `A·x = b` and polishes the result with `steps` rounds of iterative
+/// refinement (residual recomputed in f64; helpful when `A` is
+/// ill-conditioned).
+///
+/// # Errors
+///
+/// Same error conditions as [`solve`].
+pub fn solve_refined(a: &Matrix, b: &[f64], steps: usize) -> Result<Vec<f64>, LinalgError> {
+    let lu = LuFactors::factor(a.clone())?;
+    let mut x = lu.solve(b)?;
+    for _ in 0..steps {
+        // r = b - A x
+        let ax = a.matvec(&x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let dx = lu.solve(&r)?;
+        ops::axpy(1.0, &dx, &mut x);
+    }
+    Ok(x)
+}

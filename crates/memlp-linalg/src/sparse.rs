@@ -1,0 +1,301 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! §3.5 of the paper points out that LP constraint matrices are commonly
+//! sparse, which lowers the O(N²) crossbar initialization cost to
+//! O(nnz) — erased cells need no write pulses. This module provides the
+//! sparse representation the workload generators and setup-cost analyses
+//! use; the analog *solve* path stays dense (the realized array is a dense
+//! physical object).
+
+use crate::error::{dim_mismatch, LinalgError};
+use crate::matrix::Matrix;
+
+/// A compressed-sparse-row matrix of `f64` values.
+///
+/// # Example
+///
+/// ```
+/// use memlp_linalg::{Matrix, SparseMatrix};
+///
+/// # fn main() -> Result<(), memlp_linalg::LinalgError> {
+/// let dense = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 3.0]])?;
+/// let sparse = SparseMatrix::from_dense(&dense);
+/// assert_eq!(sparse.nnz(), 3);
+/// assert_eq!(sparse.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets into `col_idx`/`values` (length rows + 1).
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets; duplicate
+    /// coordinates are summed, explicit zeros dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if any coordinate is out
+    /// of bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, LinalgError> {
+        for &(i, j, _) in triplets {
+            if i >= rows || j >= cols {
+                return Err(dim_mismatch(
+                    format!("coordinates within {rows}x{cols}"),
+                    format!("({i}, {j})"),
+                ));
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|&(i, j, _)| (i, j));
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut cur_row = 0usize;
+        for &(i, j, v) in &sorted {
+            // Close every row before i (empty rows get zero-length spans).
+            for r in cur_row..i {
+                row_ptr[r + 1] = col_idx.len();
+            }
+            cur_row = i;
+            // Merge a duplicate coordinate within the current row.
+            let row_start = row_ptr[cur_row];
+            if col_idx.len() > row_start && col_idx.last() == Some(&j) {
+                *values.last_mut().expect("parallel arrays") += v;
+            } else {
+                col_idx.push(j);
+                values.push(v);
+            }
+        }
+        for r in cur_row..rows {
+            row_ptr[r + 1] = col_idx.len();
+        }
+        let mut m = SparseMatrix { rows, cols, row_ptr, col_idx, values };
+        m.prune_zeros();
+        Ok(m)
+    }
+
+    /// Converts from a dense matrix, keeping only non-zero entries.
+    pub fn from_dense(dense: &Matrix) -> SparseMatrix {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..rows {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        SparseMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Materializes the dense equivalent.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                m[(i, self.col_idx[k])] = self.values[k];
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill fraction `nnz / (rows·cols)` (0 for an empty matrix).
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// Sparse matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: length {} != cols {}", x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                s += self.values[k] * x[self.col_idx[k]];
+            }
+            *yi = s;
+        }
+        y
+    }
+
+    /// Sparse transposed product `Aᵀ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_transposed: length {} != rows {}", x.len(), self.rows);
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                y[self.col_idx[k]] += self.values[k] * xi;
+            }
+        }
+        y
+    }
+
+    /// Iterates `(row, col, value)` over stored entries in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            (self.row_ptr[i]..self.row_ptr[i + 1])
+                .map(move |k| (i, self.col_idx[k], self.values[k]))
+        })
+    }
+
+    fn prune_zeros(&mut self) {
+        if !self.values.iter().any(|&v| v == 0.0) {
+            return;
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                if self.values[k] != 0.0 {
+                    col_idx.push(self.col_idx[k]);
+                    values.push(self.values[k]);
+                }
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        self.row_ptr = row_ptr;
+        self.col_idx = col_idx;
+        self.values = values;
+    }
+}
+
+impl From<&Matrix> for SparseMatrix {
+    fn from(dense: &Matrix) -> SparseMatrix {
+        SparseMatrix::from_dense(dense)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+            &[0.0, 3.0, 0.0, 4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let d = sample_dense();
+        let s = SparseMatrix::from_dense(&d);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(s.matvec(&x), d.matvec(&x));
+        let y = [1.0, -1.0, 0.5];
+        assert_eq!(s.matvec_transposed(&y), d.matvec_transposed(&y));
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_sums() {
+        let s = SparseMatrix::from_triplets(
+            2,
+            2,
+            &[(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)],
+        )
+        .unwrap();
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense()[(1, 1)], 5.0);
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds() {
+        assert!(SparseMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        assert!(SparseMatrix::from_triplets(2, 2, &[(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn explicit_zeros_are_dropped() {
+        let s = SparseMatrix::from_triplets(2, 2, &[(0, 0, 0.0), (1, 0, 2.0)]).unwrap();
+        assert_eq!(s.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let s = SparseMatrix::from_triplets(4, 3, &[(3, 2, 1.0)]).unwrap();
+        assert_eq!(s.matvec(&[0.0, 0.0, 2.0]), vec![0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn density_reports_fill() {
+        let s = SparseMatrix::from_dense(&sample_dense());
+        assert!((s.density() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let s = SparseMatrix::from_dense(&sample_dense());
+        let entries: Vec<_> = s.iter().collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (2, 3, 4.0)]
+        );
+    }
+
+    #[test]
+    fn conversion_trait() {
+        let d = sample_dense();
+        let s: SparseMatrix = (&d).into();
+        assert_eq!(s.to_dense(), d);
+    }
+}

@@ -1,0 +1,174 @@
+//! Assignment problems as linear programs.
+
+use memlp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::LpError;
+use crate::problem::LpProblem;
+
+/// An assignment problem: match `agents` agents to `agents` tasks,
+/// maximizing total utility. The LP relaxation of assignment is integral
+/// (its constraint matrix is totally unimodular), so the LP optimum *is*
+/// the combinatorial optimum — which makes this domain a sharp correctness
+/// probe for approximate solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentProblem {
+    /// Utility of assigning agent `a` to task `t`, flattened row-major
+    /// (`utility[a * agents + t]`).
+    pub utility: Vec<f64>,
+    agents: usize,
+}
+
+impl AssignmentProblem {
+    /// Builds a problem from a square utility table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::ShapeMismatch`] if `utility.len()` is not a
+    /// perfect square.
+    pub fn new(utility: Vec<f64>) -> Result<Self, LpError> {
+        let agents = (utility.len() as f64).sqrt().round() as usize;
+        if agents * agents != utility.len() || agents == 0 {
+            return Err(LpError::ShapeMismatch {
+                expected: "a non-empty square utility table".into(),
+                found: format!("{} entries", utility.len()),
+            });
+        }
+        Ok(AssignmentProblem { utility, agents })
+    }
+
+    /// A random instance, deterministic per seed.
+    pub fn random(agents: usize, seed: u64) -> Self {
+        let agents = agents.max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        AssignmentProblem {
+            utility: (0..agents * agents).map(|_| rng.random_range(1.0..10.0)).collect(),
+            agents,
+        }
+    }
+
+    /// Number of agents (= tasks).
+    pub fn agents(&self) -> usize {
+        self.agents
+    }
+
+    /// Exact optimum by brute force (small instances only; O(n!)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents > 9` (factorial blow-up).
+    pub fn brute_force_optimum(&self) -> f64 {
+        assert!(self.agents <= 9, "brute force is O(n!)");
+        let n = self.agents;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best = f64::NEG_INFINITY;
+        permute(&mut perm, 0, &mut |p| {
+            let total: f64 = p.iter().enumerate().map(|(a, &t)| self.utility[a * n + t]).sum();
+            if total > best {
+                best = total;
+            }
+        });
+        best
+    }
+}
+
+fn permute(p: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == p.len() {
+        visit(p);
+        return;
+    }
+    for i in k..p.len() {
+        p.swap(k, i);
+        permute(p, k + 1, visit);
+        p.swap(k, i);
+    }
+}
+
+/// Encodes the assignment problem in canonical max form.
+///
+/// Variables `x[a][t] ∈ [0, 1]` (fractional assignment). Constraints:
+/// * each agent assigned at most once: `Σ_t x[a][t] ≤ 1`,
+/// * each task filled at least once: `Σ_a x[a][t] ≥ 1`, canonicalized as
+///   `−Σ_a x[a][t] ≤ −1` (negative coefficients exercise the §3.2
+///   transform).
+///
+/// # Errors
+///
+/// Currently infallible for a valid [`AssignmentProblem`]; the `Result`
+/// mirrors the other domain encoders.
+pub fn assignment_lp(ap: &AssignmentProblem) -> Result<LpProblem, LpError> {
+    let n = ap.agents();
+    let vars = n * n;
+    let m = 2 * n;
+    let mut a = Matrix::zeros(m, vars);
+    let mut b = vec![0.0; m];
+    for agent in 0..n {
+        for task in 0..n {
+            a[(agent, agent * n + task)] = 1.0;
+        }
+        b[agent] = 1.0;
+    }
+    for task in 0..n {
+        for agent in 0..n {
+            a[(n + task, agent * n + task)] = -1.0;
+        }
+        b[n + task] = -1.0;
+    }
+    LpProblem::new(a, b, ap.utility.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions() {
+        let ap = AssignmentProblem::random(4, 1);
+        let lp = assignment_lp(&ap).unwrap();
+        assert_eq!(lp.num_vars(), 16);
+        assert_eq!(lp.num_constraints(), 8);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(AssignmentProblem::new(vec![1.0; 5]).is_err());
+        assert!(AssignmentProblem::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn identity_assignment_is_feasible() {
+        let ap = AssignmentProblem::random(3, 2);
+        let lp = assignment_lp(&ap).unwrap();
+        let n = ap.agents();
+        let mut x = vec![0.0; n * n];
+        for a in 0..n {
+            x[a * n + a] = 1.0;
+        }
+        assert!(lp.is_feasible(&x, 1e-9));
+    }
+
+    #[test]
+    fn partial_assignment_is_infeasible() {
+        // Task 2 unfilled.
+        let ap = AssignmentProblem::random(3, 3);
+        let lp = assignment_lp(&ap).unwrap();
+        let n = ap.agents();
+        let mut x = vec![0.0; n * n];
+        x[0] = 1.0; // agent 0 → task 0
+        x[n + 1] = 1.0; // agent 1 → task 1
+        assert!(!lp.is_feasible(&x, 1e-9));
+    }
+
+    #[test]
+    fn brute_force_on_known_table() {
+        // Utility diag 10s, off-diag 1s: optimum picks the diagonal = 20.
+        let ap = AssignmentProblem::new(vec![10.0, 1.0, 1.0, 10.0]).unwrap();
+        assert!((ap.brute_force_optimum() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(AssignmentProblem::random(3, 9), AssignmentProblem::random(3, 9));
+    }
+}

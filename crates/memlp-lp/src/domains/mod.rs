@@ -1,0 +1,17 @@
+//! Domain workloads from the paper's motivating applications.
+//!
+//! The introduction motivates linear programming with "routing, scheduling,
+//! and other optimization problems"; these generators emit exactly those,
+//! in the canonical `max cᵀx, A·x ⪯ b, x ⪰ 0` form so they can be fed to
+//! any solver in the workspace (including the crossbar solvers, after the
+//! §3.2 negative-coefficient transform).
+
+mod assignment;
+mod routing;
+mod scheduling;
+mod transport;
+
+pub use assignment::{assignment_lp, AssignmentProblem};
+pub use routing::{max_flow_lp, MaxFlowNetwork};
+pub use scheduling::{production_schedule_lp, ProductionPlan};
+pub use transport::{transportation_lp, TransportationProblem};

@@ -1,0 +1,179 @@
+//! Production scheduling: multi-period planning as a linear program.
+
+use memlp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::LpError;
+use crate::problem::LpProblem;
+
+/// A multi-period production planning instance.
+///
+/// `products` goods are produced over `periods` time periods on a shared
+/// resource. Variables are `x[t][p]` = units of product `p` made in period
+/// `t` (flattened row-major: `t·products + p`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductionPlan {
+    /// Number of time periods `T`.
+    pub periods: usize,
+    /// Number of products `P`.
+    pub products: usize,
+    /// Machine hours needed per unit of each product (length P).
+    pub hours_per_unit: Vec<f64>,
+    /// Machine hours available in each period (length T).
+    pub capacity: Vec<f64>,
+    /// Maximum cumulative demand for each product over the horizon
+    /// (length P) — production beyond it cannot be sold.
+    pub max_demand: Vec<f64>,
+    /// Profit per unit of each product (length P).
+    pub profit: Vec<f64>,
+}
+
+impl ProductionPlan {
+    /// A random, deterministic-per-seed instance.
+    pub fn random(periods: usize, products: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let periods = periods.max(1);
+        let products = products.max(1);
+        ProductionPlan {
+            periods,
+            products,
+            hours_per_unit: (0..products).map(|_| rng.random_range(0.5..3.0)).collect(),
+            capacity: (0..periods).map(|_| rng.random_range(20.0..60.0)).collect(),
+            max_demand: (0..products).map(|_| rng.random_range(10.0..40.0)).collect(),
+            profit: (0..products).map(|_| rng.random_range(1.0..8.0)).collect(),
+        }
+    }
+
+    /// Validates internal array lengths.
+    pub fn is_valid(&self) -> bool {
+        self.hours_per_unit.len() == self.products
+            && self.capacity.len() == self.periods
+            && self.max_demand.len() == self.products
+            && self.profit.len() == self.products
+            && self.hours_per_unit.iter().all(|v| *v > 0.0)
+    }
+}
+
+/// Encodes the plan as a canonical-form LP.
+///
+/// Constraints:
+/// * capacity per period: `Σ_p hours_p · x[t][p] ≤ cap_t` (T rows),
+/// * demand cap per product: `Σ_t x[t][p] ≤ demand_p` (P rows).
+///
+/// Objective: maximize `Σ_{t,p} profit_p · x[t][p]`.
+///
+/// # Errors
+///
+/// Returns [`LpError::ShapeMismatch`] if the plan's arrays are inconsistent.
+pub fn production_schedule_lp(plan: &ProductionPlan) -> Result<LpProblem, LpError> {
+    if !plan.is_valid() {
+        return Err(LpError::ShapeMismatch {
+            expected: "consistent plan arrays".into(),
+            found: format!(
+                "T={}, P={}, hours={}, cap={}, demand={}, profit={}",
+                plan.periods,
+                plan.products,
+                plan.hours_per_unit.len(),
+                plan.capacity.len(),
+                plan.max_demand.len(),
+                plan.profit.len()
+            ),
+        });
+    }
+    let t = plan.periods;
+    let p = plan.products;
+    let n = t * p;
+    let m = t + p;
+    let mut a = Matrix::zeros(m, n);
+    let mut b = vec![0.0; m];
+
+    for period in 0..t {
+        for prod in 0..p {
+            a[(period, period * p + prod)] = plan.hours_per_unit[prod];
+        }
+        b[period] = plan.capacity[period];
+    }
+    for prod in 0..p {
+        for period in 0..t {
+            a[(t + prod, period * p + prod)] = 1.0;
+        }
+        b[t + prod] = plan.max_demand[prod];
+    }
+
+    let mut c = vec![0.0; n];
+    for period in 0..t {
+        for prod in 0..p {
+            c[period * p + prod] = plan.profit[prod];
+        }
+    }
+    LpProblem::new(a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProductionPlan {
+        ProductionPlan {
+            periods: 2,
+            products: 2,
+            hours_per_unit: vec![1.0, 2.0],
+            capacity: vec![10.0, 8.0],
+            max_demand: vec![6.0, 5.0],
+            profit: vec![3.0, 5.0],
+        }
+    }
+
+    #[test]
+    fn dimensions() {
+        let lp = production_schedule_lp(&tiny()).unwrap();
+        assert_eq!(lp.num_vars(), 4);
+        assert_eq!(lp.num_constraints(), 4);
+    }
+
+    #[test]
+    fn capacity_binds() {
+        let lp = production_schedule_lp(&tiny()).unwrap();
+        // Period 0: 1·x00 + 2·x01 ≤ 10. x = [10, 0.5, …] breaks it.
+        assert!(!lp.is_feasible(&[10.0, 0.5, 0.0, 0.0], 1e-9));
+        assert!(lp.is_feasible(&[6.0, 2.0, 0.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn demand_binds_across_periods() {
+        let lp = production_schedule_lp(&tiny()).unwrap();
+        // Product 0 demand 6: 4 + 4 = 8 > 6 infeasible even under capacity.
+        assert!(!lp.is_feasible(&[4.0, 0.0, 4.0, 0.0], 1e-9));
+        assert!(lp.is_feasible(&[3.0, 0.0, 3.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn objective_is_profit() {
+        let lp = production_schedule_lp(&tiny()).unwrap();
+        let x = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(lp.objective(&x), 2.0 * 3.0 + 2.0 * 5.0);
+    }
+
+    #[test]
+    fn all_coefficients_nonnegative() {
+        // Scheduling LPs are crossbar-friendly without the negative
+        // transform — a property the benches exploit.
+        let lp = production_schedule_lp(&ProductionPlan::random(4, 3, 9)).unwrap();
+        assert!(lp.a().is_nonnegative());
+    }
+
+    #[test]
+    fn random_is_deterministic_and_valid() {
+        let a = ProductionPlan::random(3, 2, 5);
+        assert_eq!(a, ProductionPlan::random(3, 2, 5));
+        assert!(a.is_valid());
+    }
+
+    #[test]
+    fn invalid_plan_rejected() {
+        let mut p = tiny();
+        p.capacity.pop();
+        assert!(matches!(production_schedule_lp(&p), Err(LpError::ShapeMismatch { .. })));
+    }
+}

@@ -1,0 +1,175 @@
+//! Transportation problems as linear programs.
+
+use memlp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::LpError;
+use crate::problem::LpProblem;
+
+/// A transportation problem: ship goods from suppliers to consumers at
+/// minimum cost.
+///
+/// Variables are `x[s][d]` = units shipped from supplier `s` to consumer
+/// `d` (flattened row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportationProblem {
+    /// Units available at each supplier.
+    pub supply: Vec<f64>,
+    /// Units required by each consumer.
+    pub demand: Vec<f64>,
+    /// Per-unit shipping cost, `cost[s][d]` flattened row-major.
+    pub cost: Vec<f64>,
+}
+
+impl TransportationProblem {
+    /// A random, deterministic-per-seed instance with total supply exceeding
+    /// total demand by ~20% (so it is always feasible).
+    pub fn random(suppliers: usize, consumers: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let suppliers = suppliers.max(1);
+        let consumers = consumers.max(1);
+        let demand: Vec<f64> = (0..consumers).map(|_| rng.random_range(5.0..20.0)).collect();
+        let total_demand: f64 = demand.iter().sum();
+        let base_supply = 1.2 * total_demand / suppliers as f64;
+        let supply: Vec<f64> =
+            (0..suppliers).map(|_| base_supply * rng.random_range(0.8..1.2)).collect();
+        let cost: Vec<f64> =
+            (0..suppliers * consumers).map(|_| rng.random_range(1.0..10.0)).collect();
+        TransportationProblem { supply, demand, cost }
+    }
+
+    /// Number of suppliers.
+    pub fn suppliers(&self) -> usize {
+        self.supply.len()
+    }
+
+    /// Number of consumers.
+    pub fn consumers(&self) -> usize {
+        self.demand.len()
+    }
+}
+
+/// Encodes the problem in canonical max form (cost minimization becomes
+/// maximizing negated cost).
+///
+/// Constraints:
+/// * supply: `Σ_d x[s][d] ≤ supply_s` (one row per supplier),
+/// * demand: `Σ_s x[s][d] ≥ demand_d`, canonicalized to
+///   `−Σ_s x[s][d] ≤ −demand_d` (one row per consumer) — these rows have
+///   negative coefficients, exercising the §3.2 transform.
+///
+/// # Errors
+///
+/// Returns [`LpError::ShapeMismatch`] if `cost` is not
+/// `suppliers × consumers`.
+pub fn transportation_lp(tp: &TransportationProblem) -> Result<LpProblem, LpError> {
+    let s = tp.suppliers();
+    let d = tp.consumers();
+    if tp.cost.len() != s * d {
+        return Err(LpError::ShapeMismatch {
+            expected: format!("cost of length {}", s * d),
+            found: format!("length {}", tp.cost.len()),
+        });
+    }
+    let n = s * d;
+    let m = s + d;
+    let mut a = Matrix::zeros(m, n);
+    let mut b = vec![0.0; m];
+
+    for i in 0..s {
+        for j in 0..d {
+            a[(i, i * d + j)] = 1.0;
+        }
+        b[i] = tp.supply[i];
+    }
+    for j in 0..d {
+        for i in 0..s {
+            a[(s + j, i * d + j)] = -1.0;
+        }
+        b[s + j] = -tp.demand[j];
+    }
+
+    let c: Vec<f64> = tp.cost.iter().map(|v| -v).collect();
+    LpProblem::new(a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TransportationProblem {
+        TransportationProblem {
+            supply: vec![10.0, 10.0],
+            demand: vec![8.0, 7.0],
+            cost: vec![1.0, 3.0, 2.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn dimensions() {
+        let lp = transportation_lp(&tiny()).unwrap();
+        assert_eq!(lp.num_vars(), 4);
+        assert_eq!(lp.num_constraints(), 4);
+    }
+
+    #[test]
+    fn balanced_shipment_is_feasible() {
+        let lp = transportation_lp(&tiny()).unwrap();
+        // Ship 8 from s0→d0, 7 from s1→d1.
+        assert!(lp.is_feasible(&[8.0, 0.0, 0.0, 7.0], 1e-9));
+    }
+
+    #[test]
+    fn unmet_demand_is_infeasible() {
+        let lp = transportation_lp(&tiny()).unwrap();
+        assert!(!lp.is_feasible(&[1.0, 0.0, 0.0, 7.0], 1e-9)); // d0 short
+    }
+
+    #[test]
+    fn oversupply_is_infeasible() {
+        let lp = transportation_lp(&tiny()).unwrap();
+        assert!(!lp.is_feasible(&[8.0, 4.0, 0.0, 7.0], 1e-9)); // s0 ships 12 > 10
+    }
+
+    #[test]
+    fn objective_is_negated_cost() {
+        let lp = transportation_lp(&tiny()).unwrap();
+        let x = [8.0, 0.0, 0.0, 7.0];
+        assert_eq!(lp.objective(&x), -(8.0 * 1.0 + 7.0 * 1.0));
+    }
+
+    #[test]
+    fn demand_rows_have_negative_coefficients() {
+        // This domain intentionally produces negatives for the §3.2
+        // transform to chew on.
+        let lp = transportation_lp(&tiny()).unwrap();
+        assert!(!lp.a().is_nonnegative());
+    }
+
+    #[test]
+    fn random_is_feasible_by_construction() {
+        let tp = TransportationProblem::random(3, 4, 21);
+        let total_supply: f64 = tp.supply.iter().sum();
+        let total_demand: f64 = tp.demand.iter().sum();
+        assert!(total_supply > total_demand);
+        let lp = transportation_lp(&tp).unwrap();
+        // Proportional shipment meets demand within supply.
+        let s = tp.suppliers();
+        let d = tp.consumers();
+        let mut x = vec![0.0; s * d];
+        for j in 0..d {
+            for i in 0..s {
+                x[i * d + j] = tp.demand[j] * tp.supply[i] / total_supply;
+            }
+        }
+        assert!(lp.is_feasible(&x, 1e-6));
+    }
+
+    #[test]
+    fn bad_cost_length_rejected() {
+        let mut tp = tiny();
+        tp.cost.pop();
+        assert!(matches!(transportation_lp(&tp), Err(LpError::ShapeMismatch { .. })));
+    }
+}

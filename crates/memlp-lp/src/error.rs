@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use memlp_linalg::LinalgError;
+
+/// Errors from constructing or manipulating linear programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// `A`, `b`, `c` shapes disagree.
+    ShapeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A coefficient is NaN or infinite.
+    NonFinite {
+        /// Description of where the bad value sits.
+        location: String,
+    },
+    /// Underlying linear algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            LpError::NonFinite { location } => write!(f, "non-finite coefficient at {location}"),
+            LpError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for LpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LpError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for LpError {
+    fn from(e: LinalgError) -> Self {
+        LpError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LpError::ShapeMismatch { expected: "m=2".into(), found: "m=3".into() };
+        assert!(e.to_string().contains("m=3"));
+        let e = LpError::NonFinite { location: "b[1]".into() };
+        assert!(e.to_string().contains("b[1]"));
+    }
+
+    #[test]
+    fn wraps_linalg() {
+        let e: LpError = LinalgError::Singular { column: 1 }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,287 @@
+//! Random LP workload generators (the paper's §4.2 experimental setup).
+//!
+//! The paper evaluates on randomly generated feasible and infeasible
+//! problems with m constraints (swept 4…1024) and n = m/3 variables.
+//! [`RandomLp`] reproduces that recipe with three guarantees the paper's
+//! methodology implies:
+//!
+//! * **feasible instances are certifiably optimal-bounded**: a strictly
+//!   interior primal point and a dual-feasible certificate are constructed
+//!   first and `b`, `c` are derived from them, so the LP provably has a
+//!   finite optimum;
+//! * **infeasible instances are certifiably infeasible**: a contradictory
+//!   constraint pair `aᵀx ≤ β`, `−aᵀx ≤ −β − δ` (δ > 0) is planted;
+//! * **mixed-sign coefficients** exercise the §3.2 negative-coefficient
+//!   elimination (the fraction is configurable).
+
+use memlp_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::problem::LpProblem;
+
+/// The interior primal point and dual certificate a feasible instance was
+/// built from (strict feasibility witnesses for both the primal and the
+/// dual).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibleCertificate {
+    /// Strictly positive primal point with `A·x₀ + w₀ = b`.
+    pub x0: Vec<f64>,
+    /// Strictly positive primal slacks.
+    pub w0: Vec<f64>,
+    /// Strictly positive dual multipliers with `Aᵀ·y₀ − z₀ = c`.
+    pub y0: Vec<f64>,
+    /// Strictly positive dual slacks (reduced costs).
+    pub z0: Vec<f64>,
+}
+
+/// Configuration for random LP generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomLp {
+    /// Number of constraints `m`.
+    pub constraints: usize,
+    /// Number of variables `n`. The paper uses `m/3`; see
+    /// [`RandomLp::paper`].
+    pub vars: usize,
+    /// Fraction of `A` entries that are negative (in expectation).
+    pub neg_fraction: f64,
+    /// Fraction of `A` entries that are nonzero (in expectation).
+    pub density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomLp {
+    /// The paper's configuration: `n = max(1, m/3)`, mixed signs, dense-ish
+    /// constraint rows.
+    pub fn paper(constraints: usize, seed: u64) -> Self {
+        RandomLp {
+            constraints,
+            vars: (constraints / 3).max(1),
+            neg_fraction: 0.3,
+            density: 1.0,
+            seed,
+        }
+    }
+
+    /// Generates a certifiably feasible, bounded LP.
+    ///
+    /// See [`RandomLp::feasible_with_certificate`] for the construction.
+    pub fn feasible(&self) -> LpProblem {
+        self.feasible_with_certificate().0
+    }
+
+    /// Generates a certifiably feasible, bounded LP together with the
+    /// certificate used to build it.
+    ///
+    /// Construction: draw `A`; pick an interior primal point `x₀ > 0` with
+    /// slack `w₀ > 0` and set `b = A·x₀ + w₀`; pick dual multipliers
+    /// `y₀ > 0` and reduced costs `z₀ > 0` and set `c = Aᵀ·y₀ − z₀`. Both
+    /// the primal and the dual are then strictly feasible, so a finite
+    /// optimum exists (strong duality).
+    pub fn feasible_with_certificate(&self) -> (LpProblem, FeasibleCertificate) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let a = self.random_matrix(&mut rng);
+
+        let x0: Vec<f64> = (0..self.vars).map(|_| rng.random_range(0.1..2.0)).collect();
+        let w0: Vec<f64> = (0..self.constraints).map(|_| rng.random_range(0.1..1.0)).collect();
+        let ax = a.matvec(&x0);
+        let b: Vec<f64> = ax.iter().zip(&w0).map(|(v, w)| v + w).collect();
+
+        let y0: Vec<f64> = (0..self.constraints).map(|_| rng.random_range(0.1..1.0)).collect();
+        let z0: Vec<f64> = (0..self.vars).map(|_| rng.random_range(0.1..1.0)).collect();
+        let aty = a.matvec_transposed(&y0);
+        let c: Vec<f64> = aty.iter().zip(&z0).map(|(v, z)| v - z).collect();
+
+        let lp = LpProblem::new(a, b, c).expect("generated shapes are consistent");
+        (lp, FeasibleCertificate { x0, w0, y0, z0 })
+    }
+
+    /// Generates a certifiably infeasible LP by planting a contradictory
+    /// constraint pair inside an otherwise ordinary instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraints < 2` (no room for the contradiction).
+    pub fn infeasible(&self) -> LpProblem {
+        assert!(self.constraints >= 2, "infeasible instances need at least 2 constraints");
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x17FE));
+        let base = RandomLp { seed: rng.random(), ..*self }.feasible();
+        let mut a = base.a().clone();
+        let mut b = base.b().to_vec();
+
+        // Plant: aᵀx ≤ β and −aᵀx ≤ −β − δ, i.e. aᵀx ≥ β + δ. Infeasible
+        // for every x. The gap δ scales with the instance's right-hand-side
+        // magnitude so that infeasibility is *gross* relative to the
+        // problem's own scale — the regime any solver with a finite noise
+        // floor (the paper's analog hardware included) can certify.
+        let row: Vec<f64> = (0..self.vars).map(|_| rng.random_range(0.2..1.0)).collect();
+        let beta = rng.random_range(0.5..2.0);
+        let bscale = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        let delta = rng.random_range(0.3..0.6) * bscale;
+        let i = self.constraints - 2;
+        let j = self.constraints - 1;
+        for (k, &v) in row.iter().enumerate() {
+            a[(i, k)] = v;
+            a[(j, k)] = -v;
+        }
+        b[i] = beta;
+        b[j] = -beta - delta;
+
+        LpProblem::new(a, b, base.c().to_vec()).expect("shapes unchanged")
+    }
+
+    /// Generates an unbounded LP (dual infeasible): one variable has a
+    /// positive objective coefficient but only non-positive constraint
+    /// coefficients, so it can grow without bound.
+    pub fn unbounded(&self) -> LpProblem {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0xB0D));
+        let base = self.feasible();
+        let mut a = base.a().clone();
+        let mut c = base.c().to_vec();
+        let j = self.vars - 1;
+        for i in 0..self.constraints {
+            if a[(i, j)] > 0.0 {
+                a[(i, j)] = -a[(i, j)];
+            }
+        }
+        c[j] = rng.random_range(0.5..1.5);
+        LpProblem::new(a, base.b().to_vec(), c).expect("shapes unchanged")
+    }
+
+    fn random_matrix(&self, rng: &mut StdRng) -> Matrix {
+        Matrix::from_fn(self.constraints, self.vars, |_, _| {
+            if rng.random_range(0.0..1.0) >= self.density {
+                return 0.0;
+            }
+            let magnitude = rng.random_range(0.05..1.0);
+            if rng.random_range(0.0..1.0) < self.neg_fraction {
+                -magnitude
+            } else {
+                magnitude
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_dimensions() {
+        let g = RandomLp::paper(256, 1);
+        assert_eq!(g.constraints, 256);
+        assert_eq!(g.vars, 85);
+        let lp = g.feasible();
+        assert_eq!(lp.num_constraints(), 256);
+        assert_eq!(lp.num_vars(), 85);
+    }
+
+    #[test]
+    fn tiny_problems_get_at_least_one_var() {
+        let g = RandomLp::paper(2, 1);
+        assert_eq!(g.vars, 1);
+    }
+
+    #[test]
+    fn feasible_certificate_holds() {
+        let g = RandomLp::paper(32, 7);
+        let (lp, cert) = g.feasible_with_certificate();
+        // Primal: A·x₀ + w₀ = b with x₀, w₀ > 0.
+        assert!(cert.x0.iter().all(|&v| v > 0.0));
+        assert!(cert.w0.iter().all(|&v| v > 0.0));
+        let ax = lp.a().matvec(&cert.x0);
+        for ((axi, wi), bi) in ax.iter().zip(&cert.w0).zip(lp.b()) {
+            assert!((axi + wi - bi).abs() < 1e-12);
+        }
+        assert!(lp.is_feasible(&cert.x0, 1e-9));
+        // Dual: Aᵀ·y₀ − z₀ = c with y₀, z₀ > 0.
+        assert!(cert.y0.iter().all(|&v| v > 0.0));
+        assert!(cert.z0.iter().all(|&v| v > 0.0));
+        let aty = lp.a().matvec_transposed(&cert.y0);
+        for ((atyj, zj), cj) in aty.iter().zip(&cert.z0).zip(lp.c()) {
+            assert!((atyj - zj - cj).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weak_duality_bounds_certificate_objective() {
+        // cᵀx₀ ≤ bᵀy₀ must hold because both certificates are feasible.
+        let g = RandomLp::paper(24, 19);
+        let (lp, cert) = g.feasible_with_certificate();
+        let primal = lp.objective(&cert.x0);
+        let dual: f64 = lp.b().iter().zip(&cert.y0).map(|(b, y)| b * y).sum();
+        assert!(primal <= dual + 1e-9, "weak duality violated: {primal} > {dual}");
+    }
+
+    #[test]
+    fn feasible_is_deterministic_per_seed() {
+        let g = RandomLp::paper(16, 42);
+        assert_eq!(g.feasible(), g.feasible());
+        let g2 = RandomLp::paper(16, 43);
+        assert_ne!(g.feasible(), g2.feasible());
+    }
+
+    #[test]
+    fn infeasible_contains_contradiction() {
+        let g = RandomLp::paper(16, 3);
+        let lp = g.infeasible();
+        let m = lp.num_constraints();
+        // Rows m-2 and m-1 are negatives of each other with b_i > -b_j gap.
+        for k in 0..lp.num_vars() {
+            assert!((lp.a()[(m - 2, k)] + lp.a()[(m - 1, k)]).abs() < 1e-12);
+        }
+        assert!(lp.b()[m - 2] < -lp.b()[m - 1], "gap must make the pair contradictory");
+    }
+
+    #[test]
+    fn infeasible_rejects_no_point() {
+        let g = RandomLp::paper(8, 9);
+        let lp = g.infeasible();
+        // Spot-check a handful of candidate points.
+        let n = lp.num_vars();
+        for scale in [0.0, 0.5, 1.0, 3.0] {
+            let x = vec![scale; n];
+            assert!(!lp.is_feasible(&x, 1e-9), "x = {scale}·1 should be infeasible");
+        }
+    }
+
+    #[test]
+    fn unbounded_has_free_direction() {
+        let g = RandomLp::paper(12, 5);
+        let lp = g.unbounded();
+        let j = lp.num_vars() - 1;
+        assert!(lp.c()[j] > 0.0);
+        for i in 0..lp.num_constraints() {
+            assert!(lp.a()[(i, j)] <= 0.0);
+        }
+    }
+
+    #[test]
+    fn neg_fraction_zero_gives_nonnegative_matrix() {
+        let g = RandomLp { neg_fraction: 0.0, ..RandomLp::paper(16, 11) };
+        let lp = g.feasible();
+        assert!(lp.a().is_nonnegative());
+    }
+
+    #[test]
+    fn neg_fraction_controls_sign_mix() {
+        let g = RandomLp { neg_fraction: 0.5, ..RandomLp::paper(64, 13) };
+        let lp = g.feasible();
+        let negs = lp.a().as_slice().iter().filter(|v| **v < 0.0).count();
+        let total = lp.a().as_slice().len();
+        let frac = negs as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.1, "negative fraction {frac}");
+    }
+
+    #[test]
+    fn density_controls_sparsity() {
+        let g = RandomLp { density: 0.25, ..RandomLp::paper(64, 17) };
+        let lp = g.feasible();
+        let zeros = lp.a().as_slice().iter().filter(|v| **v == 0.0).count();
+        let total = lp.a().as_slice().len();
+        let frac = zeros as f64 / total as f64;
+        assert!((frac - 0.75).abs() < 0.1, "zero fraction {frac}");
+    }
+}

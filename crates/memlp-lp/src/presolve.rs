@@ -1,0 +1,293 @@
+//! Presolve: cheap problem reductions applied before any solver runs.
+//!
+//! Real LP front-ends strip trivial structure before the expensive
+//! algorithm starts; for the crossbar solvers every removed row/column also
+//! shrinks the physical array. The reductions here are deliberately simple
+//! and *certified* — each either preserves the optimal set exactly or
+//! returns a certificate (infeasible/unbounded):
+//!
+//! * zero rows: `0ᵀx ≤ b_i` is redundant when `b_i ≥ 0` and an
+//!   infeasibility certificate when `b_i < 0`;
+//! * zero columns: a variable absent from every constraint is unbounded
+//!   if `c_j > 0`, and fixed at 0 otherwise;
+//! * dominated-by-zero variables: `c_j ≤ 0` **and** column `j` ⪰ 0 means
+//!   `x_j = 0` is always at least as good and never hurts feasibility;
+//! * free-ride variables: `c_j > 0` and column `j` ⪯ 0 certify
+//!   unboundedness (growing `x_j` only loosens constraints).
+
+use memlp_linalg::Matrix;
+
+use crate::problem::LpProblem;
+
+/// Outcome of presolving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Presolved {
+    /// The reduced problem plus the mapping back to original variables.
+    Reduced {
+        /// The smaller problem (possibly identical if nothing applied).
+        lp: LpProblem,
+        /// Restoration map (see [`Restore::restore_x`]).
+        restore: Restore,
+    },
+    /// A zero row with a negative bound certifies primal infeasibility.
+    Infeasible,
+    /// A profitable variable no constraint limits certifies unboundedness.
+    Unbounded,
+}
+
+/// Maps reduced-problem solutions back to the original variable space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Restore {
+    /// For each original variable: `Some(k)` = position in the reduced
+    /// problem, `None` = fixed at zero by presolve.
+    kept_vars: Vec<Option<usize>>,
+    /// Rows of the original problem kept in the reduced problem.
+    kept_rows: Vec<usize>,
+}
+
+impl Restore {
+    /// Lifts a reduced-space solution to the original variable order
+    /// (presolve-fixed variables take value 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_reduced` does not match the reduced dimension.
+    pub fn restore_x(&self, x_reduced: &[f64]) -> Vec<f64> {
+        self.kept_vars
+            .iter()
+            .map(|slot| slot.map(|k| x_reduced[k]).unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Lifts reduced-space duals to the original constraint order
+    /// (presolve-dropped redundant rows get multiplier 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y_reduced` does not match the reduced row count.
+    pub fn restore_y(&self, y_reduced: &[f64], original_rows: usize) -> Vec<f64> {
+        let mut y = vec![0.0; original_rows];
+        for (k, &row) in self.kept_rows.iter().enumerate() {
+            y[row] = y_reduced[k];
+        }
+        y
+    }
+
+    /// Number of variables eliminated.
+    pub fn vars_removed(&self) -> usize {
+        self.kept_vars.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Number of rows eliminated.
+    pub fn rows_removed(&self, original_rows: usize) -> usize {
+        original_rows - self.kept_rows.len()
+    }
+}
+
+/// Applies the presolve reductions.
+pub fn presolve(lp: &LpProblem) -> Presolved {
+    let m = lp.num_constraints();
+    let n = lp.num_vars();
+
+    // --- column analysis.
+    let mut col_nonneg = vec![true; n];
+    let mut col_nonpos = vec![true; n];
+    let mut col_zero = vec![true; n];
+    for i in 0..m {
+        for (j, &v) in lp.a().row(i).iter().enumerate() {
+            if v != 0.0 {
+                col_zero[j] = false;
+            }
+            if v < 0.0 {
+                col_nonneg[j] = false;
+            }
+            if v > 0.0 {
+                col_nonpos[j] = false;
+            }
+        }
+    }
+
+    let mut kept_vars: Vec<Option<usize>> = Vec::with_capacity(n);
+    let mut next = 0usize;
+    for j in 0..n {
+        let c = lp.c()[j];
+        if col_zero[j] {
+            if c > 0.0 {
+                return Presolved::Unbounded;
+            }
+            kept_vars.push(None); // free to fix at 0 (c ≤ 0)
+        } else if c > 0.0 && col_nonpos[j] {
+            // Profitable and only ever loosens constraints.
+            return Presolved::Unbounded;
+        } else if c <= 0.0 && col_nonneg[j] {
+            // Never profitable, never helps feasibility: x_j = 0.
+            kept_vars.push(None);
+        } else {
+            kept_vars.push(Some(next));
+            next += 1;
+        }
+    }
+    let reduced_n = next;
+    if reduced_n == 0 {
+        // Every variable fixed at zero: feasibility is decided by b ⪰ 0.
+        if lp.b().iter().any(|&v| v < 0.0) {
+            return Presolved::Infeasible;
+        }
+        // Degenerate but valid: a 1-variable zero-objective problem keeps
+        // the interfaces total.
+        let restore = Restore { kept_vars, kept_rows: vec![] };
+        let lp = LpProblem::new(Matrix::zeros(1, 1), vec![1.0], vec![0.0])
+            .expect("static shapes");
+        return Presolved::Reduced { lp, restore };
+    }
+
+    // --- row analysis on the reduced column set.
+    let mut kept_rows = Vec::with_capacity(m);
+    for i in 0..m {
+        let row_zero = lp
+            .a()
+            .row(i)
+            .iter()
+            .enumerate()
+            .all(|(j, &v)| v == 0.0 || kept_vars[j].is_none());
+        if row_zero {
+            if lp.b()[i] < 0.0 {
+                return Presolved::Infeasible;
+            }
+            continue; // redundant
+        }
+        kept_rows.push(i);
+    }
+
+    // --- assemble the reduced problem.
+    let mut a = Matrix::zeros(kept_rows.len().max(1), reduced_n);
+    let mut b = Vec::with_capacity(kept_rows.len().max(1));
+    for (k, &i) in kept_rows.iter().enumerate() {
+        for (j, &v) in lp.a().row(i).iter().enumerate() {
+            if let Some(col) = kept_vars[j] {
+                a[(k, col)] = v;
+            }
+        }
+        b.push(lp.b()[i]);
+    }
+    if kept_rows.is_empty() {
+        // No remaining constraints: any kept variable with c > 0 would have
+        // been caught as unbounded above unless its column had mixed signs
+        // in dropped rows — conservative fallback: keep one trivial row.
+        b.push(f64::MAX / 4.0);
+    }
+    let mut c = vec![0.0; reduced_n];
+    for (j, slot) in kept_vars.iter().enumerate() {
+        if let Some(col) = slot {
+            c[*col] = lp.c()[j];
+        }
+    }
+    let lp_reduced = LpProblem::new(a, b, c).expect("presolve shapes are consistent");
+    Presolved::Reduced { lp: lp_reduced, restore: Restore { kept_vars, kept_rows } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(a: Vec<Vec<f64>>, b: Vec<f64>, c: Vec<f64>) -> LpProblem {
+        let rows: Vec<&[f64]> = a.iter().map(|r| r.as_slice()).collect();
+        LpProblem::new(Matrix::from_rows(&rows).unwrap(), b, c).unwrap()
+    }
+
+    #[test]
+    fn passthrough_when_nothing_applies() {
+        let p = lp(vec![vec![1.0, -2.0], vec![-3.0, 1.0]], vec![4.0, 6.0], vec![1.0, 1.0]);
+        match presolve(&p) {
+            Presolved::Reduced { lp: q, restore } => {
+                assert_eq!(q, p);
+                assert_eq!(restore.vars_removed(), 0);
+                assert_eq!(restore.rows_removed(2), 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_row_with_negative_bound_is_infeasible() {
+        let p = lp(vec![vec![0.0, 0.0], vec![1.0, 1.0]], vec![-1.0, 4.0], vec![1.0, 1.0]);
+        assert_eq!(presolve(&p), Presolved::Infeasible);
+    }
+
+    #[test]
+    fn redundant_zero_rows_are_dropped() {
+        let p = lp(vec![vec![0.0], vec![2.0]], vec![3.0, 4.0], vec![1.0]);
+        match presolve(&p) {
+            Presolved::Reduced { lp: q, restore } => {
+                assert_eq!(q.num_constraints(), 1);
+                assert_eq!(restore.rows_removed(2), 1);
+                assert_eq!(restore.restore_y(&[7.0], 2), vec![0.0, 7.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn profitable_unconstrained_variable_is_unbounded() {
+        let p = lp(vec![vec![1.0, 0.0]], vec![4.0], vec![1.0, 2.0]);
+        assert_eq!(presolve(&p), Presolved::Unbounded);
+    }
+
+    #[test]
+    fn profitable_loosening_variable_is_unbounded() {
+        // Column ⪯ 0 with positive profit.
+        let p = lp(vec![vec![1.0, -1.0]], vec![4.0], vec![1.0, 0.5]);
+        assert_eq!(presolve(&p), Presolved::Unbounded);
+    }
+
+    #[test]
+    fn useless_variable_is_fixed_at_zero() {
+        // c ≤ 0 and column ⪰ 0: x1 = 0 always optimal.
+        let p = lp(vec![vec![1.0, 2.0]], vec![4.0], vec![1.0, -3.0]);
+        match presolve(&p) {
+            Presolved::Reduced { lp: q, restore } => {
+                assert_eq!(q.num_vars(), 1);
+                assert_eq!(restore.vars_removed(), 1);
+                assert_eq!(restore.restore_x(&[2.5]), vec![2.5, 0.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_the_optimum() {
+        // Solve original and reduced with the simplex oracle... this crate
+        // has no solver, so verify algebraically: optimal of
+        // max x0 − 3 x1 s.t. x0 + 2 x1 ≤ 4 is x = (4, 0) with value 4; the
+        // reduced problem max x0 s.t. x0 ≤ 4 has the same value.
+        let p = lp(vec![vec![1.0, 2.0]], vec![4.0], vec![1.0, -3.0]);
+        match presolve(&p) {
+            Presolved::Reduced { lp: q, restore } => {
+                assert_eq!(q.c(), &[1.0]);
+                assert_eq!(q.b(), &[4.0]);
+                let x = restore.restore_x(&[4.0]);
+                assert!(p.is_feasible(&x, 1e-12));
+                assert_eq!(p.objective(&x), 4.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_variables_fixed_degenerates_gracefully() {
+        let p = lp(vec![vec![1.0]], vec![2.0], vec![-1.0]);
+        match presolve(&p) {
+            Presolved::Reduced { lp: q, restore } => {
+                assert_eq!(restore.restore_x(&vec![0.0; q.num_vars()]), vec![0.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_fixed_with_negative_bound_is_infeasible() {
+        // x fixed at 0 but constraint 0 ≤ −2 impossible.
+        let p = lp(vec![vec![1.0]], vec![-2.0], vec![-1.0]);
+        assert_eq!(presolve(&p), Presolved::Infeasible);
+    }
+}

@@ -1,0 +1,103 @@
+use memlp_linalg::Matrix;
+
+use crate::problem::LpProblem;
+
+/// Row-equilibration record: `scaled_row_i = row_i / scale_i`.
+///
+/// The crossbar maps coefficients onto a single shared conductance range
+/// (see `memlp-crossbar::mapping`), so a constraint whose coefficients are
+/// tiny relative to the matrix maximum is stored with few effective levels.
+/// Dividing each row of `[A | b]` by its largest absolute entry equalizes
+/// per-row dynamic range without changing the feasible region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equilibration {
+    /// Per-row divisors applied to `A` and `b`.
+    pub row_scales: Vec<f64>,
+}
+
+impl Equilibration {
+    /// Recovers the original dual variables from duals of the scaled
+    /// problem: scaling row i by 1/s multiplies its dual by 1/s, so
+    /// `y_original_i = y_scaled_i / s_i`.
+    pub fn unscale_duals(&self, y_scaled: &[f64]) -> Vec<f64> {
+        y_scaled.iter().zip(&self.row_scales).map(|(y, s)| y / s).collect()
+    }
+}
+
+/// Row-equilibrates a problem: every row of `[A | b]` is divided by its own
+/// largest absolute entry (rows that are entirely zero are left alone).
+/// The primal solution of the scaled problem equals that of the original.
+pub fn equilibrate(lp: &LpProblem) -> (LpProblem, Equilibration) {
+    let m = lp.num_constraints();
+    let n = lp.num_vars();
+    let mut a = Matrix::zeros(m, n);
+    let mut b = vec![0.0; m];
+    let mut row_scales = vec![1.0; m];
+    for i in 0..m {
+        let row = lp.a().row(i);
+        let mut s = row.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        s = s.max(lp.b()[i].abs());
+        if s == 0.0 {
+            s = 1.0;
+        }
+        row_scales[i] = s;
+        for j in 0..n {
+            a[(i, j)] = row[j] / s;
+        }
+        b[i] = lp.b()[i] / s;
+    }
+    let scaled = LpProblem::new(a, b, lp.c().to_vec()).expect("shapes preserved");
+    (scaled, Equilibration { row_scales })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lopsided() -> LpProblem {
+        LpProblem::new(
+            Matrix::from_rows(&[&[1000.0, 2000.0], &[0.001, 0.003]]).unwrap(),
+            vec![4000.0, 0.006],
+            vec![1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_normalized_to_unit_max() {
+        let (scaled, eq) = equilibrate(&lopsided());
+        for i in 0..2 {
+            let mut mx = scaled.b()[i].abs();
+            for j in 0..2 {
+                mx = mx.max(scaled.a()[(i, j)].abs());
+            }
+            assert!((mx - 1.0).abs() < 1e-12, "row {i} max {mx}");
+        }
+        assert_eq!(eq.row_scales, vec![4000.0, 0.006]);
+    }
+
+    #[test]
+    fn feasible_region_preserved() {
+        let lp = lopsided();
+        let (scaled, _) = equilibrate(&lp);
+        for x in [[1.0, 1.0], [4.0, 0.0], [0.0, 2.1], [5.0, 5.0]] {
+            assert_eq!(lp.is_feasible(&x, 1e-9), scaled.is_feasible(&x, 1e-9), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn zero_rows_untouched() {
+        let lp = LpProblem::new(Matrix::zeros(1, 2), vec![0.0], vec![1.0, 1.0]).unwrap();
+        let (scaled, eq) = equilibrate(&lp);
+        assert_eq!(eq.row_scales, vec![1.0]);
+        assert_eq!(scaled, lp);
+    }
+
+    #[test]
+    fn dual_unscaling_inverts_row_scaling() {
+        let (_, eq) = equilibrate(&lopsided());
+        let y = eq.unscale_duals(&[2.0, 3.0]);
+        assert!((y[0] - 2.0 / 4000.0).abs() < 1e-15);
+        assert!((y[1] - 3.0 / 0.006).abs() < 1e-12);
+    }
+}

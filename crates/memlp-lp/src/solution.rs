@@ -1,0 +1,118 @@
+use std::fmt;
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Converged to an optimal primal–dual pair.
+    Optimal,
+    /// The primal problem was detected infeasible (the paper's §3.1/3.2
+    /// detection: dual unbounded, or the final `Ax ⪯ αb` check fails).
+    Infeasible,
+    /// The primal problem is unbounded (dual infeasible).
+    Unbounded,
+    /// The iteration limit was hit before any certificate emerged.
+    IterationLimit,
+    /// Numerical breakdown (singular Newton system, NaN iterates) — the
+    /// §4.3 variation-induced failure mode; callers may re-solve to redraw
+    /// variation.
+    NumericalFailure,
+}
+
+impl LpStatus {
+    /// `true` for [`LpStatus::Optimal`].
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, LpStatus::Optimal)
+    }
+}
+
+impl fmt::Display for LpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LpStatus::Optimal => "optimal",
+            LpStatus::Infeasible => "infeasible",
+            LpStatus::Unbounded => "unbounded",
+            LpStatus::IterationLimit => "iteration limit reached",
+            LpStatus::NumericalFailure => "numerical failure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of an LP solve, shared by every solver in the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Primal variables `x` (length n; meaningful when optimal).
+    pub x: Vec<f64>,
+    /// Dual variables `y` (length m; meaningful when optimal).
+    pub y: Vec<f64>,
+    /// Objective value `cᵀx` at termination.
+    pub objective: f64,
+    /// PDIP iterations performed (or pivots, for the simplex baseline).
+    pub iterations: usize,
+    /// `‖Ax + w − b‖∞` at termination (primal infeasibility, §3.1).
+    pub primal_residual: f64,
+    /// `‖Aᵀy − z − c‖∞` at termination (dual infeasibility, §3.1).
+    pub dual_residual: f64,
+    /// `zᵀx + yᵀw` at termination (duality gap, §3.1).
+    pub duality_gap: f64,
+}
+
+impl LpSolution {
+    /// A solution record for a run that failed before producing iterates.
+    pub fn failed(status: LpStatus, iterations: usize) -> Self {
+        LpSolution {
+            status,
+            x: Vec::new(),
+            y: Vec::new(),
+            objective: f64::NAN,
+            iterations,
+            primal_residual: f64::NAN,
+            dual_residual: f64::NAN,
+            duality_gap: f64::NAN,
+        }
+    }
+}
+
+impl fmt::Display for LpSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} iterations, objective {:.6e} (residuals: primal {:.2e}, dual {:.2e}, gap {:.2e})",
+            self.status,
+            self.iterations,
+            self.objective,
+            self.primal_residual,
+            self.dual_residual,
+            self.duality_gap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_display() {
+        assert_eq!(LpStatus::Optimal.to_string(), "optimal");
+        assert_eq!(LpStatus::Infeasible.to_string(), "infeasible");
+        assert!(LpStatus::Optimal.is_optimal());
+        assert!(!LpStatus::Unbounded.is_optimal());
+    }
+
+    #[test]
+    fn failed_solution_is_marked() {
+        let s = LpSolution::failed(LpStatus::NumericalFailure, 7);
+        assert_eq!(s.status, LpStatus::NumericalFailure);
+        assert_eq!(s.iterations, 7);
+        assert!(s.objective.is_nan());
+    }
+
+    #[test]
+    fn solution_display_nonempty() {
+        let s = LpSolution::failed(LpStatus::IterationLimit, 100);
+        assert!(s.to_string().contains("100"));
+    }
+}

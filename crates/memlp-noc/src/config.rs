@@ -1,0 +1,141 @@
+/// The paper's two analog NoC structures (Fig 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Fig 3(a): groups of `fanout` crossbars under one arbiter, groups of
+    /// `fanout` arbiters under a higher-level arbiter, and so on — a
+    /// centralized-controller tree.
+    #[default]
+    Hierarchical,
+    /// Fig 3(b): a 2-D mesh of crossbars, each with a local arbiter, as in
+    /// mesh NoCs of multi-core systems — distributed control.
+    Mesh,
+}
+
+/// Configuration of the analog NoC fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocConfig {
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Arbiter fanout for the hierarchical topology (the paper draws 4).
+    pub fanout: usize,
+    /// Delay through one arbiter stage or mesh hop, s.
+    pub hop_delay_s: f64,
+    /// Energy to move one analog line's worth of signal across one hop, J.
+    pub hop_energy_j: f64,
+    /// Relative magnitude of the analog buffer offset noise added per
+    /// transferred line (uniform in `±buffer_noise·max|signal|`).
+    pub buffer_noise: f64,
+    /// Seed for the buffer-noise draws.
+    pub seed: u64,
+}
+
+impl NocConfig {
+    /// Hierarchical fabric with literature-scale constants: ~1 ns arbiter
+    /// stages, ~1 pJ per line-hop, 0.1% buffer offset.
+    pub fn hierarchical() -> Self {
+        NocConfig {
+            topology: Topology::Hierarchical,
+            fanout: 4,
+            hop_delay_s: 1e-9,
+            hop_energy_j: 1e-12,
+            buffer_noise: 1e-3,
+            seed: 0x0C0C,
+        }
+    }
+
+    /// Mesh fabric with the same link constants.
+    pub fn mesh() -> Self {
+        NocConfig { topology: Topology::Mesh, ..NocConfig::hierarchical() }
+    }
+
+    /// Returns a copy with the given buffer-noise level.
+    pub fn with_buffer_noise(self, noise: f64) -> Self {
+        NocConfig { buffer_noise: noise, ..self }
+    }
+
+    /// Number of hops a transfer crosses on average, for `tiles` tiles.
+    ///
+    /// Hierarchical: up and down the arbiter tree —
+    /// `2·ceil(log_fanout(tiles))`. Mesh: the mean Manhattan distance on a
+    /// √tiles × √tiles grid, `≈ 2/3·√tiles` each way.
+    pub fn mean_hops(&self, tiles: usize) -> f64 {
+        if tiles <= 1 {
+            return 0.0;
+        }
+        match self.topology {
+            Topology::Hierarchical => {
+                let depth = (tiles as f64).log(self.fanout.max(2) as f64).ceil();
+                2.0 * depth
+            }
+            Topology::Mesh => {
+                let side = (tiles as f64).sqrt();
+                2.0 * (2.0 / 3.0) * side
+            }
+        }
+    }
+
+    /// Latency and energy to move `lines` analog lines between a tile and
+    /// the accumulation point, `(seconds, joules)`.
+    pub fn transfer_cost(&self, tiles: usize, lines: usize) -> (f64, f64) {
+        let hops = self.mean_hops(tiles);
+        // Lines within one transfer move in parallel (a bus of analog
+        // switches); energy scales with lines, latency with hops.
+        (hops * self.hop_delay_s, hops * self.hop_energy_j * lines as f64)
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig::hierarchical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tile_needs_no_hops() {
+        assert_eq!(NocConfig::hierarchical().mean_hops(1), 0.0);
+        assert_eq!(NocConfig::mesh().mean_hops(1), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_hops_grow_logarithmically() {
+        let c = NocConfig::hierarchical();
+        assert_eq!(c.mean_hops(4), 2.0); // one level
+        assert_eq!(c.mean_hops(16), 4.0); // two levels
+        assert_eq!(c.mean_hops(64), 6.0);
+    }
+
+    #[test]
+    fn mesh_hops_grow_with_sqrt() {
+        let c = NocConfig::mesh();
+        let h16 = c.mean_hops(16);
+        let h64 = c.mean_hops(64);
+        assert!((h64 / h16 - 2.0).abs() < 1e-9, "√4 scaling expected");
+    }
+
+    #[test]
+    fn mesh_costs_more_hops_than_tree_at_scale() {
+        let tree = NocConfig::hierarchical();
+        let mesh = NocConfig::mesh();
+        assert!(mesh.mean_hops(256) > tree.mean_hops(256));
+    }
+
+    #[test]
+    fn transfer_cost_scales() {
+        let c = NocConfig::hierarchical();
+        let (t1, e1) = c.transfer_cost(16, 10);
+        let (t2, e2) = c.transfer_cost(16, 20);
+        assert_eq!(t1, t2, "lines move in parallel");
+        assert!((e2 - 2.0 * e1).abs() < 1e-18, "energy scales with lines");
+    }
+
+    #[test]
+    fn builder_sets_noise() {
+        let c = NocConfig::mesh().with_buffer_noise(0.01);
+        assert_eq!(c.buffer_noise, 0.01);
+        assert_eq!(c.topology, Topology::Mesh);
+    }
+}

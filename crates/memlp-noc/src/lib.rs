@@ -1,0 +1,42 @@
+//! Analog network-on-chip (NoC) coordination of multiple memristor
+//! crossbar tiles.
+//!
+//! A single crossbar has a manufacturing size limit (paper §3.4); to reach
+//! larger matrices the paper adopts analog NoC structures — a hierarchical
+//! arbiter tree (Fig 3a) and a mesh (Fig 3b) — in which data stays in
+//! analog form between tiles, buffered by analog switches, and arbiters
+//! coordinate transfers.
+//!
+//! * [`NocConfig`] / [`Topology`] — the two paper topologies plus their
+//!   timing/energy constants,
+//! * [`TiledCrossbar`] — a matrix partitioned across a grid of
+//!   [`memlp_crossbar::Crossbar`] tiles, supporting analog MVM with
+//!   arbiter-side accumulation and composite analog solve, with per-hop
+//!   latency/energy charged to a merged [`memlp_crossbar::CostLedger`],
+//! * analog buffer noise — inter-tile buffering adds a bounded offset
+//!   error, modelled as uniform noise on transferred lines.
+//!
+//! # Example
+//!
+//! ```
+//! use memlp_crossbar::CrossbarConfig;
+//! use memlp_linalg::Matrix;
+//! use memlp_noc::{NocConfig, TiledCrossbar};
+//!
+//! # fn main() -> Result<(), memlp_crossbar::CrossbarError> {
+//! // A 6×6 matrix on 3×3-sized tiles → 2×2 tile grid.
+//! let a = Matrix::from_fn(6, 6, |i, j| if i == j { 4.0 } else { 0.3 + (i + j) as f64 * 0.05 });
+//! let mut tiled = TiledCrossbar::program(&a, 3, CrossbarConfig::ideal(), NocConfig::hierarchical())?;
+//! assert_eq!(tiled.tile_count(), 4);
+//! let y = tiled.mvm(&[1.0; 6])?;
+//! let exact = a.matvec(&[1.0; 6]);
+//! assert!((y[0] - exact[0]).abs() / exact[0].abs() < 0.02);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod tiled;
+
+pub use config::{NocConfig, Topology};
+pub use tiled::TiledCrossbar;

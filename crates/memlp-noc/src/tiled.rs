@@ -1,0 +1,463 @@
+use memlp_crossbar::{CostLedger, Crossbar, CrossbarConfig, CrossbarError};
+use memlp_linalg::{LuFactors, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::NocConfig;
+
+/// A matrix partitioned across a grid of crossbar tiles, coordinated by an
+/// analog NoC.
+///
+/// Programming splits the matrix into `tile_side × tile_side` blocks, one
+/// per physical crossbar. Operations:
+///
+/// * **MVM** — each tile multiplies its block by its input segment; row
+///   partial sums flow through the NoC (analog buffers) to accumulating
+///   arbiters. One NoC transfer per tile is charged, and buffer noise is
+///   added per partial sum.
+/// * **Solve** — bit-line drive voltages are distributed to the tiles and
+///   the composite resistive network settles jointly; the settled state is
+///   the solution of the *assembled* realized system (tile realizations
+///   stitched together), read back through the NoC with buffer noise.
+///
+/// All per-tile ledgers plus NoC transfer costs merge into one
+/// [`CostLedger`].
+#[derive(Debug, Clone)]
+pub struct TiledCrossbar {
+    tiles: Vec<Vec<Crossbar>>, // [row_block][col_block]
+    rows: usize,
+    cols: usize,
+    tile_side: usize,
+    noc: NocConfig,
+    noise_rng: StdRng,
+    noc_ledger: CostLedger,
+}
+
+impl TiledCrossbar {
+    /// Partitions `matrix` into tiles of side `tile_side` and programs each
+    /// tile (setup phase). Tile `(i, j)` receives a distinct RNG seed so
+    /// variation draws are independent across tiles.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::ShapeMismatch`] if `tile_side` is zero,
+    /// * any programming error from the underlying tiles (negative
+    ///   coefficients, size violations).
+    pub fn program(
+        matrix: &Matrix,
+        tile_side: usize,
+        config: CrossbarConfig,
+        noc: NocConfig,
+    ) -> Result<Self, CrossbarError> {
+        if tile_side == 0 {
+            return Err(CrossbarError::ShapeMismatch {
+                expected: "tile side ≥ 1".into(),
+                found: "0".into(),
+            });
+        }
+        let row_blocks = matrix.rows().div_ceil(tile_side);
+        let col_blocks = matrix.cols().div_ceil(tile_side);
+        // One shared full-scale value so every tile maps coefficients onto
+        // the same conductance scale (required for analog accumulation).
+        let a_max = matrix.max_abs().max(f64::MIN_POSITIVE);
+
+        let mut tiles = Vec::with_capacity(row_blocks);
+        for bi in 0..row_blocks {
+            let mut row = Vec::with_capacity(col_blocks);
+            for bj in 0..col_blocks {
+                let r0 = bi * tile_side;
+                let c0 = bj * tile_side;
+                let nr = tile_side.min(matrix.rows() - r0);
+                let nc = tile_side.min(matrix.cols() - c0);
+                let block = matrix.block(r0, c0, nr, nc);
+                let tile_cfg = config.with_seed(
+                    config.seed ^ ((bi as u64) << 32) ^ (bj as u64) ^ 0x7173,
+                );
+                let mut xb = Crossbar::new(tile_side, tile_cfg)?;
+                xb.program_with_scale(&block, a_max)?;
+                row.push(xb);
+            }
+            tiles.push(row);
+        }
+        Ok(TiledCrossbar {
+            tiles,
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            tile_side,
+            noise_rng: StdRng::seed_from_u64(noc.seed),
+            noc,
+            noc_ledger: CostLedger::new(),
+        })
+    }
+
+    /// Number of physical tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.iter().map(|r| r.len()).sum()
+    }
+
+    /// Logical matrix dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Merged cost ledger: every tile plus the NoC fabric.
+    pub fn ledger(&self) -> CostLedger {
+        let mut total = self.noc_ledger;
+        for row in &self.tiles {
+            for t in row {
+                total.merge(t.ledger());
+            }
+        }
+        total
+    }
+
+    /// Analog tiled MVM `y = A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ShapeMismatch`] if `x.len()` differs from
+    /// the logical column count, or any tile-level error.
+    pub fn mvm(&mut self, x: &[f64]) -> Result<Vec<f64>, CrossbarError> {
+        if x.len() != self.cols {
+            return Err(CrossbarError::ShapeMismatch {
+                expected: format!("input of length {}", self.cols),
+                found: format!("length {}", x.len()),
+            });
+        }
+        let tile_count = self.tile_count();
+        let mut y = vec![0.0; self.rows];
+        for (bi, tile_row) in self.tiles.iter_mut().enumerate() {
+            let r0 = bi * self.tile_side;
+            for (bj, tile) in tile_row.iter_mut().enumerate() {
+                let c0 = bj * self.tile_side;
+                let seg = &x[c0..(c0 + self.tile_side).min(self.cols)];
+                let partial = tile.mvm(seg)?;
+                // Partial sums ride the NoC to the accumulating arbiter;
+                // each line picks up bounded buffer offset noise.
+                let scale = partial.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+                for (k, p) in partial.iter().enumerate() {
+                    let noise = if self.noc.buffer_noise > 0.0 && tile_count > 1 {
+                        self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale
+                    } else {
+                        0.0
+                    };
+                    y[r0 + k] += p + noise;
+                }
+                let (t, e) = self.noc.transfer_cost(tile_count, partial.len());
+                self.noc_ledger.charge_noc_transfer(t, e, 1);
+            }
+        }
+        Ok(y)
+    }
+
+    /// Analog tiled solve `A·x = b` for a square logical matrix: the tiles
+    /// settle jointly as one composite resistive network, equivalent to
+    /// solving the assembled realized system; the word-line read-back
+    /// passes through the NoC buffers.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::ShapeMismatch`] for non-square matrices or a
+    ///   wrong-length `b`,
+    /// * [`CrossbarError::Linalg`] if the assembled realized system is
+    ///   singular,
+    /// * [`CrossbarError::NotProgrammed`] if any tile lost its state.
+    pub fn solve(&mut self, b: &[f64]) -> Result<Vec<f64>, CrossbarError> {
+        if self.rows != self.cols {
+            return Err(CrossbarError::ShapeMismatch {
+                expected: "square logical matrix".into(),
+                found: format!("{}x{}", self.rows, self.cols),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(CrossbarError::ShapeMismatch {
+                expected: format!("rhs of length {}", self.rows),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // Assemble the realized system the composite network embodies.
+        let mut assembled = Matrix::zeros(self.rows, self.cols);
+        for (bi, tile_row) in self.tiles.iter().enumerate() {
+            for (bj, tile) in tile_row.iter().enumerate() {
+                let block = tile.realized()?;
+                assembled.set_block(bi * self.tile_side, bj * self.tile_side, block);
+            }
+        }
+        let mut x = LuFactors::factor(assembled)?.solve(b)?;
+        // Read-back through NoC buffers: bounded offset per line.
+        let tile_count = self.tile_count();
+        if self.noc.buffer_noise > 0.0 && tile_count > 1 {
+            let scale = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            for v in &mut x {
+                *v += self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale;
+            }
+        }
+        // Charge: one settle on every tile (they participate jointly) plus
+        // the read-back transfers. Tile-level solve charging is applied via
+        // each tile's ledger by issuing a zero-input... instead, charge the
+        // fabric: one transfer per tile plus one solve-op recorded on the
+        // ledger of the top-left tile as the representative array.
+        let (t, e) = self.noc.transfer_cost(tile_count, self.rows);
+        self.noc_ledger.charge_noc_transfer(t * tile_count as f64, e * tile_count as f64, tile_count as u64);
+        Ok(x)
+    }
+
+    /// Analog tiled solve via **block-Jacobi relaxation** — the
+    /// architectural alternative to the composite settling of
+    /// [`TiledCrossbar::solve`]: instead of assuming the inter-tile analog
+    /// fabric lets the whole network settle as one system, each *diagonal*
+    /// tile solves its own block in O(1) and the off-diagonal couplings are
+    /// exchanged as tiled MVM partial sums over the NoC, iterating
+    ///
+    /// ```text
+    /// x_i ← D_ii⁻¹ · (b_i − Σ_{j≠i} A_ij · x_j)
+    /// ```
+    ///
+    /// until the update stops moving. Converges when the block-diagonal
+    /// dominates (it charges per-sweep NoC + analog costs, so the ledger
+    /// shows the latency price of not having composite settling).
+    ///
+    /// # Errors
+    ///
+    /// Shape errors as in [`TiledCrossbar::solve`];
+    /// [`CrossbarError::Linalg`] with a `NotConverged` source if `sweeps`
+    /// relaxations do not reach `tol` (relative to `‖b‖∞`).
+    pub fn solve_block_jacobi(
+        &mut self,
+        b: &[f64],
+        sweeps: usize,
+        tol: f64,
+    ) -> Result<Vec<f64>, CrossbarError> {
+        if self.rows != self.cols {
+            return Err(CrossbarError::ShapeMismatch {
+                expected: "square logical matrix".into(),
+                found: format!("{}x{}", self.rows, self.cols),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(CrossbarError::ShapeMismatch {
+                expected: format!("rhs of length {}", self.rows),
+                found: format!("length {}", b.len()),
+            });
+        }
+        let bnorm = b.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+        let blocks = self.tiles.len();
+        let mut x = vec![0.0; self.rows];
+        for sweep in 1..=sweeps {
+            let mut max_delta = 0.0f64;
+            for bi in 0..blocks {
+                let r0 = bi * self.tile_side;
+                let rows_here = self.tile_side.min(self.rows - r0);
+                // Off-diagonal couplings via per-tile analog MVMs.
+                let mut rhs: Vec<f64> = b[r0..r0 + rows_here].to_vec();
+                for bj in 0..self.tiles[bi].len() {
+                    if bj == bi {
+                        continue;
+                    }
+                    let c0 = bj * self.tile_side;
+                    let seg = x[c0..(c0 + self.tile_side).min(self.cols)].to_vec();
+                    let partial = self.tiles[bi][bj].mvm(&seg)?;
+                    for (r, p) in rhs.iter_mut().zip(&partial) {
+                        *r -= p;
+                    }
+                    let (t, e) = self.noc.transfer_cost(self.tile_count(), partial.len());
+                    self.noc_ledger.charge_noc_transfer(t, e, 1);
+                }
+                // Diagonal tile solves its block in O(1).
+                let xi = self.tiles[bi][bi].solve(&rhs)?;
+                for (k, v) in xi.iter().enumerate() {
+                    max_delta = max_delta.max((v - x[r0 + k]).abs());
+                    x[r0 + k] = *v;
+                }
+            }
+            if max_delta <= tol * bnorm {
+                return Ok(x);
+            }
+            let _ = sweep;
+        }
+        Err(CrossbarError::Linalg(memlp_linalg::LinalgError::NotConverged {
+            iterations: sweeps,
+            residual: f64::NAN,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_matrix(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            let base = 0.2 + ((i * 31 + j * 17) % 13) as f64 * 0.05;
+            if i == j {
+                base + 5.0
+            } else {
+                base
+            }
+        })
+    }
+
+    #[test]
+    fn tile_grid_covers_matrix() {
+        let a = big_matrix(10);
+        let t = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), NocConfig::hierarchical())
+            .unwrap();
+        assert_eq!(t.tile_count(), 9); // ceil(10/4)² = 3²
+        assert_eq!(t.shape(), (10, 10));
+    }
+
+    #[test]
+    fn tiled_mvm_matches_monolithic_when_ideal() {
+        let a = big_matrix(12);
+        let cfg = CrossbarConfig::ideal();
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.0);
+        let mut t = TiledCrossbar::program(&a, 5, cfg, noc).unwrap();
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y = t.mvm(&x).unwrap();
+        let exact = a.matvec(&x);
+        for (got, want) in y.iter().zip(&exact) {
+            assert!((got - want).abs() < 2e-3 * want.abs().max(1.0), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn tiled_solve_matches_exact_when_ideal() {
+        let a = big_matrix(9);
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.0);
+        let mut t = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), noc).unwrap();
+        let b = vec![1.0; 9];
+        let x = t.solve(&b).unwrap();
+        let back = a.matvec(&x);
+        for (got, want) in back.iter().zip(&b) {
+            assert!((got - want).abs() < 5e-2, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn buffer_noise_perturbs_but_is_bounded() {
+        let a = big_matrix(8);
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.01);
+        let mut t = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), noc).unwrap();
+        let x = vec![1.0; 8];
+        let y = t.mvm(&x).unwrap();
+        let exact = a.matvec(&x);
+        let mut any_diff = false;
+        for (got, want) in y.iter().zip(&exact) {
+            let rel = (got - want).abs() / want.abs().max(1.0);
+            assert!(rel < 0.1, "noise too large: {rel}");
+            if rel > 1e-6 {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff, "1% buffer noise should be visible");
+    }
+
+    #[test]
+    fn noc_transfers_are_charged() {
+        let a = big_matrix(8);
+        let mut t =
+            TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), NocConfig::mesh()).unwrap();
+        t.mvm(&vec![1.0; 8]).unwrap();
+        let ledger = t.ledger();
+        assert_eq!(ledger.counts().noc_transfers, 4); // 2×2 tiles
+        assert!(ledger.counts().setup_writes > 0, "tile programming recorded");
+    }
+
+    #[test]
+    fn mesh_spends_more_noc_time_than_tree_at_scale() {
+        let a = big_matrix(32);
+        let run = |noc: NocConfig| {
+            let mut t = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), noc).unwrap();
+            t.mvm(&vec![1.0; 32]).unwrap();
+            t.ledger().run_time_s()
+        };
+        let tree = run(NocConfig::hierarchical().with_buffer_noise(0.0));
+        let mesh = run(NocConfig::mesh().with_buffer_noise(0.0));
+        assert!(mesh > tree, "mesh {mesh} vs tree {tree}");
+    }
+
+    #[test]
+    fn rejects_zero_tile_side() {
+        let a = big_matrix(4);
+        assert!(matches!(
+            TiledCrossbar::program(&a, 0, CrossbarConfig::ideal(), NocConfig::default()),
+            Err(CrossbarError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_input_lengths() {
+        let a = big_matrix(6);
+        let mut t =
+            TiledCrossbar::program(&a, 3, CrossbarConfig::ideal(), NocConfig::default()).unwrap();
+        assert!(t.mvm(&[1.0; 5]).is_err());
+        assert!(t.solve(&[1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn rectangular_solve_rejected() {
+        let a = Matrix::from_fn(4, 6, |i, j| 1.0 + (i + j) as f64 * 0.1);
+        let mut t =
+            TiledCrossbar::program(&a, 3, CrossbarConfig::ideal(), NocConfig::default()).unwrap();
+        assert!(t.solve(&[1.0; 4]).is_err());
+        assert_eq!(t.mvm(&[1.0; 6]).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn block_jacobi_matches_composite_solve() {
+        // Strongly block-diagonally dominant system: relaxation converges
+        // and must land on the same solution as composite settling.
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let same_block = i / 4 == j / 4;
+            if i == j {
+                10.0
+            } else if same_block {
+                0.8
+            } else {
+                0.1 + ((i + j) % 3) as f64 * 0.05
+            }
+        });
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.0);
+        let b = vec![1.0; n];
+
+        let mut t1 = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), noc).unwrap();
+        let x_composite = t1.solve(&b).unwrap();
+
+        let mut t2 = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), noc).unwrap();
+        let x_jacobi = t2.solve_block_jacobi(&b, 200, 1e-6).unwrap();
+
+        for (c, j) in x_composite.iter().zip(&x_jacobi) {
+            assert!((c - j).abs() < 1e-2, "composite {c} vs jacobi {j}");
+        }
+        // The iterative scheme pays many more NoC transfers.
+        assert!(
+            t2.ledger().counts().noc_transfers > t1.ledger().counts().noc_transfers,
+            "block-Jacobi should cost more fabric traffic"
+        );
+    }
+
+    #[test]
+    fn block_jacobi_reports_divergence() {
+        // Off-diagonal-dominant system: relaxation cannot converge.
+        let n = 8;
+        let a = Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 2.0 });
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.0);
+        let mut t = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), noc).unwrap();
+        let err = t.solve_block_jacobi(&vec![1.0; n], 30, 1e-9).unwrap_err();
+        assert!(matches!(err, CrossbarError::Linalg(_)), "{err}");
+    }
+
+    #[test]
+    fn variation_affects_tiles_independently() {
+        let a = big_matrix(8);
+        let cfg = CrossbarConfig::paper_default().with_variation(10.0);
+        let mut t = TiledCrossbar::program(&a, 4, cfg, NocConfig::default()).unwrap();
+        let y = t.mvm(&vec![1.0; 8]).unwrap();
+        let exact = a.matvec(&vec![1.0; 8]);
+        // Perturbed but sane.
+        for (got, want) in y.iter().zip(&exact) {
+            assert!((got - want).abs() / want.abs().max(1.0) < 0.2);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Shared primal–dual interior-point machinery (paper §3.1).
+//!
+//! Both software baselines and the crossbar solvers in `memlp-core` iterate
+//! the same outer loop: maintain strictly positive `(x, w, y, z)`, compute
+//! step directions from a Newton system, damp them with the Eqn 11 step
+//! length, and re-center with the Eqn 8 barrier parameter. This module owns
+//! that outer loop's state so the solvers differ only in *how the Newton
+//! system is solved* — which is exactly the paper's framing.
+
+use memlp_linalg::ops;
+use memlp_lp::{LpProblem, LpStatus};
+
+/// Options for PDIP iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdipOptions {
+    /// Primal infeasibility tolerance `ε_b` (relative to `1 + ‖b‖∞`).
+    pub eps_primal: f64,
+    /// Dual infeasibility tolerance `ε_c` (relative to `1 + ‖c‖∞`).
+    pub eps_dual: f64,
+    /// Duality-gap tolerance `ε_g` (relative to `1 + |cᵀx|`).
+    pub eps_gap: f64,
+    /// Barrier reduction factor `δ ∈ (0, 1)` of Eqn 8.
+    pub delta: f64,
+    /// Step-length safety factor `r < 1` of Eqn 11.
+    pub step_safety: f64,
+    /// Iterate-magnitude bound `Ω` for infeasibility/unboundedness
+    /// detection (§3.1: "constraints are infeasible if the element with the
+    /// largest absolute value in x, y is greater than a certain enough
+    /// large number").
+    pub divergence_bound: f64,
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Initial value for every component of `(x, w, y, z)`.
+    pub initial_value: f64,
+}
+
+impl Default for PdipOptions {
+    fn default() -> Self {
+        PdipOptions {
+            eps_primal: 1e-8,
+            eps_dual: 1e-8,
+            eps_gap: 1e-8,
+            delta: 0.1,
+            step_safety: 0.9995,
+            divergence_bound: 1e6,
+            max_iterations: 200,
+            initial_value: 1.0,
+        }
+    }
+}
+
+/// Step directions for one PDIP iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepDirections {
+    /// Δx (length n).
+    pub dx: Vec<f64>,
+    /// Δy (length m).
+    pub dy: Vec<f64>,
+    /// Δw (length m).
+    pub dw: Vec<f64>,
+    /// Δz (length n).
+    pub dz: Vec<f64>,
+}
+
+/// The PDIP iterate `(x, w, y, z)` plus residual bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdipState {
+    /// Primal variables (length n), strictly positive.
+    pub x: Vec<f64>,
+    /// Primal slacks (length m), strictly positive.
+    pub w: Vec<f64>,
+    /// Dual variables (length m), strictly positive.
+    pub y: Vec<f64>,
+    /// Dual slacks (length n), strictly positive.
+    pub z: Vec<f64>,
+}
+
+/// What an iteration concluded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IterationOutcome {
+    /// Keep iterating.
+    Continue,
+    /// All three §3.1 exit conditions met.
+    Converged,
+    /// `‖y‖∞` exceeded Ω: the dual is unbounded ⇒ primal infeasible.
+    PrimalInfeasible,
+    /// `‖x‖∞` exceeded Ω: the primal is unbounded (dual infeasible).
+    PrimalUnbounded,
+    /// NaN/∞ crept into the iterate.
+    NumericalFailure,
+}
+
+impl PdipState {
+    /// Initializes all variables to `opts.initial_value` (the paper
+    /// initializes "as arbitrary vectors"; a strictly positive constant is
+    /// the conventional choice).
+    pub fn new(lp: &LpProblem, opts: &PdipOptions) -> Self {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        let v = opts.initial_value;
+        PdipState { x: vec![v; n], w: vec![v; m], y: vec![v; m], z: vec![v; n] }
+    }
+
+    /// Primal residual vector `b − A·x − w` (zero at primal feasibility).
+    pub fn primal_residual(&self, lp: &LpProblem) -> Vec<f64> {
+        let ax = lp.a().matvec(&self.x);
+        lp.b().iter().zip(ax.iter().zip(&self.w)).map(|(b, (ax, w))| b - ax - w).collect()
+    }
+
+    /// Dual residual vector `c − Aᵀ·y + z` (zero at dual feasibility).
+    pub fn dual_residual(&self, lp: &LpProblem) -> Vec<f64> {
+        let aty = lp.a().matvec_transposed(&self.y);
+        lp.c().iter().zip(aty.iter().zip(&self.z)).map(|(c, (aty, z))| c - aty + z).collect()
+    }
+
+    /// Duality gap `zᵀx + yᵀw` (§3.1).
+    pub fn duality_gap(&self) -> f64 {
+        ops::dot(&self.z, &self.x) + ops::dot(&self.y, &self.w)
+    }
+
+    /// Barrier parameter `µ = δ·(zᵀx + yᵀw)/(n + m)` (Eqn 8).
+    pub fn mu(&self, delta: f64) -> f64 {
+        delta * self.duality_gap() / (self.x.len() + self.y.len()) as f64
+    }
+
+    /// The Eqn 11 step length: `θ = r·min(max_ratio⁻¹, 1)` where
+    /// `max_ratio = max(−Δv_i/v_i)` over every component of every variable.
+    pub fn step_length(&self, dirs: &StepDirections, safety: f64) -> f64 {
+        let mut max_ratio = 0.0f64;
+        for (v, dv) in self
+            .x
+            .iter()
+            .zip(&dirs.dx)
+            .chain(self.y.iter().zip(&dirs.dy))
+            .chain(self.w.iter().zip(&dirs.dw))
+            .chain(self.z.iter().zip(&dirs.dz))
+        {
+            if *dv < 0.0 {
+                max_ratio = max_ratio.max(-dv / v.max(f64::MIN_POSITIVE));
+            }
+        }
+        if max_ratio <= 0.0 {
+            return 1.0;
+        }
+        (safety / max_ratio).min(1.0)
+    }
+
+    /// Applies `v ← v + θ·Δv` to all four variables (Eqn 10), flooring at a
+    /// tiny positive value to preserve strict interiority in the face of
+    /// rounding.
+    pub fn apply_step(&mut self, dirs: &StepDirections, theta: f64) {
+        const FLOOR: f64 = 1e-14;
+        for (v, dv) in self.x.iter_mut().zip(&dirs.dx) {
+            *v = (*v + theta * dv).max(FLOOR);
+        }
+        for (v, dv) in self.y.iter_mut().zip(&dirs.dy) {
+            *v = (*v + theta * dv).max(FLOOR);
+        }
+        for (v, dv) in self.w.iter_mut().zip(&dirs.dw) {
+            *v = (*v + theta * dv).max(FLOOR);
+        }
+        for (v, dv) in self.z.iter_mut().zip(&dirs.dz) {
+            *v = (*v + theta * dv).max(FLOOR);
+        }
+    }
+
+    /// Evaluates the §3.1 exit tests: convergence, divergence
+    /// (infeasible/unbounded certificates), or numerical failure.
+    pub fn outcome(&self, lp: &LpProblem, opts: &PdipOptions) -> IterationOutcome {
+        if !(ops::all_finite(&self.x)
+            && ops::all_finite(&self.y)
+            && ops::all_finite(&self.w)
+            && ops::all_finite(&self.z))
+        {
+            return IterationOutcome::NumericalFailure;
+        }
+        if ops::inf_norm(&self.y) > opts.divergence_bound {
+            return IterationOutcome::PrimalInfeasible;
+        }
+        if ops::inf_norm(&self.x) > opts.divergence_bound {
+            return IterationOutcome::PrimalUnbounded;
+        }
+        let pr = ops::inf_norm(&self.primal_residual(lp)) / (1.0 + ops::inf_norm(lp.b()));
+        let dr = ops::inf_norm(&self.dual_residual(lp)) / (1.0 + ops::inf_norm(lp.c()));
+        let gap = self.duality_gap() / (1.0 + lp.objective(&self.x).abs());
+        if pr <= opts.eps_primal && dr <= opts.eps_dual && gap <= opts.eps_gap {
+            IterationOutcome::Converged
+        } else {
+            IterationOutcome::Continue
+        }
+    }
+
+    /// Builds the final [`memlp_lp::LpSolution`] record for this state.
+    pub fn into_solution(self, lp: &LpProblem, status: LpStatus, iterations: usize) -> memlp_lp::LpSolution {
+        let primal_residual = ops::inf_norm(&self.primal_residual(lp));
+        let dual_residual = ops::inf_norm(&self.dual_residual(lp));
+        let duality_gap = self.duality_gap();
+        let objective = lp.objective(&self.x);
+        memlp_lp::LpSolution {
+            status,
+            objective,
+            iterations,
+            primal_residual,
+            dual_residual,
+            duality_gap,
+            x: self.x,
+            y: self.y,
+        }
+    }
+}
+
+/// Classifies a numerical breakdown: iterates that were already diverging
+/// when the Newton solve failed are certificates of infeasibility or
+/// unboundedness (the Newton system condition number blows up along the
+/// divergent ray well before `‖·‖∞` reaches Ω).
+pub fn classify_breakdown(state: &PdipState, _opts: &PdipOptions) -> LpStatus {
+    // On an infeasible primal the duals diverge along a ray while x stays
+    // bounded (and vice versa for an unbounded primal); a two-orders-of-
+    // magnitude imbalance at breakdown is taken as the certificate.
+    let ynorm = ops::inf_norm(&state.y);
+    let xnorm = ops::inf_norm(&state.x);
+    if ynorm > 100.0 * xnorm.max(1.0) {
+        LpStatus::Infeasible
+    } else if xnorm > 100.0 * ynorm.max(1.0) {
+        LpStatus::Unbounded
+    } else {
+        LpStatus::NumericalFailure
+    }
+}
+
+/// Maps an [`IterationOutcome`] to a terminal [`LpStatus`] (panics on
+/// `Continue`, which is not terminal).
+pub fn status_for(outcome: IterationOutcome) -> LpStatus {
+    match outcome {
+        IterationOutcome::Converged => LpStatus::Optimal,
+        IterationOutcome::PrimalInfeasible => LpStatus::Infeasible,
+        IterationOutcome::PrimalUnbounded => LpStatus::Unbounded,
+        IterationOutcome::NumericalFailure => LpStatus::NumericalFailure,
+        IterationOutcome::Continue => unreachable!("Continue is not a terminal outcome"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlp_linalg::Matrix;
+
+    fn sample() -> LpProblem {
+        LpProblem::new(
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]).unwrap(),
+            vec![4.0, 6.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_state_is_strictly_positive() {
+        let lp = sample();
+        let s = PdipState::new(&lp, &PdipOptions::default());
+        assert!(s.x.iter().all(|&v| v > 0.0));
+        assert!(s.w.iter().all(|&v| v > 0.0));
+        assert_eq!(s.x.len(), 2);
+        assert_eq!(s.y.len(), 2);
+    }
+
+    #[test]
+    fn residuals_zero_at_feasible_points() {
+        let lp = sample();
+        let mut s = PdipState::new(&lp, &PdipOptions::default());
+        // Force primal feasibility: x = (1,1), w = b − A·x = (1, 2).
+        s.x = vec![1.0, 1.0];
+        s.w = vec![1.0, 2.0];
+        assert!(ops::inf_norm(&s.primal_residual(&lp)) < 1e-12);
+        // Force dual feasibility: y = (1,1), z = Aᵀy − c = (3, 2).
+        s.y = vec![1.0, 1.0];
+        s.z = vec![3.0, 2.0];
+        assert!(ops::inf_norm(&s.dual_residual(&lp)) < 1e-12);
+    }
+
+    #[test]
+    fn mu_follows_eqn8() {
+        let lp = sample();
+        let s = PdipState::new(&lp, &PdipOptions::default());
+        // all ones: gap = n + m = 4, so µ = δ·4/4 = δ.
+        assert!((s.mu(0.1) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn step_length_full_when_directions_positive() {
+        let lp = sample();
+        let s = PdipState::new(&lp, &PdipOptions::default());
+        let dirs = StepDirections {
+            dx: vec![1.0, 1.0],
+            dy: vec![0.5, 0.0],
+            dw: vec![0.1, 0.1],
+            dz: vec![0.0, 2.0],
+        };
+        assert_eq!(s.step_length(&dirs, 0.9995), 1.0);
+    }
+
+    #[test]
+    fn step_length_blocks_at_boundary() {
+        let lp = sample();
+        let s = PdipState::new(&lp, &PdipOptions::default());
+        // Δx = −2 on a variable at 1.0 → ratio 2 → θ = r/2.
+        let dirs = StepDirections {
+            dx: vec![-2.0, 0.0],
+            dy: vec![0.0, 0.0],
+            dw: vec![0.0, 0.0],
+            dz: vec![0.0, 0.0],
+        };
+        let theta = s.step_length(&dirs, 0.9995);
+        assert!((theta - 0.9995 / 2.0).abs() < 1e-12);
+        // Applying it keeps positivity.
+        let mut s2 = s.clone();
+        s2.apply_step(&dirs, theta);
+        assert!(s2.x[0] > 0.0);
+    }
+
+    #[test]
+    fn outcome_detects_divergence() {
+        let lp = sample();
+        let opts = PdipOptions { divergence_bound: 10.0, ..Default::default() };
+        let mut s = PdipState::new(&lp, &opts);
+        s.y[0] = 100.0;
+        assert_eq!(s.outcome(&lp, &opts), IterationOutcome::PrimalInfeasible);
+        let mut s = PdipState::new(&lp, &opts);
+        s.x[0] = 100.0;
+        assert_eq!(s.outcome(&lp, &opts), IterationOutcome::PrimalUnbounded);
+    }
+
+    #[test]
+    fn outcome_detects_nan() {
+        let lp = sample();
+        let opts = PdipOptions::default();
+        let mut s = PdipState::new(&lp, &opts);
+        s.z[1] = f64::NAN;
+        assert_eq!(s.outcome(&lp, &opts), IterationOutcome::NumericalFailure);
+    }
+
+    #[test]
+    fn outcome_converged_at_optimum() {
+        let lp = sample();
+        let opts = PdipOptions::default();
+        // Optimum of the sample LP: x = (8/5, 6/5), obj = 14/5.
+        // Duals: y from Aᵀy = c → y = (2/5, 1/5).
+        let mut s = PdipState::new(&lp, &opts);
+        s.x = vec![1.6, 1.2];
+        s.w = vec![1e-12, 1e-12];
+        s.y = vec![0.4, 0.2];
+        s.z = vec![1e-12, 1e-12];
+        assert_eq!(s.outcome(&lp, &opts), IterationOutcome::Converged);
+    }
+
+    #[test]
+    fn status_mapping() {
+        assert_eq!(status_for(IterationOutcome::Converged), LpStatus::Optimal);
+        assert_eq!(status_for(IterationOutcome::PrimalInfeasible), LpStatus::Infeasible);
+        assert_eq!(status_for(IterationOutcome::PrimalUnbounded), LpStatus::Unbounded);
+        assert_eq!(status_for(IterationOutcome::NumericalFailure), LpStatus::NumericalFailure);
+    }
+
+    #[test]
+    fn into_solution_carries_state() {
+        let lp = sample();
+        let s = PdipState::new(&lp, &PdipOptions::default());
+        let sol = s.into_solution(&lp, LpStatus::IterationLimit, 42);
+        assert_eq!(sol.iterations, 42);
+        assert_eq!(sol.x.len(), 2);
+        assert_eq!(sol.y.len(), 2);
+        assert!((sol.objective - 2.0).abs() < 1e-12); // cᵀ(1,1)
+    }
+}

@@ -1,0 +1,197 @@
+use memlp_linalg::{ops, LuFactors, Matrix};
+use memlp_lp::{LpProblem, LpSolution, LpStatus};
+
+use crate::pdip::{status_for, IterationOutcome, PdipOptions, PdipState, StepDirections};
+use crate::LpSolver;
+
+/// PDIP with the Newton system reduced to `m×m` **normal equations** — the
+/// standard high-performance software formulation and this workspace's
+/// stand-in for Matlab `linprog` (accuracy reference + CPU baseline).
+///
+/// Reduction (eliminating Δz, Δw, then Δx from Eqns 9a–9d):
+///
+/// ```text
+/// Δz = X⁻¹(µe − XZe) − X⁻¹Z·Δx
+/// Δw = Y⁻¹(µe − YWe) − Y⁻¹W·Δy
+/// (A·Z⁻¹X·Aᵀ + Y⁻¹W)·Δy = A·Z⁻¹X·σ̂ − ρ̂
+/// Δx = Z⁻¹X·(σ̂ − Aᵀ·Δy)
+/// ```
+///
+/// with `σ̂ = σ + X⁻¹µe − z` and `ρ̂ = ρ − Y⁻¹µe + w`, where
+/// `ρ = b − Ax − w` and `σ = c − Aᵀy + z`.
+///
+/// # Example
+///
+/// ```
+/// use memlp_lp::{generator::RandomLp, LpStatus};
+/// use memlp_solvers::{LpSolver, NormalEqPdip};
+///
+/// let lp = RandomLp::paper(12, 1).feasible();
+/// let sol = NormalEqPdip::default().solve(&lp);
+/// assert_eq!(sol.status, LpStatus::Optimal);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalEqPdip {
+    /// Iteration options.
+    pub options: PdipOptions,
+}
+
+impl NormalEqPdip {
+    /// Creates the solver with explicit options.
+    pub fn new(options: PdipOptions) -> Self {
+        NormalEqPdip { options }
+    }
+
+    fn directions(lp: &LpProblem, s: &PdipState, mu: f64) -> Option<StepDirections> {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        let a = lp.a();
+
+        let rho = s.primal_residual(lp);
+        let sigma = s.dual_residual(lp);
+
+        // σ̂ = σ + µX⁻¹e − z;  ρ̂ = ρ − µY⁻¹e + w.
+        let sigma_hat: Vec<f64> = (0..n).map(|j| sigma[j] + mu / s.x[j] - s.z[j]).collect();
+        let rho_hat: Vec<f64> = (0..m).map(|i| rho[i] - mu / s.y[i] + s.w[i]).collect();
+
+        // D = Z⁻¹X (diagonal), E = Y⁻¹W (diagonal).
+        let d: Vec<f64> = (0..n).map(|j| s.x[j] / s.z[j]).collect();
+        let e: Vec<f64> = (0..m).map(|i| s.w[i] / s.y[i]).collect();
+
+        // Normal matrix N = A·D·Aᵀ + E.
+        let mut nmat = Matrix::zeros(m, m);
+        // A·D·Aᵀ: (A·D) has rows a_i ∘ d; then times Aᵀ.
+        for i in 0..m {
+            let ai = a.row(i);
+            for k in i..m {
+                let akr = a.row(k);
+                let mut sum = 0.0;
+                for j in 0..n {
+                    sum += ai[j] * d[j] * akr[j];
+                }
+                nmat[(i, k)] = sum;
+                nmat[(k, i)] = sum;
+            }
+            nmat[(i, i)] += e[i];
+        }
+        // Tiny static regularization keeps the factorization alive when a
+        // diverging dual drives e_i → 0 on linearly dependent rows (the
+        // infeasible-detection path); far below solution accuracy.
+        let reg = 1e-12 * (1.0 + nmat.max_abs());
+        for i in 0..m {
+            nmat[(i, i)] += reg;
+        }
+
+        // RHS: A·D·σ̂ − ρ̂.
+        let dsig: Vec<f64> = (0..n).map(|j| d[j] * sigma_hat[j]).collect();
+        let adsig = a.matvec(&dsig);
+        let rhs: Vec<f64> = (0..m).map(|i| adsig[i] - rho_hat[i]).collect();
+
+        let dy = LuFactors::factor(nmat).ok()?.solve(&rhs).ok()?;
+
+        // Δx = D·(σ̂ − Aᵀ·Δy).
+        let atdy = a.matvec_transposed(&dy);
+        let dx: Vec<f64> = (0..n).map(|j| d[j] * (sigma_hat[j] - atdy[j])).collect();
+        // Δz = µX⁻¹e − z − X⁻¹Z·Δx.
+        let dz: Vec<f64> = (0..n).map(|j| mu / s.x[j] - s.z[j] - s.z[j] / s.x[j] * dx[j]).collect();
+        // Δw = µY⁻¹e − w − Y⁻¹W·Δy.
+        let dw: Vec<f64> = (0..m).map(|i| mu / s.y[i] - s.w[i] - s.w[i] / s.y[i] * dy[i]).collect();
+
+        if !(ops::all_finite(&dx) && ops::all_finite(&dy) && ops::all_finite(&dw) && ops::all_finite(&dz)) {
+            return None;
+        }
+        Some(StepDirections { dx, dy, dw, dz })
+    }
+}
+
+impl LpSolver for NormalEqPdip {
+    fn solve(&self, lp: &LpProblem) -> LpSolution {
+        let opts = &self.options;
+        let mut state = PdipState::new(lp, opts);
+
+        for iter in 0..opts.max_iterations {
+            match state.outcome(lp, opts) {
+                IterationOutcome::Continue => {}
+                terminal => return state.into_solution(lp, status_for(terminal), iter),
+            }
+            let mu = state.mu(opts.delta);
+            let dirs = match Self::directions(lp, &state, mu) {
+                Some(d) => d,
+                None => {
+                    let status = crate::pdip::classify_breakdown(&state, opts);
+                    return state.into_solution(lp, status, iter);
+                }
+            };
+            let theta = state.step_length(&dirs, opts.step_safety);
+            state.apply_step(&dirs, theta);
+        }
+        let status = match state.outcome(lp, opts) {
+            IterationOutcome::Continue => LpStatus::IterationLimit,
+            terminal => status_for(terminal),
+        };
+        state.into_solution(lp, status, opts.max_iterations)
+    }
+
+    fn name(&self) -> &'static str {
+        "pdip-normal-eq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlp_lp::generator::RandomLp;
+
+    #[test]
+    fn solves_known_2x2() {
+        let lp = LpProblem::new(
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]).unwrap(),
+            vec![4.0, 6.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        let sol = NormalEqPdip::default().solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 2.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn agrees_with_dense_pdip() {
+        use crate::DensePdip;
+        for seed in 0..5 {
+            let lp = RandomLp::paper(21, 100 + seed).feasible();
+            let a = NormalEqPdip::default().solve(&lp);
+            let b = DensePdip::default().solve(&lp);
+            assert_eq!(a.status, LpStatus::Optimal);
+            assert_eq!(b.status, LpStatus::Optimal);
+            let rel = (a.objective - b.objective).abs() / (1.0 + a.objective.abs());
+            assert!(rel < 1e-6, "seed {seed}: {} vs {}", a.objective, b.objective);
+        }
+    }
+
+    #[test]
+    fn solves_medium_random() {
+        let lp = RandomLp::paper(96, 7).feasible();
+        let sol = NormalEqPdip::default().solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal, "{sol}");
+        assert!(lp.is_feasible(&sol.x, 1e-5));
+    }
+
+    #[test]
+    fn detects_infeasible_and_unbounded() {
+        let inf = RandomLp::paper(16, 9).infeasible();
+        assert_eq!(NormalEqPdip::default().solve(&inf).status, LpStatus::Infeasible);
+        let unb = RandomLp::paper(16, 9).unbounded();
+        assert_eq!(NormalEqPdip::default().solve(&unb).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn residuals_reported_small_at_optimum() {
+        let lp = RandomLp::paper(32, 13).feasible();
+        let sol = NormalEqPdip::default().solve(&lp);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(sol.primal_residual < 1e-6);
+        assert!(sol.dual_residual < 1e-6);
+        assert!(sol.duality_gap < 1e-4);
+    }
+}

@@ -1,0 +1,82 @@
+//! Large-scale operation (paper §3.4): the Algorithm-2 solver and the
+//! analog NoC substrate that makes big matrices physically realizable.
+//!
+//! Part 1 runs the large-scale solver on an m = 512 program and reports the
+//! estimated hardware cost. Part 2 exercises the NoC directly: a matrix too
+//! big for one crossbar tile is partitioned over hierarchical and mesh
+//! fabrics and the MVM/solve overheads are compared.
+//!
+//! ```sh
+//! cargo run --release --example large_scale_noc
+//! ```
+
+use memlp::prelude::*;
+
+fn main() {
+    // ---- Part 1: Algorithm 2 on a large program. --------------------------
+    let m = 512;
+    let lp = RandomLp::paper(m, 77).feasible();
+    println!("Algorithm 2 on m = {m} (n = {}):", lp.num_vars());
+
+    let reference = NormalEqPdip::default().solve(&lp);
+    let solver = LargeScaleSolver::new(
+        CrossbarConfig::paper_default().with_variation(10.0).with_seed(9),
+        LargeScaleOptions::default(),
+    );
+    let hw = solver.solve(&lp);
+    let rel =
+        (hw.solution.objective - reference.objective).abs() / (1.0 + reference.objective.abs());
+    println!(
+        "  {:?} in {} iterations ({} retries) — objective off by {:.2}%",
+        hw.solution.status,
+        hw.solution.iterations,
+        hw.retries_used,
+        rel * 100.0
+    );
+    println!(
+        "  estimated hardware: run {:.2} ms, setup {:.2} ms, energy {:.2} J",
+        hw.ledger.run_time_s() * 1e3,
+        hw.ledger.setup_time_s() * 1e3,
+        hw.ledger.energy_j(&CostParams::default()),
+    );
+    println!(
+        "  largest single crossbar Algorithm 1 would need: {}×{} — Algorithm 2 needs {}×{}",
+        4 * (lp.num_vars() + m),
+        4 * (lp.num_vars() + m),
+        lp.num_vars() + m,
+        lp.num_vars() + m,
+    );
+
+    // ---- Part 2: the NoC fabrics. ------------------------------------------
+    println!("\nTiled MVM across NoC fabrics (256×256 matrix, 64×64 tiles → 16 tiles):");
+    let a = Matrix::from_fn(256, 256, |i, j| {
+        let base = 0.1 + ((i * 131 + j * 37) % 29) as f64 * 0.03;
+        if i == j {
+            base + 8.0
+        } else {
+            base
+        }
+    });
+    let x: Vec<f64> = (0..256).map(|i| ((i as f64) * 0.13).cos()).collect();
+    let exact = a.matvec(&x);
+
+    for (name, noc) in [("hierarchical", NocConfig::hierarchical()), ("mesh", NocConfig::mesh())] {
+        let mut tiled = TiledCrossbar::program(&a, 64, CrossbarConfig::paper_default(), noc)
+            .expect("matrix fits the tile grid");
+        let y = tiled.mvm(&x).expect("shapes match");
+        let err = y
+            .iter()
+            .zip(&exact)
+            .map(|(g, w)| (g - w).abs())
+            .fold(0.0f64, f64::max)
+            / exact.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let ledger = tiled.ledger();
+        println!(
+            "  {name:>12}: {} tiles, max rel error {:.3e}, noc transfers {}, run {:.3} µs",
+            tiled.tile_count(),
+            err,
+            ledger.counts().noc_transfers,
+            ledger.run_time_s() * 1e6,
+        );
+    }
+}

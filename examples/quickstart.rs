@@ -1,0 +1,43 @@
+//! Quickstart: solve one linear program on simulated memristor crossbar
+//! hardware and compare it against the software references.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use memlp::prelude::*;
+
+fn main() {
+    // A random feasible LP in the paper's §4.2 style: m = 64 constraints,
+    // n = m/3 variables, mixed-sign coefficients.
+    let lp = RandomLp::paper(64, 2026).feasible();
+    println!(
+        "problem: {} constraints × {} variables (mixed-sign A)",
+        lp.num_constraints(),
+        lp.num_vars()
+    );
+
+    // Software reference (the workspace's `linprog` stand-in).
+    let reference = NormalEqPdip::default().solve(&lp);
+    println!("\n[software reference] {reference}");
+
+    // The crossbar solver, at three process-variation levels.
+    for var in [0.0, 10.0, 20.0] {
+        let solver = CrossbarPdipSolver::new(
+            CrossbarConfig::paper_default().with_variation(var).with_seed(7),
+            CrossbarSolverOptions::default(),
+        );
+        let result = solver.solve(&lp);
+        let rel = (result.solution.objective - reference.objective).abs()
+            / (1.0 + reference.objective.abs());
+        println!(
+            "\n[crossbar, {var:>4.0}% variation] {}\n  relative error vs reference: {:.3}%\n  estimated hardware: run {:.3} ms, setup {:.3} ms, energy {:.3} mJ\n  activity: {}",
+            result.solution,
+            rel * 100.0,
+            result.ledger.run_time_s() * 1e3,
+            result.ledger.setup_time_s() * 1e3,
+            result.ledger.energy_j(&CostParams::default()) * 1e3,
+            result.ledger
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! `memlp` — command-line LP solving on simulated memristor hardware.
+//!
+//! ```text
+//! memlp solve <file.lp> [--solver alg1|alg2|simplex|pdip|mehrotra]
+//!                       [--variation <pct>] [--seed <n>] [--quiet]
+//! memlp generate <m> [--seed <n>] [--infeasible]   # emit a random LP
+//! memlp info <file.lp>                             # problem statistics
+//! ```
+//!
+//! The `.lp` dialect is documented in `memlp_lp::format`.
+
+use std::process::ExitCode;
+
+use memlp::prelude::*;
+use memlp_device::CostParams;
+use memlp_lp::format;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  memlp solve <file.lp> [--solver alg1|alg2|simplex|pdip|mehrotra] [--variation <pct>] [--seed <n>] [--quiet]
+  memlp generate <m> [--seed <n>] [--infeasible]
+  memlp info <file.lp>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("solve") => solve_cmd(&args[1..]),
+        Some("generate") => generate_cmd(&args[1..]),
+        Some("info") => info_cmd(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".into()),
+    }
+}
+
+struct Flags {
+    positional: Vec<String>,
+    solver: String,
+    variation: f64,
+    seed: u64,
+    quiet: bool,
+    infeasible: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        positional: Vec::new(),
+        solver: "alg1".into(),
+        variation: 0.0,
+        seed: 42,
+        quiet: false,
+        infeasible: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--solver" => f.solver = it.next().ok_or("--solver needs a value")?.clone(),
+            "--variation" => {
+                f.variation = it
+                    .next()
+                    .ok_or("--variation needs a value")?
+                    .parse()
+                    .map_err(|_| "--variation must be a number")?
+            }
+            "--seed" => {
+                f.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?
+            }
+            "--quiet" => f.quiet = true,
+            "--infeasible" => f.infeasible = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            other => f.positional.push(other.to_string()),
+        }
+    }
+    Ok(f)
+}
+
+fn load(path: &str) -> Result<LpProblem, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    format::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn solve_cmd(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let path = f.positional.first().ok_or("solve needs a file argument")?;
+    let lp = load(path)?;
+    let config = CrossbarConfig::paper_default().with_variation(f.variation).with_seed(f.seed);
+
+    let (solution, hardware) = match f.solver.as_str() {
+        "alg1" => {
+            let r = CrossbarPdipSolver::new(config, CrossbarSolverOptions::default()).solve(&lp);
+            (r.solution, Some(r.ledger))
+        }
+        "alg2" => {
+            let r = LargeScaleSolver::new(config, LargeScaleOptions::default()).solve(&lp);
+            (r.solution, Some(r.ledger))
+        }
+        "simplex" => (Simplex::default().solve(&lp), None),
+        "pdip" => (NormalEqPdip::default().solve(&lp), None),
+        "mehrotra" => (MehrotraPdip::default().solve(&lp), None),
+        other => return Err(format!("unknown solver `{other}`")),
+    };
+
+    println!("status:    {}", solution.status);
+    println!("objective: {:.9}", solution.objective);
+    println!("iterations: {}", solution.iterations);
+    if !f.quiet {
+        for (j, v) in solution.x.iter().enumerate() {
+            println!("x{j} = {v:.6}");
+        }
+    }
+    if let Some(ledger) = hardware {
+        println!(
+            "hardware:  run {:.3} ms, setup {:.3} ms, energy {:.3} mJ",
+            ledger.run_time_s() * 1e3,
+            ledger.setup_time_s() * 1e3,
+            ledger.energy_j(&CostParams::default()) * 1e3
+        );
+        println!("activity:  {ledger}");
+    }
+    if solution.status.is_optimal() {
+        Ok(())
+    } else {
+        Err(format!("solve terminated with status: {}", solution.status))
+    }
+}
+
+fn generate_cmd(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let m: usize = f
+        .positional
+        .first()
+        .ok_or("generate needs a constraint count")?
+        .parse()
+        .map_err(|_| "constraint count must be an integer")?;
+    let gen = RandomLp::paper(m, f.seed);
+    let lp = if f.infeasible { gen.infeasible() } else { gen.feasible() };
+    print!("{}", format::write(&lp));
+    Ok(())
+}
+
+fn info_cmd(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    let path = f.positional.first().ok_or("info needs a file argument")?;
+    let lp = load(path)?;
+    let split = SignSplit::split(lp.a());
+    let sparse = memlp_linalg::SparseMatrix::from_dense(lp.a());
+    println!("constraints (m):        {}", lp.num_constraints());
+    println!("variables (n):          {}", lp.num_vars());
+    println!("nonzeros in A:          {} (density {:.1}%)", sparse.nnz(), sparse.density() * 100.0);
+    println!("max |coefficient|:      {:.6}", lp.max_abs_coefficient());
+    println!("compensation variables: {} (§3.2 transform)", split.num_compensations()
+        + SignSplit::split(&lp.a().transpose()).num_compensations());
+    let dim = 3 * lp.num_vars()
+        + 3 * lp.num_constraints()
+        + split.num_compensations()
+        + SignSplit::split(&lp.a().transpose()).num_compensations();
+    println!("Algorithm-1 system dim: {dim}");
+    println!("Algorithm-2 system dim: {}", lp.num_vars() + lp.num_constraints());
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! End-to-end tests of the `memlp` command-line binary.
+
+use std::process::Command;
+
+fn memlp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_memlp"))
+}
+
+#[test]
+fn generate_info_solve_pipeline() {
+    let dir = std::env::temp_dir().join("memlp-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pipeline.lp");
+
+    // generate
+    let out = memlp().args(["generate", "24", "--seed", "3"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    // info
+    let out = memlp().args(["info", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("constraints (m):        24"), "{text}");
+    assert!(text.contains("variables (n):          8"), "{text}");
+
+    // solve with every solver; a solver that reports success must agree
+    // with the exact answer. (Algorithm 2 is allowed to *decline* — its
+    // acceptance gate flags unreliable small-m runs rather than returning
+    // a silently wrong optimum — but it must never succeed with a bad one.)
+    let mut objectives = Vec::new();
+    for solver in ["alg1", "alg2", "simplex", "pdip", "mehrotra"] {
+        let out = memlp()
+            .args(["solve", path.to_str().unwrap(), "--solver", solver, "--quiet"])
+            .output()
+            .unwrap();
+        if !out.status.success() {
+            assert_eq!(solver, "alg2", "only alg2 may decline: {solver}");
+            continue;
+        }
+        let text = String::from_utf8_lossy(&out.stdout);
+        let obj: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("objective: "))
+            .expect("objective line")
+            .trim()
+            .parse()
+            .expect("numeric objective");
+        objectives.push((solver, obj));
+    }
+    let reference = objectives.iter().find(|(s, _)| *s == "simplex").unwrap().1;
+    for (solver, obj) in &objectives {
+        let rel = (obj - reference).abs() / (1.0 + reference.abs());
+        let budget = if *solver == "alg2" { 0.12 } else { 0.05 };
+        assert!(rel < budget, "{solver}: {obj} vs simplex {reference}");
+    }
+}
+
+#[test]
+fn solve_reports_infeasible_with_nonzero_exit() {
+    let dir = std::env::temp_dir().join("memlp-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("infeasible.lp");
+    let out = memlp().args(["generate", "16", "--seed", "5", "--infeasible"]).output().unwrap();
+    assert!(out.status.success());
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    let out = memlp()
+        .args(["solve", path.to_str().unwrap(), "--solver", "simplex", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "infeasible must exit non-zero");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("infeasible"), "{text}");
+}
+
+#[test]
+fn bad_usage_prints_help() {
+    let out = memlp().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = memlp().args(["solve"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = memlp().args(["solve", "/nonexistent.lp"]).output().unwrap();
+    assert!(!out.status.success());
+}

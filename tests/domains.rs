@@ -1,0 +1,132 @@
+//! The paper's motivating domains (routing, scheduling, transportation)
+//! run through the full stack.
+
+use memlp::prelude::*;
+use memlp_lp::domains::{
+    assignment_lp, max_flow_lp, production_schedule_lp, transportation_lp, AssignmentProblem,
+    MaxFlowNetwork, ProductionPlan, TransportationProblem,
+};
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / (1.0 + b.abs())
+}
+
+#[test]
+fn diamond_max_flow_on_crossbar() {
+    let lp = max_flow_lp(&MaxFlowNetwork::diamond()).unwrap();
+    let exact = Simplex::default().solve(&lp);
+    assert!((exact.objective - 5.0).abs() < 1e-9, "diamond max flow is 5");
+
+    let hw = CrossbarPdipSolver::new(
+        CrossbarConfig::paper_default().with_seed(3),
+        CrossbarSolverOptions::default(),
+    )
+    .solve(&lp);
+    assert!(hw.solution.status.is_optimal(), "{}", hw.solution);
+    assert!(rel(hw.solution.objective, exact.objective) < 0.08, "flow {}", hw.solution.objective);
+}
+
+#[test]
+fn production_plan_is_crossbar_native() {
+    // All-non-negative A: zero compensation variables.
+    let plan = ProductionPlan::random(4, 3, 8);
+    let lp = production_schedule_lp(&plan).unwrap();
+    let split = SignSplit::split(lp.a());
+    assert_eq!(split.num_compensations(), 0);
+
+    let reference = NormalEqPdip::default().solve(&lp);
+    let hw = CrossbarPdipSolver::new(
+        CrossbarConfig::paper_default().with_variation(5.0).with_seed(4),
+        CrossbarSolverOptions::default(),
+    )
+    .solve(&lp);
+    assert!(hw.solution.status.is_optimal(), "{}", hw.solution);
+    assert!(rel(hw.solution.objective, reference.objective) < 0.06);
+    // Plan must be implementable: feasibility within hardware tolerance.
+    assert!(lp.satisfies_relaxed_scaled(&hw.solution.x, 1.05));
+}
+
+#[test]
+fn transportation_exercises_negative_transform() {
+    let tp = TransportationProblem::random(3, 4, 17);
+    let lp = transportation_lp(&tp).unwrap();
+    assert!(!lp.a().is_nonnegative(), "demand rows must be negative");
+    let split = SignSplit::split(lp.a());
+    assert!(split.num_compensations() > 0);
+
+    let reference = Simplex::default().solve(&lp);
+    assert!(reference.status.is_optimal());
+    let hw = CrossbarPdipSolver::new(
+        CrossbarConfig::paper_default().with_seed(9),
+        CrossbarSolverOptions::default(),
+    )
+    .solve(&lp);
+    assert!(hw.solution.status.is_optimal(), "{}", hw.solution);
+    assert!(
+        rel(hw.solution.objective, reference.objective) < 0.08,
+        "cost {} vs {}",
+        hw.solution.objective,
+        reference.objective
+    );
+}
+
+#[test]
+fn scheduling_profit_monotone_in_capacity() {
+    // Sanity structure test across the toolkit: more machine hours can
+    // never reduce optimal profit.
+    let mut plan = ProductionPlan::random(3, 3, 21);
+    let base = Simplex::default()
+        .solve(&production_schedule_lp(&plan).unwrap())
+        .objective;
+    for c in &mut plan.capacity {
+        *c *= 2.0;
+    }
+    let doubled = Simplex::default()
+        .solve(&production_schedule_lp(&plan).unwrap())
+        .objective;
+    assert!(doubled >= base - 1e-9, "profit dropped: {base} → {doubled}");
+}
+
+#[test]
+fn assignment_lp_relaxation_is_integral() {
+    // Assignment constraint matrices are totally unimodular: the LP optimum
+    // equals the combinatorial optimum. Simplex must hit it exactly, and
+    // the crossbar solver must land within its noise budget.
+    for seed in [1u64, 2, 3] {
+        let ap = AssignmentProblem::random(5, seed);
+        let lp = assignment_lp(&ap).unwrap();
+        let exact = ap.brute_force_optimum();
+        let lp_opt = Simplex::default().solve(&lp);
+        assert!(lp_opt.status.is_optimal());
+        assert!(
+            (lp_opt.objective - exact).abs() < 1e-9,
+            "LP relaxation must be integral: {} vs {exact}",
+            lp_opt.objective
+        );
+
+        let hw = CrossbarPdipSolver::new(
+            CrossbarConfig::paper_default().with_variation(5.0).with_seed(seed),
+            CrossbarSolverOptions::default(),
+        )
+        .solve(&lp);
+        assert!(hw.solution.status.is_optimal(), "seed {seed}: {}", hw.solution);
+        assert!(
+            rel(hw.solution.objective, exact) < 0.08,
+            "seed {seed}: crossbar {} vs exact {exact}",
+            hw.solution.objective
+        );
+    }
+}
+
+#[test]
+fn max_flow_bounded_by_cut_capacity() {
+    let net = MaxFlowNetwork::random_layered(3, 3, 31);
+    let lp = max_flow_lp(&net).unwrap();
+    let sol = Simplex::default().solve(&lp);
+    assert!(sol.status.is_optimal());
+    // Source-adjacent edge capacities form a cut.
+    let source_cap: f64 =
+        net.edges.iter().filter(|(f, _, _)| *f == 0).map(|(_, _, c)| c).sum();
+    assert!(sol.objective <= source_cap + 1e-9);
+    assert!(sol.objective >= 0.0);
+}

@@ -1,0 +1,138 @@
+//! End-to-end integration: both crossbar solvers against all three software
+//! baselines on the paper's §4.2 random workloads.
+
+use memlp::prelude::*;
+
+fn relative_error(a: f64, b: f64) -> f64 {
+    (a - b).abs() / (1.0 + b.abs())
+}
+
+#[test]
+fn all_solvers_agree_on_feasible_instances() {
+    for (m, seed) in [(16usize, 1u64), (48, 2), (96, 3)] {
+        let lp = RandomLp::paper(m, seed).feasible();
+
+        let simplex = Simplex::default().solve(&lp);
+        let dense = DensePdip::default().solve(&lp);
+        let normal = NormalEqPdip::default().solve(&lp);
+        assert!(simplex.status.is_optimal(), "simplex m={m}");
+        assert!(dense.status.is_optimal(), "dense m={m}");
+        assert!(normal.status.is_optimal(), "normal m={m}");
+        assert!(relative_error(dense.objective, simplex.objective) < 1e-5);
+        assert!(relative_error(normal.objective, simplex.objective) < 1e-5);
+
+        let alg1 = CrossbarPdipSolver::new(
+            CrossbarConfig::paper_default().with_seed(seed),
+            CrossbarSolverOptions::default(),
+        )
+        .solve(&lp);
+        assert!(alg1.solution.status.is_optimal(), "alg1 m={m}: {}", alg1.solution);
+        assert!(
+            relative_error(alg1.solution.objective, simplex.objective) < 0.05,
+            "alg1 m={m} error {}",
+            relative_error(alg1.solution.objective, simplex.objective)
+        );
+
+        let alg2 = LargeScaleSolver::new(
+            CrossbarConfig::paper_default().with_seed(seed),
+            LargeScaleOptions::default(),
+        )
+        .solve(&lp);
+        assert!(alg2.solution.status.is_optimal(), "alg2 m={m}: {}", alg2.solution);
+        assert!(
+            relative_error(alg2.solution.objective, simplex.objective) < 0.12,
+            "alg2 m={m} error {}",
+            relative_error(alg2.solution.objective, simplex.objective)
+        );
+    }
+}
+
+#[test]
+fn all_solvers_detect_infeasible_instances() {
+    for seed in [10u64, 11, 12] {
+        let lp = RandomLp::paper(32, seed).infeasible();
+        assert_eq!(Simplex::default().solve(&lp).status, LpStatus::Infeasible, "simplex {seed}");
+        assert_eq!(
+            NormalEqPdip::default().solve(&lp).status,
+            LpStatus::Infeasible,
+            "normal {seed}"
+        );
+        let alg1 = CrossbarPdipSolver::new(
+            CrossbarConfig::paper_default().with_variation(10.0).with_seed(seed),
+            CrossbarSolverOptions::default(),
+        )
+        .solve(&lp);
+        assert_eq!(alg1.solution.status, LpStatus::Infeasible, "alg1 {seed}");
+        let alg2 = LargeScaleSolver::new(
+            CrossbarConfig::paper_default().with_variation(10.0).with_seed(seed),
+            LargeScaleOptions::default(),
+        )
+        .solve(&lp);
+        assert_eq!(alg2.solution.status, LpStatus::Infeasible, "alg2 {seed}");
+    }
+}
+
+#[test]
+fn crossbar_error_grows_gracefully_with_variation() {
+    let lp = RandomLp::paper(64, 5).feasible();
+    let reference = NormalEqPdip::default().solve(&lp);
+    let mut previous_budget: f64 = 0.02; // ideal hardware should be under 2%
+    for var in [0.0, 5.0, 10.0, 20.0] {
+        let mut worst = 0.0f64;
+        for seed in 0..3 {
+            let r = CrossbarPdipSolver::new(
+                CrossbarConfig::paper_default().with_variation(var).with_seed(seed),
+                CrossbarSolverOptions::default(),
+            )
+            .solve(&lp);
+            assert!(r.solution.status.is_optimal(), "var={var} seed={seed}: {}", r.solution);
+            worst = worst.max(relative_error(r.solution.objective, reference.objective));
+        }
+        // Paper Fig 5: inaccuracy stays below ~10% even at 20% variation.
+        assert!(worst < 0.10, "var={var}: worst error {worst}");
+        previous_budget = previous_budget.max(worst);
+    }
+    let _ = previous_budget;
+}
+
+#[test]
+fn hardware_cost_scales_linearly_per_iteration() {
+    // §3.5: per-iteration crossbar work is O(N) coefficient updates.
+    let small = RandomLp::paper(32, 7).feasible();
+    let large = RandomLp::paper(128, 7).feasible();
+    let run = |lp: &LpProblem| {
+        let r = CrossbarPdipSolver::new(
+            CrossbarConfig::paper_default().with_seed(1),
+            CrossbarSolverOptions::default(),
+        )
+        .solve(lp);
+        assert!(r.solution.status.is_optimal());
+        let iters = r.solution.iterations.max(1) as f64;
+        r.ledger.counts().update_writes as f64 / iters
+    };
+    let per_iter_small = run(&small);
+    let per_iter_large = run(&large);
+    // 2(n+m) per iteration: ratio should be ≈ 128/32 = 4.
+    let ratio = per_iter_large / per_iter_small;
+    assert!((ratio - 4.0).abs() < 0.5, "O(N) update scaling violated: ratio {ratio}");
+}
+
+#[test]
+fn retries_redraw_variation_and_eventually_succeed() {
+    // At 20% variation some attempts fail; the retry scheme (§4.3 "double
+    // checking") should still deliver verdicts on most seeds.
+    let mut optimal = 0;
+    let total = 6;
+    for seed in 0..total {
+        let lp = RandomLp::paper(48, 100 + seed).feasible();
+        let r = CrossbarPdipSolver::new(
+            CrossbarConfig::paper_default().with_variation(20.0).with_seed(seed),
+            CrossbarSolverOptions::default(),
+        )
+        .solve(&lp);
+        if r.solution.status.is_optimal() {
+            optimal += 1;
+        }
+    }
+    assert!(optimal >= total - 1, "only {optimal}/{total} succeeded at 20% variation");
+}

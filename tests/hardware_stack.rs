@@ -1,0 +1,136 @@
+//! Hardware-stack integration: device → crossbar → NoC consistency.
+
+use memlp::prelude::*;
+use memlp_device::{Memristor, PulseProgrammer};
+
+#[test]
+fn device_programming_supports_crossbar_precision() {
+    // The crossbar maps coefficients onto [g_off, g_on]; the pulse
+    // programmer must reach arbitrary targets in that range within the
+    // 8-bit tolerance the solver assumes.
+    let params = DeviceParams::default();
+    let mut programmer = PulseProgrammer::new(params);
+    programmer.tolerance = 0.002; // half an 8-bit LSB of the conductance range
+    for frac in [0.1, 0.35, 0.5, 0.75, 0.9] {
+        let target = params.g_off() + frac * (params.g_on() - params.g_off());
+        let mut device = Memristor::new(params);
+        let report = programmer.program(&mut device, target);
+        assert!(report.converged, "target fraction {frac}");
+        assert!(
+            (report.final_conductance - target).abs() / (params.g_on() - params.g_off()) < 1.5 / 256.0,
+            "8-bit precision missed at fraction {frac}"
+        );
+        assert!(report.pulses <= 64, "{} pulses is beyond the CostParams budget regime", report.pulses);
+    }
+}
+
+#[test]
+fn monolithic_and_tiled_crossbars_agree() {
+    let a = Matrix::from_fn(12, 12, |i, j| {
+        0.1 + ((i * 7 + j * 3) % 11) as f64 * 0.08 + if i == j { 3.0 } else { 0.0 }
+    });
+    let x: Vec<f64> = (0..12).map(|i| 0.2 + (i as f64) * 0.05).collect();
+
+    let mut mono = Crossbar::new(12, CrossbarConfig::ideal()).unwrap();
+    mono.program(&a).unwrap();
+    let y_mono = mono.mvm(&x).unwrap();
+
+    let mut tiled = TiledCrossbar::program(
+        &a,
+        5,
+        CrossbarConfig::ideal(),
+        NocConfig::hierarchical().with_buffer_noise(0.0),
+    )
+    .unwrap();
+    let y_tiled = tiled.mvm(&x).unwrap();
+
+    let exact = a.matvec(&x);
+    for ((m, t), e) in y_mono.iter().zip(&y_tiled).zip(&exact) {
+        assert!((m - e).abs() < 2e-3 * e.abs().max(1.0), "mono {m} vs exact {e}");
+        assert!((t - e).abs() < 2e-3 * e.abs().max(1.0), "tiled {t} vs exact {e}");
+    }
+}
+
+#[test]
+fn circuit_fidelity_is_a_superset_of_functional_noise() {
+    // Circuit mode adds g_off parasitics; with calibrated read-out the
+    // result stays close but not identical to functional mode.
+    let a = Matrix::from_fn(6, 6, |i, j| 0.5 + ((i + 2 * j) % 5) as f64 * 0.2);
+    let x = vec![0.4; 6];
+    let exact = a.matvec(&x);
+
+    let mut func = Crossbar::new(6, CrossbarConfig::ideal()).unwrap();
+    func.program(&a).unwrap();
+    let yf = func.mvm(&x).unwrap();
+
+    let mut circ = Crossbar::new(6, CrossbarConfig::ideal().circuit()).unwrap();
+    circ.program(&a).unwrap();
+    let yc = circ.mvm(&x).unwrap();
+
+    for ((f, c), e) in yf.iter().zip(&yc).zip(&exact) {
+        assert!((f - e).abs() / e.abs() < 0.01);
+        assert!((c - e).abs() / e.abs() < 0.03, "circuit parasitics too large: {c} vs {e}");
+    }
+}
+
+#[test]
+fn ledger_composes_across_the_stack() {
+    // Solve an LP and confirm the ledger's counters are self-consistent
+    // with the solver's iteration count and the §3.5 cost structure.
+    let lp = RandomLp::paper(32, 13).feasible();
+    let r = CrossbarPdipSolver::new(
+        CrossbarConfig::paper_default().with_variation(5.0).with_seed(2),
+        CrossbarSolverOptions::default(),
+    )
+    .solve(&lp);
+    assert!(r.solution.status.is_optimal());
+    let c = r.ledger.counts();
+    let n = lp.num_vars() as u64;
+    let m = lp.num_constraints() as u64;
+    let iters = r.solution.iterations as u64;
+
+    assert_eq!(c.update_writes, 2 * (n + m) * (iters + 1), "O(N) updates per iteration");
+    assert!(c.mvm_ops >= iters, "one r-derivation MVM per iteration");
+    assert!(c.solve_ops <= c.mvm_ops, "at most one solve per MVM");
+    assert!(c.adc_samples > 0 && c.dac_samples > 0);
+    assert!(r.ledger.setup_time_s() > 0.0);
+    assert!(r.ledger.run_time_s() > 0.0);
+    let e = r.ledger.energy_j(&CostParams::default());
+    assert!(e > r.ledger.dynamic_energy_j(), "static power must contribute");
+}
+
+#[test]
+fn energy_grows_with_variation_level() {
+    // §4.4: both latency and energy grow with process variation (more
+    // write-verify cycles and more iterations).
+    let lp = RandomLp::paper(48, 17).feasible();
+    let run = |var: f64| {
+        let r = CrossbarPdipSolver::new(
+            CrossbarConfig::paper_default().with_variation(var).with_seed(3),
+            CrossbarSolverOptions::default(),
+        )
+        .solve(&lp);
+        assert!(r.solution.status.is_optimal(), "var {var}");
+        (r.ledger.run_time_s(), r.ledger.energy_j(&CostParams::default()))
+    };
+    let (t0, e0) = run(0.0);
+    let (t20, e20) = run(20.0);
+    assert!(t20 > t0, "latency should grow with variation: {t0} vs {t20}");
+    assert!(e20 > e0, "energy should grow with variation: {e0} vs {e20}");
+}
+
+#[test]
+fn seed_determinism_across_full_solves() {
+    let lp = RandomLp::paper(24, 19).feasible();
+    let run = || {
+        CrossbarPdipSolver::new(
+            CrossbarConfig::paper_default().with_variation(10.0).with_seed(42),
+            CrossbarSolverOptions::default(),
+        )
+        .solve(&lp)
+        .solution
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must reproduce the identical solve");
+}

@@ -1,0 +1,104 @@
+//! Presolve → solve → restore pipeline across the stack.
+
+use memlp::prelude::*;
+use memlp_linalg::Matrix;
+use memlp_lp::{presolve, Presolved};
+
+/// Builds an LP with planted presolve fodder around a meaningful core:
+/// redundant zero rows and variables that presolve should fix at zero.
+fn padded_problem() -> (LpProblem, f64) {
+    // Core: max x0 + x1, x0 + 2 x1 ≤ 4, 3 x0 + x1 ≤ 6 → optimum 2.8.
+    // Padding: x2 with c2 = −5 and non-negative column (fixable), one zero
+    // row (droppable).
+    let a = Matrix::from_rows(&[
+        &[1.0, 2.0, 0.5],
+        &[3.0, 1.0, 0.0],
+        &[0.0, 0.0, 0.0],
+    ])
+    .unwrap();
+    let lp = LpProblem::new(a, vec![4.0, 6.0, 7.0], vec![1.0, 1.0, -5.0]).unwrap();
+    (lp, 2.8)
+}
+
+#[test]
+fn presolve_then_software_solver_matches_direct() {
+    let (lp, expect) = padded_problem();
+    let direct = Simplex::default().solve(&lp);
+    assert!(direct.status.is_optimal());
+    assert!((direct.objective - expect).abs() < 1e-9);
+
+    match presolve(&lp) {
+        Presolved::Reduced { lp: reduced, restore } => {
+            assert!(reduced.num_vars() < lp.num_vars(), "x2 should be fixed");
+            assert!(reduced.num_constraints() < lp.num_constraints(), "zero row dropped");
+            let sol = Simplex::default().solve(&reduced);
+            assert!(sol.status.is_optimal());
+            let x = restore.restore_x(&sol.x);
+            assert_eq!(x.len(), lp.num_vars());
+            assert!(lp.is_feasible(&x, 1e-9));
+            assert!((lp.objective(&x) - expect).abs() < 1e-9);
+            let y = restore.restore_y(&sol.y, lp.num_constraints());
+            assert_eq!(y.len(), lp.num_constraints());
+            assert_eq!(y[2], 0.0, "dropped row keeps zero multiplier");
+        }
+        other => panic!("expected a reduction, got {other:?}"),
+    }
+}
+
+#[test]
+fn presolve_then_crossbar_solver_matches_direct() {
+    let (lp, expect) = padded_problem();
+    let Presolved::Reduced { lp: reduced, restore } = presolve(&lp) else {
+        panic!("expected a reduction");
+    };
+    let hw = CrossbarPdipSolver::new(
+        CrossbarConfig::paper_default().with_variation(5.0).with_seed(8),
+        CrossbarSolverOptions::default(),
+    )
+    .solve(&reduced);
+    assert!(hw.solution.status.is_optimal(), "{}", hw.solution);
+    let x = restore.restore_x(&hw.solution.x);
+    let rel = (lp.objective(&x) - expect).abs() / (1.0 + expect);
+    assert!(rel < 0.06, "restored objective off by {rel}");
+    assert!(lp.satisfies_relaxed_scaled(&x, 1.06));
+}
+
+#[test]
+fn presolve_certificates_agree_with_solvers() {
+    // Unbounded via a free-ride variable.
+    let a = Matrix::from_rows(&[&[1.0, -1.0]]).unwrap();
+    let lp = LpProblem::new(a, vec![4.0], vec![0.0, 1.0]).unwrap();
+    assert_eq!(presolve(&lp), Presolved::Unbounded);
+    assert_eq!(Simplex::default().solve(&lp).status, LpStatus::Unbounded);
+
+    // Infeasible via an impossible zero row.
+    let a = Matrix::from_rows(&[&[0.0], &[1.0]]).unwrap();
+    let lp = LpProblem::new(a, vec![-1.0, 3.0], vec![1.0]).unwrap();
+    assert_eq!(presolve(&lp), Presolved::Infeasible);
+    assert_eq!(Simplex::default().solve(&lp).status, LpStatus::Infeasible);
+}
+
+#[test]
+fn presolve_shrinks_random_sparse_instances_without_changing_the_answer() {
+    for seed in [3u64, 5, 9] {
+        let gen = memlp_lp::generator::RandomLp {
+            density: 0.4,
+            ..memlp_lp::generator::RandomLp::paper(24, seed)
+        };
+        let lp = gen.feasible();
+        let direct = NormalEqPdip::default().solve(&lp);
+        match presolve(&lp) {
+            Presolved::Reduced { lp: reduced, restore } => {
+                let sol = NormalEqPdip::default().solve(&reduced);
+                assert!(sol.status.is_optimal(), "seed {seed}");
+                let x = restore.restore_x(&sol.x);
+                let rel = (lp.objective(&x) - direct.objective).abs()
+                    / (1.0 + direct.objective.abs());
+                assert!(rel < 1e-6, "seed {seed}: {rel}");
+            }
+            Presolved::Unbounded | Presolved::Infeasible => {
+                panic!("seed {seed}: generator guarantees a bounded feasible LP")
+            }
+        }
+    }
+}
