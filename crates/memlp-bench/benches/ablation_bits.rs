@@ -10,7 +10,10 @@ use memlp_solvers::{LpSolver, NormalEqPdip};
 
 fn main() {
     let m = 64;
-    let trials = std::env::var("MEMLP_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let trials = std::env::var("MEMLP_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     println!("Ablation: ADC/DAC bit width at m = {m}, 10% variation, {trials} trials");
 
     let mut t = Table::new(
@@ -25,7 +28,9 @@ fn main() {
             let cfg = CrossbarConfig {
                 adc_bits: bits,
                 dac_bits: bits,
-                ..CrossbarConfig::paper_default().with_variation(10.0).with_seed(seed)
+                ..CrossbarConfig::paper_default()
+                    .with_variation(10.0)
+                    .with_seed(seed)
             };
             let r = CrossbarPdipSolver::new(cfg, CrossbarSolverOptions::default()).solve(&lp);
             if r.solution.status.is_optimal() {

@@ -14,13 +14,23 @@ use memlp_solvers::{LpSolver, NormalEqPdip};
 
 fn main() {
     let m = 48;
-    let trials = std::env::var("MEMLP_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let trials = std::env::var("MEMLP_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     println!("Ablation: retention τ × refresh cadence at m = {m}, 5% variation, {trials} trials");
     println!("(a solve at this size runs ~2-20 ms of hardware time)");
 
     let mut t = Table::new(
         "Algorithm 1 vs drift time constant and refresh cadence",
-        &["tau", "refresh every", "mean err %", "max err %", "success", "extra writes"],
+        &[
+            "tau",
+            "refresh every",
+            "mean err %",
+            "max err %",
+            "success",
+            "extra writes",
+        ],
     );
     for (tau_label, tau) in [
         ("none", None),
@@ -38,11 +48,17 @@ fn main() {
                 let lp = RandomLp::paper(m, seed).feasible();
                 let reference = NormalEqPdip::default().solve(&lp);
                 let cfg = CrossbarConfig {
-                    drift: tau.map(DriftModel::exponential).unwrap_or_else(DriftModel::none),
-                    ..CrossbarConfig::paper_default().with_variation(5.0).with_seed(seed)
+                    drift: tau
+                        .map(DriftModel::exponential)
+                        .unwrap_or_else(DriftModel::none),
+                    ..CrossbarConfig::paper_default()
+                        .with_variation(5.0)
+                        .with_seed(seed)
                 };
-                let opts =
-                    CrossbarSolverOptions { refresh_every: refresh, ..Default::default() };
+                let opts = CrossbarSolverOptions {
+                    refresh_every: refresh,
+                    ..Default::default()
+                };
                 let r = CrossbarPdipSolver::new(cfg, opts).solve(&lp);
                 let err = if r.solution.status.is_optimal() {
                     (r.solution.objective - reference.objective).abs()
@@ -50,14 +66,22 @@ fn main() {
                 } else {
                     f64::NAN
                 };
-                (err, r.ledger.counts().update_writes as f64, r.solution.status.is_optimal())
+                (
+                    err,
+                    r.ledger.counts().update_writes as f64,
+                    r.solution.status.is_optimal(),
+                )
             });
             let ok = outcomes.iter().filter(|o| o.2).count();
             let errs: Stats = outcomes.iter().map(|o| o.0).collect();
             let writes: Stats = outcomes.iter().map(|o| o.1).collect();
             t.row(vec![
                 tau_label.into(),
-                if refresh == 0 { "never".into() } else { refresh.to_string() },
+                if refresh == 0 {
+                    "never".into()
+                } else {
+                    refresh.to_string()
+                },
                 format!("{:.3}", errs.mean() * 100.0),
                 format!("{:.3}", errs.max() * 100.0),
                 format!("{ok}/{trials}"),

@@ -10,7 +10,10 @@ use memlp_solvers::{LpSolver, NormalEqPdip};
 
 fn main() {
     let m = 48;
-    let trials = std::env::var("MEMLP_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let trials = std::env::var("MEMLP_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     println!("Ablation: stuck-at fault rate at m = {m}, 5% variation, {trials} trials");
 
     let mut t = Table::new(
@@ -24,7 +27,9 @@ fn main() {
             let reference = NormalEqPdip::default().solve(&lp);
             let cfg = CrossbarConfig {
                 faults: FaultModel::symmetric(rate),
-                ..CrossbarConfig::paper_default().with_variation(5.0).with_seed(seed)
+                ..CrossbarConfig::paper_default()
+                    .with_variation(5.0)
+                    .with_seed(seed)
             };
             let r = CrossbarPdipSolver::new(cfg, CrossbarSolverOptions::default()).solve(&lp);
             if r.solution.status.is_optimal() {

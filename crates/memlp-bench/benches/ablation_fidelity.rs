@@ -11,7 +11,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let trials = std::env::var("MEMLP_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(6);
+    let trials = std::env::var("MEMLP_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
     println!("Ablation: functional vs circuit fidelity on raw crossbar ops ({trials} trials)");
 
     let mut t = Table::new(
@@ -20,9 +23,10 @@ fn main() {
     );
     for &n in &[8usize, 16, 32] {
         for (fname, circuit) in [("functional", false), ("circuit", true)] {
-            for (rname, readout) in
-                [("calibrated", ReadoutMode::Calibrated), ("raw-divider", ReadoutMode::RawDivider)]
-            {
+            for (rname, readout) in [
+                ("calibrated", ReadoutMode::Calibrated),
+                ("raw-divider", ReadoutMode::RawDivider),
+            ] {
                 if !circuit && readout == ReadoutMode::RawDivider {
                     continue; // read-out mode only matters at circuit fidelity
                 }
@@ -35,8 +39,9 @@ fn main() {
                     });
                     let x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
                     let b: Vec<f64> = (0..n).map(|_| rng.random_range(0.5..2.0)).collect();
-                    let mut cfg =
-                        CrossbarConfig::paper_default().with_variation(10.0).with_seed(seed);
+                    let mut cfg = CrossbarConfig::paper_default()
+                        .with_variation(10.0)
+                        .with_seed(seed);
                     cfg.readout = readout;
                     if circuit {
                         cfg = cfg.circuit();

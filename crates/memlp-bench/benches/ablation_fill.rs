@@ -11,7 +11,10 @@ use memlp_solvers::{LpSolver, NormalEqPdip};
 
 fn main() {
     let m = 64;
-    let trials = std::env::var("MEMLP_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let trials = std::env::var("MEMLP_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     println!("Ablation: Algorithm 2 fill scale at m = {m}, 10% variation, {trials} trials");
 
     let mut t = Table::new(
@@ -23,9 +26,14 @@ fn main() {
             let seed = 5000 + trial as u64;
             let lp = RandomLp::paper(m, seed).feasible();
             let reference = NormalEqPdip::default().solve(&lp);
-            let opts = LargeScaleOptions { fill_scale: fill, ..LargeScaleOptions::default() };
+            let opts = LargeScaleOptions {
+                fill_scale: fill,
+                ..LargeScaleOptions::default()
+            };
             let r = LargeScaleSolver::new(
-                CrossbarConfig::paper_default().with_variation(10.0).with_seed(seed),
+                CrossbarConfig::paper_default()
+                    .with_variation(10.0)
+                    .with_seed(seed),
                 opts,
             )
             .solve(&lp);

@@ -18,15 +18,22 @@ fn main() {
 
     let mut t = Table::new(
         format!("Tiled {n}×{n} MVM: tile size × topology"),
-        &["tile", "tiles", "topology", "max err %", "noc transfers", "noc+array time"],
+        &[
+            "tile",
+            "tiles",
+            "topology",
+            "max err %",
+            "noc transfers",
+            "noc+array time",
+        ],
     );
     for tile in [32usize, 64, 128, 256] {
-        for (name, noc) in
-            [("hierarchical", NocConfig::hierarchical()), ("mesh", NocConfig::mesh())]
-        {
-            let mut tiled =
-                TiledCrossbar::program(&a, tile, CrossbarConfig::paper_default(), noc)
-                    .expect("fits");
+        for (name, noc) in [
+            ("hierarchical", NocConfig::hierarchical()),
+            ("mesh", NocConfig::mesh()),
+        ] {
+            let mut tiled = TiledCrossbar::program(&a, tile, CrossbarConfig::paper_default(), noc)
+                .expect("fits");
             let y = tiled.mvm(&x).expect("shapes");
             let err = y
                 .iter()

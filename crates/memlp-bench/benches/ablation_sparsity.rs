@@ -13,22 +13,38 @@ use memlp_solvers::{LpSolver, NormalEqPdip};
 
 fn main() {
     let m = 96;
-    let trials = std::env::var("MEMLP_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let trials = std::env::var("MEMLP_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     println!("Ablation: constraint-matrix density at m = {m}, 5% variation, {trials} trials");
 
     let mut t = Table::new(
         "Setup cost is nnz-proportional; run cost and accuracy are density-independent",
-        &["density", "nnz(A)", "setup writes", "setup time", "run time", "mean err %", "success"],
+        &[
+            "density",
+            "nnz(A)",
+            "setup writes",
+            "setup time",
+            "run time",
+            "mean err %",
+            "success",
+        ],
     );
     for density in [1.0, 0.5, 0.25, 0.1] {
         let outcomes = run_trials(trials, |trial| {
             let seed = 10_000 + trial as u64;
-            let gen = RandomLp { density, ..RandomLp::paper(m, seed) };
+            let gen = RandomLp {
+                density,
+                ..RandomLp::paper(m, seed)
+            };
             let lp = gen.feasible();
             let nnz = SparseMatrix::from_dense(lp.a()).nnz();
             let reference = NormalEqPdip::default().solve(&lp);
             let r = CrossbarPdipSolver::new(
-                CrossbarConfig::paper_default().with_variation(5.0).with_seed(seed),
+                CrossbarConfig::paper_default()
+                    .with_variation(5.0)
+                    .with_seed(seed),
                 CrossbarSolverOptions::default(),
             )
             .solve(&lp);

@@ -14,12 +14,21 @@ use memlp_solvers::{LpSolver, NormalEqPdip};
 
 fn main() {
     let m = 64;
-    let trials = std::env::var("MEMLP_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let trials = std::env::var("MEMLP_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     println!("Ablation: variation distribution at m = {m}, {trials} trials");
 
     let mut t = Table::new(
         "Uniform vs Gaussian (3σ = max) process variation — Algorithm 1 accuracy",
-        &["max var %", "distribution", "mean err %", "max err %", "success"],
+        &[
+            "max var %",
+            "distribution",
+            "mean err %",
+            "max err %",
+            "success",
+        ],
     );
     for var in [5.0, 10.0, 20.0] {
         for (name, model) in [

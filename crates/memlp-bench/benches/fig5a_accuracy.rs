@@ -20,7 +20,14 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 5(a): relative error of Algorithm 1 vs reference (mean over optimal trials)",
-        &["m", "var %", "mean err %", "max err %", "success", "iterations"],
+        &[
+            "m",
+            "var %",
+            "mean err %",
+            "max err %",
+            "success",
+            "iterations",
+        ],
     );
     for p in &grid {
         t.row(vec![
@@ -35,6 +42,12 @@ fn main() {
     t.finish("fig5a_accuracy");
 
     // Shape assertions mirroring the paper's qualitative claims.
-    let worst = grid.iter().map(|p| p.rel_error.max()).fold(0.0f64, f64::max);
-    println!("\nworst-case error anywhere on the grid: {:.2}% (paper: ≤ ~10%)", worst * 100.0);
+    let worst = grid
+        .iter()
+        .map(|p| p.rel_error.max())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nworst-case error anywhere on the grid: {:.2}% (paper: ≤ ~10%)",
+        worst * 100.0
+    );
 }

@@ -17,7 +17,14 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 5(b): relative error of Algorithm 2 (large-scale) vs reference",
-        &["m", "var %", "mean err %", "max err %", "success", "iterations"],
+        &[
+            "m",
+            "var %",
+            "mean err %",
+            "max err %",
+            "success",
+            "iterations",
+        ],
     );
     for p in &grid {
         t.row(vec![
@@ -31,6 +38,12 @@ fn main() {
     }
     t.finish("fig5b_accuracy_large");
 
-    let worst = grid.iter().map(|p| p.rel_error.max()).fold(0.0f64, f64::max);
-    println!("\nworst-case error anywhere on the grid: {:.2}% (paper: ≤ ~8.5%)", worst * 100.0);
+    let worst = grid
+        .iter()
+        .map(|p| p.rel_error.max())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nworst-case error anywhere on the grid: {:.2}% (paper: ≤ ~8.5%)",
+        worst * 100.0
+    );
 }

@@ -24,7 +24,14 @@ fn main() {
     // Software baselines per size (dense PDIP capped: O(N³)/iteration).
     let mut t = Table::new(
         "Fig 6(a): estimated latency, Algorithm 1 vs software",
-        &["m", "var %", "crossbar (est)", "linprog-sub (wall)", "dense PDIP (wall)", "speedup"],
+        &[
+            "m",
+            "var %",
+            "crossbar (est)",
+            "linprog-sub (wall)",
+            "dense PDIP (wall)",
+            "speedup",
+        ],
     );
     for &m in &sweep.sizes {
         let (normal, dense) = software_latency(m, sweep.trials.min(3), 256);

@@ -18,7 +18,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 6(b): estimated latency, Algorithm 2 (large-scale) vs software",
-        &["m", "var %", "crossbar (est)", "linprog-sub (wall)", "speedup"],
+        &[
+            "m",
+            "var %",
+            "crossbar (est)",
+            "linprog-sub (wall)",
+            "speedup",
+        ],
     );
     for &m in &sweep.sizes {
         let (normal, _) = software_latency(m, sweep.trials.min(3), 0);

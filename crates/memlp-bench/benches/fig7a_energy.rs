@@ -44,6 +44,10 @@ fn main() {
                 .map(|p| p.hw_energy_j.mean())
                 .unwrap_or(f64::NAN)
         };
-        println!("  m={m:>5}: var0={} var20={}", fmt_energy(at(0.0)), fmt_energy(at(20.0)));
+        println!(
+            "  m={m:>5}: var0={} var20={}",
+            fmt_energy(at(0.0)),
+            fmt_energy(at(20.0))
+        );
     }
 }

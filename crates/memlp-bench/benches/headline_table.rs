@@ -28,7 +28,11 @@ fn main() {
         let t0 = Instant::now();
         let s = NormalEqPdip::default().solve(&lp);
         let wall = t0.elapsed().as_secs_f64();
-        if s.status.is_optimal() { wall } else { f64::NAN }
+        if s.status.is_optimal() {
+            wall
+        } else {
+            f64::NAN
+        }
     })
     .into_iter()
     .collect();
@@ -37,7 +41,11 @@ fn main() {
         let t0 = Instant::now();
         let s = NormalEqPdip::default().solve(&lp);
         let wall = t0.elapsed().as_secs_f64();
-        if s.status == LpStatus::Infeasible { wall } else { f64::NAN }
+        if s.status == LpStatus::Infeasible {
+            wall
+        } else {
+            f64::NAN
+        }
     })
     .into_iter()
     .collect();
@@ -45,7 +53,13 @@ fn main() {
     let mut t = Table::new(
         format!("§4.4 headline (m = {m}): latency & energy vs variation"),
         &[
-            "workload", "solver", "var %", "latency", "energy", "speedup", "energy ratio",
+            "workload",
+            "solver",
+            "var %",
+            "latency",
+            "energy",
+            "speedup",
+            "energy ratio",
         ],
     );
     t.row(vec![
@@ -75,10 +89,18 @@ fn main() {
                 let outcomes = run_trials(trials, |tr| {
                     let seed = 9200 + tr as u64 + (var as u64) * 7;
                     let gen = RandomLp::paper(m, seed);
-                    let lp = if infeasible { gen.infeasible() } else { gen.feasible() };
+                    let lp = if infeasible {
+                        gen.infeasible()
+                    } else {
+                        gen.feasible()
+                    };
                     run_one(kind, &lp, var, seed)
                 });
-                let expected = if infeasible { LpStatus::Infeasible } else { LpStatus::Optimal };
+                let expected = if infeasible {
+                    LpStatus::Infeasible
+                } else {
+                    LpStatus::Optimal
+                };
                 let lat: Stats = outcomes
                     .iter()
                     .filter(|o| o.status == expected)

@@ -15,7 +15,16 @@ fn main() {
 
     let mut t = Table::new(
         "Iterations to converge / to detect infeasibility",
-        &["solver", "workload", "m", "var %", "mean iters", "min", "max", "success"],
+        &[
+            "solver",
+            "workload",
+            "m",
+            "var %",
+            "mean iters",
+            "min",
+            "max",
+            "success",
+        ],
     );
     for kind in [SolverKind::Alg1, SolverKind::Alg2] {
         let feas = feasible_grid(kind, &sweep);

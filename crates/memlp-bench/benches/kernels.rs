@@ -1,9 +1,15 @@
-//! Criterion microbenchmarks for the workspace's hot kernels: the dense LU
-//! (the simulator's cost and the software baseline's inner loop), the
-//! crossbar analog ops, the §3.2 transform, and workload generation.
+//! Microbenchmarks for the workspace's hot kernels: the dense LU (the
+//! simulator's cost and the software baseline's inner loop), the crossbar
+//! analog ops, the §3.2 transform, and workload generation.
+//!
+//! A plain timing harness (median of repeated runs) rather than criterion:
+//! the build environment has no registry access, so the bench crates carry
+//! no external harness dependency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
+use memlp_bench::{fmt_time, Stats};
 use memlp_core::SignSplit;
 use memlp_crossbar::{Crossbar, CrossbarConfig};
 use memlp_linalg::{LuFactors, Matrix};
@@ -16,58 +22,68 @@ fn test_matrix(n: usize) -> Matrix {
     })
 }
 
-fn bench_lu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lu_factor");
+/// Times `f` over enough repetitions to be stable and reports the median.
+fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
+    // Calibrate: aim for ~100 ms of total work, between 3 and 30 reps.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let reps = ((0.1 / once) as usize).clamp(3, 30);
+    let s: Stats = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    println!(
+        "{label:<28} mean {:>10}  (min {:>10}, max {:>10}, n={reps})",
+        fmt_time(s.mean()),
+        fmt_time(s.min()),
+        fmt_time(s.max()),
+    );
+}
+
+fn bench_lu() {
     for &n in &[64usize, 256, 512] {
         let a = test_matrix(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
-            b.iter(|| LuFactors::factor(a.clone()).expect("non-singular"))
+        bench(&format!("lu_factor/{n}"), || {
+            LuFactors::factor(a.clone()).expect("non-singular")
         });
     }
-    g.finish();
 }
 
-fn bench_crossbar_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crossbar");
+fn bench_crossbar_ops() {
     for &n in &[64usize, 256] {
         let a = test_matrix(n).map(f64::abs);
-        let mut xb = Crossbar::new(n, CrossbarConfig::paper_default().with_variation(10.0))
-            .expect("fits");
+        let mut xb =
+            Crossbar::new(n, CrossbarConfig::paper_default().with_variation(10.0)).expect("fits");
         xb.program(&a).expect("non-negative");
         let x = vec![0.5; n];
-        g.bench_with_input(BenchmarkId::new("mvm", n), &x, |b, x| b.iter(|| xb.mvm(x).unwrap()));
+        bench(&format!("crossbar/mvm/{n}"), || xb.mvm(&x).unwrap());
         let bvec = vec![1.0; n];
-        g.bench_with_input(BenchmarkId::new("solve", n), &bvec, |b, bv| {
-            b.iter(|| xb.solve(bv).unwrap())
-        });
+        bench(&format!("crossbar/solve/{n}"), || xb.solve(&bvec).unwrap());
     }
-    g.finish();
 }
 
-fn bench_transform(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sign_split");
+fn bench_transform() {
     for &m in &[64usize, 256] {
         let lp = RandomLp::paper(m, 1).feasible();
-        g.bench_with_input(BenchmarkId::from_parameter(m), lp.a(), |b, a| {
-            b.iter(|| SignSplit::split(a))
-        });
+        bench(&format!("sign_split/{m}"), || SignSplit::split(lp.a()));
     }
-    g.finish();
 }
 
-fn bench_generator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generator");
+fn bench_generator() {
     for &m in &[64usize, 256] {
-        g.bench_with_input(BenchmarkId::new("feasible", m), &m, |b, &m| {
-            b.iter(|| RandomLp::paper(m, 7).feasible())
+        bench(&format!("generator/feasible/{m}"), || {
+            RandomLp::paper(m, 7).feasible()
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(10);
-    targets = bench_lu, bench_crossbar_ops, bench_transform, bench_generator
+fn main() {
+    bench_lu();
+    bench_crossbar_ops();
+    bench_transform();
+    bench_generator();
 }
-criterion_main!(kernels);

@@ -1,0 +1,158 @@
+//! Parallel-scaling study: batched Algorithm-1 solves across a grid of
+//! thread budgets × batch sizes, on a fixed LP suite.
+//!
+//! Both parallelism knobs are pinned per cell: the kernel pool via
+//! `parallel::with_threads` and the batch fan-out via `solve_batch`'s
+//! `jobs` argument. Because every kernel is thread-count invariant
+//! (DESIGN.md §8), each cell performs the *identical* computation — the
+//! grid measures pure scheduling efficiency.
+//!
+//! Emits `BENCH_parallel.json` at the repository root (hand-rolled JSON —
+//! no serde in the offline dependency set) alongside the usual stdout
+//! table. The host's `available_parallelism` is recorded so speedups can
+//! be judged against the cores actually present.
+
+use std::time::Instant;
+
+use memlp_bench::fmt_time;
+use memlp_core::{CrossbarPdipSolver, CrossbarSolverOptions};
+use memlp_crossbar::CrossbarConfig;
+use memlp_linalg::parallel::with_threads;
+use memlp_lp::generator::RandomLp;
+use memlp_lp::LpProblem;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const BATCHES: [usize; 3] = [1, 8, 64];
+/// Constraint count of every suite problem (n = m/3, per §4.2).
+const M: usize = 48;
+const REPS: usize = 3;
+
+struct Cell {
+    threads: usize,
+    batch: usize,
+    /// Median wall-clock for the whole batch, seconds.
+    secs: f64,
+    /// Problems solved per second at this cell.
+    throughput: f64,
+}
+
+/// Fixed suite: `count` distinct feasible LPs with deterministic seeds.
+fn suite(count: usize) -> Vec<LpProblem> {
+    (0..count)
+        .map(|i| RandomLp::paper(M, 1000 + i as u64).feasible())
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let solver = CrossbarPdipSolver::new(
+        CrossbarConfig::paper_default().with_variation(10.0),
+        CrossbarSolverOptions::default(),
+    );
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("parallel scaling: Algorithm 1, m = {M}, suite of distinct LPs");
+    println!("host available_parallelism = {available}");
+    println!();
+    println!(
+        "{:>8} {:>6} {:>12} {:>14} {:>9}",
+        "threads", "batch", "batch time", "solves/s", "speedup"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &batch in &BATCHES {
+        let lps = suite(batch);
+        let mut base = f64::NAN;
+        for &threads in &THREADS {
+            let secs = median(
+                (0..REPS)
+                    .map(|_| {
+                        let t = Instant::now();
+                        let results = with_threads(threads, || solver.solve_batch(&lps, threads));
+                        assert!(
+                            results.iter().all(|r| r.solution.status.is_optimal()),
+                            "suite problem failed to solve"
+                        );
+                        t.elapsed().as_secs_f64()
+                    })
+                    .collect(),
+            );
+            if threads == 1 {
+                base = secs;
+            }
+            println!(
+                "{threads:>8} {batch:>6} {:>12} {:>14.2} {:>8.2}x",
+                fmt_time(secs),
+                batch as f64 / secs,
+                base / secs,
+            );
+            cells.push(Cell {
+                threads,
+                batch,
+                secs,
+                throughput: batch as f64 / secs,
+            });
+        }
+        println!();
+    }
+
+    // --- BENCH_parallel.json at the repository root.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"scaling\",\n");
+    json.push_str(&format!(
+        "  \"suite\": \"RandomLp::paper(m={M}), Algorithm 1, 10% variation\",\n"
+    ));
+    json.push_str(&format!("  \"available_parallelism\": {available},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!(
+        "  \"note\": \"{}\",\n",
+        json_escape(
+            "thread budgets above available_parallelism cannot speed up on this \
+             host; results are deterministic and identical across all cells"
+        )
+    ));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"batch\": {}, \"seconds\": {:.6}, \"solves_per_sec\": {:.3}}}{}\n",
+            c.threads,
+            c.batch,
+            c.secs,
+            c.throughput,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let speedup_at = |threads: usize, batch: usize| {
+        let t1 = cells
+            .iter()
+            .find(|c| c.threads == 1 && c.batch == batch)
+            .unwrap()
+            .secs;
+        let tn = cells
+            .iter()
+            .find(|c| c.threads == threads && c.batch == batch)
+            .unwrap()
+            .secs;
+        t1 / tn
+    };
+    json.push_str(&format!(
+        "  \"speedup_8_threads_batch_64\": {:.3}\n}}\n",
+        speedup_at(8, 64)
+    ));
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_parallel.json");
+    std::fs::write(&path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {}", path.display());
+}

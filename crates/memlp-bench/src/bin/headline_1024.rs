@@ -23,7 +23,9 @@ fn main() {
         let lp = RandomLp::paper(m, seed).feasible();
         let t0 = Instant::now();
         let s = NormalEqPdip::default().solve(&lp);
-        if s.status.is_optimal() { sw_feas.push(t0.elapsed().as_secs_f64()); }
+        if s.status.is_optimal() {
+            sw_feas.push(t0.elapsed().as_secs_f64());
+        }
         seed += 1;
     }
     let mut seed = 9100u64;
@@ -31,21 +33,44 @@ fn main() {
         let lp = RandomLp::paper(m, seed).infeasible();
         let t0 = Instant::now();
         let s = NormalEqPdip::default().solve(&lp);
-        if s.status == LpStatus::Infeasible { sw_inf.push(t0.elapsed().as_secs_f64()); }
+        if s.status == LpStatus::Infeasible {
+            sw_inf.push(t0.elapsed().as_secs_f64());
+        }
         seed += 1;
     }
-    println!("software feasible {} infeasible {}", fmt_time(sw_feas.mean()), fmt_time(sw_inf.mean()));
+    println!(
+        "software feasible {} infeasible {}",
+        fmt_time(sw_feas.mean()),
+        fmt_time(sw_inf.mean())
+    );
 
     let mut table = Table::new(
         format!("m = {m}: headline latency/energy (paper §4.4 comparison)"),
-        &["workload", "solver", "var %", "latency", "energy", "err %", "iters", "speedup", "energy ratio", "ok"],
+        &[
+            "workload",
+            "solver",
+            "var %",
+            "latency",
+            "energy",
+            "err %",
+            "iters",
+            "speedup",
+            "energy ratio",
+            "ok",
+        ],
     );
     for kind in [SolverKind::Alg2, SolverKind::Alg1] {
         // Algorithm 1 at this size costs ~20 s of simulation per solve;
         // keep its grid to the endpoints.
-        let vars: &[f64] = if kind == SolverKind::Alg1 { &[0.0, 20.0] } else { &[0.0, 5.0, 10.0, 20.0] };
+        let vars: &[f64] = if kind == SolverKind::Alg1 {
+            &[0.0, 20.0]
+        } else {
+            &[0.0, 5.0, 10.0, 20.0]
+        };
         for &var in vars {
-            for (label, infeasible, sw) in [("feasible", false, &sw_feas), ("infeasible", true, &sw_inf)] {
+            for (label, infeasible, sw) in
+                [("feasible", false, &sw_feas), ("infeasible", true, &sw_inf)]
+            {
                 let mut lat = Stats::new();
                 let mut en = Stats::new();
                 let mut err = Stats::new();
@@ -54,9 +79,17 @@ fn main() {
                 for t in 0..trials {
                     let seed = 9200 + t as u64 + (var as u64) * 7;
                     let gen = RandomLp::paper(m, seed);
-                    let lp = if infeasible { gen.infeasible() } else { gen.feasible() };
+                    let lp = if infeasible {
+                        gen.infeasible()
+                    } else {
+                        gen.feasible()
+                    };
                     let o = run_one(kind, &lp, var, seed);
-                    let expected = if infeasible { LpStatus::Infeasible } else { LpStatus::Optimal };
+                    let expected = if infeasible {
+                        LpStatus::Infeasible
+                    } else {
+                        LpStatus::Optimal
+                    };
                     if o.status == expected {
                         ok += 1;
                         lat.push(o.hw_run_s);
@@ -66,8 +99,11 @@ fn main() {
                     }
                 }
                 table.row(vec![
-                    label.into(), kind.label().into(), format!("{var:.0}"),
-                    fmt_time(lat.mean()), fmt_energy(en.mean()),
+                    label.into(),
+                    kind.label().into(),
+                    format!("{var:.0}"),
+                    fmt_time(lat.mean()),
+                    fmt_energy(en.mean()),
                     format!("{:.3}", err.mean() * 100.0),
                     format!("{:.0}", iters.mean()),
                     format!("{:.1}x", sw.mean() / lat.mean()),

@@ -2,9 +2,7 @@
 
 use std::time::Instant;
 
-use memlp_core::{
-    CrossbarPdipSolver, CrossbarSolverOptions, LargeScaleOptions, LargeScaleSolver,
-};
+use memlp_core::{CrossbarPdipSolver, CrossbarSolverOptions, LargeScaleOptions, LargeScaleSolver};
 use memlp_crossbar::CrossbarConfig;
 use memlp_device::CostParams;
 use memlp_lp::generator::RandomLp;
@@ -55,7 +53,9 @@ pub fn run_one(kind: SolverKind, lp: &LpProblem, var_pct: f64, seed: u64) -> Tri
     let reference = NormalEqPdip::default().solve(lp);
     let ref_wall_s = t0.elapsed().as_secs_f64();
 
-    let config = CrossbarConfig::paper_default().with_variation(var_pct).with_seed(seed);
+    let config = CrossbarConfig::paper_default()
+        .with_variation(var_pct)
+        .with_seed(seed);
     let (solution, ledger) = match kind {
         SolverKind::Alg1 => {
             let r = CrossbarPdipSolver::new(config, CrossbarSolverOptions::default()).solve(lp);
@@ -119,10 +119,18 @@ fn grid(kind: SolverKind, sweep: &Sweep, infeasible: bool) -> Vec<GridPoint> {
             let outcomes = run_trials(sweep.trials, |trial| {
                 let seed = 1000 + m as u64 * 131 + (var as u64) * 17 + trial as u64;
                 let gen = RandomLp::paper(m, seed);
-                let lp = if infeasible { gen.infeasible() } else { gen.feasible() };
+                let lp = if infeasible {
+                    gen.infeasible()
+                } else {
+                    gen.feasible()
+                };
                 run_one(kind, &lp, var, seed ^ 0xBEEF)
             });
-            let expected = if infeasible { LpStatus::Infeasible } else { LpStatus::Optimal };
+            let expected = if infeasible {
+                LpStatus::Infeasible
+            } else {
+                LpStatus::Optimal
+            };
             let successes = outcomes.iter().filter(|o| o.status == expected).count();
             out.push(GridPoint {
                 m,

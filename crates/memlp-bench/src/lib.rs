@@ -40,7 +40,9 @@ impl Sweep {
     /// simulator pays O(N³) where the hardware would pay O(1); Algorithm 1
     /// at m = 1024 costs ~20 s of simulation per trial).
     pub fn paper(heavy_limit: usize) -> Sweep {
-        let full = std::env::var("MEMLP_FULL").map(|v| v == "1").unwrap_or(false);
+        let full = std::env::var("MEMLP_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let mut sizes: Vec<usize> = if full {
             vec![4, 16, 64, 256, 1024]
         } else {
@@ -51,7 +53,11 @@ impl Sweep {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(if full { 10 } else { 3 });
-        Sweep { sizes, variations: vec![0.0, 5.0, 10.0, 20.0], trials }
+        Sweep {
+            sizes,
+            variations: vec![0.0, 5.0, 10.0, 20.0],
+            trials,
+        }
     }
 
     /// A copy with different variation levels.
@@ -73,7 +79,12 @@ pub struct Stats {
 impl Stats {
     /// Creates an empty accumulator.
     pub fn new() -> Stats {
-        Stats { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Stats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation (non-finite values are ignored).
@@ -170,7 +181,13 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{:>width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };
@@ -202,27 +219,10 @@ impl Table {
 }
 
 /// Runs `trials` independent executions of `f(trial_index)` across threads
-/// and returns the results in trial order.
+/// (respecting `MEMLP_THREADS`) and returns the results in trial order.
 pub fn run_trials<T: Send>(trials: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads =
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(trials.max(1));
-    let mut out: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<T>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= trials {
-                    break;
-                }
-                let r = f(i);
-                **slots[i].lock().expect("trial slot") = Some(r);
-            });
-        }
-    });
-    out.into_iter().map(|v| v.expect("trial completed")).collect()
+    let threads = memlp_linalg::parallel::Threads::resolve().get();
+    memlp_linalg::parallel::run_indexed(threads, trials, f)
 }
 
 /// CPU-baseline energy for a measured wall time (paper methodology: 35 W).

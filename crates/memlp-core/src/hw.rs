@@ -94,8 +94,12 @@ impl HwContext {
                 self.config.variation.perturb(v, &mut self.rng).max(0.0)
             }
         });
-        self.ledger
-            .charge_writes(&self.config.cost, phase, nonzero, self.config.variation.max_fraction);
+        self.ledger.charge_writes(
+            &self.config.cost,
+            phase,
+            nonzero,
+            self.config.variation.max_fraction,
+        );
         realized
     }
 
@@ -109,9 +113,11 @@ impl HwContext {
             .map(|&v| match self.config.faults.draw(&mut self.rng) {
                 memlp_crossbar::FaultKind::StuckOn => a_max,
                 memlp_crossbar::FaultKind::StuckOff => 0.0,
-                memlp_crossbar::FaultKind::Healthy => {
-                    self.config.variation.perturb(v.max(0.0), &mut self.rng).max(0.0)
-                }
+                memlp_crossbar::FaultKind::Healthy => self
+                    .config
+                    .variation
+                    .perturb(v.max(0.0), &mut self.rng)
+                    .max(0.0),
             })
             .collect();
         self.ledger.charge_writes(
@@ -171,7 +177,9 @@ impl HwContext {
     pub fn adc_clipped(&mut self, v: &[f64], max_scale: f64) -> Vec<f64> {
         let auto = v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
         let fs = auto.min(max_scale);
-        v.iter().map(|&x| self.adc.quantize_against(x, fs)).collect()
+        v.iter()
+            .map(|&x| self.adc.quantize_against(x, fs))
+            .collect()
     }
 
     /// Charges one analog operation over an array of `dim` lines.
@@ -180,7 +188,13 @@ impl HwContext {
     /// `max_size`), per-tile NoC transfers through the configured fabric
     /// are charged on top (§3.4): every tile ships its line segment to the
     /// accumulating arbiters.
-    pub fn charge_analog(&mut self, is_solve: bool, inputs: usize, outputs: usize, g_estimate: f64) {
+    pub fn charge_analog(
+        &mut self,
+        is_solve: bool,
+        inputs: usize,
+        outputs: usize,
+        g_estimate: f64,
+    ) {
         self.ledger.charge_analog_op(
             &self.config.cost,
             is_solve,
@@ -226,7 +240,11 @@ mod tests {
     use super::*;
 
     fn ctx(var_pct: f64) -> HwContext {
-        HwContext::new(CrossbarConfig::paper_default().with_variation(var_pct).with_seed(7))
+        HwContext::new(
+            CrossbarConfig::paper_default()
+                .with_variation(var_pct)
+                .with_seed(7),
+        )
     }
 
     #[test]
@@ -314,7 +332,11 @@ mod tests {
         let mut c = ctx(0.0);
         let max = c.config().max_size;
         c.charge_analog(false, max, max, 1e-3);
-        assert_eq!(c.ledger().counts().noc_transfers, 0, "single tile needs no NoC");
+        assert_eq!(
+            c.ledger().counts().noc_transfers,
+            0,
+            "single tile needs no NoC"
+        );
         c.charge_analog(false, 2 * max, 2 * max, 1e-3);
         assert_eq!(c.ledger().counts().noc_transfers, 4, "2×2 tile grid");
     }

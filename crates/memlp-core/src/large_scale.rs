@@ -1,5 +1,5 @@
 use memlp_crossbar::{CostLedger, CrossbarConfig, Phase};
-use memlp_linalg::{ops, LuFactors, Matrix};
+use memlp_linalg::{ops, parallel, LuFactors, Matrix};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 use memlp_solvers::pdip::{PdipOptions, PdipState};
 use rand::rngs::StdRng;
@@ -167,10 +167,20 @@ impl LargeScaleSolver {
             pr.max(dr).max(gap)
         };
         let mut best: Option<(f64, LpSolution, SolverTrace, usize)> = None;
+        // The equilibrated problem and its Aᵀ are attempt-invariant
+        // (equilibration is deterministic); hoist them out of the retry
+        // loop so each attempt only redraws hardware variation.
+        let (wlp, eq) = if self.options.equilibrate {
+            let (scaled, eq) = memlp_lp::equilibrate(lp);
+            (scaled, Some(eq))
+        } else {
+            (lp.clone(), None)
+        };
+        let at = wlp.a().transpose();
         for attempt in 0..=self.options.retries {
             let mut hw = HwContext::new(self.config);
             hw.reseed(0x1A26_0000 + attempt as u64);
-            let outcome = self.attempt(lp, &mut hw, attempt as u64);
+            let outcome = self.attempt(lp, &wlp, &eq, &at, &mut hw, attempt as u64);
             ledger.merge(hw.ledger());
             match outcome {
                 Ok((mut solution, trace)) => {
@@ -205,7 +215,26 @@ impl LargeScaleSolver {
         }
         let (_, mut solution, trace, attempt) = best.expect("at least one attempt ran");
         self.classify_exhausted(lp, &mut solution);
-        crate::CrossbarSolution { solution, ledger, trace, retries_used: attempt }
+        crate::CrossbarSolution {
+            solution,
+            ledger,
+            trace,
+            retries_used: attempt,
+        }
+    }
+
+    /// Solves a batch of problems concurrently (one independent solver pass
+    /// per problem, results in input order). `jobs = 0` resolves the worker
+    /// count from `MEMLP_THREADS` / available parallelism. Each problem
+    /// simulates on its own deterministic [`HwContext`], so batching never
+    /// changes results relative to sequential [`Self::solve`] calls.
+    pub fn solve_batch(&self, lps: &[LpProblem], jobs: usize) -> Vec<crate::CrossbarSolution> {
+        let jobs = if jobs == 0 {
+            parallel::Threads::resolve().get()
+        } else {
+            jobs
+        };
+        parallel::run_indexed(jobs, lps.len(), |i| self.solve(&lps[i]))
     }
 
     /// Per §3.2, once the retry budget is spent a run whose residual is
@@ -214,8 +243,10 @@ impl LargeScaleSolver {
     /// (variation is redrawn each retry, so a feasible problem would almost
     /// surely have passed at least once).
     fn classify_exhausted(&self, lp: &LpProblem, solution: &mut LpSolution) {
-        if matches!(solution.status, LpStatus::NumericalFailure | LpStatus::IterationLimit)
-            && !solution.x.is_empty()
+        if matches!(
+            solution.status,
+            LpStatus::NumericalFailure | LpStatus::IterationLimit
+        ) && !solution.x.is_empty()
         {
             let bnorm = 1.0 + ops::inf_norm(lp.b());
             let cnorm = 1.0 + ops::inf_norm(lp.c());
@@ -229,8 +260,7 @@ impl LargeScaleSolver {
                 solution.status = LpStatus::Infeasible;
             } else if score <= self.options.accept_floor
                 && {
-                    let dual: f64 =
-                        lp.b().iter().zip(&solution.y).map(|(b, y)| b * y).sum();
+                    let dual: f64 = lp.b().iter().zip(&solution.y).map(|(b, y)| b * y).sum();
                     (solution.objective - dual).abs() / (1.0 + solution.objective.abs()) <= 0.5
                 }
                 && lp.satisfies_relaxed_scaled(&solution.x, self.options.alpha)
@@ -246,22 +276,19 @@ impl LargeScaleSolver {
     fn attempt(
         &self,
         lp: &LpProblem,
+        wlp: &LpProblem,
+        eq: &Option<memlp_lp::Equilibration>,
+        at: &Matrix,
         hw: &mut HwContext,
         salt: u64,
     ) -> Result<(LpSolution, SolverTrace), ()> {
         let opts = &self.options.pdip;
-        // Hardware sees the equilibrated problem (`wlp`); acceptance checks
-        // and the reported solution always refer to the original `lp`
-        // (x is shared; duals/slacks are un-scaled via `finish`).
-        let (wlp, eq) = if self.options.equilibrate {
-            let (scaled, eq) = memlp_lp::equilibrate(lp);
-            (scaled, Some(eq))
-        } else {
-            (lp.clone(), None)
-        };
-        let wlp = &wlp;
+        // Hardware sees the equilibrated problem (`wlp`, with `at = wlp.Aᵀ`
+        // precomputed by the caller); acceptance checks and the reported
+        // solution always refer to the original `lp` (x is shared;
+        // duals/slacks are un-scaled via `finish`).
         let finish = |mut state: PdipState, status: LpStatus, iter: usize, trace: SolverTrace| {
-            if let Some(eq) = &eq {
+            if let Some(eq) = eq {
                 state.y = eq.unscale_duals(&state.y);
                 for (w, s) in state.w.iter_mut().zip(&eq.row_scales) {
                     *w *= s;
@@ -273,6 +300,7 @@ impl LargeScaleSolver {
         let mut trace = SolverTrace::new();
         let mut sys = LargeScaleSystem::program(
             wlp,
+            at,
             &state,
             self.options.fill_scale,
             self.options.dual_feedback,
@@ -324,7 +352,13 @@ impl LargeScaleSolver {
             let pr = ops::inf_norm(rho) / bnorm;
             let dr = ops::inf_norm(sigma) / cnorm;
             let gap = state.duality_gap() / (1.0 + wlp.objective(&state.x).abs());
-            trace.push(IterationRecord { mu, gap, primal_residual: pr, dual_residual: dr, theta });
+            trace.push(IterationRecord {
+                mu,
+                gap,
+                primal_residual: pr,
+                dual_residual: dr,
+                theta,
+            });
             if pr <= opts.eps_primal && dr <= opts.eps_dual && gap <= opts.eps_gap {
                 let status = if lp.satisfies_relaxed_scaled(&state.x, self.options.alpha) {
                     LpStatus::Optimal
@@ -359,8 +393,7 @@ impl LargeScaleSolver {
                     // duals of the split iteration are legitimately sloppy,
                     // so only gross mismatch is disqualifying).
                     let cobj = wlp.objective(&candidate.x);
-                    let cdual: f64 =
-                        wlp.b().iter().zip(&candidate.y).map(|(b, y)| b * y).sum();
+                    let cdual: f64 = wlp.b().iter().zip(&candidate.y).map(|(b, y)| b * y).sum();
                     let obj_gap = (cobj - cdual).abs() / (1.0 + cobj.abs());
                     // Classification by stall level: the solver's noise
                     // floor sits well below accept_floor; a residual pinned
@@ -381,16 +414,16 @@ impl LargeScaleSolver {
             // --- Solve system 1 (static crossbar). The ADC reference is
             // set a decade above the current iterate magnitude; weakly
             // determined step components saturate there.
-            let clip = 10.0
-                * (1.0 + ops::inf_norm(&state.x).max(ops::inf_norm(&state.y)));
+            let clip = 10.0 * (1.0 + ops::inf_norm(&state.x).max(ops::inf_norm(&state.y)));
             let Some((dx, dy)) = sys.solve1(&r1, clip, hw) else {
                 return finish(state, LpStatus::NumericalFailure, iter, trace);
             };
 
             // --- Update s1 = (x, y) with constant θ, capped at the
             // positivity boundary (the paper's uncapped constant step
-            // diverges whenever an iterate crosses zero; see DESIGN.md §8).
-            let theta1 = positivity_cap(theta, &state.x, &dx).min(positivity_cap(theta, &state.y, &dy));
+            // diverges whenever an iterate crosses zero; see DESIGN.md §9).
+            let theta1 =
+                positivity_cap(theta, &state.x, &dx).min(positivity_cap(theta, &state.y, &dy));
             for (v, d) in state.x.iter_mut().zip(&dx) {
                 *v = (*v + theta1 * d).max(1e-9);
             }
@@ -401,10 +434,10 @@ impl LargeScaleSolver {
             // --- System 2: update M2 diagonals (the O(N) writes), derive
             //     r2 (Eqn 17b), solve the diagonal system (Eqn 16b).
             sys.update_diagonals(&state, hw);
-            let clip2 = 10.0
-                * (1.0 + ops::inf_norm(&state.z).max(ops::inf_norm(&state.w)));
+            let clip2 = 10.0 * (1.0 + ops::inf_norm(&state.z).max(ops::inf_norm(&state.w)));
             let (dz, dw) = sys.solve2(&state, mu, clip2, hw).ok_or(())?;
-            let theta2 = positivity_cap(theta, &state.z, &dz).min(positivity_cap(theta, &state.w, &dw));
+            let theta2 =
+                positivity_cap(theta, &state.z, &dz).min(positivity_cap(theta, &state.w, &dw));
             for (v, d) in state.z.iter_mut().zip(&dz) {
                 *v = (*v + theta2 * d).max(1e-9);
             }
@@ -434,7 +467,13 @@ struct TailAverage {
 
 impl TailAverage {
     fn new(n: usize, m: usize) -> Self {
-        TailAverage { x: vec![0.0; n], y: vec![0.0; m], w: vec![0.0; m], z: vec![0.0; n], count: 0 }
+        TailAverage {
+            x: vec![0.0; n],
+            y: vec![0.0; m],
+            w: vec![0.0; m],
+            z: vec![0.0; n],
+            count: 0,
+        }
     }
 
     fn accumulate(&mut self, s: &PdipState) {
@@ -486,6 +525,7 @@ fn positivity_cap(theta: f64, v: &[f64], d: &[f64]) -> f64 {
 impl LargeScaleSystem {
     fn program(
         lp: &LpProblem,
+        at: &Matrix,
         state: &PdipState,
         fill_scale: f64,
         dual_feedback: f64,
@@ -495,8 +535,7 @@ impl LargeScaleSystem {
         let n = lp.num_vars();
         let m = lp.num_constraints();
         let split_a = SignSplit::split(lp.a());
-        let at = lp.a().transpose();
-        let split_at = SignSplit::split(&at);
+        let split_at = SignSplit::split(at);
         let kx = split_a.num_compensations();
         let ky = split_at.num_compensations();
 
@@ -506,13 +545,17 @@ impl LargeScaleSystem {
         // yields the least-squares primal step in its Δx component, and
         // against [0, σ] the minimum-norm dual step in its Δy component —
         // both bounded for small λ, unlike a dense random fill whose weakly
-        // determined directions explode (see DESIGN.md §8).
+        // determined directions explode (see DESIGN.md §9).
         let mean_abs = lp.a().as_slice().iter().map(|v| v.abs()).sum::<f64>()
             / (lp.a().as_slice().len() as f64).max(1.0);
         let fill = fill_scale * mean_abs.max(f64::MIN_POSITIVE);
         let mut frng = StdRng::seed_from_u64(0xF111_0000 ^ salt);
-        let ru: Vec<f64> = (0..m).map(|_| frng.random_range(0.75 * fill..1.25 * fill)).collect();
-        let rl: Vec<f64> = (0..n).map(|_| frng.random_range(0.75 * fill..1.25 * fill)).collect();
+        let ru: Vec<f64> = (0..m)
+            .map(|_| frng.random_range(0.75 * fill..1.25 * fill))
+            .collect();
+        let rl: Vec<f64> = (0..n)
+            .map(|_| frng.random_range(0.75 * fill..1.25 * fill))
+            .collect();
 
         // --- Solve realization (with fill).
         let ap_s = hw.write_matrix(&split_a.pos, Phase::Setup);
@@ -656,14 +699,14 @@ impl LargeScaleSystem {
 
         // Constant part: [b − w, c + z, 0] (summing amplifiers).
         let mut r = Vec::with_capacity(ms.len());
-        for i in 0..m {
-            r.push(lp.b()[i] - state.w[i] - ms[i]);
+        for ((&bi, &wi), &mi) in lp.b().iter().zip(&state.w).zip(&ms) {
+            r.push(bi - wi - mi);
         }
-        for j in 0..n {
-            r.push(lp.c()[j] + state.z[j] - ms[m + j]);
+        for ((&cj, &zj), &mj) in lp.c().iter().zip(&state.z).zip(&ms[m..]) {
+            r.push(cj + zj - mj);
         }
-        for t in 0..kx + ky {
-            r.push(0.0 - ms[m + n + t]);
+        for &mt in &ms[m + n..] {
+            r.push(0.0 - mt);
         }
         r
     }
@@ -764,17 +807,17 @@ impl LargeScaleSystem {
         let r2: Vec<f64> = prodq.iter().map(|p| mu - p).collect();
         let r2q = hw.dac_blocks(&r2, &[n, m]);
         let mut out = Vec::with_capacity(n + m);
-        for j in 0..n {
-            if self.xd[j] == 0.0 {
+        for (&xdj, &rj) in self.xd.iter().zip(&r2q) {
+            if xdj == 0.0 {
                 return None;
             }
-            out.push(r2q[j] / self.xd[j]);
+            out.push(rj / xdj);
         }
-        for i in 0..m {
-            if self.yd[i] == 0.0 {
+        for (&ydi, &ri) in self.yd.iter().zip(&r2q[n..]) {
+            if ydi == 0.0 {
                 return None;
             }
-            out.push(r2q[n + i] / self.yd[i]);
+            out.push(ri / ydi);
         }
         if !ops::all_finite(&out) {
             return None;
@@ -793,7 +836,9 @@ mod tests {
 
     fn solver(var_pct: f64, seed: u64) -> LargeScaleSolver {
         LargeScaleSolver::new(
-            CrossbarConfig::paper_default().with_variation(var_pct).with_seed(seed),
+            CrossbarConfig::paper_default()
+                .with_variation(var_pct)
+                .with_seed(seed),
             LargeScaleOptions::default(),
         )
     }
@@ -826,7 +871,12 @@ mod tests {
         for seed in [35, 36, 37] {
             let lp = RandomLp::paper(24, seed).infeasible();
             let res = solver(0.0, seed).solve(&lp);
-            assert_eq!(res.solution.status, LpStatus::Infeasible, "seed {seed}: {}", res.solution);
+            assert_eq!(
+                res.solution.status,
+                LpStatus::Infeasible,
+                "seed {seed}: {}",
+                res.solution
+            );
         }
     }
 
@@ -834,8 +884,12 @@ mod tests {
     fn equilibrated_path_solves_and_unscales_duals() {
         let lp = RandomLp::paper(48, 41).feasible();
         let reference = NormalEqPdip::default().solve(&lp);
-        let opts = LargeScaleOptions { equilibrate: true, ..LargeScaleOptions::default() };
-        let res = LargeScaleSolver::new(CrossbarConfig::paper_default().with_seed(2), opts).solve(&lp);
+        let opts = LargeScaleOptions {
+            equilibrate: true,
+            ..LargeScaleOptions::default()
+        };
+        let res =
+            LargeScaleSolver::new(CrossbarConfig::paper_default().with_seed(2), opts).solve(&lp);
         assert_eq!(res.solution.status, LpStatus::Optimal, "{}", res.solution);
         let rel = (res.solution.objective - reference.objective).abs()
             / (1.0 + reference.objective.abs());

@@ -63,8 +63,31 @@ pub struct AugmentedSystem {
     xd: Vec<f64>,
     wd: Vec<f64>,
     yd: Vec<f64>,
+    /// Effective `A` blocks with the Δp elimination folded in, cached so the
+    /// per-iteration solve skips the O(m·k) column corrections. Rebuilt when
+    /// the static blocks are (re)programmed; under ageing the `sel/ip`
+    /// ratios are drift-invariant, so these scale by the same drift factor
+    /// as the raw blocks.
+    ax_eff: Matrix,
+    ay_eff: Matrix,
+    /// Reduce-and-solve scratch buffers, reused across iterations.
+    scratch: SolveScratch,
     /// Total cell count (for settle-energy estimates).
     cells: usize,
+}
+
+/// Reusable allocations for [`AugmentedSystem::solve`]: the reduced
+/// right-hand sides, coupling diagonals, and the `(n+m)²` core matrix.
+#[derive(Debug, Clone, Default)]
+struct SolveScratch {
+    r1p: Vec<f64>,
+    r2p: Vec<f64>,
+    /// `−Iw·W/Y` — the Δy coupling, stored pre-negated for the core.
+    neg_d1: Vec<f64>,
+    d2: Vec<f64>,
+    k: Matrix,
+    rhs: Vec<f64>,
+    full: Vec<f64>,
 }
 
 /// Solution of the augmented system: the four PDIP directions plus the
@@ -95,11 +118,23 @@ impl AugmentedSystem {
     /// Programs the static blocks of `M` for problem `lp` (setup phase) and
     /// writes the initial diagonals (run phase).
     pub fn program(lp: &LpProblem, state: &PdipState, hw: &mut HwContext) -> AugmentedSystem {
+        let at = lp.a().transpose();
+        AugmentedSystem::program_with_at(lp, &at, state, hw)
+    }
+
+    /// [`Self::program`] with a caller-supplied `Aᵀ`, so retry loops that
+    /// re-program the array for the same problem hoist the transpose out of
+    /// the loop instead of recomputing it per attempt.
+    pub fn program_with_at(
+        lp: &LpProblem,
+        at: &Matrix,
+        state: &PdipState,
+        hw: &mut HwContext,
+    ) -> AugmentedSystem {
         let n = lp.num_vars();
         let m = lp.num_constraints();
         let split_a = SignSplit::split(lp.a());
-        let at = lp.a().transpose();
-        let split_at = SignSplit::split(&at);
+        let split_at = SignSplit::split(at);
         let kx = split_a.num_compensations();
         let ky = split_at.num_compensations();
 
@@ -142,10 +177,42 @@ impl AugmentedSystem {
             xd: Vec::new(),
             wd: Vec::new(),
             yd: Vec::new(),
+            ax_eff: Matrix::default(),
+            ay_eff: Matrix::default(),
+            scratch: SolveScratch::default(),
             cells,
         };
+        sys.rebuild_effective();
         sys.update_diagonals(state, hw);
         sys
+    }
+
+    /// Rebuilds the cached effective `A` blocks (`A′` with the Δp column
+    /// corrections folded in) from the current realized statics. Rows whose
+    /// `Ip` entry realized as zero are skipped — [`Self::solve`] rejects
+    /// such systems before the cache is ever used.
+    fn rebuild_effective(&mut self) {
+        let (n, m) = (self.n, self.m);
+        self.ax_eff = self.ap.clone();
+        for (rr, &j) in self.split_a.comp_cols.iter().enumerate() {
+            if self.ipx[rr] == 0.0 {
+                continue;
+            }
+            let f = self.selx[rr] / self.ipx[rr];
+            for i in 0..m {
+                self.ax_eff[(i, j)] -= self.an[(i, rr)] * f;
+            }
+        }
+        self.ay_eff = self.atp.clone();
+        for (rr, &j) in self.split_at.comp_cols.iter().enumerate() {
+            if self.ipy[rr] == 0.0 {
+                continue;
+            }
+            let f = self.sely[rr] / self.ipy[rr];
+            for i in 0..n {
+                self.ay_eff[(i, j)] -= self.atn[(i, rr)] * f;
+            }
+        }
     }
 
     /// Rewrites the `X`, `Y`, `Z`, `W` diagonals for the current iterate —
@@ -166,12 +233,30 @@ impl AugmentedSystem {
         if f >= 1.0 {
             return;
         }
-        for m in [&mut self.ap, &mut self.an, &mut self.atp, &mut self.atn] {
+        // The cached effective blocks scale by the same factor: they are
+        // built from `A′ − A″·diag(sel/ip)` and the sel/ip ratio is
+        // invariant under uniform drift.
+        for m in [
+            &mut self.ap,
+            &mut self.an,
+            &mut self.atp,
+            &mut self.atn,
+            &mut self.ax_eff,
+            &mut self.ay_eff,
+        ] {
             m.scale_mut(f);
         }
         for d in [
-            &mut self.iw, &mut self.iv, &mut self.i1, &mut self.i2, &mut self.i3, &mut self.i4,
-            &mut self.ipx, &mut self.ipy, &mut self.selx, &mut self.sely,
+            &mut self.iw,
+            &mut self.iv,
+            &mut self.i1,
+            &mut self.i2,
+            &mut self.i3,
+            &mut self.i4,
+            &mut self.ipx,
+            &mut self.ipy,
+            &mut self.selx,
+            &mut self.sely,
         ] {
             memlp_linalg::ops::scale(f, d);
         }
@@ -198,6 +283,7 @@ impl AugmentedSystem {
         self.ipy = hw.write_diag(&vec![1.0; ky], Phase::Run);
         self.selx = hw.write_diag(&vec![1.0; kx], Phase::Run);
         self.sely = hw.write_diag(&vec![1.0; ky], Phase::Run);
+        self.rebuild_effective();
     }
 
     /// The full `s` vector `[x, y, w, z, u, v, p]` the controller drives
@@ -294,7 +380,7 @@ impl AugmentedSystem {
     ///
     /// Returns `None` when the realized system is singular — the §4.3
     /// variation-induced failure mode the caller handles by re-solving.
-    pub fn solve(&self, r: &[f64], hw: &mut HwContext) -> Option<AugmentedDirections> {
+    pub fn solve(&mut self, r: &[f64], hw: &mut HwContext) -> Option<AugmentedDirections> {
         assert_eq!(r.len(), self.dim(), "rhs must span the full system");
         let (n, m) = (self.n, self.m);
         let kx = self.ipx.len();
@@ -310,80 +396,111 @@ impl AugmentedSystem {
         let (r7x, r7y) = r7.split_at(kx);
 
         // Diagonals must be invertible for the elimination.
-        for d in self.xd.iter().chain(&self.yd).chain(&self.i2).chain(&self.i4).chain(&self.ipx).chain(&self.ipy) {
+        for d in self
+            .xd
+            .iter()
+            .chain(&self.yd)
+            .chain(&self.i2)
+            .chain(&self.i4)
+            .chain(&self.ipx)
+            .chain(&self.ipy)
+        {
             if *d == 0.0 {
                 return None;
             }
         }
 
-        // Effective A-blocks after eliminating Δp (column corrections).
-        let mut ax_eff = self.ap.clone();
-        for (rr, &j) in self.split_a.comp_cols.iter().enumerate() {
-            let f = self.selx[rr] / self.ipx[rr];
-            for i in 0..m {
-                ax_eff[(i, j)] -= self.an[(i, rr)] * f;
-            }
-        }
-        let mut ay_eff = self.atp.clone();
-        for (rr, &j) in self.split_at.comp_cols.iter().enumerate() {
-            let f = self.sely[rr] / self.ipy[rr];
-            for i in 0..n {
-                ay_eff[(i, j)] -= self.atn[(i, rr)] * f;
-            }
-        }
+        // The effective A-blocks (Δp elimination) are cached on the struct —
+        // see `rebuild_effective` — so the per-iteration work starts at the
+        // rhs reductions, filling the reusable scratch buffers.
 
         // r1' = r1 − Iw·(r4/Y) − A″·(r7x/Ipx); Δw = (r4 − W·Δy)/Y.
-        let mut r1p: Vec<f64> = (0..m).map(|i| r1[i] - self.iw[i] * r4[i] / self.yd[i]).collect();
+        self.scratch.r1p.clear();
+        for i in 0..m {
+            self.scratch
+                .r1p
+                .push(r1[i] - self.iw[i] * r4[i] / self.yd[i]);
+        }
         if kx > 0 {
             let t: Vec<f64> = (0..kx).map(|rr| r7x[rr] / self.ipx[rr]).collect();
             let corr = self.an.matvec(&t);
-            for (v, c) in r1p.iter_mut().zip(&corr) {
+            for (v, c) in self.scratch.r1p.iter_mut().zip(&corr) {
                 *v -= c;
             }
         }
-        // Δy coefficient in R1: −diag(Iw·W/Y).
-        let d1: Vec<f64> = (0..m).map(|i| self.iw[i] * self.wd[i] / self.yd[i]).collect();
+        // Δy coefficient in R1: −diag(Iw·W/Y), stored negated.
+        self.scratch.neg_d1.clear();
+        for i in 0..m {
+            self.scratch
+                .neg_d1
+                .push(-(self.iw[i] * self.wd[i] / self.yd[i]));
+        }
 
         // R2 reduction: Δv = (r6 − I₃·Δz)/I₄, Δz = (r3 − Z·Δx)/X.
         // Iv·Δv = Iv/I₄·r6 − (Iv·I₃)/(I₄·X)·r3 + (Iv·I₃·Z)/(I₄·X)·Δx.
-        let mut r2p: Vec<f64> = (0..n)
-            .map(|j| {
-                let f = self.iv[j] / self.i4[j];
-                r2[j] - f * r6[j] + f * self.i3[j] * r3[j] / self.xd[j]
-            })
-            .collect();
+        self.scratch.r2p.clear();
+        for j in 0..n {
+            let f = self.iv[j] / self.i4[j];
+            self.scratch
+                .r2p
+                .push(r2[j] - f * r6[j] + f * self.i3[j] * r3[j] / self.xd[j]);
+        }
         if ky > 0 {
             let t: Vec<f64> = (0..ky).map(|rr| r7y[rr] / self.ipy[rr]).collect();
             let corr = self.atn.matvec(&t);
-            for (v, c) in r2p.iter_mut().zip(&corr) {
+            for (v, c) in self.scratch.r2p.iter_mut().zip(&corr) {
                 *v -= c;
             }
         }
         // Δx coefficient in R2: +diag(Iv·I₃·Z/(I₄·X)).
-        let d2: Vec<f64> = (0..n)
-            .map(|j| self.iv[j] * self.i3[j] * self.zd[j] / (self.i4[j] * self.xd[j]))
-            .collect();
+        self.scratch.d2.clear();
+        for j in 0..n {
+            self.scratch
+                .d2
+                .push(self.iv[j] * self.i3[j] * self.zd[j] / (self.i4[j] * self.xd[j]));
+        }
 
         // Assemble the (m+n) core: rows R1 then R2, unknowns [Δx | Δy].
         let dim = n + m;
-        let mut k = Matrix::zeros(dim, dim);
-        k.set_block(0, 0, &ax_eff);
-        k.set_diag_block(0, n, &d1.iter().map(|v| -v).collect::<Vec<_>>());
-        k.set_diag_block(m, 0, &d2);
-        k.set_block(m, n, &ay_eff);
-        let mut rhs = Vec::with_capacity(dim);
-        rhs.extend_from_slice(&r1p);
-        rhs.extend_from_slice(&r2p);
+        if self.scratch.k.rows() != dim {
+            self.scratch.k = Matrix::zeros(dim, dim);
+        } else {
+            self.scratch.k.as_mut_slice().fill(0.0);
+        }
+        self.scratch.k.set_block(0, 0, &self.ax_eff);
+        self.scratch.k.set_diag_block(0, n, &self.scratch.neg_d1);
+        self.scratch.k.set_diag_block(m, 0, &self.scratch.d2);
+        self.scratch.k.set_block(m, n, &self.ay_eff);
+        self.scratch.rhs.clear();
+        self.scratch.rhs.extend_from_slice(&self.scratch.r1p);
+        self.scratch.rhs.extend_from_slice(&self.scratch.r2p);
 
-        let core = LuFactors::factor(k).ok()?.solve(&rhs).ok()?;
+        // Factor the core in place, then hand its buffer back to the
+        // scratch so the (n+m)² allocation is reused next iteration.
+        let core_mat = std::mem::take(&mut self.scratch.k);
+        let lu = match LuFactors::factor(core_mat) {
+            Ok(lu) => lu,
+            Err(_) => return None,
+        };
+        let core = lu.solve(&self.scratch.rhs);
+        self.scratch.k = lu.into_matrix();
+        let core = core.ok()?;
         let dx = core[..n].to_vec();
         let dy = core[n..].to_vec();
 
         // Back-substitution.
-        let dz: Vec<f64> = (0..n).map(|j| (r3[j] - self.zd[j] * dx[j]) / self.xd[j]).collect();
-        let dw: Vec<f64> = (0..m).map(|i| (r4[i] - self.wd[i] * dy[i]) / self.yd[i]).collect();
-        let du: Vec<f64> = (0..m).map(|i| (r5[i] - self.i1[i] * dw[i]) / self.i2[i]).collect();
-        let dv: Vec<f64> = (0..n).map(|j| (r6[j] - self.i3[j] * dz[j]) / self.i4[j]).collect();
+        let dz: Vec<f64> = (0..n)
+            .map(|j| (r3[j] - self.zd[j] * dx[j]) / self.xd[j])
+            .collect();
+        let dw: Vec<f64> = (0..m)
+            .map(|i| (r4[i] - self.wd[i] * dy[i]) / self.yd[i])
+            .collect();
+        let du: Vec<f64> = (0..m)
+            .map(|i| (r5[i] - self.i1[i] * dw[i]) / self.i2[i])
+            .collect();
+        let dv: Vec<f64> = (0..n)
+            .map(|j| (r6[j] - self.i3[j] * dz[j]) / self.i4[j])
+            .collect();
         let mut dp = Vec::with_capacity(kx + ky);
         for (rr, &j) in self.split_a.comp_cols.iter().enumerate() {
             dp.push((r7x[rr] - self.selx[rr] * dx[j]) / self.ipx[rr]);
@@ -393,18 +510,18 @@ impl AugmentedSystem {
         }
 
         // One ADC pass over the full Δs read-out.
-        let mut full = Vec::with_capacity(self.dim());
-        full.extend_from_slice(&dx);
-        full.extend_from_slice(&dy);
-        full.extend_from_slice(&dw);
-        full.extend_from_slice(&dz);
-        full.extend_from_slice(&du);
-        full.extend_from_slice(&dv);
-        full.extend_from_slice(&dp);
-        if !full.iter().all(|v| v.is_finite()) {
+        self.scratch.full.clear();
+        self.scratch.full.extend_from_slice(&dx);
+        self.scratch.full.extend_from_slice(&dy);
+        self.scratch.full.extend_from_slice(&dw);
+        self.scratch.full.extend_from_slice(&dz);
+        self.scratch.full.extend_from_slice(&du);
+        self.scratch.full.extend_from_slice(&dv);
+        self.scratch.full.extend_from_slice(&dp);
+        if !self.scratch.full.iter().all(|v| v.is_finite()) {
             return None;
         }
-        let fullq = hw.adc_blocks(&full, &[n, m, m, n, m, n, kx + ky]);
+        let fullq = hw.adc_blocks(&self.scratch.full, &[n, m, m, n, m, n, kx + ky]);
         let g = hw.conductance_estimate(self.cells, 1.0, 1.0);
         hw.charge_analog(true, self.dim(), self.dim(), g);
 
@@ -415,7 +532,12 @@ impl AugmentedSystem {
         let du = fullq[2 * n + 2 * m..2 * n + 3 * m].to_vec();
         let dv = fullq[2 * n + 3 * m..3 * n + 3 * m].to_vec();
         let dp = fullq[3 * n + 3 * m..].to_vec();
-        Some(AugmentedDirections { dirs: StepDirections { dx, dy, dw, dz }, du, dv, dp })
+        Some(AugmentedDirections {
+            dirs: StepDirections { dx, dy, dw, dz },
+            du,
+            dv,
+            dp,
+        })
     }
 
     /// The constant part of Eqn 15a's right-hand side:
@@ -424,9 +546,12 @@ impl AugmentedSystem {
         let mut r = Vec::with_capacity(self.dim());
         r.extend_from_slice(lp.b());
         r.extend_from_slice(lp.c());
-        r.extend(std::iter::repeat(mu).take(self.n));
-        r.extend(std::iter::repeat(mu).take(self.m));
-        r.extend(std::iter::repeat(0.0).take(self.m + self.n + self.num_compensations()));
+        r.extend(std::iter::repeat_n(mu, self.n));
+        r.extend(std::iter::repeat_n(mu, self.m));
+        r.extend(std::iter::repeat_n(
+            0.0,
+            self.m + self.n + self.num_compensations(),
+        ));
         r
     }
 

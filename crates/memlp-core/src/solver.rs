@@ -1,5 +1,5 @@
 use memlp_crossbar::{CostLedger, CrossbarConfig};
-use memlp_linalg::ops;
+use memlp_linalg::{ops, parallel, Matrix};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 use memlp_solvers::pdip::{PdipOptions, PdipState};
 
@@ -128,23 +128,32 @@ impl CrossbarPdipSolver {
     pub fn solve(&self, lp: &LpProblem) -> CrossbarSolution {
         let mut ledger = CostLedger::new();
         let mut last = None;
+        // Aᵀ is attempt-invariant; hoist it out of the retry loop.
+        let at = lp.a().transpose();
         for attempt in 0..=self.options.retries {
             let mut hw = HwContext::new(self.config);
             hw.reseed(attempt as u64);
-            let (solution, trace) = self.attempt(lp, &mut hw);
+            let (solution, trace) = self.attempt(lp, &at, &mut hw);
             ledger.merge(hw.ledger());
             let failed = matches!(solution.status, LpStatus::NumericalFailure)
                 || (solution.status == LpStatus::IterationLimit && attempt < self.options.retries);
             if !failed {
-                return CrossbarSolution { solution, ledger, trace, retries_used: attempt };
+                return CrossbarSolution {
+                    solution,
+                    ledger,
+                    trace,
+                    retries_used: attempt,
+                };
             }
             last = Some((solution, trace, attempt));
         }
         let (mut solution, trace, attempt) = last.expect("at least one attempt ran");
         // Retry budget exhausted: a residual pinned at the infeasibility
         // level that also fails the §3.2 relaxed check is the verdict.
-        if matches!(solution.status, LpStatus::NumericalFailure | LpStatus::IterationLimit)
-            && !solution.x.is_empty()
+        if matches!(
+            solution.status,
+            LpStatus::NumericalFailure | LpStatus::IterationLimit
+        ) && !solution.x.is_empty()
         {
             // Both signals together: the residual never left the
             // contradiction zone (half the stall-path floor suffices here
@@ -157,15 +166,42 @@ impl CrossbarPdipSolver {
                 solution.status = LpStatus::Infeasible;
             }
         }
-        CrossbarSolution { solution, ledger, trace, retries_used: attempt }
+        CrossbarSolution {
+            solution,
+            ledger,
+            trace,
+            retries_used: attempt,
+        }
+    }
+
+    /// Solves a batch of problems concurrently, one independent solver pass
+    /// per problem, returning results in input order.
+    ///
+    /// `jobs = 0` resolves the worker count from the environment
+    /// (`MEMLP_THREADS`, then available parallelism). Each problem is an
+    /// isolated simulation with its own [`HwContext`] and deterministic
+    /// seeds, so batch results are identical to per-problem [`Self::solve`]
+    /// calls at any worker count.
+    pub fn solve_batch(&self, lps: &[LpProblem], jobs: usize) -> Vec<CrossbarSolution> {
+        let jobs = if jobs == 0 {
+            parallel::Threads::resolve().get()
+        } else {
+            jobs
+        };
+        parallel::run_indexed(jobs, lps.len(), |i| self.solve(&lps[i]))
     }
 
     /// One full solve attempt on freshly written hardware.
-    fn attempt(&self, lp: &LpProblem, hw: &mut HwContext) -> (LpSolution, SolverTrace) {
+    fn attempt(
+        &self,
+        lp: &LpProblem,
+        at: &Matrix,
+        hw: &mut HwContext,
+    ) -> (LpSolution, SolverTrace) {
         let opts = &self.options.pdip;
         let mut state = PdipState::new(lp, opts);
         let mut trace = SolverTrace::new();
-        let mut system = AugmentedSystem::program(lp, &state, hw);
+        let mut system = AugmentedSystem::program_with_at(lp, at, &state, hw);
 
         let bnorm = 1.0 + ops::inf_norm(lp.b());
         let cnorm = 1.0 + ops::inf_norm(lp.c());
@@ -181,7 +217,10 @@ impl CrossbarPdipSolver {
         for iter in 0..opts.max_iterations {
             // Divergence / NaN checks are digital (the controller tracks s).
             if !(ops::all_finite(&state.x) && ops::all_finite(&state.y)) {
-                return (state.into_solution(lp, LpStatus::NumericalFailure, iter), trace);
+                return (
+                    state.into_solution(lp, LpStatus::NumericalFailure, iter),
+                    trace,
+                );
             }
             if ops::inf_norm(&state.y) > opts.divergence_bound {
                 return (state.into_solution(lp, LpStatus::Infeasible, iter), trace);
@@ -215,7 +254,13 @@ impl CrossbarPdipSolver {
             let pr = ops::inf_norm(rho) / bnorm;
             let dr = ops::inf_norm(sigma) / cnorm;
             let gap = state.duality_gap() / (1.0 + lp.objective(&state.x).abs());
-            trace.push(IterationRecord { mu, gap, primal_residual: pr, dual_residual: dr, theta: 0.0 });
+            trace.push(IterationRecord {
+                mu,
+                gap,
+                primal_residual: pr,
+                dual_residual: dr,
+                theta: 0.0,
+            });
             if pr <= opts.eps_primal && dr <= opts.eps_dual && gap <= opts.eps_gap {
                 let status = self.final_status(lp, &state);
                 return (state.into_solution(lp, status, iter), trace);
@@ -235,8 +280,7 @@ impl CrossbarPdipSolver {
                 // Primal–dual objective agreement closes the loophole where
                 // a feasible iterate with corrupted duals sails through the
                 // residual score (cf. the Algorithm-2 gate).
-                let dual_obj: f64 =
-                    lp.b().iter().zip(&best_state.y).map(|(b, y)| b * y).sum();
+                let dual_obj: f64 = lp.b().iter().zip(&best_state.y).map(|(b, y)| b * y).sum();
                 let primal_obj = lp.objective(&best_state.x);
                 let obj_gap = (primal_obj - dual_obj).abs() / (1.0 + primal_obj.abs());
                 let status = if best_score <= self.options.accept_floor {
@@ -309,7 +353,9 @@ mod tests {
 
     fn solver(var_pct: f64, seed: u64) -> CrossbarPdipSolver {
         CrossbarPdipSolver::new(
-            CrossbarConfig::paper_default().with_variation(var_pct).with_seed(seed),
+            CrossbarConfig::paper_default()
+                .with_variation(var_pct)
+                .with_seed(seed),
             CrossbarSolverOptions::default(),
         )
     }
@@ -330,7 +376,12 @@ mod tests {
         for var in [5.0, 10.0, 20.0] {
             let lp = RandomLp::paper(24, 2).feasible();
             let res = solver(var, 3).solve(&lp);
-            assert_eq!(res.solution.status, LpStatus::Optimal, "var {var}%: {}", res.solution);
+            assert_eq!(
+                res.solution.status,
+                LpStatus::Optimal,
+                "var {var}%: {}",
+                res.solution
+            );
             let reference = NormalEqPdip::default().solve(&lp);
             let rel = (res.solution.objective - reference.objective).abs()
                 / (1.0 + reference.objective.abs());
@@ -343,7 +394,12 @@ mod tests {
         for seed in [5, 6, 7] {
             let lp = RandomLp::paper(24, seed).infeasible();
             let res = solver(0.0, seed + 2).solve(&lp);
-            assert_eq!(res.solution.status, LpStatus::Infeasible, "seed {seed}: {}", res.solution);
+            assert_eq!(
+                res.solution.status,
+                LpStatus::Infeasible,
+                "seed {seed}: {}",
+                res.solution
+            );
         }
     }
 
@@ -373,14 +429,20 @@ mod tests {
         assert!(!res.trace.records.is_empty());
         let first_gap = res.trace.records.first().unwrap().gap;
         let last_gap = res.trace.records.last().unwrap().gap;
-        assert!(last_gap < first_gap, "gap should shrink: {first_gap} → {last_gap}");
+        assert!(
+            last_gap < first_gap,
+            "gap should shrink: {first_gap} → {last_gap}"
+        );
     }
 
     #[test]
     fn retry_counter_reported() {
         let lp = RandomLp::paper(12, 13).feasible();
         let res = solver(0.0, 17).solve(&lp);
-        assert_eq!(res.retries_used, 0, "ideal hardware should not need retries");
+        assert_eq!(
+            res.retries_used, 0,
+            "ideal hardware should not need retries"
+        );
     }
 
     #[test]

@@ -67,7 +67,13 @@ mod tests {
     use super::*;
 
     fn rec(gap: f64) -> IterationRecord {
-        IterationRecord { mu: 0.1, gap, primal_residual: 0.0, dual_residual: 0.0, theta: 1.0 }
+        IterationRecord {
+            mu: 0.1,
+            gap,
+            primal_residual: 0.0,
+            dual_residual: 0.0,
+            theta: 1.0,
+        }
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl SignSplit {
                 }
             }
         }
-        SignSplit { pos, neg, comp_cols }
+        SignSplit {
+            pos,
+            neg,
+            comp_cols,
+        }
     }
 
     /// Number of compensation variables `k` this split introduces.
@@ -105,12 +109,7 @@ mod tests {
     use super::*;
 
     fn mixed() -> Matrix {
-        Matrix::from_rows(&[
-            &[1.0, -2.0, 0.0],
-            &[-0.5, 3.0, 1.0],
-            &[2.0, 0.0, -4.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[1.0, -2.0, 0.0], &[-0.5, 3.0, 1.0], &[2.0, 0.0, -4.0]]).unwrap()
     }
 
     #[test]

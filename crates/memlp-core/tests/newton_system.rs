@@ -86,14 +86,16 @@ fn augmented_solve_matches_dense_newton_directions() {
     let opts = PdipOptions::default();
     let state = PdipState::new(&lp, &opts);
     let mut hw = ideal_hw();
-    let sys = AugmentedSystem::program(&lp, &state, &mut hw);
+    let mut sys = AugmentedSystem::program(&lp, &state, &mut hw);
 
     let mu = state.mu(opts.delta);
     let constant = sys.rhs_constant(&lp, mu);
     let s = sys.s_vector(&state);
     let ms = sys.mvm(&s, &mut hw);
     let r = sys.assemble_rhs(&constant, &ms);
-    let aug = sys.solve(&r, &mut hw).expect("ideal hardware must not be singular");
+    let aug = sys
+        .solve(&r, &mut hw)
+        .expect("ideal hardware must not be singular");
 
     // Reference: one DensePdip iteration's directions, reproduced here via
     // its public solve on a single-iteration budget is impractical;
@@ -108,26 +110,42 @@ fn augmented_solve_matches_dense_newton_directions() {
     let adx = a.matvec(&aug.dirs.dx);
     for i in 0..m {
         let got = adx[i] + aug.dirs.dw[i];
-        assert!((got - rho[i]).abs() < 2e-2 * (1.0 + rho[i].abs()), "(9a) row {i}: {got} vs {}", rho[i]);
+        assert!(
+            (got - rho[i]).abs() < 2e-2 * (1.0 + rho[i].abs()),
+            "(9a) row {i}: {got} vs {}",
+            rho[i]
+        );
     }
     // (9b): Aᵀ·Δy − Δz = σ.
     let atdy = a.matvec_transposed(&aug.dirs.dy);
     for j in 0..n {
         let got = atdy[j] - aug.dirs.dz[j];
-        assert!((got - sigma[j]).abs() < 2e-2 * (1.0 + sigma[j].abs()), "(9b) row {j}");
+        assert!(
+            (got - sigma[j]).abs() < 2e-2 * (1.0 + sigma[j].abs()),
+            "(9b) row {j}"
+        );
     }
     // (9c): Z·Δx + X·Δz = µe − XZe.
     for j in 0..n {
         let got = state.z[j] * aug.dirs.dx[j] + state.x[j] * aug.dirs.dz[j];
         let expect = mu - state.x[j] * state.z[j];
-        assert!((got - expect).abs() < 2e-2 * (1.0 + expect.abs()), "(9c) row {j}");
+        assert!(
+            (got - expect).abs() < 2e-2 * (1.0 + expect.abs()),
+            "(9c) row {j}"
+        );
     }
     // Consistency variables mirror their primaries.
     for (du, dw) in aug.du.iter().zip(&aug.dirs.dw) {
-        assert!((du + dw).abs() < 2e-2 * (1.0 + dw.abs()), "Δu = −Δw violated");
+        assert!(
+            (du + dw).abs() < 2e-2 * (1.0 + dw.abs()),
+            "Δu = −Δw violated"
+        );
     }
     for (dv, dz) in aug.dv.iter().zip(&aug.dirs.dz) {
-        assert!((dv + dz).abs() < 2e-2 * (1.0 + dz.abs()), "Δv = −Δz violated");
+        assert!(
+            (dv + dz).abs() < 2e-2 * (1.0 + dz.abs()),
+            "Δv = −Δz violated"
+        );
     }
 }
 

@@ -49,7 +49,10 @@ impl Crossbar {
     /// `config.max_size`.
     pub fn new(side: usize, config: CrossbarConfig) -> Result<Self, CrossbarError> {
         if side > config.max_size {
-            return Err(CrossbarError::SizeExceeded { requested: side, capacity: config.max_size });
+            return Err(CrossbarError::SizeExceeded {
+                requested: side,
+                capacity: config.max_size,
+            });
         }
         Ok(Crossbar {
             side,
@@ -167,7 +170,11 @@ impl Crossbar {
                     });
                 }
                 if v < 0.0 {
-                    return Err(CrossbarError::NegativeCoefficient { row: i, col: j, value: v });
+                    return Err(CrossbarError::NegativeCoefficient {
+                        row: i,
+                        col: j,
+                        value: v,
+                    });
                 }
             }
         }
@@ -188,7 +195,8 @@ impl Crossbar {
             Some(gm) => gm.as_slice().iter().sum(),
             None => {
                 let r = self.realized.as_ref().expect("programmed");
-                map.g_off() * (r.rows() * r.cols()) as f64 + map.slope() * r.as_slice().iter().sum::<f64>()
+                map.g_off() * (r.rows() * r.cols()) as f64
+                    + map.slope() * r.as_slice().iter().sum::<f64>()
             }
         };
         self.ledger.charge_writes(
@@ -298,14 +306,21 @@ impl Crossbar {
             Fidelity::Functional => {
                 // Paper-faithful Eqn 18: perturb the logical value, then
                 // clamp to the representable range.
-                let v = self.config.variation.perturb(value, &mut self.rng).clamp(0.0, map.a_max());
+                let v = self
+                    .config
+                    .variation
+                    .perturb(value, &mut self.rng)
+                    .clamp(0.0, map.a_max());
                 (v, map.to_conductance(v))
             }
             Fidelity::Circuit => {
                 // Physical: the conductance (including its g_off floor) is
                 // what varies from write to write.
-                let g = (self.config.variation.perturb(map.to_conductance(value), &mut self.rng))
-                    .clamp(0.25 * map.g_off(), self.config.device.g_on() * 1.25);
+                let g = (self
+                    .config
+                    .variation
+                    .perturb(map.to_conductance(value), &mut self.rng))
+                .clamp(0.25 * map.g_off(), self.config.device.g_on() * 1.25);
                 (map.to_logical(g), g)
             }
         }
@@ -313,7 +328,10 @@ impl Crossbar {
 
     /// Circuit-fidelity MVM: Eqn 5 divider plus calibrated or raw read-out.
     fn circuit_mvm(&self, xq: &[f64]) -> Vec<f64> {
-        let gm = self.gmat.as_ref().expect("circuit fidelity materializes gmat");
+        let gm = self
+            .gmat
+            .as_ref()
+            .expect("circuit fidelity materializes gmat");
         let map = self.map.expect("programmed");
         let gs = self.config.sense_conductance;
         let sum_x: f64 = xq.iter().sum();
@@ -338,7 +356,10 @@ impl Crossbar {
 
     /// Circuit-fidelity solve: `G·x_v = g_s·b`, read word lines, rescale.
     fn circuit_solve(&self, bq: &[f64]) -> Result<Vec<f64>, CrossbarError> {
-        let gm = self.gmat.as_ref().expect("circuit fidelity materializes gmat");
+        let gm = self
+            .gmat
+            .as_ref()
+            .expect("circuit fidelity materializes gmat");
         let map = self.map.expect("programmed");
         let gs = self.config.sense_conductance;
         let rhs: Vec<f64> = bq.iter().map(|v| v * gs).collect();
@@ -351,7 +372,10 @@ impl Crossbar {
     fn check_fits(&self, rows: usize, cols: usize) -> Result<(), CrossbarError> {
         let need = rows.max(cols);
         if need > self.side {
-            return Err(CrossbarError::SizeExceeded { requested: need, capacity: self.side });
+            return Err(CrossbarError::SizeExceeded {
+                requested: need,
+                capacity: self.side,
+            });
         }
         Ok(())
     }
@@ -361,7 +385,11 @@ impl Crossbar {
             for j in 0..m.cols() {
                 let v = m[(i, j)];
                 if !(v.is_finite() && v >= 0.0) {
-                    return Err(CrossbarError::NegativeCoefficient { row: i, col: j, value: v });
+                    return Err(CrossbarError::NegativeCoefficient {
+                        row: i,
+                        col: j,
+                        value: v,
+                    });
                 }
             }
         }

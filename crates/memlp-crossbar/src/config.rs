@@ -90,12 +90,19 @@ impl CrossbarConfig {
     /// An idealized array: no variation, no faults, 16-bit converters.
     /// Useful for functional testing where hardware noise is unwanted.
     pub fn ideal() -> Self {
-        CrossbarConfig { adc_bits: 16, dac_bits: 16, ..CrossbarConfig::paper_default() }
+        CrossbarConfig {
+            adc_bits: 16,
+            dac_bits: 16,
+            ..CrossbarConfig::paper_default()
+        }
     }
 
     /// Returns a copy with uniform process variation of `pct` percent.
     pub fn with_variation(self, pct: f64) -> Self {
-        CrossbarConfig { variation: VariationModel::uniform_pct(pct), ..self }
+        CrossbarConfig {
+            variation: VariationModel::uniform_pct(pct),
+            ..self
+        }
     }
 
     /// Returns a copy with the given RNG seed.
@@ -105,7 +112,10 @@ impl CrossbarConfig {
 
     /// Returns a copy at circuit fidelity.
     pub fn circuit(self) -> Self {
-        CrossbarConfig { fidelity: Fidelity::Circuit, ..self }
+        CrossbarConfig {
+            fidelity: Fidelity::Circuit,
+            ..self
+        }
     }
 }
 
@@ -130,7 +140,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = CrossbarConfig::paper_default().with_variation(10.0).with_seed(42).circuit();
+        let c = CrossbarConfig::paper_default()
+            .with_variation(10.0)
+            .with_seed(42)
+            .circuit();
         assert_eq!(c.variation.max_fraction, 0.10);
         assert_eq!(c.seed, 42);
         assert_eq!(c.fidelity, Fidelity::Circuit);

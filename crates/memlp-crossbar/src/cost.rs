@@ -115,7 +115,11 @@ impl CostLedger {
         // Converters on all lines run in parallel: one conversion time each
         // way, not one per sample. Solves settle through feedback, charged
         // at twice the open-loop settle time.
-        let settle = if is_solve { 2.0 * cost.settle_time_s } else { cost.settle_time_s };
+        let settle = if is_solve {
+            2.0 * cost.settle_time_s
+        } else {
+            cost.settle_time_s
+        };
         self.run_time_s += cost.dac_time_s + settle + cost.adc_time_s;
         self.dynamic_energy_j += inputs as f64 * cost.dac_energy_j
             + outputs as f64 * cost.adc_energy_j

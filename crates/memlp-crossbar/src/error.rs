@@ -78,9 +78,16 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = CrossbarError::SizeExceeded { requested: 600, capacity: 512 };
+        let e = CrossbarError::SizeExceeded {
+            requested: 600,
+            capacity: 512,
+        };
         assert!(e.to_string().contains("600"));
-        let e = CrossbarError::NegativeCoefficient { row: 1, col: 2, value: -0.5 };
+        let e = CrossbarError::NegativeCoefficient {
+            row: 1,
+            col: 2,
+            value: -0.5,
+        };
         assert!(e.to_string().contains("-0.5"));
         let e = CrossbarError::NotProgrammed;
         assert!(!e.to_string().is_empty());

@@ -34,7 +34,10 @@ impl FaultModel {
 
     /// Symmetric fault model: each kind occurs with `rate` probability.
     pub fn symmetric(rate: f64) -> Self {
-        FaultModel { stuck_on_rate: rate, stuck_off_rate: rate }
+        FaultModel {
+            stuck_on_rate: rate,
+            stuck_off_rate: rate,
+        }
     }
 
     /// Returns `true` if this model never injects faults.
@@ -76,7 +79,10 @@ mod tests {
     #[test]
     fn rates_are_respected() {
         let mut rng = StdRng::seed_from_u64(2);
-        let f = FaultModel { stuck_on_rate: 0.1, stuck_off_rate: 0.2 };
+        let f = FaultModel {
+            stuck_on_rate: 0.1,
+            stuck_off_rate: 0.2,
+        };
         let n = 100_000;
         let mut on = 0;
         let mut off = 0;

@@ -31,8 +31,15 @@ impl ConductanceMap {
     ///
     /// Panics if `a_max` is not strictly positive and finite.
     pub fn new(a_max: f64, device: &DeviceParams) -> Self {
-        assert!(a_max.is_finite() && a_max > 0.0, "a_max must be positive and finite, got {a_max}");
-        ConductanceMap { a_max, g_on: device.g_on(), g_off: device.g_off() }
+        assert!(
+            a_max.is_finite() && a_max > 0.0,
+            "a_max must be positive and finite, got {a_max}"
+        );
+        ConductanceMap {
+            a_max,
+            g_on: device.g_on(),
+            g_off: device.g_off(),
+        }
     }
 
     /// The full-scale logical value.

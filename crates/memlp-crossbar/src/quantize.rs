@@ -28,7 +28,10 @@ impl Quantizer {
     ///
     /// Panics if `bits` is outside `1..=24`.
     pub fn new(bits: u32) -> Self {
-        assert!((1..=24).contains(&bits), "quantizer resolution {bits} outside 1..=24 bits");
+        assert!(
+            (1..=24).contains(&bits),
+            "quantizer resolution {bits} outside 1..=24 bits"
+        );
         Quantizer { bits }
     }
 
@@ -55,7 +58,9 @@ impl Quantizer {
     /// Quantizes a vector, auto-ranging on its largest absolute entry.
     pub fn quantize_vec(&self, v: &[f64]) -> Vec<f64> {
         let full_scale = v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
-        v.iter().map(|&x| self.quantize_against(x, full_scale)).collect()
+        v.iter()
+            .map(|&x| self.quantize_against(x, full_scale))
+            .collect()
     }
 
     /// Quantizes a vector in place; returns the full-scale range used.

@@ -56,7 +56,9 @@ fn eight_bit_io_introduces_bounded_error() {
 
 #[test]
 fn variation_perturbs_results_but_not_wildly() {
-    let cfg = CrossbarConfig::paper_default().with_variation(10.0).with_seed(11);
+    let cfg = CrossbarConfig::paper_default()
+        .with_variation(10.0)
+        .with_seed(11);
     let mut xb = Crossbar::new(8, cfg).unwrap();
     let a = test_matrix();
     xb.program(&a).unwrap();
@@ -71,12 +73,17 @@ fn variation_perturbs_results_but_not_wildly() {
             any_different = true;
         }
     }
-    assert!(any_different, "10% variation should visibly perturb results");
+    assert!(
+        any_different,
+        "10% variation should visibly perturb results"
+    );
 }
 
 #[test]
 fn realized_matrix_within_variation_band() {
-    let cfg = CrossbarConfig::paper_default().with_variation(20.0).with_seed(3);
+    let cfg = CrossbarConfig::paper_default()
+        .with_variation(20.0)
+        .with_seed(3);
     let mut xb = Crossbar::new(8, cfg).unwrap();
     let a = test_matrix();
     xb.program(&a).unwrap();
@@ -98,38 +105,71 @@ fn rejects_negative_coefficients() {
     let mut xb = Crossbar::new(8, CrossbarConfig::paper_default()).unwrap();
     let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 1.0]]).unwrap();
     let err = xb.program(&a).unwrap_err();
-    assert!(matches!(err, CrossbarError::NegativeCoefficient { row: 0, col: 1, .. }));
+    assert!(matches!(
+        err,
+        CrossbarError::NegativeCoefficient { row: 0, col: 1, .. }
+    ));
 }
 
 #[test]
 fn rejects_oversized_matrix() {
     let mut xb = Crossbar::new(2, CrossbarConfig::paper_default()).unwrap();
     let err = xb.program(&Matrix::identity(3)).unwrap_err();
-    assert!(matches!(err, CrossbarError::SizeExceeded { requested: 3, capacity: 2 }));
+    assert!(matches!(
+        err,
+        CrossbarError::SizeExceeded {
+            requested: 3,
+            capacity: 2
+        }
+    ));
 }
 
 #[test]
 fn creation_respects_max_size() {
-    let cfg = CrossbarConfig { max_size: 64, ..CrossbarConfig::paper_default() };
+    let cfg = CrossbarConfig {
+        max_size: 64,
+        ..CrossbarConfig::paper_default()
+    };
     assert!(Crossbar::new(64, cfg).is_ok());
-    assert!(matches!(Crossbar::new(65, cfg), Err(CrossbarError::SizeExceeded { .. })));
+    assert!(matches!(
+        Crossbar::new(65, cfg),
+        Err(CrossbarError::SizeExceeded { .. })
+    ));
 }
 
 #[test]
 fn operations_require_programming() {
     let mut xb = Crossbar::new(4, CrossbarConfig::paper_default()).unwrap();
-    assert!(matches!(xb.mvm(&[1.0; 4]), Err(CrossbarError::NotProgrammed)));
-    assert!(matches!(xb.solve(&[1.0; 4]), Err(CrossbarError::NotProgrammed)));
-    assert!(matches!(xb.update_cells(&[(0, 0, 1.0)]), Err(CrossbarError::NotProgrammed)));
+    assert!(matches!(
+        xb.mvm(&[1.0; 4]),
+        Err(CrossbarError::NotProgrammed)
+    ));
+    assert!(matches!(
+        xb.solve(&[1.0; 4]),
+        Err(CrossbarError::NotProgrammed)
+    ));
+    assert!(matches!(
+        xb.update_cells(&[(0, 0, 1.0)]),
+        Err(CrossbarError::NotProgrammed)
+    ));
 }
 
 #[test]
 fn shape_mismatches_rejected() {
     let mut xb = Crossbar::new(8, CrossbarConfig::paper_default()).unwrap();
     xb.program(&test_matrix()).unwrap();
-    assert!(matches!(xb.mvm(&[1.0; 3]), Err(CrossbarError::ShapeMismatch { .. })));
-    assert!(matches!(xb.solve(&[1.0; 5]), Err(CrossbarError::ShapeMismatch { .. })));
-    assert!(matches!(xb.update_cells(&[(9, 0, 1.0)]), Err(CrossbarError::ShapeMismatch { .. })));
+    assert!(matches!(
+        xb.mvm(&[1.0; 3]),
+        Err(CrossbarError::ShapeMismatch { .. })
+    ));
+    assert!(matches!(
+        xb.solve(&[1.0; 5]),
+        Err(CrossbarError::ShapeMismatch { .. })
+    ));
+    assert!(matches!(
+        xb.update_cells(&[(9, 0, 1.0)]),
+        Err(CrossbarError::ShapeMismatch { .. })
+    ));
 }
 
 #[test]
@@ -137,7 +177,10 @@ fn solve_requires_square() {
     let mut xb = Crossbar::new(8, CrossbarConfig::paper_default()).unwrap();
     let rect = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
     xb.program(&rect).unwrap();
-    assert!(matches!(xb.solve(&[1.0, 2.0]), Err(CrossbarError::ShapeMismatch { .. })));
+    assert!(matches!(
+        xb.solve(&[1.0, 2.0]),
+        Err(CrossbarError::ShapeMismatch { .. })
+    ));
     // But MVM works on rectangles.
     assert_eq!(xb.mvm(&[1.0, 0.0, 0.0]).unwrap().len(), 2);
 }
@@ -157,7 +200,11 @@ fn update_cells_moves_target_and_costs_run_phase() {
 
     let x = [1.0, 0.0, 0.0, 0.0];
     let y = xb.mvm(&x).unwrap();
-    assert!((y[0] - 2.0).abs() < 0.02, "updated cell should read back ≈2.0, got {}", y[0]);
+    assert!(
+        (y[0] - 2.0).abs() < 0.02,
+        "updated cell should read back ≈2.0, got {}",
+        y[0]
+    );
 }
 
 #[test]
@@ -176,7 +223,11 @@ fn values_above_full_scale_saturate() {
     xb.program(&test_matrix()).unwrap(); // full scale = 4.0
     xb.update_cells(&[(0, 1, 100.0)]).unwrap();
     let r = xb.realized().unwrap();
-    assert!(r[(0, 1)] <= 4.0 + 1e-9, "saturation at a_max expected, got {}", r[(0, 1)]);
+    assert!(
+        r[(0, 1)] <= 4.0 + 1e-9,
+        "saturation at a_max expected, got {}",
+        r[(0, 1)]
+    );
 }
 
 #[test]
@@ -203,14 +254,20 @@ fn circuit_fidelity_close_to_functional_when_calibrated() {
     func.program(&a).unwrap();
     let yf = func.mvm(&x).unwrap();
 
-    let cfg = CrossbarConfig { fidelity: Fidelity::Circuit, ..CrossbarConfig::ideal() };
+    let cfg = CrossbarConfig {
+        fidelity: Fidelity::Circuit,
+        ..CrossbarConfig::ideal()
+    };
     let mut circ = Crossbar::new(8, cfg).unwrap();
     circ.program(&a).unwrap();
     let yc = circ.mvm(&x).unwrap();
 
     let scale = ops::inf_norm(&yf).max(1e-9);
     for (f, c) in yf.iter().zip(&yc) {
-        assert!((f - c).abs() / scale < 0.02, "calibrated circuit MVM {c} vs functional {f}");
+        assert!(
+            (f - c).abs() / scale < 0.02,
+            "calibrated circuit MVM {c} vs functional {f}"
+        );
     }
 }
 
@@ -221,24 +278,46 @@ fn raw_divider_readout_is_less_accurate_than_calibrated() {
     let exact = a.matvec(&x);
     let scale = ops::inf_norm(&exact);
 
-    let base = CrossbarConfig { fidelity: Fidelity::Circuit, ..CrossbarConfig::ideal() };
+    let base = CrossbarConfig {
+        fidelity: Fidelity::Circuit,
+        ..CrossbarConfig::ideal()
+    };
     let mut cal = Crossbar::new(8, base).unwrap();
     cal.program(&a).unwrap();
     let ycal = cal.mvm(&x).unwrap();
 
-    let raw_cfg = CrossbarConfig { readout: ReadoutMode::RawDivider, ..base };
+    let raw_cfg = CrossbarConfig {
+        readout: ReadoutMode::RawDivider,
+        ..base
+    };
     let mut raw = Crossbar::new(8, raw_cfg).unwrap();
     raw.program(&a).unwrap();
     let yraw = raw.mvm(&x).unwrap();
 
-    let err_cal: f64 = ycal.iter().zip(&exact).map(|(a, b)| (a - b).abs()).sum::<f64>() / scale;
-    let err_raw: f64 = yraw.iter().zip(&exact).map(|(a, b)| (a - b).abs()).sum::<f64>() / scale;
-    assert!(err_raw > err_cal, "raw {err_raw} should exceed calibrated {err_cal}");
+    let err_cal: f64 = ycal
+        .iter()
+        .zip(&exact)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / scale;
+    let err_raw: f64 = yraw
+        .iter()
+        .zip(&exact)
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / scale;
+    assert!(
+        err_raw > err_cal,
+        "raw {err_raw} should exceed calibrated {err_cal}"
+    );
 }
 
 #[test]
 fn circuit_solve_recovers_solution() {
-    let cfg = CrossbarConfig { fidelity: Fidelity::Circuit, ..CrossbarConfig::ideal() };
+    let cfg = CrossbarConfig {
+        fidelity: Fidelity::Circuit,
+        ..CrossbarConfig::ideal()
+    };
     let mut xb = Crossbar::new(8, cfg).unwrap();
     let a = test_matrix();
     xb.program(&a).unwrap();
@@ -255,18 +334,26 @@ fn circuit_solve_recovers_solution() {
 #[test]
 fn stuck_off_faults_zero_out_cells() {
     let cfg = CrossbarConfig {
-        faults: FaultModel { stuck_on_rate: 0.0, stuck_off_rate: 1.0 },
+        faults: FaultModel {
+            stuck_on_rate: 0.0,
+            stuck_off_rate: 1.0,
+        },
         ..CrossbarConfig::ideal()
     };
     let mut xb = Crossbar::new(8, cfg).unwrap();
     xb.program(&test_matrix()).unwrap();
     let y = xb.mvm(&[1.0; 4]).unwrap();
-    assert!(ops::inf_norm(&y) < 1e-12, "all-stuck-off array must output zero");
+    assert!(
+        ops::inf_norm(&y) < 1e-12,
+        "all-stuck-off array must output zero"
+    );
 }
 
 #[test]
 fn deterministic_for_fixed_seed() {
-    let cfg = CrossbarConfig::paper_default().with_variation(20.0).with_seed(99);
+    let cfg = CrossbarConfig::paper_default()
+        .with_variation(20.0)
+        .with_seed(99);
     let run = || {
         let mut xb = Crossbar::new(8, cfg).unwrap();
         xb.program(&test_matrix()).unwrap();
@@ -278,7 +365,9 @@ fn deterministic_for_fixed_seed() {
 #[test]
 fn different_seeds_differ() {
     let mk = |seed| {
-        let cfg = CrossbarConfig::paper_default().with_variation(20.0).with_seed(seed);
+        let cfg = CrossbarConfig::paper_default()
+            .with_variation(20.0)
+            .with_seed(seed);
         let mut xb = Crossbar::new(8, cfg).unwrap();
         xb.program(&test_matrix()).unwrap();
         xb.mvm(&[1.0, 2.0, 3.0, 4.0]).unwrap()

@@ -32,12 +32,20 @@ impl Memristor {
     /// Creates a device with the default [`LinearIonDrift`] model, starting
     /// fully OFF (`x = 0`).
     pub fn new(params: DeviceParams) -> Self {
-        Memristor { params, model: Arc::new(LinearIonDrift::default()), state: 0.0 }
+        Memristor {
+            params,
+            model: Arc::new(LinearIonDrift::default()),
+            state: 0.0,
+        }
     }
 
     /// Creates a device with a custom dynamic model.
     pub fn with_model(params: DeviceParams, model: Arc<dyn DynamicModel>) -> Self {
-        Memristor { params, model, state: 0.0 }
+        Memristor {
+            params,
+            model,
+            state: 0.0,
+        }
     }
 
     /// Device parameters.

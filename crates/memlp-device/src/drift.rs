@@ -24,7 +24,10 @@ impl DriftModel {
     ///
     /// Panics if `tau_s` is not strictly positive.
     pub fn exponential(tau_s: f64) -> Self {
-        assert!(tau_s > 0.0, "retention time constant must be positive, got {tau_s}");
+        assert!(
+            tau_s > 0.0,
+            "retention time constant must be positive, got {tau_s}"
+        );
         DriftModel { tau_s: Some(tau_s) }
     }
 

@@ -48,7 +48,9 @@ impl Default for LinearIonDrift {
         // Biolek window: unlike Joglekar it does not lock the state at the
         // boundaries (a device starting fully OFF must still be
         // programmable upward).
-        LinearIonDrift { window: Window::Biolek { p: 2 } }
+        LinearIonDrift {
+            window: Window::Biolek { p: 2 },
+        }
     }
 }
 
@@ -144,7 +146,10 @@ mod tests {
         let m = LinearIonDrift::default();
         let x0 = 0.5;
         let x1 = m.step(&p, x0, p.v_write, p.pulse_width);
-        assert!(x1 > x0, "positive write pulse should increase x: {x0} -> {x1}");
+        assert!(
+            x1 > x0,
+            "positive write pulse should increase x: {x0} -> {x1}"
+        );
         let x2 = m.step(&p, x0, -p.v_write, p.pulse_width);
         assert!(x2 < x0, "negative write pulse should decrease x");
     }
@@ -158,7 +163,10 @@ mod tests {
             x = m.step(&p, x, p.v_write, p.pulse_width);
         }
         assert!((0.0..=1.0).contains(&x));
-        assert!(x > 0.99, "long positive drive should saturate near 1, got {x}");
+        assert!(
+            x > 0.99,
+            "long positive drive should saturate near 1, got {x}"
+        );
     }
 
     #[test]
@@ -191,8 +199,10 @@ mod tests {
 
     #[test]
     fn models_are_object_safe() {
-        let models: Vec<Box<dyn DynamicModel>> =
-            vec![Box::new(LinearIonDrift::default()), Box::new(Yakopcic::default())];
+        let models: Vec<Box<dyn DynamicModel>> = vec![
+            Box::new(LinearIonDrift::default()),
+            Box::new(Yakopcic::default()),
+        ];
         let p = DeviceParams::default();
         for m in &models {
             let _ = m.step(&p, 0.5, 2.0, 1e-9);

@@ -147,14 +147,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_detected() {
-        let mut p = DeviceParams::default();
-        p.r_on = -1.0;
+        let p = DeviceParams {
+            r_on: -1.0,
+            ..Default::default()
+        };
         assert!(!p.is_valid());
-        let mut p = DeviceParams::default();
-        p.v_read = 1.5; // read above threshold would disturb state
+        let p = DeviceParams {
+            v_read: 1.5, // read above threshold would disturb state
+            ..Default::default()
+        };
         assert!(!p.is_valid());
-        let mut p = DeviceParams::default();
-        p.v_write = 0.5; // write below threshold cannot program
+        let p = DeviceParams {
+            v_write: 0.5, // write below threshold cannot program
+            ..Default::default()
+        };
         assert!(!p.is_valid());
     }
 

@@ -53,7 +53,11 @@ impl PulseProgrammer {
     /// Creates a programmer with a 1% verify tolerance and a generous pulse
     /// budget.
     pub fn new(params: DeviceParams) -> Self {
-        PulseProgrammer { params, tolerance: 0.01, max_pulses: 10_000 }
+        PulseProgrammer {
+            params,
+            tolerance: 0.01,
+            max_pulses: 10_000,
+        }
     }
 
     /// Device parameters this programmer drives.
@@ -78,22 +82,43 @@ impl PulseProgrammer {
             let g = device.read_conductance();
             time += self.params.pulse_width; // verify read slot
             if (g - target).abs() <= tol {
-                return ProgramReport { pulses, time_s: time, energy_j: energy, final_conductance: g, converged: true };
+                return ProgramReport {
+                    pulses,
+                    time_s: time,
+                    energy_j: energy,
+                    final_conductance: g,
+                    converged: true,
+                };
             }
             if pulses >= self.max_pulses {
-                return ProgramReport { pulses, time_s: time, energy_j: energy, final_conductance: g, converged: false };
+                return ProgramReport {
+                    pulses,
+                    time_s: time,
+                    energy_j: energy,
+                    final_conductance: g,
+                    converged: false,
+                };
             }
-            let v = if g < target { self.params.v_write } else { -self.params.v_write };
+            let v = if g < target {
+                self.params.v_write
+            } else {
+                -self.params.v_write
+            };
             // Newton-style width: Δx / (dx/dt) at the current operating
             // point, clamped to [1, 64] base pulse widths. A damping factor
             // below 1 avoids overshoot from the window nonlinearity.
             let model = LinearIonDrift::default();
-            let rate = model.state_derivative(&self.params, device.state(), v).abs().max(1e-12);
+            let rate = model
+                .state_derivative(&self.params, device.state(), v)
+                .abs()
+                .max(1e-12);
             let dx = (target_state - device.state()).abs();
             // Width is modulated both up (large errors) and down (fine
             // trimming near the target, where dg/dx is steep).
-            let width = (0.8 * dx / rate)
-                .clamp(self.params.pulse_width / 64.0, 64.0 * self.params.pulse_width);
+            let width = (0.8 * dx / rate).clamp(
+                self.params.pulse_width / 64.0,
+                64.0 * self.params.pulse_width,
+            );
             energy += device.apply_pulse(v, width);
             time += width;
             pulses += 1;
@@ -156,7 +181,10 @@ mod tests {
     fn pulse_budget_respected() {
         let p = DeviceParams::default();
         let mut d = Memristor::new(p);
-        let prog = PulseProgrammer { max_pulses: 3, ..PulseProgrammer::new(p) };
+        let prog = PulseProgrammer {
+            max_pulses: 3,
+            ..PulseProgrammer::new(p)
+        };
         let rep = prog.program(&mut d, p.g_on());
         assert!(!rep.converged);
         assert_eq!(rep.pulses, 3);
@@ -168,11 +196,17 @@ mod tests {
         let target = 0.5 * (p.g_on() + p.g_off());
 
         let mut d1 = Memristor::new(p);
-        let coarse = PulseProgrammer { tolerance: 0.05, ..PulseProgrammer::new(p) };
+        let coarse = PulseProgrammer {
+            tolerance: 0.05,
+            ..PulseProgrammer::new(p)
+        };
         let r1 = coarse.program(&mut d1, target);
 
         let mut d2 = Memristor::new(p);
-        let fine = PulseProgrammer { tolerance: 0.005, ..PulseProgrammer::new(p) };
+        let fine = PulseProgrammer {
+            tolerance: 0.005,
+            ..PulseProgrammer::new(p)
+        };
         let r2 = fine.program(&mut d2, target);
 
         assert!(r2.pulses >= r1.pulses);

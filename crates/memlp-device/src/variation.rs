@@ -42,18 +42,27 @@ pub struct VariationModel {
 impl VariationModel {
     /// No variation at all (ideal hardware).
     pub fn none() -> Self {
-        VariationModel { max_fraction: 0.0, distribution: VariationDistribution::Uniform }
+        VariationModel {
+            max_fraction: 0.0,
+            distribution: VariationDistribution::Uniform,
+        }
     }
 
     /// Uniform variation with maximum `pct` percent (the paper sweeps 5, 10
     /// and 20).
     pub fn uniform_pct(pct: f64) -> Self {
-        VariationModel { max_fraction: pct / 100.0, distribution: VariationDistribution::Uniform }
+        VariationModel {
+            max_fraction: pct / 100.0,
+            distribution: VariationDistribution::Uniform,
+        }
     }
 
     /// Gaussian variation whose 3σ corresponds to `pct` percent.
     pub fn gaussian_pct(pct: f64) -> Self {
-        VariationModel { max_fraction: pct / 100.0, distribution: VariationDistribution::Gaussian }
+        VariationModel {
+            max_fraction: pct / 100.0,
+            distribution: VariationDistribution::Gaussian,
+        }
     }
 
     /// Returns `true` if this model never perturbs values.

@@ -80,7 +80,11 @@ mod tests {
 
     #[test]
     fn windows_bounded_zero_one() {
-        for w in [Window::None, Window::Joglekar { p: 3 }, Window::Biolek { p: 3 }] {
+        for w in [
+            Window::None,
+            Window::Joglekar { p: 3 },
+            Window::Biolek { p: 3 },
+        ] {
             for k in 0..=10 {
                 let x = k as f64 / 10.0;
                 for &i in &[-1.0, 1.0] {

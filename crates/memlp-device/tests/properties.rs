@@ -1,8 +1,8 @@
 //! Property-based tests for the memristor device substrate.
 
 use memlp_device::{
-    DeviceParams, DynamicModel, LinearIonDrift, Memristor, PulseProgrammer, VariationModel,
-    Window, Yakopcic,
+    DeviceParams, DynamicModel, LinearIonDrift, Memristor, PulseProgrammer, VariationModel, Window,
+    Yakopcic,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

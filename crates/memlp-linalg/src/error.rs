@@ -46,7 +46,10 @@ impl fmt::Display for LinalgError {
 impl Error for LinalgError {}
 
 pub(crate) fn dim_mismatch(expected: impl Into<String>, found: impl Into<String>) -> LinalgError {
-    LinalgError::DimensionMismatch { expected: expected.into(), found: found.into() }
+    LinalgError::DimensionMismatch {
+        expected: expected.into(),
+        found: found.into(),
+    }
 }
 
 #[cfg(test)]
@@ -68,7 +71,10 @@ mod tests {
 
     #[test]
     fn display_not_converged() {
-        let e = LinalgError::NotConverged { iterations: 10, residual: 0.5 };
+        let e = LinalgError::NotConverged {
+            iterations: 10,
+            residual: 0.5,
+        };
         assert!(e.to_string().contains("10 iterations"));
     }
 

@@ -24,7 +24,11 @@ pub struct IterOptions {
 
 impl Default for IterOptions {
     fn default() -> Self {
-        IterOptions { max_sweeps: 10_000, tol: 1e-10, relaxation: 1.0 }
+        IterOptions {
+            max_sweeps: 10_000,
+            tol: 1e-10,
+            relaxation: 1.0,
+        }
     }
 }
 
@@ -73,11 +77,18 @@ pub fn gauss_seidel(a: &Matrix, b: &[f64], opts: IterOptions) -> Result<IterSolu
         }
         let residual = residual_inf(a, &x, b);
         if residual <= opts.tol * bnorm {
-            return Ok(IterSolution { x, sweeps: sweep, residual });
+            return Ok(IterSolution {
+                x,
+                sweeps: sweep,
+                residual,
+            });
         }
     }
     let residual = residual_inf(a, &x, b);
-    Err(LinalgError::NotConverged { iterations: opts.max_sweeps, residual })
+    Err(LinalgError::NotConverged {
+        iterations: opts.max_sweeps,
+        residual,
+    })
 }
 
 /// Solves `A·x = b` with Jacobi sweeps (fully parallelizable variant; used
@@ -112,19 +123,32 @@ pub fn jacobi(a: &Matrix, b: &[f64], opts: IterOptions) -> Result<IterSolution, 
         std::mem::swap(&mut x, &mut xn);
         let residual = residual_inf(a, &x, b);
         if residual <= opts.tol * bnorm {
-            return Ok(IterSolution { x, sweeps: sweep, residual });
+            return Ok(IterSolution {
+                x,
+                sweeps: sweep,
+                residual,
+            });
         }
     }
     let residual = residual_inf(a, &x, b);
-    Err(LinalgError::NotConverged { iterations: opts.max_sweeps, residual })
+    Err(LinalgError::NotConverged {
+        iterations: opts.max_sweeps,
+        residual,
+    })
 }
 
 fn check_shapes(a: &Matrix, b: &[f64]) -> Result<(), LinalgError> {
     if !a.is_square() {
-        return Err(dim_mismatch("square matrix", format!("{}x{}", a.rows(), a.cols())));
+        return Err(dim_mismatch(
+            "square matrix",
+            format!("{}x{}", a.rows(), a.cols()),
+        ));
     }
     if b.len() != a.rows() {
-        return Err(dim_mismatch(format!("vector of length {}", a.rows()), format!("length {}", b.len())));
+        return Err(dim_mismatch(
+            format!("vector of length {}", a.rows()),
+            format!("length {}", b.len()),
+        ));
     }
     Ok(())
 }
@@ -139,7 +163,8 @@ mod tests {
     use super::*;
 
     fn dominant_system() -> (Matrix, Vec<f64>, Vec<f64>) {
-        let a = Matrix::from_rows(&[&[10.0, 1.0, 2.0], &[1.0, 8.0, -1.0], &[2.0, -1.0, 12.0]]).unwrap();
+        let a =
+            Matrix::from_rows(&[&[10.0, 1.0, 2.0], &[1.0, 8.0, -1.0], &[2.0, -1.0, 12.0]]).unwrap();
         let xtrue = vec![1.0, -2.0, 0.5];
         let b = a.matvec(&xtrue);
         (a, b, xtrue)
@@ -169,7 +194,12 @@ mod tests {
         let (a, b, _) = dominant_system();
         let gs = gauss_seidel(&a, &b, IterOptions::default()).unwrap();
         let ja = jacobi(&a, &b, IterOptions::default()).unwrap();
-        assert!(gs.sweeps <= ja.sweeps, "GS {} vs Jacobi {}", gs.sweeps, ja.sweeps);
+        assert!(
+            gs.sweeps <= ja.sweeps,
+            "GS {} vs Jacobi {}",
+            gs.sweeps,
+            ja.sweeps
+        );
     }
 
     #[test]
@@ -177,7 +207,15 @@ mod tests {
         // Not diagonally dominant; Jacobi diverges.
         let a = Matrix::from_rows(&[&[1.0, 5.0], &[7.0, 1.0]]).unwrap();
         let b = vec![1.0, 1.0];
-        let err = jacobi(&a, &b, IterOptions { max_sweeps: 50, ..Default::default() }).unwrap_err();
+        let err = jacobi(
+            &a,
+            &b,
+            IterOptions {
+                max_sweeps: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, LinalgError::NotConverged { .. }));
     }
 
@@ -200,7 +238,15 @@ mod tests {
     fn sor_accelerates_convergence() {
         let (a, b, _) = dominant_system();
         let plain = gauss_seidel(&a, &b, IterOptions::default()).unwrap();
-        let sor = gauss_seidel(&a, &b, IterOptions { relaxation: 1.05, ..Default::default() }).unwrap();
+        let sor = gauss_seidel(
+            &a,
+            &b,
+            IterOptions {
+                relaxation: 1.05,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // SOR with a mild factor should not be dramatically worse.
         assert!(sor.sweeps <= plain.sweeps + 10);
     }

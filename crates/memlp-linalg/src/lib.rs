@@ -10,7 +10,10 @@
 //!   (the O(N³) direct method the paper's complexity comparison targets),
 //! * [`iterative`] — Gauss–Seidel and Jacobi (the O(N²)-per-iteration
 //!   methods mentioned in §3.5 of the paper),
-//! * [`ops`] — vector kernels (dot, axpy, norms) on plain `&[f64]` slices.
+//! * [`ops`] — vector kernels (dot, axpy, norms) on plain `&[f64]` slices,
+//! * [`parallel`] — the scoped-thread execution layer the hot kernels
+//!   (LU trailing update, matvec, multi-column solves) schedule through,
+//!   governed by `MEMLP_THREADS`.
 //!
 //! Vectors are deliberately plain `Vec<f64>` / `&[f64]`: every consumer in
 //! the workspace (solvers, crossbar models, generators) wants to own and
@@ -38,12 +41,13 @@ mod sparse;
 
 pub mod iterative;
 pub mod ops;
+pub mod parallel;
 
 pub use error::LinalgError;
 pub use lu::LuFactors;
 pub use matrix::Matrix;
-pub use sparse::SparseMatrix;
 pub use norms::{cond_1_estimate, inf_norm_mat, one_norm_mat};
+pub use sparse::SparseMatrix;
 
 /// Solves the dense linear system `A·x = b` by LU decomposition with partial
 /// pivoting.

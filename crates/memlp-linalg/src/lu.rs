@@ -1,5 +1,6 @@
 use crate::error::{dim_mismatch, LinalgError};
 use crate::matrix::Matrix;
+use crate::parallel::{self, Threads};
 
 /// Block size for the right-looking blocked factorization. 48 keeps the
 /// panel plus a stripe of the trailing matrix inside L1/L2 for the matrix
@@ -47,7 +48,10 @@ impl LuFactors {
     /// pivot (exactly zero).
     pub fn factor(mut a: Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(dim_mismatch("square matrix", format!("{}x{}", a.rows(), a.cols())));
+            return Err(dim_mismatch(
+                "square matrix",
+                format!("{}x{}", a.rows(), a.cols()),
+            ));
         }
         let n = a.rows();
         let mut piv = Vec::with_capacity(n);
@@ -114,11 +118,19 @@ impl LuFactors {
                 for (r, row) in u12.chunks_exact_mut(width).enumerate() {
                     row.copy_from_slice(&a.row(k + r)[rest..]);
                 }
-                for i in rest..n {
+                // Each trailing row reads only its own L21 segment and
+                // writes only its own tail, so the update fans out across
+                // threads row-disjointly; the per-row arithmetic order is
+                // unchanged, keeping results bit-for-bit identical to the
+                // serial path at every thread count.
+                let threads = Threads::resolve().for_flops(2 * (n - rest) * nb * width);
+                let cols = a.cols();
+                let tail_rows = &mut a.as_mut_slice()[rest * cols..];
+                parallel::par_chunks(threads, tail_rows, cols, |_, row| {
                     // Split borrows: copy the L21 row segment, then axpy.
                     let mut l21 = [0.0; BLOCK];
-                    l21[..nb].copy_from_slice(&a.row(i)[k..rest]);
-                    let target = &mut a.row_mut(i)[rest..];
+                    l21[..nb].copy_from_slice(&row[k..rest]);
+                    let target = &mut row[rest..];
                     for (r, &lir) in l21[..nb].iter().enumerate() {
                         if lir != 0.0 {
                             let urow = &u12[r * width..(r + 1) * width];
@@ -127,12 +139,16 @@ impl LuFactors {
                             }
                         }
                     }
-                }
+                });
             }
             k += nb;
         }
 
-        Ok(LuFactors { lu: a, piv, perm_sign })
+        Ok(LuFactors {
+            lu: a,
+            piv,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -148,7 +164,10 @@ impl LuFactors {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
         if b.len() != n {
-            return Err(dim_mismatch(format!("vector of length {n}"), format!("length {}", b.len())));
+            return Err(dim_mismatch(
+                format!("vector of length {n}"),
+                format!("length {}", b.len()),
+            ));
         }
         let mut x = b.to_vec();
         // Apply the permutation.
@@ -172,7 +191,8 @@ impl LuFactors {
         Ok(x)
     }
 
-    /// Solves `A·X = B` column by column.
+    /// Solves `A·X = B` column by column; independent columns are solved
+    /// concurrently above the size cutoff.
     ///
     /// # Errors
     ///
@@ -180,16 +200,28 @@ impl LuFactors {
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
         let n = self.dim();
         if b.rows() != n {
-            return Err(dim_mismatch(format!("{n} rows"), format!("{} rows", b.rows())));
+            return Err(dim_mismatch(
+                format!("{n} rows"),
+                format!("{} rows", b.rows()),
+            ));
         }
+        let threads = Threads::resolve().for_flops(2 * n * n * b.cols());
+        let cols = parallel::run_indexed(threads, b.cols(), |j| self.solve(&b.col(j)));
         let mut x = Matrix::zeros(n, b.cols());
-        for j in 0..b.cols() {
-            let col = self.solve(&b.col(j))?;
+        for (j, col) in cols.into_iter().enumerate() {
+            let col = col?;
             for i in 0..n {
                 x[(i, j)] = col[i];
             }
         }
         Ok(x)
+    }
+
+    /// Consumes the factorization and returns the packed LU buffer, letting
+    /// callers that factor repeatedly at a fixed size recycle the `n²`
+    /// allocation (the contents are factor output, not the original matrix).
+    pub fn into_matrix(self) -> Matrix {
+        self.lu
     }
 
     /// Determinant of the original matrix (product of U's diagonal times the
@@ -211,7 +243,10 @@ impl LuFactors {
     /// the factored matrix is to singular (used by the paper's §4.3
     /// discussion of variation-induced near-singularity).
     pub fn min_abs_pivot(&self) -> f64 {
-        self.lu.diag().iter().fold(f64::INFINITY, |m, v| m.min(v.abs()))
+        self.lu
+            .diag()
+            .iter()
+            .fold(f64::INFINITY, |m, v| m.min(v.abs()))
     }
 }
 

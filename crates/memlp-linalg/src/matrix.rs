@@ -2,6 +2,7 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use crate::error::{dim_mismatch, LinalgError};
+use crate::parallel::{self, Threads};
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -26,10 +27,21 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix (a placeholder, e.g. for reusable buffers).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -74,7 +86,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Creates a square matrix with `d` on the diagonal and zeros elsewhere.
@@ -163,8 +179,14 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "column index {j} out of bounds for {} columns", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds for {} columns",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Returns the main diagonal as a vector.
@@ -204,11 +226,22 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: vector length {} != cols {}", x.len(), self.cols);
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec: vector length {} != cols {}",
+            x.len(),
+            self.cols
+        );
         let mut y = vec![0.0; self.rows];
-        for (i, yi) in y.iter_mut().enumerate() {
-            *yi = crate::ops::dot(self.row(i), x);
-        }
+        // Row-disjoint: each output element is one dot product, so banding
+        // the output across threads is bit-for-bit identical to serial.
+        let threads = Threads::resolve().for_flops(2 * self.rows * self.cols);
+        parallel::par_bands(threads, &mut y, |start, band| {
+            for (i, yi) in band.iter_mut().enumerate() {
+                *yi = crate::ops::dot(self.row(start + i), x);
+            }
+        });
         y
     }
 
@@ -226,16 +259,21 @@ impl Matrix {
             self.rows
         );
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
-            if xi == 0.0 {
-                continue;
+        // Column bands: each worker owns a contiguous slice of y and walks
+        // all rows in the same order as the serial loop, so the per-element
+        // accumulation order (and thus the rounding) is unchanged.
+        let threads = Threads::resolve().for_flops(2 * self.rows * self.cols);
+        parallel::par_bands(threads, &mut y, |start, band| {
+            for (i, &xi) in x.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let row = &self.row(i)[start..start + band.len()];
+                for (yj, &aij) in band.iter_mut().zip(row) {
+                    *yj += aij * xi;
+                }
             }
-            let row = self.row(i);
-            for (yj, &aij) in y.iter_mut().zip(row) {
-                *yj += aij * xi;
-            }
-        }
+        });
         y
     }
 
@@ -255,9 +293,13 @@ impl Matrix {
             ));
         }
         let mut c = Matrix::zeros(self.rows, b.cols);
-        for i in 0..self.rows {
+        if c.data.is_empty() {
+            return Ok(c);
+        }
+        // Rows of C are independent; each keeps the serial i-k-j order.
+        let threads = Threads::resolve().for_flops(2 * self.rows * self.cols * b.cols);
+        parallel::par_chunks(threads, &mut c.data, b.cols, |i, crow| {
             let arow = self.row(i);
-            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
             for (k, &aik) in arow.iter().enumerate() {
                 if aik == 0.0 {
                     continue;
@@ -267,8 +309,54 @@ impl Matrix {
                     *cij += aik * bkj;
                 }
             }
-        }
+        });
         Ok(c)
+    }
+
+    /// Computes the scaled Gram (normal) matrix `N = A·diag(d)·Aᵀ` — the
+    /// Schur-complement core the software PDIP baselines form every
+    /// iteration, and their dominant O(m²·n) cost.
+    ///
+    /// The upper triangle is computed per output row (rows are disjoint, so
+    /// they fan out across threads with unchanged per-entry summation
+    /// order) and mirrored into the lower triangle serially; results are
+    /// bit-for-bit identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != self.cols()`.
+    pub fn scaled_gram(&self, d: &[f64]) -> Matrix {
+        assert_eq!(
+            d.len(),
+            self.cols,
+            "scaled_gram: diagonal length {} != cols {}",
+            d.len(),
+            self.cols
+        );
+        let m = self.rows;
+        let n = self.cols;
+        let mut out = Matrix::zeros(m, m);
+        if m == 0 {
+            return out;
+        }
+        let threads = Threads::resolve().for_flops(m * m * n + m * m);
+        parallel::par_chunks(threads, &mut out.data, m, |i, orow| {
+            let ai = self.row(i);
+            for (k, ok) in orow.iter_mut().enumerate().skip(i) {
+                let ak = self.row(k);
+                let mut sum = 0.0;
+                for j in 0..n {
+                    sum += ai[j] * d[j] * ak[j];
+                }
+                *ok = sum;
+            }
+        });
+        for i in 0..m {
+            for k in 0..i {
+                out.data[i * m + k] = out.data[k * m + i];
+            }
+        }
+        out
     }
 
     /// Returns `self + other`.
@@ -306,13 +394,26 @@ impl Matrix {
                 format!("{}x{}", other.rows, other.cols),
             ));
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Returns a copy with every entry transformed by `f`.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Multiplies every entry by `s` in place.
@@ -354,7 +455,8 @@ impl Matrix {
         );
         for i in 0..block.rows {
             let src = block.row(i);
-            let dst = &mut self.data[(r0 + i) * self.cols + c0..(r0 + i) * self.cols + c0 + block.cols];
+            let dst =
+                &mut self.data[(r0 + i) * self.cols + c0..(r0 + i) * self.cols + c0 + block.cols];
             dst.copy_from_slice(src);
         }
     }
@@ -538,16 +640,28 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
     fn add_sub_hadamard() {
         let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
         let b = Matrix::from_rows(&[&[3.0, 5.0]]).unwrap();
-        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(&[&[4.0, 7.0]]).unwrap());
-        assert_eq!(b.sub(&a).unwrap(), Matrix::from_rows(&[&[2.0, 3.0]]).unwrap());
-        assert_eq!(a.hadamard(&b).unwrap(), Matrix::from_rows(&[&[3.0, 10.0]]).unwrap());
+        assert_eq!(
+            a.add(&b).unwrap(),
+            Matrix::from_rows(&[&[4.0, 7.0]]).unwrap()
+        );
+        assert_eq!(
+            b.sub(&a).unwrap(),
+            Matrix::from_rows(&[&[2.0, 3.0]]).unwrap()
+        );
+        assert_eq!(
+            a.hadamard(&b).unwrap(),
+            Matrix::from_rows(&[&[3.0, 10.0]]).unwrap()
+        );
         assert!(a.add(&Matrix::zeros(2, 2)).is_err());
     }
 
@@ -619,6 +733,22 @@ mod tests {
     fn debug_is_nonempty() {
         let s = format!("{:?}", Matrix::zeros(1, 1));
         assert!(s.contains("Matrix 1x1"));
+    }
+
+    #[test]
+    fn scaled_gram_matches_explicit_product() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 * 0.5 - 2.0);
+        let d = [0.5, 2.0, 1.5, 0.25];
+        let got = a.scaled_gram(&d);
+        let ad = Matrix::from_fn(3, 4, |i, j| a[(i, j)] * d[j]);
+        let want = ad.matmul(&a.transpose()).unwrap();
+        assert_eq!(got.rows(), 3);
+        for i in 0..3 {
+            for k in 0..3 {
+                assert!((got[(i, k)] - want[(i, k)]).abs() < 1e-12);
+                assert_eq!(got[(i, k)], got[(k, i)]);
+            }
+        }
     }
 
     #[test]

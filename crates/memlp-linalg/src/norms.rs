@@ -47,12 +47,21 @@ pub fn cond_1_estimate(a: &Matrix, lu: &LuFactors) -> Result<f64, crate::LinalgE
     for _ in 0..5 {
         let y = lu.solve(&x)?;
         let ynorm = crate::ops::one_norm(&y);
-        let xi: Vec<f64> = y.iter().map(|v| if *v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let xi: Vec<f64> = y
+            .iter()
+            .map(|v| if *v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
         let z = lut.solve(&xi)?;
         let (jmax, zmax) = z
             .iter()
             .enumerate()
-            .fold((0usize, 0.0f64), |(jm, zm), (j, &v)| if v.abs() > zm { (j, v.abs()) } else { (jm, zm) });
+            .fold((0usize, 0.0f64), |(jm, zm), (j, &v)| {
+                if v.abs() > zm {
+                    (j, v.abs())
+                } else {
+                    (jm, zm)
+                }
+            });
         est = est.max(ynorm);
         if zmax <= crate::ops::dot(&z, &x).abs() {
             break;

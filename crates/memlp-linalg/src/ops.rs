@@ -11,7 +11,13 @@
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "dot: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "dot: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     // Four independent accumulators break the FP dependency chain and let
     // LLVM vectorize despite float non-associativity.
     let chunks = x.len() / 4;
@@ -37,7 +43,13 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += a * xi;
     }
@@ -57,7 +69,13 @@ pub fn scale(s: f64, x: &mut [f64]) {
 ///
 /// Panics if the slices have different lengths.
 pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), y.len(), "sub: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "sub: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     x.iter().zip(y).map(|(a, b)| a - b).collect()
 }
 
@@ -67,7 +85,13 @@ pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the slices have different lengths.
 pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), y.len(), "add: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "add: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     x.iter().zip(y).map(|(a, b)| a + b).collect()
 }
 

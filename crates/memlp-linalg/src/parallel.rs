@@ -1,0 +1,353 @@
+//! Scoped-thread parallel execution for the dense kernels.
+//!
+//! This is the workspace's single threading layer: the LU trailing update,
+//! matrix–vector products, tiled-crossbar fan-out, batched solves, and the
+//! bench harness all schedule work through here. It is built on
+//! `std::thread::scope` only — no external dependencies — so offline builds
+//! keep working.
+//!
+//! # Thread-count resolution
+//!
+//! [`Threads::resolve`] picks the worker count from, in priority order:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by tests
+//!    and the CLI's `--jobs` flag),
+//! 2. the `MEMLP_THREADS` environment variable (parsed once per process),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! # Determinism
+//!
+//! Every helper here partitions work into *fixed* index ranges that do not
+//! depend on the worker count or scheduling order, and each unit writes only
+//! its own disjoint output. A kernel that performs the same per-element
+//! arithmetic in the same order inside each unit therefore produces
+//! bit-for-bit identical results at every thread count — the property the
+//! `threaded_*` property tests assert.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Minimum flops a worker thread should amortize; below
+/// `work / MIN_FLOPS_PER_THREAD` threads, spawn overhead dominates.
+pub const MIN_FLOPS_PER_THREAD: usize = 64 * 1024;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("MEMLP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+    })
+}
+
+/// The resolved worker-thread budget for parallel kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threads {
+    cap: usize,
+}
+
+impl Threads {
+    /// Resolves the budget: `with_threads` override → `MEMLP_THREADS` →
+    /// available parallelism (never zero).
+    pub fn resolve() -> Threads {
+        let cap = OVERRIDE
+            .with(Cell::get)
+            .or_else(env_threads)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            });
+        Threads { cap: cap.max(1) }
+    }
+
+    /// A fixed budget, ignoring the environment.
+    pub fn exact(n: usize) -> Threads {
+        Threads { cap: n.max(1) }
+    }
+
+    /// The raw budget.
+    pub fn get(self) -> usize {
+        self.cap
+    }
+
+    /// Workers to actually use for a kernel costing `flops` total: enough
+    /// that each amortizes [`MIN_FLOPS_PER_THREAD`], and never more than the
+    /// budget. Returns 1 (the serial path) for small kernels.
+    pub fn for_flops(self, flops: usize) -> usize {
+        if self.cap <= 1 {
+            return 1;
+        }
+        self.cap.min(flops / MIN_FLOPS_PER_THREAD).max(1)
+    }
+}
+
+/// Runs `f` with the calling thread's budget forced to `threads`
+/// (overriding `MEMLP_THREADS`), restoring the previous override after.
+pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let prev = OVERRIDE.with(|c| c.replace(Some(threads.max(1))));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Runs `f(0..count)` across up to `threads` workers (work-stealing, so
+/// uneven items balance) and returns the results in index order. Panics in
+/// `f` propagate.
+pub fn run_indexed<T: Send>(threads: usize, count: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let t = threads.min(count).max(1);
+    if t <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..t)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (i, v) in per_worker.into_iter().flatten() {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index computed"))
+        .collect()
+}
+
+/// Maps `f` over `items` in place across up to `threads` workers (static
+/// contiguous bands) and returns the results in item order. Each item is
+/// visited exactly once with exclusive access, so the partition never
+/// affects results.
+pub fn par_map_mut<T: Send, R: Send>(
+    threads: usize,
+    items: &mut [T],
+    f: impl Fn(usize, &mut T) -> R + Sync,
+) -> Vec<R> {
+    let len = items.len();
+    let t = threads.min(len).max(1);
+    if t <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, it)| f(i, it))
+            .collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(t);
+        let mut rest = items;
+        let mut start = 0;
+        for w in 0..t {
+            let count = len / t + usize::from(w < len % t);
+            let (band, tail) = rest.split_at_mut(count);
+            rest = tail;
+            let base = start;
+            start += count;
+            handles.push(scope.spawn(move || {
+                band.iter_mut()
+                    .enumerate()
+                    .map(|(i, it)| f(base + i, it))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Splits `data` into equal `chunk_len`-element chunks (e.g. matrix rows)
+/// and calls `f(chunk_index, chunk)` for each, distributing contiguous
+/// chunk ranges across up to `threads` workers. The partition is a pure
+/// function of the lengths, so results are bit-for-bit independent of the
+/// worker count.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `chunk_len`.
+pub fn par_chunks<T: Send>(
+    threads: usize,
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(
+        chunk_len > 0 && data.len().is_multiple_of(chunk_len),
+        "data must split into whole chunks"
+    );
+    let n_chunks = data.len() / chunk_len;
+    let t = threads.min(n_chunks).max(1);
+    if t <= 1 {
+        for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut first_chunk = 0;
+        for w in 0..t {
+            let count = n_chunks / t + usize::from(w < n_chunks % t);
+            let (band, tail) = rest.split_at_mut(count * chunk_len);
+            rest = tail;
+            let base = first_chunk;
+            first_chunk += count;
+            scope.spawn(move || {
+                for (i, c) in band.chunks_mut(chunk_len).enumerate() {
+                    f(base + i, c);
+                }
+            });
+        }
+    });
+}
+
+/// Splits `data` into at most `threads` contiguous bands of near-equal
+/// length and calls `f(start_offset, band)` on each concurrently. Like
+/// [`par_chunks`], the band boundaries depend only on the lengths, so a
+/// kernel that is serial within each band stays bit-for-bit reproducible.
+pub fn par_bands<T: Send>(threads: usize, data: &mut [T], f: impl Fn(usize, &mut [T]) + Sync) {
+    let len = data.len();
+    let t = threads.min(len).max(1);
+    if t <= 1 {
+        f(0, data);
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut offset = 0;
+        for w in 0..t {
+            let count = len / t + usize::from(w < len % t);
+            let (band, tail) = rest.split_at_mut(count);
+            rest = tail;
+            let start = offset;
+            offset += count;
+            scope.spawn(move || f(start, band));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_is_at_least_one() {
+        assert!(Threads::resolve().get() >= 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = with_threads(3, || {
+            let inner = with_threads(7, || Threads::resolve().get());
+            assert_eq!(inner, 7);
+            Threads::resolve().get()
+        });
+        assert_eq!(outer, 3);
+    }
+
+    #[test]
+    fn for_flops_scales_with_work() {
+        let t = Threads::exact(8);
+        assert_eq!(t.for_flops(10), 1);
+        assert_eq!(t.for_flops(MIN_FLOPS_PER_THREAD * 3), 3);
+        assert_eq!(t.for_flops(MIN_FLOPS_PER_THREAD * 100), 8);
+        assert_eq!(Threads::exact(1).for_flops(usize::MAX), 1);
+    }
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        for threads in [1, 2, 8] {
+            let out = run_indexed(threads, 33, |i| i * i);
+            assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(4, 1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn run_indexed_propagates_panics() {
+        run_indexed(2, 8, |i| {
+            if i == 5 {
+                panic!("worker boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn par_map_mut_orders_results_and_mutates() {
+        for threads in [1, 2, 4, 16] {
+            let mut items: Vec<usize> = (0..13).collect();
+            let out = par_map_mut(threads, &mut items, |i, v| {
+                *v += 100;
+                i * 2
+            });
+            assert_eq!(out, (0..13).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(items, (100..113).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_chunks_visits_every_chunk_once() {
+        for threads in [1, 2, 3, 8] {
+            let mut data = vec![0usize; 7 * 4];
+            par_chunks(threads, &mut data, 4, |i, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += i + 1;
+                }
+            });
+            for (i, chunk) in data.chunks(4).enumerate() {
+                assert!(chunk.iter().all(|&v| v == i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_bands_covers_all_offsets() {
+        for threads in [1, 2, 5, 16] {
+            let mut data = vec![0usize; 23];
+            par_bands(threads, &mut data, |start, band| {
+                for (i, v) in band.iter_mut().enumerate() {
+                    *v = start + i;
+                }
+            });
+            assert_eq!(data, (0..23).collect::<Vec<_>>());
+        }
+    }
+}

@@ -80,7 +80,13 @@ impl SparseMatrix {
         for r in cur_row..rows {
             row_ptr[r + 1] = col_idx.len();
         }
-        let mut m = SparseMatrix { rows, cols, row_ptr, col_idx, values };
+        let mut m = SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
         m.prune_zeros();
         Ok(m)
     }
@@ -102,7 +108,13 @@ impl SparseMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        SparseMatrix { rows, cols, row_ptr, col_idx, values }
+        SparseMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Materializes the dense equivalent.
@@ -147,7 +159,13 @@ impl SparseMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: length {} != cols {}", x.len(), self.cols);
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec: length {} != cols {}",
+            x.len(),
+            self.cols
+        );
         let mut y = vec![0.0; self.rows];
         for (i, yi) in y.iter_mut().enumerate() {
             let mut s = 0.0;
@@ -165,10 +183,15 @@ impl SparseMatrix {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_transposed: length {} != rows {}", x.len(), self.rows);
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "matvec_transposed: length {} != rows {}",
+            x.len(),
+            self.rows
+        );
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -188,7 +211,7 @@ impl SparseMatrix {
     }
 
     fn prune_zeros(&mut self) {
-        if !self.values.iter().any(|&v| v == 0.0) {
+        if !self.values.contains(&0.0) {
             return;
         }
         let mut row_ptr = vec![0usize; self.rows + 1];
@@ -248,12 +271,8 @@ mod tests {
 
     #[test]
     fn from_triplets_sorts_and_sums() {
-        let s = SparseMatrix::from_triplets(
-            2,
-            2,
-            &[(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)],
-        )
-        .unwrap();
+        let s =
+            SparseMatrix::from_triplets(2, 2, &[(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)]).unwrap();
         assert_eq!(s.nnz(), 2);
         assert_eq!(s.to_dense()[(1, 1)], 5.0);
     }

@@ -43,7 +43,9 @@ impl AssignmentProblem {
         let agents = agents.max(1);
         let mut rng = StdRng::seed_from_u64(seed);
         AssignmentProblem {
-            utility: (0..agents * agents).map(|_| rng.random_range(1.0..10.0)).collect(),
+            utility: (0..agents * agents)
+                .map(|_| rng.random_range(1.0..10.0))
+                .collect(),
             agents,
         }
     }
@@ -64,7 +66,11 @@ impl AssignmentProblem {
         let mut perm: Vec<usize> = (0..n).collect();
         let mut best = f64::NEG_INFINITY;
         permute(&mut perm, 0, &mut |p| {
-            let total: f64 = p.iter().enumerate().map(|(a, &t)| self.utility[a * n + t]).sum();
+            let total: f64 = p
+                .iter()
+                .enumerate()
+                .map(|(a, &t)| self.utility[a * n + t])
+                .sum();
             if total > best {
                 best = total;
             }
@@ -169,6 +175,9 @@ mod tests {
 
     #[test]
     fn random_is_deterministic() {
-        assert_eq!(AssignmentProblem::random(3, 9), AssignmentProblem::random(3, 9));
+        assert_eq!(
+            AssignmentProblem::random(3, 9),
+            AssignmentProblem::random(3, 9)
+        );
     }
 }

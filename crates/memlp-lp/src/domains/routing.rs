@@ -184,7 +184,11 @@ mod tests {
 
     #[test]
     fn degenerate_networks_rejected() {
-        let err = max_flow_lp(&MaxFlowNetwork { nodes: 1, edges: vec![] }).unwrap_err();
+        let err = max_flow_lp(&MaxFlowNetwork {
+            nodes: 1,
+            edges: vec![],
+        })
+        .unwrap_err();
         assert!(matches!(err, LpError::ShapeMismatch { .. }));
     }
 

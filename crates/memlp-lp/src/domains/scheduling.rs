@@ -40,7 +40,9 @@ impl ProductionPlan {
             products,
             hours_per_unit: (0..products).map(|_| rng.random_range(0.5..3.0)).collect(),
             capacity: (0..periods).map(|_| rng.random_range(20.0..60.0)).collect(),
-            max_demand: (0..products).map(|_| rng.random_range(10.0..40.0)).collect(),
+            max_demand: (0..products)
+                .map(|_| rng.random_range(10.0..40.0))
+                .collect(),
             profit: (0..products).map(|_| rng.random_range(1.0..8.0)).collect(),
         }
     }
@@ -174,6 +176,9 @@ mod tests {
     fn invalid_plan_rejected() {
         let mut p = tiny();
         p.capacity.pop();
-        assert!(matches!(production_schedule_lp(&p), Err(LpError::ShapeMismatch { .. })));
+        assert!(matches!(
+            production_schedule_lp(&p),
+            Err(LpError::ShapeMismatch { .. })
+        ));
     }
 }

@@ -29,14 +29,22 @@ impl TransportationProblem {
         let mut rng = StdRng::seed_from_u64(seed);
         let suppliers = suppliers.max(1);
         let consumers = consumers.max(1);
-        let demand: Vec<f64> = (0..consumers).map(|_| rng.random_range(5.0..20.0)).collect();
+        let demand: Vec<f64> = (0..consumers)
+            .map(|_| rng.random_range(5.0..20.0))
+            .collect();
         let total_demand: f64 = demand.iter().sum();
         let base_supply = 1.2 * total_demand / suppliers as f64;
-        let supply: Vec<f64> =
-            (0..suppliers).map(|_| base_supply * rng.random_range(0.8..1.2)).collect();
-        let cost: Vec<f64> =
-            (0..suppliers * consumers).map(|_| rng.random_range(1.0..10.0)).collect();
-        TransportationProblem { supply, demand, cost }
+        let supply: Vec<f64> = (0..suppliers)
+            .map(|_| base_supply * rng.random_range(0.8..1.2))
+            .collect();
+        let cost: Vec<f64> = (0..suppliers * consumers)
+            .map(|_| rng.random_range(1.0..10.0))
+            .collect();
+        TransportationProblem {
+            supply,
+            demand,
+            cost,
+        }
     }
 
     /// Number of suppliers.
@@ -170,6 +178,9 @@ mod tests {
     fn bad_cost_length_rejected() {
         let mut tp = tiny();
         tp.cost.pop();
-        assert!(matches!(transportation_lp(&tp), Err(LpError::ShapeMismatch { .. })));
+        assert!(matches!(
+            transportation_lp(&tp),
+            Err(LpError::ShapeMismatch { .. })
+        ));
     }
 }

@@ -55,9 +55,14 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LpError::ShapeMismatch { expected: "m=2".into(), found: "m=3".into() };
+        let e = LpError::ShapeMismatch {
+            expected: "m=2".into(),
+            found: "m=3".into(),
+        };
         assert!(e.to_string().contains("m=3"));
-        let e = LpError::NonFinite { location: "b[1]".into() };
+        let e = LpError::NonFinite {
+            location: "b[1]".into(),
+        };
         assert!(e.to_string().contains("b[1]"));
     }
 

@@ -53,8 +53,11 @@ pub fn parse(text: &str) -> Result<LpProblem, LpError> {
         .map(|l| l.split('\\').next().unwrap_or(""))
         .collect::<Vec<_>>()
         .join("\n");
-    let statements: Vec<&str> =
-        cleaned.split(';').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let statements: Vec<&str> = cleaned
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     if statements.is_empty() {
         return Err(syntax("an objective statement", "empty input"));
     }
@@ -94,10 +97,9 @@ pub fn parse(text: &str) -> Result<LpProblem, LpError> {
             None => stmt,
         };
         let (lhs, op, rhs) = split_relation(body)?;
-        let rhs_val: f64 = rhs
-            .trim()
-            .parse()
-            .map_err(|_| LpError::NonFinite { location: format!("right-hand side `{rhs}`") })?;
+        let rhs_val: f64 = rhs.trim().parse().map_err(|_| LpError::NonFinite {
+            location: format!("right-hand side `{rhs}`"),
+        })?;
         let terms = parse_expr(lhs)?;
         // Canonicalize: `expr >= r` becomes `−expr <= −r`.
         let sign = if op == "<=" { 1.0 } else { -1.0 };
@@ -106,7 +108,10 @@ pub fn parse(text: &str) -> Result<LpProblem, LpError> {
             let i = intern(name, &mut vars, &mut var_index);
             row.push((i, sign * coef));
         }
-        rows.push(Row { terms: row, rhs: sign * rhs_val });
+        rows.push(Row {
+            terms: row,
+            rhs: sign * rhs_val,
+        });
     }
 
     let n = vars.len();
@@ -155,12 +160,16 @@ fn split_objective(stmt: &str) -> Result<(Sense, &str), LpError> {
     if let Some(rest) = lower.strip_prefix("max") {
         let skip = stmt.len() - rest.len();
         let rest = stmt[skip..].trim_start();
-        let rest = rest.strip_prefix(':').ok_or_else(|| syntax("`max:`", stmt))?;
+        let rest = rest
+            .strip_prefix(':')
+            .ok_or_else(|| syntax("`max:`", stmt))?;
         Ok((Sense::Max, rest))
     } else if let Some(rest) = lower.strip_prefix("min") {
         let skip = stmt.len() - rest.len();
         let rest = stmt[skip..].trim_start();
-        let rest = rest.strip_prefix(':').ok_or_else(|| syntax("`min:`", stmt))?;
+        let rest = rest
+            .strip_prefix(':')
+            .ok_or_else(|| syntax("`min:`", stmt))?;
         Ok((Sense::Min, rest))
     } else {
         Err(syntax("an objective starting with `max:` or `min:`", stmt))
@@ -188,7 +197,12 @@ fn parse_expr(expr: &str) -> Result<Vec<(f64, String)>, LpError> {
         if (ch == '+' || ch == '-') && k > 0 {
             let prev = chars[..k].iter().rev().find(|c| !c.is_whitespace());
             let is_exponent = matches!(prev, Some('e') | Some('E'))
-                && chars[..k].iter().rev().nth(1).map(|c| c.is_ascii_digit() || *c == '.').unwrap_or(false);
+                && chars[..k]
+                    .iter()
+                    .rev()
+                    .nth(1)
+                    .map(|c| c.is_ascii_digit() || *c == '.')
+                    .unwrap_or(false);
             if !is_exponent {
                 normalized.push('\u{1f}');
             }
@@ -211,13 +225,19 @@ fn parse_expr(expr: &str) -> Result<Vec<(f64, String)>, LpError> {
         let rest = rest.replace('*', " ");
         let mut parts = rest.split_whitespace();
         let first = parts.next().ok_or_else(|| syntax("a term", term))?;
-        let (coef, name) = if first.chars().next().map(|c| c.is_ascii_digit() || c == '.').unwrap_or(false) {
+        let (coef, name) = if first
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_digit() || c == '.')
+            .unwrap_or(false)
+        {
             // Either `2 x` (separate tokens) or the glued form `2x`. For
             // the glued form take the longest numeric prefix (so exponents
             // like `1e-3` are not split at the `e`).
             if let Ok(coef) = first.parse::<f64>() {
-                let name =
-                    parts.next().ok_or_else(|| syntax("a variable after the coefficient", term))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| syntax("a variable after the coefficient", term))?;
                 (coef, name.to_string())
             } else {
                 let split_at = (1..first.len())
@@ -239,7 +259,12 @@ fn parse_expr(expr: &str) -> Result<Vec<(f64, String)>, LpError> {
         if parts.next().is_some() {
             return Err(syntax("a single `coef var` term", term));
         }
-        if !name.chars().next().map(char::is_alphabetic).unwrap_or(false) {
+        if !name
+            .chars()
+            .next()
+            .map(char::is_alphabetic)
+            .unwrap_or(false)
+        {
             return Err(syntax("a variable name starting with a letter", &name));
         }
         terms.push((sign * coef, name));
@@ -289,7 +314,10 @@ fn fmt_num(v: f64) -> String {
 }
 
 fn syntax(expected: &str, found: &str) -> LpError {
-    LpError::ShapeMismatch { expected: expected.into(), found: found.trim().into() }
+    LpError::ShapeMismatch {
+        expected: expected.into(),
+        found: found.trim().into(),
+    }
 }
 
 #[cfg(test)]
@@ -379,10 +407,9 @@ mod tests {
 
     #[test]
     fn write_parse_roundtrip() {
-        let lp = parse(
-            "max: 3 x - 0.5 y + z;\nc0: x + y <= 4;\nc1: -2 x + 3 z <= -1;\nc2: y >= 1;",
-        )
-        .unwrap();
+        let lp =
+            parse("max: 3 x - 0.5 y + z;\nc0: x + y <= 4;\nc1: -2 x + 3 z <= -1;\nc2: y >= 1;")
+                .unwrap();
         let text = write(&lp);
         let back = parse(&text).unwrap();
         assert_eq!(back, lp);

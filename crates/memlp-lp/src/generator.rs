@@ -84,11 +84,15 @@ impl RandomLp {
         let a = self.random_matrix(&mut rng);
 
         let x0: Vec<f64> = (0..self.vars).map(|_| rng.random_range(0.1..2.0)).collect();
-        let w0: Vec<f64> = (0..self.constraints).map(|_| rng.random_range(0.1..1.0)).collect();
+        let w0: Vec<f64> = (0..self.constraints)
+            .map(|_| rng.random_range(0.1..1.0))
+            .collect();
         let ax = a.matvec(&x0);
         let b: Vec<f64> = ax.iter().zip(&w0).map(|(v, w)| v + w).collect();
 
-        let y0: Vec<f64> = (0..self.constraints).map(|_| rng.random_range(0.1..1.0)).collect();
+        let y0: Vec<f64> = (0..self.constraints)
+            .map(|_| rng.random_range(0.1..1.0))
+            .collect();
         let z0: Vec<f64> = (0..self.vars).map(|_| rng.random_range(0.1..1.0)).collect();
         let aty = a.matvec_transposed(&y0);
         let c: Vec<f64> = aty.iter().zip(&z0).map(|(v, z)| v - z).collect();
@@ -104,9 +108,16 @@ impl RandomLp {
     ///
     /// Panics if `constraints < 2` (no room for the contradiction).
     pub fn infeasible(&self) -> LpProblem {
-        assert!(self.constraints >= 2, "infeasible instances need at least 2 constraints");
+        assert!(
+            self.constraints >= 2,
+            "infeasible instances need at least 2 constraints"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x17FE));
-        let base = RandomLp { seed: rng.random(), ..*self }.feasible();
+        let base = RandomLp {
+            seed: rng.random(),
+            ..*self
+        }
+        .feasible();
         let mut a = base.a().clone();
         let mut b = base.b().to_vec();
 
@@ -212,7 +223,10 @@ mod tests {
         let (lp, cert) = g.feasible_with_certificate();
         let primal = lp.objective(&cert.x0);
         let dual: f64 = lp.b().iter().zip(&cert.y0).map(|(b, y)| b * y).sum();
-        assert!(primal <= dual + 1e-9, "weak duality violated: {primal} > {dual}");
+        assert!(
+            primal <= dual + 1e-9,
+            "weak duality violated: {primal} > {dual}"
+        );
     }
 
     #[test]
@@ -232,7 +246,10 @@ mod tests {
         for k in 0..lp.num_vars() {
             assert!((lp.a()[(m - 2, k)] + lp.a()[(m - 1, k)]).abs() < 1e-12);
         }
-        assert!(lp.b()[m - 2] < -lp.b()[m - 1], "gap must make the pair contradictory");
+        assert!(
+            lp.b()[m - 2] < -lp.b()[m - 1],
+            "gap must make the pair contradictory"
+        );
     }
 
     #[test]
@@ -243,7 +260,10 @@ mod tests {
         let n = lp.num_vars();
         for scale in [0.0, 0.5, 1.0, 3.0] {
             let x = vec![scale; n];
-            assert!(!lp.is_feasible(&x, 1e-9), "x = {scale}·1 should be infeasible");
+            assert!(
+                !lp.is_feasible(&x, 1e-9),
+                "x = {scale}·1 should be infeasible"
+            );
         }
     }
 
@@ -260,14 +280,20 @@ mod tests {
 
     #[test]
     fn neg_fraction_zero_gives_nonnegative_matrix() {
-        let g = RandomLp { neg_fraction: 0.0, ..RandomLp::paper(16, 11) };
+        let g = RandomLp {
+            neg_fraction: 0.0,
+            ..RandomLp::paper(16, 11)
+        };
         let lp = g.feasible();
         assert!(lp.a().is_nonnegative());
     }
 
     #[test]
     fn neg_fraction_controls_sign_mix() {
-        let g = RandomLp { neg_fraction: 0.5, ..RandomLp::paper(64, 13) };
+        let g = RandomLp {
+            neg_fraction: 0.5,
+            ..RandomLp::paper(64, 13)
+        };
         let lp = g.feasible();
         let negs = lp.a().as_slice().iter().filter(|v| **v < 0.0).count();
         let total = lp.a().as_slice().len();
@@ -277,7 +303,10 @@ mod tests {
 
     #[test]
     fn density_controls_sparsity() {
-        let g = RandomLp { density: 0.25, ..RandomLp::paper(64, 17) };
+        let g = RandomLp {
+            density: 0.25,
+            ..RandomLp::paper(64, 17)
+        };
         let lp = g.feasible();
         let zeros = lp.a().as_slice().iter().filter(|v| **v == 0.0).count();
         let total = lp.a().as_slice().len();

@@ -135,9 +135,11 @@ pub fn presolve(lp: &LpProblem) -> Presolved {
         }
         // Degenerate but valid: a 1-variable zero-objective problem keeps
         // the interfaces total.
-        let restore = Restore { kept_vars, kept_rows: vec![] };
-        let lp = LpProblem::new(Matrix::zeros(1, 1), vec![1.0], vec![0.0])
-            .expect("static shapes");
+        let restore = Restore {
+            kept_vars,
+            kept_rows: vec![],
+        };
+        let lp = LpProblem::new(Matrix::zeros(1, 1), vec![1.0], vec![0.0]).expect("static shapes");
         return Presolved::Reduced { lp, restore };
     }
 
@@ -183,7 +185,13 @@ pub fn presolve(lp: &LpProblem) -> Presolved {
         }
     }
     let lp_reduced = LpProblem::new(a, b, c).expect("presolve shapes are consistent");
-    Presolved::Reduced { lp: lp_reduced, restore: Restore { kept_vars, kept_rows } }
+    Presolved::Reduced {
+        lp: lp_reduced,
+        restore: Restore {
+            kept_vars,
+            kept_rows,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +205,11 @@ mod tests {
 
     #[test]
     fn passthrough_when_nothing_applies() {
-        let p = lp(vec![vec![1.0, -2.0], vec![-3.0, 1.0]], vec![4.0, 6.0], vec![1.0, 1.0]);
+        let p = lp(
+            vec![vec![1.0, -2.0], vec![-3.0, 1.0]],
+            vec![4.0, 6.0],
+            vec![1.0, 1.0],
+        );
         match presolve(&p) {
             Presolved::Reduced { lp: q, restore } => {
                 assert_eq!(q, p);
@@ -210,7 +222,11 @@ mod tests {
 
     #[test]
     fn zero_row_with_negative_bound_is_infeasible() {
-        let p = lp(vec![vec![0.0, 0.0], vec![1.0, 1.0]], vec![-1.0, 4.0], vec![1.0, 1.0]);
+        let p = lp(
+            vec![vec![0.0, 0.0], vec![1.0, 1.0]],
+            vec![-1.0, 4.0],
+            vec![1.0, 1.0],
+        );
         assert_eq!(presolve(&p), Presolved::Infeasible);
     }
 

@@ -35,13 +35,19 @@ impl LpProblem {
             });
         }
         if !a.as_slice().iter().all(|v| v.is_finite()) {
-            return Err(LpError::NonFinite { location: "A".into() });
+            return Err(LpError::NonFinite {
+                location: "A".into(),
+            });
         }
         if let Some(i) = b.iter().position(|v| !v.is_finite()) {
-            return Err(LpError::NonFinite { location: format!("b[{i}]") });
+            return Err(LpError::NonFinite {
+                location: format!("b[{i}]"),
+            });
         }
         if let Some(i) = c.iter().position(|v| !v.is_finite()) {
-            return Err(LpError::NonFinite { location: format!("c[{i}]") });
+            return Err(LpError::NonFinite {
+                location: format!("c[{i}]"),
+            });
         }
         Ok(LpProblem { a, b, c })
     }
@@ -91,7 +97,9 @@ impl LpProblem {
             return false;
         }
         let ax = self.a.matvec(x);
-        ax.iter().zip(&self.b).all(|(l, r)| *l <= r + tol * r.abs().max(1.0))
+        ax.iter()
+            .zip(&self.b)
+            .all(|(l, r)| *l <= r + tol * r.abs().max(1.0))
     }
 
     /// The paper's §3.2 relaxed constraint check `A·x ⪯ α·b` used for
@@ -110,7 +118,9 @@ impl LpProblem {
             return false;
         }
         let ax = self.a.matvec(x);
-        ax.iter().zip(&self.b).all(|(l, r)| *l <= r + slack * r.abs().max(1.0))
+        ax.iter()
+            .zip(&self.b)
+            .all(|(l, r)| *l <= r + slack * r.abs().max(1.0))
     }
 
     /// The §3.2 relaxed check with a **problem-scale** slack: every row may
@@ -138,7 +148,11 @@ impl LpProblem {
         let at = self.a.transpose().map(|v| -v);
         let neg_c: Vec<f64> = self.c.iter().map(|v| -v).collect();
         let neg_b: Vec<f64> = self.b.iter().map(|v| -v).collect();
-        LpProblem { a: at, b: neg_c, c: neg_b }
+        LpProblem {
+            a: at,
+            b: neg_c,
+            c: neg_b,
+        }
     }
 
     /// Largest absolute coefficient across `A`, `b`, `c` — the dynamic range
@@ -265,7 +279,10 @@ mod tests {
         assert!(2.0 * y[0] + y[1] >= 1.0 - 1e-12);
         let primal = lp.objective(&x);
         let dual_obj = 4.0 * y[0] + 6.0 * y[1];
-        assert!(primal <= dual_obj + 1e-12, "weak duality violated: {primal} > {dual_obj}");
+        assert!(
+            primal <= dual_obj + 1e-12,
+            "weak duality violated: {primal} > {dual_obj}"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ impl Equilibration {
     /// problem: scaling row i by 1/s multiplies its dual by 1/s, so
     /// `y_original_i = y_scaled_i / s_i`.
     pub fn unscale_duals(&self, y_scaled: &[f64]) -> Vec<f64> {
-        y_scaled.iter().zip(&self.row_scales).map(|(y, s)| y / s).collect()
+        y_scaled
+            .iter()
+            .zip(&self.row_scales)
+            .map(|(y, s)| y / s)
+            .collect()
     }
 }
 
@@ -81,7 +85,11 @@ mod tests {
         let lp = lopsided();
         let (scaled, _) = equilibrate(&lp);
         for x in [[1.0, 1.0], [4.0, 0.0], [0.0, 2.1], [5.0, 5.0]] {
-            assert_eq!(lp.is_feasible(&x, 1e-9), scaled.is_feasible(&x, 1e-9), "x = {x:?}");
+            assert_eq!(
+                lp.is_feasible(&x, 1e-9),
+                scaled.is_feasible(&x, 1e-9),
+                "x = {x:?}"
+            );
         }
     }
 

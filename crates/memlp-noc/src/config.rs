@@ -45,12 +45,18 @@ impl NocConfig {
 
     /// Mesh fabric with the same link constants.
     pub fn mesh() -> Self {
-        NocConfig { topology: Topology::Mesh, ..NocConfig::hierarchical() }
+        NocConfig {
+            topology: Topology::Mesh,
+            ..NocConfig::hierarchical()
+        }
     }
 
     /// Returns a copy with the given buffer-noise level.
     pub fn with_buffer_noise(self, noise: f64) -> Self {
-        NocConfig { buffer_noise: noise, ..self }
+        NocConfig {
+            buffer_noise: noise,
+            ..self
+        }
     }
 
     /// Number of hops a transfer crosses on average, for `tiles` tiles.
@@ -80,7 +86,10 @@ impl NocConfig {
         let hops = self.mean_hops(tiles);
         // Lines within one transfer move in parallel (a bus of analog
         // switches); energy scales with lines, latency with hops.
-        (hops * self.hop_delay_s, hops * self.hop_energy_j * lines as f64)
+        (
+            hops * self.hop_delay_s,
+            hops * self.hop_energy_j * lines as f64,
+        )
     }
 }
 

@@ -1,4 +1,5 @@
 use memlp_crossbar::{CostLedger, Crossbar, CrossbarConfig, CrossbarError};
+use memlp_linalg::parallel::{self, Threads};
 use memlp_linalg::{LuFactors, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -70,9 +71,8 @@ impl TiledCrossbar {
                 let nr = tile_side.min(matrix.rows() - r0);
                 let nc = tile_side.min(matrix.cols() - c0);
                 let block = matrix.block(r0, c0, nr, nc);
-                let tile_cfg = config.with_seed(
-                    config.seed ^ ((bi as u64) << 32) ^ (bj as u64) ^ 0x7173,
-                );
+                let tile_cfg =
+                    config.with_seed(config.seed ^ ((bi as u64) << 32) ^ (bj as u64) ^ 0x7173);
                 let mut xb = Crossbar::new(tile_side, tile_cfg)?;
                 xb.program_with_scale(&block, a_max)?;
                 row.push(xb);
@@ -126,26 +126,42 @@ impl TiledCrossbar {
         }
         let tile_count = self.tile_count();
         let mut y = vec![0.0; self.rows];
-        for (bi, tile_row) in self.tiles.iter_mut().enumerate() {
-            let r0 = bi * self.tile_side;
-            for (bj, tile) in tile_row.iter_mut().enumerate() {
-                let c0 = bj * self.tile_side;
-                let seg = &x[c0..(c0 + self.tile_side).min(self.cols)];
-                let partial = tile.mvm(seg)?;
-                // Partial sums ride the NoC to the accumulating arbiter;
-                // each line picks up bounded buffer offset noise.
-                let scale = partial.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-                for (k, p) in partial.iter().enumerate() {
-                    let noise = if self.noc.buffer_noise > 0.0 && tile_count > 1 {
-                        self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale
-                    } else {
-                        0.0
-                    };
-                    y[r0 + k] += p + noise;
-                }
-                let (t, e) = self.noc.transfer_cost(tile_count, partial.len());
-                self.noc_ledger.charge_noc_transfer(t, e, 1);
+        let tile_side = self.tile_side;
+        let cols = self.cols;
+        let col_blocks = self.tiles.first().map_or(0, |r| r.len());
+
+        // Phase 1: every tile computes its partial product concurrently.
+        // Each tile owns a private RNG stream (seeded per (bi, bj) at
+        // programming time), so its variation/noise draws are independent
+        // of worker scheduling and the partials are bit-for-bit
+        // reproducible at any thread count.
+        let threads = Threads::resolve().for_flops(2 * self.rows * self.cols);
+        let mut refs: Vec<&mut Crossbar> =
+            self.tiles.iter_mut().flat_map(|r| r.iter_mut()).collect();
+        let partials = parallel::par_map_mut(threads, &mut refs, |idx, tile| {
+            let c0 = (idx % col_blocks) * tile_side;
+            let seg = &x[c0..(c0 + tile_side).min(cols)];
+            tile.mvm(seg)
+        });
+
+        // Phase 2: partial sums ride the NoC to the accumulating arbiters
+        // in fixed (bi, bj) order — the shared buffer-noise RNG and the
+        // fabric ledger see exactly the serial event sequence.
+        for (idx, partial) in partials.into_iter().enumerate() {
+            let partial = partial?;
+            let r0 = (idx / col_blocks) * tile_side;
+            // Each line picks up bounded buffer offset noise.
+            let scale = partial.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            for (k, p) in partial.iter().enumerate() {
+                let noise = if self.noc.buffer_noise > 0.0 && tile_count > 1 {
+                    self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale
+                } else {
+                    0.0
+                };
+                y[r0 + k] += p + noise;
             }
+            let (t, e) = self.noc.transfer_cost(tile_count, partial.len());
+            self.noc_ledger.charge_noc_transfer(t, e, 1);
         }
         Ok(y)
     }
@@ -175,7 +191,8 @@ impl TiledCrossbar {
                 found: format!("length {}", b.len()),
             });
         }
-        // Assemble the realized system the composite network embodies.
+        // Assemble the realized system the composite network embodies
+        // (cheap block copies; the LU below runs on the threaded kernels).
         let mut assembled = Matrix::zeros(self.rows, self.cols);
         for (bi, tile_row) in self.tiles.iter().enumerate() {
             for (bj, tile) in tile_row.iter().enumerate() {
@@ -198,7 +215,11 @@ impl TiledCrossbar {
         // fabric: one transfer per tile plus one solve-op recorded on the
         // ledger of the top-left tile as the representative array.
         let (t, e) = self.noc.transfer_cost(tile_count, self.rows);
-        self.noc_ledger.charge_noc_transfer(t * tile_count as f64, e * tile_count as f64, tile_count as u64);
+        self.noc_ledger.charge_noc_transfer(
+            t * tile_count as f64,
+            e * tile_count as f64,
+            tile_count as u64,
+        );
         Ok(x)
     }
 
@@ -242,25 +263,36 @@ impl TiledCrossbar {
         }
         let bnorm = b.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
         let blocks = self.tiles.len();
+        let tile_count = self.tile_count();
+        let tile_side = self.tile_side;
+        let cols = self.cols;
         let mut x = vec![0.0; self.rows];
         for sweep in 1..=sweeps {
             let mut max_delta = 0.0f64;
             for bi in 0..blocks {
-                let r0 = bi * self.tile_side;
-                let rows_here = self.tile_side.min(self.rows - r0);
-                // Off-diagonal couplings via per-tile analog MVMs.
+                let r0 = bi * tile_side;
+                let rows_here = tile_side.min(self.rows - r0);
+                // Off-diagonal couplings via per-tile analog MVMs, fanned
+                // out concurrently (each tile has a private RNG stream);
+                // accumulation into the rhs stays in fixed bj order.
                 let mut rhs: Vec<f64> = b[r0..r0 + rows_here].to_vec();
-                for bj in 0..self.tiles[bi].len() {
-                    if bj == bi {
-                        continue;
-                    }
-                    let c0 = bj * self.tile_side;
-                    let seg = x[c0..(c0 + self.tile_side).min(self.cols)].to_vec();
-                    let partial = self.tiles[bi][bj].mvm(&seg)?;
+                let threads = Threads::resolve().for_flops(2 * rows_here * self.cols);
+                let mut refs: Vec<(usize, &mut Crossbar)> = self.tiles[bi]
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(bj, _)| *bj != bi)
+                    .collect();
+                let partials = parallel::par_map_mut(threads, &mut refs, |_, (bj, tile)| {
+                    let c0 = *bj * tile_side;
+                    let seg = &x[c0..(c0 + tile_side).min(cols)];
+                    tile.mvm(seg)
+                });
+                for partial in partials {
+                    let partial = partial?;
                     for (r, p) in rhs.iter_mut().zip(&partial) {
                         *r -= p;
                     }
-                    let (t, e) = self.noc.transfer_cost(self.tile_count(), partial.len());
+                    let (t, e) = self.noc.transfer_cost(tile_count, partial.len());
                     self.noc_ledger.charge_noc_transfer(t, e, 1);
                 }
                 // Diagonal tile solves its block in O(1).
@@ -275,10 +307,12 @@ impl TiledCrossbar {
             }
             let _ = sweep;
         }
-        Err(CrossbarError::Linalg(memlp_linalg::LinalgError::NotConverged {
-            iterations: sweeps,
-            residual: f64::NAN,
-        }))
+        Err(CrossbarError::Linalg(
+            memlp_linalg::LinalgError::NotConverged {
+                iterations: sweeps,
+                residual: f64::NAN,
+            },
+        ))
     }
 }
 
@@ -316,7 +350,10 @@ mod tests {
         let y = t.mvm(&x).unwrap();
         let exact = a.matvec(&x);
         for (got, want) in y.iter().zip(&exact) {
-            assert!((got - want).abs() < 2e-3 * want.abs().max(1.0), "{got} vs {want}");
+            assert!(
+                (got - want).abs() < 2e-3 * want.abs().max(1.0),
+                "{got} vs {want}"
+            );
         }
     }
 
@@ -357,10 +394,13 @@ mod tests {
         let a = big_matrix(8);
         let mut t =
             TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), NocConfig::mesh()).unwrap();
-        t.mvm(&vec![1.0; 8]).unwrap();
+        t.mvm(&[1.0; 8]).unwrap();
         let ledger = t.ledger();
         assert_eq!(ledger.counts().noc_transfers, 4); // 2×2 tiles
-        assert!(ledger.counts().setup_writes > 0, "tile programming recorded");
+        assert!(
+            ledger.counts().setup_writes > 0,
+            "tile programming recorded"
+        );
     }
 
     #[test]
@@ -453,8 +493,8 @@ mod tests {
         let a = big_matrix(8);
         let cfg = CrossbarConfig::paper_default().with_variation(10.0);
         let mut t = TiledCrossbar::program(&a, 4, cfg, NocConfig::default()).unwrap();
-        let y = t.mvm(&vec![1.0; 8]).unwrap();
-        let exact = a.matvec(&vec![1.0; 8]);
+        let y = t.mvm(&[1.0; 8]).unwrap();
+        let exact = a.matvec(&[1.0; 8]);
         // Perturbed but sane.
         for (got, want) in y.iter().zip(&exact) {
             assert!((got - want).abs() / want.abs().max(1.0) < 0.2);

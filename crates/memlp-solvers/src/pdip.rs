@@ -98,19 +98,32 @@ impl PdipState {
         let n = lp.num_vars();
         let m = lp.num_constraints();
         let v = opts.initial_value;
-        PdipState { x: vec![v; n], w: vec![v; m], y: vec![v; m], z: vec![v; n] }
+        PdipState {
+            x: vec![v; n],
+            w: vec![v; m],
+            y: vec![v; m],
+            z: vec![v; n],
+        }
     }
 
     /// Primal residual vector `b − A·x − w` (zero at primal feasibility).
     pub fn primal_residual(&self, lp: &LpProblem) -> Vec<f64> {
         let ax = lp.a().matvec(&self.x);
-        lp.b().iter().zip(ax.iter().zip(&self.w)).map(|(b, (ax, w))| b - ax - w).collect()
+        lp.b()
+            .iter()
+            .zip(ax.iter().zip(&self.w))
+            .map(|(b, (ax, w))| b - ax - w)
+            .collect()
     }
 
     /// Dual residual vector `c − Aᵀ·y + z` (zero at dual feasibility).
     pub fn dual_residual(&self, lp: &LpProblem) -> Vec<f64> {
         let aty = lp.a().matvec_transposed(&self.y);
-        lp.c().iter().zip(aty.iter().zip(&self.z)).map(|(c, (aty, z))| c - aty + z).collect()
+        lp.c()
+            .iter()
+            .zip(aty.iter().zip(&self.z))
+            .map(|(c, (aty, z))| c - aty + z)
+            .collect()
     }
 
     /// Duality gap `zᵀx + yᵀw` (§3.1).
@@ -191,7 +204,12 @@ impl PdipState {
     }
 
     /// Builds the final [`memlp_lp::LpSolution`] record for this state.
-    pub fn into_solution(self, lp: &LpProblem, status: LpStatus, iterations: usize) -> memlp_lp::LpSolution {
+    pub fn into_solution(
+        self,
+        lp: &LpProblem,
+        status: LpStatus,
+        iterations: usize,
+    ) -> memlp_lp::LpSolution {
         let primal_residual = ops::inf_norm(&self.primal_residual(lp));
         let dual_residual = ops::inf_norm(&self.dual_residual(lp));
         let duality_gap = self.duality_gap();
@@ -321,7 +339,10 @@ mod tests {
     #[test]
     fn outcome_detects_divergence() {
         let lp = sample();
-        let opts = PdipOptions { divergence_bound: 10.0, ..Default::default() };
+        let opts = PdipOptions {
+            divergence_bound: 10.0,
+            ..Default::default()
+        };
         let mut s = PdipState::new(&lp, &opts);
         s.y[0] = 100.0;
         assert_eq!(s.outcome(&lp, &opts), IterationOutcome::PrimalInfeasible);
@@ -356,9 +377,18 @@ mod tests {
     #[test]
     fn status_mapping() {
         assert_eq!(status_for(IterationOutcome::Converged), LpStatus::Optimal);
-        assert_eq!(status_for(IterationOutcome::PrimalInfeasible), LpStatus::Infeasible);
-        assert_eq!(status_for(IterationOutcome::PrimalUnbounded), LpStatus::Unbounded);
-        assert_eq!(status_for(IterationOutcome::NumericalFailure), LpStatus::NumericalFailure);
+        assert_eq!(
+            status_for(IterationOutcome::PrimalInfeasible),
+            LpStatus::Infeasible
+        );
+        assert_eq!(
+            status_for(IterationOutcome::PrimalUnbounded),
+            LpStatus::Unbounded
+        );
+        assert_eq!(
+            status_for(IterationOutcome::NumericalFailure),
+            LpStatus::NumericalFailure
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ mod tests {
         .unwrap();
         let sol = DensePdip::default().solve(&lp);
         assert_eq!(sol.status, LpStatus::Optimal);
-        assert!((sol.objective - 2.8).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 2.8).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!((sol.x[0] - 1.6).abs() < 1e-5);
         assert!((sol.x[1] - 1.2).abs() < 1e-5);
     }
@@ -145,7 +149,10 @@ mod tests {
             let lp = RandomLp::paper(24, seed).feasible();
             let sol = DensePdip::default().solve(&lp);
             assert_eq!(sol.status, LpStatus::Optimal, "seed {seed}: {sol}");
-            assert!(lp.is_feasible(&sol.x, 1e-5), "seed {seed} solution infeasible");
+            assert!(
+                lp.is_feasible(&sol.x, 1e-5),
+                "seed {seed} solution infeasible"
+            );
         }
     }
 

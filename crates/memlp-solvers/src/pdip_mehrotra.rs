@@ -1,7 +1,9 @@
-use memlp_linalg::{ops, LuFactors, Matrix};
+use memlp_linalg::{ops, LuFactors};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 
-use crate::pdip::{classify_breakdown, status_for, IterationOutcome, PdipOptions, PdipState, StepDirections};
+use crate::pdip::{
+    classify_breakdown, status_for, IterationOutcome, PdipOptions, PdipState, StepDirections,
+};
 use crate::LpSolver;
 
 /// Mehrotra's predictor–corrector PDIP — the algorithm behind essentially
@@ -57,18 +59,9 @@ impl MehrotraPdip {
         let a = lp.a();
         let d: Vec<f64> = (0..n).map(|j| s.x[j] / s.z[j]).collect();
         let e: Vec<f64> = (0..m).map(|i| s.w[i] / s.y[i]).collect();
-        let mut nmat = Matrix::zeros(m, m);
+        // A·D·Aᵀ via the threaded gram kernel, then the E diagonal.
+        let mut nmat = a.scaled_gram(&d);
         for i in 0..m {
-            let ai = a.row(i);
-            for k in i..m {
-                let akr = a.row(k);
-                let mut sum = 0.0;
-                for j in 0..n {
-                    sum += ai[j] * d[j] * akr[j];
-                }
-                nmat[(i, k)] = sum;
-                nmat[(k, i)] = sum;
-            }
             nmat[(i, i)] += e[i];
         }
         let reg = 1e-12 * (1.0 + nmat.max_abs());
@@ -76,7 +69,12 @@ impl MehrotraPdip {
             nmat[(i, i)] += reg;
         }
         let lu = LuFactors::factor(nmat).ok()?;
-        Some(Reduction { lu, d, rho: s.primal_residual(lp), sigma: s.dual_residual(lp) })
+        Some(Reduction {
+            lu,
+            d,
+            rho: s.primal_residual(lp),
+            sigma: s.dual_residual(lp),
+        })
     }
 
     /// Back-solves the reduced system for given complementarity targets:
@@ -98,10 +96,20 @@ impl MehrotraPdip {
         let rhs: Vec<f64> = (0..m).map(|i| adsig[i] - rho_hat[i]).collect();
         let dy = red.lu.solve(&rhs).ok()?;
         let atdy = a.matvec_transposed(&dy);
-        let dx: Vec<f64> = (0..n).map(|j| red.d[j] * (sigma_hat[j] - atdy[j])).collect();
-        let dz: Vec<f64> = (0..n).map(|j| (comp_xz[j] - s.z[j] * dx[j]) / s.x[j]).collect();
-        let dw: Vec<f64> = (0..m).map(|i| (comp_yw[i] - s.w[i] * dy[i]) / s.y[i]).collect();
-        if !(ops::all_finite(&dx) && ops::all_finite(&dy) && ops::all_finite(&dw) && ops::all_finite(&dz)) {
+        let dx: Vec<f64> = (0..n)
+            .map(|j| red.d[j] * (sigma_hat[j] - atdy[j]))
+            .collect();
+        let dz: Vec<f64> = (0..n)
+            .map(|j| (comp_xz[j] - s.z[j] * dx[j]) / s.x[j])
+            .collect();
+        let dw: Vec<f64> = (0..m)
+            .map(|i| (comp_yw[i] - s.w[i] * dy[i]) / s.y[i])
+            .collect();
+        if !(ops::all_finite(&dx)
+            && ops::all_finite(&dy)
+            && ops::all_finite(&dw)
+            && ops::all_finite(&dz))
+        {
             return None;
         }
         Some(StepDirections { dx, dy, dw, dz })
@@ -138,10 +146,12 @@ impl LpSolver for MehrotraPdip {
             let mu = state.duality_gap() / (n + m) as f64;
             let mut gap_aff = 0.0;
             for j in 0..n {
-                gap_aff += (state.x[j] + alpha_aff * aff.dx[j]) * (state.z[j] + alpha_aff * aff.dz[j]);
+                gap_aff +=
+                    (state.x[j] + alpha_aff * aff.dx[j]) * (state.z[j] + alpha_aff * aff.dz[j]);
             }
             for i in 0..m {
-                gap_aff += (state.y[i] + alpha_aff * aff.dy[i]) * (state.w[i] + alpha_aff * aff.dw[i]);
+                gap_aff +=
+                    (state.y[i] + alpha_aff * aff.dy[i]) * (state.w[i] + alpha_aff * aff.dw[i]);
             }
             let mu_aff = gap_aff / (n + m) as f64;
             let sigma_c = (mu_aff / mu.max(f64::MIN_POSITIVE)).clamp(0.0, 1.0).powi(3);
@@ -177,6 +187,7 @@ impl LpSolver for MehrotraPdip {
 mod tests {
     use super::*;
     use crate::NormalEqPdip;
+    use memlp_linalg::Matrix;
     use memlp_lp::generator::RandomLp;
 
     #[test]
@@ -201,7 +212,12 @@ mod tests {
             assert_eq!(a.status, LpStatus::Optimal, "seed {seed}");
             assert_eq!(b.status, LpStatus::Optimal, "seed {seed}");
             let rel = (a.objective - b.objective).abs() / (1.0 + b.objective.abs());
-            assert!(rel < 1e-6, "seed {seed}: {} vs {}", a.objective, b.objective);
+            assert!(
+                rel < 1e-6,
+                "seed {seed}: {} vs {}",
+                a.objective,
+                b.objective
+            );
         }
     }
 
@@ -213,20 +229,32 @@ mod tests {
             let lp = RandomLp::paper(60, 500 + seed).feasible();
             let a = MehrotraPdip::default().solve(&lp);
             let b = NormalEqPdip::default().solve(&lp);
-            assert!(a.status.is_optimal() && b.status.is_optimal(), "seed {seed}");
+            assert!(
+                a.status.is_optimal() && b.status.is_optimal(),
+                "seed {seed}"
+            );
             if a.iterations < b.iterations {
                 wins += 1;
             }
         }
-        assert!(wins >= total - 1, "Mehrotra won only {wins}/{total} iteration races");
+        assert!(
+            wins >= total - 1,
+            "Mehrotra won only {wins}/{total} iteration races"
+        );
     }
 
     #[test]
     fn detects_infeasible_and_unbounded() {
         let inf = RandomLp::paper(16, 21).infeasible();
-        assert_eq!(MehrotraPdip::default().solve(&inf).status, LpStatus::Infeasible);
+        assert_eq!(
+            MehrotraPdip::default().solve(&inf).status,
+            LpStatus::Infeasible
+        );
         let unb = RandomLp::paper(16, 21).unbounded();
-        assert_eq!(MehrotraPdip::default().solve(&unb).status, LpStatus::Unbounded);
+        assert_eq!(
+            MehrotraPdip::default().solve(&unb).status,
+            LpStatus::Unbounded
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use memlp_linalg::{ops, LuFactors, Matrix};
+use memlp_linalg::{ops, LuFactors};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 
 use crate::pdip::{status_for, IterationOutcome, PdipOptions, PdipState, StepDirections};
@@ -58,20 +58,10 @@ impl NormalEqPdip {
         let d: Vec<f64> = (0..n).map(|j| s.x[j] / s.z[j]).collect();
         let e: Vec<f64> = (0..m).map(|i| s.w[i] / s.y[i]).collect();
 
-        // Normal matrix N = A·D·Aᵀ + E.
-        let mut nmat = Matrix::zeros(m, m);
-        // A·D·Aᵀ: (A·D) has rows a_i ∘ d; then times Aᵀ.
+        // Normal matrix N = A·D·Aᵀ + E (A·D·Aᵀ via the threaded gram
+        // kernel — the dominant per-iteration cost at O(m²n)).
+        let mut nmat = a.scaled_gram(&d);
         for i in 0..m {
-            let ai = a.row(i);
-            for k in i..m {
-                let akr = a.row(k);
-                let mut sum = 0.0;
-                for j in 0..n {
-                    sum += ai[j] * d[j] * akr[j];
-                }
-                nmat[(i, k)] = sum;
-                nmat[(k, i)] = sum;
-            }
             nmat[(i, i)] += e[i];
         }
         // Tiny static regularization keeps the factorization alive when a
@@ -93,11 +83,19 @@ impl NormalEqPdip {
         let atdy = a.matvec_transposed(&dy);
         let dx: Vec<f64> = (0..n).map(|j| d[j] * (sigma_hat[j] - atdy[j])).collect();
         // Δz = µX⁻¹e − z − X⁻¹Z·Δx.
-        let dz: Vec<f64> = (0..n).map(|j| mu / s.x[j] - s.z[j] - s.z[j] / s.x[j] * dx[j]).collect();
+        let dz: Vec<f64> = (0..n)
+            .map(|j| mu / s.x[j] - s.z[j] - s.z[j] / s.x[j] * dx[j])
+            .collect();
         // Δw = µY⁻¹e − w − Y⁻¹W·Δy.
-        let dw: Vec<f64> = (0..m).map(|i| mu / s.y[i] - s.w[i] - s.w[i] / s.y[i] * dy[i]).collect();
+        let dw: Vec<f64> = (0..m)
+            .map(|i| mu / s.y[i] - s.w[i] - s.w[i] / s.y[i] * dy[i])
+            .collect();
 
-        if !(ops::all_finite(&dx) && ops::all_finite(&dy) && ops::all_finite(&dw) && ops::all_finite(&dz)) {
+        if !(ops::all_finite(&dx)
+            && ops::all_finite(&dy)
+            && ops::all_finite(&dw)
+            && ops::all_finite(&dz))
+        {
             return None;
         }
         Some(StepDirections { dx, dy, dw, dz })
@@ -140,6 +138,7 @@ impl LpSolver for NormalEqPdip {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memlp_linalg::Matrix;
     use memlp_lp::generator::RandomLp;
 
     #[test]
@@ -165,7 +164,12 @@ mod tests {
             assert_eq!(a.status, LpStatus::Optimal);
             assert_eq!(b.status, LpStatus::Optimal);
             let rel = (a.objective - b.objective).abs() / (1.0 + a.objective.abs());
-            assert!(rel < 1e-6, "seed {seed}: {} vs {}", a.objective, b.objective);
+            assert!(
+                rel < 1e-6,
+                "seed {seed}: {} vs {}",
+                a.objective,
+                b.objective
+            );
         }
     }
 
@@ -180,9 +184,15 @@ mod tests {
     #[test]
     fn detects_infeasible_and_unbounded() {
         let inf = RandomLp::paper(16, 9).infeasible();
-        assert_eq!(NormalEqPdip::default().solve(&inf).status, LpStatus::Infeasible);
+        assert_eq!(
+            NormalEqPdip::default().solve(&inf).status,
+            LpStatus::Infeasible
+        );
         let unb = RandomLp::paper(16, 9).unbounded();
-        assert_eq!(NormalEqPdip::default().solve(&unb).status, LpStatus::Unbounded);
+        assert_eq!(
+            NormalEqPdip::default().solve(&unb).status,
+            LpStatus::Unbounded
+        );
     }
 
     #[test]

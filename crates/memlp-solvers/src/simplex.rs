@@ -30,7 +30,10 @@ pub struct Simplex {
 
 impl Default for Simplex {
     fn default() -> Self {
-        Simplex { tolerance: 1e-9, max_pivots: 100_000 }
+        Simplex {
+            tolerance: 1e-9,
+            max_pivots: 100_000,
+        }
     }
 }
 
@@ -71,7 +74,9 @@ impl Tableau {
                 break;
             }
         }
-        let Some(e) = enter else { return PivotOutcome::Optimal };
+        let Some(e) = enter else {
+            return PivotOutcome::Optimal;
+        };
         // Leaving: min ratio, ties by smallest basis variable (Bland).
         let mut leave: Option<(usize, f64)> = None;
         for i in 0..self.rows.len() {
@@ -90,7 +95,9 @@ impl Tableau {
                 }
             }
         }
-        let Some((l, _)) = leave else { return PivotOutcome::Unbounded };
+        let Some((l, _)) = leave else {
+            return PivotOutcome::Unbounded;
+        };
         self.do_pivot(l, e);
         PivotOutcome::Progress
     }
@@ -157,8 +164,8 @@ impl Simplex {
             let mut row = vec![0.0; cols + 1];
             let flip = lp.b()[i] < 0.0;
             let sgn = if flip { -1.0 } else { 1.0 };
-            for j in 0..n {
-                row[j] = sgn * lp.a()[(i, j)];
+            for (j, rj) in row.iter_mut().enumerate().take(n) {
+                *rj = sgn * lp.a()[(i, j)];
             }
             row[n + i] = sgn; // slack
             row[cols] = sgn * lp.b()[i];
@@ -196,9 +203,7 @@ impl LpSolver for Simplex {
         // ---- Phase 1: drive artificials to zero (maximize −Σ artificials).
         if t.n_art > 0 {
             let mut c1 = vec![0.0; cols];
-            for j in n + m..cols {
-                c1[j] = -1.0;
-            }
+            c1[n + m..cols].fill(-1.0);
             t.install_objective(&c1);
             loop {
                 if pivots >= self.max_pivots {
@@ -255,9 +260,9 @@ impl LpSolver for Simplex {
         }
         // Duals from slack reduced costs (sign-corrected for negated rows).
         let mut y = vec![0.0; m];
-        for i in 0..m {
+        for (i, yi) in y.iter_mut().enumerate() {
             let v = t.zrow[n + i];
-            y[i] = if t.negated[i] { -v } else { v };
+            *yi = if t.negated[i] { -v } else { v };
         }
         let objective = lp.objective(&x);
         // Residual diagnostics mirroring the PDIP exit quantities.
@@ -304,7 +309,11 @@ mod tests {
     fn solves_known_2x2() {
         let sol = Simplex::default().solve(&lp_2x2());
         assert_eq!(sol.status, LpStatus::Optimal);
-        assert!((sol.objective - 2.8).abs() < 1e-9, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 2.8).abs() < 1e-9,
+            "objective {}",
+            sol.objective
+        );
         assert!((sol.x[0] - 1.6).abs() < 1e-9);
         assert!((sol.x[1] - 1.2).abs() < 1e-9);
     }
@@ -321,12 +330,8 @@ mod tests {
     #[test]
     fn detects_unbounded() {
         // max x, no binding constraint on x.
-        let lp = LpProblem::new(
-            Matrix::from_rows(&[&[-1.0]]).unwrap(),
-            vec![1.0],
-            vec![1.0],
-        )
-        .unwrap();
+        let lp =
+            LpProblem::new(Matrix::from_rows(&[&[-1.0]]).unwrap(), vec![1.0], vec![1.0]).unwrap();
         assert_eq!(Simplex::default().solve(&lp).status, LpStatus::Unbounded);
     }
 
@@ -366,7 +371,12 @@ mod tests {
             assert_eq!(s.status, LpStatus::Optimal, "simplex failed on seed {seed}");
             assert_eq!(p.status, LpStatus::Optimal, "pdip failed on seed {seed}");
             let rel = (s.objective - p.objective).abs() / (1.0 + s.objective.abs());
-            assert!(rel < 1e-6, "seed {seed}: simplex {} vs pdip {}", s.objective, p.objective);
+            assert!(
+                rel < 1e-6,
+                "seed {seed}: simplex {} vs pdip {}",
+                s.objective,
+                p.objective
+            );
         }
     }
 
@@ -374,7 +384,11 @@ mod tests {
     fn agrees_on_infeasible_instances() {
         for seed in 0..4 {
             let lp = RandomLp::paper(10, 300 + seed).infeasible();
-            assert_eq!(Simplex::default().solve(&lp).status, LpStatus::Infeasible, "seed {seed}");
+            assert_eq!(
+                Simplex::default().solve(&lp).status,
+                LpStatus::Infeasible,
+                "seed {seed}"
+            );
         }
     }
 

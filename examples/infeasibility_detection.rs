@@ -16,20 +16,31 @@ fn main() {
 
     for (label, infeasible) in [("feasible", false), ("infeasible", true)] {
         let gen = RandomLp::paper(m, 4242);
-        let lp = if infeasible { gen.infeasible() } else { gen.feasible() };
+        let lp = if infeasible {
+            gen.infeasible()
+        } else {
+            gen.feasible()
+        };
 
         let t0 = Instant::now();
         let sw = NormalEqPdip::default().solve(&lp);
         let sw_wall = t0.elapsed();
 
         let solver = CrossbarPdipSolver::new(
-            CrossbarConfig::paper_default().with_variation(10.0).with_seed(1),
+            CrossbarConfig::paper_default()
+                .with_variation(10.0)
+                .with_seed(1),
             CrossbarSolverOptions::default(),
         );
         let hw = solver.solve(&lp);
 
         println!("[{label}]");
-        println!("  software: {:?} in {} iterations ({:.2} ms wall)", sw.status, sw.iterations, sw_wall.as_secs_f64() * 1e3);
+        println!(
+            "  software: {:?} in {} iterations ({:.2} ms wall)",
+            sw.status,
+            sw.iterations,
+            sw_wall.as_secs_f64() * 1e3
+        );
         println!(
             "  crossbar: {:?} in {} iterations (estimated hardware {:.3} ms, energy {:.3} mJ)",
             hw.solution.status,
@@ -48,5 +59,8 @@ fn main() {
     // An unbounded program for completeness (dual infeasible).
     let lp = RandomLp::paper(m, 4242).unbounded();
     let sw = NormalEqPdip::default().solve(&lp);
-    println!("[unbounded] software verdict: {:?} in {} iterations", sw.status, sw.iterations);
+    println!(
+        "[unbounded] software verdict: {:?} in {} iterations",
+        sw.status, sw.iterations
+    );
 }

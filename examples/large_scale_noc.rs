@@ -20,7 +20,9 @@ fn main() {
 
     let reference = NormalEqPdip::default().solve(&lp);
     let solver = LargeScaleSolver::new(
-        CrossbarConfig::paper_default().with_variation(10.0).with_seed(9),
+        CrossbarConfig::paper_default()
+            .with_variation(10.0)
+            .with_seed(9),
         LargeScaleOptions::default(),
     );
     let hw = solver.solve(&lp);
@@ -60,7 +62,10 @@ fn main() {
     let x: Vec<f64> = (0..256).map(|i| ((i as f64) * 0.13).cos()).collect();
     let exact = a.matvec(&x);
 
-    for (name, noc) in [("hierarchical", NocConfig::hierarchical()), ("mesh", NocConfig::mesh())] {
+    for (name, noc) in [
+        ("hierarchical", NocConfig::hierarchical()),
+        ("mesh", NocConfig::mesh()),
+    ] {
         let mut tiled = TiledCrossbar::program(&a, 64, CrossbarConfig::paper_default(), noc)
             .expect("matrix fits the tile grid");
         let y = tiled.mvm(&x).expect("shapes match");

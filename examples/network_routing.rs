@@ -16,7 +16,10 @@ fn main() {
     let diamond = MaxFlowNetwork::diamond();
     let lp = max_flow_lp(&diamond).expect("diamond is well-formed");
     let exact = Simplex::default().solve(&lp);
-    println!("diamond network: simplex max flow = {:.4} (expected 5)", exact.objective);
+    println!(
+        "diamond network: simplex max flow = {:.4} (expected 5)",
+        exact.objective
+    );
 
     // Now a random layered network.
     let net = MaxFlowNetwork::random_layered(3, 4, 99);
@@ -30,10 +33,16 @@ fn main() {
     );
 
     let simplex = Simplex::default().solve(&lp);
-    println!("  simplex:        flow {:.4} ({} pivots)", simplex.objective, simplex.iterations);
+    println!(
+        "  simplex:        flow {:.4} ({} pivots)",
+        simplex.objective, simplex.iterations
+    );
 
     let pdip = NormalEqPdip::default().solve(&lp);
-    println!("  software PDIP:  flow {:.4} ({} iterations)", pdip.objective, pdip.iterations);
+    println!(
+        "  software PDIP:  flow {:.4} ({} iterations)",
+        pdip.objective, pdip.iterations
+    );
 
     // The conservation rows make this LP's coefficients mixed-sign, so the
     // §3.2 negative-coefficient transform is exercised end to end. Note:
@@ -43,7 +52,9 @@ fn main() {
     // §4.2-style benchmarks (an honest limitation of noisy analog LP
     // solving on degenerate programs).
     let solver = CrossbarPdipSolver::new(
-        CrossbarConfig::paper_default().with_variation(10.0).with_seed(3),
+        CrossbarConfig::paper_default()
+            .with_variation(10.0)
+            .with_seed(3),
         CrossbarSolverOptions::default(),
     );
     let hw = solver.solve(&lp);

@@ -30,16 +30,21 @@ fn main() {
     );
 
     let reference = NormalEqPdip::default().solve(&lp);
-    println!("\nsoftware optimum: profit {:.2} in {} iterations", reference.objective, reference.iterations);
+    println!(
+        "\nsoftware optimum: profit {:.2} in {} iterations",
+        reference.objective, reference.iterations
+    );
 
     for var in [0.0, 5.0, 10.0, 20.0] {
         let solver = CrossbarPdipSolver::new(
-            CrossbarConfig::paper_default().with_variation(var).with_seed(5),
+            CrossbarConfig::paper_default()
+                .with_variation(var)
+                .with_seed(5),
             CrossbarSolverOptions::default(),
         );
         let hw = solver.solve(&lp);
-        let rel = (hw.solution.objective - reference.objective).abs()
-            / (1.0 + reference.objective.abs());
+        let rel =
+            (hw.solution.objective - reference.objective).abs() / (1.0 + reference.objective.abs());
         println!(
             "crossbar {var:>4.0}% variation: profit {:.2} ({:.2}% off), {} iterations, run {:.3} ms",
             hw.solution.objective,

@@ -24,7 +24,9 @@ fn main() {
     // The crossbar solver, at three process-variation levels.
     for var in [0.0, 10.0, 20.0] {
         let solver = CrossbarPdipSolver::new(
-            CrossbarConfig::paper_default().with_variation(var).with_seed(7),
+            CrossbarConfig::paper_default()
+                .with_variation(var)
+                .with_seed(7),
             CrossbarSolverOptions::default(),
         );
         let result = solver.solve(&lp);

@@ -1,12 +1,15 @@
 //! `memlp` — command-line LP solving on simulated memristor hardware.
 //!
 //! ```text
-//! memlp solve <file.lp> [--solver alg1|alg2|simplex|pdip|mehrotra]
-//!                       [--variation <pct>] [--seed <n>] [--quiet]
+//! memlp solve <file.lp> [<file.lp> ...]
+//!             [--solver alg1|alg2|simplex|pdip|mehrotra]
+//!             [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
 //! memlp generate <m> [--seed <n>] [--infeasible]   # emit a random LP
 //! memlp info <file.lp>                             # problem statistics
 //! ```
 //!
+//! With several files, `solve` runs them as a concurrent batch; `--jobs`
+//! caps the batch workers (0 = auto from `MEMLP_THREADS` / CPU count).
 //! The `.lp` dialect is documented in `memlp_lp::format`.
 
 use std::process::ExitCode;
@@ -29,7 +32,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  memlp solve <file.lp> [--solver alg1|alg2|simplex|pdip|mehrotra] [--variation <pct>] [--seed <n>] [--quiet]
+  memlp solve <file.lp> [<file.lp> ...] [--solver alg1|alg2|simplex|pdip|mehrotra] [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
   memlp generate <m> [--seed <n>] [--infeasible]
   memlp info <file.lp>";
 
@@ -49,6 +52,9 @@ struct Flags {
     solver: String,
     variation: f64,
     seed: u64,
+    /// Batch workers for multi-file `solve` (0 = resolve from the
+    /// environment: `MEMLP_THREADS`, then available parallelism).
+    jobs: usize,
     quiet: bool,
     infeasible: bool,
 }
@@ -59,6 +65,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         solver: "alg1".into(),
         variation: 0.0,
         seed: 42,
+        jobs: 0,
         quiet: false,
         infeasible: false,
     };
@@ -80,6 +87,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| "--seed must be an integer")?
             }
+            "--jobs" => {
+                f.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|_| "--jobs must be an integer")?
+            }
             "--quiet" => f.quiet = true,
             "--infeasible" => f.infeasible = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
@@ -96,46 +110,91 @@ fn load(path: &str) -> Result<LpProblem, String> {
 
 fn solve_cmd(args: &[String]) -> Result<(), String> {
     let f = parse_flags(args)?;
-    let path = f.positional.first().ok_or("solve needs a file argument")?;
-    let lp = load(path)?;
-    let config = CrossbarConfig::paper_default().with_variation(f.variation).with_seed(f.seed);
+    if f.positional.is_empty() {
+        return Err("solve needs a file argument".into());
+    }
+    let lps: Vec<LpProblem> = f
+        .positional
+        .iter()
+        .map(|p| load(p))
+        .collect::<Result<_, _>>()?;
+    let config = CrossbarConfig::paper_default()
+        .with_variation(f.variation)
+        .with_seed(f.seed);
+    let jobs = if f.jobs == 0 {
+        memlp_linalg::parallel::Threads::resolve().get()
+    } else {
+        f.jobs
+    };
 
-    let (solution, hardware) = match f.solver.as_str() {
-        "alg1" => {
-            let r = CrossbarPdipSolver::new(config, CrossbarSolverOptions::default()).solve(&lp);
-            (r.solution, Some(r.ledger))
+    // Multi-file batches fan out across `jobs` workers; every problem is an
+    // isolated deterministic simulation, so results (and the single-file
+    // output) are identical to sequential solves.
+    let results: Vec<(LpSolution, Option<memlp_crossbar::CostLedger>)> = match f.solver.as_str() {
+        "alg1" => CrossbarPdipSolver::new(config, CrossbarSolverOptions::default())
+            .solve_batch(&lps, jobs)
+            .into_iter()
+            .map(|r| (r.solution, Some(r.ledger)))
+            .collect(),
+        "alg2" => LargeScaleSolver::new(config, LargeScaleOptions::default())
+            .solve_batch(&lps, jobs)
+            .into_iter()
+            .map(|r| (r.solution, Some(r.ledger)))
+            .collect(),
+        "simplex" => {
+            let s = Simplex::default();
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None))
         }
-        "alg2" => {
-            let r = LargeScaleSolver::new(config, LargeScaleOptions::default()).solve(&lp);
-            (r.solution, Some(r.ledger))
+        "pdip" => {
+            let s = NormalEqPdip::default();
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None))
         }
-        "simplex" => (Simplex::default().solve(&lp), None),
-        "pdip" => (NormalEqPdip::default().solve(&lp), None),
-        "mehrotra" => (MehrotraPdip::default().solve(&lp), None),
+        "mehrotra" => {
+            let s = MehrotraPdip::default();
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None))
+        }
         other => return Err(format!("unknown solver `{other}`")),
     };
 
-    println!("status:    {}", solution.status);
-    println!("objective: {:.9}", solution.objective);
-    println!("iterations: {}", solution.iterations);
-    if !f.quiet {
-        for (j, v) in solution.x.iter().enumerate() {
-            println!("x{j} = {v:.6}");
+    let multi = results.len() > 1;
+    let mut failures = Vec::new();
+    for (path, (solution, hardware)) in f.positional.iter().zip(&results) {
+        if multi {
+            println!("== {path} ==");
+        }
+        println!("status:    {}", solution.status);
+        println!("objective: {:.9}", solution.objective);
+        println!("iterations: {}", solution.iterations);
+        if !f.quiet {
+            for (j, v) in solution.x.iter().enumerate() {
+                println!("x{j} = {v:.6}");
+            }
+        }
+        if let Some(ledger) = hardware {
+            println!(
+                "hardware:  run {:.3} ms, setup {:.3} ms, energy {:.3} mJ",
+                ledger.run_time_s() * 1e3,
+                ledger.setup_time_s() * 1e3,
+                ledger.energy_j(&CostParams::default()) * 1e3
+            );
+            println!("activity:  {ledger}");
+        }
+        if !solution.status.is_optimal() {
+            failures.push((path.as_str(), solution.status));
         }
     }
-    if let Some(ledger) = hardware {
-        println!(
-            "hardware:  run {:.3} ms, setup {:.3} ms, energy {:.3} mJ",
-            ledger.run_time_s() * 1e3,
-            ledger.setup_time_s() * 1e3,
-            ledger.energy_j(&CostParams::default()) * 1e3
-        );
-        println!("activity:  {ledger}");
-    }
-    if solution.status.is_optimal() {
-        Ok(())
-    } else {
-        Err(format!("solve terminated with status: {}", solution.status))
+    match failures.as_slice() {
+        [] => Ok(()),
+        [(_, status)] if !multi => Err(format!("solve terminated with status: {status}")),
+        many => Err(format!(
+            "{} of {} solves did not reach optimality ({})",
+            many.len(),
+            results.len(),
+            many.iter()
+                .map(|(p, s)| format!("{p}: {s}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
     }
 }
 
@@ -148,7 +207,11 @@ fn generate_cmd(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "constraint count must be an integer")?;
     let gen = RandomLp::paper(m, f.seed);
-    let lp = if f.infeasible { gen.infeasible() } else { gen.feasible() };
+    let lp = if f.infeasible {
+        gen.infeasible()
+    } else {
+        gen.feasible()
+    };
     print!("{}", format::write(&lp));
     Ok(())
 }
@@ -161,15 +224,24 @@ fn info_cmd(args: &[String]) -> Result<(), String> {
     let sparse = memlp_linalg::SparseMatrix::from_dense(lp.a());
     println!("constraints (m):        {}", lp.num_constraints());
     println!("variables (n):          {}", lp.num_vars());
-    println!("nonzeros in A:          {} (density {:.1}%)", sparse.nnz(), sparse.density() * 100.0);
+    println!(
+        "nonzeros in A:          {} (density {:.1}%)",
+        sparse.nnz(),
+        sparse.density() * 100.0
+    );
     println!("max |coefficient|:      {:.6}", lp.max_abs_coefficient());
-    println!("compensation variables: {} (§3.2 transform)", split.num_compensations()
-        + SignSplit::split(&lp.a().transpose()).num_compensations());
+    println!(
+        "compensation variables: {} (§3.2 transform)",
+        split.num_compensations() + SignSplit::split(&lp.a().transpose()).num_compensations()
+    );
     let dim = 3 * lp.num_vars()
         + 3 * lp.num_constraints()
         + split.num_compensations()
         + SignSplit::split(&lp.a().transpose()).num_compensations();
     println!("Algorithm-1 system dim: {dim}");
-    println!("Algorithm-2 system dim: {}", lp.num_vars() + lp.num_constraints());
+    println!(
+        "Algorithm-2 system dim: {}",
+        lp.num_vars() + lp.num_constraints()
+    );
     Ok(())
 }

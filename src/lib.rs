@@ -67,5 +67,7 @@ pub mod prelude {
     pub use memlp_linalg::{LuFactors, Matrix};
     pub use memlp_lp::{domains, generator::RandomLp, LpProblem, LpSolution, LpStatus};
     pub use memlp_noc::{NocConfig, TiledCrossbar, Topology};
-    pub use memlp_solvers::{DensePdip, LpSolver, MehrotraPdip, NormalEqPdip, PdipOptions, Simplex};
+    pub use memlp_solvers::{
+        DensePdip, LpSolver, MehrotraPdip, NormalEqPdip, PdipOptions, Simplex,
+    };
 }

@@ -13,12 +13,22 @@ fn generate_info_solve_pipeline() {
     let path = dir.join("pipeline.lp");
 
     // generate
-    let out = memlp().args(["generate", "24", "--seed", "3"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = memlp()
+        .args(["generate", "24", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::write(&path, &out.stdout).unwrap();
 
     // info
-    let out = memlp().args(["info", path.to_str().unwrap()]).output().unwrap();
+    let out = memlp()
+        .args(["info", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("constraints (m):        24"), "{text}");
@@ -31,7 +41,13 @@ fn generate_info_solve_pipeline() {
     let mut objectives = Vec::new();
     for solver in ["alg1", "alg2", "simplex", "pdip", "mehrotra"] {
         let out = memlp()
-            .args(["solve", path.to_str().unwrap(), "--solver", solver, "--quiet"])
+            .args([
+                "solve",
+                path.to_str().unwrap(),
+                "--solver",
+                solver,
+                "--quiet",
+            ])
             .output()
             .unwrap();
         if !out.status.success() {
@@ -61,12 +77,21 @@ fn solve_reports_infeasible_with_nonzero_exit() {
     let dir = std::env::temp_dir().join("memlp-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("infeasible.lp");
-    let out = memlp().args(["generate", "16", "--seed", "5", "--infeasible"]).output().unwrap();
+    let out = memlp()
+        .args(["generate", "16", "--seed", "5", "--infeasible"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     std::fs::write(&path, &out.stdout).unwrap();
 
     let out = memlp()
-        .args(["solve", path.to_str().unwrap(), "--solver", "simplex", "--quiet"])
+        .args([
+            "solve",
+            path.to_str().unwrap(),
+            "--solver",
+            "simplex",
+            "--quiet",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success(), "infeasible must exit non-zero");

@@ -15,7 +15,10 @@ fn rel(a: f64, b: f64) -> f64 {
 fn diamond_max_flow_on_crossbar() {
     let lp = max_flow_lp(&MaxFlowNetwork::diamond()).unwrap();
     let exact = Simplex::default().solve(&lp);
-    assert!((exact.objective - 5.0).abs() < 1e-9, "diamond max flow is 5");
+    assert!(
+        (exact.objective - 5.0).abs() < 1e-9,
+        "diamond max flow is 5"
+    );
 
     let hw = CrossbarPdipSolver::new(
         CrossbarConfig::paper_default().with_seed(3),
@@ -23,7 +26,11 @@ fn diamond_max_flow_on_crossbar() {
     )
     .solve(&lp);
     assert!(hw.solution.status.is_optimal(), "{}", hw.solution);
-    assert!(rel(hw.solution.objective, exact.objective) < 0.08, "flow {}", hw.solution.objective);
+    assert!(
+        rel(hw.solution.objective, exact.objective) < 0.08,
+        "flow {}",
+        hw.solution.objective
+    );
 }
 
 #[test]
@@ -36,7 +43,9 @@ fn production_plan_is_crossbar_native() {
 
     let reference = NormalEqPdip::default().solve(&lp);
     let hw = CrossbarPdipSolver::new(
-        CrossbarConfig::paper_default().with_variation(5.0).with_seed(4),
+        CrossbarConfig::paper_default()
+            .with_variation(5.0)
+            .with_seed(4),
         CrossbarSolverOptions::default(),
     )
     .solve(&lp);
@@ -105,11 +114,17 @@ fn assignment_lp_relaxation_is_integral() {
         );
 
         let hw = CrossbarPdipSolver::new(
-            CrossbarConfig::paper_default().with_variation(5.0).with_seed(seed),
+            CrossbarConfig::paper_default()
+                .with_variation(5.0)
+                .with_seed(seed),
             CrossbarSolverOptions::default(),
         )
         .solve(&lp);
-        assert!(hw.solution.status.is_optimal(), "seed {seed}: {}", hw.solution);
+        assert!(
+            hw.solution.status.is_optimal(),
+            "seed {seed}: {}",
+            hw.solution
+        );
         assert!(
             rel(hw.solution.objective, exact) < 0.08,
             "seed {seed}: crossbar {} vs exact {exact}",
@@ -125,8 +140,12 @@ fn max_flow_bounded_by_cut_capacity() {
     let sol = Simplex::default().solve(&lp);
     assert!(sol.status.is_optimal());
     // Source-adjacent edge capacities form a cut.
-    let source_cap: f64 =
-        net.edges.iter().filter(|(f, _, _)| *f == 0).map(|(_, _, c)| c).sum();
+    let source_cap: f64 = net
+        .edges
+        .iter()
+        .filter(|(f, _, _)| *f == 0)
+        .map(|(_, _, c)| c)
+        .sum();
     assert!(sol.objective <= source_cap + 1e-9);
     assert!(sol.objective >= 0.0);
 }

@@ -26,7 +26,11 @@ fn all_solvers_agree_on_feasible_instances() {
             CrossbarSolverOptions::default(),
         )
         .solve(&lp);
-        assert!(alg1.solution.status.is_optimal(), "alg1 m={m}: {}", alg1.solution);
+        assert!(
+            alg1.solution.status.is_optimal(),
+            "alg1 m={m}: {}",
+            alg1.solution
+        );
         assert!(
             relative_error(alg1.solution.objective, simplex.objective) < 0.05,
             "alg1 m={m} error {}",
@@ -38,7 +42,11 @@ fn all_solvers_agree_on_feasible_instances() {
             LargeScaleOptions::default(),
         )
         .solve(&lp);
-        assert!(alg2.solution.status.is_optimal(), "alg2 m={m}: {}", alg2.solution);
+        assert!(
+            alg2.solution.status.is_optimal(),
+            "alg2 m={m}: {}",
+            alg2.solution
+        );
         assert!(
             relative_error(alg2.solution.objective, simplex.objective) < 0.12,
             "alg2 m={m} error {}",
@@ -51,20 +59,28 @@ fn all_solvers_agree_on_feasible_instances() {
 fn all_solvers_detect_infeasible_instances() {
     for seed in [10u64, 11, 12] {
         let lp = RandomLp::paper(32, seed).infeasible();
-        assert_eq!(Simplex::default().solve(&lp).status, LpStatus::Infeasible, "simplex {seed}");
+        assert_eq!(
+            Simplex::default().solve(&lp).status,
+            LpStatus::Infeasible,
+            "simplex {seed}"
+        );
         assert_eq!(
             NormalEqPdip::default().solve(&lp).status,
             LpStatus::Infeasible,
             "normal {seed}"
         );
         let alg1 = CrossbarPdipSolver::new(
-            CrossbarConfig::paper_default().with_variation(10.0).with_seed(seed),
+            CrossbarConfig::paper_default()
+                .with_variation(10.0)
+                .with_seed(seed),
             CrossbarSolverOptions::default(),
         )
         .solve(&lp);
         assert_eq!(alg1.solution.status, LpStatus::Infeasible, "alg1 {seed}");
         let alg2 = LargeScaleSolver::new(
-            CrossbarConfig::paper_default().with_variation(10.0).with_seed(seed),
+            CrossbarConfig::paper_default()
+                .with_variation(10.0)
+                .with_seed(seed),
             LargeScaleOptions::default(),
         )
         .solve(&lp);
@@ -81,11 +97,17 @@ fn crossbar_error_grows_gracefully_with_variation() {
         let mut worst = 0.0f64;
         for seed in 0..3 {
             let r = CrossbarPdipSolver::new(
-                CrossbarConfig::paper_default().with_variation(var).with_seed(seed),
+                CrossbarConfig::paper_default()
+                    .with_variation(var)
+                    .with_seed(seed),
                 CrossbarSolverOptions::default(),
             )
             .solve(&lp);
-            assert!(r.solution.status.is_optimal(), "var={var} seed={seed}: {}", r.solution);
+            assert!(
+                r.solution.status.is_optimal(),
+                "var={var} seed={seed}: {}",
+                r.solution
+            );
             worst = worst.max(relative_error(r.solution.objective, reference.objective));
         }
         // Paper Fig 5: inaccuracy stays below ~10% even at 20% variation.
@@ -114,7 +136,10 @@ fn hardware_cost_scales_linearly_per_iteration() {
     let per_iter_large = run(&large);
     // 2(n+m) per iteration: ratio should be ≈ 128/32 = 4.
     let ratio = per_iter_large / per_iter_small;
-    assert!((ratio - 4.0).abs() < 0.5, "O(N) update scaling violated: ratio {ratio}");
+    assert!(
+        (ratio - 4.0).abs() < 0.5,
+        "O(N) update scaling violated: ratio {ratio}"
+    );
 }
 
 #[test]
@@ -126,7 +151,9 @@ fn retries_redraw_variation_and_eventually_succeed() {
     for seed in 0..total {
         let lp = RandomLp::paper(48, 100 + seed).feasible();
         let r = CrossbarPdipSolver::new(
-            CrossbarConfig::paper_default().with_variation(20.0).with_seed(seed),
+            CrossbarConfig::paper_default()
+                .with_variation(20.0)
+                .with_seed(seed),
             CrossbarSolverOptions::default(),
         )
         .solve(&lp);
@@ -134,5 +161,8 @@ fn retries_redraw_variation_and_eventually_succeed() {
             optimal += 1;
         }
     }
-    assert!(optimal >= total - 1, "only {optimal}/{total} succeeded at 20% variation");
+    assert!(
+        optimal >= total - 1,
+        "only {optimal}/{total} succeeded at 20% variation"
+    );
 }

@@ -17,10 +17,15 @@ fn device_programming_supports_crossbar_precision() {
         let report = programmer.program(&mut device, target);
         assert!(report.converged, "target fraction {frac}");
         assert!(
-            (report.final_conductance - target).abs() / (params.g_on() - params.g_off()) < 1.5 / 256.0,
+            (report.final_conductance - target).abs() / (params.g_on() - params.g_off())
+                < 1.5 / 256.0,
             "8-bit precision missed at fraction {frac}"
         );
-        assert!(report.pulses <= 64, "{} pulses is beyond the CostParams budget regime", report.pulses);
+        assert!(
+            report.pulses <= 64,
+            "{} pulses is beyond the CostParams budget regime",
+            report.pulses
+        );
     }
 }
 
@@ -46,8 +51,14 @@ fn monolithic_and_tiled_crossbars_agree() {
 
     let exact = a.matvec(&x);
     for ((m, t), e) in y_mono.iter().zip(&y_tiled).zip(&exact) {
-        assert!((m - e).abs() < 2e-3 * e.abs().max(1.0), "mono {m} vs exact {e}");
-        assert!((t - e).abs() < 2e-3 * e.abs().max(1.0), "tiled {t} vs exact {e}");
+        assert!(
+            (m - e).abs() < 2e-3 * e.abs().max(1.0),
+            "mono {m} vs exact {e}"
+        );
+        assert!(
+            (t - e).abs() < 2e-3 * e.abs().max(1.0),
+            "tiled {t} vs exact {e}"
+        );
     }
 }
 
@@ -69,7 +80,10 @@ fn circuit_fidelity_is_a_superset_of_functional_noise() {
 
     for ((f, c), e) in yf.iter().zip(&yc).zip(&exact) {
         assert!((f - e).abs() / e.abs() < 0.01);
-        assert!((c - e).abs() / e.abs() < 0.03, "circuit parasitics too large: {c} vs {e}");
+        assert!(
+            (c - e).abs() / e.abs() < 0.03,
+            "circuit parasitics too large: {c} vs {e}"
+        );
     }
 }
 
@@ -79,7 +93,9 @@ fn ledger_composes_across_the_stack() {
     // with the solver's iteration count and the §3.5 cost structure.
     let lp = RandomLp::paper(32, 13).feasible();
     let r = CrossbarPdipSolver::new(
-        CrossbarConfig::paper_default().with_variation(5.0).with_seed(2),
+        CrossbarConfig::paper_default()
+            .with_variation(5.0)
+            .with_seed(2),
         CrossbarSolverOptions::default(),
     )
     .solve(&lp);
@@ -89,14 +105,21 @@ fn ledger_composes_across_the_stack() {
     let m = lp.num_constraints() as u64;
     let iters = r.solution.iterations as u64;
 
-    assert_eq!(c.update_writes, 2 * (n + m) * (iters + 1), "O(N) updates per iteration");
+    assert_eq!(
+        c.update_writes,
+        2 * (n + m) * (iters + 1),
+        "O(N) updates per iteration"
+    );
     assert!(c.mvm_ops >= iters, "one r-derivation MVM per iteration");
     assert!(c.solve_ops <= c.mvm_ops, "at most one solve per MVM");
     assert!(c.adc_samples > 0 && c.dac_samples > 0);
     assert!(r.ledger.setup_time_s() > 0.0);
     assert!(r.ledger.run_time_s() > 0.0);
     let e = r.ledger.energy_j(&CostParams::default());
-    assert!(e > r.ledger.dynamic_energy_j(), "static power must contribute");
+    assert!(
+        e > r.ledger.dynamic_energy_j(),
+        "static power must contribute"
+    );
 }
 
 #[test]
@@ -106,16 +129,24 @@ fn energy_grows_with_variation_level() {
     let lp = RandomLp::paper(48, 17).feasible();
     let run = |var: f64| {
         let r = CrossbarPdipSolver::new(
-            CrossbarConfig::paper_default().with_variation(var).with_seed(3),
+            CrossbarConfig::paper_default()
+                .with_variation(var)
+                .with_seed(3),
             CrossbarSolverOptions::default(),
         )
         .solve(&lp);
         assert!(r.solution.status.is_optimal(), "var {var}");
-        (r.ledger.run_time_s(), r.ledger.energy_j(&CostParams::default()))
+        (
+            r.ledger.run_time_s(),
+            r.ledger.energy_j(&CostParams::default()),
+        )
     };
     let (t0, e0) = run(0.0);
     let (t20, e20) = run(20.0);
-    assert!(t20 > t0, "latency should grow with variation: {t0} vs {t20}");
+    assert!(
+        t20 > t0,
+        "latency should grow with variation: {t0} vs {t20}"
+    );
     assert!(e20 > e0, "energy should grow with variation: {e0} vs {e20}");
 }
 
@@ -124,7 +155,9 @@ fn seed_determinism_across_full_solves() {
     let lp = RandomLp::paper(24, 19).feasible();
     let run = || {
         CrossbarPdipSolver::new(
-            CrossbarConfig::paper_default().with_variation(10.0).with_seed(42),
+            CrossbarConfig::paper_default()
+                .with_variation(10.0)
+                .with_seed(42),
             CrossbarSolverOptions::default(),
         )
         .solve(&lp)

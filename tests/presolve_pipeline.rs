@@ -10,12 +10,7 @@ fn padded_problem() -> (LpProblem, f64) {
     // Core: max x0 + x1, x0 + 2 x1 ≤ 4, 3 x0 + x1 ≤ 6 → optimum 2.8.
     // Padding: x2 with c2 = −5 and non-negative column (fixable), one zero
     // row (droppable).
-    let a = Matrix::from_rows(&[
-        &[1.0, 2.0, 0.5],
-        &[3.0, 1.0, 0.0],
-        &[0.0, 0.0, 0.0],
-    ])
-    .unwrap();
+    let a = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[3.0, 1.0, 0.0], &[0.0, 0.0, 0.0]]).unwrap();
     let lp = LpProblem::new(a, vec![4.0, 6.0, 7.0], vec![1.0, 1.0, -5.0]).unwrap();
     (lp, 2.8)
 }
@@ -28,9 +23,15 @@ fn presolve_then_software_solver_matches_direct() {
     assert!((direct.objective - expect).abs() < 1e-9);
 
     match presolve(&lp) {
-        Presolved::Reduced { lp: reduced, restore } => {
+        Presolved::Reduced {
+            lp: reduced,
+            restore,
+        } => {
             assert!(reduced.num_vars() < lp.num_vars(), "x2 should be fixed");
-            assert!(reduced.num_constraints() < lp.num_constraints(), "zero row dropped");
+            assert!(
+                reduced.num_constraints() < lp.num_constraints(),
+                "zero row dropped"
+            );
             let sol = Simplex::default().solve(&reduced);
             assert!(sol.status.is_optimal());
             let x = restore.restore_x(&sol.x);
@@ -48,11 +49,17 @@ fn presolve_then_software_solver_matches_direct() {
 #[test]
 fn presolve_then_crossbar_solver_matches_direct() {
     let (lp, expect) = padded_problem();
-    let Presolved::Reduced { lp: reduced, restore } = presolve(&lp) else {
+    let Presolved::Reduced {
+        lp: reduced,
+        restore,
+    } = presolve(&lp)
+    else {
         panic!("expected a reduction");
     };
     let hw = CrossbarPdipSolver::new(
-        CrossbarConfig::paper_default().with_variation(5.0).with_seed(8),
+        CrossbarConfig::paper_default()
+            .with_variation(5.0)
+            .with_seed(8),
         CrossbarSolverOptions::default(),
     )
     .solve(&reduced);
@@ -88,12 +95,15 @@ fn presolve_shrinks_random_sparse_instances_without_changing_the_answer() {
         let lp = gen.feasible();
         let direct = NormalEqPdip::default().solve(&lp);
         match presolve(&lp) {
-            Presolved::Reduced { lp: reduced, restore } => {
+            Presolved::Reduced {
+                lp: reduced,
+                restore,
+            } => {
                 let sol = NormalEqPdip::default().solve(&reduced);
                 assert!(sol.status.is_optimal(), "seed {seed}");
                 let x = restore.restore_x(&sol.x);
-                let rel = (lp.objective(&x) - direct.objective).abs()
-                    / (1.0 + direct.objective.abs());
+                let rel =
+                    (lp.objective(&x) - direct.objective).abs() / (1.0 + direct.objective.abs());
                 assert!(rel < 1e-6, "seed {seed}: {rel}");
             }
             Presolved::Unbounded | Presolved::Infeasible => {

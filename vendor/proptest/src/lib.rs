@@ -1,0 +1,595 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! path dependency reimplements the subset of the proptest v1 API that the
+//! workspace's property tests use: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`/`boxed`, range and tuple strategies,
+//! [`collection::vec`], [`arbitrary::any`], and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` / `prop_oneof!`
+//! macros.
+//!
+//! Differences from upstream are deliberate simplifications: cases are drawn
+//! from a deterministic per-test RNG stream (seeded from the test name) and
+//! failing inputs are reported but not shrunk. That trades minimal
+//! counterexamples for zero dependencies, which is what this build
+//! environment requires.
+
+pub mod test_runner {
+    /// Per-test configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config that runs `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was filtered out by `prop_assume!` (does not count
+        /// against the budget of successful cases).
+        Reject(String),
+        /// A `prop_assert!` failed.
+        Fail(String),
+    }
+
+    /// The RNG handed to strategies. Deterministic per test name.
+    pub type TestRng = rand::rngs::StdRng;
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drives one property: keeps generating cases until `config.cases`
+    /// succeed, a case fails (panics with its message), or the rejection
+    /// budget is exhausted.
+    pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        use rand::SeedableRng;
+        let mut rng = TestRng::seed_from_u64(fnv1a(name));
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let max_rejects = config.cases as u64 * 64 + 256;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        assert!(
+                            passed > 0,
+                            "proptest '{name}': every generated case was rejected \
+                             (last prop_assume: {why})"
+                        );
+                        // Enough evidence gathered; further cases are too
+                        // expensive to find under this assume filter.
+                        break;
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed at case {passed} \
+                         (after {rejected} rejects): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Upstream strategies produce shrinkable value *trees*; this stand-in
+    /// generates plain values directly.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Uses each generated value to pick a follow-on strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; backs `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; panics when empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            let idx = rng.random_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            use rand::Rng;
+            rng.random_range(self.start..self.end)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            use rand::Rng;
+            rng.random_range(*self.start()..=*self.end())
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.random_range(self.start..self.end)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.random_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted length specifications for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range {r:?}");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range {r:?}");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy, used via [`any`].
+    pub trait Arbitrary: Sized + 'static {
+        /// The canonical strategy for this type.
+        fn arbitrary_strategy() -> BoxedStrategy<Self>;
+    }
+
+    struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            use rand::Rng;
+            rng.random::<bool>()
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_strategy() -> BoxedStrategy<bool> {
+            AnyBool.boxed()
+        }
+    }
+
+    /// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary_strategy()
+    }
+}
+
+/// The usual glob-import surface: strategies, config, and macros.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}: {}", left, right, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (without counting it) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a test that runs `body` against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse!(@pat [] [] [$($args)*] { $name ($config) $body });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+// Argument-list parser for `proptest!`. Arguments have the shape
+// `pattern in strategy, ...` where the pattern may be several tokens
+// (`mut values`, `(a, b)`), so a token-muncher accumulates pattern tokens
+// until the `in` keyword and strategy tokens until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    // Pattern accumulation ends at `in`.
+    (@pat [$($done:tt)*] [$($pat:tt)*] [in $($rest:tt)*] $fin:tt) => {
+        $crate::__proptest_parse!(@strat [$($done)*] [$($pat)*] [] [$($rest)*] $fin)
+    };
+    (@pat [$($done:tt)*] [$($pat:tt)*] [$tok:tt $($rest:tt)*] $fin:tt) => {
+        $crate::__proptest_parse!(@pat [$($done)*] [$($pat)* $tok] [$($rest)*] $fin)
+    };
+    // Strategy accumulation ends at a top-level comma or end of input.
+    (@strat [$($done:tt)*] $pat:tt [$($strat:tt)*] [, $($rest:tt)*] $fin:tt) => {
+        $crate::__proptest_parse!(@next [$($done)* { $pat [$($strat)*] }] [$($rest)*] $fin)
+    };
+    (@strat [$($done:tt)*] $pat:tt [$($strat:tt)*] [$tok:tt $($rest:tt)*] $fin:tt) => {
+        $crate::__proptest_parse!(@strat [$($done)*] $pat [$($strat)* $tok] [$($rest)*] $fin)
+    };
+    (@strat [$($done:tt)*] $pat:tt [$($strat:tt)*] [] $fin:tt) => {
+        $crate::__proptest_parse!(@emit [$($done)* { $pat [$($strat)*] }] $fin)
+    };
+    // After a comma: either a trailing comma (done) or another argument.
+    (@next [$($done:tt)*] [] $fin:tt) => {
+        $crate::__proptest_parse!(@emit [$($done)*] $fin)
+    };
+    (@next [$($done:tt)*] [$($rest:tt)+] $fin:tt) => {
+        $crate::__proptest_parse!(@pat [$($done)*] [] [$($rest)+] $fin)
+    };
+    // All arguments parsed: build the combined tuple strategy and run.
+    (@emit [$({ [$($pat:tt)*] [$($strat:tt)*] })+] { $name:ident ($config:expr) $body:block }) => {
+        #[allow(unused_parens)]
+        let __strategy = ($(($($strat)*),)+);
+        let __config = $config;
+        $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+            let ($($($pat)*,)+) = $crate::strategy::Strategy::generate(&__strategy, __rng);
+            $body
+            ::core::result::Result::Ok(())
+        });
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_vec_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let strat = crate::collection::vec(-2.0f64..2.0, 3..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (-2.0..2.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_compose() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let strat = (1usize..=4)
+            .prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn oneof_only_yields_listed_values() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = prop_oneof![Just(1u32), Just(5u32), Just(9u32)];
+        for _ in 0..100 {
+            assert!([1, 5, 9].contains(&strat.generate(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro handles multi-token patterns, tuples, assume, and
+        /// trailing commas.
+        #[test]
+        fn macro_roundtrip(
+            mut values in crate::collection::vec(-1.0f64..1.0, 1..8),
+            (lo, hi) in (0u32..5, 5u32..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assume!(!values.is_empty());
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(values.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(lo < hi, "{} vs {}", lo, hi);
+            prop_assert_eq!(flag || !flag, true);
+        }
+    }
+}
