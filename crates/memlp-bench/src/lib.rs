@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Benchmark harness reproducing the paper's evaluation (§4).
 //!
 //! Every figure and table has a dedicated bench target (see DESIGN.md §5

@@ -171,8 +171,13 @@ impl LargeScaleSolver {
         // (equilibration is deterministic); hoist them out of the retry
         // loop so each attempt only redraws hardware variation.
         let (wlp, eq) = if self.options.equilibrate {
-            let (scaled, eq) = memlp_lp::equilibrate(lp);
-            (scaled, Some(eq))
+            // Equilibration failing (overflow on a subnormal row maximum)
+            // only loses conditioning, never correctness: fall back to the
+            // unscaled problem.
+            match memlp_lp::equilibrate(lp) {
+                Ok((scaled, eq)) => (scaled, Some(eq)),
+                Err(_) => (lp.clone(), None),
+            }
         } else {
             (lp.clone(), None)
         };
@@ -213,7 +218,16 @@ impl LargeScaleSolver {
                 }
             }
         }
-        let (_, mut solution, trace, attempt) = best.expect("at least one attempt ran");
+        // The retry loop always runs at least once; if the invariant ever
+        // breaks, report a numerical failure instead of panicking mid-solve.
+        let (_, mut solution, trace, attempt) = best.unwrap_or_else(|| {
+            (
+                f64::INFINITY,
+                LpSolution::failed(LpStatus::NumericalFailure, 0),
+                SolverTrace::new(),
+                0,
+            )
+        });
         self.classify_exhausted(lp, &mut solution);
         crate::CrossbarSolution {
             solution,

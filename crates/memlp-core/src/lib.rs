@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The paper's contribution: memristor crossbar-based linear program
 //! solvers using the primal–dual interior-point method.
 //!

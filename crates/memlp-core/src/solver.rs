@@ -147,7 +147,15 @@ impl CrossbarPdipSolver {
             }
             last = Some((solution, trace, attempt));
         }
-        let (mut solution, trace, attempt) = last.expect("at least one attempt ran");
+        // The retry loop always runs at least once; if the invariant ever
+        // breaks, report a numerical failure instead of panicking mid-solve.
+        let (mut solution, trace, attempt) = last.unwrap_or_else(|| {
+            (
+                LpSolution::failed(LpStatus::NumericalFailure, 0),
+                SolverTrace::new(),
+                0,
+            )
+        });
         // Retry budget exhausted: a residual pinned at the infeasibility
         // level that also fails the §3.2 relaxed check is the verdict.
         if matches!(

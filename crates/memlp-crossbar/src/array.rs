@@ -191,13 +191,15 @@ impl Crossbar {
             }
         }
         // Refresh the cached conductance total (cheap relative to a solve).
-        self.g_total = match &self.gmat {
-            Some(gm) => gm.as_slice().iter().sum(),
-            None => {
-                let r = self.realized.as_ref().expect("programmed");
+        self.g_total = match (&self.gmat, &self.realized) {
+            (Some(gm), _) => gm.as_slice().iter().sum(),
+            (None, Some(r)) => {
                 map.g_off() * (r.rows() * r.cols()) as f64
                     + map.slope() * r.as_slice().iter().sum::<f64>()
             }
+            // `map` was Some above, which only happens after program(), so
+            // `realized` exists; keep the arm total regardless.
+            (None, None) => return Err(CrossbarError::NotProgrammed),
         };
         self.ledger.charge_writes(
             &self.config.cost,
@@ -235,7 +237,7 @@ impl Crossbar {
         let xq = self.dac.quantize_vec(x);
         let mut y = match self.config.fidelity {
             Fidelity::Functional => realized.matvec(&xq),
-            Fidelity::Circuit => self.circuit_mvm(&xq),
+            Fidelity::Circuit => self.circuit_mvm(&xq)?,
         };
         self.adc.quantize_in_place(&mut y);
         self.ledger.charge_analog_op(
@@ -327,12 +329,9 @@ impl Crossbar {
     }
 
     /// Circuit-fidelity MVM: Eqn 5 divider plus calibrated or raw read-out.
-    fn circuit_mvm(&self, xq: &[f64]) -> Vec<f64> {
-        let gm = self
-            .gmat
-            .as_ref()
-            .expect("circuit fidelity materializes gmat");
-        let map = self.map.expect("programmed");
+    fn circuit_mvm(&self, xq: &[f64]) -> Result<Vec<f64>, CrossbarError> {
+        let gm = self.gmat.as_ref().ok_or(CrossbarError::NotProgrammed)?;
+        let map = self.map.ok_or(CrossbarError::NotProgrammed)?;
         let gs = self.config.sense_conductance;
         let sum_x: f64 = xq.iter().sum();
         let mut y = Vec::with_capacity(gm.rows());
@@ -351,16 +350,13 @@ impl Crossbar {
             };
             y.push(val);
         }
-        y
+        Ok(y)
     }
 
     /// Circuit-fidelity solve: `G·x_v = g_s·b`, read word lines, rescale.
     fn circuit_solve(&self, bq: &[f64]) -> Result<Vec<f64>, CrossbarError> {
-        let gm = self
-            .gmat
-            .as_ref()
-            .expect("circuit fidelity materializes gmat");
-        let map = self.map.expect("programmed");
+        let gm = self.gmat.as_ref().ok_or(CrossbarError::NotProgrammed)?;
+        let map = self.map.ok_or(CrossbarError::NotProgrammed)?;
         let gs = self.config.sense_conductance;
         let rhs: Vec<f64> = bq.iter().map(|v| v * gs).collect();
         let xv = LuFactors::factor(gm.clone())?.solve(&rhs)?;

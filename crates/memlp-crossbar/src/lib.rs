@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Memristor crossbar array simulator.
 //!
 //! A memristor crossbar performs matrix–vector multiplication and solves

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Memristor device models for the `memlp` workspace.
 //!
 //! The paper's solver hardware is built from TiO₂-style memristors (§2.2,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Dense linear algebra substrate for the `memlp` workspace.
 //!
 //! The memristor-crossbar LP solver simulates analog hardware by solving the

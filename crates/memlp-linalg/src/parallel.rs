@@ -25,7 +25,9 @@
 //! `threaded_*` property tests assert.
 
 use std::cell::Cell;
+// memlp-lint: allow(concurrency::primitive, reason = "this module IS the pool: the one place atomics are allowed")
 use std::sync::atomic::{AtomicUsize, Ordering};
+// memlp-lint: allow(concurrency::primitive, reason = "OnceLock caches the MEMLP_THREADS parse; pool internals")
 use std::sync::OnceLock;
 
 /// Minimum flops a worker thread should amortize; below
@@ -37,6 +39,7 @@ thread_local! {
 }
 
 fn env_threads() -> Option<usize> {
+    // memlp-lint: allow(concurrency::primitive, reason = "env-var parse cache; pool internals")
     static CACHE: OnceLock<Option<usize>> = OnceLock::new();
     *CACHE.get_or_init(|| {
         std::env::var("MEMLP_THREADS")
@@ -109,9 +112,11 @@ pub fn run_indexed<T: Send>(threads: usize, count: usize, f: impl Fn(usize) -> T
     if t <= 1 {
         return (0..count).map(f).collect();
     }
+    // memlp-lint: allow(concurrency::primitive, reason = "work-stealing counter; results are reordered by index so scheduling never affects output")
     let next = AtomicUsize::new(0);
     let f = &f;
     let next = &next;
+    // memlp-lint: allow(concurrency::primitive, reason = "the pool's own scoped spawn point")
     let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..t)
             .map(|_| {
@@ -133,13 +138,12 @@ pub fn run_indexed<T: Send>(threads: usize, count: usize, f: impl Fn(usize) -> T
             .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
-    let mut out: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    for (i, v) in per_worker.into_iter().flatten() {
-        out[i] = Some(v);
-    }
-    out.into_iter()
-        .map(|v| v.expect("every index computed"))
-        .collect()
+    // Each index was claimed by exactly one worker, so the flattened list
+    // is a permutation of 0..count: sorting restores input order without
+    // needing an Option per slot.
+    let mut flat: Vec<(usize, T)> = per_worker.into_iter().flatten().collect();
+    flat.sort_unstable_by_key(|&(i, _)| i);
+    flat.into_iter().map(|(_, v)| v).collect()
 }
 
 /// Maps `f` over `items` in place across up to `threads` workers (static
@@ -161,6 +165,7 @@ pub fn par_map_mut<T: Send, R: Send>(
             .collect();
     }
     let f = &f;
+    // memlp-lint: allow(concurrency::primitive, reason = "the pool's own scoped spawn point")
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(t);
         let mut rest = items;
@@ -213,6 +218,7 @@ pub fn par_chunks<T: Send>(
         return;
     }
     let f = &f;
+    // memlp-lint: allow(concurrency::primitive, reason = "the pool's own scoped spawn point")
     std::thread::scope(|scope| {
         let mut rest = data;
         let mut first_chunk = 0;
@@ -243,6 +249,7 @@ pub fn par_bands<T: Send>(threads: usize, data: &mut [T], f: impl Fn(usize, &mut
         return;
     }
     let f = &f;
+    // memlp-lint: allow(concurrency::primitive, reason = "the pool's own scoped spawn point")
     std::thread::scope(|scope| {
         let mut rest = data;
         let mut offset = 0;

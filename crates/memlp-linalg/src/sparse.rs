@@ -70,11 +70,14 @@ impl SparseMatrix {
             cur_row = i;
             // Merge a duplicate coordinate within the current row.
             let row_start = row_ptr[cur_row];
-            if col_idx.len() > row_start && col_idx.last() == Some(&j) {
-                *values.last_mut().expect("parallel arrays") += v;
-            } else {
-                col_idx.push(j);
-                values.push(v);
+            match values.last_mut() {
+                Some(last) if col_idx.len() > row_start && col_idx.last() == Some(&j) => {
+                    *last += v;
+                }
+                _ => {
+                    col_idx.push(j);
+                    values.push(v);
+                }
             }
         }
         for r in cur_row..rows {

@@ -7,6 +7,12 @@
 //! thread budgets {1, 2, 8}: small shapes via property tests (plumbing and
 //! partition edge cases), and fixed large shapes that actually clear the
 //! `MIN_FLOPS_PER_THREAD` cutoff and fan out.
+//!
+//! These tests run under the `memlp-lint` regime like all other code:
+//! the `concurrency::primitive` rule scans test files too, so any
+//! threading primitive used here (rather than going through
+//! `parallel::with_threads`) would be a deny finding. The pool's own
+//! internals carry the workspace's only reasoned allows.
 
 use memlp_linalg::parallel::with_threads;
 use memlp_linalg::{LuFactors, Matrix};

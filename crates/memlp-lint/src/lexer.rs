@@ -1,0 +1,504 @@
+//! A hand-rolled Rust lexer: just enough tokenization to lint reliably.
+//!
+//! The rules in [`crate::rules`] match on identifier and punctuation
+//! sequences, so the lexer's one job is to never confuse source code with
+//! the *contents* of strings, characters, or comments. It therefore
+//! understands: line and (nested) block comments, string literals with
+//! escapes, byte strings, raw strings with arbitrary `#` fences, character
+//! literals vs. lifetimes, and numeric literals (including exponents and
+//! type suffixes). Everything else is an identifier or punctuation token.
+//!
+//! Comments are kept (with their starting line) because the
+//! `memlp-lint: allow(...)` escape hatch lives in them.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation (`==`, `!=`, and `::` are single tokens; others one char).
+    Punct,
+    /// Numeric literal, suffix included (`1.5`, `1e-3`, `0x1F`, `2f64`).
+    Num,
+    /// String literal of any flavor (contents are not inspected by rules).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Literal text (for `Str`, the delimiters are included).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), starting line recorded.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated literals are tolerated (the token simply runs
+/// to end-of-file): a linter must not panic on the code it inspects.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r"", r#""#, b"", br"", b''.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut raw = false;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            if j < n && b[j] == 'r' {
+                raw = true;
+                j += 1;
+            }
+            if raw {
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    let (tok, ni, nl) = lex_raw_string(&b, i, j + 1, hashes, line);
+                    out.toks.push(tok);
+                    i = ni;
+                    line = nl;
+                    continue;
+                }
+                // Not actually a raw string (e.g. the ident `r#type` or plain
+                // `rb` variable): fall through to identifier lexing.
+            } else if c == 'b' && i + 1 < n && b[i + 1] == '"' {
+                let (tok, ni, nl) = lex_string(&b, i, i + 2, line);
+                out.toks.push(tok);
+                i = ni;
+                line = nl;
+                continue;
+            } else if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+                let (tok, ni) = lex_char(&b, i, i + 2, line);
+                out.toks.push(tok);
+                i = ni;
+                continue;
+            }
+        }
+        if c == '"' {
+            let (tok, ni, nl) = lex_string(&b, i, i + 1, line);
+            out.toks.push(tok);
+            i = ni;
+            line = nl;
+            continue;
+        }
+        if c == '\'' {
+            // Escaped char literal: '\n', '\'', '\u{..}'.
+            if i + 1 < n && b[i + 1] == '\\' {
+                let (tok, ni) = lex_char(&b, i, i + 1, line);
+                out.toks.push(tok);
+                i = ni;
+                continue;
+            }
+            // Plain char literal 'x' (any single char followed by ').
+            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[i..i + 3].iter().collect(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            // Otherwise a lifetime: 'ident.
+            let start = i;
+            i += 1;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (tok, ni) = lex_number(&b, i, line);
+            out.toks.push(tok);
+            i = ni;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Punctuation: keep the three sequences rules match on fused.
+        let two: Option<&str> = if i + 1 < n {
+            match (c, b[i + 1]) {
+                ('=', '=') => Some("=="),
+                ('!', '=') => Some("!="),
+                (':', ':') => Some("::"),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(t) = two {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: t.to_string(),
+                line,
+            });
+            i += 2;
+        } else {
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Lexes a normal (escaped) string starting at quote position `j`
+/// (`start` is where the token text begins, e.g. a `b` prefix).
+fn lex_string(b: &[char], start: usize, mut j: usize, mut line: u32) -> (Tok, usize, u32) {
+    let tok_line = line;
+    let n = b.len();
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => {
+                j += 1;
+                break;
+            }
+            '\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let j = j.min(n);
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: b[start..j].iter().collect(),
+            line: tok_line,
+        },
+        j,
+        line,
+    )
+}
+
+/// Lexes a raw string whose opening `"` sits just before `j`; terminates at
+/// `"` followed by `hashes` `#` characters.
+fn lex_raw_string(
+    b: &[char],
+    start: usize,
+    mut j: usize,
+    hashes: usize,
+    mut line: u32,
+) -> (Tok, usize, u32) {
+    let tok_line = line;
+    let n = b.len();
+    while j < n {
+        if b[j] == '\n' {
+            line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                j += 1 + hashes;
+                break;
+            }
+        }
+        j += 1;
+    }
+    let j = j.min(n);
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: b[start..j].iter().collect(),
+            line: tok_line,
+        },
+        j,
+        line,
+    )
+}
+
+/// Lexes a char/byte literal whose body starts at `j` (after the quote and
+/// any `b` prefix); consumes through the closing quote.
+fn lex_char(b: &[char], start: usize, mut j: usize, line: u32) -> (Tok, usize) {
+    let n = b.len();
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\'' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    let j = j.min(n);
+    (
+        Tok {
+            kind: TokKind::Char,
+            text: b[start..j].iter().collect(),
+            line,
+        },
+        j,
+    )
+}
+
+/// Lexes a numeric literal starting at `i` (a digit), including radix
+/// prefixes, decimal points, exponents, and type suffixes.
+fn lex_number(b: &[char], i: usize, line: u32) -> (Tok, usize) {
+    let n = b.len();
+    let start = i;
+    let mut j = i;
+    let radix_prefixed = b[j] == '0'
+        && j + 1 < n
+        && matches!(b[j + 1], 'x' | 'X' | 'o' | 'O' | 'b' | 'B')
+        && j + 2 < n
+        && (b[j + 2].is_ascii_alphanumeric() || b[j + 2] == '_');
+    if radix_prefixed {
+        j += 2;
+        while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+    } else {
+        while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+            j += 1;
+        }
+        // Fractional part only when a digit follows the dot, so `1.max(2)`
+        // and tuple access stay punctuation.
+        if j + 1 < n && b[j] == '.' && b[j + 1].is_ascii_digit() {
+            j += 1;
+            while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                j += 1;
+            }
+        } else if j < n
+            && b[j] == '.'
+            && (j + 1 >= n || !is_ident_char(b, j + 1) && b[j + 1] != '.')
+        {
+            // Trailing-dot float like `1.`.
+            j += 1;
+        }
+        // Exponent.
+        if j < n && matches!(b[j], 'e' | 'E') {
+            let mut k = j + 1;
+            if k < n && matches!(b[k], '+' | '-') {
+                k += 1;
+            }
+            if k < n && b[k].is_ascii_digit() {
+                j = k;
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+        }
+        // Type suffix (f64, u32, …).
+        while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Num,
+            text: b[start..j].iter().collect(),
+            line,
+        },
+        j,
+    )
+}
+
+fn is_ident_char(b: &[char], i: usize) -> bool {
+    b[i].is_alphanumeric() || b[i] == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let s = "Instant::now() .unwrap()"; // thread_rng in comment
+            /* HashMap in block
+               comment */
+            let r = r#"Mutex "quoted" .expect("x")"#;
+            let c = 'u'; let esc = '\n';
+        "##;
+        let ids = idents(src);
+        assert!(ids.iter().all(|t| t != "Instant"
+            && t != "unwrap"
+            && t != "thread_rng"
+            && t != "HashMap"
+            && t != "Mutex"
+            && t != "expect"));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// memlp-lint: allow(x, reason = \"y\")\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("memlp-lint"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lts: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lts, vec!["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn numbers_keep_exponents_and_suffixes_whole() {
+        let nums: Vec<_> = lex("let x = 1e-3 + 2.5f64 - 0x1F + 7;")
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, vec!["1e-3", "2.5f64", "0x1F", "7"]);
+    }
+
+    #[test]
+    fn fused_punctuation() {
+        let puncts: Vec<_> = lex("a == b != c::d")
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_tracking() {
+        let src = "/* a /* b */ c */\nlet x = 1;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.toks[0].text, "let");
+        assert_eq!(lexed.toks[0].line, 2);
+    }
+
+    #[test]
+    fn raw_string_fences_respected() {
+        // The inner `"#` must not close an `r##"…"##` string.
+        let src = "let s = r##\"has \"# inside\"##; let t = 1;";
+        let lexed = lex(src);
+        let strs: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("inside"));
+        assert!(lexed.toks.iter().any(|t| t.text == "t"));
+    }
+}

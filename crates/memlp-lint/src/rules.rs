@@ -1,0 +1,737 @@
+//! Rule families and the scanning engine.
+//!
+//! Every rule maps to an invariant the paper's headline claims rest on
+//! (see DESIGN.md §"Static guarantees"):
+//!
+//! * **determinism** — the Eqn 18 variation model and every solver result
+//!   must be reproducible from a seed, so the solver crates may not touch
+//!   wall clocks, unseeded RNGs, or unordered hash containers;
+//! * **concurrency** — PR 1's bitwise thread-invariance proof lives in
+//!   `memlp-linalg::parallel`; keeping every primitive there keeps the
+//!   proof local;
+//! * **panic-freedom** — library crates return their `Error` types instead
+//!   of aborting mid-solve;
+//! * **float hygiene** — strict `==`/`!=` against non-zero float literals
+//!   is almost always a tolerance bug in solver code (exact-zero sparsity
+//!   checks are exempt);
+//! * **safety** — `#![forbid(unsafe_code)]` on every crate root, and no
+//!   `unsafe` anywhere.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// Finding severity. `Deny` findings fail the build; `Warn` findings are
+/// advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory only.
+    Warn,
+    /// Fails the lint run (non-zero exit).
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier, e.g. `panic::unwrap`.
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The trimmed source line.
+    pub snippet: String,
+}
+
+/// Registry of every rule: (id, severity, summary). `--list-rules` prints
+/// this table and `allow(...)` directives are validated against it.
+pub const RULES: &[(&str, Severity, &str)] = &[
+    (
+        "determinism::wall-clock",
+        Severity::Deny,
+        "no Instant/SystemTime in determinism-critical crates (timing lives in memlp-bench/CLI)",
+    ),
+    (
+        "determinism::unseeded-rng",
+        Severity::Deny,
+        "no thread_rng/OsRng/from_entropy in determinism-critical crates; seed every stream",
+    ),
+    (
+        "determinism::hash-container",
+        Severity::Deny,
+        "no HashMap/HashSet in determinism-critical crates; iteration order is unspecified",
+    ),
+    (
+        "concurrency::primitive",
+        Severity::Deny,
+        "no thread::spawn/scope, Mutex, RwLock, atomics, … outside memlp-linalg::parallel",
+    ),
+    (
+        "panic::unwrap",
+        Severity::Deny,
+        "no .unwrap() in non-test library code; return the crate's Error type",
+    ),
+    (
+        "panic::expect",
+        Severity::Deny,
+        "no .expect() in non-test library code; return the crate's Error type",
+    ),
+    (
+        "panic::panic-macro",
+        Severity::Deny,
+        "no panic!/todo!/unimplemented! in non-test library code",
+    ),
+    (
+        "float::strict-eq",
+        Severity::Deny,
+        "no ==/!= against non-zero float literals in solver/linalg code; use a tolerance",
+    ),
+    (
+        "safety::unsafe-code",
+        Severity::Deny,
+        "no unsafe blocks anywhere in the workspace",
+    ),
+    (
+        "safety::forbid-unsafe-missing",
+        Severity::Deny,
+        "every crate root must carry #![forbid(unsafe_code)]",
+    ),
+    (
+        "style::dbg-macro",
+        Severity::Warn,
+        "dbg! left in library code",
+    ),
+    (
+        "lint::allow-missing-reason",
+        Severity::Deny,
+        "memlp-lint: allow(...) directives must carry reason = \"...\"",
+    ),
+    (
+        "lint::unknown-rule",
+        Severity::Deny,
+        "memlp-lint: allow(...) names a rule that does not exist",
+    ),
+    (
+        "lint::unused-allow",
+        Severity::Warn,
+        "memlp-lint: allow(...) directive suppressed nothing",
+    ),
+];
+
+/// Crates whose solver paths must be bit-reproducible (paper Eqn 18 /
+/// §4.1): wall clocks, unseeded RNGs, and hash containers are banned.
+const DETERMINISM_CRATES: &[&str] = &[
+    "memlp-core",
+    "memlp-linalg",
+    "memlp-crossbar",
+    "memlp-device",
+    "memlp-noc",
+    "memlp-solvers",
+    "memlp-lp",
+];
+
+/// Crates whose numerics are tolerance-based: strict float equality against
+/// a non-zero literal is flagged.
+const FLOAT_CRATES: &[&str] = &["memlp-core", "memlp-linalg", "memlp-solvers"];
+
+/// Crates exempt from panic rules (the bench harness is allowed to abort).
+const PANIC_EXEMPT_CRATES: &[&str] = &["memlp-bench"];
+
+fn severity_of(rule: &str) -> Severity {
+    RULES
+        .iter()
+        .find(|(id, ..)| *id == rule)
+        .map(|&(_, s, _)| s)
+        .unwrap_or(Severity::Deny)
+}
+
+fn is_known_rule(rule: &str) -> bool {
+    RULES.iter().any(|(id, ..)| *id == rule)
+}
+
+/// How a scanned file is classified, derived from its workspace-relative
+/// path.
+#[derive(Debug, Clone)]
+struct FileCtx {
+    /// Crate the file belongs to (`memlp` for the root package).
+    krate: String,
+    /// True for integration tests / examples / benches (whole file is test
+    /// scope).
+    test_file: bool,
+    /// True for `src/lib.rs` of a crate (the root package included).
+    crate_root: bool,
+}
+
+impl FileCtx {
+    fn classify(rel: &str) -> FileCtx {
+        let rel = rel.replace('\\', "/");
+        let krate = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("memlp")
+            .to_string();
+        let test_file = rel.split('/').any(|seg| {
+            seg == "tests" || seg == "examples" || seg == "benches" || seg == "fixtures"
+        });
+        let crate_root =
+            rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"));
+        FileCtx {
+            krate,
+            test_file,
+            crate_root,
+        }
+    }
+}
+
+/// An `allow` escape-hatch directive parsed from a comment.
+#[derive(Debug)]
+struct Directive {
+    rule: String,
+    line: u32,
+    used: bool,
+}
+
+/// Lints one file's source. `rel_path` is the workspace-relative path and
+/// drives the scope rules (which crate, test vs. library code).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let ctx = FileCtx::classify(rel_path);
+    let lexed = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut directives = parse_directives(rel_path, &lexed.comments, &mut findings, &snippet);
+    let test_mask = test_region_mask(&lexed.toks);
+
+    scan_tokens(
+        &ctx,
+        rel_path,
+        &lexed.toks,
+        &test_mask,
+        &mut findings,
+        &snippet,
+    );
+
+    if ctx.crate_root && !has_forbid_unsafe(&lexed.toks) {
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: "safety::forbid-unsafe-missing",
+            severity: severity_of("safety::forbid-unsafe-missing"),
+            message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
+            snippet: snippet(1),
+        });
+    }
+
+    // Apply suppressions: a directive covers its own line and the next one,
+    // so it works both trailing (`stmt // memlp-lint: allow(...)`) and on
+    // the line above the offending statement.
+    findings.retain(|f| {
+        if f.rule.starts_with("lint::") {
+            return true;
+        }
+        for d in directives.iter_mut() {
+            if d.rule == f.rule && (f.line == d.line || f.line == d.line + 1) {
+                d.used = true;
+                return false;
+            }
+        }
+        true
+    });
+
+    for d in &directives {
+        if !d.used {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: d.line,
+                rule: "lint::unused-allow",
+                severity: severity_of("lint::unused-allow"),
+                message: format!(
+                    "allow({}) suppressed nothing on this or the next line",
+                    d.rule
+                ),
+                snippet: snippet(d.line),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Parses `memlp-lint: allow(rule, reason = "...")` directives out of the
+/// comment stream. A directive must *start* the comment (after the comment
+/// markers), so prose that merely mentions the syntax never parses as one.
+/// Directives without a reason, or naming unknown rules, become findings
+/// themselves (and do not suppress anything).
+fn parse_directives(
+    rel_path: &str,
+    comments: &[Comment],
+    findings: &mut Vec<Finding>,
+    snippet: &dyn Fn(u32) -> String,
+) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in comments {
+        let content = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        {
+            let Some(rest) = content.strip_prefix("memlp-lint:") else {
+                continue;
+            };
+            let body = rest.trim_start();
+            let Some(args) = body.strip_prefix("allow") else {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: c.line,
+                    rule: "lint::allow-missing-reason",
+                    severity: severity_of("lint::allow-missing-reason"),
+                    message:
+                        "malformed directive: expected `memlp-lint: allow(rule, reason = \"...\")`"
+                            .into(),
+                    snippet: snippet(c.line),
+                });
+                continue;
+            };
+            let args = args.trim_start();
+            let inner = args.strip_prefix('(').and_then(|a| a.split(')').next());
+            let Some(inner) = inner else {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: c.line,
+                    rule: "lint::allow-missing-reason",
+                    severity: severity_of("lint::allow-missing-reason"),
+                    message: "malformed directive: missing `(rule, reason = \"...\")`".into(),
+                    snippet: snippet(c.line),
+                });
+                continue;
+            };
+            let mut parts = inner.splitn(2, ',');
+            let rule = parts.next().unwrap_or("").trim().to_string();
+            let reason_part = parts.next().unwrap_or("").trim();
+            let has_reason = reason_part
+                .strip_prefix("reason")
+                .map(|r| r.trim_start())
+                .and_then(|r| r.strip_prefix('='))
+                .map(|r| r.trim_start())
+                .map(|r| r.starts_with('"') && r.len() > 2)
+                .unwrap_or(false);
+            if !is_known_rule(&rule) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: c.line,
+                    rule: "lint::unknown-rule",
+                    severity: severity_of("lint::unknown-rule"),
+                    message: format!("allow names unknown rule `{rule}` (see --list-rules)"),
+                    snippet: snippet(c.line),
+                });
+            } else if !has_reason {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: c.line,
+                    rule: "lint::allow-missing-reason",
+                    severity: severity_of("lint::allow-missing-reason"),
+                    message: format!(
+                        "allow({rule}) has no reason — every escape hatch must say why"
+                    ),
+                    snippet: snippet(c.line),
+                });
+            } else {
+                out.push(Directive {
+                    rule,
+                    line: c.line,
+                    used: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Marks token index ranges covered by `#[cfg(test)]` / `#[test]` items so
+/// panic/determinism/float rules skip unit-test code embedded in library
+/// sources.
+fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(after_attr) = test_attr_end(toks, i) {
+            // Skip any further attributes between the test attribute and
+            // the item (`#[cfg(test)] #[allow(...)] mod tests { … }`).
+            let mut j = after_attr;
+            while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+                let mut depth = 0usize;
+                let mut k = j + 1;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = (k + 1).min(toks.len());
+            }
+            // The item body: everything to the matching `}` of its first
+            // top-level `{`, or to a `;` for brace-less items.
+            let mut k = j;
+            let mut end = toks.len().saturating_sub(1);
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "{" => {
+                        let mut depth = 0usize;
+                        while k < toks.len() {
+                            match toks[k].text.as_str() {
+                                "{" => depth += 1,
+                                "}" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        end = k.min(toks.len() - 1);
+                        break;
+                    }
+                    ";" => {
+                        end = k;
+                        break;
+                    }
+                    _ => k += 1,
+                }
+            }
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If `toks[i..]` opens with `#[test]` or `#[cfg(test)]`, returns the index
+/// one past the closing `]`.
+fn test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
+    if toks.get(i)?.text != "#" || toks.get(i + 1)?.text != "[" {
+        return None;
+    }
+    let t2 = &toks.get(i + 2)?.text;
+    if t2 == "test" && toks.get(i + 3)?.text == "]" {
+        return Some(i + 4);
+    }
+    if t2 == "cfg"
+        && toks.get(i + 3)?.text == "("
+        && toks.get(i + 4)?.text == "test"
+        && toks.get(i + 5)?.text == ")"
+        && toks.get(i + 6)?.text == "]"
+    {
+        return Some(i + 7);
+    }
+    None
+}
+
+/// True when the token stream contains `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    const SEQ: &[&str] = &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    toks.windows(SEQ.len())
+        .any(|w| w.iter().zip(SEQ).all(|(t, s)| t.text == *s))
+}
+
+/// True for a float literal token (decimal point, exponent, or f32/f64
+/// suffix; radix-prefixed integers are excluded).
+fn is_float_literal(text: &str) -> bool {
+    let t = text.to_ascii_lowercase();
+    if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+        return false;
+    }
+    t.contains('.') || t.ends_with("f32") || t.ends_with("f64") || {
+        // `1e5`-style exponent with no dot.
+        t.chars()
+            .next()
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
+            && t.contains('e')
+    }
+}
+
+/// True when a float literal is exactly zero (`0.0`, `0.`, `0f64`): exact
+/// structural-sparsity checks against zero are well-defined and common in
+/// the kernels, so they are exempt from `float::strict-eq`.
+fn is_zero_literal(text: &str) -> bool {
+    let t = text.to_ascii_lowercase();
+    let mantissa: String = t
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .split('e')
+        .next()
+        .unwrap_or("")
+        .chars()
+        .filter(|c| *c != '_')
+        .collect();
+    !mantissa.is_empty() && mantissa.chars().all(|c| c == '0' || c == '.')
+}
+
+/// The token-scanning pass: emits at most one finding per (line, rule).
+fn scan_tokens(
+    ctx: &FileCtx,
+    rel_path: &str,
+    toks: &[Tok],
+    test_mask: &[bool],
+    findings: &mut Vec<Finding>,
+    snippet: &dyn Fn(u32) -> String,
+) {
+    let determinism = DETERMINISM_CRATES.contains(&ctx.krate.as_str()) && !ctx.test_file;
+    let float_scope = FLOAT_CRATES.contains(&ctx.krate.as_str()) && !ctx.test_file;
+    let panic_scope = !PANIC_EXEMPT_CRATES.contains(&ctx.krate.as_str()) && !ctx.test_file;
+
+    let mut seen: Vec<(u32, &'static str)> = Vec::new();
+    let mut emit = |line: u32, rule: &'static str, message: String| {
+        if seen.contains(&(line, rule)) {
+            return;
+        }
+        seen.push((line, rule));
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line,
+            rule,
+            severity: severity_of(rule),
+            message,
+            snippet: snippet(line),
+        });
+    };
+
+    for (idx, tok) in toks.iter().enumerate() {
+        let in_test = test_mask.get(idx).copied().unwrap_or(false);
+        let prev = idx.checked_sub(1).and_then(|p| toks.get(p));
+        let next = toks.get(idx + 1);
+        let text = tok.text.as_str();
+
+        match tok.kind {
+            TokKind::Ident => {
+                // safety::unsafe-code — everywhere, test code included.
+                if text == "unsafe" {
+                    emit(
+                        tok.line,
+                        "safety::unsafe-code",
+                        "`unsafe` is banned workspace-wide".into(),
+                    );
+                }
+
+                // concurrency::primitive — everywhere (tests included, so
+                // the thread-invariance suites run under the same regime);
+                // memlp-linalg::parallel carries explicit allows.
+                let is_conc_ident = matches!(
+                    text,
+                    "Mutex" | "RwLock" | "Condvar" | "OnceLock" | "OnceCell" | "mpsc" | "Barrier"
+                ) || (text.starts_with("Atomic")
+                    && text.len() > "Atomic".len());
+                let is_thread_call = text == "thread"
+                    && next.map(|n| n.text == "::").unwrap_or(false)
+                    && matches!(
+                        toks.get(idx + 2).map(|t| t.text.as_str()),
+                        Some("spawn") | Some("scope")
+                    );
+                if is_conc_ident || is_thread_call {
+                    emit(
+                        tok.line,
+                        "concurrency::primitive",
+                        format!(
+                            "`{text}` outside memlp-linalg::parallel — route all threading \
+                             through the shared pool so thread-invariance stays provable in \
+                             one place"
+                        ),
+                    );
+                }
+
+                if determinism && !in_test {
+                    if matches!(text, "Instant" | "SystemTime") {
+                        emit(
+                            tok.line,
+                            "determinism::wall-clock",
+                            format!(
+                                "`{text}` in a determinism-critical crate — timing belongs in \
+                                 memlp-bench or the CLI"
+                            ),
+                        );
+                    }
+                    if matches!(text, "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy")
+                        || (text == "rand"
+                            && next.map(|n| n.text == "::").unwrap_or(false)
+                            && toks
+                                .get(idx + 2)
+                                .map(|t| t.text == "random")
+                                .unwrap_or(false))
+                    {
+                        emit(
+                            tok.line,
+                            "determinism::unseeded-rng",
+                            format!(
+                                "`{text}` draws from ambient entropy — construct a seeded \
+                                 StdRng so every solver run replays bit-for-bit (Eqn 18)"
+                            ),
+                        );
+                    }
+                    if matches!(text, "HashMap" | "HashSet") {
+                        emit(
+                            tok.line,
+                            "determinism::hash-container",
+                            format!(
+                                "`{text}` iteration order is unspecified — use \
+                                 BTreeMap/BTreeSet or a Vec in solver paths"
+                            ),
+                        );
+                    }
+                }
+
+                if panic_scope && !in_test {
+                    if matches!(text, "unwrap" | "expect")
+                        && prev
+                            .map(|p| p.text == "." || p.text == "::")
+                            .unwrap_or(false)
+                        && next.map(|n| n.text == "(").unwrap_or(false)
+                    {
+                        let rule: &'static str = if text == "unwrap" {
+                            "panic::unwrap"
+                        } else {
+                            "panic::expect"
+                        };
+                        emit(
+                            tok.line,
+                            rule,
+                            format!(
+                                "`.{text}()` in non-test library code — return the crate's \
+                                 Error type instead of aborting mid-solve"
+                            ),
+                        );
+                    }
+                    if matches!(text, "panic" | "todo" | "unimplemented")
+                        && next.map(|n| n.text == "!").unwrap_or(false)
+                    {
+                        emit(
+                            tok.line,
+                            "panic::panic-macro",
+                            format!("`{text}!` in non-test library code"),
+                        );
+                    }
+                    if text == "dbg" && next.map(|n| n.text == "!").unwrap_or(false) {
+                        emit(
+                            tok.line,
+                            "style::dbg-macro",
+                            "`dbg!` left in library code".into(),
+                        );
+                    }
+                }
+            }
+            TokKind::Punct if float_scope && !in_test && (text == "==" || text == "!=") => {
+                // Literal on the right (allowing unary minus) or left.
+                let rhs = match next {
+                    Some(n) if n.text == "-" => toks.get(idx + 2),
+                    other => other,
+                };
+                let lit = [prev, rhs].into_iter().flatten().find(|t| {
+                    t.kind == TokKind::Num && is_float_literal(&t.text) && !is_zero_literal(&t.text)
+                });
+                if let Some(l) = lit {
+                    emit(
+                        tok.line,
+                        "float::strict-eq",
+                        format!(
+                            "strict `{text}` against float literal `{}` — compare with a \
+                             tolerance",
+                            l.text
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(path: &str, src: &str) -> Vec<(u32, &'static str)> {
+        lint_source(path, src)
+            .into_iter()
+            .map(|f| (f.line, f.rule))
+            .collect()
+    }
+
+    #[test]
+    fn registry_ids_are_unique() {
+        for (i, (id, ..)) in RULES.iter().enumerate() {
+            assert!(
+                RULES.iter().skip(i + 1).all(|(other, ..)| other != id),
+                "duplicate rule id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_from_panic_rules() {
+        let src = "#![forbid(unsafe_code)]\nfn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(rules_at("crates/memlp-lp/src/x.rs", src)
+            .iter()
+            .all(|(_, r)| !r.starts_with("panic::")));
+    }
+
+    #[test]
+    fn zero_float_comparisons_are_exempt() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 && x != 1.5 }\n";
+        let got = rules_at("crates/memlp-linalg/src/x.rs", src);
+        assert_eq!(got, vec![(1, "float::strict-eq")]);
+    }
+
+    #[test]
+    fn forbid_attribute_is_required_on_crate_roots() {
+        let got = rules_at("crates/memlp-lp/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(got, vec![(1, "safety::forbid-unsafe-missing")]);
+        let got = rules_at(
+            "crates/memlp-lp/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_marked_used() {
+        let src = "#![forbid(unsafe_code)]\n// memlp-lint: allow(panic::unwrap, reason = \"demo\")\nfn f() { Some(1).unwrap(); }\n";
+        assert!(rules_at("crates/memlp-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_its_own_finding() {
+        let src = "// memlp-lint: allow(panic::unwrap)\nfn f() { Some(1).unwrap(); }\n";
+        let got = rules_at("crates/memlp-core/src/x.rs", src);
+        assert!(got.contains(&(1, "lint::allow-missing-reason")));
+        assert!(got.contains(&(2, "panic::unwrap")));
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end binary tests: build a throwaway mini-workspace on disk, run
+//! the `memlp-lint` binary against it with `--root`, and assert exit codes
+//! and output shape.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn mini_workspace(name: &str, lib_rs: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src = root.join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(src.join("lib.rs"), lib_rs).unwrap();
+    root
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_memlp-lint"))
+        .args(args)
+        .output()
+        .expect("spawn memlp-lint")
+}
+
+#[test]
+fn dirty_workspace_exits_one_with_findings() {
+    let root = mini_workspace("dirty", "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
+    let out = run(&["--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("panic::unwrap"), "{stdout}");
+    assert!(stdout.contains("safety::forbid-unsafe-missing"), "{stdout}");
+    assert!(stdout.contains("2 deny, 0 warn"), "{stdout}");
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let root = mini_workspace("clean", "#![forbid(unsafe_code)]\npub fn ok() {}\n");
+    let out = run(&["--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn json_format_reports_counts_and_rules() {
+    let root = mini_workspace("json", "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
+    let out = run(&["--root", root.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"deny\": 2"), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"panic::unwrap\""), "{stdout}");
+    assert!(
+        stdout.contains("\"rule\": \"safety::forbid-unsafe-missing\""),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn warn_only_findings_still_exit_zero() {
+    let root = mini_workspace(
+        "warn_only",
+        "#![forbid(unsafe_code)]\n// memlp-lint: allow(panic::unwrap, reason = \"nothing here uses it\")\npub fn ok() {}\n",
+    );
+    let out = run(&["--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("lint::unused-allow"), "{stdout}");
+    assert!(stdout.contains("0 deny, 1 warn"), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = run(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown argument"), "{stderr}");
+}
+
+#[test]
+fn missing_root_path_exits_two() {
+    let out = run(&["--root"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_prints_registry_and_exits_zero() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for (id, ..) in memlp_lint::RULES {
+        assert!(stdout.contains(id), "missing rule {id} in --list-rules");
+    }
+}
+
+#[test]
+fn quiet_mode_prints_deny_findings_only() {
+    let root = mini_workspace("quiet", "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
+    let out = run(&["--root", root.to_str().unwrap(), "--quiet"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("panic::unwrap"), "{stdout}");
+    assert!(!stdout.contains("finding(s)"), "{stdout}");
+}
+
+#[test]
+fn nonexistent_root_exits_two() {
+    let out = run(&["--root", "/nonexistent/memlp-lint-root"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,13 @@
+// memlp-lint: allow(panic::unwrap, reason = "fixture: justified and suppressed")
+fn a(o: Option<u32>) -> u32 { o.unwrap() }
+
+// memlp-lint: allow(panic::unwrap)
+fn b(o: Option<u32>) -> u32 { o.unwrap() }
+
+// memlp-lint: allow(nonexistent::rule, reason = "rule id typo")
+fn c() {}
+
+// memlp-lint: allow(panic::expect, reason = "nothing on the next line needs it")
+fn d() {}
+
+fn trailing(o: Option<u32>) -> u32 { o.unwrap() } // memlp-lint: allow(panic::unwrap, reason = "trailing form")

@@ -1,0 +1,15 @@
+use std::time::Instant;
+use std::collections::HashMap;
+
+fn now_ms() -> u128 {
+    Instant::now().elapsed().as_millis()
+}
+
+fn unseeded() {
+    let _rng = thread_rng();
+    let _sys = std::time::SystemTime::now();
+}
+
+fn keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}

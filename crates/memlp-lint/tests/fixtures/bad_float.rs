@@ -1,0 +1,8 @@
+fn f(x: f64, y: f64, z: f64) -> bool {
+    let a = x == 1.5;
+    let b = y == 0.0;
+    let c = z != -2.5;
+    let d = x == y;
+    let e = 1e-3 == x;
+    a && b && c && d && e
+}

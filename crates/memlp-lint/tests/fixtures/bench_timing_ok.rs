@@ -1,0 +1,8 @@
+use std::time::Instant;
+
+fn time_it() -> f64 {
+    let t0 = Instant::now();
+    let v: Vec<u64> = (0..100).collect();
+    let _ = v.first().unwrap();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+//! Fixture crate root carrying the required attribute.
+pub fn ok() {}

@@ -1,0 +1,11 @@
+// The escape hatch is written as memlp-lint: allow(rule, reason = "...") in DESIGN.md.
+fn hidden_in_literals() -> String {
+    let a = "Instant::now() and .unwrap() and thread_rng()";
+    let b = r#"HashMap<Mutex> .expect("x") panic!"#;
+    // Instant::now() in a comment is fine; so is .unwrap().
+    /* block comment: SystemTime, todo!(), AtomicUsize,
+       nested /* Mutex */ still a comment */
+    let c = 'M';
+    let d = r##"raw with "# fence: thread::spawn"##;
+    format!("{a}{b}{c}{d}")
+}

@@ -1,0 +1,2 @@
+//! Fixture crate root without the forbid attribute.
+pub fn ok() {}

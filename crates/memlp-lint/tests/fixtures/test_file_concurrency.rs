@@ -1,0 +1,7 @@
+use std::sync::atomic::AtomicBool;
+
+#[test]
+fn integration_tests_run_under_the_concurrency_regime() {
+    let _flag = AtomicBool::new(true);
+    Some(1).unwrap();
+}

@@ -1,0 +1,4 @@
+fn danger() -> i32 {
+    let x = 5;
+    unsafe { std::ptr::read(&x) }
+}

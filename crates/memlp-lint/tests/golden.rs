@@ -1,0 +1,144 @@
+//! Golden-file tests: each fixture is linted under a simulated
+//! workspace-relative path (the path drives crate/test scoping) and the
+//! exact `(line, rule)` set is asserted.
+
+use memlp_lint::lint_str;
+
+fn findings(fixture: &str, simulated_path: &str) -> Vec<(u32, String)> {
+    let path = format!("{}/tests/fixtures/{}", env!("CARGO_MANIFEST_DIR"), fixture);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    lint_str(simulated_path, &src)
+        .findings
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect()
+}
+
+fn check(fixture: &str, simulated_path: &str, expected: &[(u32, &str)]) {
+    let got = findings(fixture, simulated_path);
+    let want: Vec<(u32, String)> = expected.iter().map(|&(l, r)| (l, r.to_string())).collect();
+    assert_eq!(got, want, "fixture {fixture} as {simulated_path}");
+}
+
+#[test]
+fn determinism_rules_fire_in_solver_crates() {
+    check(
+        "bad_determinism.rs",
+        "crates/memlp-core/src/fake.rs",
+        &[
+            (1, "determinism::wall-clock"),
+            (2, "determinism::hash-container"),
+            (5, "determinism::wall-clock"),
+            (9, "determinism::unseeded-rng"),
+            (10, "determinism::wall-clock"),
+            (13, "determinism::hash-container"),
+        ],
+    );
+}
+
+#[test]
+fn forbidden_tokens_inside_literals_and_comments_are_ignored() {
+    check("good_strings.rs", "crates/memlp-core/src/fake.rs", &[]);
+}
+
+#[test]
+fn panic_rules_fire_outside_test_modules_only() {
+    check(
+        "bad_panic.rs",
+        "crates/memlp-lp/src/fake.rs",
+        &[
+            (2, "panic::unwrap"),
+            (5, "panic::expect"),
+            (8, "panic::panic-macro"),
+            (11, "panic::panic-macro"),
+            (14, "panic::panic-macro"),
+        ],
+    );
+}
+
+#[test]
+fn concurrency_primitives_flagged_outside_the_pool() {
+    check(
+        "bad_concurrency.rs",
+        "crates/memlp-noc/src/fake.rs",
+        &[
+            (1, "concurrency::primitive"),
+            (2, "concurrency::primitive"),
+            (5, "concurrency::primitive"),
+            (9, "concurrency::primitive"),
+            (10, "concurrency::primitive"),
+        ],
+    );
+}
+
+#[test]
+fn float_strict_eq_exempts_exact_zero() {
+    check(
+        "bad_float.rs",
+        "crates/memlp-solvers/src/fake.rs",
+        &[
+            (2, "float::strict-eq"),
+            (4, "float::strict-eq"),
+            (6, "float::strict-eq"),
+        ],
+    );
+}
+
+#[test]
+fn allow_directives_suppress_validate_and_report_unused() {
+    check(
+        "allow_escapes.rs",
+        "crates/memlp-core/src/fake.rs",
+        &[
+            (4, "lint::allow-missing-reason"),
+            (5, "panic::unwrap"),
+            (7, "lint::unknown-rule"),
+            (10, "lint::unused-allow"),
+        ],
+    );
+}
+
+#[test]
+fn crate_roots_must_forbid_unsafe() {
+    check(
+        "missing_forbid.rs",
+        "crates/memlp-device/src/lib.rs",
+        &[(1, "safety::forbid-unsafe-missing")],
+    );
+    check("good_crate_root.rs", "crates/memlp-device/src/lib.rs", &[]);
+}
+
+#[test]
+fn bench_crate_may_time_and_abort() {
+    check("bench_timing_ok.rs", "crates/memlp-bench/src/fake.rs", &[]);
+}
+
+#[test]
+fn unsafe_is_flagged_even_in_exempt_crates() {
+    check(
+        "unsafe_code.rs",
+        "crates/memlp-bench/src/fake.rs",
+        &[(3, "safety::unsafe-code")],
+    );
+}
+
+#[test]
+fn integration_tests_still_run_under_the_concurrency_regime() {
+    check(
+        "test_file_concurrency.rs",
+        "crates/memlp-linalg/tests/fake.rs",
+        &[(1, "concurrency::primitive"), (5, "concurrency::primitive")],
+    );
+}
+
+#[test]
+fn severities_match_the_registry() {
+    let path = format!(
+        "{}/tests/fixtures/allow_escapes.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(path).unwrap();
+    let report = lint_str("crates/memlp-core/src/fake.rs", &src);
+    assert_eq!(report.deny_count(), 3);
+    assert_eq!(report.warn_count(), 1);
+}

@@ -1,0 +1,31 @@
+//! The acceptance gate: the real workspace must lint clean (zero deny
+//! findings). This is the same check CI's `lint-invariants` job runs via
+//! the binary; keeping it as a test means `cargo test` alone proves the
+//! invariants hold.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_has_zero_deny_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let report = memlp_lint::lint_workspace(root).expect("lint workspace");
+    let denies: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == memlp_lint::Severity::Deny)
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "deny findings in the workspace:\n{}",
+        denies.join("\n")
+    );
+    assert!(
+        report.files_scanned >= 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}

@@ -240,17 +240,16 @@ fn parse_expr(expr: &str) -> Result<Vec<(f64, String)>, LpError> {
                     .ok_or_else(|| syntax("a variable after the coefficient", term))?;
                 (coef, name.to_string())
             } else {
-                let split_at = (1..first.len())
+                let (split_at, coef) = (1..first.len())
                     .rev()
                     .filter(|&k| first.is_char_boundary(k))
-                    .find(|&k| first[..k].parse::<f64>().is_ok())
+                    .find_map(|k| first[..k].parse::<f64>().ok().map(|coef| (k, coef)))
                     .ok_or_else(|| LpError::NonFinite {
                         location: format!("coefficient `{first}`"),
                     })?;
                 if parts.next().is_some() {
                     return Err(syntax("a single `coef var` term", term));
                 }
-                let coef: f64 = first[..split_at].parse().expect("checked above");
                 (coef, first[split_at..].to_string())
             }
         } else {

@@ -97,6 +97,7 @@ impl RandomLp {
         let aty = a.matvec_transposed(&y0);
         let c: Vec<f64> = aty.iter().zip(&z0).map(|(v, z)| v - z).collect();
 
+        // memlp-lint: allow(panic::expect, reason = "A, b, c are built from the same m/n and finite RNG draws; failure is a generator bug, not an input condition")
         let lp = LpProblem::new(a, b, c).expect("generated shapes are consistent");
         (lp, FeasibleCertificate { x0, w0, y0, z0 })
     }
@@ -139,6 +140,7 @@ impl RandomLp {
         b[i] = beta;
         b[j] = -beta - delta;
 
+        // memlp-lint: allow(panic::expect, reason = "planting the contradiction edits entries of an already-valid problem in place")
         LpProblem::new(a, b, base.c().to_vec()).expect("shapes unchanged")
     }
 
@@ -157,6 +159,7 @@ impl RandomLp {
             }
         }
         c[j] = rng.random_range(0.5..1.5);
+        // memlp-lint: allow(panic::expect, reason = "sign-flipping a column of an already-valid problem preserves shapes and finiteness")
         LpProblem::new(a, base.b().to_vec(), c).expect("shapes unchanged")
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Linear program types and workload generators for the `memlp` workspace.
 //!
 //! The canonical problem form throughout the workspace is the paper's

@@ -139,6 +139,7 @@ pub fn presolve(lp: &LpProblem) -> Presolved {
             kept_vars,
             kept_rows: vec![],
         };
+        // memlp-lint: allow(panic::expect, reason = "literal 1x1 zero problem; statically well-formed")
         let lp = LpProblem::new(Matrix::zeros(1, 1), vec![1.0], vec![0.0]).expect("static shapes");
         return Presolved::Reduced { lp, restore };
     }
@@ -184,12 +185,23 @@ pub fn presolve(lp: &LpProblem) -> Presolved {
             c[*col] = lp.c()[j];
         }
     }
-    let lp_reduced = LpProblem::new(a, b, c).expect("presolve shapes are consistent");
-    Presolved::Reduced {
-        lp: lp_reduced,
-        restore: Restore {
-            kept_vars,
-            kept_rows,
+    match LpProblem::new(a, b, c) {
+        Ok(lp_reduced) => Presolved::Reduced {
+            lp: lp_reduced,
+            restore: Restore {
+                kept_vars,
+                kept_rows,
+            },
+        },
+        // Assembly only re-uses entries of the validated, finite input, so
+        // construction cannot fail; stay total anyway by passing the
+        // problem through unreduced.
+        Err(_) => Presolved::Reduced {
+            lp: lp.clone(),
+            restore: Restore {
+                kept_vars: (0..n).map(Some).collect(),
+                kept_rows: (0..m).collect(),
+            },
         },
     }
 }

@@ -1,5 +1,6 @@
 use memlp_linalg::Matrix;
 
+use crate::error::LpError;
 use crate::problem::LpProblem;
 
 /// Row-equilibration record: `scaled_row_i = row_i / scale_i`.
@@ -31,7 +32,13 @@ impl Equilibration {
 /// Row-equilibrates a problem: every row of `[A | b]` is divided by its own
 /// largest absolute entry (rows that are entirely zero are left alone).
 /// The primal solution of the scaled problem equals that of the original.
-pub fn equilibrate(lp: &LpProblem) -> (LpProblem, Equilibration) {
+///
+/// # Errors
+///
+/// Returns [`LpError::NonFinite`] if dividing by a row's (subnormal)
+/// maximum overflows a coefficient to infinity — callers should fall back
+/// to the unscaled problem.
+pub fn equilibrate(lp: &LpProblem) -> Result<(LpProblem, Equilibration), LpError> {
     let m = lp.num_constraints();
     let n = lp.num_vars();
     let mut a = Matrix::zeros(m, n);
@@ -50,8 +57,8 @@ pub fn equilibrate(lp: &LpProblem) -> (LpProblem, Equilibration) {
         }
         b[i] = lp.b()[i] / s;
     }
-    let scaled = LpProblem::new(a, b, lp.c().to_vec()).expect("shapes preserved");
-    (scaled, Equilibration { row_scales })
+    let scaled = LpProblem::new(a, b, lp.c().to_vec())?;
+    Ok((scaled, Equilibration { row_scales }))
 }
 
 #[cfg(test)]
@@ -69,7 +76,7 @@ mod tests {
 
     #[test]
     fn rows_normalized_to_unit_max() {
-        let (scaled, eq) = equilibrate(&lopsided());
+        let (scaled, eq) = equilibrate(&lopsided()).unwrap();
         for i in 0..2 {
             let mut mx = scaled.b()[i].abs();
             for j in 0..2 {
@@ -83,7 +90,7 @@ mod tests {
     #[test]
     fn feasible_region_preserved() {
         let lp = lopsided();
-        let (scaled, _) = equilibrate(&lp);
+        let (scaled, _) = equilibrate(&lp).unwrap();
         for x in [[1.0, 1.0], [4.0, 0.0], [0.0, 2.1], [5.0, 5.0]] {
             assert_eq!(
                 lp.is_feasible(&x, 1e-9),
@@ -96,14 +103,14 @@ mod tests {
     #[test]
     fn zero_rows_untouched() {
         let lp = LpProblem::new(Matrix::zeros(1, 2), vec![0.0], vec![1.0, 1.0]).unwrap();
-        let (scaled, eq) = equilibrate(&lp);
+        let (scaled, eq) = equilibrate(&lp).unwrap();
         assert_eq!(eq.row_scales, vec![1.0]);
         assert_eq!(scaled, lp);
     }
 
     #[test]
     fn dual_unscaling_inverts_row_scaling() {
-        let (_, eq) = equilibrate(&lopsided());
+        let (_, eq) = equilibrate(&lopsided()).unwrap();
         let y = eq.unscale_duals(&[2.0, 3.0]);
         assert!((y[0] - 2.0 / 4000.0).abs() < 1e-15);
         assert!((y[1] - 3.0 / 0.006).abs() < 1e-12);

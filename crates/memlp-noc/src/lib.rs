@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Analog network-on-chip (NoC) coordination of multiple memristor
 //! crossbar tiles.
 //!

@@ -6,6 +6,12 @@
 //! fabric ledger in fixed tile order (phase 2). A freshly programmed array
 //! must therefore produce **bit-for-bit** identical outputs — and an
 //! identical cost ledger — at every worker count.
+//!
+//! These tests run under the `memlp-lint` regime like all other code:
+//! the `concurrency::primitive` rule scans test files too, so any
+//! threading primitive used here (rather than going through
+//! `parallel::with_threads`) would be a deny finding. The pool's own
+//! internals carry the workspace's only reasoned allows.
 
 use memlp_crossbar::CrossbarConfig;
 use memlp_linalg::parallel::with_threads;

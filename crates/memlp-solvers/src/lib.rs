@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Software LP solver baselines for the `memlp` workspace.
 //!
 //! The paper's evaluation (§4) compares the memristor crossbar solvers

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # memlp — a memristor-crossbar linear program solver
 //!
 //! A full Rust reproduction of *"A low-computation-complexity,
