@@ -25,12 +25,10 @@ fn main() {
             let seed = 6000 + trial as u64;
             let lp = RandomLp::paper(m, seed).feasible();
             let reference = NormalEqPdip::default().solve(&lp);
-            let cfg = CrossbarConfig {
-                faults: FaultModel::symmetric(rate),
-                ..CrossbarConfig::paper_default()
-                    .with_variation(5.0)
-                    .with_seed(seed)
-            };
+            let cfg = CrossbarConfig::paper_default()
+                .with_variation(5.0)
+                .with_seed(seed)
+                .with_faults(FaultModel::symmetric(rate).expect("valid fault rate"));
             let r = CrossbarPdipSolver::new(cfg, CrossbarSolverOptions::default()).solve(&lp);
             if r.solution.status.is_optimal() {
                 Some(

@@ -7,19 +7,64 @@
 //! individually with exactly the same per-write physics (variation redrawn
 //! per write, Eqn 18) and the same ledger charging, which is both faithful
 //! and fast enough for the m = 1024 sweeps. See DESIGN.md §4.
+//!
+//! # Blocks, keys and faults
+//!
+//! Each write targets a **block key** — a stable identifier the solver
+//! assigns to one physical array region (the `A′` block, the `Z` diagonal,
+//! …). Hard defects are a property of the *physical region*, so the context
+//! draws one [`FaultPlan`] per key from a dedicated seed stream and applies
+//! it to every write of that key: a stuck cell stays stuck across the
+//! per-iteration diagonal rewrites *and* across §4.3 re-solve attempts
+//! ([`HwContext::begin_attempt`] redraws variation, never defects). The
+//! first faulty write of a key runs a write–verify pass
+//! ([`memlp_device::FaultMap`]) and queues a
+//! [`RecoveryEvent::FaultsDetected`] for the solver to drain; the recovery
+//! rungs ([`HwContext::reprogram_faulty`], [`HwContext::remap_dead_lines`])
+//! mutate the plans so the *next* attempt's writes realize repaired
+//! hardware.
 
-use memlp_crossbar::{CostLedger, CrossbarConfig, Phase, Quantizer};
+use std::collections::BTreeMap;
+
+use memlp_crossbar::{
+    CostLedger, CrossbarConfig, FaultKind, FaultPlan, LineRemap, Phase, Quantizer,
+};
+use memlp_device::FaultMap;
 use memlp_linalg::Matrix;
 use memlp_noc::NocConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Per-solve hardware state: RNG, converters and the cost ledger.
+use crate::recovery::RecoveryEvent;
+
+/// Salt separating per-block fault-plan seeds from the variation stream.
+const FAULT_STREAM_SALT: u64 = 0x0FA0_17ED_B10C_0000;
+
+/// Salt for the transient-upset stream.
+const TRANSIENT_SALT: u64 = 0x0FA0_17ED_F11B_0000;
+
+/// Per-block persistent hardware state: the defect plan, the spare-line
+/// decoder table, and whether detection has been reported yet.
+#[derive(Debug, Clone)]
+struct BlockFaults {
+    plan: FaultPlan,
+    remap: LineRemap,
+    reported: bool,
+}
+
+/// Per-solve hardware state: RNG, converters, per-block fault plans and the
+/// cost ledger.
 #[derive(Debug, Clone)]
 pub struct HwContext {
     config: CrossbarConfig,
     noc: NocConfig,
     rng: StdRng,
+    transient_rng: StdRng,
+    /// Persistent per-block defect state, keyed by the solver's block ids.
+    /// A `BTreeMap` keeps iteration deterministic for the recovery sweeps.
+    blocks: BTreeMap<u32, BlockFaults>,
+    /// Detection events not yet drained by the solver.
+    pending_events: Vec<RecoveryEvent>,
     ledger: CostLedger,
     adc: Quantizer,
     dac: Quantizer,
@@ -39,6 +84,9 @@ impl HwContext {
             adc: Quantizer::new(config.adc_bits),
             dac: Quantizer::new(config.dac_bits),
             rng: StdRng::seed_from_u64(config.seed),
+            transient_rng: StdRng::seed_from_u64(config.seed ^ TRANSIENT_SALT),
+            blocks: BTreeMap::new(),
+            pending_events: Vec::new(),
             ledger: CostLedger::new(),
             noc,
             config,
@@ -67,53 +115,79 @@ impl HwContext {
         self.ledger.charge_noc_transfer(time_s, energy_j, transfers);
     }
 
-    /// Re-seeds the RNG — the §4.3 re-solve ("double checking") scheme:
-    /// re-writing the array redraws every variation deviate.
+    /// Re-seeds the variation RNG — the §4.3 re-solve ("double checking")
+    /// scheme: re-writing the array redraws every variation deviate. Hard
+    /// defects ([`FaultPlan`]s) are untouched; they belong to the silicon,
+    /// not the write history.
     pub fn reseed(&mut self, salt: u64) {
         self.rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(salt));
     }
 
-    /// Writes a non-negative block matrix; returns the realized block.
-    /// Charges one write per **non-zero** coefficient (erased cells already
-    /// sit at `g_off`; zero coefficients need no pulse). Stuck-at faults
-    /// pin cells to the block's full-scale value (`stuck-on`) or zero
-    /// (`stuck-off`) regardless of the programmed target.
-    pub fn write_matrix(&mut self, target: &Matrix, phase: Phase) -> Matrix {
+    /// Starts a new solve attempt: redraws variation (as [`reseed`]) and
+    /// restarts the transient-upset stream for the attempt, while keeping
+    /// fault plans, repairs, remaps and the accumulated ledger.
+    ///
+    /// [`reseed`]: HwContext::reseed
+    pub fn begin_attempt(&mut self, salt: u64) {
+        self.reseed(salt);
+        self.transient_rng =
+            StdRng::seed_from_u64(self.config.seed.wrapping_add(salt) ^ TRANSIENT_SALT);
+    }
+
+    /// Writes a non-negative block matrix under block key `key`; returns
+    /// the realized block. Charges one write per **non-zero** coefficient
+    /// (erased cells already sit at `g_off`; zero coefficients need no
+    /// pulse). The block's persistent [`FaultPlan`] pins stuck-on cells to
+    /// the block's full-scale value and stuck-off cells / dead lines to
+    /// zero, regardless of the programmed target; faulty cells consume no
+    /// variation draw (the pulse never moves the device).
+    pub fn write_matrix(&mut self, key: u32, target: &Matrix, phase: Phase) -> Matrix {
+        let plan = self.plan_for(key, target.rows(), target.cols());
         let a_max = target.max_abs();
         let mut nonzero = 0u64;
-        let realized = target.map_with(|v| {
-            match self.config.faults.draw(&mut self.rng) {
-                memlp_crossbar::FaultKind::StuckOn => return a_max,
-                memlp_crossbar::FaultKind::StuckOff => return 0.0,
-                memlp_crossbar::FaultKind::Healthy => {}
+        let mut realized = Matrix::zeros(target.rows(), target.cols());
+        for i in 0..target.rows() {
+            for j in 0..target.cols() {
+                let v = target[(i, j)];
+                realized[(i, j)] = match plan.fault_at(i, j) {
+                    FaultKind::StuckOn => a_max,
+                    FaultKind::StuckOff => 0.0,
+                    FaultKind::Healthy => {
+                        if v == 0.0 {
+                            0.0
+                        } else {
+                            nonzero += 1;
+                            self.config.variation.perturb(v, &mut self.rng).max(0.0)
+                        }
+                    }
+                };
             }
-            if v == 0.0 {
-                0.0
-            } else {
-                nonzero += 1;
-                self.config.variation.perturb(v, &mut self.rng).max(0.0)
-            }
-        });
+        }
         self.ledger.charge_writes(
             &self.config.cost,
             phase,
             nonzero,
             self.config.variation.max_fraction,
         );
+        self.verify_block(key, target.as_slice(), realized.as_slice(), target.cols());
         realized
     }
 
-    /// Writes a non-negative diagonal (or other dense vector of cells);
-    /// returns realized values. Charges one write per entry — diagonals are
-    /// rewritten wholesale each iteration (the paper's 2.7·N updates).
-    pub fn write_diag(&mut self, target: &[f64], phase: Phase) -> Vec<f64> {
+    /// Writes a non-negative diagonal (or other dense vector of cells)
+    /// under block key `key`; returns realized values. Charges one write
+    /// per entry — diagonals are rewritten wholesale each iteration (the
+    /// paper's 2.7·N updates). The block's [`FaultPlan`] is a `len × 1`
+    /// region (a private line per cell, so no shared-bit-line faults).
+    pub fn write_diag(&mut self, key: u32, target: &[f64], phase: Phase) -> Vec<f64> {
+        let plan = self.plan_for(key, target.len(), 1);
         let a_max = target.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         let realized: Vec<f64> = target
             .iter()
-            .map(|&v| match self.config.faults.draw(&mut self.rng) {
-                memlp_crossbar::FaultKind::StuckOn => a_max,
-                memlp_crossbar::FaultKind::StuckOff => 0.0,
-                memlp_crossbar::FaultKind::Healthy => self
+            .enumerate()
+            .map(|(i, &v)| match plan.fault_at(i, 0) {
+                FaultKind::StuckOn => a_max,
+                FaultKind::StuckOff => 0.0,
+                FaultKind::Healthy => self
                     .config
                     .variation
                     .perturb(v.max(0.0), &mut self.rng)
@@ -126,6 +200,7 @@ impl HwContext {
             target.len() as u64,
             self.config.variation.max_fraction,
         );
+        self.verify_block(key, target, &realized, 1);
         realized
     }
 
@@ -150,21 +225,32 @@ impl HwContext {
         out
     }
 
-    /// ADC counterpart of [`HwContext::dac_blocks`].
+    /// ADC counterpart of [`HwContext::dac_blocks`]. Transient read upsets
+    /// (when configured) strike each segment independently — each block has
+    /// its own converter bank.
     pub fn adc_blocks(&mut self, v: &[f64], lens: &[usize]) -> Vec<f64> {
         debug_assert_eq!(lens.iter().sum::<usize>(), v.len());
         let mut out = Vec::with_capacity(v.len());
         let mut at = 0;
         for &len in lens {
-            out.extend(self.adc.quantize_vec(&v[at..at + len]));
+            let mut seg = self.adc.quantize_vec(&v[at..at + len]);
+            self.config
+                .faults
+                .upset_read(&mut seg, &mut self.transient_rng);
+            out.extend(seg);
             at += len;
         }
         out
     }
 
-    /// ADC-quantizes a voltage vector read from the array.
+    /// ADC-quantizes a voltage vector read from the array, applying any
+    /// configured transient read upsets.
     pub fn adc(&mut self, v: &[f64]) -> Vec<f64> {
-        self.adc.quantize_vec(v)
+        let mut out = self.adc.quantize_vec(v);
+        self.config
+            .faults
+            .upset_read(&mut out, &mut self.transient_rng);
+        out
     }
 
     /// ADC-quantizes with an auto-ranged reference **capped** at
@@ -177,9 +263,14 @@ impl HwContext {
     pub fn adc_clipped(&mut self, v: &[f64], max_scale: f64) -> Vec<f64> {
         let auto = v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
         let fs = auto.min(max_scale);
-        v.iter()
+        let mut out: Vec<f64> = v
+            .iter()
             .map(|&x| self.adc.quantize_against(x, fs))
-            .collect()
+            .collect();
+        self.config
+            .faults
+            .upset_read(&mut out, &mut self.transient_rng);
+        out
     }
 
     /// Charges one analog operation over an array of `dim` lines.
@@ -220,24 +311,140 @@ impl HwContext {
         let slope = (d.g_on() - d.g_off()) / a_max.max(f64::MIN_POSITIVE);
         d.g_off() * cells as f64 + slope * value_sum
     }
-}
 
-/// Extension: `Matrix::map` with a stateful closure (not in `memlp-linalg`
-/// because `map` there takes `Fn`; the write path needs `FnMut` for the
-/// RNG).
-trait MapWith {
-    fn map_with(&self, f: impl FnMut(f64) -> f64) -> Matrix;
-}
+    // ----- fault state and recovery ----------------------------------------
 
-impl MapWith for Matrix {
-    fn map_with(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
-        Matrix::from_fn(self.rows(), self.cols(), |i, j| f(self[(i, j)]))
+    /// Drains the queued detection events (in block-key order of first
+    /// detection) for the solver's recovery report.
+    pub fn take_recovery_events(&mut self) -> Vec<RecoveryEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
+    /// `true` if any written block carries hard defects right now.
+    pub fn saw_faults(&self) -> bool {
+        self.blocks.values().any(|b| !b.plan.is_clean())
+    }
+
+    /// Weak (repairable) stuck cells across all written blocks.
+    pub fn weak_faults(&self) -> usize {
+        self.blocks.values().map(|b| b.plan.weak_cells()).sum()
+    }
+
+    /// `true` if any written block has a dead line left.
+    pub fn has_dead_lines(&self) -> bool {
+        self.blocks
+            .values()
+            .any(|b| !b.plan.dead_rows().is_empty() || !b.plan.dead_cols().is_empty())
+    }
+
+    /// Recovery rung 1: re-programs every weak stuck cell with an extended
+    /// pulse budget. Returns `(repaired, remaining_hard)`. The next write
+    /// of each block realizes the repaired cells; the pass itself charges
+    /// run-phase writes for the extra pulse trains.
+    pub fn reprogram_faulty(&mut self) -> (usize, usize) {
+        let mut repaired = 0;
+        let mut remaining = 0;
+        for b in self.blocks.values_mut() {
+            repaired += b.plan.repair_weak();
+            remaining += b.plan.stuck_cells();
+        }
+        if repaired > 0 {
+            // The extended-budget pulse trains are an order of magnitude
+            // longer than a nominal write; charge them as 10 run writes per
+            // repaired cell.
+            self.ledger.charge_writes(
+                &self.config.cost,
+                Phase::Run,
+                10 * repaired as u64,
+                self.config.variation.max_fraction,
+            );
+        }
+        (repaired, remaining)
+    }
+
+    /// Recovery rung 2: relocates logical lines off dead physical lines
+    /// onto each block's spare lines (`config.spare_lines` per side per
+    /// block). Returns `(rows_remapped, cols_remapped, unmapped)`. The
+    /// next write of each block realizes the relocated lines.
+    pub fn remap_dead_lines(&mut self) -> (usize, usize, usize) {
+        let mut rows_done = 0;
+        let mut cols_done = 0;
+        let mut unmapped = 0;
+        for b in self.blocks.values_mut() {
+            for r in b.plan.dead_rows().to_vec() {
+                if b.remap.remap_row(r) {
+                    b.plan.revive_row(r);
+                    rows_done += 1;
+                } else {
+                    unmapped += 1;
+                }
+            }
+            for c in b.plan.dead_cols().to_vec() {
+                if b.remap.remap_col(c) {
+                    b.plan.revive_col(c);
+                    cols_done += 1;
+                } else {
+                    unmapped += 1;
+                }
+            }
+        }
+        (rows_done, cols_done, unmapped)
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    /// Returns (drawing if necessary) the fault plan for block `key`. The
+    /// plan seed mixes the configuration seed with the key only — never the
+    /// attempt salt — so defects are a stable property of the physical
+    /// block across re-solve attempts.
+    fn plan_for(&mut self, key: u32, rows: usize, cols: usize) -> FaultPlan {
+        if self.config.faults.is_none() {
+            return FaultPlan::clean(rows, cols);
+        }
+        let faults = self.config.faults;
+        let seed = self.config.seed
+            ^ FAULT_STREAM_SALT
+            ^ (u64::from(key) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let spares = self.config.spare_lines;
+        let entry = self.blocks.entry(key).or_insert_with(|| BlockFaults {
+            plan: FaultPlan::draw(&faults, rows, cols, seed),
+            remap: LineRemap::new(spares, spares),
+            reported: false,
+        });
+        entry.plan.clone()
+    }
+
+    /// Write–verify: on the first write of a defective block, compare the
+    /// realized values against the target (the verify read) and queue a
+    /// detection event. A dead line fails verify on every cell, so the
+    /// detector sees dead lines exactly; the weak/hard split comes from the
+    /// controller's extended-verify classification (modelled by the plan).
+    fn verify_block(&mut self, key: u32, target: &[f64], realized: &[f64], cols: usize) {
+        let Some(b) = self.blocks.get_mut(&key) else {
+            return;
+        };
+        if b.reported || b.plan.is_clean() {
+            return;
+        }
+        b.reported = true;
+        let rows = target.len() / cols.max(1);
+        let rel_band = self.config.variation.max_fraction + 1e-9;
+        let fmap = FaultMap::detect(rows, cols, target, realized, rel_band, 1e-12);
+        let _ = fmap.len(); // detection runs the real verify path
+        self.pending_events.push(RecoveryEvent::FaultsDetected {
+            block: key,
+            stuck_cells: b.plan.stuck_cells(),
+            weak_cells: b.plan.weak_cells(),
+            dead_rows: b.plan.dead_rows().len(),
+            dead_cols: b.plan.dead_cols().len(),
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memlp_crossbar::FaultModel;
 
     fn ctx(var_pct: f64) -> HwContext {
         HwContext::new(
@@ -247,11 +454,19 @@ mod tests {
         )
     }
 
+    fn faulty_ctx(faults: FaultModel, seed: u64) -> HwContext {
+        HwContext::new(
+            CrossbarConfig::paper_default()
+                .with_faults(faults)
+                .with_seed(seed),
+        )
+    }
+
     #[test]
     fn write_matrix_preserves_zeros_and_counts_nonzeros() {
         let mut c = ctx(20.0);
         let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
-        let r = c.write_matrix(&m, Phase::Setup);
+        let r = c.write_matrix(0, &m, Phase::Setup);
         assert_eq!(r[(0, 1)], 0.0);
         assert_eq!(r[(1, 0)], 0.0);
         assert!(r[(0, 0)] > 0.0);
@@ -262,7 +477,7 @@ mod tests {
     fn write_matrix_respects_variation_band() {
         let mut c = ctx(10.0);
         let m = Matrix::from_fn(8, 8, |i, j| 1.0 + (i * 8 + j) as f64 * 0.1);
-        let r = c.write_matrix(&m, Phase::Setup);
+        let r = c.write_matrix(0, &m, Phase::Setup);
         for i in 0..8 {
             for j in 0..8 {
                 let t = m[(i, j)];
@@ -274,7 +489,7 @@ mod tests {
     #[test]
     fn write_diag_charges_run_phase() {
         let mut c = ctx(0.0);
-        let r = c.write_diag(&[1.0, 2.0, 3.0], Phase::Run);
+        let r = c.write_diag(0, &[1.0, 2.0, 3.0], Phase::Run);
         assert_eq!(r, vec![1.0, 2.0, 3.0]);
         assert_eq!(c.ledger().counts().update_writes, 3);
     }
@@ -284,7 +499,7 @@ mod tests {
         // The §3.4 constant-θ solver can momentarily produce negative state
         // values; the crossbar saturates them at zero rather than erroring.
         let mut c = ctx(0.0);
-        let r = c.write_diag(&[-0.5, 1.0], Phase::Run);
+        let r = c.write_diag(0, &[-0.5, 1.0], Phase::Run);
         assert_eq!(r[0], 0.0);
     }
 
@@ -303,10 +518,10 @@ mod tests {
     fn reseed_changes_draws() {
         let m = Matrix::from_rows(&[&[1.0; 8]]).unwrap();
         let mut c1 = ctx(20.0);
-        let r1 = c1.write_matrix(&m, Phase::Setup);
+        let r1 = c1.write_matrix(0, &m, Phase::Setup);
         let mut c2 = ctx(20.0);
         c2.reseed(1);
-        let r2 = c2.write_matrix(&m, Phase::Setup);
+        let r2 = c2.write_matrix(0, &m, Phase::Setup);
         assert_ne!(r1, r2);
     }
 
@@ -347,5 +562,110 @@ mod tests {
         let lo = c.conductance_estimate(100, 10.0, 10.0);
         let hi = c.conductance_estimate(100, 90.0, 10.0);
         assert!(hi > lo);
+    }
+
+    #[test]
+    fn fault_plans_persist_across_attempts() {
+        let faults = FaultModel::symmetric(0.05).unwrap();
+        let mut c = faulty_ctx(faults, 3);
+        let m = Matrix::from_fn(16, 16, |_, _| 1.0);
+        let r1 = c.write_matrix(0, &m, Phase::Setup);
+        assert!(c.saw_faults(), "5% over 256 cells must draw faults");
+        c.begin_attempt(1);
+        let r2 = c.write_matrix(0, &m, Phase::Setup);
+        // Stuck cells realize identical values in both attempts.
+        for i in 0..16 {
+            for j in 0..16 {
+                if r1[(i, j)] == 0.0 {
+                    assert_eq!(r2[(i, j)], 0.0, "stuck-off cell moved at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detection_reports_each_faulty_block_once() {
+        let faults = FaultModel::symmetric(0.05).unwrap();
+        let mut c = faulty_ctx(faults, 3);
+        let m = Matrix::from_fn(16, 16, |_, _| 1.0);
+        c.write_matrix(0, &m, Phase::Setup);
+        c.write_matrix(0, &m, Phase::Run);
+        c.write_diag(1, &[1.0; 64], Phase::Setup);
+        let events = c.take_recovery_events();
+        let detections = events
+            .iter()
+            .filter(|e| matches!(e, RecoveryEvent::FaultsDetected { .. }))
+            .count();
+        assert!(detections >= 1);
+        assert!(detections <= 2, "at most one detection per block");
+        assert!(c.take_recovery_events().is_empty(), "drained");
+    }
+
+    #[test]
+    fn reprogram_clears_weak_cells_only() {
+        let faults = FaultModel::symmetric(0.05)
+            .unwrap()
+            .with_weak_fraction(1.0)
+            .unwrap();
+        let mut c = faulty_ctx(faults, 5);
+        let m = Matrix::from_fn(16, 16, |_, _| 1.0);
+        let before = c.write_matrix(0, &m, Phase::Setup);
+        assert!(before.as_slice().contains(&0.0));
+        let (repaired, remaining) = c.reprogram_faulty();
+        assert!(repaired > 0);
+        assert_eq!(remaining, 0, "all faults weak");
+        let after = c.write_matrix(0, &m, Phase::Run);
+        assert!(
+            after.as_slice().iter().all(|&v| v > 0.0),
+            "repaired block writes cleanly"
+        );
+    }
+
+    #[test]
+    fn remap_revives_dead_lines_within_spare_budget() {
+        let faults = FaultModel::none().with_dead_lines(0.15, 0.0).unwrap();
+        let mut c = faulty_ctx(faults, 11);
+        let m = Matrix::from_fn(16, 16, |_, _| 1.0);
+        let before = c.write_matrix(0, &m, Phase::Setup);
+        let dead_before: Vec<usize> = (0..16)
+            .filter(|&i| (0..16).all(|j| before[(i, j)] == 0.0))
+            .collect();
+        assert!(!dead_before.is_empty(), "seed must draw a dead row");
+        assert!(c.has_dead_lines());
+        let (rows, _cols, _unmapped) = c.remap_dead_lines();
+        assert!(rows > 0);
+        let after = c.write_matrix(0, &m, Phase::Run);
+        let dead_after = (0..16)
+            .filter(|&i| (0..16).all(|j| after[(i, j)] == 0.0))
+            .count();
+        assert!(dead_after < dead_before.len(), "remap revived lines");
+    }
+
+    #[test]
+    fn transient_upsets_strike_reads_at_the_configured_rate() {
+        let faults = FaultModel::none().with_transients(0.2).unwrap();
+        let mut c = faulty_ctx(faults, 13);
+        let clean = vec![1.0; 64];
+        let mut hit = 0;
+        for _ in 0..50 {
+            let out = c.adc(&clean);
+            hit += out.iter().filter(|&&v| v != 1.0).count();
+        }
+        let rate = hit as f64 / (50.0 * 64.0);
+        assert!((rate - 0.2).abs() < 0.05, "upset rate {rate}");
+    }
+
+    #[test]
+    fn no_fault_config_has_no_block_state() {
+        let mut c = ctx(10.0);
+        let m = Matrix::from_fn(8, 8, |_, _| 1.0);
+        c.write_matrix(0, &m, Phase::Setup);
+        c.write_diag(1, &[1.0; 8], Phase::Run);
+        assert!(!c.saw_faults());
+        assert!(!c.has_dead_lines());
+        assert_eq!(c.weak_faults(), 0);
+        assert!(c.take_recovery_events().is_empty());
+        assert_eq!(c.reprogram_faulty(), (0, 0));
+        assert_eq!(c.remap_dead_lines(), (0, 0, 0));
     }
 }

@@ -1,4 +1,4 @@
-use memlp_crossbar::{CostLedger, CrossbarConfig, Phase};
+use memlp_crossbar::{CrossbarConfig, Phase};
 use memlp_linalg::{ops, parallel, LuFactors, Matrix};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 use memlp_solvers::pdip::{PdipOptions, PdipState};
@@ -6,8 +6,38 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::hw::HwContext;
+use crate::recovery::{self, RecoveryEvent, RecoveryPolicy, RecoveryReport};
 use crate::trace::{IterationRecord, SolverTrace};
 use crate::transform::SignSplit;
+
+/// Stable block keys: each physical crossbar region the solver programs gets
+/// one, so fault plans persist per region across attempts (see
+/// [`HwContext::write_matrix`]).
+mod key {
+    /// Solve realization (with fill), in programming order.
+    pub const AP_S: u32 = 0;
+    pub const AN_S: u32 = 1;
+    pub const ATP_S: u32 = 2;
+    pub const ATN_S: u32 = 3;
+    pub const RU_S: u32 = 4;
+    pub const RL_S: u32 = 5;
+    pub const SELX: u32 = 6;
+    pub const SELY: u32 = 7;
+    pub const IPX: u32 = 8;
+    pub const IPY: u32 = 9;
+    /// MVM realization (fill-free, Eqn 17a).
+    pub const AP_M: u32 = 10;
+    pub const AN_M: u32 = 11;
+    pub const ATP_M: u32 = 12;
+    pub const ATN_M: u32 = 13;
+    pub const SELX_M: u32 = 14;
+    pub const SELY_M: u32 = 15;
+    pub const IPX_M: u32 = 16;
+    pub const IPY_M: u32 = 17;
+    /// Per-iteration diagonal crossbar M2.
+    pub const XD: u32 = 18;
+    pub const YD: u32 = 19;
+}
 
 /// Options for the large-scale solver (Algorithm 2, §3.4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +81,9 @@ pub struct LargeScaleOptions {
     /// (crossbars cannot store negative λ); without this term the primal
     /// residual floors at the least-squares residual of `A`.
     pub dual_feedback: f64,
+    /// How far the solver may escalate when write–verify reports defects
+    /// (see [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for LargeScaleOptions {
@@ -80,6 +113,7 @@ impl Default for LargeScaleOptions {
             infeasible_floor: 0.30,
             equilibrate: false,
             dual_feedback: 1.0,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -154,7 +188,7 @@ impl LargeScaleSolver {
     /// best-scoring one (smallest relative residual/gap) is what the final
     /// classification sees once the retry budget is spent.
     pub fn solve(&self, lp: &LpProblem) -> crate::CrossbarSolution {
-        let mut ledger = CostLedger::new();
+        let mut report = RecoveryReport::new(self.options.recovery);
         let bnorm = 1.0 + ops::inf_norm(lp.b());
         let cnorm = 1.0 + ops::inf_norm(lp.c());
         let score_of = |sol: &LpSolution| -> f64 {
@@ -182,23 +216,43 @@ impl LargeScaleSolver {
             (lp.clone(), None)
         };
         let at = wlp.a().transpose();
+        // The hardware context persists across attempts: fault plans belong
+        // to the physical array, while each `begin_attempt` redraws the
+        // Eqn 18 variation (the §4.3 double check).
+        let mut hw = HwContext::new(self.config);
         for attempt in 0..=self.options.retries {
-            let mut hw = HwContext::new(self.config);
-            hw.reseed(0x1A26_0000 + attempt as u64);
+            hw.begin_attempt(0x1A26_0000 + attempt as u64);
             let outcome = self.attempt(lp, &wlp, &eq, &at, &mut hw, attempt as u64);
-            ledger.merge(hw.ledger());
+            for e in hw.take_recovery_events() {
+                report.push(e);
+            }
+            // See the Algorithm-1 solver: Infeasible from hardware with
+            // write–verify-confirmed defects is the fault talking, not a
+            // certificate — keep climbing the ladder.
+            let hw_suspect = self.options.recovery.acts() && report.saw_faults();
             match outcome {
-                Ok((mut solution, trace)) => {
+                Ok((mut solution, mut trace)) => {
                     let failed = matches!(solution.status, LpStatus::NumericalFailure)
+                        || (matches!(
+                            solution.status,
+                            LpStatus::IterationLimit | LpStatus::Infeasible
+                        ) && hw_suspect)
                         || (solution.status == LpStatus::IterationLimit
-                            && attempt < self.options.retries);
+                            && attempt < self.options.retries)
+                        // Strict §3.2 α-recheck for fault-suspect Optimal
+                        // verdicts (see the Algorithm-1 solver).
+                        || (solution.status == LpStatus::Optimal
+                            && hw_suspect
+                            && !lp.satisfies_relaxed_scaled(&solution.x, self.options.alpha));
                     if !failed {
                         self.classify_exhausted(lp, &mut solution);
+                        trace.events = report.events.clone();
                         return crate::CrossbarSolution {
                             solution,
-                            ledger,
+                            ledger: *hw.ledger(),
                             trace,
                             retries_used: attempt,
+                            recovery: report,
                         };
                     }
                     let score = score_of(&solution);
@@ -217,10 +271,16 @@ impl LargeScaleSolver {
                     }
                 }
             }
+            if attempt < self.options.retries {
+                recovery::escalate_hardware(self.options.recovery, &mut hw, &mut report);
+                report.push(RecoveryEvent::VariationRedraw {
+                    attempt: attempt + 1,
+                });
+            }
         }
         // The retry loop always runs at least once; if the invariant ever
         // breaks, report a numerical failure instead of panicking mid-solve.
-        let (_, mut solution, trace, attempt) = best.unwrap_or_else(|| {
+        let (_, mut solution, mut trace, attempt) = best.unwrap_or_else(|| {
             (
                 f64::INFINITY,
                 LpSolution::failed(LpStatus::NumericalFailure, 0),
@@ -229,11 +289,33 @@ impl LargeScaleSolver {
             )
         });
         self.classify_exhausted(lp, &mut solution);
+        // Rung 4: defective hardware that exhausted the analog ladder hands
+        // the problem to the bounded digital solve (fault-free failures keep
+        // their analog verdict). Fault-era Infeasible verdicts are
+        // re-checked too — a genuine contradiction still reports Infeasible
+        // from the digital certificate.
+        // (An α-failing `Optimal` — one that spent every attempt failing
+        // the strict recheck above — qualifies for fallback too; an
+        // α-passing one promoted by `classify_exhausted` keeps its analog
+        // answer.)
+        let unresolved = matches!(
+            solution.status,
+            LpStatus::NumericalFailure | LpStatus::IterationLimit | LpStatus::Infeasible
+        ) || (solution.status == LpStatus::Optimal
+            && !lp.satisfies_relaxed_scaled(&solution.x, self.options.alpha));
+        if unresolved && self.options.recovery.allows_digital() && report.saw_faults() {
+            let (digital, iterations) =
+                recovery::digital_fallback(lp, self.options.pdip.max_iterations);
+            report.push(RecoveryEvent::DigitalFallback { iterations });
+            solution = digital;
+        }
+        trace.events = report.events.clone();
         crate::CrossbarSolution {
             solution,
-            ledger,
+            ledger: *hw.ledger(),
             trace,
             retries_used: attempt,
+            recovery: report,
         }
     }
 
@@ -572,16 +654,16 @@ impl LargeScaleSystem {
             .collect();
 
         // --- Solve realization (with fill).
-        let ap_s = hw.write_matrix(&split_a.pos, Phase::Setup);
-        let an_s = hw.write_matrix(&split_a.neg, Phase::Setup);
-        let atp_s = hw.write_matrix(&split_at.pos, Phase::Setup);
-        let atn_s = hw.write_matrix(&split_at.neg, Phase::Setup);
-        let ru_s = hw.write_diag(&ru, Phase::Setup);
-        let rl_s = hw.write_diag(&rl, Phase::Setup);
-        let selx = hw.write_diag(&vec![1.0; kx], Phase::Setup);
-        let sely = hw.write_diag(&vec![1.0; ky], Phase::Setup);
-        let ipx = hw.write_diag(&vec![1.0; kx], Phase::Setup);
-        let ipy = hw.write_diag(&vec![1.0; ky], Phase::Setup);
+        let ap_s = hw.write_matrix(key::AP_S, &split_a.pos, Phase::Setup);
+        let an_s = hw.write_matrix(key::AN_S, &split_a.neg, Phase::Setup);
+        let atp_s = hw.write_matrix(key::ATP_S, &split_at.pos, Phase::Setup);
+        let atn_s = hw.write_matrix(key::ATN_S, &split_at.neg, Phase::Setup);
+        let ru_s = hw.write_diag(key::RU_S, &ru, Phase::Setup);
+        let rl_s = hw.write_diag(key::RL_S, &rl, Phase::Setup);
+        let selx = hw.write_diag(key::SELX, &vec![1.0; kx], Phase::Setup);
+        let sely = hw.write_diag(key::SELY, &vec![1.0; ky], Phase::Setup);
+        let ipx = hw.write_diag(key::IPX, &vec![1.0; kx], Phase::Setup);
+        let ipy = hw.write_diag(key::IPY, &vec![1.0; ky], Phase::Setup);
         if ipx.iter().chain(&ipy).any(|v| *v == 0.0) {
             return None;
         }
@@ -612,14 +694,14 @@ impl LargeScaleSystem {
 
         // --- MVM realization (fill-free, Eqn 17a) — independently written,
         //     so it carries its own variation draws.
-        let ap_mvm = hw.write_matrix(&split_a.pos, Phase::Setup);
-        let an_mvm = hw.write_matrix(&split_a.neg, Phase::Setup);
-        let atp_mvm = hw.write_matrix(&split_at.pos, Phase::Setup);
-        let atn_mvm = hw.write_matrix(&split_at.neg, Phase::Setup);
-        let selx_mvm = hw.write_diag(&vec![1.0; kx], Phase::Setup);
-        let sely_mvm = hw.write_diag(&vec![1.0; ky], Phase::Setup);
-        let ipx_mvm = hw.write_diag(&vec![1.0; kx], Phase::Setup);
-        let ipy_mvm = hw.write_diag(&vec![1.0; ky], Phase::Setup);
+        let ap_mvm = hw.write_matrix(key::AP_M, &split_a.pos, Phase::Setup);
+        let an_mvm = hw.write_matrix(key::AN_M, &split_a.neg, Phase::Setup);
+        let atp_mvm = hw.write_matrix(key::ATP_M, &split_at.pos, Phase::Setup);
+        let atn_mvm = hw.write_matrix(key::ATN_M, &split_at.neg, Phase::Setup);
+        let selx_mvm = hw.write_diag(key::SELX_M, &vec![1.0; kx], Phase::Setup);
+        let sely_mvm = hw.write_diag(key::SELY_M, &vec![1.0; ky], Phase::Setup);
+        let ipx_mvm = hw.write_diag(key::IPX_M, &vec![1.0; kx], Phase::Setup);
+        let ipy_mvm = hw.write_diag(key::IPY_M, &vec![1.0; ky], Phase::Setup);
 
         let cells = 2 * (m * n * 2 + m * kx + n * ky) + m * m + n * n + 2 * (kx + ky);
         let mut sys = LargeScaleSystem {
@@ -653,8 +735,8 @@ impl LargeScaleSystem {
     /// O(N) per-iteration updates: rewrite `X` and `Y` on the diagonal
     /// crossbar `M2`.
     fn update_diagonals(&mut self, state: &PdipState, hw: &mut HwContext) {
-        self.xd = hw.write_diag(&state.x, Phase::Run);
-        self.yd = hw.write_diag(&state.y, Phase::Run);
+        self.xd = hw.write_diag(key::XD, &state.x, Phase::Run);
+        self.yd = hw.write_diag(key::YD, &state.y, Phase::Run);
     }
 
     /// Eqn 17a: `r1 = [b − w, c + z, 0] − M̂·[x, y, p]` using the

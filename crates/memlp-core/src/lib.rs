@@ -22,7 +22,10 @@
 //!
 //! Both solvers return a [`CrossbarSolution`] bundling the LP result with
 //! the hardware [`memlp_crossbar::CostLedger`] (latency/energy estimates in
-//! the style of the paper's §4.4) and a per-iteration [`SolverTrace`].
+//! the style of the paper's §4.4), a per-iteration [`SolverTrace`], and a
+//! [`RecoveryReport`] describing any fault detections and the recovery
+//! rungs climbed (re-program → remap → variation redraw → digital
+//! fallback; see [`RecoveryPolicy`]).
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 mod hw;
 mod large_scale;
 mod newton;
+mod recovery;
 mod solver;
 mod trace;
 mod transform;
@@ -52,6 +56,7 @@ mod transform;
 pub use hw::HwContext;
 pub use large_scale::{LargeScaleOptions, LargeScaleSolver};
 pub use newton::{AugmentedDirections, AugmentedSystem};
+pub use recovery::{RecoveryEvent, RecoveryPolicy, RecoveryReport};
 pub use solver::{CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions};
 pub use trace::{IterationRecord, SolverTrace};
 pub use transform::SignSplit;

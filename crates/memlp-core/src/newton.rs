@@ -33,6 +33,29 @@ use memlp_solvers::pdip::{PdipState, StepDirections};
 use crate::hw::HwContext;
 use crate::transform::SignSplit;
 
+/// Stable block keys identifying the physical array regions of the
+/// augmented system (fault plans attach to these; see `HwContext`).
+mod key {
+    pub const AP: u32 = 0;
+    pub const AN: u32 = 1;
+    pub const ATP: u32 = 2;
+    pub const ATN: u32 = 3;
+    pub const IW: u32 = 4;
+    pub const IV: u32 = 5;
+    pub const I1: u32 = 6;
+    pub const I2: u32 = 7;
+    pub const I3: u32 = 8;
+    pub const I4: u32 = 9;
+    pub const IPX: u32 = 10;
+    pub const IPY: u32 = 11;
+    pub const SELX: u32 = 12;
+    pub const SELY: u32 = 13;
+    pub const ZD: u32 = 14;
+    pub const XD: u32 = 15;
+    pub const WD: u32 = 16;
+    pub const YD: u32 = 17;
+}
+
 /// The realized augmented system: static blocks written once, diagonal
 /// blocks rewritten every iteration.
 #[derive(Debug, Clone)]
@@ -138,20 +161,20 @@ impl AugmentedSystem {
         let kx = split_a.num_compensations();
         let ky = split_at.num_compensations();
 
-        let ap = hw.write_matrix(&split_a.pos, Phase::Setup);
-        let an = hw.write_matrix(&split_a.neg, Phase::Setup);
-        let atp = hw.write_matrix(&split_at.pos, Phase::Setup);
-        let atn = hw.write_matrix(&split_at.neg, Phase::Setup);
-        let iw = hw.write_diag(&vec![1.0; m], Phase::Setup);
-        let iv = hw.write_diag(&vec![1.0; n], Phase::Setup);
-        let i1 = hw.write_diag(&vec![1.0; m], Phase::Setup);
-        let i2 = hw.write_diag(&vec![1.0; m], Phase::Setup);
-        let i3 = hw.write_diag(&vec![1.0; n], Phase::Setup);
-        let i4 = hw.write_diag(&vec![1.0; n], Phase::Setup);
-        let ipx = hw.write_diag(&vec![1.0; kx], Phase::Setup);
-        let ipy = hw.write_diag(&vec![1.0; ky], Phase::Setup);
-        let selx = hw.write_diag(&vec![1.0; kx], Phase::Setup);
-        let sely = hw.write_diag(&vec![1.0; ky], Phase::Setup);
+        let ap = hw.write_matrix(key::AP, &split_a.pos, Phase::Setup);
+        let an = hw.write_matrix(key::AN, &split_a.neg, Phase::Setup);
+        let atp = hw.write_matrix(key::ATP, &split_at.pos, Phase::Setup);
+        let atn = hw.write_matrix(key::ATN, &split_at.neg, Phase::Setup);
+        let iw = hw.write_diag(key::IW, &vec![1.0; m], Phase::Setup);
+        let iv = hw.write_diag(key::IV, &vec![1.0; n], Phase::Setup);
+        let i1 = hw.write_diag(key::I1, &vec![1.0; m], Phase::Setup);
+        let i2 = hw.write_diag(key::I2, &vec![1.0; m], Phase::Setup);
+        let i3 = hw.write_diag(key::I3, &vec![1.0; n], Phase::Setup);
+        let i4 = hw.write_diag(key::I4, &vec![1.0; n], Phase::Setup);
+        let ipx = hw.write_diag(key::IPX, &vec![1.0; kx], Phase::Setup);
+        let ipy = hw.write_diag(key::IPY, &vec![1.0; ky], Phase::Setup);
+        let selx = hw.write_diag(key::SELX, &vec![1.0; kx], Phase::Setup);
+        let sely = hw.write_diag(key::SELY, &vec![1.0; ky], Phase::Setup);
 
         let cells = m * n * 2 + m * kx + n * ky + 4 * (n + m) + 2 * (kx + ky);
         let mut sys = AugmentedSystem {
@@ -219,10 +242,10 @@ impl AugmentedSystem {
     /// the paper's O(N) per-iteration coefficient updates (2(n+m) ≈ 2.7·m
     /// writes when n = m/3).
     pub fn update_diagonals(&mut self, state: &PdipState, hw: &mut HwContext) {
-        self.zd = hw.write_diag(&state.z, Phase::Run);
-        self.xd = hw.write_diag(&state.x, Phase::Run);
-        self.wd = hw.write_diag(&state.w, Phase::Run);
-        self.yd = hw.write_diag(&state.y, Phase::Run);
+        self.zd = hw.write_diag(key::ZD, &state.z, Phase::Run);
+        self.xd = hw.write_diag(key::XD, &state.x, Phase::Run);
+        self.wd = hw.write_diag(key::WD, &state.w, Phase::Run);
+        self.yd = hw.write_diag(key::YD, &state.y, Phase::Run);
     }
 
     /// Ages the **static** blocks by the drift factor for `dt` seconds of
@@ -267,22 +290,22 @@ impl AugmentedSystem {
     pub fn refresh_static(&mut self, hw: &mut HwContext) {
         let kx = self.ipx.len();
         let ky = self.ipy.len();
-        self.ap = hw.write_matrix(&self.split_a.pos, Phase::Run);
-        self.an = hw.write_matrix(&self.split_a.neg, Phase::Run);
-        self.atp = hw.write_matrix(&self.split_at.pos, Phase::Run);
-        self.atn = hw.write_matrix(&self.split_at.neg, Phase::Run);
+        self.ap = hw.write_matrix(key::AP, &self.split_a.pos, Phase::Run);
+        self.an = hw.write_matrix(key::AN, &self.split_a.neg, Phase::Run);
+        self.atp = hw.write_matrix(key::ATP, &self.split_at.pos, Phase::Run);
+        self.atn = hw.write_matrix(key::ATN, &self.split_at.neg, Phase::Run);
         let m = self.m;
         let n = self.n;
-        self.iw = hw.write_diag(&vec![1.0; m], Phase::Run);
-        self.iv = hw.write_diag(&vec![1.0; n], Phase::Run);
-        self.i1 = hw.write_diag(&vec![1.0; m], Phase::Run);
-        self.i2 = hw.write_diag(&vec![1.0; m], Phase::Run);
-        self.i3 = hw.write_diag(&vec![1.0; n], Phase::Run);
-        self.i4 = hw.write_diag(&vec![1.0; n], Phase::Run);
-        self.ipx = hw.write_diag(&vec![1.0; kx], Phase::Run);
-        self.ipy = hw.write_diag(&vec![1.0; ky], Phase::Run);
-        self.selx = hw.write_diag(&vec![1.0; kx], Phase::Run);
-        self.sely = hw.write_diag(&vec![1.0; ky], Phase::Run);
+        self.iw = hw.write_diag(key::IW, &vec![1.0; m], Phase::Run);
+        self.iv = hw.write_diag(key::IV, &vec![1.0; n], Phase::Run);
+        self.i1 = hw.write_diag(key::I1, &vec![1.0; m], Phase::Run);
+        self.i2 = hw.write_diag(key::I2, &vec![1.0; m], Phase::Run);
+        self.i3 = hw.write_diag(key::I3, &vec![1.0; n], Phase::Run);
+        self.i4 = hw.write_diag(key::I4, &vec![1.0; n], Phase::Run);
+        self.ipx = hw.write_diag(key::IPX, &vec![1.0; kx], Phase::Run);
+        self.ipy = hw.write_diag(key::IPY, &vec![1.0; ky], Phase::Run);
+        self.selx = hw.write_diag(key::SELX, &vec![1.0; kx], Phase::Run);
+        self.sely = hw.write_diag(key::SELY, &vec![1.0; ky], Phase::Run);
         self.rebuild_effective();
     }
 

@@ -1,0 +1,236 @@
+//! Escalating fault recovery shared by Algorithm 1 and Algorithm 2.
+//!
+//! When write–verify detects hard defects the solvers climb a ladder of
+//! increasingly expensive countermeasures, each rung recorded as a
+//! [`RecoveryEvent`]:
+//!
+//! 1. **Re-program** — weak stuck cells (insufficient forming) are rewritten
+//!    with an extended pulse budget; most stuck-at defects clear here.
+//! 2. **Remap** — logical lines on dead word/bit lines are relocated onto
+//!    the array's spare lines through the row/column decoder
+//!    ([`memlp_crossbar::LineRemap`]).
+//! 3. **Variation redraw** — the existing §4.3 double-checking scheme:
+//!    re-write everything, redrawing Eqn 18 variation, and re-solve.
+//! 4. **Digital fallback** — a bounded digital iterative-refinement PDIP
+//!    solve ([`memlp_solvers::NormalEqPdip`]) guarantees an answer when the
+//!    analog path cannot, at digital latency/energy cost.
+//!
+//! The full ladder is the [`RecoveryPolicy::Full`] policy;
+//! [`RecoveryPolicy::Hardware`] stops after rung 3 (analog-only recovery),
+//! and [`RecoveryPolicy::Disabled`] reports faults without acting on them —
+//! the ablation baseline.
+
+use memlp_lp::{LpProblem, LpSolution};
+use memlp_solvers::{LpSolver, NormalEqPdip, PdipOptions};
+
+/// How far the solvers may escalate when faults are detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Detect and report faults, but take no countermeasures (baseline for
+    /// fault-impact ablations).
+    Disabled,
+    /// Hardware-only recovery: re-program weak cells, remap dead lines,
+    /// redraw variation. Never leaves the analog path.
+    Hardware,
+    /// Hardware recovery plus the bounded digital iterative-refinement
+    /// fallback when the analog path cannot deliver an in-tolerance answer.
+    #[default]
+    Full,
+}
+
+impl RecoveryPolicy {
+    /// `true` if any recovery action (beyond detection) is permitted.
+    pub fn acts(&self) -> bool {
+        *self != RecoveryPolicy::Disabled
+    }
+
+    /// `true` if the digital fallback rung is permitted.
+    pub fn allows_digital(&self) -> bool {
+        *self == RecoveryPolicy::Full
+    }
+}
+
+/// One step of the recovery ladder, as it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// Write–verify flagged defects on a hardware block.
+    FaultsDetected {
+        /// Block key (the solver's stable identifier for the physical
+        /// region; see `HwContext::write_matrix`).
+        block: u32,
+        /// Stuck cells detected on the block.
+        stuck_cells: usize,
+        /// Subset of stuck cells classified weak (repairable).
+        weak_cells: usize,
+        /// Dead word lines crossing the block.
+        dead_rows: usize,
+        /// Dead bit lines crossing the block.
+        dead_cols: usize,
+    },
+    /// Rung 1: weak cells re-programmed with an extended pulse budget.
+    Reprogrammed {
+        /// Cells restored to programmability.
+        repaired: usize,
+        /// Hard stuck cells remaining after the pass.
+        remaining: usize,
+    },
+    /// Rung 2: logical lines relocated onto spare physical lines.
+    Remapped {
+        /// Dead rows successfully remapped.
+        rows: usize,
+        /// Dead columns successfully remapped.
+        cols: usize,
+        /// Dead lines left unmapped (spare budget exhausted).
+        unmapped: usize,
+    },
+    /// Rung 3: the §4.3 double-check — full re-write with fresh variation.
+    VariationRedraw {
+        /// Attempt number the redraw precedes (1-based).
+        attempt: usize,
+    },
+    /// Rung 4: bounded digital iterative-refinement solve replaced the
+    /// analog result.
+    DigitalFallback {
+        /// Iterations the digital solver spent.
+        iterations: usize,
+    },
+}
+
+/// Structured account of every recovery action a solve took, surfaced on
+/// `CrossbarSolution` and mirrored into the solve trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryReport {
+    /// Policy the solve ran under.
+    pub policy: RecoveryPolicy,
+    /// Events in the order they occurred.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryReport {
+    /// An empty report under `policy`.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        RecoveryReport {
+            policy,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: RecoveryEvent) {
+        self.events.push(e);
+    }
+
+    /// Number of escalation *actions* taken (detection events excluded).
+    pub fn escalations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| !matches!(e, RecoveryEvent::FaultsDetected { .. }))
+            .count()
+    }
+
+    /// `true` if any block reported defects.
+    pub fn saw_faults(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::FaultsDetected { .. }))
+    }
+
+    /// `true` if the digital fallback rung ran.
+    pub fn used_digital_fallback(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::DigitalFallback { .. }))
+    }
+}
+
+/// Rungs 1–2 of the ladder, run between failed attempts when the policy
+/// permits hardware countermeasures: re-program weak stuck cells, then
+/// remap dead lines onto spares. Shared by both crossbar solvers.
+pub(crate) fn escalate_hardware(
+    policy: RecoveryPolicy,
+    hw: &mut crate::hw::HwContext,
+    report: &mut RecoveryReport,
+) {
+    if !policy.acts() {
+        return;
+    }
+    if hw.weak_faults() > 0 {
+        let (repaired, remaining) = hw.reprogram_faulty();
+        report.push(RecoveryEvent::Reprogrammed {
+            repaired,
+            remaining,
+        });
+    }
+    if hw.has_dead_lines() {
+        let (rows, cols, unmapped) = hw.remap_dead_lines();
+        report.push(RecoveryEvent::Remapped {
+            rows,
+            cols,
+            unmapped,
+        });
+    }
+}
+
+/// Rung 4: solves `lp` digitally with the iterative-refinement PDIP,
+/// bounded at `max_iterations`. Returns the solution and the iterations
+/// actually spent.
+pub(crate) fn digital_fallback(lp: &LpProblem, max_iterations: usize) -> (LpSolution, usize) {
+    let solver = NormalEqPdip::new(PdipOptions {
+        max_iterations,
+        ..PdipOptions::default()
+    });
+    let sol = solver.solve(lp);
+    let iters = sol.iterations;
+    (sol, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlp_lp::{generator::RandomLp, LpStatus};
+
+    #[test]
+    fn policy_gates() {
+        assert!(!RecoveryPolicy::Disabled.acts());
+        assert!(RecoveryPolicy::Hardware.acts());
+        assert!(RecoveryPolicy::Full.acts());
+        assert!(!RecoveryPolicy::Hardware.allows_digital());
+        assert!(RecoveryPolicy::Full.allows_digital());
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::Full);
+    }
+
+    #[test]
+    fn report_counts_escalations_not_detections() {
+        let mut r = RecoveryReport::new(RecoveryPolicy::Full);
+        assert!(!r.saw_faults());
+        r.push(RecoveryEvent::FaultsDetected {
+            block: 0,
+            stuck_cells: 3,
+            weak_cells: 2,
+            dead_rows: 1,
+            dead_cols: 0,
+        });
+        r.push(RecoveryEvent::Reprogrammed {
+            repaired: 2,
+            remaining: 1,
+        });
+        r.push(RecoveryEvent::Remapped {
+            rows: 1,
+            cols: 0,
+            unmapped: 0,
+        });
+        r.push(RecoveryEvent::VariationRedraw { attempt: 1 });
+        r.push(RecoveryEvent::DigitalFallback { iterations: 17 });
+        assert!(r.saw_faults());
+        assert_eq!(r.escalations(), 4);
+        assert!(r.used_digital_fallback());
+    }
+
+    #[test]
+    fn digital_fallback_solves_a_feasible_lp() {
+        let lp = RandomLp::paper(10, 3).feasible();
+        let (sol, iters) = digital_fallback(&lp, 200);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(iters > 0 && iters <= 200);
+    }
+}

@@ -5,6 +5,7 @@ use memlp_solvers::pdip::{PdipOptions, PdipState};
 
 use crate::hw::HwContext;
 use crate::newton::AugmentedSystem;
+use crate::recovery::{self, RecoveryEvent, RecoveryPolicy, RecoveryReport};
 use crate::trace::{IterationRecord, SolverTrace};
 
 /// Options specific to the crossbar solvers, wrapping [`PdipOptions`] with
@@ -36,6 +37,9 @@ pub struct CrossbarSolverOptions {
     /// ([`memlp_device::DriftModel`]); the rewrites are charged to the
     /// run phase like any other update.
     pub refresh_every: usize,
+    /// How far the solver may escalate when write–verify reports defects
+    /// (see [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for CrossbarSolverOptions {
@@ -60,6 +64,7 @@ impl Default for CrossbarSolverOptions {
             accept_floor: 8e-2,
             infeasible_floor: 0.30,
             refresh_every: 0,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -75,6 +80,9 @@ pub struct CrossbarSolution {
     pub trace: SolverTrace,
     /// Re-solve attempts that were needed (0 = first attempt succeeded).
     pub retries_used: usize,
+    /// Structured account of fault detections and every recovery rung the
+    /// solve climbed (empty on defect-free hardware).
+    pub recovery: RecoveryReport,
 }
 
 /// **Algorithm 1** — the memristor crossbar-based linear program solver.
@@ -124,32 +132,63 @@ impl CrossbarPdipSolver {
     }
 
     /// Solves `lp`, re-solving on numerical failure up to the configured
-    /// retry budget.
+    /// retry budget and escalating through the fault-recovery ladder
+    /// between attempts (see [`RecoveryPolicy`]).
     pub fn solve(&self, lp: &LpProblem) -> CrossbarSolution {
-        let mut ledger = CostLedger::new();
+        let mut report = RecoveryReport::new(self.options.recovery);
         let mut last = None;
-        // Aᵀ is attempt-invariant; hoist it out of the retry loop.
+        // Aᵀ is attempt-invariant; hoist it out of the retry loop. The
+        // hardware context is hoisted too: fault plans are properties of the
+        // physical array and must persist across §4.3 re-solve attempts
+        // (only the Eqn 18 variation redraws).
         let at = lp.a().transpose();
+        let mut hw = HwContext::new(self.config);
         for attempt in 0..=self.options.retries {
-            let mut hw = HwContext::new(self.config);
-            hw.reseed(attempt as u64);
-            let (solution, trace) = self.attempt(lp, &at, &mut hw);
-            ledger.merge(hw.ledger());
+            hw.begin_attempt(attempt as u64);
+            let (solution, mut trace) = self.attempt(lp, &at, &mut hw);
+            for e in hw.take_recovery_events() {
+                report.push(e);
+            }
+            // An Infeasible verdict from hardware that write–verify has
+            // flagged as defective is not trustworthy: a dead line erases a
+            // constraint row, and the residual the controller observes is
+            // the fault, not a certificate. Keep climbing the ladder.
+            let hw_suspect = self.options.recovery.acts() && report.saw_faults();
             let failed = matches!(solution.status, LpStatus::NumericalFailure)
-                || (solution.status == LpStatus::IterationLimit && attempt < self.options.retries);
+                || (matches!(
+                    solution.status,
+                    LpStatus::IterationLimit | LpStatus::Infeasible
+                ) && hw_suspect)
+                || (solution.status == LpStatus::IterationLimit && attempt < self.options.retries)
+                // A stall-path "Optimal" on defective hardware gets the
+                // strict (not stall-relaxed) §3.2 α-check digitally: a
+                // dead line hides exactly the constraint its row carried.
+                || (solution.status == LpStatus::Optimal
+                    && hw_suspect
+                    && !lp.satisfies_relaxed_scaled(&solution.x, self.options.alpha));
             if !failed {
+                trace.events = report.events.clone();
                 return CrossbarSolution {
                     solution,
-                    ledger,
+                    ledger: *hw.ledger(),
                     trace,
                     retries_used: attempt,
+                    recovery: report,
                 };
             }
             last = Some((solution, trace, attempt));
+            if attempt < self.options.retries {
+                recovery::escalate_hardware(self.options.recovery, &mut hw, &mut report);
+                // Rung 3 — the §4.3 double check: the next attempt rewrites
+                // everything with freshly drawn variation.
+                report.push(RecoveryEvent::VariationRedraw {
+                    attempt: attempt + 1,
+                });
+            }
         }
         // The retry loop always runs at least once; if the invariant ever
         // breaks, report a numerical failure instead of panicking mid-solve.
-        let (mut solution, trace, attempt) = last.unwrap_or_else(|| {
+        let (mut solution, mut trace, attempt) = last.unwrap_or_else(|| {
             (
                 LpSolution::failed(LpStatus::NumericalFailure, 0),
                 SolverTrace::new(),
@@ -174,11 +213,32 @@ impl CrossbarPdipSolver {
                 solution.status = LpStatus::Infeasible;
             }
         }
+        // Rung 4 — a run that defective hardware left unresolved falls back
+        // to the bounded digital solve (fault-free failures keep their
+        // analog verdict: the fallback is a fault countermeasure, not a
+        // general safety net). Fault-era Infeasible verdicts are re-checked
+        // too — the digital solve re-derives the certificate from the true
+        // problem, so a genuine contradiction still reports Infeasible.
+        // (An α-failing `Optimal` — one that spent every attempt failing
+        // the strict recheck above — qualifies for fallback too.)
+        let unresolved = matches!(
+            solution.status,
+            LpStatus::NumericalFailure | LpStatus::IterationLimit | LpStatus::Infeasible
+        ) || (solution.status == LpStatus::Optimal
+            && !lp.satisfies_relaxed_scaled(&solution.x, self.options.alpha));
+        if unresolved && self.options.recovery.allows_digital() && report.saw_faults() {
+            let (digital, iterations) =
+                recovery::digital_fallback(lp, self.options.pdip.max_iterations);
+            report.push(RecoveryEvent::DigitalFallback { iterations });
+            solution = digital;
+        }
+        trace.events = report.events.clone();
         CrossbarSolution {
             solution,
-            ledger,
+            ledger: *hw.ledger(),
             trace,
             retries_used: attempt,
+            recovery: report,
         }
     }
 
@@ -270,7 +330,21 @@ impl CrossbarPdipSolver {
                 theta: 0.0,
             });
             if pr <= opts.eps_primal && dr <= opts.eps_dual && gap <= opts.eps_gap {
-                let status = self.final_status(lp, &state);
+                let mut status = self.final_status(lp, &state);
+                // On confirmed-defective hardware the observed residuals
+                // describe the realized (faulty) system, so back the exit
+                // with a digital primal–dual agreement check on the true
+                // problem — catches feasible-but-suboptimal convergence on
+                // an array whose dead line dropped a binding constraint.
+                if status == LpStatus::Optimal && hw.saw_faults() {
+                    let dual_obj: f64 = lp.b().iter().zip(&state.y).map(|(b, y)| b * y).sum();
+                    let primal_obj = lp.objective(&state.x);
+                    if (primal_obj - dual_obj).abs() / (1.0 + primal_obj.abs())
+                        > self.options.accept_floor
+                    {
+                        status = LpStatus::NumericalFailure;
+                    }
+                }
                 return (state.into_solution(lp, status, iter), trace);
             }
             let score = pr.max(dr).max(gap);
@@ -291,9 +365,17 @@ impl CrossbarPdipSolver {
                 let dual_obj: f64 = lp.b().iter().zip(&best_state.y).map(|(b, y)| b * y).sum();
                 let primal_obj = lp.objective(&best_state.x);
                 let obj_gap = (primal_obj - dual_obj).abs() / (1.0 + primal_obj.abs());
+                // Confirmed defects halve the acceptable primal–dual
+                // disagreement: a dead line can leave a feasible but
+                // markedly suboptimal iterate whose corrupted duals agree
+                // just well enough for the stock gate.
+                let gap_cap = if hw.saw_faults() {
+                    self.options.accept_floor
+                } else {
+                    2.0 * self.options.accept_floor
+                };
                 let status = if best_score <= self.options.accept_floor {
-                    if lp.satisfies_relaxed_scaled(&best_state.x, alpha_stall)
-                        && obj_gap <= 2.0 * self.options.accept_floor
+                    if lp.satisfies_relaxed_scaled(&best_state.x, alpha_stall) && obj_gap <= gap_cap
                     {
                         LpStatus::Optimal
                     } else {

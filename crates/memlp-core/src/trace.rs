@@ -2,7 +2,9 @@
 //!
 //! The paper's latency/energy estimates are assembled from *simulated
 //! iteration counts* (§4.4); the trace is how the benchmark harness gets at
-//! them, and it doubles as a debugging aid for convergence studies.
+//! them, and it doubles as a debugging aid for convergence studies. Fault
+//! detections and recovery escalations are mirrored into the trace so a
+//! single artifact tells the whole story of a solve.
 
 /// One iteration's convergence snapshot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +26,9 @@ pub struct IterationRecord {
 pub struct SolverTrace {
     /// Records in iteration order.
     pub records: Vec<IterationRecord>,
+    /// Fault detections and recovery escalations, in the order the solve
+    /// climbed the ladder (see [`crate::RecoveryReport`]).
+    pub events: Vec<crate::RecoveryEvent>,
 }
 
 impl SolverTrace {

@@ -1,3 +1,4 @@
+use memlp_device::FaultMap;
 use memlp_linalg::{LuFactors, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -5,9 +6,18 @@ use rand::SeedableRng;
 use crate::config::{CrossbarConfig, Fidelity, ReadoutMode};
 use crate::cost::{CostLedger, Phase};
 use crate::error::CrossbarError;
-use crate::fault::FaultKind;
-use crate::mapping::ConductanceMap;
+use crate::fault::{FaultKind, FaultPlan};
+use crate::mapping::{ConductanceMap, LineRemap};
 use crate::quantize::Quantizer;
+
+/// Salt separating the fault-plan seed stream from the variation stream:
+/// hard defects are a property of the physical array, drawn once, and must
+/// not move when variation is redrawn.
+const FAULT_PLAN_SALT: u64 = 0x0FA0_17ED_5EED_A001;
+
+/// Salt for the transient-upset stream (independent of variation so a
+/// fault-free configuration replays bit-identical variation draws).
+const TRANSIENT_SALT: u64 = 0x0FA0_17ED_5EED_A002;
 
 /// A simulated memristor crossbar array.
 ///
@@ -35,6 +45,13 @@ pub struct Crossbar {
     adc: Quantizer,
     dac: Quantizer,
     rng: StdRng,
+    /// Independent stream for transient ADC upsets.
+    transient_rng: StdRng,
+    /// Hard defects of this physical array (stuck cells, dead lines),
+    /// drawn once at creation and persistent across re-programming.
+    plan: FaultPlan,
+    /// Spare-line decoder table (populated by [`Crossbar::remap_dead_lines`]).
+    remap: LineRemap,
     ledger: CostLedger,
     /// Cached total conductance, S (settle-energy estimate).
     g_total: f64,
@@ -59,6 +76,9 @@ impl Crossbar {
             adc: Quantizer::new(config.adc_bits),
             dac: Quantizer::new(config.dac_bits),
             rng: StdRng::seed_from_u64(config.seed),
+            transient_rng: StdRng::seed_from_u64(config.seed ^ TRANSIENT_SALT),
+            plan: FaultPlan::draw(&config.faults, side, side, config.seed ^ FAULT_PLAN_SALT),
+            remap: LineRemap::new(config.spare_lines, config.spare_lines),
             ledger: CostLedger::new(),
             target: None,
             realized: None,
@@ -121,7 +141,7 @@ impl Crossbar {
         };
         for i in 0..matrix.rows() {
             for j in 0..matrix.cols() {
-                let (logical, g) = self.write_cell(&map, matrix[(i, j)]);
+                let (logical, g) = self.write_cell(&map, i, j, matrix[(i, j)]);
                 realized[(i, j)] = logical;
                 if let Some(gm) = gmat.as_mut() {
                     gm[(i, j)] = g;
@@ -179,7 +199,7 @@ impl Crossbar {
             }
         }
         for &(i, j, v) in updates {
-            let (logical, g) = self.write_cell(&map, v);
+            let (logical, g) = self.write_cell(&map, i, j, v);
             if let Some(t) = self.target.as_mut() {
                 t[(i, j)] = v;
             }
@@ -220,6 +240,101 @@ impl Crossbar {
         self.realized.as_ref().ok_or(CrossbarError::NotProgrammed)
     }
 
+    /// The hard-defect plan of this physical array.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The spare-line decoder table.
+    pub fn remap_table(&self) -> &LineRemap {
+        &self.remap
+    }
+
+    /// Write–verify pass: reads the array back and reports every cell whose
+    /// realized value falls outside the variation band around its target as
+    /// a fault-map entry. A dead line fails verify on every cell, so
+    /// detection of dead lines is exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::NotProgrammed`] before the first program.
+    pub fn verify(&self) -> Result<FaultMap, CrossbarError> {
+        let target = self.target.as_ref().ok_or(CrossbarError::NotProgrammed)?;
+        let realized = self.realized.as_ref().ok_or(CrossbarError::NotProgrammed)?;
+        let map = self.map.ok_or(CrossbarError::NotProgrammed)?;
+        // Anything outside the per-write variation band (plus a floor for
+        // quantization of small values) cannot be explained by Eqn 18
+        // variation and is flagged as a defect.
+        let rel_band = self.config.variation.max_fraction + 1e-9;
+        let abs_floor = 1e-9 * map.a_max();
+        Ok(FaultMap::detect(
+            target.rows(),
+            target.cols(),
+            target.as_slice(),
+            realized.as_slice(),
+            rel_band,
+            abs_floor,
+        ))
+    }
+
+    /// Re-programs every *weak* stuck cell with an extended pulse budget
+    /// (the first recovery rung): weak faults clear and their cells are
+    /// rewritten from the logical target with fresh variation. Returns the
+    /// number of cells repaired. Charges run-phase writes.
+    pub fn repair_weak_cells(&mut self) -> usize {
+        let weak: Vec<(usize, usize)> = self
+            .plan
+            .cells()
+            .iter()
+            .filter(|c| c.weak)
+            .map(|c| (c.row, c.col))
+            .collect();
+        if weak.is_empty() {
+            return 0;
+        }
+        let repaired = self.plan.repair_weak();
+        self.rewrite_cells_from_target(&weak);
+        repaired
+    }
+
+    /// Relocates logical lines off dead physical lines onto spares (the
+    /// second recovery rung), rewriting the relocated coefficients from the
+    /// logical target. Returns `(rows_remapped, cols_remapped, unmapped)`
+    /// where `unmapped` counts dead lines left over after the spare budget
+    /// ran out. Charges run-phase writes for the relocated cells.
+    pub fn remap_dead_lines(&mut self) -> (usize, usize, usize) {
+        let dead_rows: Vec<usize> = self.plan.dead_rows().to_vec();
+        let dead_cols: Vec<usize> = self.plan.dead_cols().to_vec();
+        let mut rows_done = 0;
+        let mut cols_done = 0;
+        let mut rewrite: Vec<(usize, usize)> = Vec::new();
+        let (trows, tcols) = match self.target.as_ref() {
+            Some(t) => (t.rows(), t.cols()),
+            None => (self.side, self.side),
+        };
+        for &r in &dead_rows {
+            if self.remap.remap_row(r) {
+                self.plan.revive_row(r);
+                rows_done += 1;
+                if r < trows {
+                    rewrite.extend((0..tcols).map(|j| (r, j)));
+                }
+            }
+        }
+        for &c in &dead_cols {
+            if self.remap.remap_col(c) {
+                self.plan.revive_col(c);
+                cols_done += 1;
+                if c < tcols {
+                    rewrite.extend((0..trows).map(|i| (i, c)));
+                }
+            }
+        }
+        self.rewrite_cells_from_target(&rewrite);
+        let unmapped = (dead_rows.len() - rows_done) + (dead_cols.len() - cols_done);
+        (rows_done, cols_done, unmapped)
+    }
+
     /// Analog matrix–vector multiply `y = A·x` against the realized matrix.
     ///
     /// # Errors
@@ -240,6 +355,9 @@ impl Crossbar {
             Fidelity::Circuit => self.circuit_mvm(&xq)?,
         };
         self.adc.quantize_in_place(&mut y);
+        self.config
+            .faults
+            .upset_read(&mut y, &mut self.transient_rng);
         self.ledger.charge_analog_op(
             &self.config.cost,
             false,
@@ -283,6 +401,9 @@ impl Crossbar {
             Fidelity::Circuit => self.circuit_solve(&bq)?,
         };
         self.adc.quantize_in_place(&mut x);
+        self.config
+            .faults
+            .upset_read(&mut x, &mut self.transient_rng);
         let n = bq.len() as u64;
         self.ledger.charge_analog_op(
             &self.config.cost,
@@ -298,8 +419,17 @@ impl Crossbar {
     // ----- internals -------------------------------------------------------
 
     /// Writes one cell: returns (realized logical value, realized conductance).
-    fn write_cell(&mut self, map: &ConductanceMap, value: f64) -> (f64, f64) {
-        match self.config.faults.draw(&mut self.rng) {
+    /// Consults the array's persistent [`FaultPlan`] — a stuck cell or dead
+    /// line realizes its stuck value no matter what is programmed, and
+    /// consumes no variation draw (the pulse never changes the device).
+    fn write_cell(
+        &mut self,
+        map: &ConductanceMap,
+        row: usize,
+        col: usize,
+        value: f64,
+    ) -> (f64, f64) {
+        match self.plan.fault_at(row, col) {
             FaultKind::StuckOn => return (map.a_max(), self.config.device.g_on()),
             FaultKind::StuckOff => return (0.0, self.config.device.g_off()),
             FaultKind::Healthy => {}
@@ -326,6 +456,49 @@ impl Crossbar {
                 (map.to_logical(g), g)
             }
         }
+    }
+
+    /// Rewrites the listed cells from the logical target (post-repair /
+    /// post-remap), refreshing the conductance cache and charging run-phase
+    /// writes. Cells outside the programmed region, or on an array never
+    /// programmed, are skipped.
+    fn rewrite_cells_from_target(&mut self, cells: &[(usize, usize)]) {
+        let Some(map) = self.map else { return };
+        let mut written = 0u64;
+        for &(i, j) in cells {
+            let Some(v) = self
+                .target
+                .as_ref()
+                .and_then(|t| (i < t.rows() && j < t.cols()).then(|| t[(i, j)]))
+            else {
+                continue;
+            };
+            let (logical, g) = self.write_cell(&map, i, j, v);
+            if let Some(r) = self.realized.as_mut() {
+                r[(i, j)] = logical;
+            }
+            if let Some(gm) = self.gmat.as_mut() {
+                gm[(i, j)] = g;
+            }
+            written += 1;
+        }
+        if written == 0 {
+            return;
+        }
+        self.g_total = match (&self.gmat, &self.realized) {
+            (Some(gm), _) => gm.as_slice().iter().sum(),
+            (None, Some(r)) => {
+                map.g_off() * (r.rows() * r.cols()) as f64
+                    + map.slope() * r.as_slice().iter().sum::<f64>()
+            }
+            (None, None) => 0.0,
+        };
+        self.ledger.charge_writes(
+            &self.config.cost,
+            Phase::Run,
+            written,
+            self.config.variation.max_fraction,
+        );
     }
 
     /// Circuit-fidelity MVM: Eqn 5 divider plus calibrated or raw read-out.

@@ -41,8 +41,13 @@ pub struct CrossbarConfig {
     pub device: DeviceParams,
     /// Per-write process variation (§4.1).
     pub variation: VariationModel,
-    /// Stuck-at fault injection (beyond-paper robustness probe).
+    /// Hard-fault and transient-fault injection (stuck cells, dead lines,
+    /// ADC read upsets — beyond-paper robustness model).
     pub faults: FaultModel,
+    /// Spare physical rows/columns fabricated per array, available for
+    /// remapping logical lines off dead physical lines. Redundant lines are
+    /// standard practice in memory arrays; 2 per side is conservative.
+    pub spare_lines: usize,
     /// Conductance drift / retention loss (beyond-paper physical effect;
     /// perfect retention by default, matching the paper's assumption).
     pub drift: DriftModel,
@@ -76,6 +81,7 @@ impl CrossbarConfig {
             device: DeviceParams::default(),
             variation: VariationModel::none(),
             faults: FaultModel::none(),
+            spare_lines: 2,
             drift: DriftModel::none(),
             fidelity: Fidelity::Functional,
             adc_bits: 8,
@@ -110,6 +116,19 @@ impl CrossbarConfig {
         CrossbarConfig { seed, ..self }
     }
 
+    /// Returns a copy with the given (already-validated) fault model.
+    pub fn with_faults(self, faults: FaultModel) -> Self {
+        CrossbarConfig { faults, ..self }
+    }
+
+    /// Returns a copy with the given number of spare lines per array side.
+    pub fn with_spare_lines(self, spare_lines: usize) -> Self {
+        CrossbarConfig {
+            spare_lines,
+            ..self
+        }
+    }
+
     /// Returns a copy at circuit fidelity.
     pub fn circuit(self) -> Self {
         CrossbarConfig {
@@ -140,12 +159,17 @@ mod tests {
 
     #[test]
     fn builders_compose() {
+        let faults = FaultModel::symmetric(0.01).expect("valid rate");
         let c = CrossbarConfig::paper_default()
             .with_variation(10.0)
             .with_seed(42)
+            .with_faults(faults)
+            .with_spare_lines(4)
             .circuit();
         assert_eq!(c.variation.max_fraction, 0.10);
         assert_eq!(c.seed, 42);
+        assert_eq!(c.faults, faults);
+        assert_eq!(c.spare_lines, 4);
         assert_eq!(c.fidelity, Fidelity::Circuit);
     }
 

@@ -36,6 +36,12 @@ pub enum CrossbarError {
     Linalg(LinalgError),
     /// No matrix has been programmed yet.
     NotProgrammed,
+    /// A fault model failed validation (rate outside `[0, 1]`, non-finite,
+    /// or stuck rates summing past 1 — which would bias every draw).
+    InvalidFaultModel {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CrossbarError {
@@ -53,6 +59,9 @@ impl fmt::Display for CrossbarError {
             }
             CrossbarError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             CrossbarError::NotProgrammed => write!(f, "no matrix programmed into the crossbar"),
+            CrossbarError::InvalidFaultModel { reason } => {
+                write!(f, "invalid fault model: {reason}")
+            }
         }
     }
 }
@@ -91,6 +100,10 @@ mod tests {
         assert!(e.to_string().contains("-0.5"));
         let e = CrossbarError::NotProgrammed;
         assert!(!e.to_string().is_empty());
+        let e = CrossbarError::InvalidFaultModel {
+            reason: "rates sum to 1.3".into(),
+        };
+        assert!(e.to_string().contains("1.3"));
     }
 
     #[test]

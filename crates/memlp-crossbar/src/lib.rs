@@ -18,8 +18,11 @@
 //!   *setup* phase (initial O(N²) programming, which the paper excludes
 //!   from its latency results) and a *run* phase (the per-iteration O(N)
 //!   updates and O(1) analog ops that the paper reports),
-//! * [`FaultModel`] — optional stuck-at faults, a beyond-paper robustness
-//!   probe used by the ablation benches.
+//! * [`FaultModel`] / [`FaultPlan`] — validated hard-fault rates (stuck
+//!   cells, dead word/bit lines, transient ADC upsets) and their
+//!   seed-deterministic realization over an array; honored by the
+//!   programming and read paths everywhere, with spare-line remapping
+//!   ([`mapping::LineRemap`]) and weak-cell repair as recovery hooks.
 //!
 //! # The simulation contract
 //!
@@ -68,5 +71,6 @@ pub use array::Crossbar;
 pub use config::{CrossbarConfig, Fidelity, ReadoutMode};
 pub use cost::{CostLedger, OpCounts, Phase};
 pub use error::CrossbarError;
-pub use fault::{FaultKind, FaultModel};
+pub use fault::{CellFault, FaultKind, FaultModel, FaultPlan};
+pub use mapping::LineRemap;
 pub use quantize::Quantizer;

@@ -71,6 +71,85 @@ impl ConductanceMap {
     }
 }
 
+/// Spare-line remapping table for one physical array.
+///
+/// Crossbar arrays are fabricated with a few redundant word/bit lines; when
+/// post-programming verify finds a dead line, the controller reroutes the
+/// logical line onto a spare by reprogramming the spare with the logical
+/// line's coefficients and updating the row/column decoder. This type
+/// models the decoder table: which logical lines have been relocated and
+/// how many spares remain.
+///
+/// Remapping is a pure *permutation of physical lines* — the logical matrix
+/// the array realizes is unchanged, every relocated coefficient is the same
+/// non-negative value it was, and zero entries stay zero. The Eqn 13–14
+/// sign-split block structure (`A⁺`/`A⁻` occupying fixed non-negative
+/// blocks of the augmented array) is therefore preserved by construction:
+/// the blocks are defined over *logical* coordinates, which a decoder-level
+/// remap never touches.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LineRemap {
+    spare_rows: usize,
+    spare_cols: usize,
+    /// Logical rows relocated onto spares, in remap order.
+    rows: Vec<usize>,
+    /// Logical columns relocated onto spares, in remap order.
+    cols: Vec<usize>,
+}
+
+impl LineRemap {
+    /// A remap table with the given spare budget per side.
+    pub fn new(spare_rows: usize, spare_cols: usize) -> Self {
+        LineRemap {
+            spare_rows,
+            spare_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+        }
+    }
+
+    /// Relocates logical row `row` onto the next spare word line. Returns
+    /// `false` (and changes nothing) when the spare budget is exhausted or
+    /// the row is already remapped.
+    pub fn remap_row(&mut self, row: usize) -> bool {
+        if self.rows.len() >= self.spare_rows || self.rows.contains(&row) {
+            return false;
+        }
+        self.rows.push(row);
+        true
+    }
+
+    /// Relocates logical column `col` onto the next spare bit line. Returns
+    /// `false` when out of spares or already remapped.
+    pub fn remap_col(&mut self, col: usize) -> bool {
+        if self.cols.len() >= self.spare_cols || self.cols.contains(&col) {
+            return false;
+        }
+        self.cols.push(col);
+        true
+    }
+
+    /// Logical rows currently served by spare lines, in remap order.
+    pub fn remapped_rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Logical columns currently served by spare lines, in remap order.
+    pub fn remapped_cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Spare word lines still available.
+    pub fn spare_rows_left(&self) -> usize {
+        self.spare_rows - self.rows.len()
+    }
+
+    /// Spare bit lines still available.
+    pub fn spare_cols_left(&self) -> usize {
+        self.spare_cols - self.cols.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +197,28 @@ mod tests {
     #[should_panic(expected = "positive and finite")]
     fn rejects_zero_amax() {
         ConductanceMap::new(0.0, &DeviceParams::default());
+    }
+
+    #[test]
+    fn remap_respects_spare_budget() {
+        let mut r = LineRemap::new(2, 1);
+        assert!(r.remap_row(5));
+        assert!(!r.remap_row(5), "double-remapping the same row");
+        assert!(r.remap_row(9));
+        assert!(!r.remap_row(11), "spare rows exhausted");
+        assert_eq!(r.remapped_rows(), &[5, 9]);
+        assert_eq!(r.spare_rows_left(), 0);
+        assert!(r.remap_col(0));
+        assert!(!r.remap_col(3), "spare cols exhausted");
+        assert_eq!(r.spare_cols_left(), 0);
+    }
+
+    #[test]
+    fn fresh_remap_has_full_budget() {
+        let r = LineRemap::new(3, 2);
+        assert_eq!(r.spare_rows_left(), 3);
+        assert_eq!(r.spare_cols_left(), 2);
+        assert!(r.remapped_rows().is_empty());
+        assert!(r.remapped_cols().is_empty());
     }
 }

@@ -334,10 +334,7 @@ fn circuit_solve_recovers_solution() {
 #[test]
 fn stuck_off_faults_zero_out_cells() {
     let cfg = CrossbarConfig {
-        faults: FaultModel {
-            stuck_on_rate: 0.0,
-            stuck_off_rate: 1.0,
-        },
+        faults: FaultModel::new(0.0, 1.0).unwrap(),
         ..CrossbarConfig::ideal()
     };
     let mut xb = Crossbar::new(8, cfg).unwrap();

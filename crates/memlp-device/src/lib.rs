@@ -14,6 +14,9 @@
 //! * [`Memristor`] — a stateful device instance driven by voltage pulses,
 //! * [`PulseProgrammer`] — write-pulse-train programming with write–verify,
 //!   the §3.3 mechanism for writing matrix coefficients,
+//! * [`FaultMap`] — the write–verify defect report (cells that failed to
+//!   converge within the pulse budget, in deterministic row-major order),
+//!   consumed by the crossbar/solver recovery ladder,
 //! * [`VariationModel`] — the §4.1 process-variation model
 //!   (`M′ = M + M ∘ (var · Rd)`, uniform `Rd`),
 //! * [`CostParams`] — the named timing/energy constants behind every
@@ -46,6 +49,6 @@ pub use drift::DriftModel;
 pub use energy::CostParams;
 pub use model::{DynamicModel, LinearIonDrift, Yakopcic};
 pub use params::DeviceParams;
-pub use programming::{ProgramReport, PulseProgrammer};
+pub use programming::{FaultClass, FaultEntry, FaultMap, ProgramReport, PulseProgrammer};
 pub use variation::{VariationDistribution, VariationModel};
 pub use window::Window;

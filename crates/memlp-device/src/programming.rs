@@ -126,6 +126,165 @@ impl PulseProgrammer {
     }
 }
 
+/// Classification of a cell that failed write–verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Observed value sits above the verify band — the cell reads more
+    /// conductive than programmed (stuck-on-like).
+    StuckHigh,
+    /// Observed value sits below the verify band (stuck-off-like; a dead
+    /// line manifests as a full row/column of these).
+    StuckLow,
+}
+
+/// One cell that failed write–verify.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEntry {
+    /// Array row of the cell.
+    pub row: usize,
+    /// Array column of the cell.
+    pub col: usize,
+    /// Value the programmer tried to write.
+    pub target: f64,
+    /// Value the verify read observed.
+    pub observed: f64,
+    /// Which side of the band the cell landed on.
+    pub class: FaultClass,
+}
+
+/// The result of a write–verify sweep over an array: every cell whose
+/// observed value cannot be explained by in-spec variation, in row-major
+/// order.
+///
+/// Entries are kept in a **sorted vector** (row-major), never an unordered
+/// map, so iteration order — and everything derived from it, including the
+/// recovery decisions the solvers make — is deterministic by construction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultMap {
+    rows: usize,
+    cols: usize,
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultMap {
+    /// An empty map for a `rows × cols` array.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        FaultMap {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds the map by comparing `observed` against `target` (both
+    /// row-major slices of length `rows * cols`): a cell is flagged when
+    /// `|observed − target| > rel_band·|target| + abs_floor`. The band
+    /// should cover in-spec write variation so only genuine defects are
+    /// reported. Slices shorter than `rows * cols` are compared over their
+    /// common prefix.
+    pub fn detect(
+        rows: usize,
+        cols: usize,
+        target: &[f64],
+        observed: &[f64],
+        rel_band: f64,
+        abs_floor: f64,
+    ) -> Self {
+        let mut map = FaultMap::new(rows, cols);
+        let n = (rows * cols).min(target.len()).min(observed.len());
+        for idx in 0..n {
+            let t = target[idx];
+            let o = observed[idx];
+            let band = rel_band * t.abs() + abs_floor;
+            if (o - t).abs() > band {
+                map.entries.push(FaultEntry {
+                    row: idx / cols,
+                    col: idx % cols,
+                    target: t,
+                    observed: o,
+                    class: if o > t {
+                        FaultClass::StuckHigh
+                    } else {
+                        FaultClass::StuckLow
+                    },
+                });
+            }
+        }
+        map
+    }
+
+    /// Records the outcome of one device-level programming operation: a
+    /// report that failed to converge within its pulse budget becomes a
+    /// fault-map entry (the write–verify hardware path).
+    pub fn record(&mut self, report: &ProgramReport, row: usize, col: usize, target: f64) {
+        if report.converged {
+            return;
+        }
+        let entry = FaultEntry {
+            row,
+            col,
+            target,
+            observed: report.final_conductance,
+            class: if report.final_conductance > target {
+                FaultClass::StuckHigh
+            } else {
+                FaultClass::StuckLow
+            },
+        };
+        // Keep row-major order for deterministic downstream iteration.
+        let pos = self
+            .entries
+            .partition_point(|e| (e.row, e.col) < (row, col));
+        self.entries.insert(pos, entry);
+    }
+
+    /// Array rows covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Array columns covered.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The faulty cells, row-major.
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.entries
+    }
+
+    /// Number of faulty cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when verify found no defects.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rows on which *every* programmed cell failed verify low — the
+    /// signature of a dead word line. Returns ascending row indices;
+    /// meaningful only when `cols > 1`.
+    pub fn suspected_dead_rows(&self) -> Vec<usize> {
+        if self.cols < 2 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for row in 0..self.rows {
+            let low = self
+                .entries
+                .iter()
+                .filter(|e| e.row == row && e.class == FaultClass::StuckLow)
+                .count();
+            if low == self.cols {
+                out.push(row);
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +347,61 @@ mod tests {
         let rep = prog.program(&mut d, p.g_on());
         assert!(!rep.converged);
         assert_eq!(rep.pulses, 3);
+    }
+
+    #[test]
+    fn detect_flags_only_out_of_band_cells() {
+        let target = [1.0, 2.0, 0.0, 4.0];
+        // Cell 1 reads high beyond the 10% band; cell 3 reads dead.
+        let observed = [1.05, 2.5, 0.0, 0.0];
+        let map = FaultMap::detect(2, 2, &target, &observed, 0.10, 1e-9);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.entries()[0].row, 0);
+        assert_eq!(map.entries()[0].col, 1);
+        assert_eq!(map.entries()[0].class, FaultClass::StuckHigh);
+        assert_eq!(map.entries()[1].row, 1);
+        assert_eq!(map.entries()[1].col, 1);
+        assert_eq!(map.entries()[1].class, FaultClass::StuckLow);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn detect_identifies_dead_rows() {
+        let target = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let observed = [1.0, 2.0, 3.0, 0.0, 0.0, 0.0];
+        let map = FaultMap::detect(2, 3, &target, &observed, 0.05, 1e-9);
+        assert_eq!(map.suspected_dead_rows(), vec![1]);
+    }
+
+    #[test]
+    fn record_captures_unconverged_programs_in_row_major_order() {
+        let p = DeviceParams::default();
+        let prog = PulseProgrammer {
+            max_pulses: 1,
+            ..PulseProgrammer::new(p)
+        };
+        let mut map = FaultMap::new(2, 2);
+        // Drive real devices with a starved pulse budget so verify fails.
+        let mut d1 = Memristor::new(p);
+        let r1 = prog.program(&mut d1, p.g_on());
+        assert!(!r1.converged);
+        map.record(&r1, 1, 1, p.g_on());
+        let mut d0 = Memristor::new(p);
+        let r0 = prog.program(&mut d0, p.g_on());
+        map.record(&r0, 0, 0, p.g_on());
+        assert_eq!(map.len(), 2);
+        // Inserted out of order, stored row-major.
+        assert_eq!((map.entries()[0].row, map.entries()[0].col), (0, 0));
+        assert_eq!((map.entries()[1].row, map.entries()[1].col), (1, 1));
+        assert_eq!(map.entries()[0].class, FaultClass::StuckLow);
+
+        // A converged report is not recorded.
+        let full = PulseProgrammer::new(p);
+        let mut d2 = Memristor::new(p);
+        let ok = full.program(&mut d2, 0.5 * (p.g_on() + p.g_off()));
+        assert!(ok.converged);
+        map.record(&ok, 0, 1, 0.5);
+        assert_eq!(map.len(), 2);
     }
 
     #[test]

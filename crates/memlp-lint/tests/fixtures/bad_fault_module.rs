@@ -1,0 +1,24 @@
+use std::collections::HashMap;
+
+struct FaultMap {
+    entries: HashMap<(usize, usize), u8>,
+}
+
+fn draw_plan(rows: usize, cols: usize) -> FaultMap {
+    let mut rng = thread_rng();
+    let mut entries = HashMap::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(0.01) {
+                entries.insert((r, c), 1u8);
+            }
+        }
+    }
+    FaultMap { entries }
+}
+
+fn transient_seed() -> u64 {
+    let t = std::time::SystemTime::now();
+    let mut rng = StdRng::from_entropy();
+    rng.gen()
+}

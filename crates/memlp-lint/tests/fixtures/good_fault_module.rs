@@ -1,0 +1,29 @@
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FAULT_STREAM_SALT: u64 = 0x0FA0;
+
+struct FaultMap {
+    entries: BTreeMap<(usize, usize), u8>,
+}
+
+fn draw_plan(rows: usize, cols: usize, seed: u64) -> FaultMap {
+    let mut rng = StdRng::seed_from_u64(seed ^ FAULT_STREAM_SALT);
+    let mut entries = BTreeMap::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(0.01) {
+                entries.insert((r, c), 1u8);
+            }
+        }
+    }
+    FaultMap { entries }
+}
+
+fn suspected_dead_rows(map: &FaultMap, rows: usize) -> Vec<usize> {
+    (0..rows)
+        .filter(|r| map.entries.keys().any(|(er, _)| er == r))
+        .collect()
+}

@@ -36,6 +36,47 @@ fn determinism_rules_fire_in_solver_crates() {
     );
 }
 
+/// The fault-injection / write–verify modules are determinism-critical:
+/// ambient RNG, wall-clock seeds, and unordered maps in a fault-map pastiche
+/// must all fire, in both the crossbar and device crates.
+#[test]
+fn fault_modules_are_held_to_the_determinism_regime() {
+    let expected: &[(u32, &str)] = &[
+        (1, "determinism::hash-container"),
+        (4, "determinism::hash-container"),
+        (8, "determinism::unseeded-rng"),
+        (9, "determinism::hash-container"),
+        (21, "determinism::wall-clock"),
+        (22, "determinism::unseeded-rng"),
+    ];
+    check(
+        "bad_fault_module.rs",
+        "crates/memlp-crossbar/src/fault.rs",
+        expected,
+    );
+    check(
+        "bad_fault_module.rs",
+        "crates/memlp-device/src/programming.rs",
+        expected,
+    );
+}
+
+/// The real idiom — salted seeded `StdRng` streams and `BTreeMap`-backed
+/// fault maps — lints clean in the same modules.
+#[test]
+fn seeded_fault_modules_lint_clean() {
+    check(
+        "good_fault_module.rs",
+        "crates/memlp-crossbar/src/fault.rs",
+        &[],
+    );
+    check(
+        "good_fault_module.rs",
+        "crates/memlp-device/src/programming.rs",
+        &[],
+    );
+}
+
 #[test]
 fn forbidden_tokens_inside_literals_and_comments_are_ignored() {
     check("good_strings.rs", "crates/memlp-core/src/fake.rs", &[]);

@@ -1,4 +1,4 @@
-use memlp_linalg::{ops, LuFactors};
+use memlp_linalg::{iterative, ops, LuFactors};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 
 use crate::pdip::{status_for, IterationOutcome, PdipOptions, PdipState, StepDirections};
@@ -77,7 +77,12 @@ impl NormalEqPdip {
         let adsig = a.matvec(&dsig);
         let rhs: Vec<f64> = (0..m).map(|i| adsig[i] - rho_hat[i]).collect();
 
-        let dy = LuFactors::factor(nmat).ok()?.solve(&rhs).ok()?;
+        // LU solve polished by two rounds of iterative refinement: the
+        // normal matrix grows ill-conditioned as µ → 0, and the reference
+        // solver should deliver the full double-precision digits the
+        // crossbar solutions are judged against.
+        let lu = LuFactors::factor(nmat.clone()).ok()?;
+        let dy = iterative::refine(&nmat, &lu, &rhs, 2).ok()?.x;
 
         // Δx = D·(σ̂ − Aᵀ·Δy).
         let atdy = a.matvec_transposed(&dy);

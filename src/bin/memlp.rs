@@ -4,12 +4,20 @@
 //! memlp solve <file.lp> [<file.lp> ...]
 //!             [--solver alg1|alg2|simplex|pdip|mehrotra]
 //!             [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
+//!             [--stuck-rate <frac>] [--dead-line-rate <frac>]
+//!             [--transient-rate <frac>] [--spares <n>]
+//!             [--recovery off|hardware|full]
 //! memlp generate <m> [--seed <n>] [--infeasible]   # emit a random LP
 //! memlp info <file.lp>                             # problem statistics
 //! ```
 //!
 //! With several files, `solve` runs them as a concurrent batch; `--jobs`
 //! caps the batch workers (0 = auto from `MEMLP_THREADS` / CPU count).
+//! The fault knobs inject hardware defects into the crossbar solvers:
+//! `--stuck-rate` is the total stuck-cell fraction (split evenly between
+//! stuck-on and stuck-off), `--dead-line-rate` kills whole word/bit lines,
+//! `--transient-rate` flips ADC read-outs, and `--recovery` selects how far
+//! the solvers escalate when write–verify reports defects.
 //! The `.lp` dialect is documented in `memlp_lp::format`.
 
 use std::process::ExitCode;
@@ -33,6 +41,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   memlp solve <file.lp> [<file.lp> ...] [--solver alg1|alg2|simplex|pdip|mehrotra] [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
+              [--stuck-rate <frac>] [--dead-line-rate <frac>] [--transient-rate <frac>] [--spares <n>] [--recovery off|hardware|full]
   memlp generate <m> [--seed <n>] [--infeasible]
   memlp info <file.lp>";
 
@@ -57,6 +66,16 @@ struct Flags {
     jobs: usize,
     quiet: bool,
     infeasible: bool,
+    /// Total stuck-cell fraction (split evenly stuck-on/stuck-off).
+    stuck_rate: f64,
+    /// Dead word/bit line fraction.
+    dead_line_rate: f64,
+    /// Transient ADC read-upset fraction.
+    transient_rate: f64,
+    /// Spare lines per array side (None = hardware default).
+    spares: Option<usize>,
+    /// Recovery escalation policy: off | hardware | full.
+    recovery: RecoveryPolicy,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -68,6 +87,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         jobs: 0,
         quiet: false,
         infeasible: false,
+        stuck_rate: 0.0,
+        dead_line_rate: 0.0,
+        transient_rate: 0.0,
+        spares: None,
+        recovery: RecoveryPolicy::Full,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -94,6 +118,43 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|_| "--jobs must be an integer")?
             }
+            "--stuck-rate" => {
+                f.stuck_rate = it
+                    .next()
+                    .ok_or("--stuck-rate needs a value")?
+                    .parse()
+                    .map_err(|_| "--stuck-rate must be a number")?
+            }
+            "--dead-line-rate" => {
+                f.dead_line_rate = it
+                    .next()
+                    .ok_or("--dead-line-rate needs a value")?
+                    .parse()
+                    .map_err(|_| "--dead-line-rate must be a number")?
+            }
+            "--transient-rate" => {
+                f.transient_rate = it
+                    .next()
+                    .ok_or("--transient-rate needs a value")?
+                    .parse()
+                    .map_err(|_| "--transient-rate must be a number")?
+            }
+            "--spares" => {
+                f.spares = Some(
+                    it.next()
+                        .ok_or("--spares needs a value")?
+                        .parse()
+                        .map_err(|_| "--spares must be an integer")?,
+                )
+            }
+            "--recovery" => {
+                f.recovery = match it.next().ok_or("--recovery needs a value")?.as_str() {
+                    "off" | "disabled" => RecoveryPolicy::Disabled,
+                    "hardware" => RecoveryPolicy::Hardware,
+                    "full" => RecoveryPolicy::Full,
+                    other => return Err(format!("unknown recovery policy `{other}`")),
+                }
+            }
             "--quiet" => f.quiet = true,
             "--infeasible" => f.infeasible = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
@@ -118,47 +179,72 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|p| load(p))
         .collect::<Result<_, _>>()?;
-    let config = CrossbarConfig::paper_default()
+    let faults = FaultModel::new(0.5 * f.stuck_rate, 0.5 * f.stuck_rate)
+        .and_then(|m| m.with_dead_lines(f.dead_line_rate, f.dead_line_rate))
+        .and_then(|m| m.with_transients(f.transient_rate))
+        .map_err(|e| e.to_string())?;
+    let mut config = CrossbarConfig::paper_default()
         .with_variation(f.variation)
-        .with_seed(f.seed);
+        .with_seed(f.seed)
+        .with_faults(faults);
+    if let Some(spares) = f.spares {
+        config = config.with_spare_lines(spares);
+    }
     let jobs = if f.jobs == 0 {
         memlp_linalg::parallel::Threads::resolve().get()
     } else {
         f.jobs
     };
 
+    type SolveRow = (
+        LpSolution,
+        Option<memlp_crossbar::CostLedger>,
+        Option<RecoveryReport>,
+    );
     // Multi-file batches fan out across `jobs` workers; every problem is an
     // isolated deterministic simulation, so results (and the single-file
     // output) are identical to sequential solves.
-    let results: Vec<(LpSolution, Option<memlp_crossbar::CostLedger>)> = match f.solver.as_str() {
-        "alg1" => CrossbarPdipSolver::new(config, CrossbarSolverOptions::default())
-            .solve_batch(&lps, jobs)
-            .into_iter()
-            .map(|r| (r.solution, Some(r.ledger)))
-            .collect(),
-        "alg2" => LargeScaleSolver::new(config, LargeScaleOptions::default())
-            .solve_batch(&lps, jobs)
-            .into_iter()
-            .map(|r| (r.solution, Some(r.ledger)))
-            .collect(),
+    let results: Vec<SolveRow> = match f.solver.as_str() {
+        "alg1" => {
+            let options = CrossbarSolverOptions {
+                recovery: f.recovery,
+                ..CrossbarSolverOptions::default()
+            };
+            CrossbarPdipSolver::new(config, options)
+                .solve_batch(&lps, jobs)
+                .into_iter()
+                .map(|r| (r.solution, Some(r.ledger), Some(r.recovery)))
+                .collect()
+        }
+        "alg2" => {
+            let options = LargeScaleOptions {
+                recovery: f.recovery,
+                ..LargeScaleOptions::default()
+            };
+            LargeScaleSolver::new(config, options)
+                .solve_batch(&lps, jobs)
+                .into_iter()
+                .map(|r| (r.solution, Some(r.ledger), Some(r.recovery)))
+                .collect()
+        }
         "simplex" => {
             let s = Simplex::default();
-            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None))
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None, None))
         }
         "pdip" => {
             let s = NormalEqPdip::default();
-            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None))
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None, None))
         }
         "mehrotra" => {
             let s = MehrotraPdip::default();
-            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None))
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None, None))
         }
         other => return Err(format!("unknown solver `{other}`")),
     };
 
     let multi = results.len() > 1;
     let mut failures = Vec::new();
-    for (path, (solution, hardware)) in f.positional.iter().zip(&results) {
+    for (path, (solution, hardware, recovery)) in f.positional.iter().zip(&results) {
         if multi {
             println!("== {path} ==");
         }
@@ -178,6 +264,20 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
                 ledger.energy_j(&CostParams::default()) * 1e3
             );
             println!("activity:  {ledger}");
+        }
+        if let Some(report) = recovery {
+            if report.saw_faults() {
+                println!(
+                    "recovery:  {} fault event(s), {} escalation(s){}",
+                    report.events.len() - report.escalations(),
+                    report.escalations(),
+                    if report.used_digital_fallback() {
+                        ", digital fallback"
+                    } else {
+                        ""
+                    }
+                );
+            }
         }
         if !solution.status.is_optimal() {
             failures.push((path.as_str(), solution.status));

@@ -52,18 +52,20 @@ pub use memlp_solvers as solvers;
 
 pub use memlp_core::{
     CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions, LargeScaleOptions,
-    LargeScaleSolver, SignSplit,
+    LargeScaleSolver, RecoveryEvent, RecoveryPolicy, RecoveryReport, SignSplit,
 };
-pub use memlp_crossbar::{CostLedger, Crossbar, CrossbarConfig};
+pub use memlp_crossbar::{CostLedger, Crossbar, CrossbarConfig, FaultModel};
 pub use memlp_noc::{NocConfig, TiledCrossbar, Topology};
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use memlp_core::{
         CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions, LargeScaleOptions,
-        LargeScaleSolver, SignSplit,
+        LargeScaleSolver, RecoveryEvent, RecoveryPolicy, RecoveryReport, SignSplit,
     };
-    pub use memlp_crossbar::{CostLedger, Crossbar, CrossbarConfig, Fidelity, ReadoutMode};
+    pub use memlp_crossbar::{
+        CostLedger, Crossbar, CrossbarConfig, FaultModel, Fidelity, ReadoutMode,
+    };
     pub use memlp_device::{CostParams, DeviceParams, VariationModel};
     pub use memlp_linalg::{LuFactors, Matrix};
     pub use memlp_lp::{domains, generator::RandomLp, LpProblem, LpSolution, LpStatus};

@@ -99,6 +99,70 @@ fn solve_reports_infeasible_with_nonzero_exit() {
     assert!(text.contains("infeasible"), "{text}");
 }
 
+/// The fault knobs feed the recovery ladder: with 1% stuck cells and dead
+/// lines the solve must still succeed (and say what the ladder did), while
+/// the same defective hardware with `--recovery off` must fail.
+#[test]
+fn fault_flags_drive_the_recovery_ladder() {
+    let dir = std::env::temp_dir().join("memlp-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("faulty.lp");
+    let out = memlp()
+        .args(["generate", "24", "--seed", "902"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    let fault_args = [
+        "--solver",
+        "alg1",
+        "--seed",
+        "2",
+        "--stuck-rate",
+        "0.01",
+        "--dead-line-rate",
+        "0.04",
+        "--quiet",
+    ];
+
+    let out = memlp()
+        .args(["solve", path.to_str().unwrap()])
+        .args(fault_args)
+        .args(["--recovery", "full"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "recovery on must solve: {text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("recovery:"), "{text}");
+    assert!(text.contains("escalation"), "{text}");
+
+    let out = memlp()
+        .args(["solve", path.to_str().unwrap()])
+        .args(fault_args)
+        .args(["--recovery", "off"])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "same defects with recovery off must fail: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Rates are validated up front: a probability above 1 is rejected.
+    let out = memlp()
+        .args(["solve", path.to_str().unwrap(), "--stuck-rate", "1.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("fault"), "{err}");
+}
+
 #[test]
 fn bad_usage_prints_help() {
     let out = memlp().args(["frobnicate"]).output().unwrap();
