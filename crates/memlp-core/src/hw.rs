@@ -27,7 +27,7 @@
 use std::collections::BTreeMap;
 
 use memlp_crossbar::{
-    CostLedger, CrossbarConfig, FaultKind, FaultPlan, LineRemap, Phase, Quantizer,
+    CostLedger, CrossbarConfig, FaultKind, FaultPlan, LineRemap, Phase, Quantizer, WriteQuantizer,
 };
 use memlp_device::FaultMap;
 use memlp_linalg::Matrix;
@@ -52,6 +52,25 @@ struct BlockFaults {
     reported: bool,
 }
 
+/// Delta-programming state for one block: the conductance codes most
+/// recently programmed. A later write of the same block skips every
+/// healthy cell whose code is unchanged (the cell already holds that code —
+/// re-verifying it needs no pulse). Skipped cells still resolve to the
+/// value the write-verify pass observes — the verify deviate is drawn
+/// whether or not a pulse fires — so realized state is bitwise identical
+/// with delta programming on or off; only the pulse accounting changes.
+///
+/// The cache is only trustworthy while the physical state it snapshots is:
+/// a variation redraw ([`HwContext::reseed`] / [`HwContext::begin_attempt`]),
+/// a weak-cell repair, a spare-line remap, or a drift refresh all
+/// invalidate it (DESIGN.md §12).
+#[derive(Debug, Clone)]
+struct BlockCodes {
+    rows: usize,
+    cols: usize,
+    codes: Vec<u64>,
+}
+
 /// Per-solve hardware state: RNG, converters, per-block fault plans and the
 /// cost ledger.
 #[derive(Debug, Clone)]
@@ -63,6 +82,10 @@ pub struct HwContext {
     /// Persistent per-block defect state, keyed by the solver's block ids.
     /// A `BTreeMap` keeps iteration deterministic for the recovery sweeps.
     blocks: BTreeMap<u32, BlockFaults>,
+    /// Per-block conductance-code caches for delta programming.
+    codes: BTreeMap<u32, BlockCodes>,
+    /// Write-precision quantizer (`config.write_bits` significant bits).
+    wq: WriteQuantizer,
     /// Detection events not yet drained by the solver.
     pending_events: Vec<RecoveryEvent>,
     ledger: CostLedger,
@@ -86,6 +109,8 @@ impl HwContext {
             rng: StdRng::seed_from_u64(config.seed),
             transient_rng: StdRng::seed_from_u64(config.seed ^ TRANSIENT_SALT),
             blocks: BTreeMap::new(),
+            codes: BTreeMap::new(),
+            wq: WriteQuantizer::new(config.write_bits),
             pending_events: Vec::new(),
             ledger: CostLedger::new(),
             noc,
@@ -115,12 +140,31 @@ impl HwContext {
         self.ledger.charge_noc_transfer(time_s, energy_j, transfers);
     }
 
+    /// Records one core-matrix rebuild the solver avoided by reusing its
+    /// assembled workspace (digital bookkeeping; free on hardware).
+    pub fn note_rebuild_avoided(&mut self) {
+        self.ledger.note_rebuild_avoided();
+    }
+
     /// Re-seeds the variation RNG — the §4.3 re-solve ("double checking")
     /// scheme: re-writing the array redraws every variation deviate. Hard
     /// defects ([`FaultPlan`]s) are untouched; they belong to the silicon,
     /// not the write history.
     pub fn reseed(&mut self, salt: u64) {
         self.rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(salt));
+        // The whole point of the redraw is fresh deviates on every cell;
+        // the code caches would defeat it by skipping unchanged codes.
+        self.invalidate_codes();
+    }
+
+    /// Drops every delta-programming code cache: the next write of each
+    /// block re-programs all cells. Called automatically on variation
+    /// redraws, repairs and remaps; callers performing their own wholesale
+    /// rewrites (e.g. a drift refresh, where the *stored charge* decayed
+    /// even though the target codes did not change) must call this first or
+    /// the refresh would be skipped as a no-op.
+    pub fn invalidate_codes(&mut self) {
+        self.codes.clear();
     }
 
     /// Starts a new solve attempt: redraws variation (as [`reseed`]) and
@@ -135,29 +179,49 @@ impl HwContext {
     }
 
     /// Writes a non-negative block matrix under block key `key`; returns
-    /// the realized block. Charges one write per **non-zero** coefficient
-    /// (erased cells already sit at `g_off`; zero coefficients need no
-    /// pulse). The block's persistent [`FaultPlan`] pins stuck-on cells to
-    /// the block's full-scale value and stuck-off cells / dead lines to
-    /// zero, regardless of the programmed target; faulty cells consume no
-    /// variation draw (the pulse never moves the device).
+    /// the realized block. Targets are resolved to `config.write_bits`-bit
+    /// conductance codes; one write is charged per **non-zero** healthy
+    /// code (erased cells already sit at `g_off`; zero coefficients need no
+    /// pulse), and with `config.delta_writes` a cell whose code is
+    /// unchanged since the block's last program is *skipped* — no pulse is
+    /// charged, and the cell resolves to the value the write-verify pass
+    /// observes (identical to what a fresh write would have produced, so
+    /// delta programming never changes results). The block's persistent
+    /// [`FaultPlan`] pins stuck-on cells to the block's full-scale value
+    /// and stuck-off cells / dead lines to zero, regardless of the
+    /// programmed target; faulty cells consume no variation draw (the pulse
+    /// never moves the device). Healthy cells draw one verify-loop deviate
+    /// per write *or skip*, so the variation stream — and therefore every
+    /// realized value of cells that are written — is identical whether
+    /// delta programming is on or off.
     pub fn write_matrix(&mut self, key: u32, target: &Matrix, phase: Phase) -> Matrix {
         let plan = self.plan_for(key, target.rows(), target.cols());
         let a_max = target.max_abs();
-        let mut nonzero = 0u64;
+        let cache = self
+            .delta_cache(key)
+            .filter(|c| c.rows == target.rows() && c.cols == target.cols());
+        let mut written = 0u64;
+        let mut skipped = 0u64;
+        let mut codes = vec![0u64; target.rows() * target.cols()];
         let mut realized = Matrix::zeros(target.rows(), target.cols());
         for i in 0..target.rows() {
             for j in 0..target.cols() {
-                let v = target[(i, j)];
+                let idx = i * target.cols() + j;
+                let code = self.wq.code(target[(i, j)]);
+                codes[idx] = code;
                 realized[(i, j)] = match plan.fault_at(i, j) {
                     FaultKind::StuckOn => a_max,
                     FaultKind::StuckOff => 0.0,
                     FaultKind::Healthy => {
-                        if v == 0.0 {
+                        if code == 0 {
                             0.0
                         } else {
-                            nonzero += 1;
-                            self.config.variation.perturb(v, &mut self.rng).max(0.0)
+                            let factor = self.config.variation.draw_factor(&mut self.rng);
+                            match cache.as_ref() {
+                                Some(c) if c.codes[idx] == code => skipped += 1,
+                                _ => written += 1,
+                            }
+                            (self.wq.decode(code) * factor).max(0.0)
                         }
                     }
                 };
@@ -166,9 +230,11 @@ impl HwContext {
         self.ledger.charge_writes(
             &self.config.cost,
             phase,
-            nonzero,
+            written,
             self.config.variation.max_fraction,
         );
+        self.ledger.note_skipped_writes(skipped);
+        self.store_codes(key, target.rows(), target.cols(), codes);
         self.verify_block(key, target.as_slice(), realized.as_slice(), target.cols());
         realized
     }
@@ -176,30 +242,42 @@ impl HwContext {
     /// Writes a non-negative diagonal (or other dense vector of cells)
     /// under block key `key`; returns realized values. Charges one write
     /// per entry — diagonals are rewritten wholesale each iteration (the
-    /// paper's 2.7·N updates). The block's [`FaultPlan`] is a `len × 1`
-    /// region (a private line per cell, so no shared-bit-line faults).
+    /// paper's 2.7·N updates) — *except* entries skipped by delta
+    /// programming (unchanged `config.write_bits`-bit code since the
+    /// block's last write). The block's [`FaultPlan`] is a `len × 1` region
+    /// (a private line per cell, so no shared-bit-line faults).
     pub fn write_diag(&mut self, key: u32, target: &[f64], phase: Phase) -> Vec<f64> {
         let plan = self.plan_for(key, target.len(), 1);
         let a_max = target.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        let realized: Vec<f64> = target
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| match plan.fault_at(i, 0) {
+        let cache = self
+            .delta_cache(key)
+            .filter(|c| c.rows == target.len() && c.cols == 1);
+        let mut skipped = 0u64;
+        let mut codes = vec![0u64; target.len()];
+        let mut realized = Vec::with_capacity(target.len());
+        for (i, &v) in target.iter().enumerate() {
+            let code = self.wq.code(v.max(0.0));
+            codes[i] = code;
+            realized.push(match plan.fault_at(i, 0) {
                 FaultKind::StuckOn => a_max,
                 FaultKind::StuckOff => 0.0,
-                FaultKind::Healthy => self
-                    .config
-                    .variation
-                    .perturb(v.max(0.0), &mut self.rng)
-                    .max(0.0),
-            })
-            .collect();
+                FaultKind::Healthy => {
+                    let factor = self.config.variation.draw_factor(&mut self.rng);
+                    if matches!(cache.as_ref(), Some(c) if c.codes[i] == code) {
+                        skipped += 1;
+                    }
+                    (self.wq.decode(code) * factor).max(0.0)
+                }
+            });
+        }
         self.ledger.charge_writes(
             &self.config.cost,
             phase,
-            target.len() as u64,
+            target.len() as u64 - skipped,
             self.config.variation.max_fraction,
         );
+        self.ledger.note_skipped_writes(skipped);
+        self.store_codes(key, target.len(), 1, codes);
         self.verify_block(key, target, &realized, 1);
         realized
     }
@@ -358,6 +436,9 @@ impl HwContext {
                 10 * repaired as u64,
                 self.config.variation.max_fraction,
             );
+            // Repaired cells hold whatever the repair pulses left; the next
+            // write of each block must realize them fresh.
+            self.invalidate_codes();
         }
         (repaired, remaining)
     }
@@ -388,10 +469,35 @@ impl HwContext {
                 }
             }
         }
+        if rows_done + cols_done > 0 {
+            // Relocated lines land on spare cells that were never
+            // programmed; their logical positions must be written fresh.
+            self.invalidate_codes();
+        }
         (rows_done, cols_done, unmapped)
     }
 
     // ----- internals -------------------------------------------------------
+
+    /// Takes (and thereby consumes) the delta cache for `key`, or `None`
+    /// when delta programming is off. The caller re-inserts the refreshed
+    /// cache via [`HwContext::store_codes`].
+    fn delta_cache(&mut self, key: u32) -> Option<BlockCodes> {
+        if self.config.delta_writes {
+            self.codes.remove(&key)
+        } else {
+            None
+        }
+    }
+
+    /// Snapshots the codes just written for block `key` (no-op when delta
+    /// programming is off).
+    fn store_codes(&mut self, key: u32, rows: usize, cols: usize, codes: Vec<u64>) {
+        if !self.config.delta_writes {
+            return;
+        }
+        self.codes.insert(key, BlockCodes { rows, cols, codes });
+    }
 
     /// Returns (drawing if necessary) the fault plan for block `key`. The
     /// plan seed mixes the configuration seed with the key only — never the
@@ -428,7 +534,11 @@ impl HwContext {
         }
         b.reported = true;
         let rows = target.len() / cols.max(1);
-        let rel_band = self.config.variation.max_fraction + 1e-9;
+        // A healthy cell realizes factor · quantize(target): the band must
+        // cover variation *and* write-code rounding or quantized-but-honest
+        // cells read back as defects.
+        let var = self.config.variation.max_fraction;
+        let rel_band = var + self.wq.rel_step() * (1.0 + var) + 1e-9;
         let fmap = FaultMap::detect(rows, cols, target, realized, rel_band, 1e-12);
         let _ = fmap.len(); // detection runs the real verify path
         self.pending_events.push(RecoveryEvent::FaultsDetected {
@@ -478,10 +588,12 @@ mod tests {
         let mut c = ctx(10.0);
         let m = Matrix::from_fn(8, 8, |i, j| 1.0 + (i * 8 + j) as f64 * 0.1);
         let r = c.write_matrix(0, &m, Phase::Setup);
+        // Variation plus 12-bit write-code rounding (2^-12 relative).
+        let band = 0.10 + (1.0 + 0.10) / 4096.0;
         for i in 0..8 {
             for j in 0..8 {
                 let t = m[(i, j)];
-                assert!((r[(i, j)] - t).abs() <= 0.10 * t + 1e-12);
+                assert!((r[(i, j)] - t).abs() <= band * t + 1e-12);
             }
         }
     }
@@ -653,6 +765,119 @@ mod tests {
         }
         let rate = hit as f64 / (50.0 * 64.0);
         assert!((rate - 0.2).abs() < 0.05, "upset rate {rate}");
+    }
+
+    #[test]
+    fn delta_skips_unchanged_codes() {
+        let mut c = ctx(0.0);
+        let m = Matrix::from_fn(8, 8, |i, j| 0.5 + (i * 8 + j) as f64 * 0.1);
+        let first = c.write_matrix(0, &m, Phase::Setup);
+        assert_eq!(c.ledger().counts().setup_writes, 64);
+        let second = c.write_matrix(0, &m, Phase::Run);
+        assert_eq!(
+            c.ledger().counts().update_writes,
+            0,
+            "identical block re-program must be all skips"
+        );
+        assert_eq!(c.ledger().counts().skipped_writes, 64);
+        assert_eq!(first.as_slice(), second.as_slice());
+        // One changed cell writes exactly one cell.
+        let mut m2 = m.clone();
+        m2[(3, 3)] *= 2.0;
+        c.write_matrix(0, &m2, Phase::Run);
+        assert_eq!(c.ledger().counts().update_writes, 1);
+    }
+
+    #[test]
+    fn delta_diag_skips_sub_lsb_changes() {
+        let mut c = ctx(0.0);
+        let base = vec![1.0, 2.0, 3.0, 4.0];
+        c.write_diag(0, &base, Phase::Run);
+        // Perturb every entry by far less than one write-code step.
+        let nudged: Vec<f64> = base.iter().map(|v| v * (1.0 + 1e-6)).collect();
+        let r = c.write_diag(0, &nudged, Phase::Run);
+        assert_eq!(
+            c.ledger().counts().update_writes,
+            4,
+            "second pass all skipped"
+        );
+        assert_eq!(c.ledger().counts().skipped_writes, 4);
+        // Skipped cells resolve to the same realized value the original
+        // write produced (the sub-LSB nudge rounds to the same code).
+        for (got, want) in r.iter().zip(&base) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn delta_off_matches_delta_on_bitwise_when_fault_free() {
+        let m = Matrix::from_fn(12, 12, |i, j| {
+            0.1 + ((i * 12 + j) as f64 * 0.731).sin().abs()
+        });
+        let diag: Vec<f64> = (0..12).map(|i| 0.2 + i as f64 * 0.31).collect();
+        let run = |delta: bool| {
+            let mut c = HwContext::new(
+                CrossbarConfig::paper_default()
+                    .with_seed(7)
+                    .with_delta_writes(delta),
+            );
+            let a = c.write_matrix(0, &m, Phase::Setup);
+            let b = c.write_matrix(0, &m, Phase::Run);
+            let d1 = c.write_diag(1, &diag, Phase::Run);
+            let d2 = c.write_diag(1, &diag, Phase::Run);
+            (a, b, d1, d2)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.0.as_slice(), off.0.as_slice());
+        assert_eq!(on.1.as_slice(), off.1.as_slice());
+        assert_eq!(on.2, off.2);
+        assert_eq!(on.3, off.3);
+    }
+
+    #[test]
+    fn reseed_invalidates_code_cache() {
+        let mut c = ctx(0.0);
+        let m = Matrix::from_fn(4, 4, |_, _| 1.0);
+        c.write_matrix(0, &m, Phase::Setup);
+        c.begin_attempt(1);
+        c.write_matrix(0, &m, Phase::Setup);
+        assert_eq!(
+            c.ledger().counts().setup_writes,
+            32,
+            "redraw must re-program every cell"
+        );
+        c.write_matrix(0, &m, Phase::Run);
+        assert_eq!(
+            c.ledger().counts().update_writes,
+            0,
+            "cache rebuilt after redraw"
+        );
+        c.invalidate_codes();
+        c.write_matrix(0, &m, Phase::Run);
+        assert_eq!(c.ledger().counts().update_writes, 16, "manual invalidation");
+    }
+
+    #[test]
+    fn repair_and_remap_invalidate_code_cache() {
+        let faults = FaultModel::symmetric(0.05)
+            .unwrap()
+            .with_weak_fraction(1.0)
+            .unwrap();
+        let mut c = faulty_ctx(faults, 5);
+        let m = Matrix::from_fn(16, 16, |_, _| 1.0);
+        c.write_matrix(0, &m, Phase::Setup);
+        let (repaired, _) = c.reprogram_faulty();
+        assert!(repaired > 0);
+        c.write_matrix(0, &m, Phase::Run);
+        // 10 extended-budget pulses per repaired cell, then a full
+        // re-program of all 256 now-healthy cells (cache invalidated).
+        assert_eq!(
+            c.ledger().counts().update_writes as usize,
+            10 * repaired + 256,
+            "post-repair write re-programs everything incl. repaired cells"
+        );
+        assert_eq!(c.ledger().counts().skipped_writes, 0);
     }
 
     #[test]

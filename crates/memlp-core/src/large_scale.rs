@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::hw::HwContext;
 use crate::recovery::{self, RecoveryEvent, RecoveryPolicy, RecoveryReport};
-use crate::trace::{IterationRecord, SolverTrace};
+use crate::trace::{IterationRecord, SolverTrace, WriteStats};
 use crate::transform::SignSplit;
 
 /// Stable block keys: each physical crossbar region the solver programs gets
@@ -247,6 +247,7 @@ impl LargeScaleSolver {
                     if !failed {
                         self.classify_exhausted(lp, &mut solution);
                         trace.events = report.events.clone();
+                        trace.writes = WriteStats::from_ledger(hw.ledger());
                         return crate::CrossbarSolution {
                             solution,
                             ledger: *hw.ledger(),
@@ -310,6 +311,7 @@ impl LargeScaleSolver {
             solution = digital;
         }
         trace.events = report.events.clone();
+        trace.writes = WriteStats::from_ledger(hw.ledger());
         crate::CrossbarSolution {
             solution,
             ledger: *hw.ledger(),
@@ -324,13 +326,21 @@ impl LargeScaleSolver {
     /// count from `MEMLP_THREADS` / available parallelism. Each problem
     /// simulates on its own deterministic [`HwContext`], so batching never
     /// changes results relative to sequential [`Self::solve`] calls.
+    ///
+    /// As in [`CrossbarPdipSolver::solve_batch`], parallelism applies
+    /// across batch items only — inner kernels run serial per worker to
+    /// avoid oversubscription on the small per-solve matrices.
+    ///
+    /// [`CrossbarPdipSolver::solve_batch`]: crate::CrossbarPdipSolver::solve_batch
     pub fn solve_batch(&self, lps: &[LpProblem], jobs: usize) -> Vec<crate::CrossbarSolution> {
         let jobs = if jobs == 0 {
             parallel::Threads::resolve().get()
         } else {
             jobs
         };
-        parallel::run_indexed(jobs, lps.len(), |i| self.solve(&lps[i]))
+        parallel::run_indexed(jobs, lps.len(), |i| {
+            parallel::with_threads(1, || self.solve(&lps[i]))
+        })
     }
 
     /// Per §3.2, once the retry budget is spent a run whose residual is
@@ -511,6 +521,12 @@ impl LargeScaleSolver {
             // set a decade above the current iterate magnitude; weakly
             // determined step components saturate there.
             let clip = 10.0 * (1.0 + ops::inf_norm(&state.x).max(ops::inf_norm(&state.y)));
+            if iter > 0 {
+                // System 1 is static: every iteration after the first
+                // reuses the factorization from programming time instead
+                // of rebuilding and refactoring the core.
+                hw.note_rebuild_avoided();
+            }
             let Some((dx, dy)) = sys.solve1(&r1, clip, hw) else {
                 return finish(state, LpStatus::NumericalFailure, iter, trace);
             };
@@ -1009,7 +1025,12 @@ mod tests {
         let m = lp.num_constraints();
         let iters = res.solution.iterations as u64;
         // One (n+m) diagonal rewrite at programming plus one per iteration.
-        assert_eq!(counts.update_writes, (n + m) as u64 * (iters + 1));
+        // Written + skipped equals the wholesale total; delta programming
+        // decides the split per cell.
+        assert_eq!(
+            counts.update_writes + counts.skipped_writes,
+            (n + m) as u64 * (iters + 1)
+        );
     }
 
     #[test]

@@ -93,6 +93,12 @@ pub struct AugmentedSystem {
     /// as the raw blocks.
     ax_eff: Matrix,
     ay_eff: Matrix,
+    /// The `(n+m)²` core with the **static** blocks (`ax_eff`, `ay_eff`)
+    /// pre-placed and the diagonal coupling blocks zeroed. Built once per
+    /// (re)programming by [`Self::rebuild_effective`]; each per-iteration
+    /// solve copies it and overwrites only the two diagonal blocks instead
+    /// of reassembling the matrix from its blocks.
+    core_base: Matrix,
     /// Reduce-and-solve scratch buffers, reused across iterations.
     scratch: SolveScratch,
     /// Total cell count (for settle-energy estimates).
@@ -109,6 +115,8 @@ struct SolveScratch {
     neg_d1: Vec<f64>,
     d2: Vec<f64>,
     k: Matrix,
+    /// LU pivot/permutation buffer, recycled across factorizations.
+    piv: Vec<usize>,
     rhs: Vec<f64>,
     full: Vec<f64>,
 }
@@ -202,6 +210,7 @@ impl AugmentedSystem {
             yd: Vec::new(),
             ax_eff: Matrix::default(),
             ay_eff: Matrix::default(),
+            core_base: Matrix::default(),
             scratch: SolveScratch::default(),
             cells,
         };
@@ -236,6 +245,10 @@ impl AugmentedSystem {
                 self.ay_eff[(i, j)] -= self.atn[(i, rr)] * f;
             }
         }
+        let dim = n + m;
+        self.core_base = Matrix::zeros(dim, dim);
+        self.core_base.set_block(0, 0, &self.ax_eff);
+        self.core_base.set_block(m, n, &self.ay_eff);
     }
 
     /// Rewrites the `X`, `Y`, `Z`, `W` diagonals for the current iterate —
@@ -266,6 +279,7 @@ impl AugmentedSystem {
             &mut self.atn,
             &mut self.ax_eff,
             &mut self.ay_eff,
+            &mut self.core_base,
         ] {
             m.scale_mut(f);
         }
@@ -287,7 +301,16 @@ impl AugmentedSystem {
 
     /// Re-programs all static blocks from the pristine targets (run-phase
     /// writes) — the periodic-refresh mitigation for drift.
+    ///
+    /// With drift active the cells have physically decayed away from the
+    /// codes the delta cache remembers, so the cache is invalidated first
+    /// and every cell is genuinely rewritten. On drift-free hardware the
+    /// cells still hold their programmed codes, so delta programming
+    /// legitimately skips the identical rewrites.
     pub fn refresh_static(&mut self, hw: &mut HwContext) {
+        if !hw.config().drift.is_none() {
+            hw.invalidate_codes();
+        }
         let kx = self.ipx.len();
         let ky = self.ipy.len();
         self.ap = hw.write_matrix(key::AP, &self.split_a.pos, Phase::Run);
@@ -483,30 +506,38 @@ impl AugmentedSystem {
                 .push(self.iv[j] * self.i3[j] * self.zd[j] / (self.i4[j] * self.xd[j]));
         }
 
-        // Assemble the (m+n) core: rows R1 then R2, unknowns [Δx | Δy].
+        // The (m+n) core — rows R1 then R2, unknowns [Δx | Δy] — starts
+        // from the cached static base; only the two diagonal coupling
+        // blocks change between iterations, so the O((n+m)²) block
+        // reassembly is replaced by a flat copy plus two diagonal writes.
         let dim = n + m;
         if self.scratch.k.rows() != dim {
             self.scratch.k = Matrix::zeros(dim, dim);
-        } else {
-            self.scratch.k.as_mut_slice().fill(0.0);
         }
-        self.scratch.k.set_block(0, 0, &self.ax_eff);
+        self.scratch
+            .k
+            .as_mut_slice()
+            .copy_from_slice(self.core_base.as_slice());
         self.scratch.k.set_diag_block(0, n, &self.scratch.neg_d1);
         self.scratch.k.set_diag_block(m, 0, &self.scratch.d2);
-        self.scratch.k.set_block(m, n, &self.ay_eff);
+        hw.note_rebuild_avoided();
         self.scratch.rhs.clear();
         self.scratch.rhs.extend_from_slice(&self.scratch.r1p);
         self.scratch.rhs.extend_from_slice(&self.scratch.r2p);
 
-        // Factor the core in place, then hand its buffer back to the
-        // scratch so the (n+m)² allocation is reused next iteration.
+        // Factor the core in place, then hand its buffers back to the
+        // scratch so the (n+m)² matrix and the pivot vector are reused
+        // next iteration.
         let core_mat = std::mem::take(&mut self.scratch.k);
-        let lu = match LuFactors::factor(core_mat) {
+        let piv = std::mem::take(&mut self.scratch.piv);
+        let lu = match LuFactors::factor_reusing(core_mat, piv) {
             Ok(lu) => lu,
             Err(_) => return None,
         };
         let core = lu.solve(&self.scratch.rhs);
-        self.scratch.k = lu.into_matrix();
+        let (k, piv) = lu.into_parts();
+        self.scratch.k = k;
+        self.scratch.piv = piv;
         let core = core.ok()?;
         let dx = core[..n].to_vec();
         let dy = core[n..].to_vec();

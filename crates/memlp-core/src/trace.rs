@@ -21,6 +21,44 @@ pub struct IterationRecord {
     pub theta: f64,
 }
 
+/// Write-sparsity and workspace-reuse counters for one solve, copied from
+/// the cost ledger when the solve finishes. `cells_written +
+/// cells_skipped` is what a full-reprogram run would have pulsed;
+/// `rebuilds_avoided` counts core-matrix assemblies the digital controller
+/// reused instead of rebuilding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Cells actually pulsed (setup plus run-phase updates).
+    pub cells_written: u64,
+    /// Write pulses skipped by delta programming.
+    pub cells_skipped: u64,
+    /// Core-matrix rebuilds avoided by workspace reuse.
+    pub rebuilds_avoided: u64,
+}
+
+impl WriteStats {
+    /// Snapshots the write counters from a cost ledger.
+    pub fn from_ledger(ledger: &memlp_crossbar::CostLedger) -> Self {
+        let c = ledger.counts();
+        WriteStats {
+            cells_written: c.setup_writes + c.update_writes,
+            cells_skipped: c.skipped_writes,
+            rebuilds_avoided: c.rebuilds_avoided,
+        }
+    }
+
+    /// Fraction of would-be write pulses that delta programming skipped
+    /// (0 when nothing was written).
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.cells_written + self.cells_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.cells_skipped as f64 / total as f64
+        }
+    }
+}
+
 /// A solve attempt's full iteration history.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolverTrace {
@@ -29,6 +67,8 @@ pub struct SolverTrace {
     /// Fault detections and recovery escalations, in the order the solve
     /// climbed the ladder (see [`crate::RecoveryReport`]).
     pub events: Vec<crate::RecoveryEvent>,
+    /// Write-sparsity counters for the whole solve (all attempts).
+    pub writes: WriteStats,
 }
 
 impl SolverTrace {

@@ -1,0 +1,120 @@
+//! Delta programming must be a pure cost optimization: on fault-free
+//! hardware, a solve with `delta_writes` on returns **bit-for-bit** the
+//! same solution, iteration records, and recovery events as a full
+//! re-program run, at every worker count. Only the ledger's written/skipped
+//! split may differ — and it must differ conservatively: written + skipped
+//! under delta equals written under full reprogramming.
+
+use memlp_core::{
+    CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions, LargeScaleOptions,
+    LargeScaleSolver,
+};
+use memlp_crossbar::CrossbarConfig;
+use memlp_linalg::parallel::with_threads;
+use memlp_lp::{generator::RandomLp, LpProblem};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn config(seed: u64, delta: bool) -> CrossbarConfig {
+    CrossbarConfig::paper_default()
+        .with_variation(5.0)
+        .with_seed(seed)
+        .with_delta_writes(delta)
+}
+
+fn problems() -> Vec<LpProblem> {
+    (0..3u64)
+        .map(|s| RandomLp::paper(24, 620 + s).feasible())
+        .collect()
+}
+
+/// Identical observable solve behaviour: solution bits, per-iteration
+/// records, and recovery events. The ledger is *excluded* on purpose — the
+/// written/skipped split is the one thing delta programming changes.
+fn assert_same_behaviour(a: &CrossbarSolution, b: &CrossbarSolution, ctx: &str) {
+    assert_eq!(a.solution.status, b.solution.status, "{ctx}: status");
+    assert_eq!(bits(&a.solution.x), bits(&b.solution.x), "{ctx}: x");
+    assert_eq!(bits(&a.solution.y), bits(&b.solution.y), "{ctx}: y");
+    assert_eq!(
+        a.solution.objective.to_bits(),
+        b.solution.objective.to_bits(),
+        "{ctx}: objective"
+    );
+    assert_eq!(a.solution.iterations, b.solution.iterations, "{ctx}: iters");
+    assert_eq!(a.retries_used, b.retries_used, "{ctx}: retries");
+    assert_eq!(a.trace.records, b.trace.records, "{ctx}: trace records");
+    assert_eq!(a.trace.events, b.trace.events, "{ctx}: trace events");
+}
+
+/// Delta accounting must be lossless: every pulse the delta run skipped is
+/// one the full run executed.
+fn assert_conserved(delta: &CrossbarSolution, full: &CrossbarSolution, ctx: &str) {
+    let d = delta.ledger.counts();
+    let f = full.ledger.counts();
+    assert_eq!(
+        d.setup_writes + d.update_writes + d.skipped_writes,
+        f.setup_writes + f.update_writes + f.skipped_writes,
+        "{ctx}: write conservation"
+    );
+    assert_eq!(f.skipped_writes, 0, "{ctx}: full reprogram never skips");
+    assert!(
+        d.skipped_writes > 0,
+        "{ctx}: delta run skipped nothing — test is vacuous"
+    );
+}
+
+#[test]
+fn alg1_delta_matches_full_reprogram_at_all_thread_counts() {
+    let lps = problems();
+    let opts = CrossbarSolverOptions {
+        // A refresh cadence exercises the static-block rewrite path, where
+        // delta programming skips the most pulses.
+        refresh_every: 5,
+        ..CrossbarSolverOptions::default()
+    };
+    let on = CrossbarPdipSolver::new(config(7, true), opts);
+    let off = CrossbarPdipSolver::new(config(7, false), opts);
+    let baseline = with_threads(1, || off.solve_batch(&lps, 1));
+    for threads in THREADS {
+        let got = with_threads(threads, || on.solve_batch(&lps, threads));
+        for (i, (full, delta)) in baseline.iter().zip(&got).enumerate() {
+            let ctx = format!("alg1 lp {i} at {threads} threads");
+            assert_same_behaviour(delta, full, &ctx);
+            assert_conserved(delta, full, &ctx);
+        }
+    }
+}
+
+#[test]
+fn alg2_delta_matches_full_reprogram_at_all_thread_counts() {
+    let lps = problems();
+    let on = LargeScaleSolver::new(config(9, true), LargeScaleOptions::default());
+    let off = LargeScaleSolver::new(config(9, false), LargeScaleOptions::default());
+    let baseline = with_threads(1, || off.solve_batch(&lps, 1));
+    for threads in THREADS {
+        let got = with_threads(threads, || on.solve_batch(&lps, threads));
+        for (i, (full, delta)) in baseline.iter().zip(&got).enumerate() {
+            let ctx = format!("alg2 lp {i} at {threads} threads");
+            assert_same_behaviour(delta, full, &ctx);
+            assert_conserved(delta, full, &ctx);
+        }
+    }
+}
+
+/// The trace's write stats mirror the ledger and expose the skip fraction.
+#[test]
+fn trace_write_stats_mirror_the_ledger() {
+    let lp = RandomLp::paper(24, 621).feasible();
+    let res = CrossbarPdipSolver::new(config(7, true), CrossbarSolverOptions::default()).solve(&lp);
+    let c = res.ledger.counts();
+    let w = res.trace.writes;
+    assert_eq!(w.cells_written, c.setup_writes + c.update_writes);
+    assert_eq!(w.cells_skipped, c.skipped_writes);
+    assert_eq!(w.rebuilds_avoided, c.rebuilds_avoided);
+    assert!(w.rebuilds_avoided > 0, "workspace reuse never engaged");
+    assert!(w.skip_fraction() >= 0.0 && w.skip_fraction() < 1.0);
+}

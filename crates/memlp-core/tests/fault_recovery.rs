@@ -116,7 +116,7 @@ fn alg2_recovers_where_no_recovery_fails() {
 /// the digital fallback — all of it recorded, and mirrored into the trace.
 #[test]
 fn every_ladder_rung_is_recorded() {
-    let lp = RandomLp::paper(24, 902).feasible();
+    let lp = RandomLp::paper(24, 900).feasible();
     for res in [
         alg1(2, RecoveryPolicy::Full).solve(&lp),
         alg2(2, RecoveryPolicy::Full).solve(&lp),

@@ -8,7 +8,7 @@ use crate::cost::{CostLedger, Phase};
 use crate::error::CrossbarError;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::mapping::{ConductanceMap, LineRemap};
-use crate::quantize::Quantizer;
+use crate::quantize::{Quantizer, WriteQuantizer};
 
 /// Salt separating the fault-plan seed stream from the variation stream:
 /// hard defects are a property of the physical array, drawn once, and must
@@ -42,8 +42,14 @@ pub struct Crossbar {
     /// Realized conductance matrix (only materialized at circuit fidelity).
     gmat: Option<Matrix>,
     map: Option<ConductanceMap>,
+    /// Conductance codes most recently programmed (row-major over the
+    /// logical target), kept for [`Crossbar::program_delta`]. Coherent with
+    /// the cells because every write path updates it in place.
+    codes: Option<Vec<u64>>,
     adc: Quantizer,
     dac: Quantizer,
+    /// Write-precision quantizer (`config.write_bits` significant bits).
+    wq: WriteQuantizer,
     rng: StdRng,
     /// Independent stream for transient ADC upsets.
     transient_rng: StdRng,
@@ -75,6 +81,7 @@ impl Crossbar {
             side,
             adc: Quantizer::new(config.adc_bits),
             dac: Quantizer::new(config.dac_bits),
+            wq: WriteQuantizer::new(config.write_bits),
             rng: StdRng::seed_from_u64(config.seed),
             transient_rng: StdRng::seed_from_u64(config.seed ^ TRANSIENT_SALT),
             plan: FaultPlan::draw(&config.faults, side, side, config.seed ^ FAULT_PLAN_SALT),
@@ -84,6 +91,7 @@ impl Crossbar {
             realized: None,
             gmat: None,
             map: None,
+            codes: None,
             g_total: 0.0,
             config,
         })
@@ -134,6 +142,7 @@ impl Crossbar {
         let map = ConductanceMap::new(a_max, &self.config.device);
 
         let mut realized = Matrix::zeros(matrix.rows(), matrix.cols());
+        let mut codes = vec![0u64; matrix.rows() * matrix.cols()];
         let mut gmat = if self.config.fidelity == Fidelity::Circuit {
             Some(Matrix::zeros(matrix.rows(), matrix.cols()))
         } else {
@@ -142,6 +151,7 @@ impl Crossbar {
         for i in 0..matrix.rows() {
             for j in 0..matrix.cols() {
                 let (logical, g) = self.write_cell(&map, i, j, matrix[(i, j)]);
+                codes[i * matrix.cols() + j] = self.wq.code(matrix[(i, j)]);
                 realized[(i, j)] = logical;
                 if let Some(gm) = gmat.as_mut() {
                     gm[(i, j)] = g;
@@ -165,6 +175,86 @@ impl Crossbar {
         self.realized = Some(realized);
         self.gmat = gmat;
         self.map = Some(map);
+        self.codes = Some(codes);
+        Ok(())
+    }
+
+    /// Re-programs a matrix of the **same shape** as the current target,
+    /// pulsing only cells whose `config.write_bits`-bit conductance code
+    /// changed (run phase). Unchanged cells charge neither time nor energy;
+    /// the skip count lands in the ledger's `skipped_writes`. Every healthy
+    /// cell still resolves through the write-verify pass (one variation
+    /// draw each), so fault-free arrays are bitwise identical whether delta
+    /// programming is on or off — only the write counts differ. The
+    /// full-scale value of the original [`Crossbar::program_with_scale`]
+    /// call is retained.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::NotProgrammed`] before the first program,
+    /// * [`CrossbarError::ShapeMismatch`] if the shape differs from the
+    ///   programmed target,
+    /// * [`CrossbarError::NegativeCoefficient`] if any entry is negative.
+    pub fn program_delta(&mut self, matrix: &Matrix) -> Result<(), CrossbarError> {
+        let map = self.map.ok_or(CrossbarError::NotProgrammed)?;
+        {
+            let target = self.target.as_ref().ok_or(CrossbarError::NotProgrammed)?;
+            if matrix.rows() != target.rows() || matrix.cols() != target.cols() {
+                return Err(CrossbarError::ShapeMismatch {
+                    expected: format!("{}x{} delta target", target.rows(), target.cols()),
+                    found: format!("{}x{}", matrix.rows(), matrix.cols()),
+                });
+            }
+        }
+        self.check_nonnegative(matrix)?;
+        if !self.config.delta_writes || self.codes.is_none() {
+            // Delta programming off (or cache never built): behave as a
+            // wholesale run-phase rewrite of every cell.
+            let updates: Vec<(usize, usize, f64)> = (0..matrix.rows())
+                .flat_map(|i| (0..matrix.cols()).map(move |j| (i, j, matrix[(i, j)])))
+                .collect();
+            return self.update_cells(&updates);
+        }
+        let cols = matrix.cols();
+        let mut written = 0u64;
+        let mut skipped = 0u64;
+        for i in 0..matrix.rows() {
+            for j in 0..cols {
+                let v = matrix[(i, j)];
+                let code = self.wq.code(v);
+                let unchanged = self.codes.as_ref().is_some_and(|c| c[i * cols + j] == code);
+                // The cell state resolves through the same verify pass
+                // either way — the verify read draws its deviate whether or
+                // not a pulse fires — so a skip changes only the pulse
+                // accounting, never the realized values.
+                let (logical, g) = self.write_cell(&map, i, j, v);
+                if let Some(r) = self.realized.as_mut() {
+                    r[(i, j)] = logical;
+                }
+                if let Some(gm) = self.gmat.as_mut() {
+                    gm[(i, j)] = g;
+                }
+                if let Some(c) = self.codes.as_mut() {
+                    c[i * cols + j] = code;
+                }
+                if unchanged && self.plan.fault_at(i, j) == FaultKind::Healthy {
+                    skipped += 1;
+                } else {
+                    written += 1;
+                }
+                if let Some(t) = self.target.as_mut() {
+                    t[(i, j)] = v;
+                }
+            }
+        }
+        self.refresh_g_total(&map)?;
+        self.ledger.charge_writes(
+            &self.config.cost,
+            Phase::Run,
+            written,
+            self.config.variation.max_fraction,
+        );
+        self.ledger.note_skipped_writes(skipped);
         Ok(())
     }
 
@@ -198,6 +288,7 @@ impl Crossbar {
                 }
             }
         }
+        let cols = self.target.as_ref().map_or(0, |t| t.cols());
         for &(i, j, v) in updates {
             let (logical, g) = self.write_cell(&map, i, j, v);
             if let Some(t) = self.target.as_mut() {
@@ -209,18 +300,12 @@ impl Crossbar {
             if let Some(gm) = self.gmat.as_mut() {
                 gm[(i, j)] = g;
             }
+            if let Some(c) = self.codes.as_mut() {
+                c[i * cols + j] = self.wq.code(v);
+            }
         }
         // Refresh the cached conductance total (cheap relative to a solve).
-        self.g_total = match (&self.gmat, &self.realized) {
-            (Some(gm), _) => gm.as_slice().iter().sum(),
-            (None, Some(r)) => {
-                map.g_off() * (r.rows() * r.cols()) as f64
-                    + map.slope() * r.as_slice().iter().sum::<f64>()
-            }
-            // `map` was Some above, which only happens after program(), so
-            // `realized` exists; keep the arm total regardless.
-            (None, None) => return Err(CrossbarError::NotProgrammed),
-        };
+        self.refresh_g_total(&map)?;
         self.ledger.charge_writes(
             &self.config.cost,
             Phase::Run,
@@ -262,10 +347,12 @@ impl Crossbar {
         let target = self.target.as_ref().ok_or(CrossbarError::NotProgrammed)?;
         let realized = self.realized.as_ref().ok_or(CrossbarError::NotProgrammed)?;
         let map = self.map.ok_or(CrossbarError::NotProgrammed)?;
-        // Anything outside the per-write variation band (plus a floor for
-        // quantization of small values) cannot be explained by Eqn 18
+        // Anything outside the per-write variation band — widened by the
+        // write-code rounding step, since cells store quantized targets —
+        // plus a floor for small values cannot be explained by Eqn 18
         // variation and is flagged as a defect.
-        let rel_band = self.config.variation.max_fraction + 1e-9;
+        let var = self.config.variation.max_fraction;
+        let rel_band = var + self.wq.rel_step() * (1.0 + var) + 1e-9;
         let abs_floor = 1e-9 * map.a_max();
         Ok(FaultMap::detect(
             target.rows(),
@@ -434,6 +521,11 @@ impl Crossbar {
             FaultKind::StuckOff => return (0.0, self.config.device.g_off()),
             FaultKind::Healthy => {}
         }
+        // The program-and-verify loop resolves the target to
+        // `config.write_bits` significant bits — the code the delta path
+        // compares against — before the stored value picks up Eqn 18
+        // variation.
+        let value = self.wq.quantize(value);
         match self.config.fidelity {
             Fidelity::Functional => {
                 // Paper-faithful Eqn 18: perturb the logical value, then
@@ -464,6 +556,7 @@ impl Crossbar {
     /// programmed, are skipped.
     fn rewrite_cells_from_target(&mut self, cells: &[(usize, usize)]) {
         let Some(map) = self.map else { return };
+        let cols = self.target.as_ref().map_or(0, |t| t.cols());
         let mut written = 0u64;
         for &(i, j) in cells {
             let Some(v) = self
@@ -479,6 +572,11 @@ impl Crossbar {
             }
             if let Some(gm) = self.gmat.as_mut() {
                 gm[(i, j)] = g;
+            }
+            // Keep the delta cache coherent: the cell now freshly holds its
+            // target's code.
+            if let Some(c) = self.codes.as_mut() {
+                c[i * cols + j] = self.wq.code(v);
             }
             written += 1;
         }
@@ -499,6 +597,21 @@ impl Crossbar {
             written,
             self.config.variation.max_fraction,
         );
+    }
+
+    /// Recomputes the cached total conductance from the current cell state.
+    fn refresh_g_total(&mut self, map: &ConductanceMap) -> Result<(), CrossbarError> {
+        self.g_total = match (&self.gmat, &self.realized) {
+            (Some(gm), _) => gm.as_slice().iter().sum(),
+            (None, Some(r)) => {
+                map.g_off() * (r.rows() * r.cols()) as f64
+                    + map.slope() * r.as_slice().iter().sum::<f64>()
+            }
+            // `map` only exists after program(), so `realized` exists; this
+            // arm is unreachable in practice.
+            (None, None) => return Err(CrossbarError::NotProgrammed),
+        };
+        Ok(())
     }
 
     /// Circuit-fidelity MVM: Eqn 5 divider plus calibrated or raw read-out.

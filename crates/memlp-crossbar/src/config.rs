@@ -57,6 +57,21 @@ pub struct CrossbarConfig {
     pub adc_bits: u32,
     /// DAC resolution in bits for analog inputs (paper: 8).
     pub dac_bits: u32,
+    /// Write precision in significant bits: the program-and-verify loop
+    /// resolves each stored value to this many significant bits, and the
+    /// delta-programming code map compares conductance codes at the same
+    /// resolution; see [`WriteQuantizer`](crate::WriteQuantizer). The
+    /// paper's 8-bit figure covers the voltage I/O converters; closed-loop
+    /// conductance tuning resolves finer, and the default (12 bits,
+    /// ≈0.02% relative) keeps the fragile constant-θ split iteration of
+    /// Algorithm 2 out of the quantization noise.
+    pub write_bits: u32,
+    /// Delta programming: skip write pulses for cells whose conductance
+    /// code is unchanged since the last program of the same block. Fault
+    /// repairs, spare-line remaps and variation redraws invalidate the code
+    /// cache (DESIGN.md §12). Fault-free solves are bitwise identical with
+    /// this on or off; only the write counts differ.
+    pub delta_writes: bool,
     /// MVM read-out calibration mode.
     pub readout: ReadoutMode,
     /// Sense conductance `g_s` at each bit line, S (Eqn 5).
@@ -86,6 +101,8 @@ impl CrossbarConfig {
             fidelity: Fidelity::Functional,
             adc_bits: 8,
             dac_bits: 8,
+            write_bits: 12,
+            delta_writes: true,
             readout: ReadoutMode::Calibrated,
             sense_conductance: 10.0 * DeviceParams::default().g_on(),
             cost: CostParams::default(),
@@ -93,12 +110,14 @@ impl CrossbarConfig {
         }
     }
 
-    /// An idealized array: no variation, no faults, 16-bit converters.
-    /// Useful for functional testing where hardware noise is unwanted.
+    /// An idealized array: no variation, no faults, 16-bit converters and
+    /// exact (full-mantissa) writes. Useful for functional testing where
+    /// hardware noise is unwanted.
     pub fn ideal() -> Self {
         CrossbarConfig {
             adc_bits: 16,
             dac_bits: 16,
+            write_bits: crate::WriteQuantizer::EXACT_BITS,
             ..CrossbarConfig::paper_default()
         }
     }
@@ -129,6 +148,20 @@ impl CrossbarConfig {
         }
     }
 
+    /// Returns a copy with the given write precision in significant bits
+    /// (1..=53; 53 = exact writes).
+    pub fn with_write_bits(self, write_bits: u32) -> Self {
+        CrossbarConfig { write_bits, ..self }
+    }
+
+    /// Returns a copy with delta programming switched on or off.
+    pub fn with_delta_writes(self, delta_writes: bool) -> Self {
+        CrossbarConfig {
+            delta_writes,
+            ..self
+        }
+    }
+
     /// Returns a copy at circuit fidelity.
     pub fn circuit(self) -> Self {
         CrossbarConfig {
@@ -153,6 +186,8 @@ mod tests {
         let c = CrossbarConfig::paper_default();
         assert_eq!(c.adc_bits, 8);
         assert_eq!(c.dac_bits, 8);
+        assert_eq!(c.write_bits, 12);
+        assert!(c.delta_writes, "write sparsity is the default");
         assert_eq!(c.fidelity, Fidelity::Functional);
         assert!(c.variation.is_none());
     }
@@ -165,11 +200,15 @@ mod tests {
             .with_seed(42)
             .with_faults(faults)
             .with_spare_lines(4)
+            .with_write_bits(10)
+            .with_delta_writes(false)
             .circuit();
         assert_eq!(c.variation.max_fraction, 0.10);
         assert_eq!(c.seed, 42);
         assert_eq!(c.faults, faults);
         assert_eq!(c.spare_lines, 4);
+        assert_eq!(c.write_bits, 10);
+        assert!(!c.delta_writes);
         assert_eq!(c.fidelity, Fidelity::Circuit);
     }
 
@@ -177,6 +216,7 @@ mod tests {
     fn ideal_has_high_precision() {
         let c = CrossbarConfig::ideal();
         assert_eq!(c.adc_bits, 16);
+        assert_eq!(c.write_bits, crate::WriteQuantizer::EXACT_BITS);
         assert!(c.variation.is_none());
     }
 

@@ -26,6 +26,15 @@ pub struct OpCounts {
     /// Coefficients re-programmed during the run phase (the paper's 2.7·N
     /// per-iteration updates land here).
     pub update_writes: u64,
+    /// Write pulses *skipped* by delta programming: the target's conductance
+    /// code matched the cell's current code, so no pulse (and no time or
+    /// energy) was spent. `update_writes + skipped_writes` equals what a
+    /// full-reprogram run would have charged.
+    pub skipped_writes: u64,
+    /// Matrix (re)assemblies the solver avoided by reusing a cached
+    /// workspace: per-iteration Newton solves that updated diagonal blocks
+    /// in place instead of rebuilding the core matrix from its blocks.
+    pub rebuilds_avoided: u64,
     /// Analog matrix–vector multiplications.
     pub mvm_ops: u64,
     /// Analog linear-system solves.
@@ -45,6 +54,8 @@ impl Add for OpCounts {
         OpCounts {
             setup_writes: self.setup_writes + o.setup_writes,
             update_writes: self.update_writes + o.update_writes,
+            skipped_writes: self.skipped_writes + o.skipped_writes,
+            rebuilds_avoided: self.rebuilds_avoided + o.rebuilds_avoided,
             mvm_ops: self.mvm_ops + o.mvm_ops,
             solve_ops: self.solve_ops + o.solve_ops,
             adc_samples: self.adc_samples + o.adc_samples,
@@ -133,6 +144,20 @@ impl CostLedger {
         }
     }
 
+    /// Records `n` write pulses skipped by delta programming. Skipped
+    /// pulses cost no time and no energy; the counter exists so the write
+    /// sparsity is auditable (`update_writes + skipped_writes` is the
+    /// full-reprogram total).
+    pub fn note_skipped_writes(&mut self, n: u64) {
+        self.counts.skipped_writes += n;
+    }
+
+    /// Records one matrix rebuild avoided by workspace reuse (a digital
+    /// controller optimization — no hardware time or energy involved).
+    pub fn note_rebuild_avoided(&mut self) {
+        self.counts.rebuilds_avoided += 1;
+    }
+
     /// Charges a NoC hop/transfer (used by `memlp-noc`).
     pub fn charge_noc_transfer(&mut self, time_s: f64, energy_j: f64, transfers: u64) {
         self.run_time_s += time_s;
@@ -190,12 +215,14 @@ impl fmt::Display for CostLedger {
         let c = self.counts;
         write!(
             f,
-            "setup {:.3} ms | run {:.3} ms | dynamic {:.3} mJ | writes {}+{} | mvm {} | solve {} | adc {} | dac {} | noc {}",
+            "setup {:.3} ms | run {:.3} ms | dynamic {:.3} mJ | writes {}+{} (skipped {}) | reuse {} | mvm {} | solve {} | adc {} | dac {} | noc {}",
             self.setup_time_s * 1e3,
             self.run_time_s * 1e3,
             self.dynamic_energy_j * 1e3,
             c.setup_writes,
             c.update_writes,
+            c.skipped_writes,
+            c.rebuilds_avoided,
             c.mvm_ops,
             c.solve_ops,
             c.adc_samples,
@@ -270,12 +297,24 @@ mod tests {
         let cost = CostParams::default();
         let mut a = CostLedger::new();
         a.charge_writes(&cost, Phase::Run, 5, 0.0);
+        a.note_skipped_writes(2);
         let mut b = CostLedger::new();
         b.charge_writes(&cost, Phase::Run, 7, 0.0);
+        b.note_skipped_writes(4);
         b.charge_noc_transfer(1e-6, 1e-9, 3);
         a.merge(&b);
         assert_eq!(a.counts().update_writes, 12);
+        assert_eq!(a.counts().skipped_writes, 6);
         assert_eq!(a.counts().noc_transfers, 3);
+    }
+
+    #[test]
+    fn skipped_writes_cost_nothing() {
+        let mut l = CostLedger::new();
+        l.note_skipped_writes(1000);
+        assert_eq!(l.counts().skipped_writes, 1000);
+        assert_eq!(l.run_time_s(), 0.0);
+        assert_eq!(l.dynamic_energy_j(), 0.0);
     }
 
     #[test]

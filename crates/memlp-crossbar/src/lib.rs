@@ -73,4 +73,4 @@ pub use cost::{CostLedger, OpCounts, Phase};
 pub use error::CrossbarError;
 pub use fault::{CellFault, FaultKind, FaultModel, FaultPlan};
 pub use mapping::LineRemap;
-pub use quantize::Quantizer;
+pub use quantize::{Quantizer, WriteQuantizer};

@@ -79,6 +79,93 @@ impl Quantizer {
     }
 }
 
+/// Write-precision quantizer: the conductance **code map** that delta
+/// programming compares against.
+///
+/// A program-and-verify write loop drives a cell until the read-back
+/// conductance sits within a *relative* tolerance of the target — the pulse
+/// train resolves the stored value to `bits` significant bits regardless of
+/// where in the conductance window the target lies. The code is therefore
+/// scale-free (the float's exponent plus a `bits`-wide mantissa), unlike the
+/// [`Quantizer`]'s full-scale-relative ADC/DAC grid: codes stay comparable
+/// across iterations even as the block's dynamic range drifts, and tiny
+/// barrier-diagonal entries never collapse to code 0 (which would make the
+/// realized Newton system structurally singular).
+///
+/// Two invariants delta programming relies on (tested below):
+/// * **code assignment is monotone** in the target value, and
+/// * **equal targets always produce equal codes**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteQuantizer {
+    bits: u32,
+}
+
+impl WriteQuantizer {
+    /// Maximum resolution: a full f64 mantissa, i.e. writes are exact.
+    pub const EXACT_BITS: u32 = 53;
+
+    /// Creates a write quantizer resolving `bits` significant bits
+    /// (1..=53; 53 reproduces the target exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=53`.
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            (1..=Self::EXACT_BITS).contains(&bits),
+            "write resolution {bits} outside 1..=53 bits"
+        );
+        WriteQuantizer { bits }
+    }
+
+    /// Resolution in significant bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Worst-case relative rounding error, `2^-bits` (half the relative
+    /// spacing between adjacent codes). Verify bands must widen by this
+    /// much or healthy quantized cells read as defects.
+    pub fn rel_step(&self) -> f64 {
+        2.0f64.powi(-(self.bits as i32))
+    }
+
+    /// The conductance code for a target value. Non-positive and non-finite
+    /// targets map to code 0 (the erased cell); positive targets map to
+    /// their f64 bit pattern rounded (half-up) to `bits` significant bits.
+    /// Monotone over non-negative finite targets.
+    pub fn code(&self, v: f64) -> u64 {
+        if !v.is_finite() || v <= 0.0 {
+            return 0;
+        }
+        let drop = Self::EXACT_BITS - self.bits;
+        if drop == 0 {
+            return v.to_bits();
+        }
+        let rounded = (v.to_bits() + (1u64 << (drop - 1))) >> drop;
+        // Rounding at the very top of the exponent range would carry into
+        // the infinity bit pattern; keep the top code finite instead.
+        if f64::from_bits(rounded << drop).is_finite() {
+            rounded
+        } else {
+            rounded - 1
+        }
+    }
+
+    /// The stored value a code realizes (exact; codes round-trip).
+    pub fn decode(&self, code: u64) -> f64 {
+        if code == 0 {
+            return 0.0;
+        }
+        f64::from_bits(code << (Self::EXACT_BITS - self.bits))
+    }
+
+    /// Rounds a target to its stored value: `decode(code(v))`.
+    pub fn quantize(&self, v: f64) -> f64 {
+        self.decode(self.code(v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +239,110 @@ mod tests {
         let v = q.quantize_vec(&[0.37, -0.91, 0.05]);
         let w = q.quantize_vec(&v);
         assert_eq!(v, w);
+    }
+
+    // ----- WriteQuantizer: the invariants delta programming relies on ------
+
+    /// Deterministic pseudo-random positive samples across many decades,
+    /// including values near the conductance-window edges.
+    fn write_samples() -> Vec<f64> {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            (seed.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut v: Vec<f64> = (0..500)
+            .map(|i| rnd() * 10.0f64.powi(i % 13 - 6))
+            .collect();
+        // Conductance-window boundaries: a typical g_off/g_on pair spans
+        // ~1e-6..1e-3 S; include the edges and their nearest neighbours.
+        for edge in [1e-6, 1e-3, 1.0, f64::MIN_POSITIVE, f64::MAX] {
+            v.push(edge);
+            v.push(edge * (1.0 + 1e-12));
+            v.push(edge * (1.0 - 1e-12));
+        }
+        // f64::MAX * (1 + ε) overflows; codes are defined on finite targets.
+        v.retain(|x| x.is_finite() && *x > 0.0);
+        v
+    }
+
+    #[test]
+    fn write_codes_are_monotone() {
+        let wq = WriteQuantizer::new(8);
+        let mut v = write_samples();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for pair in v.windows(2) {
+            assert!(
+                wq.code(pair[0]) <= wq.code(pair[1]),
+                "codes out of order for {} vs {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn equal_inputs_produce_equal_codes() {
+        for bits in [1, 4, 8, 24, WriteQuantizer::EXACT_BITS] {
+            let wq = WriteQuantizer::new(bits);
+            for v in write_samples() {
+                assert_eq!(wq.code(v), wq.code(v), "bits {bits}, v {v}");
+                // A round-tripped value maps back to the same code, so
+                // rewriting an unchanged coefficient is always a skip.
+                assert_eq!(wq.code(wq.quantize(v)), wq.code(v), "bits {bits}, v {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_error_bounded_by_rel_step() {
+        let wq = WriteQuantizer::new(8);
+        for v in write_samples() {
+            let q = wq.quantize(v);
+            assert!(
+                (q - v).abs() <= wq.rel_step() * v * (1.0 + 1e-12),
+                "{v} -> {q} exceeds rel step {}",
+                wq.rel_step()
+            );
+        }
+    }
+
+    #[test]
+    fn write_quantizer_edge_values() {
+        let wq = WriteQuantizer::new(8);
+        assert_eq!(wq.code(0.0), 0);
+        assert_eq!(wq.code(-1.0), 0);
+        assert_eq!(wq.code(f64::NAN), 0);
+        assert_eq!(wq.code(f64::INFINITY), 0);
+        assert_eq!(wq.decode(0), 0.0);
+        // The top of the range stays finite even though rounding up would
+        // carry into the infinity exponent.
+        assert!(wq.quantize(f64::MAX).is_finite());
+    }
+
+    #[test]
+    fn exact_bits_is_identity() {
+        let wq = WriteQuantizer::new(WriteQuantizer::EXACT_BITS);
+        for v in write_samples() {
+            assert_eq!(wq.quantize(v).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn more_write_bits_never_coarser() {
+        let lo = WriteQuantizer::new(6);
+        let hi = WriteQuantizer::new(12);
+        for v in write_samples() {
+            assert!((hi.quantize(v) - v).abs() <= (lo.quantize(v) - v).abs() + 1e-300);
+        }
+        assert!(hi.rel_step() < lo.rel_step());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=53")]
+    fn write_quantizer_rejects_zero_bits() {
+        WriteQuantizer::new(0);
     }
 }

@@ -44,7 +44,8 @@ proptest! {
         }
     }
 
-    /// Realized values stay inside the Eqn-18 variation band.
+    /// Realized values stay inside the Eqn-18 variation band (widened by
+    /// the 12-bit write-code rounding of `paper_default`).
     #[test]
     fn realized_within_variation_band(side in 2usize..12, var in 0.0f64..25.0, seed in 0u64..1000) {
         let a = nonneg_matrix(side, seed);
@@ -53,10 +54,11 @@ proptest! {
         xb.program(&a).unwrap();
         let r = xb.realized().unwrap();
         let frac = var / 100.0;
+        let band = frac + (1.0 + frac) / 4096.0;
         for i in 0..side {
             for j in 0..side {
                 let t = a[(i, j)];
-                prop_assert!((r[(i, j)] - t).abs() <= frac * t + 1e-12,
+                prop_assert!((r[(i, j)] - t).abs() <= band * t + 1e-12,
                     "cell ({}, {}): {} vs {} at {}%", i, j, r[(i, j)], t, var);
             }
         }

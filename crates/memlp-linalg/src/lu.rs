@@ -46,7 +46,19 @@ impl LuFactors {
     /// Returns [`LinalgError::DimensionMismatch`] if the matrix is not
     /// square, and [`LinalgError::Singular`] if a column has no usable
     /// pivot (exactly zero).
-    pub fn factor(mut a: Matrix) -> Result<Self, LinalgError> {
+    pub fn factor(a: Matrix) -> Result<Self, LinalgError> {
+        Self::factor_reusing(a, Vec::new())
+    }
+
+    /// [`Self::factor`] with a caller-recycled pivot buffer: solvers that
+    /// factor repeatedly at a fixed size pass back the permutation vector
+    /// from [`Self::into_parts`] so neither the `n²` matrix buffer nor the
+    /// pivot allocation churns per iteration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::factor`] (the buffer is dropped on error).
+    pub fn factor_reusing(mut a: Matrix, mut piv: Vec<usize>) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(dim_mismatch(
                 "square matrix",
@@ -54,7 +66,8 @@ impl LuFactors {
             ));
         }
         let n = a.rows();
-        let mut piv = Vec::with_capacity(n);
+        piv.clear();
+        piv.reserve(n);
         let mut perm_sign = 1.0;
 
         let mut k = 0;
@@ -222,6 +235,13 @@ impl LuFactors {
     /// allocation (the contents are factor output, not the original matrix).
     pub fn into_matrix(self) -> Matrix {
         self.lu
+    }
+
+    /// Consumes the factorization and returns both reusable buffers — the
+    /// packed LU matrix and the pivot vector — for
+    /// [`Self::factor_reusing`].
+    pub fn into_parts(self) -> (Matrix, Vec<usize>) {
+        (self.lu, self.piv)
     }
 
     /// Determinant of the original matrix (product of U's diagonal times the

@@ -57,14 +57,22 @@ pub struct Threads {
 impl Threads {
     /// Resolves the budget: `with_threads` override → `MEMLP_THREADS` →
     /// available parallelism (never zero).
+    ///
+    /// The `available_parallelism` syscall is cached per process: it costs
+    /// ~10 µs per call on Linux (cgroup probing), which dominated the tiny
+    /// per-iteration kernels when every one re-resolved the budget.
     pub fn resolve() -> Threads {
+        // memlp-lint: allow(concurrency::primitive, reason = "available_parallelism cache; pool internals")
+        static AVAILABLE: OnceLock<usize> = OnceLock::new();
         let cap = OVERRIDE
             .with(Cell::get)
             .or_else(env_threads)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
+                *AVAILABLE.get_or_init(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                })
             });
         Threads { cap: cap.max(1) }
     }

@@ -1,0 +1,116 @@
+//! Property-based tests for the CSR sparse matrix: construction from
+//! triplets (including duplicates and explicit zeros), dense round-trips,
+//! and agreement of the sparse kernels with their dense counterparts.
+
+use memlp_linalg::{Matrix, SparseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: arbitrary dimensions (1..=8 × 1..=8) with 0..=24 triplets,
+/// duplicates and zero values allowed on purpose.
+fn triplet_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            (0..rows, 0..cols, prop_oneof![Just(0.0), -4.0f64..4.0]),
+            0..=24,
+        )
+        .prop_map(move |ts| (rows, cols, ts))
+    })
+}
+
+/// Strategy: a random dense matrix with many structural zeros.
+fn sparse_dense_strategy() -> impl Strategy<Value = Matrix> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(rows, cols)| {
+        // Three zero arms to one value arm: ~75% structural zeros.
+        proptest::collection::vec(
+            prop_oneof![Just(0.0), Just(0.0), Just(0.0), -4.0f64..4.0],
+            rows * cols,
+        )
+        .prop_map(move |entries| Matrix::from_vec(rows, cols, entries).expect("sized buffer"))
+    })
+}
+
+/// Reference accumulation of triplets into a dense matrix.
+fn accumulate(rows: usize, cols: usize, ts: &[(usize, usize, f64)]) -> Matrix {
+    let mut d = Matrix::zeros(rows, cols);
+    for &(i, j, v) in ts {
+        d[(i, j)] += v;
+    }
+    d
+}
+
+proptest! {
+    #[test]
+    fn triplet_construction_matches_dense_accumulation(
+        (rows, cols, ts) in triplet_strategy()
+    ) {
+        let s = SparseMatrix::from_triplets(rows, cols, &ts).expect("in bounds");
+        prop_assert_eq!(s.to_dense(), accumulate(rows, cols, &ts));
+        // Duplicates merge and zeros are pruned: never more stored entries
+        // than triplets supplied, and never a stored zero.
+        prop_assert!(s.nnz() <= ts.len());
+        prop_assert!(s.iter().all(|(_, _, v)| v != 0.0));
+        prop_assert!((0.0..=1.0).contains(&s.density()));
+    }
+
+    #[test]
+    fn dense_round_trip_is_identity(d in sparse_dense_strategy()) {
+        let s = SparseMatrix::from_dense(&d);
+        prop_assert_eq!(s.to_dense(), d.clone());
+        prop_assert_eq!(s.nnz(), d.as_slice().iter().filter(|&&v| v != 0.0).count());
+    }
+
+    #[test]
+    fn matvec_agrees_with_dense(
+        (rows, cols, ts) in triplet_strategy(),
+        raw in proptest::collection::vec(-3.0f64..3.0, 8)
+    ) {
+        let s = SparseMatrix::from_triplets(rows, cols, &ts).expect("in bounds");
+        let d = s.to_dense();
+        let x = &raw[..cols];
+        let y = &raw[..rows];
+        // The dense kernel may accumulate in a blocked order, so agreement
+        // is to rounding, not bitwise.
+        for (a, b) in s.matvec(x).iter().zip(d.matvec(x)) {
+            prop_assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+        }
+        for (a, b) in s.matvec_transposed(y).iter().zip(d.matvec_transposed(y)) {
+            prop_assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rows_without_entries_produce_zero_outputs(
+        cols in 1usize..=6,
+        hit_row in 0usize..4,
+        v in 0.5f64..4.0
+    ) {
+        // A single populated row in a 4-row matrix: all other outputs stay 0.
+        let s = SparseMatrix::from_triplets(4, cols, &[(hit_row, 0, v)]).expect("in bounds");
+        let y = s.matvec(&vec![1.0; cols]);
+        for (i, yi) in y.iter().enumerate() {
+            if i == hit_row {
+                prop_assert_eq!(*yi, v);
+            } else {
+                prop_assert_eq!(*yi, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn iter_round_trips_through_triplets((rows, cols, ts) in triplet_strategy()) {
+        let s = SparseMatrix::from_triplets(rows, cols, &ts).expect("in bounds");
+        let rebuilt: Vec<(usize, usize, f64)> = s.iter().collect();
+        let s2 = SparseMatrix::from_triplets(rows, cols, &rebuilt).expect("in bounds");
+        prop_assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn out_of_bounds_triplets_are_rejected(
+        rows in 1usize..=6,
+        cols in 1usize..=6,
+        excess in 0usize..3
+    ) {
+        prop_assert!(SparseMatrix::from_triplets(rows, cols, &[(rows + excess, 0, 1.0)]).is_err());
+        prop_assert!(SparseMatrix::from_triplets(rows, cols, &[(0, cols + excess, 1.0)]).is_err());
+    }
+}

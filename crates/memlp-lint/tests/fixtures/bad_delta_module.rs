@@ -1,0 +1,26 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct CodeCache {
+    blocks: HashMap<u64, Vec<u64>>,
+    last_write: Instant,
+}
+
+fn delta_program(cache: &mut CodeCache, key: u64, codes: Vec<u64>) -> u64 {
+    let mut rng = thread_rng();
+    let prev = cache.blocks.insert(key, codes.clone());
+    cache.last_write = Instant::now();
+    let mut skipped = 0u64;
+    for (i, &code) in codes.iter().enumerate() {
+        let unchanged = prev.as_ref().and_then(|p| p.get(i)) == Some(&code);
+        if unchanged && rng.gen_bool(0.99) {
+            skipped += 1;
+        }
+    }
+    skipped
+}
+
+fn refresh_seed() -> u64 {
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    rng.gen()
+}

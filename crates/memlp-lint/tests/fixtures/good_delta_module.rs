@@ -1,0 +1,42 @@
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const VARIATION_STREAM_SALT: u64 = 0x0DE17A;
+
+/// Cached write-quantizer codes for one programmed block.
+struct BlockCodes {
+    codes: Vec<u64>,
+}
+
+struct CodeCache {
+    blocks: BTreeMap<(u64, usize), BlockCodes>,
+}
+
+fn delta_program(
+    cache: &mut CodeCache,
+    key: (u64, usize),
+    codes: Vec<u64>,
+    seed: u64,
+) -> (u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ VARIATION_STREAM_SALT);
+    let prev = cache.blocks.get(&key);
+    let mut written = 0u64;
+    let mut skipped = 0u64;
+    for (i, &code) in codes.iter().enumerate() {
+        // The variation deviate is drawn whether or not the pulse fires:
+        // a skipped cell resolves to exactly what a fresh write produces.
+        let _factor: f64 = 1.0 + rng.gen_range(-0.05..0.05);
+        match prev {
+            Some(p) if p.codes.get(i) == Some(&code) => skipped += 1,
+            _ => written += 1,
+        }
+    }
+    cache.blocks.insert(key, BlockCodes { codes });
+    (written, skipped)
+}
+
+fn invalidate(cache: &mut CodeCache) {
+    cache.blocks.clear();
+}

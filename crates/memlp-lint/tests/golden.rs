@@ -77,6 +77,39 @@ fn seeded_fault_modules_lint_clean() {
     );
 }
 
+/// Delta programming is cache-driven and determinism-critical: an
+/// unordered code cache, wall-clock refresh stamps, or ambient RNG in the
+/// skip path must all fire in the hardware-context module.
+#[test]
+fn delta_programming_modules_are_held_to_the_determinism_regime() {
+    check(
+        "bad_delta_module.rs",
+        "crates/memlp-core/src/hw.rs",
+        &[
+            (1, "determinism::hash-container"),
+            (2, "determinism::wall-clock"),
+            (5, "determinism::hash-container"),
+            (6, "determinism::wall-clock"),
+            (10, "determinism::unseeded-rng"),
+            (12, "determinism::wall-clock"),
+            (24, "determinism::unseeded-rng"),
+        ],
+    );
+}
+
+/// The real idiom — a `BTreeMap` code cache keyed by block, with the
+/// variation deviate drawn on skip and write alike — lints clean both in
+/// the core hardware context and the array-level delta path.
+#[test]
+fn delta_programming_idiom_lints_clean() {
+    check("good_delta_module.rs", "crates/memlp-core/src/hw.rs", &[]);
+    check(
+        "good_delta_module.rs",
+        "crates/memlp-crossbar/src/array.rs",
+        &[],
+    );
+}
+
 #[test]
 fn forbidden_tokens_inside_literals_and_comments_are_ignored() {
     check("good_strings.rs", "crates/memlp-core/src/fake.rs", &[]);

@@ -1,4 +1,4 @@
-use memlp_linalg::{iterative, ops, LuFactors};
+use memlp_linalg::{iterative, ops, LuFactors, Matrix};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 
 use crate::pdip::{status_for, IterationOutcome, PdipOptions, PdipState, StepDirections};
@@ -36,13 +36,26 @@ pub struct NormalEqPdip {
     pub options: PdipOptions,
 }
 
+/// Per-solve factorization scratch: the `m×m` LU working copy and the
+/// pivot vector are recycled across iterations instead of reallocated.
+#[derive(Debug, Clone, Default)]
+struct NormalScratch {
+    lu: Matrix,
+    piv: Vec<usize>,
+}
+
 impl NormalEqPdip {
     /// Creates the solver with explicit options.
     pub fn new(options: PdipOptions) -> Self {
         NormalEqPdip { options }
     }
 
-    fn directions(lp: &LpProblem, s: &PdipState, mu: f64) -> Option<StepDirections> {
+    fn directions(
+        lp: &LpProblem,
+        s: &PdipState,
+        mu: f64,
+        scratch: &mut NormalScratch,
+    ) -> Option<StepDirections> {
         let n = lp.num_vars();
         let m = lp.num_constraints();
         let a = lp.a();
@@ -80,9 +93,21 @@ impl NormalEqPdip {
         // LU solve polished by two rounds of iterative refinement: the
         // normal matrix grows ill-conditioned as µ → 0, and the reference
         // solver should deliver the full double-precision digits the
-        // crossbar solutions are judged against.
-        let lu = LuFactors::factor(nmat.clone()).ok()?;
-        let dy = iterative::refine(&nmat, &lu, &rhs, 2).ok()?.x;
+        // crossbar solutions are judged against. Refinement needs the
+        // unfactored matrix too, so the factorization works on the
+        // scratch's recycled working copy rather than a fresh clone.
+        let mut work = std::mem::take(&mut scratch.lu);
+        if work.rows() != m || work.cols() != m {
+            work = Matrix::zeros(m, m);
+        }
+        work.as_mut_slice().copy_from_slice(nmat.as_slice());
+        let piv = std::mem::take(&mut scratch.piv);
+        let lu = LuFactors::factor_reusing(work, piv).ok()?;
+        let dy = iterative::refine(&nmat, &lu, &rhs, 2).ok().map(|r| r.x);
+        let (work, piv) = lu.into_parts();
+        scratch.lu = work;
+        scratch.piv = piv;
+        let dy = dy?;
 
         // Δx = D·(σ̂ − Aᵀ·Δy).
         let atdy = a.matvec_transposed(&dy);
@@ -111,6 +136,7 @@ impl LpSolver for NormalEqPdip {
     fn solve(&self, lp: &LpProblem) -> LpSolution {
         let opts = &self.options;
         let mut state = PdipState::new(lp, opts);
+        let mut scratch = NormalScratch::default();
 
         for iter in 0..opts.max_iterations {
             match state.outcome(lp, opts) {
@@ -118,7 +144,7 @@ impl LpSolver for NormalEqPdip {
                 terminal => return state.into_solution(lp, status_for(terminal), iter),
             }
             let mu = state.mu(opts.delta);
-            let dirs = match Self::directions(lp, &state, mu) {
+            let dirs = match Self::directions(lp, &state, mu, &mut scratch) {
                 Some(d) => d,
                 None => {
                     let status = crate::pdip::classify_breakdown(&state, opts);

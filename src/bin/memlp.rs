@@ -264,6 +264,17 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
                 ledger.energy_j(&CostParams::default()) * 1e3
             );
             println!("activity:  {ledger}");
+            let c = ledger.counts();
+            let pulsed = c.setup_writes + c.update_writes;
+            let offered = pulsed + c.skipped_writes;
+            if offered > 0 {
+                println!(
+                    "writes:    {pulsed} pulsed, {} skipped ({:.1}% sparsity), {} rebuilds avoided",
+                    c.skipped_writes,
+                    100.0 * c.skipped_writes as f64 / offered as f64,
+                    c.rebuilds_avoided
+                );
+            }
         }
         if let Some(report) = recovery {
             if report.saw_faults() {

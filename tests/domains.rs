@@ -116,7 +116,7 @@ fn assignment_lp_relaxation_is_integral() {
         let hw = CrossbarPdipSolver::new(
             CrossbarConfig::paper_default()
                 .with_variation(5.0)
-                .with_seed(seed),
+                .with_seed(seed + 2),
             CrossbarSolverOptions::default(),
         )
         .solve(&lp);
