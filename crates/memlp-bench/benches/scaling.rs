@@ -34,6 +34,10 @@ struct Cell {
     secs: f64,
     /// Problems solved per second at this cell.
     throughput: f64,
+    /// Thread budget exceeds the host's `available_parallelism`: the cell
+    /// measures scheduler churn, not parallel speedup, and is excluded
+    /// from the headline numbers.
+    oversubscribed: bool,
 }
 
 /// Fixed suite: `count` distinct feasible LPs with deterministic seeds.
@@ -63,6 +67,12 @@ fn main() {
 
     println!("parallel scaling: Algorithm 1, m = {M}, suite of distinct LPs");
     println!("host available_parallelism = {available}");
+    if THREADS.iter().any(|&t| t > available) {
+        println!(
+            "cells marked * request more threads than the host has; they are \
+             kept for completeness but excluded from the headline speedup"
+        );
+    }
     println!();
     println!(
         "{:>8} {:>6} {:>12} {:>14} {:>9}",
@@ -90,17 +100,20 @@ fn main() {
             if threads == 1 {
                 base = secs;
             }
+            let oversubscribed = threads > available;
             println!(
-                "{threads:>8} {batch:>6} {:>12} {:>14.2} {:>8.2}x",
+                "{threads:>8} {batch:>6} {:>12} {:>14.2} {:>8.2}x{}",
                 fmt_time(secs),
                 batch as f64 / secs,
                 base / secs,
+                if oversubscribed { " *" } else { "" },
             );
             cells.push(Cell {
                 threads,
                 batch,
                 secs,
                 throughput: batch as f64 / secs,
+                oversubscribed,
             });
         }
         println!();
@@ -117,22 +130,33 @@ fn main() {
     json.push_str(&format!(
         "  \"note\": \"{}\",\n",
         json_escape(
-            "thread budgets above available_parallelism cannot speed up on this \
-             host; results are deterministic and identical across all cells"
+            "oversubscribed cells (threads > available_parallelism) measure \
+             scheduler churn, not parallel speedup, and are excluded from the \
+             honest headline numbers; results stay deterministic across all cells"
         )
     ));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"batch\": {}, \"seconds\": {:.6}, \"solves_per_sec\": {:.3}}}{}\n",
+            "    {{\"threads\": {}, \"batch\": {}, \"seconds\": {:.6}, \
+             \"solves_per_sec\": {:.3}, \"oversubscribed\": {}}}{}\n",
             c.threads,
             c.batch,
             c.secs,
             c.throughput,
+            c.oversubscribed,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
+    // Headline speedup is judged on honest cells only: the largest thread
+    // budget the host can actually schedule, at the largest batch.
+    let honest_threads = THREADS
+        .iter()
+        .copied()
+        .filter(|&t| t <= available)
+        .max()
+        .unwrap_or(1);
     let speedup_at = |threads: usize, batch: usize| {
         let t1 = cells
             .iter()
@@ -146,10 +170,19 @@ fn main() {
             .secs;
         t1 / tn
     };
+    let honest = speedup_at(honest_threads, 64);
     json.push_str(&format!(
-        "  \"speedup_8_threads_batch_64\": {:.3}\n}}\n",
-        speedup_at(8, 64)
+        "  \"honest_threads\": {honest_threads},\n  \
+         \"speedup_honest_batch_64\": {:.3}\n}}\n",
+        honest
     ));
+    // On a single-core host the honest grid collapses to threads = 1 and
+    // the only defensible claim is "no regression"; multi-core hosts must
+    // not lose throughput by going parallel.
+    assert!(
+        honest > 0.85,
+        "honest speedup {honest:.3} at {honest_threads} thread(s) regressed"
+    );
 
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = std::path::Path::new(root).join("BENCH_parallel.json");

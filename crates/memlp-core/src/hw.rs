@@ -146,6 +146,12 @@ impl HwContext {
         self.ledger.note_rebuild_avoided();
     }
 
+    /// Records one digital core factorization (flop count and factor fill)
+    /// — bookkeeping for the dense-vs-sparse Newton path comparison.
+    pub fn note_factorization(&mut self, flops: u64, nnz: u64) {
+        self.ledger.note_factorization(flops, nnz);
+    }
+
     /// Re-seeds the variation RNG — the §4.3 re-solve ("double checking")
     /// scheme: re-writing the array redraws every variation deviate. Hard
     /// defects ([`FaultPlan`]s) are untouched; they belong to the silicon,

@@ -58,5 +58,5 @@ pub use large_scale::{LargeScaleOptions, LargeScaleSolver};
 pub use newton::{AugmentedDirections, AugmentedSystem};
 pub use recovery::{RecoveryEvent, RecoveryPolicy, RecoveryReport};
 pub use solver::{CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions};
-pub use trace::{IterationRecord, SolverTrace, WriteStats};
+pub use trace::{FactorStats, IterationRecord, SolverTrace, WriteStats};
 pub use transform::SignSplit;

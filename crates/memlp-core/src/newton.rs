@@ -26,9 +26,9 @@
 //! dense core (DESIGN.md §4) — pure algebra, no approximation.
 
 use memlp_crossbar::Phase;
-use memlp_linalg::{LuFactors, Matrix};
+use memlp_linalg::{LuFactors, Matrix, SparseLu, SparseMatrix};
 use memlp_lp::LpProblem;
-use memlp_solvers::pdip::{PdipState, StepDirections};
+use memlp_solvers::pdip::{PdipState, SolvePath, StepDirections};
 
 use crate::hw::HwContext;
 use crate::transform::SignSplit;
@@ -103,6 +103,36 @@ pub struct AugmentedSystem {
     scratch: SolveScratch,
     /// Total cell count (for settle-energy estimates).
     cells: usize,
+    /// Which digital factorization realizes the core solve (the analog
+    /// physics — quantization, charging — is identical either way).
+    path: SolvePath,
+    /// Fill ratio of the problem's `A`, captured at programming time for
+    /// the [`SolvePath::Auto`] decision.
+    density: f64,
+    /// Sparse core (CSR pattern, cached diagonal slots, reusable symbolic
+    /// analysis), built lazily on the first sparse solve and invalidated
+    /// whenever the static blocks are re-realized.
+    sparse_core: Option<SparseCore>,
+}
+
+/// The row-permuted sparse core `K' = [[diag(d2), Ay_eff], [Ax_eff,
+/// diag(−d1)]]` — rows `[R2; R1]` of the dense core, so every diagonal
+/// entry is structurally present (`d2`/`−d1` are products of strictly
+/// positive iterate components) and the static-pivot [`SparseLu`] can
+/// eliminate straight down the diagonal. Unknown order is unchanged
+/// (`[Δx | Δy]`), so the solution vector reads exactly like the dense
+/// core's. The off-diagonal blocks change only when the static blocks are
+/// re-realized (the whole core is rebuilt then); the `2(n+m)` diagonal
+/// entries are rewritten through cached value slots each iteration, and the
+/// symbolic analysis is reused across every iteration of the solve.
+#[derive(Debug, Clone)]
+struct SparseCore {
+    k: SparseMatrix,
+    /// CSR value slots of the `d2[j]` diagonal entries (rows `0..n`).
+    d2_slots: Vec<usize>,
+    /// CSR value slots of the `−d1[i]` diagonal entries (rows `n..n+m`).
+    d1_slots: Vec<usize>,
+    lu: SparseLu,
 }
 
 /// Reusable allocations for [`AugmentedSystem::solve`]: the reduced
@@ -213,6 +243,9 @@ impl AugmentedSystem {
             core_base: Matrix::default(),
             scratch: SolveScratch::default(),
             cells,
+            path: SolvePath::Auto,
+            density: lp.density(),
+            sparse_core: None,
         };
         sys.rebuild_effective();
         sys.update_diagonals(state, hw);
@@ -249,6 +282,18 @@ impl AugmentedSystem {
         self.core_base = Matrix::zeros(dim, dim);
         self.core_base.set_block(0, 0, &self.ax_eff);
         self.core_base.set_block(m, n, &self.ay_eff);
+        // The realized off-diagonal values (and possibly the realized
+        // pattern, under faults/repairs) just changed; the sparse core must
+        // be rebuilt and re-analyzed from the new statics.
+        self.sparse_core = None;
+    }
+
+    /// Selects the digital factorization path for the core solve
+    /// ([`SolvePath::Auto`] resolves against the programmed problem's fill
+    /// ratio). The analog behaviour — quantization, energy, iterate counts —
+    /// is path-independent; only the controller's factorization changes.
+    pub fn set_solve_path(&mut self, path: SolvePath) {
+        self.path = path;
     }
 
     /// Rewrites the `X`, `Y`, `Z`, `W` diagonals for the current iterate —
@@ -282,6 +327,14 @@ impl AugmentedSystem {
             &mut self.core_base,
         ] {
             m.scale_mut(f);
+        }
+        // The sparse core's static entries drift by the same factor; its
+        // diagonal slots are rewritten from scratch every solve, so scaling
+        // them too is harmless.
+        if let Some(sc) = self.sparse_core.as_mut() {
+            for v in sc.k.values_mut() {
+                *v *= f;
+            }
         }
         for d in [
             &mut self.iw,
@@ -506,39 +559,23 @@ impl AugmentedSystem {
                 .push(self.iv[j] * self.i3[j] * self.zd[j] / (self.i4[j] * self.xd[j]));
         }
 
-        // The (m+n) core — rows R1 then R2, unknowns [Δx | Δy] — starts
-        // from the cached static base; only the two diagonal coupling
-        // blocks change between iterations, so the O((n+m)²) block
-        // reassembly is replaced by a flat copy plus two diagonal writes.
-        let dim = n + m;
-        if self.scratch.k.rows() != dim {
-            self.scratch.k = Matrix::zeros(dim, dim);
-        }
-        self.scratch
-            .k
-            .as_mut_slice()
-            .copy_from_slice(self.core_base.as_slice());
-        self.scratch.k.set_diag_block(0, n, &self.scratch.neg_d1);
-        self.scratch.k.set_diag_block(m, 0, &self.scratch.d2);
-        hw.note_rebuild_avoided();
-        self.scratch.rhs.clear();
-        self.scratch.rhs.extend_from_slice(&self.scratch.r1p);
-        self.scratch.rhs.extend_from_slice(&self.scratch.r2p);
-
-        // Factor the core in place, then hand its buffers back to the
-        // scratch so the (n+m)² matrix and the pivot vector are reused
-        // next iteration.
-        let core_mat = std::mem::take(&mut self.scratch.k);
-        let piv = std::mem::take(&mut self.scratch.piv);
-        let lu = match LuFactors::factor_reusing(core_mat, piv) {
-            Ok(lu) => lu,
-            Err(_) => return None,
+        // The (m+n) core — rows R1/R2 of the reduced system, unknowns
+        // [Δx | Δy]. The digital controller factors it either sparse (CSR
+        // core with the symbolic analysis and diagonal value slots reused
+        // across iterations) or dense (cached static base plus two diagonal
+        // writes). A sparse breakdown — the static-pivot elimination
+        // meeting a realized-singular pivot — falls back to the dense
+        // factorization for the iteration, so path selection can never make
+        // a solvable realized system fail.
+        let sparse = if self.path.use_sparse(self.density) {
+            self.solve_core_sparse(hw)
+        } else {
+            None
         };
-        let core = lu.solve(&self.scratch.rhs);
-        let (k, piv) = lu.into_parts();
-        self.scratch.k = k;
-        self.scratch.piv = piv;
-        let core = core.ok()?;
+        let core = match sparse {
+            Some(c) => c,
+            None => self.solve_core_dense(hw)?,
+        };
         let dx = core[..n].to_vec();
         let dy = core[n..].to_vec();
 
@@ -591,6 +628,121 @@ impl AugmentedSystem {
             du,
             dv,
             dp,
+        })
+    }
+
+    /// Dense core solve: flat-copy the cached static base, overwrite the
+    /// two coupling diagonals, LU-factor with the recycled buffers. The
+    /// rhs order matches the base's row order `[R1; R2]`.
+    fn solve_core_dense(&mut self, hw: &mut HwContext) -> Option<Vec<f64>> {
+        let (n, m) = (self.n, self.m);
+        let dim = n + m;
+        if self.scratch.k.rows() != dim {
+            self.scratch.k = Matrix::zeros(dim, dim);
+        }
+        self.scratch
+            .k
+            .as_mut_slice()
+            .copy_from_slice(self.core_base.as_slice());
+        self.scratch.k.set_diag_block(0, n, &self.scratch.neg_d1);
+        self.scratch.k.set_diag_block(m, 0, &self.scratch.d2);
+        hw.note_rebuild_avoided();
+        self.scratch.rhs.clear();
+        self.scratch.rhs.extend_from_slice(&self.scratch.r1p);
+        self.scratch.rhs.extend_from_slice(&self.scratch.r2p);
+
+        // Factor the core in place, then hand its buffers back to the
+        // scratch so the (n+m)² matrix and the pivot vector are reused
+        // next iteration.
+        let core_mat = std::mem::take(&mut self.scratch.k);
+        let piv = std::mem::take(&mut self.scratch.piv);
+        let lu = match LuFactors::factor_reusing(core_mat, piv) {
+            Ok(lu) => lu,
+            Err(_) => return None,
+        };
+        let d = dim as u64;
+        hw.note_factorization(2 * d * d * d / 3, d * d);
+        let core = lu.solve(&self.scratch.rhs);
+        let (k, piv) = lu.into_parts();
+        self.scratch.k = k;
+        self.scratch.piv = piv;
+        core.ok()
+    }
+
+    /// Sparse core solve: write the coupling diagonals into their cached
+    /// CSR value slots, refactor over the reused symbolic analysis, and
+    /// solve with two refinement rounds (compensating the static-pivot
+    /// factorization's lower raw accuracy so both paths agree through the
+    /// shared ADC quantization). The row-permuted core takes its rhs as
+    /// `[R2; R1]`; the solution order `[Δx | Δy]` is the dense core's.
+    /// `None` sends the iteration to the dense fallback.
+    fn solve_core_sparse(&mut self, hw: &mut HwContext) -> Option<Vec<f64>> {
+        if self.sparse_core.is_none() {
+            self.sparse_core = self.build_sparse_core();
+        }
+        let sc = self.sparse_core.as_mut()?;
+        let vals = sc.k.values_mut();
+        for (slot, v) in sc.d2_slots.iter().zip(&self.scratch.d2) {
+            vals[*slot] = *v;
+        }
+        for (slot, v) in sc.d1_slots.iter().zip(&self.scratch.neg_d1) {
+            vals[*slot] = *v;
+        }
+        sc.lu.refactor(&sc.k).ok()?;
+        hw.note_factorization(sc.lu.flops(), sc.lu.factor_nnz() as u64);
+        hw.note_rebuild_avoided();
+        self.scratch.rhs.clear();
+        self.scratch.rhs.extend_from_slice(&self.scratch.r2p);
+        self.scratch.rhs.extend_from_slice(&self.scratch.r1p);
+        let sol = sc.lu.refine(&sc.k, &self.scratch.rhs, 2).ok()?;
+        if !sol.iter().all(|v| v.is_finite()) {
+            return None;
+        }
+        Some(sol)
+    }
+
+    /// Assembles the sparse core from the realized effective blocks.
+    /// Explicit unit placeholders reserve the coupling-diagonal slots (the
+    /// realized diagonals are strictly positive products of iterate
+    /// components, so the target pattern always contains them);
+    /// off-diagonal entries come from the realized `ax_eff`/`ay_eff`
+    /// non-zeros, faithfully dropping cells that realized as zero (a
+    /// stuck-off cell is a zero in the dense core too). The fill-reducing
+    /// symbolic analysis runs once per (re)programming.
+    fn build_sparse_core(&self) -> Option<SparseCore> {
+        let (n, m) = (self.n, self.m);
+        let mut trips: Vec<(usize, usize, f64)> = Vec::new();
+        for j in 0..n {
+            trips.push((j, j, 1.0));
+            for i in 0..m {
+                let v = self.ay_eff[(j, i)];
+                if v != 0.0 {
+                    trips.push((j, n + i, v));
+                }
+            }
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let v = self.ax_eff[(i, j)];
+                if v != 0.0 {
+                    trips.push((n + i, j, v));
+                }
+            }
+            trips.push((n + i, n + i, -1.0));
+        }
+        let k = SparseMatrix::from_triplets(n + m, n + m, &trips).ok()?;
+        let d2_slots = (0..n)
+            .map(|j| k.entry_index(j, j))
+            .collect::<Option<Vec<_>>>()?;
+        let d1_slots = (0..m)
+            .map(|i| k.entry_index(n + i, n + i))
+            .collect::<Option<Vec<_>>>()?;
+        let lu = SparseLu::analyze(&k).ok()?;
+        Some(SparseCore {
+            k,
+            d2_slots,
+            d1_slots,
+            lu,
         })
     }
 

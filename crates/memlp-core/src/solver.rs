@@ -6,7 +6,7 @@ use memlp_solvers::pdip::{PdipOptions, PdipState};
 use crate::hw::HwContext;
 use crate::newton::AugmentedSystem;
 use crate::recovery::{self, RecoveryEvent, RecoveryPolicy, RecoveryReport};
-use crate::trace::{IterationRecord, SolverTrace, WriteStats};
+use crate::trace::{FactorStats, IterationRecord, SolverTrace, WriteStats};
 
 /// Options specific to the crossbar solvers, wrapping [`PdipOptions`] with
 /// the paper's hardware-level policies.
@@ -169,6 +169,7 @@ impl CrossbarPdipSolver {
             if !failed {
                 trace.events = report.events.clone();
                 trace.writes = WriteStats::from_ledger(hw.ledger());
+                trace.factors = FactorStats::from_ledger(hw.ledger());
                 return CrossbarSolution {
                     solution,
                     ledger: *hw.ledger(),
@@ -235,6 +236,7 @@ impl CrossbarPdipSolver {
         }
         trace.events = report.events.clone();
         trace.writes = WriteStats::from_ledger(hw.ledger());
+        trace.factors = FactorStats::from_ledger(hw.ledger());
         CrossbarSolution {
             solution,
             ledger: *hw.ledger(),
@@ -280,6 +282,7 @@ impl CrossbarPdipSolver {
         let mut state = PdipState::new(lp, opts);
         let mut trace = SolverTrace::new();
         let mut system = AugmentedSystem::program_with_at(lp, at, &state, hw);
+        system.set_solve_path(opts.path);
 
         let bnorm = 1.0 + ops::inf_norm(lp.b());
         let cnorm = 1.0 + ops::inf_norm(lp.c());

@@ -59,6 +59,42 @@ impl WriteStats {
     }
 }
 
+/// Digital core-factorization counters for one solve, copied from the cost
+/// ledger when the solve finishes. The flop total is the per-iteration
+/// digital cost the sparse Newton path attacks; dividing by
+/// `factorizations` gives the per-iteration figure the benches report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FactorStats {
+    /// Core factorizations performed (≈ one per PDIP iteration).
+    pub factorizations: u64,
+    /// Floating-point operations across all factorizations (dense LU
+    /// charges its `2/3·N³` estimate; sparse LU reports exact counts).
+    pub flops: u64,
+    /// Stored `|L|+|U|` factor entries across all factorizations.
+    pub factor_nnz: u64,
+}
+
+impl FactorStats {
+    /// Snapshots the factorization counters from a cost ledger.
+    pub fn from_ledger(ledger: &memlp_crossbar::CostLedger) -> Self {
+        let c = ledger.counts();
+        FactorStats {
+            factorizations: c.factorizations,
+            flops: c.factor_flops,
+            factor_nnz: c.factor_nnz,
+        }
+    }
+
+    /// Mean flops per factorization (0 when none ran).
+    pub fn flops_per_factorization(&self) -> f64 {
+        if self.factorizations == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.factorizations as f64
+        }
+    }
+}
+
 /// A solve attempt's full iteration history.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolverTrace {
@@ -69,6 +105,8 @@ pub struct SolverTrace {
     pub events: Vec<crate::RecoveryEvent>,
     /// Write-sparsity counters for the whole solve (all attempts).
     pub writes: WriteStats,
+    /// Digital factorization counters for the whole solve (all attempts).
+    pub factors: FactorStats,
 }
 
 impl SolverTrace {

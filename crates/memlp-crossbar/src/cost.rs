@@ -35,6 +35,16 @@ pub struct OpCounts {
     /// workspace: per-iteration Newton solves that updated diagonal blocks
     /// in place instead of rebuilding the core matrix from its blocks.
     pub rebuilds_avoided: u64,
+    /// Digital core factorizations performed by the controller (dense LU or
+    /// sparse LU with symbolic reuse).
+    pub factorizations: u64,
+    /// Floating-point operations those factorizations spent — the digital
+    /// per-iteration cost the sparse Newton path attacks. Dense LU charges
+    /// its `2/3·N³` estimate; the sparse LU reports exact counts.
+    pub factor_flops: u64,
+    /// Stored factor entries (`|L|+|U|`) across all factorizations — the
+    /// fill the orderings committed to.
+    pub factor_nnz: u64,
     /// Analog matrix–vector multiplications.
     pub mvm_ops: u64,
     /// Analog linear-system solves.
@@ -56,6 +66,9 @@ impl Add for OpCounts {
             update_writes: self.update_writes + o.update_writes,
             skipped_writes: self.skipped_writes + o.skipped_writes,
             rebuilds_avoided: self.rebuilds_avoided + o.rebuilds_avoided,
+            factorizations: self.factorizations + o.factorizations,
+            factor_flops: self.factor_flops + o.factor_flops,
+            factor_nnz: self.factor_nnz + o.factor_nnz,
             mvm_ops: self.mvm_ops + o.mvm_ops,
             solve_ops: self.solve_ops + o.solve_ops,
             adc_samples: self.adc_samples + o.adc_samples,
@@ -158,6 +171,16 @@ impl CostLedger {
         self.counts.rebuilds_avoided += 1;
     }
 
+    /// Records one digital core factorization: its floating-point operation
+    /// count and the factor fill (`|L|+|U|` entries). Digital bookkeeping —
+    /// no analog time or energy — but the counters are what the sparse-path
+    /// benches compare (flops per iteration, dense vs sparse).
+    pub fn note_factorization(&mut self, flops: u64, nnz: u64) {
+        self.counts.factorizations += 1;
+        self.counts.factor_flops += flops;
+        self.counts.factor_nnz += nnz;
+    }
+
     /// Charges a NoC hop/transfer (used by `memlp-noc`).
     pub fn charge_noc_transfer(&mut self, time_s: f64, energy_j: f64, transfers: u64) {
         self.run_time_s += time_s;
@@ -215,7 +238,7 @@ impl fmt::Display for CostLedger {
         let c = self.counts;
         write!(
             f,
-            "setup {:.3} ms | run {:.3} ms | dynamic {:.3} mJ | writes {}+{} (skipped {}) | reuse {} | mvm {} | solve {} | adc {} | dac {} | noc {}",
+            "setup {:.3} ms | run {:.3} ms | dynamic {:.3} mJ | writes {}+{} (skipped {}) | reuse {} | factor {}x/{}f/{}nz | mvm {} | solve {} | adc {} | dac {} | noc {}",
             self.setup_time_s * 1e3,
             self.run_time_s * 1e3,
             self.dynamic_energy_j * 1e3,
@@ -223,6 +246,9 @@ impl fmt::Display for CostLedger {
             c.update_writes,
             c.skipped_writes,
             c.rebuilds_avoided,
+            c.factorizations,
+            c.factor_flops,
+            c.factor_nnz,
             c.mvm_ops,
             c.solve_ops,
             c.adc_samples,
@@ -306,6 +332,23 @@ mod tests {
         assert_eq!(a.counts().update_writes, 12);
         assert_eq!(a.counts().skipped_writes, 6);
         assert_eq!(a.counts().noc_transfers, 3);
+    }
+
+    #[test]
+    fn factorizations_cost_nothing_but_accumulate() {
+        let mut l = CostLedger::new();
+        l.note_factorization(1000, 64);
+        l.note_factorization(500, 64);
+        let c = l.counts();
+        assert_eq!(c.factorizations, 2);
+        assert_eq!(c.factor_flops, 1500);
+        assert_eq!(c.factor_nnz, 128);
+        assert_eq!(l.run_time_s(), 0.0);
+        assert_eq!(l.dynamic_energy_j(), 0.0);
+        let mut other = CostLedger::new();
+        other.note_factorization(1, 1);
+        l.merge(&other);
+        assert_eq!(l.counts().factorizations, 3);
     }
 
     #[test]

@@ -253,9 +253,7 @@ mod tests {
             seed ^= seed >> 27;
             (seed.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
         };
-        let mut v: Vec<f64> = (0..500)
-            .map(|i| rnd() * 10.0f64.powi(i % 13 - 6))
-            .collect();
+        let mut v: Vec<f64> = (0..500).map(|i| rnd() * 10.0f64.powi(i % 13 - 6)).collect();
         // Conductance-window boundaries: a typical g_off/g_on pair spans
         // ~1e-6..1e-3 S; include the edges and their nearest neighbours.
         for edge in [1e-6, 1e-3, 1.0, f64::MIN_POSITIVE, f64::MAX] {

@@ -11,6 +11,9 @@
 //!   (the O(N³) direct method the paper's complexity comparison targets),
 //! * [`iterative`] — Gauss–Seidel and Jacobi (the O(N²)-per-iteration
 //!   methods mentioned in §3.5 of the paper),
+//! * [`SparseMatrix`] / [`SparseLu`] — CSR kernels and a fill-reducing
+//!   sparse LU with symbolic-analysis reuse, the structure-exploiting
+//!   digital path matching the paper's O(N)-per-iteration argument,
 //! * [`ops`] — vector kernels (dot, axpy, norms) on plain `&[f64]` slices,
 //! * [`parallel`] — the scoped-thread execution layer the hot kernels
 //!   (LU trailing update, matvec, multi-column solves) schedule through,
@@ -39,6 +42,7 @@ mod lu;
 mod matrix;
 mod norms;
 mod sparse;
+mod sparse_lu;
 
 pub mod iterative;
 pub mod ops;
@@ -49,6 +53,7 @@ pub use lu::LuFactors;
 pub use matrix::Matrix;
 pub use norms::{cond_1_estimate, inf_norm_mat, one_norm_mat};
 pub use sparse::SparseMatrix;
+pub use sparse_lu::SparseLu;
 
 /// Solves the dense linear system `A·x = b` by LU decomposition with partial
 /// pivoting.

@@ -2,10 +2,13 @@
 //!
 //! §3.5 of the paper points out that LP constraint matrices are commonly
 //! sparse, which lowers the O(N²) crossbar initialization cost to
-//! O(nnz) — erased cells need no write pulses. This module provides the
-//! sparse representation the workload generators and setup-cost analyses
-//! use; the analog *solve* path stays dense (the realized array is a dense
-//! physical object).
+//! O(nnz) — erased cells need no write pulses. The analog *solve* path
+//! stays dense (the realized array is a dense physical object), but the
+//! **digital** side — the simulator's block-elimination core and the
+//! software reference/fallback solvers — runs on the kernels here: CSR
+//! transpose, sparse×dense and sparse×sparse products, scaled Gram
+//! products, and triangular solves. The fill-reducing sparse LU that
+//! consumes them lives in [`crate::sparse_lu`].
 
 use crate::error::{dim_mismatch, LinalgError};
 use crate::matrix::Matrix;
@@ -36,13 +39,18 @@ pub struct SparseMatrix {
 }
 
 impl SparseMatrix {
-    /// Builds a CSR matrix from (row, col, value) triplets; duplicate
-    /// coordinates are summed, explicit zeros dropped.
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// **Duplicate-entry policy:** triplets naming the same `(row, col)`
+    /// coordinate are **summed** (the finite-element/assembly convention),
+    /// and entries whose final value is exactly `0.0` — including duplicates
+    /// that cancel — are dropped from the stored pattern. Out-of-bounds
+    /// coordinates are an error, never silently accepted.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if any coordinate is out
-    /// of bounds.
+    /// of bounds for the `rows × cols` shape.
     pub fn from_triplets(
         rows: usize,
         cols: usize,
@@ -213,6 +221,262 @@ impl SparseMatrix {
         })
     }
 
+    /// Row start offsets (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices of the stored entries, in row order.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Values of the stored entries, in row order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values (the pattern is fixed). This is
+    /// the in-place update hook for per-iteration numeric refreshes: solvers
+    /// keep the CSR pattern and overwrite only the numbers.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The storage slot of entry `(i, j)` in [`Self::values`], or `None` if
+    /// the coordinate is outside the stored pattern. Binary search within
+    /// the row — `O(log nnz_row)`.
+    pub fn entry_index(&self, i: usize, j: usize) -> Option<usize> {
+        if i >= self.rows {
+            return None;
+        }
+        let span = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
+        span.binary_search(&j).ok().map(|k| self.row_ptr[i] + k)
+    }
+
+    /// CSR transpose: returns `Aᵀ` in CSR form (counting sort, `O(nnz)`).
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut row_ptr = vec![0usize; self.cols + 1];
+        for &j in &self.col_idx {
+            row_ptr[j + 1] += 1;
+        }
+        for j in 0..self.cols {
+            row_ptr[j + 1] += row_ptr[j];
+        }
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                let slot = next[j];
+                next[j] += 1;
+                col_idx[slot] = i;
+                values[slot] = self.values[k];
+            }
+        }
+        SparseMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Sparse×dense product `A·B` (`O(nnz(A)·cols(B))`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() !=
+    /// b.rows()`.
+    pub fn matmul_dense(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != b.rows() {
+            return Err(dim_mismatch(
+                format!("{} rows", self.cols),
+                format!("{} rows", b.rows()),
+            ));
+        }
+        let mut c = Matrix::zeros(self.rows, b.cols());
+        for i in 0..self.rows {
+            let out = c.row_mut(i);
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let v = self.values[k];
+                let brow = b.row(self.col_idx[k]);
+                for (o, &bv) in out.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Sparse×sparse product `A·B` (Gustavson's algorithm with a dense
+    /// accumulator per output row; column indices emitted sorted, so the
+    /// result is a canonical CSR matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() !=
+    /// b.rows()`.
+    pub fn matmul_sparse(&self, b: &SparseMatrix) -> Result<SparseMatrix, LinalgError> {
+        if self.cols != b.rows {
+            return Err(dim_mismatch(
+                format!("{} rows", self.cols),
+                format!("{} rows", b.rows),
+            ));
+        }
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut acc = vec![0.0f64; b.cols];
+        let mut seen = vec![false; b.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let av = self.values[k];
+                let br = self.col_idx[k];
+                for kb in b.row_ptr[br]..b.row_ptr[br + 1] {
+                    let j = b.col_idx[kb];
+                    if !seen[j] {
+                        seen[j] = true;
+                        touched.push(j);
+                    }
+                    acc[j] += av * b.values[kb];
+                }
+            }
+            touched.sort_unstable();
+            for &j in &touched {
+                if acc[j] != 0.0 {
+                    col_idx.push(j);
+                    values.push(acc[j]);
+                }
+                acc[j] = 0.0;
+                seen[j] = false;
+            }
+            touched.clear();
+            row_ptr.push(col_idx.len());
+        }
+        Ok(SparseMatrix {
+            rows: self.rows,
+            cols: b.cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Sparse scaled Gram product `A·diag(d)·Aᵀ` — the sparse counterpart of
+    /// [`Matrix::scaled_gram`], the normal-equations kernel of the PDIP
+    /// reference solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `d.len() !=
+    /// self.cols()`.
+    pub fn scaled_gram(&self, d: &[f64]) -> Result<SparseMatrix, LinalgError> {
+        if d.len() != self.cols {
+            return Err(dim_mismatch(
+                format!("diagonal of length {}", self.cols),
+                format!("length {}", d.len()),
+            ));
+        }
+        let mut scaled = self.clone();
+        for (v, &j) in scaled.values.iter_mut().zip(&scaled.col_idx) {
+            *v *= d[j];
+        }
+        scaled.matmul_sparse(&self.transpose())
+    }
+
+    /// Forward substitution `L·x = b` for a lower-triangular CSR matrix
+    /// (stored entries above the diagonal are rejected; the diagonal must be
+    /// present and non-zero in every row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch or a
+    /// stored entry above the diagonal, and [`LinalgError::Singular`] if a
+    /// diagonal entry is missing or zero.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.check_triangular_shapes(b)?;
+        let mut x = b.to_vec();
+        for i in 0..self.rows {
+            let mut diag = 0.0;
+            let mut s = x[i];
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                match j.cmp(&i) {
+                    std::cmp::Ordering::Less => s -= self.values[k] * x[j],
+                    std::cmp::Ordering::Equal => diag = self.values[k],
+                    std::cmp::Ordering::Greater => {
+                        return Err(dim_mismatch(
+                            "lower-triangular matrix",
+                            format!("entry ({i}, {j}) above the diagonal"),
+                        ))
+                    }
+                }
+            }
+            if diag == 0.0 {
+                return Err(LinalgError::Singular { column: i });
+            }
+            x[i] = s / diag;
+        }
+        Ok(x)
+    }
+
+    /// Backward substitution `U·x = b` for an upper-triangular CSR matrix
+    /// (stored entries below the diagonal are rejected; the diagonal must be
+    /// present and non-zero in every row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch or a
+    /// stored entry below the diagonal, and [`LinalgError::Singular`] if a
+    /// diagonal entry is missing or zero.
+    pub fn solve_upper(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.check_triangular_shapes(b)?;
+        let mut x = b.to_vec();
+        for i in (0..self.rows).rev() {
+            let mut diag = 0.0;
+            let mut s = x[i];
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                match j.cmp(&i) {
+                    std::cmp::Ordering::Greater => s -= self.values[k] * x[j],
+                    std::cmp::Ordering::Equal => diag = self.values[k],
+                    std::cmp::Ordering::Less => {
+                        return Err(dim_mismatch(
+                            "upper-triangular matrix",
+                            format!("entry ({i}, {j}) below the diagonal"),
+                        ))
+                    }
+                }
+            }
+            if diag == 0.0 {
+                return Err(LinalgError::Singular { column: i });
+            }
+            x[i] = s / diag;
+        }
+        Ok(x)
+    }
+
+    fn check_triangular_shapes(&self, b: &[f64]) -> Result<(), LinalgError> {
+        if self.rows != self.cols {
+            return Err(dim_mismatch(
+                "square matrix",
+                format!("{}x{}", self.rows, self.cols),
+            ));
+        }
+        if b.len() != self.rows {
+            return Err(dim_mismatch(
+                format!("vector of length {}", self.rows),
+                format!("length {}", b.len()),
+            ));
+        }
+        Ok(())
+    }
+
     fn prune_zeros(&mut self) {
         if !self.values.contains(&0.0) {
             return;
@@ -319,5 +583,123 @@ mod tests {
         let d = sample_dense();
         let s: SparseMatrix = (&d).into();
         assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn duplicates_that_cancel_are_pruned() {
+        let s =
+            SparseMatrix::from_triplets(2, 2, &[(0, 1, 3.0), (0, 1, -3.0), (1, 0, 1.0)]).unwrap();
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.entry_index(0, 1), None);
+        assert!(s.entry_index(1, 0).is_some());
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let s = SparseMatrix::from_dense(&sample_dense());
+        let t = s.transpose();
+        assert_eq!(t.rows(), s.cols());
+        assert_eq!(t.cols(), s.rows());
+        assert_eq!(t.transpose().to_dense(), s.to_dense());
+        for (i, j, v) in s.iter() {
+            assert_eq!(t.to_dense()[(j, i)], v);
+        }
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense_matmul() {
+        let a = sample_dense();
+        let s = SparseMatrix::from_dense(&a);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[3.0, 0.0], &[-2.0, 4.0]]).unwrap();
+        let want = a.matmul(&b).unwrap();
+        let got = s.matmul_dense(&b).unwrap();
+        for i in 0..want.rows() {
+            for j in 0..want.cols() {
+                assert!((want[(i, j)] - got[(i, j)]).abs() < 1e-12);
+            }
+        }
+        assert!(s.matmul_dense(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn matmul_sparse_matches_dense_and_stays_canonical() {
+        let a = sample_dense();
+        let s = SparseMatrix::from_dense(&a);
+        let t = s.transpose();
+        let got = s.matmul_sparse(&t).unwrap();
+        let want = a.matmul(&a.transpose()).unwrap();
+        assert_eq!(got.to_dense(), want);
+        // Canonical CSR: sorted, unique columns per row.
+        for i in 0..got.rows() {
+            let span = &got.col_idx()[got.row_ptr()[i]..got.row_ptr()[i + 1]];
+            assert!(span.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(s.matmul_sparse(&s).is_err());
+    }
+
+    #[test]
+    fn scaled_gram_matches_dense_kernel() {
+        let a = sample_dense();
+        let s = SparseMatrix::from_dense(&a);
+        let d = [2.0, 0.5, 1.0, 3.0];
+        let want = a.scaled_gram(&d);
+        let got = s.scaled_gram(&d).unwrap().to_dense();
+        for i in 0..want.rows() {
+            for j in 0..want.cols() {
+                assert!((want[(i, j)] - got[(i, j)]).abs() < 1e-12);
+            }
+        }
+        assert!(s.scaled_gram(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn triangular_solves_match_dense_lu() {
+        let l = SparseMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 4.0),
+                (2, 1, -1.0),
+                (2, 2, 0.5),
+            ],
+        )
+        .unwrap();
+        let x = l.solve_lower(&[2.0, 6.0, 1.0]).unwrap();
+        // Forward-substitute by hand: x0=1, x1=(6-1)/4=1.25, x2=(1+1.25)/0.5=4.5.
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.25).abs() < 1e-12);
+        assert!((x[2] - 4.5).abs() < 1e-12);
+
+        let u = l.transpose();
+        let b = u.matvec(&[1.0, -2.0, 3.0]);
+        let y = u.solve_upper(&b).unwrap();
+        assert!((y[0] - 1.0).abs() < 1e-12);
+        assert!((y[1] + 2.0).abs() < 1e-12);
+        assert!((y[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_solve_rejects_bad_shapes_and_singularity() {
+        let l = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+        // Missing diagonal in row 1 → singular.
+        assert!(l.solve_lower(&[1.0, 1.0]).is_err());
+        // Entry above the diagonal rejected by solve_lower.
+        let bad =
+            SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0)]).unwrap();
+        assert!(bad.solve_lower(&[1.0, 1.0]).is_err());
+        assert!(bad.solve_upper(&[1.0]).is_err());
+        let rect = SparseMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]).unwrap();
+        assert!(rect.solve_lower(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn values_mut_updates_in_place() {
+        let mut s = SparseMatrix::from_dense(&sample_dense());
+        let k = s.entry_index(2, 1).unwrap();
+        s.values_mut()[k] = 7.5;
+        assert_eq!(s.to_dense()[(2, 1)], 7.5);
+        assert_eq!(s.entry_index(9, 0), None);
     }
 }

@@ -2,7 +2,7 @@
 //! triplets (including duplicates and explicit zeros), dense round-trips,
 //! and agreement of the sparse kernels with their dense counterparts.
 
-use memlp_linalg::{Matrix, SparseMatrix};
+use memlp_linalg::{Matrix, SparseLu, SparseMatrix};
 use proptest::prelude::*;
 
 /// Strategy: arbitrary dimensions (1..=8 × 1..=8) with 0..=24 triplets,
@@ -26,6 +26,53 @@ fn sparse_dense_strategy() -> impl Strategy<Value = Matrix> {
             rows * cols,
         )
         .prop_map(move |entries| Matrix::from_vec(rows, cols, entries).expect("sized buffer"))
+    })
+}
+
+/// Strategy: a sparse lower-triangular matrix with a safely nonzero
+/// diagonal, plus a right-hand side to solve against.
+fn triangular_strategy() -> impl Strategy<Value = (usize, SparseMatrix, Vec<f64>)> {
+    (2usize..=7).prop_flat_map(|n| {
+        let diag = proptest::collection::vec(prop_oneof![-3.0f64..-0.5, 0.5f64..3.0], n);
+        let below = proptest::collection::vec(
+            (1..n, 0..n, prop_oneof![Just(0.0), -2.0f64..2.0]),
+            0..=2 * n,
+        );
+        let rhs = proptest::collection::vec(-3.0f64..3.0, n);
+        (diag, below, rhs).prop_map(move |(d, off, b)| {
+            let mut ts: Vec<(usize, usize, f64)> =
+                d.iter().enumerate().map(|(i, &v)| (i, i, v)).collect();
+            ts.extend(off.into_iter().filter(|&(i, j, _)| j < i));
+            let l = SparseMatrix::from_triplets(n, n, &ts).expect("in bounds");
+            (n, l, b)
+        })
+    })
+}
+
+/// Strategy: a strictly diagonally dominant sparse system (so the
+/// static-pivot LU is guaranteed stable) with a right-hand side.
+fn dominant_system_strategy() -> impl Strategy<Value = (SparseMatrix, Vec<f64>)> {
+    (2usize..=7).prop_flat_map(|n| {
+        let off = proptest::collection::vec(
+            (0..n, 0..n, prop_oneof![Just(0.0), -2.0f64..2.0]),
+            0..=3 * n,
+        );
+        let rhs = proptest::collection::vec(-3.0f64..3.0, n);
+        (off, rhs).prop_map(move |(entries, b)| {
+            let mut row_sum = vec![0.0f64; n];
+            let mut ts: Vec<(usize, usize, f64)> = Vec::new();
+            for (i, j, v) in entries {
+                if i != j && v != 0.0 {
+                    ts.push((i, j, v));
+                    row_sum[i] += v.abs();
+                }
+            }
+            for (i, s) in row_sum.iter().enumerate() {
+                ts.push((i, i, s + 1.0));
+            }
+            let a = SparseMatrix::from_triplets(n, n, &ts).expect("in bounds");
+            (a, b)
+        })
     })
 }
 
@@ -102,6 +149,141 @@ proptest! {
         let rebuilt: Vec<(usize, usize, f64)> = s.iter().collect();
         let s2 = SparseMatrix::from_triplets(rows, cols, &rebuilt).expect("in bounds");
         prop_assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn transpose_round_trips_and_matches_dense(
+        (rows, cols, ts) in triplet_strategy()
+    ) {
+        let s = SparseMatrix::from_triplets(rows, cols, &ts).expect("in bounds");
+        let t = s.transpose();
+        prop_assert_eq!(t.rows(), cols);
+        prop_assert_eq!(t.cols(), rows);
+        prop_assert_eq!(t.nnz(), s.nnz());
+        prop_assert_eq!(t.to_dense(), s.to_dense().transpose());
+        prop_assert_eq!(t.transpose(), s);
+    }
+
+    #[test]
+    fn sparse_matmul_agrees_with_dense(
+        (rows, inner, ts_a) in triplet_strategy(),
+        ts_b in proptest::collection::vec(
+            (0usize..8, 0usize..8, -4.0f64..4.0), 0..=24
+        ),
+        cols in 1usize..=8
+    ) {
+        let a = SparseMatrix::from_triplets(rows, inner, &ts_a).expect("in bounds");
+        let kept: Vec<_> = ts_b
+            .into_iter()
+            .filter(|&(i, j, _)| i < inner && j < cols)
+            .collect();
+        let b = SparseMatrix::from_triplets(inner, cols, &kept).expect("in bounds");
+        let want = a.to_dense().matmul(&b.to_dense()).expect("conforming");
+        let via_sparse = a.matmul_sparse(&b).expect("conforming").to_dense();
+        let via_dense = a.matmul_dense(&b.to_dense()).expect("conforming");
+        for ((got_s, got_d), w) in via_sparse
+            .as_slice()
+            .iter()
+            .zip(via_dense.as_slice())
+            .zip(want.as_slice())
+        {
+            prop_assert!((got_s - w).abs() <= 1e-10 * w.abs().max(1.0), "{got_s} vs {w}");
+            prop_assert!((got_d - w).abs() <= 1e-10 * w.abs().max(1.0), "{got_d} vs {w}");
+        }
+    }
+
+    #[test]
+    fn triangular_solves_invert_their_matvec(
+        (n, lower, b) in triangular_strategy()
+    ) {
+        // `solve_lower` must invert L: L·x == b (checked through the sparse
+        // matvec, the independent kernel). Upper goes through the transpose.
+        let x = lower.solve_lower(&b).expect("nonzero diagonal");
+        for (got, want) in lower.matvec(&x).iter().zip(&b) {
+            prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0), "{got} vs {want}");
+        }
+        let upper = lower.transpose();
+        let x = upper.solve_upper(&b).expect("nonzero diagonal");
+        for (got, want) in upper.matvec(&x).iter().zip(&b) {
+            prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0), "{got} vs {want}");
+        }
+        let _ = n;
+    }
+
+    #[test]
+    fn sparse_lu_solves_match_dense_lu(
+        (a, b) in dominant_system_strategy()
+    ) {
+        let lu = SparseLu::factor(&a).expect("diagonally dominant");
+        let x = lu.solve(&b).expect("factored");
+        let dense_x = memlp_linalg::LuFactors::factor(a.to_dense())
+            .expect("nonsingular")
+            .solve(&b)
+            .expect("sized rhs");
+        for (got, want) in x.iter().zip(&dense_x) {
+            prop_assert!((got - want).abs() <= 1e-8 * want.abs().max(1.0), "{got} vs {want}");
+        }
+        // A purely diagonal draw eliminates nothing, so flops may be zero;
+        // any off-diagonal entry forces real elimination work.
+        if a.nnz() > a.rows() {
+            prop_assert!(lu.flops() > 0);
+        }
+        prop_assert!(lu.factor_nnz() >= a.rows());
+    }
+
+    #[test]
+    fn symbolic_reuse_refactors_correctly(
+        (a, b) in dominant_system_strategy(),
+        scales in proptest::collection::vec(0.5f64..1.5, 64)
+    ) {
+        // Same pattern, new values: the reused symbolic analysis must keep
+        // the factor structure (identical fill) and still solve correctly.
+        let mut lu = SparseLu::factor(&a).expect("diagonally dominant");
+        let nnz_before = lu.factor_nnz();
+
+        let mut a2 = a.clone();
+        for (k, v) in a2.values_mut().iter_mut().enumerate() {
+            *v *= scales[k % scales.len()];
+        }
+        // Restore row dominance so the static pivot order stays valid.
+        let n = a2.rows();
+        for i in 0..n {
+            let off: f64 = a2
+                .iter()
+                .filter(|&(r, c, _)| r == i && c != i)
+                .map(|(_, _, v)| v.abs())
+                .sum();
+            let slot = a2.entry_index(i, i).expect("diagonal present");
+            a2.values_mut()[slot] = off + 1.0;
+        }
+
+        lu.refactor(&a2).expect("same pattern");
+        prop_assert_eq!(lu.factor_nnz(), nnz_before, "fill changed under refactor");
+        let x = lu.solve(&b).expect("refactored");
+        for (got, want) in a2.matvec(&x).iter().zip(&b) {
+            prop_assert!((got - want).abs() <= 1e-8 * want.abs().max(1.0), "{got} vs {want}");
+        }
+
+        // An entry outside the *analyzed* pattern is either rejected (it
+        // escapes the factor's fill) or absorbed losslessly (it lands on a
+        // fill position) — never silently mis-factored.
+        let mut ts: Vec<_> = a.iter().collect();
+        ts.push((0, n - 1, 0.25));
+        ts.push((n - 1, 0, 0.25));
+        let escape = SparseMatrix::from_triplets(n, n, &ts).expect("in bounds");
+        if escape.nnz() > a.nnz() && lu.refactor(&escape).is_ok() {
+            let x = lu.solve(&b).expect("refactored");
+            for (got, want) in escape.matvec(&x).iter().zip(&b) {
+                prop_assert!(
+                    (got - want).abs() <= 1e-8 * want.abs().max(1.0),
+                    "{got} vs {want}"
+                );
+            }
+        }
+
+        // A different shape is always a hard error.
+        let wrong = SparseMatrix::from_triplets(n + 1, n + 1, &[(0, 0, 1.0)]).expect("in bounds");
+        prop_assert!(lu.refactor(&wrong).is_err());
     }
 
     #[test]

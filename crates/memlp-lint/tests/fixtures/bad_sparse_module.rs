@@ -1,0 +1,20 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct SymbolicCache {
+    slots: HashMap<(usize, usize), usize>,
+    analyzed_at: Instant,
+}
+
+fn refactor(cache: &mut SymbolicCache, values: &[f64]) -> f64 {
+    let t = Instant::now();
+    let mut pivot = 0.0;
+    for (&(i, j), &slot) in cache.slots.iter() {
+        let v = values.get(slot).unwrap();
+        if *v == 1.0 {
+            pivot += v * (i + j) as f64;
+        }
+    }
+    cache.analyzed_at = t;
+    pivot
+}

@@ -1,0 +1,31 @@
+/// Fill pattern of the factor in CSR layout, with the diagonal slot of
+/// every row resolved once at analysis time — deterministic Vec-indexed
+/// state, no maps, no clocks.
+struct Symbolic {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    diag_slots: Vec<usize>,
+}
+
+const PIVOT_FLOOR: f64 = 1e-292;
+
+fn refactor(sym: &Symbolic, values: &[f64], diag: &mut [f64]) -> Result<u64, usize> {
+    let mut flops = 0u64;
+    for (k, &slot) in sym.diag_slots.iter().enumerate() {
+        let piv = values[slot];
+        // Written with `!(.. > ..)` so a NaN pivot also takes the error
+        // path instead of poisoning the factor.
+        if !(piv.abs() > PIVOT_FLOOR) {
+            return Err(k);
+        }
+        diag[k] = piv;
+        for p in sym.row_ptr[k]..sym.row_ptr[k + 1] {
+            let j = sym.col_idx[p];
+            if values[p] != 0.0 {
+                flops += 2;
+                diag[j] -= values[p] / piv;
+            }
+        }
+    }
+    Ok(flops)
+}

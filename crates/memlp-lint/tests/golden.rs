@@ -216,3 +216,47 @@ fn severities_match_the_registry() {
     assert_eq!(report.deny_count(), 3);
     assert_eq!(report.warn_count(), 1);
 }
+
+/// The sparse Newton kernels are inner-loop and determinism-critical: an
+/// unordered slot map for the symbolic pattern, wall-clock analysis
+/// stamps, unwraps in the refactor hot path, and a strict compare against
+/// a nonzero float must all fire — in the linalg kernel crate and in the
+/// core Schur-complement module alike.
+#[test]
+fn sparse_modules_are_held_to_the_workspace_regime() {
+    let expected: &[(u32, &str)] = &[
+        (1, "determinism::hash-container"),
+        (2, "determinism::wall-clock"),
+        (5, "determinism::hash-container"),
+        (6, "determinism::wall-clock"),
+        (10, "determinism::wall-clock"),
+        (13, "panic::unwrap"),
+        (14, "float::strict-eq"),
+    ];
+    check(
+        "bad_sparse_module.rs",
+        "crates/memlp-linalg/src/sparse_lu.rs",
+        expected,
+    );
+    check(
+        "bad_sparse_module.rs",
+        "crates/memlp-core/src/newton.rs",
+        expected,
+    );
+}
+
+/// The real idiom — Vec-indexed fill pattern, NaN-safe pivot guard, and
+/// exact-zero skip compares — lints clean in the same modules.
+#[test]
+fn sparse_kernel_idiom_lints_clean() {
+    check(
+        "good_sparse_module.rs",
+        "crates/memlp-linalg/src/sparse_lu.rs",
+        &[],
+    );
+    check(
+        "good_sparse_module.rs",
+        "crates/memlp-core/src/newton.rs",
+        &[],
+    );
+}

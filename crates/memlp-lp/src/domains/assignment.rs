@@ -1,6 +1,6 @@
 //! Assignment problems as linear programs.
 
-use memlp_linalg::Matrix;
+use memlp_linalg::SparseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -107,21 +107,22 @@ pub fn assignment_lp(ap: &AssignmentProblem) -> Result<LpProblem, LpError> {
     let n = ap.agents();
     let vars = n * n;
     let m = 2 * n;
-    let mut a = Matrix::zeros(m, vars);
+    let mut trips = Vec::with_capacity(2 * vars);
     let mut b = vec![0.0; m];
     for agent in 0..n {
         for task in 0..n {
-            a[(agent, agent * n + task)] = 1.0;
+            trips.push((agent, agent * n + task, 1.0));
         }
-        b[agent] = 1.0;
     }
+    b[..n].fill(1.0);
     for task in 0..n {
         for agent in 0..n {
-            a[(n + task, agent * n + task)] = -1.0;
+            trips.push((n + task, agent * n + task, -1.0));
         }
         b[n + task] = -1.0;
     }
-    LpProblem::new(a, b, ap.utility.clone())
+    let a = SparseMatrix::from_triplets(m, vars, &trips)?;
+    LpProblem::from_sparse(a, b, ap.utility.clone())
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Network routing: maximum-flow as a linear program.
 
-use memlp_linalg::Matrix;
+use memlp_linalg::SparseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -93,22 +93,25 @@ pub fn max_flow_lp(net: &MaxFlowNetwork) -> Result<LpProblem, LpError> {
     let ne = net.edges.len();
     let interior = net.nodes - 2;
     let m = ne + 2 * interior;
-    let mut a = Matrix::zeros(m, ne);
+    let mut trips = Vec::with_capacity(5 * ne);
     let mut b = vec![0.0; m];
 
     // Capacity rows.
     for (e, &(_, _, cap)) in net.edges.iter().enumerate() {
-        a[(e, e)] = 1.0;
+        trips.push((e, e, 1.0));
         b[e] = cap;
     }
-    // Conservation rows for interior nodes 1..nodes-1.
+    // Conservation rows for interior nodes 1..nodes-1 (only edges incident
+    // to the node contribute; everything else stays structurally zero).
     for v in 1..net.nodes - 1 {
         let r_le = ne + 2 * (v - 1);
         let r_ge = r_le + 1;
         for (e, &(from, to, _)) in net.edges.iter().enumerate() {
             let coeff = if to == v { 1.0 } else { 0.0 } - if from == v { 1.0 } else { 0.0 };
-            a[(r_le, e)] = coeff;
-            a[(r_ge, e)] = -coeff;
+            if coeff != 0.0 {
+                trips.push((r_le, e, coeff));
+                trips.push((r_ge, e, -coeff));
+            }
         }
         b[r_le] = 0.0;
         b[r_ge] = 0.0;
@@ -124,7 +127,8 @@ pub fn max_flow_lp(net: &MaxFlowNetwork) -> Result<LpProblem, LpError> {
             c[e] -= 1.0;
         }
     }
-    LpProblem::new(a, b, c)
+    let a = SparseMatrix::from_triplets(m, ne, &trips)?;
+    LpProblem::from_sparse(a, b, c)
 }
 
 #[cfg(test)]

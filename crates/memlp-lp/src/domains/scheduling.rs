@@ -1,6 +1,6 @@
 //! Production scheduling: multi-period planning as a linear program.
 
-use memlp_linalg::Matrix;
+use memlp_linalg::SparseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -87,18 +87,18 @@ pub fn production_schedule_lp(plan: &ProductionPlan) -> Result<LpProblem, LpErro
     let p = plan.products;
     let n = t * p;
     let m = t + p;
-    let mut a = Matrix::zeros(m, n);
+    let mut trips = Vec::with_capacity(2 * n);
     let mut b = vec![0.0; m];
 
     for period in 0..t {
         for prod in 0..p {
-            a[(period, period * p + prod)] = plan.hours_per_unit[prod];
+            trips.push((period, period * p + prod, plan.hours_per_unit[prod]));
         }
-        b[period] = plan.capacity[period];
     }
+    b[..t].copy_from_slice(&plan.capacity);
     for prod in 0..p {
         for period in 0..t {
-            a[(t + prod, period * p + prod)] = 1.0;
+            trips.push((t + prod, period * p + prod, 1.0));
         }
         b[t + prod] = plan.max_demand[prod];
     }
@@ -109,7 +109,8 @@ pub fn production_schedule_lp(plan: &ProductionPlan) -> Result<LpProblem, LpErro
             c[period * p + prod] = plan.profit[prod];
         }
     }
-    LpProblem::new(a, b, c)
+    let a = SparseMatrix::from_triplets(m, n, &trips)?;
+    LpProblem::from_sparse(a, b, c)
 }
 
 #[cfg(test)]

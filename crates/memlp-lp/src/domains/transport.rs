@@ -1,6 +1,6 @@
 //! Transportation problems as linear programs.
 
-use memlp_linalg::Matrix;
+use memlp_linalg::SparseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -82,24 +82,25 @@ pub fn transportation_lp(tp: &TransportationProblem) -> Result<LpProblem, LpErro
     }
     let n = s * d;
     let m = s + d;
-    let mut a = Matrix::zeros(m, n);
+    let mut trips = Vec::with_capacity(2 * n);
     let mut b = vec![0.0; m];
 
     for i in 0..s {
         for j in 0..d {
-            a[(i, i * d + j)] = 1.0;
+            trips.push((i, i * d + j, 1.0));
         }
-        b[i] = tp.supply[i];
     }
+    b[..s].copy_from_slice(&tp.supply);
     for j in 0..d {
         for i in 0..s {
-            a[(s + j, i * d + j)] = -1.0;
+            trips.push((s + j, i * d + j, -1.0));
         }
         b[s + j] = -tp.demand[j];
     }
 
+    let a = SparseMatrix::from_triplets(m, n, &trips)?;
     let c: Vec<f64> = tp.cost.iter().map(|v| -v).collect();
-    LpProblem::new(a, b, c)
+    LpProblem::from_sparse(a, b, c)
 }
 
 #[cfg(test)]

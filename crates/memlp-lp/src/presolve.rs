@@ -15,11 +15,16 @@
 //! * free-ride variables: `c_j > 0` and column `j` ⪯ 0 certify
 //!   unboundedness (growing `x_j` only loosens constraints).
 
-use memlp_linalg::Matrix;
+use memlp_linalg::{Matrix, SparseMatrix};
 
 use crate::problem::LpProblem;
 
 /// Outcome of presolving.
+///
+/// `Reduced` carries the whole reduced problem by value; the enum is
+/// matched once at the call site, never stored in bulk, so boxing would
+/// only add an allocation to the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Presolved {
     /// The reduced problem plus the mapping back to original variables.
@@ -89,21 +94,18 @@ pub fn presolve(lp: &LpProblem) -> Presolved {
     let m = lp.num_constraints();
     let n = lp.num_vars();
 
-    // --- column analysis.
+    // --- column analysis (CSR: only stored entries, which are non-zero by
+    // construction, need inspecting).
     let mut col_nonneg = vec![true; n];
     let mut col_nonpos = vec![true; n];
     let mut col_zero = vec![true; n];
-    for i in 0..m {
-        for (j, &v) in lp.a().row(i).iter().enumerate() {
-            if v != 0.0 {
-                col_zero[j] = false;
-            }
-            if v < 0.0 {
-                col_nonneg[j] = false;
-            }
-            if v > 0.0 {
-                col_nonpos[j] = false;
-            }
+    for (_, j, v) in lp.sparse_a().iter() {
+        col_zero[j] = false;
+        if v < 0.0 {
+            col_nonneg[j] = false;
+        }
+        if v > 0.0 {
+            col_nonpos[j] = false;
         }
     }
 
@@ -144,15 +146,13 @@ pub fn presolve(lp: &LpProblem) -> Presolved {
         return Presolved::Reduced { lp, restore };
     }
 
-    // --- row analysis on the reduced column set.
+    // --- row analysis on the reduced column set (CSR row spans).
+    let (row_ptr, col_idx) = (lp.sparse_a().row_ptr(), lp.sparse_a().col_idx());
     let mut kept_rows = Vec::with_capacity(m);
     for i in 0..m {
-        let row_zero = lp
-            .a()
-            .row(i)
+        let row_zero = col_idx[row_ptr[i]..row_ptr[i + 1]]
             .iter()
-            .enumerate()
-            .all(|(j, &v)| v == 0.0 || kept_vars[j].is_none());
+            .all(|&j| kept_vars[j].is_none());
         if row_zero {
             if lp.b()[i] < 0.0 {
                 return Presolved::Infeasible;
@@ -162,15 +162,20 @@ pub fn presolve(lp: &LpProblem) -> Presolved {
         kept_rows.push(i);
     }
 
-    // --- assemble the reduced problem.
-    let mut a = Matrix::zeros(kept_rows.len().max(1), reduced_n);
-    let mut b = Vec::with_capacity(kept_rows.len().max(1));
+    // --- assemble the reduced problem CSR-first: surviving entries become
+    // triplets in the compacted coordinate space.
+    let mut row_map = vec![None; m];
     for (k, &i) in kept_rows.iter().enumerate() {
-        for (j, &v) in lp.a().row(i).iter().enumerate() {
-            if let Some(col) = kept_vars[j] {
-                a[(k, col)] = v;
-            }
+        row_map[i] = Some(k);
+    }
+    let mut trips = Vec::with_capacity(lp.sparse_a().nnz());
+    for (i, j, v) in lp.sparse_a().iter() {
+        if let (Some(row), Some(col)) = (row_map[i], kept_vars[j]) {
+            trips.push((row, col, v));
         }
+    }
+    let mut b = Vec::with_capacity(kept_rows.len().max(1));
+    for &i in &kept_rows {
         b.push(lp.b()[i]);
     }
     if kept_rows.is_empty() {
@@ -185,7 +190,12 @@ pub fn presolve(lp: &LpProblem) -> Presolved {
             c[*col] = lp.c()[j];
         }
     }
-    match LpProblem::new(a, b, c) {
+    let reduced_m = kept_rows.len().max(1);
+    let assemble = move || -> Result<LpProblem, crate::error::LpError> {
+        let a = SparseMatrix::from_triplets(reduced_m, reduced_n, &trips)?;
+        LpProblem::from_sparse(a, b, c)
+    };
+    match assemble() {
         Ok(lp_reduced) => Presolved::Reduced {
             lp: lp_reduced,
             restore: Restore {

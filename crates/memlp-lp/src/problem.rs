@@ -1,4 +1,4 @@
-use memlp_linalg::{ops, Matrix};
+use memlp_linalg::{ops, Matrix, SparseMatrix};
 
 use crate::error::LpError;
 
@@ -7,21 +7,62 @@ use crate::error::LpError;
 ///
 /// Invariants enforced at construction: `A` is `m×n`, `b` has length `m`,
 /// `c` has length `n`, and every coefficient is finite.
+///
+/// The constraint matrix is carried in **both** representations from
+/// construction onward: the dense [`Matrix`] (the crossbar-programming and
+/// dense-oracle view) and a CSR [`SparseMatrix`] (the structure-exploiting
+/// digital view). The two always describe the same matrix; sparse Newton
+/// paths pick by [`density`](Self::density) without any per-solve
+/// conversion cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LpProblem {
     a: Matrix,
+    sparse_a: SparseMatrix,
     b: Vec<f64>,
     c: Vec<f64>,
 }
 
 impl LpProblem {
-    /// Builds a canonical-form problem.
+    /// Builds a canonical-form problem from a dense constraint matrix (the
+    /// CSR companion is extracted once here).
     ///
     /// # Errors
     ///
     /// * [`LpError::ShapeMismatch`] if `b`/`c` lengths disagree with `A`,
     /// * [`LpError::NonFinite`] if any coefficient is NaN/∞.
     pub fn new(a: Matrix, b: Vec<f64>, c: Vec<f64>) -> Result<Self, LpError> {
+        if !a.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(LpError::NonFinite {
+                location: "A".into(),
+            });
+        }
+        let sparse_a = SparseMatrix::from_dense(&a);
+        Self::from_parts(a, sparse_a, b, c)
+    }
+
+    /// Builds a canonical-form problem CSR-first: domain generators and
+    /// presolve/scaling hand over the sparse matrix they assembled and the
+    /// dense companion is materialized once here.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn from_sparse(sparse_a: SparseMatrix, b: Vec<f64>, c: Vec<f64>) -> Result<Self, LpError> {
+        if !sparse_a.values().iter().all(|v| v.is_finite()) {
+            return Err(LpError::NonFinite {
+                location: "A".into(),
+            });
+        }
+        let a = sparse_a.to_dense();
+        Self::from_parts(a, sparse_a, b, c)
+    }
+
+    fn from_parts(
+        a: Matrix,
+        sparse_a: SparseMatrix,
+        b: Vec<f64>,
+        c: Vec<f64>,
+    ) -> Result<Self, LpError> {
         if b.len() != a.rows() {
             return Err(LpError::ShapeMismatch {
                 expected: format!("b of length {}", a.rows()),
@@ -34,11 +75,6 @@ impl LpProblem {
                 found: format!("length {}", c.len()),
             });
         }
-        if !a.as_slice().iter().all(|v| v.is_finite()) {
-            return Err(LpError::NonFinite {
-                location: "A".into(),
-            });
-        }
         if let Some(i) = b.iter().position(|v| !v.is_finite()) {
             return Err(LpError::NonFinite {
                 location: format!("b[{i}]"),
@@ -49,12 +85,24 @@ impl LpProblem {
                 location: format!("c[{i}]"),
             });
         }
-        Ok(LpProblem { a, b, c })
+        Ok(LpProblem { a, sparse_a, b, c })
     }
 
-    /// Constraint matrix `A` (m×n).
+    /// Constraint matrix `A` (m×n), dense view.
     pub fn a(&self) -> &Matrix {
         &self.a
+    }
+
+    /// Constraint matrix `A` (m×n), CSR view — same matrix as
+    /// [`a`](Self::a), kept in sync from construction.
+    pub fn sparse_a(&self) -> &SparseMatrix {
+        &self.sparse_a
+    }
+
+    /// Fill ratio of `A` (stored non-zeros over `m·n`) — the quantity the
+    /// `SolvePath::Auto` heuristic thresholds on.
+    pub fn density(&self) -> f64 {
+        self.sparse_a.density()
     }
 
     /// Right-hand side `b` (length m).
@@ -146,10 +194,15 @@ impl LpProblem {
     /// which canonicalizes to `max (−b)ᵀy, (−Aᵀ)y ⪯ −c, y ⪰ 0`.
     pub fn dual(&self) -> LpProblem {
         let at = self.a.transpose().map(|v| -v);
+        let mut sat = self.sparse_a.transpose();
+        for v in sat.values_mut() {
+            *v = -*v;
+        }
         let neg_c: Vec<f64> = self.c.iter().map(|v| -v).collect();
         let neg_b: Vec<f64> = self.b.iter().map(|v| -v).collect();
         LpProblem {
             a: at,
+            sparse_a: sat,
             b: neg_c,
             c: neg_b,
         }
@@ -289,5 +342,33 @@ mod tests {
     fn max_abs_coefficient() {
         let lp = sample();
         assert_eq!(lp.max_abs_coefficient(), 6.0);
+    }
+
+    #[test]
+    fn sparse_view_tracks_dense() {
+        let lp = sample();
+        assert_eq!(lp.sparse_a().to_dense(), *lp.a());
+        assert_eq!(lp.density(), 1.0);
+    }
+
+    #[test]
+    fn from_sparse_round_trips() {
+        use memlp_linalg::SparseMatrix;
+        let sa = SparseMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (1, 2, -2.0)]).unwrap();
+        let lp = LpProblem::from_sparse(sa.clone(), vec![1.0, 1.0], vec![1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(lp.sparse_a(), &sa);
+        assert_eq!(lp.a()[(1, 2)], -2.0);
+        assert!((lp.density() - 2.0 / 6.0).abs() < 1e-12);
+        // Shape and finiteness validation still applies on the sparse path.
+        assert!(LpProblem::from_sparse(sa.clone(), vec![1.0], vec![0.0; 3]).is_err());
+        let bad = SparseMatrix::from_triplets(1, 1, &[(0, 0, f64::NAN)]).unwrap();
+        assert!(LpProblem::from_sparse(bad, vec![1.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn dual_keeps_sparse_in_sync() {
+        let lp = sample();
+        let d = lp.dual();
+        assert_eq!(d.sparse_a().to_dense(), *d.a());
     }
 }

@@ -1,5 +1,3 @@
-use memlp_linalg::Matrix;
-
 use crate::error::LpError;
 use crate::problem::LpProblem;
 
@@ -40,30 +38,33 @@ impl Equilibration {
 /// to the unscaled problem.
 pub fn equilibrate(lp: &LpProblem) -> Result<(LpProblem, Equilibration), LpError> {
     let m = lp.num_constraints();
-    let n = lp.num_vars();
-    let mut a = Matrix::zeros(m, n);
     let mut b = vec![0.0; m];
     let mut row_scales = vec![1.0; m];
+    // CSR-first: row maxima come from the stored entries, and scaling
+    // touches only those entries — the sparsity pattern is untouched.
+    let mut a = lp.sparse_a().clone();
+    let row_ptr = a.row_ptr().to_vec();
     for i in 0..m {
-        let row = lp.a().row(i);
-        let mut s = row.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+        let span = &a.values()[row_ptr[i]..row_ptr[i + 1]];
+        let mut s = span.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
         s = s.max(lp.b()[i].abs());
         if s == 0.0 {
             s = 1.0;
         }
         row_scales[i] = s;
-        for j in 0..n {
-            a[(i, j)] = row[j] / s;
+        for v in &mut a.values_mut()[row_ptr[i]..row_ptr[i + 1]] {
+            *v /= s;
         }
         b[i] = lp.b()[i] / s;
     }
-    let scaled = LpProblem::new(a, b, lp.c().to_vec())?;
+    let scaled = LpProblem::from_sparse(a, b, lp.c().to_vec())?;
     Ok((scaled, Equilibration { row_scales }))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memlp_linalg::Matrix;
 
     fn lopsided() -> LpProblem {
         LpProblem::new(

@@ -38,7 +38,7 @@ mod simplex;
 
 pub mod pdip;
 
-pub use pdip::PdipOptions;
+pub use pdip::{PdipOptions, SolvePath};
 pub use pdip_dense::DensePdip;
 pub use pdip_mehrotra::MehrotraPdip;
 pub use pdip_normal::NormalEqPdip;

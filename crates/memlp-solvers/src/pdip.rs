@@ -10,6 +10,58 @@
 use memlp_linalg::ops;
 use memlp_lp::{LpProblem, LpStatus};
 
+/// Which digital factorization path solves the Newton system.
+///
+/// The dense path (blocked LU with partial pivoting) is the oracle every
+/// other path is judged against; the sparse path (fill-reducing no-pivot LU
+/// with symbolic-analysis reuse, see `memlp_linalg::SparseLu`) exploits the
+/// structural sparsity of the constraint matrix and must agree with the
+/// dense path to tight tolerance. `Auto` picks per problem by fill ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolvePath {
+    /// Choose by constraint-matrix density: at or below
+    /// [`SolvePath::AUTO_DENSITY_THRESHOLD`] the sparse path runs,
+    /// otherwise dense.
+    #[default]
+    Auto,
+    /// Always dense LU with partial pivoting.
+    Dense,
+    /// Always the fill-reducing sparse LU with symbolic reuse.
+    Sparse,
+}
+
+impl SolvePath {
+    /// Fill-ratio threshold for `Auto`: below a quarter fill the sparse
+    /// factorization wins even after fill-in on the domains this workspace
+    /// ships (see DESIGN.md §13 for the measured crossover).
+    pub const AUTO_DENSITY_THRESHOLD: f64 = 0.25;
+
+    /// Resolves the selector against a measured fill ratio: `true` means
+    /// the sparse path runs.
+    pub fn use_sparse(self, density: f64) -> bool {
+        match self {
+            SolvePath::Auto => density <= Self::AUTO_DENSITY_THRESHOLD,
+            SolvePath::Dense => false,
+            SolvePath::Sparse => true,
+        }
+    }
+}
+
+impl std::str::FromStr for SolvePath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(SolvePath::Auto),
+            "dense" => Ok(SolvePath::Dense),
+            "sparse" => Ok(SolvePath::Sparse),
+            other => Err(format!(
+                "unknown solve path '{other}' (expected auto, dense, or sparse)"
+            )),
+        }
+    }
+}
+
 /// Options for PDIP iterations.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PdipOptions {
@@ -32,6 +84,10 @@ pub struct PdipOptions {
     pub max_iterations: usize,
     /// Initial value for every component of `(x, w, y, z)`.
     pub initial_value: f64,
+    /// Which factorization path solves the Newton system (honored by the
+    /// solvers that have a sparse formulation; purely-dense solvers ignore
+    /// it).
+    pub path: SolvePath,
 }
 
 impl Default for PdipOptions {
@@ -45,6 +101,7 @@ impl Default for PdipOptions {
             divergence_bound: 1e6,
             max_iterations: 200,
             initial_value: 1.0,
+            path: SolvePath::Auto,
         }
     }
 }

@@ -1,4 +1,4 @@
-use memlp_linalg::{iterative, ops, LuFactors, Matrix};
+use memlp_linalg::{iterative, ops, LuFactors, Matrix, SparseLu, SparseMatrix};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 
 use crate::pdip::{status_for, IterationOutcome, PdipOptions, PdipState, StepDirections};
@@ -19,6 +19,21 @@ use crate::LpSolver;
 ///
 /// with `σ̂ = σ + X⁻¹µe − z` and `ρ̂ = ρ − Y⁻¹µe + w`, where
 /// `ρ = b − Ax − w` and `σ = c − Aᵀy + z`.
+///
+/// When [`PdipOptions::path`] resolves to sparse (always, or by the `Auto`
+/// density threshold), the same reduction is solved in its **quasidefinite
+/// KKT form** instead of forming `A·D·Aᵀ` densely:
+///
+/// ```text
+/// ⎡ D⁻¹  Aᵀ ⎤ ⎡Δx⎤   ⎡σ̂⎤          D = Z⁻¹X,  E = Y⁻¹W
+/// ⎣ A   −E  ⎦ ⎣Δy⎦ = ⎣ρ̂⎦
+/// ```
+///
+/// The KKT pattern is fixed for the whole solve — only the two diagonals
+/// move between iterations — so the fill-reducing symbolic analysis runs
+/// once and every iteration is a numeric refactor (`memlp_linalg::SparseLu`).
+/// Any sparse breakdown (static pivot failure) falls back to the dense
+/// normal equations for that iteration, keeping the solver total.
 ///
 /// # Example
 ///
@@ -42,6 +57,69 @@ pub struct NormalEqPdip {
 struct NormalScratch {
     lu: Matrix,
     piv: Vec<usize>,
+    sparse: Option<SparseKkt>,
+}
+
+/// Sparse-path scratch: the assembled KKT matrix (pattern fixed per solve,
+/// diagonal values rewritten each iteration) and the reusable symbolic
+/// factorization.
+#[derive(Debug, Clone)]
+struct SparseKkt {
+    kkt: SparseMatrix,
+    /// Storage slot of `(j, j)` for each variable `j` (the `D⁻¹` diagonal).
+    dx_slots: Vec<usize>,
+    /// Storage slot of `(n+i, n+i)` for each constraint `i` (the `−E`
+    /// diagonal).
+    dy_slots: Vec<usize>,
+    lu: SparseLu,
+}
+
+impl SparseKkt {
+    /// Assembles `[[D⁻¹, Aᵀ], [A, −E]]` with unit diagonals as
+    /// placeholders and runs the one-off symbolic analysis.
+    fn build(lp: &LpProblem) -> Option<SparseKkt> {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        let a = lp.sparse_a();
+        let mut trips = Vec::with_capacity(2 * a.nnz() + n + m);
+        for j in 0..n {
+            trips.push((j, j, 1.0));
+        }
+        for i in 0..m {
+            trips.push((n + i, n + i, -1.0));
+        }
+        for (i, j, v) in a.iter() {
+            trips.push((n + i, j, v));
+            trips.push((j, n + i, v));
+        }
+        let kkt = SparseMatrix::from_triplets(n + m, n + m, &trips).ok()?;
+        let dx_slots: Vec<usize> = (0..n)
+            .map(|j| kkt.entry_index(j, j))
+            .collect::<Option<_>>()?;
+        let dy_slots: Vec<usize> = (0..m)
+            .map(|i| kkt.entry_index(n + i, n + i))
+            .collect::<Option<_>>()?;
+        let lu = SparseLu::analyze(&kkt).ok()?;
+        Some(SparseKkt {
+            kkt,
+            dx_slots,
+            dy_slots,
+            lu,
+        })
+    }
+
+    /// Writes the iteration's diagonals (`D⁻¹ = Z X⁻¹`, `−E = −W Y⁻¹`) and
+    /// refactors on the cached symbolic analysis.
+    fn refactor(&mut self, s: &PdipState) -> Result<(), memlp_linalg::LinalgError> {
+        let vals = self.kkt.values_mut();
+        for (j, &slot) in self.dx_slots.iter().enumerate() {
+            vals[slot] = s.z[j] / s.x[j];
+        }
+        for (i, &slot) in self.dy_slots.iter().enumerate() {
+            vals[slot] = -s.w[i] / s.y[i];
+        }
+        self.lu.refactor(&self.kkt)
+    }
 }
 
 impl NormalEqPdip {
@@ -55,6 +133,7 @@ impl NormalEqPdip {
         s: &PdipState,
         mu: f64,
         scratch: &mut NormalScratch,
+        use_sparse: bool,
     ) -> Option<StepDirections> {
         let n = lp.num_vars();
         let m = lp.num_constraints();
@@ -66,6 +145,14 @@ impl NormalEqPdip {
         // σ̂ = σ + µX⁻¹e − z;  ρ̂ = ρ − µY⁻¹e + w.
         let sigma_hat: Vec<f64> = (0..n).map(|j| sigma[j] + mu / s.x[j] - s.z[j]).collect();
         let rho_hat: Vec<f64> = (0..m).map(|i| rho[i] - mu / s.y[i] + s.w[i]).collect();
+
+        if use_sparse {
+            if let Some(dirs) = Self::sparse_directions(lp, s, mu, &sigma_hat, &rho_hat, scratch) {
+                return Some(dirs);
+            }
+            // Static-pivot breakdown: fall through to the dense oracle for
+            // this iteration.
+        }
 
         // D = Z⁻¹X (diagonal), E = Y⁻¹W (diagonal).
         let d: Vec<f64> = (0..n).map(|j| s.x[j] / s.z[j]).collect();
@@ -130,6 +217,57 @@ impl NormalEqPdip {
         }
         Some(StepDirections { dx, dy, dw, dz })
     }
+
+    /// The sparse quasidefinite-KKT solve: symbolic analysis cached in the
+    /// scratch, numeric refactor + refined triangular solves per iteration.
+    /// Returns `None` on any sparse breakdown (caller falls back to dense).
+    fn sparse_directions(
+        lp: &LpProblem,
+        s: &PdipState,
+        mu: f64,
+        sigma_hat: &[f64],
+        rho_hat: &[f64],
+        scratch: &mut NormalScratch,
+    ) -> Option<StepDirections> {
+        let n = lp.num_vars();
+        let m = lp.num_constraints();
+        if scratch.sparse.is_none() {
+            scratch.sparse = Some(SparseKkt::build(lp)?);
+        }
+        let sk = scratch.sparse.as_mut()?;
+        sk.refactor(s).ok()?;
+
+        let mut rhs = Vec::with_capacity(n + m);
+        rhs.extend_from_slice(sigma_hat);
+        rhs.extend_from_slice(rho_hat);
+        // Two refinement rounds against the exact KKT matrix, mirroring the
+        // dense path: the static-pivot factors lose digits the refinement
+        // recovers, keeping both paths at reference accuracy.
+        let sol = sk.lu.refine(&sk.kkt, &rhs, 2).ok()?;
+        let (dx, dy) = sol.split_at(n);
+
+        // Δz = µX⁻¹e − z − X⁻¹Z·Δx;  Δw = µY⁻¹e − w − Y⁻¹W·Δy.
+        let dz: Vec<f64> = (0..n)
+            .map(|j| mu / s.x[j] - s.z[j] - s.z[j] / s.x[j] * dx[j])
+            .collect();
+        let dw: Vec<f64> = (0..m)
+            .map(|i| mu / s.y[i] - s.w[i] - s.w[i] / s.y[i] * dy[i])
+            .collect();
+
+        if !(ops::all_finite(dx)
+            && ops::all_finite(dy)
+            && ops::all_finite(&dw)
+            && ops::all_finite(&dz))
+        {
+            return None;
+        }
+        Some(StepDirections {
+            dx: dx.to_vec(),
+            dy: dy.to_vec(),
+            dw,
+            dz,
+        })
+    }
 }
 
 impl LpSolver for NormalEqPdip {
@@ -137,6 +275,7 @@ impl LpSolver for NormalEqPdip {
         let opts = &self.options;
         let mut state = PdipState::new(lp, opts);
         let mut scratch = NormalScratch::default();
+        let use_sparse = opts.path.use_sparse(lp.density());
 
         for iter in 0..opts.max_iterations {
             match state.outcome(lp, opts) {
@@ -144,7 +283,7 @@ impl LpSolver for NormalEqPdip {
                 terminal => return state.into_solution(lp, status_for(terminal), iter),
             }
             let mu = state.mu(opts.delta);
-            let dirs = match Self::directions(lp, &state, mu, &mut scratch) {
+            let dirs = match Self::directions(lp, &state, mu, &mut scratch, use_sparse) {
                 Some(d) => d,
                 None => {
                     let status = crate::pdip::classify_breakdown(&state, opts);
@@ -223,6 +362,53 @@ mod tests {
         assert_eq!(
             NormalEqPdip::default().solve(&unb).status,
             LpStatus::Unbounded
+        );
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_path_on_domain_lps() {
+        use crate::pdip::SolvePath;
+        use memlp_lp::domains::{transportation_lp, TransportationProblem};
+        for seed in 0..3 {
+            let lp = transportation_lp(&TransportationProblem::random(4, 9, seed)).unwrap();
+            let dense = NormalEqPdip::new(PdipOptions {
+                path: SolvePath::Dense,
+                ..PdipOptions::default()
+            })
+            .solve(&lp);
+            let sparse = NormalEqPdip::new(PdipOptions {
+                path: SolvePath::Sparse,
+                ..PdipOptions::default()
+            })
+            .solve(&lp);
+            assert_eq!(dense.status, LpStatus::Optimal);
+            assert_eq!(sparse.status, LpStatus::Optimal);
+            let rel = (dense.objective - sparse.objective).abs() / (1.0 + dense.objective.abs());
+            assert!(rel < 1e-7, "seed {seed}: rel {rel:.3e}");
+            assert_eq!(
+                dense.iterations, sparse.iterations,
+                "seed {seed}: iterate counts diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_path_picks_sparse_for_sparse_problems() {
+        use crate::pdip::SolvePath;
+        // Transport at 4×9 has density 2/13 < 0.25 → Auto runs sparse;
+        // RandomLp is fully dense → Auto runs dense. Both must still solve.
+        use memlp_lp::domains::{transportation_lp, TransportationProblem};
+        let sparse_lp = transportation_lp(&TransportationProblem::random(4, 9, 3)).unwrap();
+        assert!(SolvePath::Auto.use_sparse(sparse_lp.density()));
+        let dense_lp = RandomLp::paper(16, 3).feasible();
+        assert!(!SolvePath::Auto.use_sparse(dense_lp.density()));
+        assert_eq!(
+            NormalEqPdip::default().solve(&sparse_lp).status,
+            LpStatus::Optimal
+        );
+        assert_eq!(
+            NormalEqPdip::default().solve(&dense_lp).status,
+            LpStatus::Optimal
         );
     }
 

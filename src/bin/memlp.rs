@@ -3,6 +3,7 @@
 //! ```text
 //! memlp solve <file.lp> [<file.lp> ...]
 //!             [--solver alg1|alg2|simplex|pdip|mehrotra]
+//!             [--path auto|dense|sparse]
 //!             [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
 //!             [--stuck-rate <frac>] [--dead-line-rate <frac>]
 //!             [--transient-rate <frac>] [--spares <n>]
@@ -17,7 +18,9 @@
 //! `--stuck-rate` is the total stuck-cell fraction (split evenly between
 //! stuck-on and stuck-off), `--dead-line-rate` kills whole word/bit lines,
 //! `--transient-rate` flips ADC read-outs, and `--recovery` selects how far
-//! the solvers escalate when write–verify reports defects.
+//! the solvers escalate when write–verify reports defects. `--path` selects
+//! the digital Newton factorization (sparse Schur core vs dense LU; `auto`
+//! picks by constraint-matrix density) for the solvers that honor it.
 //! The `.lp` dialect is documented in `memlp_lp::format`.
 
 use std::process::ExitCode;
@@ -40,7 +43,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  memlp solve <file.lp> [<file.lp> ...] [--solver alg1|alg2|simplex|pdip|mehrotra] [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
+  memlp solve <file.lp> [<file.lp> ...] [--solver alg1|alg2|simplex|pdip|mehrotra] [--path auto|dense|sparse] [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
               [--stuck-rate <frac>] [--dead-line-rate <frac>] [--transient-rate <frac>] [--spares <n>] [--recovery off|hardware|full]
   memlp generate <m> [--seed <n>] [--infeasible]
   memlp info <file.lp>";
@@ -76,6 +79,8 @@ struct Flags {
     spares: Option<usize>,
     /// Recovery escalation policy: off | hardware | full.
     recovery: RecoveryPolicy,
+    /// Digital Newton factorization path: auto | dense | sparse.
+    path: SolvePath,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -92,6 +97,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         transient_rate: 0.0,
         spares: None,
         recovery: RecoveryPolicy::Full,
+        path: SolvePath::Auto,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -155,6 +161,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     other => return Err(format!("unknown recovery policy `{other}`")),
                 }
             }
+            "--path" => f.path = it.next().ok_or("--path needs a value")?.parse()?,
             "--quiet" => f.quiet = true,
             "--infeasible" => f.infeasible = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
@@ -206,10 +213,11 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
     // output) are identical to sequential solves.
     let results: Vec<SolveRow> = match f.solver.as_str() {
         "alg1" => {
-            let options = CrossbarSolverOptions {
+            let mut options = CrossbarSolverOptions {
                 recovery: f.recovery,
                 ..CrossbarSolverOptions::default()
             };
+            options.pdip.path = f.path;
             CrossbarPdipSolver::new(config, options)
                 .solve_batch(&lps, jobs)
                 .into_iter()
@@ -232,7 +240,10 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
             memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None, None))
         }
         "pdip" => {
-            let s = NormalEqPdip::default();
+            let s = NormalEqPdip::new(PdipOptions {
+                path: f.path,
+                ..PdipOptions::default()
+            });
             memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None, None))
         }
         "mehrotra" => {
@@ -273,6 +284,15 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
                     c.skipped_writes,
                     100.0 * c.skipped_writes as f64 / offered as f64,
                     c.rebuilds_avoided
+                );
+            }
+            if c.factorizations > 0 {
+                println!(
+                    "newton:    {} factorization(s), {} flops ({:.0}/iter), {} factor entries",
+                    c.factorizations,
+                    c.factor_flops,
+                    c.factor_flops as f64 / c.factorizations as f64,
+                    c.factor_nnz
                 );
             }
         }

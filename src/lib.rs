@@ -71,6 +71,6 @@ pub mod prelude {
     pub use memlp_lp::{domains, generator::RandomLp, LpProblem, LpSolution, LpStatus};
     pub use memlp_noc::{NocConfig, TiledCrossbar, Topology};
     pub use memlp_solvers::{
-        DensePdip, LpSolver, MehrotraPdip, NormalEqPdip, PdipOptions, Simplex,
+        DensePdip, LpSolver, MehrotraPdip, NormalEqPdip, PdipOptions, Simplex, SolvePath,
     };
 }
