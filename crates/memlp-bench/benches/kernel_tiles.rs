@@ -1,0 +1,515 @@
+//! Microbenchmark for the register-tiled digital kernels (DESIGN.md §14).
+//!
+//! Measures flop rates for the hot dense kernels — matvec, matmul,
+//! `scaled_gram`, blocked LU, CSR SpMV — at m ∈ {128, 512} under three
+//! regimes: a *naive* single-accumulator scalar loop (written here, the
+//! pre-lane baseline), the *plain* 4-lane reference loops
+//! (`KernelPolicy::plain`, the pre-tiling production code), and the
+//! register-*tiled* default policy. Kernel rates are pinned to one worker
+//! (`with_threads(1)`) so they measure instruction-level throughput, not
+//! the thread pool; the end-to-end rows run with the default thread budget
+//! because that is what a solver iteration sees.
+//!
+//! Emits `BENCH_kernels.json` at the repository root and *asserts*:
+//!   * every measured rate is physically sane (0.01–1000 GF/s — the
+//!     flop-rate assertion that catches a mis-counted flops model), and
+//!   * the tiled m = 512 dense matvec clears `GATE_MIN_SPEEDUP` over the
+//!     naive scalar baseline (the CI gate; best of up to three
+//!     back-to-back naive/tiled trials, so host steal on a shared
+//!     runner cannot flake a genuinely fast kernel).
+//!
+//! The JSON also carries the `threading_cutoff` cell: the measured kernel
+//! rate and two-worker dispatch overhead behind the re-measured
+//! `MIN_FLOPS_PER_THREAD` in `memlp-linalg::parallel`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use memlp_bench::fmt_time;
+use memlp_core::{AugmentedSystem, HwContext};
+use memlp_crossbar::CrossbarConfig;
+use memlp_linalg::kernels::KernelPolicy;
+use memlp_linalg::parallel::{self, with_threads, MIN_FLOPS_PER_THREAD};
+use memlp_linalg::{kernels, LuFactors, Matrix, SparseMatrix};
+use memlp_lp::domains::{transportation_lp, TransportationProblem};
+use memlp_lp::LpProblem;
+use memlp_solvers::pdip::{PdipOptions, PdipState};
+use memlp_solvers::SolvePath;
+
+/// Tiled-over-naive speedup the m = 512 dense matvec must clear.
+const GATE_MIN_SPEEDUP: f64 = 2.0;
+/// Problem sizes for every kernel row.
+const SIZES: [usize; 2] = [128, 512];
+
+fn test_matrix(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let h = (i * 7919 + j * 104_729 + seed * 15_485_863) % 1000;
+        (h as f64) / 1000.0 - 0.5
+    })
+}
+
+fn dominant_matrix(n: usize, seed: usize) -> Matrix {
+    let mut a = test_matrix(n, n, seed);
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    a
+}
+
+fn test_vec(n: usize, seed: usize) -> Vec<f64> {
+    (0..n)
+        .map(|j| (((j * 2_654_435_761 + seed) % 1000) as f64) / 1000.0 - 0.5)
+        .collect()
+}
+
+/// Banded CSR test matrix: 16 nonzeros per interior row.
+fn band_matrix(n: usize) -> SparseMatrix {
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        for d in 0..16usize {
+            let j = (i + d * 5) % n;
+            triplets.push((i, j, ((i + j) % 7) as f64 - 3.0));
+        }
+    }
+    SparseMatrix::from_triplets(n, n, &triplets).expect("valid band pattern")
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Median GF/s of `f`, which performs `flops` floating-point operations
+/// per call. Each rep times `inner` back-to-back calls so short kernels
+/// are measured over ≥ milliseconds, not timer granularity.
+fn gflops(flops: u64, f: impl FnMut()) -> f64 {
+    let mut f = f;
+    // Calibrate the inner loop to ~10 ms per rep.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let inner = ((0.01 / once) as usize).clamp(1, 10_000);
+    let reps = 9;
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        times.push(t.elapsed().as_secs_f64() / inner as f64);
+    }
+    flops as f64 / median(times) / 1e9
+}
+
+/// The naive scalar baseline: one accumulator, no lane structure — the
+/// loop every variant must beat for the tiling to have paid for itself.
+fn naive_matvec(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    let cols = a.cols();
+    let data = a.as_slice();
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (av, xv) in data[i * cols..(i + 1) * cols].iter().zip(x) {
+            acc += av * xv;
+        }
+        *yi = acc;
+    }
+}
+
+/// Naive i-j-k matmul with one accumulator per output element.
+fn naive_matmul(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            c[(i, j)] = acc;
+        }
+    }
+}
+
+/// Naive CSR row loop, one accumulator per row.
+fn naive_spmv(s: &SparseMatrix, x: &[f64], y: &mut [f64]) {
+    let rp = s.row_ptr();
+    let ci = s.col_idx();
+    let vals = s.values();
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for idx in rp[i]..rp[i + 1] {
+            acc += vals[idx] * x[ci[idx]];
+        }
+        *yi = acc;
+    }
+}
+
+struct KernelRow {
+    kernel: &'static str,
+    m: usize,
+    flops: u64,
+    naive: f64,
+    plain: f64,
+    tiled: f64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.tiled / self.naive
+    }
+}
+
+fn measure_kernels() -> Vec<KernelRow> {
+    let mut rows = Vec::new();
+    for &m in &SIZES {
+        let a = test_matrix(m, m, 1);
+        let b = test_matrix(m, m, 2);
+        let x = test_vec(m, 3);
+        let d: Vec<f64> = test_vec(m, 4).iter().map(|v| v.abs() + 0.1).collect();
+        let lu_src = dominant_matrix(m, 5);
+        let sp = band_matrix(m);
+
+        // All kernel rates single-threaded: ILP throughput, not the pool.
+        with_threads(1, || {
+            let mv_flops = 2 * (m * m) as u64;
+            let mut y = vec![0.0; m];
+            rows.push(KernelRow {
+                kernel: "matvec",
+                m,
+                flops: mv_flops,
+                naive: gflops(mv_flops, || naive_matvec(&a, black_box(&x), &mut y)),
+                plain: gflops(mv_flops, || {
+                    kernels::with_policy(KernelPolicy::plain(), || {
+                        black_box(a.matvec(black_box(&x)));
+                    })
+                }),
+                tiled: gflops(mv_flops, || {
+                    black_box(a.matvec(black_box(&x)));
+                }),
+            });
+
+            let mm_flops = 2 * (m * m * m) as u64;
+            let mut c = Matrix::zeros(m, m);
+            rows.push(KernelRow {
+                kernel: "matmul",
+                m,
+                flops: mm_flops,
+                naive: gflops(mm_flops, || naive_matmul(&a, black_box(&b), &mut c)),
+                plain: gflops(mm_flops, || {
+                    kernels::with_policy(KernelPolicy::plain(), || {
+                        black_box(a.matmul(black_box(&b)).unwrap());
+                    })
+                }),
+                tiled: gflops(mm_flops, || {
+                    black_box(a.matmul(black_box(&b)).unwrap());
+                }),
+            });
+
+            // scaled_gram has no naive twin in this file: its pre-lane
+            // form is exactly the plain policy (scale + lane dot per
+            // row), so the naive column reports the plain rate.
+            let sg_flops = (2 * m * m * m + m * m) as u64;
+            let plain_sg = gflops(sg_flops, || {
+                kernels::with_policy(KernelPolicy::plain(), || {
+                    black_box(a.scaled_gram(black_box(&d)));
+                })
+            });
+            rows.push(KernelRow {
+                kernel: "scaled_gram",
+                m,
+                flops: sg_flops,
+                naive: plain_sg,
+                plain: plain_sg,
+                tiled: gflops(sg_flops, || {
+                    black_box(a.scaled_gram(black_box(&d)));
+                }),
+            });
+
+            // LU: the 2/3·n³ model; the naive column mirrors plain for
+            // the same reason (the pre-tiling trailing update is the
+            // plain-policy path).
+            let lu_flops = 2 * (m * m * m) as u64 / 3;
+            let plain_lu = gflops(lu_flops, || {
+                kernels::with_policy(KernelPolicy::plain(), || {
+                    black_box(LuFactors::factor(lu_src.clone()).unwrap());
+                })
+            });
+            rows.push(KernelRow {
+                kernel: "lu_factor",
+                m,
+                flops: lu_flops,
+                naive: plain_lu,
+                plain: plain_lu,
+                tiled: gflops(lu_flops, || {
+                    black_box(LuFactors::factor(lu_src.clone()).unwrap());
+                }),
+            });
+
+            let sp_flops = 2 * sp.nnz() as u64;
+            let mut ys = vec![0.0; m];
+            rows.push(KernelRow {
+                kernel: "spmv",
+                m,
+                flops: sp_flops,
+                naive: gflops(sp_flops, || naive_spmv(&sp, black_box(&x), &mut ys)),
+                // The CSR gather tree is policy-independent: plain and
+                // tiled are the same code, reported once each.
+                plain: gflops(sp_flops, || {
+                    black_box(sp.matvec(black_box(&x)));
+                }),
+                tiled: gflops(sp_flops, || {
+                    black_box(sp.matvec(black_box(&x)));
+                }),
+            });
+        });
+    }
+    rows
+}
+
+struct NewtonRow {
+    m: usize,
+    n: usize,
+    plain_secs: f64,
+    tiled_secs: f64,
+}
+
+/// End-to-end per-iteration Newton cost: the dense-path core solve of a
+/// transport instance (programming, rhs assembly, and warmup excluded),
+/// timed under the plain policy and under the default tiled policy, with
+/// the default thread budget — the dense digital work a solver iteration
+/// actually pays.
+fn measure_newton(m_target: usize) -> NewtonRow {
+    let lp: LpProblem = transportation_lp(&TransportationProblem::random(4, m_target - 4, 21))
+        .expect("valid domain instance");
+    let mut hw = HwContext::new(CrossbarConfig::ideal().with_seed(11));
+    let opts = PdipOptions::default();
+    let state = PdipState::new(&lp, &opts);
+    let mut sys = AugmentedSystem::program(&lp, &state, &mut hw);
+    sys.set_solve_path(SolvePath::Dense);
+    let mu = state.mu(opts.delta);
+    let s = sys.s_vector(&state);
+    let ms = sys.mvm(&s, &mut hw);
+    let constant = sys.rhs_constant(&lp, mu);
+    let r = sys.assemble_rhs(&constant, &ms);
+
+    let mut time_policy = |policy: Option<KernelPolicy>| {
+        let mut run = || match policy {
+            Some(p) => kernels::with_policy(p, || sys.solve(&r, &mut hw)),
+            None => sys.solve(&r, &mut hw),
+        };
+        run().expect("solvable system"); // warmup
+        let reps = 7;
+        let mut times = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t = Instant::now();
+            black_box(run().expect("solvable system"));
+            times.push(t.elapsed().as_secs_f64());
+        }
+        median(times)
+    };
+    let plain_secs = time_policy(Some(KernelPolicy::plain()));
+    let tiled_secs = time_policy(None);
+    NewtonRow {
+        m: lp.num_constraints(),
+        n: lp.num_vars(),
+        plain_secs,
+        tiled_secs,
+    }
+}
+
+/// One extra naive/tiled matvec@512 pair, timed back-to-back, for the
+/// gate retrials.
+fn gate_matvec_trial() -> (f64, f64) {
+    let m = 512;
+    let a = test_matrix(m, m, 1);
+    let x = test_vec(m, 3);
+    let mut y = vec![0.0; m];
+    let flops = 2 * (m * m) as u64;
+    with_threads(1, || {
+        (
+            gflops(flops, || naive_matvec(&a, black_box(&x), &mut y)),
+            gflops(flops, || {
+                black_box(a.matvec(black_box(&x)));
+            }),
+        )
+    })
+}
+
+/// Measured inputs behind `MIN_FLOPS_PER_THREAD`: the single-thread tiled
+/// matvec rate and the wall cost of dispatching a two-worker band split,
+/// whose product (flops retired during one dispatch) is the break-even
+/// work a spawned worker must amortize.
+fn measure_cutoff(tiled_matvec_gflops: f64) -> (f64, f64) {
+    let mut buf = vec![0.0f64; 64];
+    let reps = 200;
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        parallel::par_bands(2, black_box(&mut buf), |_, band| {
+            black_box(band);
+        });
+        times.push(t.elapsed().as_secs_f64());
+    }
+    let overhead = median(times);
+    let implied = tiled_matvec_gflops * 1e9 * overhead;
+    (overhead, implied)
+}
+
+fn main() {
+    println!("register-tiled kernel microbench (single-thread rates, GF/s)");
+    println!();
+    println!(
+        "{:>12} {:>5} {:>12} {:>8} {:>8} {:>8} {:>9}",
+        "kernel", "m", "flops", "naive", "plain", "tiled", "tiled/nv"
+    );
+    let rows = measure_kernels();
+    for r in &rows {
+        println!(
+            "{:>12} {:>5} {:>12} {:>8.2} {:>8.2} {:>8.2} {:>8.2}x",
+            r.kernel,
+            r.m,
+            r.flops,
+            r.naive,
+            r.plain,
+            r.tiled,
+            r.speedup()
+        );
+    }
+
+    println!();
+    println!("end-to-end dense-path Newton iteration (default threads)");
+    let newton: Vec<NewtonRow> = SIZES.iter().map(|&m| measure_newton(m)).collect();
+    for r in &newton {
+        println!(
+            "  transport m={:<4} n={:<5} plain {:>10}  tiled {:>10}  ({:.2}x)",
+            r.m,
+            r.n,
+            fmt_time(r.plain_secs),
+            fmt_time(r.tiled_secs),
+            r.plain_secs / r.tiled_secs
+        );
+    }
+
+    let gate_row = rows
+        .iter()
+        .find(|r| r.kernel == "matvec" && r.m == 512)
+        .expect("gate row present");
+    let (overhead, implied) = measure_cutoff(gate_row.tiled);
+    println!();
+    println!(
+        "threading cutoff: {:.2} GF/s x {:.1} µs dispatch = {:.0} flops \
+         (MIN_FLOPS_PER_THREAD = {MIN_FLOPS_PER_THREAD})",
+        gate_row.tiled,
+        overhead * 1e6,
+        implied
+    );
+
+    // The flop-rate assertion: every measured rate must be physically
+    // sane, or the flops model in some row is wrong.
+    for r in &rows {
+        for (variant, rate) in [("naive", r.naive), ("plain", r.plain), ("tiled", r.tiled)] {
+            assert!(
+                rate.is_finite() && (0.01..1000.0).contains(&rate),
+                "{}@{} {variant}: {rate} GF/s is not a believable flop rate",
+                r.kernel,
+                r.m
+            );
+        }
+    }
+
+    // The gate is best-of-3: on a shared 1-vCPU runner the single-shot
+    // ratio swings tens of percent with host steal, which deflates the
+    // naive and tiled timings asymmetrically. Each retrial re-times the
+    // naive/tiled pair back-to-back and the gate takes the best trial —
+    // transient host load cannot fail a genuinely 2x kernel, while a
+    // kernel that truly lost the speedup fails all three.
+    let mut gate_trials = vec![(gate_row.naive, gate_row.tiled)];
+    while gate_trials.len() < 3
+        && !gate_trials
+            .iter()
+            .any(|&(nv, td)| td / nv >= GATE_MIN_SPEEDUP)
+    {
+        gate_trials.push(gate_matvec_trial());
+    }
+    let (gate_naive, gate_tiled) = gate_trials
+        .iter()
+        .copied()
+        .max_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)))
+        .expect("at least one gate trial");
+    let gate_speedup = gate_tiled / gate_naive;
+    let gate_pass = gate_speedup >= GATE_MIN_SPEEDUP;
+    println!(
+        "gate matvec@512 tiled vs naive: {gate_speedup:.2}x over {} trial(s) \
+         (need >= {GATE_MIN_SPEEDUP}x)",
+        gate_trials.len()
+    );
+
+    // --- BENCH_kernels.json at the repository root.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"kernel_tiles\",\n");
+    json.push_str("  \"suite\": \"register-tiled digital kernels, single-thread flop rates\",\n");
+    json.push_str(&format!("  \"gate_min_speedup\": {GATE_MIN_SPEEDUP},\n"));
+    json.push_str("  \"gate_row\": \"matvec@512 tiled vs naive scalar\",\n");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"flops\": {}, \
+             \"naive_gflops\": {:.3}, \"plain_gflops\": {:.3}, \
+             \"tiled_gflops\": {:.3}, \"speedup_vs_naive\": {:.3}}}{}\n",
+            r.kernel,
+            r.m,
+            r.flops,
+            r.naive,
+            r.plain,
+            r.tiled,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"newton_iteration\": [\n");
+    for (i, r) in newton.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"domain\": \"transport\", \"path\": \"dense\", \"m\": {}, \"n\": {}, \
+             \"plain_secs\": {:.6}, \"tiled_secs\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            r.m,
+            r.n,
+            r.plain_secs,
+            r.tiled_secs,
+            r.plain_secs / r.tiled_secs,
+            if i + 1 < newton.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"threading_cutoff\": {{\"min_flops_per_thread\": {MIN_FLOPS_PER_THREAD}, \
+         \"tiled_matvec_gflops\": {:.3}, \"dispatch_overhead_secs\": {:.3e}, \
+         \"implied_cutoff_flops\": {:.0}, \"method\": \"single-thread tiled matvec rate \
+         times the measured two-worker par_bands dispatch wall cost; the constant is \
+         that product rounded up to a power of two so a spawned worker amortizes at \
+         least one dispatch of work\"}},\n",
+        gate_row.tiled, overhead, implied
+    ));
+    json.push_str("  \"gate_trials\": [\n");
+    for (i, (nv, td)) in gate_trials.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"naive_gflops\": {nv:.3}, \"tiled_gflops\": {td:.3}, \
+             \"speedup\": {:.3}}}{}\n",
+            td / nv,
+            if i + 1 < gate_trials.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"gate_speedup\": {gate_speedup:.3},\n"));
+    json.push_str(&format!("  \"gate_pass\": {gate_pass}\n}}\n"));
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_kernels.json");
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    println!("wrote {}", path.display());
+
+    assert!(
+        gate_pass,
+        "kernel gate failed: tiled m=512 matvec is {gate_speedup:.2}x the naive \
+         scalar baseline (need >= {GATE_MIN_SPEEDUP}x)"
+    );
+}

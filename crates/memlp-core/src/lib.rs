@@ -55,7 +55,7 @@ mod transform;
 
 pub use hw::HwContext;
 pub use large_scale::{LargeScaleOptions, LargeScaleSolver};
-pub use newton::{AugmentedDirections, AugmentedSystem};
+pub use newton::{AugmentedDirections, AugmentedSystem, DENSE_CORE_LIMIT_BYTES};
 pub use recovery::{RecoveryEvent, RecoveryPolicy, RecoveryReport};
 pub use solver::{CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions};
 pub use trace::{FactorStats, IterationRecord, SolverTrace, WriteStats};

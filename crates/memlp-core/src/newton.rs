@@ -28,7 +28,7 @@
 use memlp_crossbar::Phase;
 use memlp_linalg::{LuFactors, Matrix, SparseLu, SparseMatrix};
 use memlp_lp::LpProblem;
-use memlp_solvers::pdip::{PdipState, SolvePath, StepDirections};
+use memlp_solvers::pdip::{CoreSolveError, PdipState, SolvePath, StepDirections};
 
 use crate::hw::HwContext;
 use crate::transform::SignSplit;
@@ -54,6 +54,20 @@ mod key {
     pub const XD: u32 = 15;
     pub const WD: u32 = 16;
     pub const YD: u32 = 17;
+}
+
+/// Allocation guard for the dense core path: the `(n+m)²` base buffer and
+/// its per-iteration working copy each stay below this many bytes, or the
+/// dense factorization refuses with [`CoreSolveError::CoreTooLarge`]
+/// instead of attempting the allocation. 2 GiB admits cores up to
+/// `n + m ≈ 16 000` — comfortably past every dense-path domain this
+/// workspace ships — while refusing the ~35 GB core of assignment@512
+/// (`n = 256² = 65 536`), whose sparse core fits in a few hundred MB.
+pub const DENSE_CORE_LIMIT_BYTES: u64 = 2 * 1024 * 1024 * 1024;
+
+/// Bytes the dense `(dim)²` core buffer would need.
+fn dense_core_bytes(dim: usize) -> u64 {
+    8 * dim as u64 * dim as u64
 }
 
 /// The realized augmented system: static blocks written once, diagonal
@@ -94,10 +108,11 @@ pub struct AugmentedSystem {
     ax_eff: Matrix,
     ay_eff: Matrix,
     /// The `(n+m)²` core with the **static** blocks (`ax_eff`, `ay_eff`)
-    /// pre-placed and the diagonal coupling blocks zeroed. Built once per
-    /// (re)programming by [`Self::rebuild_effective`]; each per-iteration
-    /// solve copies it and overwrites only the two diagonal blocks instead
-    /// of reassembling the matrix from its blocks.
+    /// pre-placed and the diagonal coupling blocks zeroed. Built **lazily**
+    /// on the first dense core solve after a (re)programming — never for a
+    /// sparse-only run, and never past [`DENSE_CORE_LIMIT_BYTES`] — then
+    /// each per-iteration solve copies it and overwrites only the two
+    /// diagonal blocks instead of reassembling the matrix from its blocks.
     core_base: Matrix,
     /// Reduce-and-solve scratch buffers, reused across iterations.
     scratch: SolveScratch,
@@ -278,13 +293,13 @@ impl AugmentedSystem {
                 self.ay_eff[(i, j)] -= self.atn[(i, rr)] * f;
             }
         }
-        let dim = n + m;
-        self.core_base = Matrix::zeros(dim, dim);
-        self.core_base.set_block(0, 0, &self.ax_eff);
-        self.core_base.set_block(m, n, &self.ay_eff);
         // The realized off-diagonal values (and possibly the realized
-        // pattern, under faults/repairs) just changed; the sparse core must
-        // be rebuilt and re-analyzed from the new statics.
+        // pattern, under faults/repairs) just changed; both cached cores
+        // must be rebuilt from the new statics. The dense base is rebuilt
+        // lazily by the next dense solve — eagerly allocating it here would
+        // commit `8(n+m)²` bytes even for runs the sparse path serves
+        // entirely (the assignment@512 wall).
+        self.core_base = Matrix::default();
         self.sparse_core = None;
     }
 
@@ -477,9 +492,20 @@ impl AugmentedSystem {
     /// The analog solve `M̃·Δs = r` (DAC-quantized `r`, ADC-quantized
     /// `Δs`), computed by exact block elimination of the realized system.
     ///
-    /// Returns `None` when the realized system is singular — the §4.3
-    /// variation-induced failure mode the caller handles by re-solving.
-    pub fn solve(&mut self, r: &[f64], hw: &mut HwContext) -> Option<AugmentedDirections> {
+    /// # Errors
+    ///
+    /// [`CoreSolveError::Singular`] when the realized system is singular —
+    /// the §4.3 variation-induced failure mode the caller handles by
+    /// re-solving. [`CoreSolveError::CoreTooLarge`] when the dense
+    /// factorization was required (an explicit [`SolvePath::Dense`], or a
+    /// sparse breakdown with no feasible dense fallback) but the core
+    /// exceeds [`DENSE_CORE_LIMIT_BYTES`]; under [`SolvePath::Auto`] an
+    /// oversized core reroutes to the sparse path instead.
+    pub fn solve(
+        &mut self,
+        r: &[f64],
+        hw: &mut HwContext,
+    ) -> Result<AugmentedDirections, CoreSolveError> {
         assert_eq!(r.len(), self.dim(), "rhs must span the full system");
         let (n, m) = (self.n, self.m);
         let kx = self.ipx.len();
@@ -505,7 +531,7 @@ impl AugmentedSystem {
             .chain(&self.ipy)
         {
             if *d == 0.0 {
-                return None;
+                return Err(CoreSolveError::Singular);
             }
         }
 
@@ -566,15 +592,30 @@ impl AugmentedSystem {
         // writes). A sparse breakdown — the static-pivot elimination
         // meeting a realized-singular pivot — falls back to the dense
         // factorization for the iteration, so path selection can never make
-        // a solvable realized system fail.
-        let sparse = if self.path.use_sparse(self.density) {
+        // a solvable realized system fail. The dense buffers are gated by
+        // [`DENSE_CORE_LIMIT_BYTES`]: an oversized core under `Auto` (or
+        // `Sparse`-with-fallback) reroutes to the sparse path instead of
+        // attempting the allocation, and an explicit `Dense` reports
+        // `CoreTooLarge` to the caller.
+        let dim = n + m;
+        let dense_fits = dense_core_bytes(dim) <= DENSE_CORE_LIMIT_BYTES;
+        let too_large = || CoreSolveError::CoreTooLarge {
+            dim,
+            bytes: dense_core_bytes(dim),
+            limit: DENSE_CORE_LIMIT_BYTES,
+        };
+        if self.path == SolvePath::Dense && !dense_fits {
+            return Err(too_large());
+        }
+        let sparse = if self.path.use_sparse(self.density) || !dense_fits {
             self.solve_core_sparse(hw)
         } else {
             None
         };
         let core = match sparse {
             Some(c) => c,
-            None => self.solve_core_dense(hw)?,
+            None if dense_fits => self.solve_core_dense(hw).ok_or(CoreSolveError::Singular)?,
+            None => return Err(too_large()),
         };
         let dx = core[..n].to_vec();
         let dy = core[n..].to_vec();
@@ -610,7 +651,7 @@ impl AugmentedSystem {
         self.scratch.full.extend_from_slice(&dv);
         self.scratch.full.extend_from_slice(&dp);
         if !self.scratch.full.iter().all(|v| v.is_finite()) {
-            return None;
+            return Err(CoreSolveError::Singular);
         }
         let fullq = hw.adc_blocks(&self.scratch.full, &[n, m, m, n, m, n, kx + ky]);
         let g = hw.conductance_estimate(self.cells, 1.0, 1.0);
@@ -623,7 +664,7 @@ impl AugmentedSystem {
         let du = fullq[2 * n + 2 * m..2 * n + 3 * m].to_vec();
         let dv = fullq[2 * n + 3 * m..3 * n + 3 * m].to_vec();
         let dp = fullq[3 * n + 3 * m..].to_vec();
-        Some(AugmentedDirections {
+        Ok(AugmentedDirections {
             dirs: StepDirections { dx, dy, dw, dz },
             du,
             dv,
@@ -637,6 +678,14 @@ impl AugmentedSystem {
     fn solve_core_dense(&mut self, hw: &mut HwContext) -> Option<Vec<f64>> {
         let (n, m) = (self.n, self.m);
         let dim = n + m;
+        if self.core_base.rows() != dim {
+            // Lazy (re)build of the static base — see `rebuild_effective`.
+            // The caller has already checked `DENSE_CORE_LIMIT_BYTES`.
+            let mut base = Matrix::zeros(dim, dim);
+            base.set_block(0, 0, &self.ax_eff);
+            base.set_block(m, n, &self.ay_eff);
+            self.core_base = base;
+        }
         if self.scratch.k.rows() != dim {
             self.scratch.k = Matrix::zeros(dim, dim);
         }

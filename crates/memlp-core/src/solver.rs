@@ -406,8 +406,10 @@ impl CrossbarPdipSolver {
             // system ends the attempt; classify by the residual level (an
             // infeasible run drives the complementarity diagonals into a
             // structurally singular corner long before the iterates
-            // formally diverge).
-            let Some(aug) = system.solve(&r, hw) else {
+            // formally diverge). A `CoreTooLarge` refusal is routed the
+            // same way: under `Auto` it only surfaces when the sparse path
+            // also broke down, which is the singular-corner signature.
+            let Ok(aug) = system.solve(&r, hw) else {
                 // Require a dozen iterations of history so a transient
                 // early singularity on a feasible problem is retried
                 // rather than misread as a certificate.

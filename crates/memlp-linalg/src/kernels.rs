@@ -1,0 +1,550 @@
+//! Register-tiled, autovectorizer-friendly microkernels for the dense hot
+//! paths (and the blocked CSR SpMV), plus the [`KernelPolicy`] that selects
+//! tile shapes at the `Matrix`/CSR entry points.
+//!
+//! # Why tiles help on this workload
+//!
+//! The workspace forbids `unsafe`, so there are no intrinsics here: every
+//! kernel is plain indexed Rust shaped so LLVM's autovectorizer emits SIMD.
+//! The scalar kernels (one output element at a time, a single 4-lane
+//! accumulator tree) already vectorize, but they are latency-bound: one
+//! f64 add chain per lane leaves most of the FP pipes idle. A register
+//! tile computes `MR` output rows (matvec) or an `MR × NR` output block
+//! (matmul / LU trailing update) per pass, which
+//!
+//! 1. multiplies the number of independent accumulation chains (`MR × 4`
+//!    lanes for matvec) so FP latency is hidden, and
+//! 2. shares each loaded `x`/`B`-row chunk across all `MR` rows, cutting
+//!    memory traffic per flop.
+//!
+//! # Determinism across tile shapes (and threads)
+//!
+//! Every kernel obeys one discipline, inherited from [`crate::ops::dot`]:
+//!
+//! * **Reductions** (matvec, scaled-Gram rows, SpMV rows) use exactly four
+//!   accumulator lanes — lane `l` sums the elements at indices
+//!   `≡ l (mod 4)` in order — combined as `(s0 + s1) + (s2 + s3)`, with a
+//!   sequential tail. The lane assignment is a pure function of the
+//!   problem shape, never of `MR`/`NR` or the thread count.
+//! * **Updates** (matmul, LU trailing update) accumulate each output
+//!   element sequentially over the inner `k` index, seeded from the
+//!   element's current value. Tiling groups *outputs* into register
+//!   blocks; it never reorders the per-element sum.
+//!
+//! Because per-element arithmetic order is fixed, every supported tile
+//! shape — including the plain-loop fallback below the flop cutoff — is
+//! **bit-for-bit identical**, and tiling composes freely with the fixed
+//! band partitions of [`crate::parallel`]. The `kernel_properties` and
+//! `threaded` test suites pin both properties.
+//!
+//! # Packing
+//!
+//! Kernels that cannot read their operands contiguously (the scaled-Gram
+//! row scaling, the LU trailing update's strided `L21` panel) first pack
+//! them into a reusable thread-local scratch buffer via
+//! [`with_pack_buffer`] — the same buffer-recycling approach as the
+//! solver-side scratch workspaces, so steady-state iterations do not
+//! allocate.
+
+use std::cell::Cell;
+
+/// Accumulator lanes per reduction — the fixed fan-out of the workspace's
+/// summation tree (see [`crate::ops::dot`]). Never varies with the policy.
+pub const LANES: usize = 4;
+
+/// Default flop count below which the tiled paths stand down and the plain
+/// scalar loops run instead (dispatch and remainder handling cost more
+/// than they save on tiny operands). Both paths are bitwise-identical, so
+/// the cutoff is a pure performance knob.
+pub const TILE_CUTOFF_FLOPS: usize = 2048;
+
+/// Scratch budget for [`gemm_acc`]'s packed `B` column blocks. Sized to
+/// the L2 a single worker can call its own on the machines this workspace
+/// targets: big enough that the LU trailing update's whole `U₁₂`
+/// (`panel width × remaining columns`, a few hundred KB up to the
+/// [`DENSE`-guarded](crate) core sizes) packs in one block — the i-sweep
+/// then streams `C` exactly once — while a worst-case square matmul
+/// degrades to a few blocks instead of an unbounded allocation.
+pub const PACK_BUDGET_BYTES: usize = 4 * 1024 * 1024;
+
+thread_local! {
+    /// Test/bench override installed by [`with_policy`].
+    static OVERRIDE: Cell<Option<KernelPolicy>> = const { Cell::new(None) };
+    /// Reusable packing scratch; taken/restored so nested users degrade to
+    /// a fresh allocation instead of aliasing.
+    static PACK: Cell<Vec<f64>> = const { Cell::new(Vec::new()) };
+}
+
+/// Tile-shape selection for the dense microkernels.
+///
+/// The policy is resolved at each `Matrix`/CSR entry point
+/// ([`KernelPolicy::resolve`]): a thread-local override installed by
+/// [`with_policy`] (how the invariance tests and the kernel microbench
+/// pin shapes) falls back to [`KernelPolicy::tiled`]. All supported
+/// shapes produce bit-for-bit identical results; unsupported shapes fall
+/// back to the plain loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelPolicy {
+    /// Output rows per register tile. Supported: 1 (plain), 2, 4, 8.
+    pub mr: usize,
+    /// Output columns per matmul/trailing-update register tile.
+    /// Supported: 4, 8. Ignored when `mr` is 1.
+    pub nr: usize,
+    /// Total-flop threshold below which the plain loops run.
+    pub tile_cutoff_flops: usize,
+}
+
+impl Default for KernelPolicy {
+    fn default() -> Self {
+        KernelPolicy::tiled()
+    }
+}
+
+impl KernelPolicy {
+    /// The production policy: MR = 4 row tiles, 4×8 matmul tiles. Measured
+    /// on the kernel microbench as the best all-round shape (see
+    /// DESIGN.md §14).
+    pub const fn tiled() -> Self {
+        KernelPolicy {
+            mr: 4,
+            nr: 8,
+            tile_cutoff_flops: TILE_CUTOFF_FLOPS,
+        }
+    }
+
+    /// The plain-loop reference: no register tiling at any size. Bitwise
+    /// identical to every tiled shape; used as the comparison baseline by
+    /// the property tests and the microbench.
+    pub const fn plain() -> Self {
+        KernelPolicy {
+            mr: 1,
+            nr: LANES,
+            tile_cutoff_flops: usize::MAX,
+        }
+    }
+
+    /// Resolves the active policy: [`with_policy`] override → tiled
+    /// default.
+    pub fn resolve() -> Self {
+        OVERRIDE.with(Cell::get).unwrap_or_default()
+    }
+
+    /// The row-tile height to use for a reduction kernel costing `flops`
+    /// in total: 1 below the cutoff or for unsupported `mr`.
+    pub fn row_tile(self, flops: usize) -> usize {
+        if flops < self.tile_cutoff_flops {
+            return 1;
+        }
+        match self.mr {
+            2 | 4 | 8 => self.mr,
+            _ => 1,
+        }
+    }
+
+    /// The `(MR, NR)` register-tile shape for an update kernel costing
+    /// `flops` in total; `(1, _)` selects the plain loops.
+    pub fn gemm_tile(self, flops: usize) -> (usize, usize) {
+        if flops < self.tile_cutoff_flops {
+            return (1, LANES);
+        }
+        match (self.mr, self.nr) {
+            (2, 4) | (2, 8) | (4, 4) | (4, 8) | (8, 4) => (self.mr, self.nr),
+            _ => (1, LANES),
+        }
+    }
+}
+
+/// Runs `f` with the calling thread's kernel policy forced to `policy`,
+/// restoring the previous override after — the tile-shape analogue of
+/// [`crate::parallel::with_threads`].
+pub fn with_policy<T>(policy: KernelPolicy, f: impl FnOnce() -> T) -> T {
+    let prev = OVERRIDE.with(|c| c.replace(Some(policy)));
+    struct Restore(Option<KernelPolicy>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Hands `f` a zeroed scratch slice of length `len` drawn from a reusable
+/// thread-local buffer. The buffer is *taken* for the duration of `f`, so
+/// a nested call simply allocates fresh instead of aliasing; worker
+/// threads of the parallel pool each carry their own buffer.
+pub fn with_pack_buffer<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    PACK.with(|cell| {
+        let mut buf = cell.take();
+        buf.clear();
+        buf.resize(len, 0.0);
+        let out = f(&mut buf);
+        cell.set(buf);
+        out
+    })
+}
+
+// --- dense matvec -------------------------------------------------------
+
+/// `y[r] = A[r, :] · x` for `y.len()` consecutive rows of a row-major
+/// band `a` (row stride = `cols`), register-tiled `mr` rows at a time.
+/// Every row is an independent 4-lane dot, so the result is bitwise
+/// independent of `mr`.
+pub fn matvec_rows(mr: usize, a: &[f64], cols: usize, x: &[f64], y: &mut [f64]) {
+    let rows = y.len();
+    debug_assert!(a.len() >= rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    let mut i = 0;
+    match mr {
+        2 => {
+            while i + 2 <= rows {
+                matvec_tile::<2>(&a[i * cols..], cols, x, &mut y[i..i + 2]);
+                i += 2;
+            }
+        }
+        4 => {
+            while i + 4 <= rows {
+                matvec_tile::<4>(&a[i * cols..], cols, x, &mut y[i..i + 4]);
+                i += 4;
+            }
+        }
+        8 => {
+            while i + 8 <= rows {
+                matvec_tile::<8>(&a[i * cols..], cols, x, &mut y[i..i + 8]);
+                i += 8;
+            }
+        }
+        _ => {}
+    }
+    while i < rows {
+        y[i] = crate::ops::dot(&a[i * cols..(i + 1) * cols], x);
+        i += 1;
+    }
+}
+
+/// One `MR`-row register tile: `MR × LANES` accumulators, one shared `x`
+/// chunk per step. Per row this is exactly the [`crate::ops::dot`] lane
+/// tree, so remainder rows handled by `dot` agree bitwise.
+#[inline]
+fn matvec_tile<const MR: usize>(a: &[f64], cols: usize, x: &[f64], y: &mut [f64]) {
+    let chunks = cols / LANES;
+    let mut acc = [[0.0f64; LANES]; MR];
+    for c in 0..chunks {
+        let b = c * LANES;
+        let xc = &x[b..b + LANES];
+        for r in 0..MR {
+            let ac = &a[r * cols + b..r * cols + b + LANES];
+            for l in 0..LANES {
+                acc[r][l] += ac[l] * xc[l];
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        let mut s = (acc_r[0] + acc_r[1]) + (acc_r[2] + acc_r[3]);
+        for j in LANES * chunks..cols {
+            s += a[r * cols + j] * x[j];
+        }
+        y[r] = s;
+    }
+}
+
+// --- matmul / trailing-update accumulation ------------------------------
+
+/// `C[r, j] += Σ_k A[r, k] · B[k, j]` over `rows × n` outputs, with row
+/// strides `ldc`/`lda`/`ldb` (`B` is read at column offset 0). Each
+/// output element is seeded from its current value and accumulated
+/// **sequentially over `k`**, so the result is bitwise independent of the
+/// `(mr, nr)` register-tile shape — and identical to the plain i-k-j
+/// loops. The LU trailing update reuses this with a pre-negated packed
+/// `A` (IEEE negation is exact, so `C += (−L)·U` is bitwise `C −= L·U`).
+///
+/// The tiled region packs `B` into `k × NR` column panels, as many at a
+/// time as fit [`PACK_BUDGET_BYTES`] of scratch, then sweeps the row
+/// tiles over each packed column block. The pack fixes the `B` walk — the
+/// unpacked tile reads `B` at stride `8·ldb` per `k` step, a fresh cache
+/// line (and, past ~4 KB rows, a fresh page) every step, where packed
+/// panels stream linearly and are reused by every row tile. The i-outer
+/// sweep inside a block keeps `C`'s access prefetch-friendly: each tile's
+/// `MR` output rows are revisited across consecutive panels rather than
+/// the whole `C` being re-strided per panel (the large-`C` trailing
+/// update is latency-bound exactly there). For the LU trailing shape
+/// (`k` = panel width, `B` a few hundred KB) one block covers all of `B`.
+/// Packing is a pure copy, so it cannot change the bits; tiles own
+/// disjoint outputs, so the block and panel order cannot either.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_acc(
+    (mr, nr): (usize, usize),
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+) {
+    debug_assert!(rows == 0 || c.len() >= (rows - 1) * ldc + n);
+    debug_assert!(rows == 0 || a.len() >= (rows - 1) * lda + k);
+    debug_assert!(k == 0 || b.len() >= (k - 1) * ldb + n);
+    let (rt, nt) = match (mr, nr) {
+        (2, 4) | (2, 8) | (4, 4) | (4, 8) | (8, 4) => (rows / mr * mr, n / nr * nr),
+        _ => (0, 0),
+    };
+    if rt > 0 && nt > 0 {
+        // Whole NR-panels per column block, at least one even when a
+        // single panel overruns the budget (`k` very large).
+        let panels = (PACK_BUDGET_BYTES / 8 / (k * nr)).max(1);
+        let jc = (panels * nr).min(nt);
+        with_pack_buffer(k * jc, |bp| {
+            let mut jb = 0;
+            while jb < nt {
+                let jw = jc.min(nt - jb);
+                for p in 0..jw / nr {
+                    let j0 = jb + p * nr;
+                    let dst = &mut bp[p * k * nr..(p + 1) * k * nr];
+                    for kk in 0..k {
+                        dst[kk * nr..(kk + 1) * nr]
+                            .copy_from_slice(&b[kk * ldb + j0..kk * ldb + j0 + nr]);
+                    }
+                }
+                let mut i0 = 0;
+                while i0 < rt {
+                    for p in 0..jw / nr {
+                        let j0 = jb + p * nr;
+                        let panel = &bp[p * k * nr..(p + 1) * k * nr];
+                        let ct = &mut c[i0 * ldc + j0..];
+                        let at = &a[i0 * lda..];
+                        match (mr, nr) {
+                            (2, 4) => gemm_tile::<2, 4>(ct, ldc, at, lda, panel, k),
+                            (2, 8) => gemm_tile::<2, 8>(ct, ldc, at, lda, panel, k),
+                            (4, 4) => gemm_tile::<4, 4>(ct, ldc, at, lda, panel, k),
+                            (4, 8) => gemm_tile::<4, 8>(ct, ldc, at, lda, panel, k),
+                            (8, 4) => gemm_tile::<8, 4>(ct, ldc, at, lda, panel, k),
+                            _ => unreachable!("tile region is empty for unsupported shapes"),
+                        }
+                    }
+                    i0 += mr;
+                }
+                jb += jw;
+            }
+        });
+    }
+    // Column remainder of the tiled rows, then the row remainder (the
+    // whole matrix when the plain path is selected).
+    gemm_plain(c, ldc, a, lda, b, ldb, 0..rt, nt..n, k);
+    gemm_plain(c, ldc, a, lda, b, ldb, rt..rows, 0..n, k);
+}
+
+/// Plain i-k-j accumulation over a rectangular output region; the
+/// remainder path of [`gemm_acc`] and its full plain fallback.
+#[allow(clippy::too_many_arguments)]
+fn gemm_plain(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+    k: usize,
+) {
+    if cols.is_empty() {
+        return;
+    }
+    for i in rows {
+        let crow = &mut c[i * ldc + cols.start..i * ldc + cols.end];
+        let arow = &a[i * lda..i * lda + k];
+        for (kk, &aik) in arow.iter().enumerate() {
+            let brow = &b[kk * ldb + cols.start..kk * ldb + cols.end];
+            for (cij, &bkj) in crow.iter_mut().zip(brow) {
+                *cij += aik * bkj;
+            }
+        }
+    }
+}
+
+/// One `MR × NR` register tile of [`gemm_acc`]: `c` and `a` are
+/// pre-offset to the tile's top-left corner (row strides `ldc`/`lda`
+/// still apply), `bp` a packed `k × NR` panel (row stride `NR`) whose
+/// chunks are shared across the `MR` rows, `k` strictly sequential.
+#[inline]
+fn gemm_tile<const MR: usize, const NR: usize>(
+    c: &mut [f64],
+    ldc: usize,
+    a: &[f64],
+    lda: usize,
+    bp: &[f64],
+    k: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (r, acc_r) in acc.iter_mut().enumerate() {
+        acc_r.copy_from_slice(&c[r * ldc..r * ldc + NR]);
+    }
+    for kk in 0..k {
+        let bc = &bp[kk * NR..(kk + 1) * NR];
+        for r in 0..MR {
+            let ar = a[r * lda + kk];
+            for l in 0..NR {
+                acc[r][l] += ar * bc[l];
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        c[r * ldc..r * ldc + NR].copy_from_slice(acc_r);
+    }
+}
+
+// --- blocked CSR SpMV ---------------------------------------------------
+
+/// One CSR row's dot product, blocked over the nonzero span: the same
+/// fixed 4-lane tree as [`crate::ops::dot`], with gathered `x` loads.
+/// Four independent chains hide the gather + FP-add latency that made the
+/// single-accumulator loop serial. The discipline is fixed (not
+/// policy-dependent), so sparse results never vary with tile shape.
+#[inline]
+pub fn spmv_row(values: &[f64], col_idx: &[usize], x: &[f64]) -> f64 {
+    debug_assert_eq!(values.len(), col_idx.len());
+    let nnz = values.len();
+    let chunks = nnz / LANES;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for cnk in 0..chunks {
+        let p = cnk * LANES;
+        s0 += values[p] * x[col_idx[p]];
+        s1 += values[p + 1] * x[col_idx[p + 1]];
+        s2 += values[p + 2] * x[col_idx[p + 2]];
+        s3 += values[p + 3] * x[col_idx[p + 3]];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for p in LANES * chunks..nnz {
+        s += values[p] * x[col_idx[p]];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn seq(n: usize, scale: f64, shift: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64).mul_add(scale, shift)).collect()
+    }
+
+    #[test]
+    fn default_policy_is_tiled() {
+        assert_eq!(KernelPolicy::resolve(), KernelPolicy::tiled());
+    }
+
+    #[test]
+    fn with_policy_overrides_and_restores() {
+        let outer = with_policy(KernelPolicy::plain(), || {
+            let inner = with_policy(KernelPolicy::tiled(), KernelPolicy::resolve);
+            assert_eq!(inner, KernelPolicy::tiled());
+            KernelPolicy::resolve()
+        });
+        assert_eq!(outer, KernelPolicy::plain());
+        assert_eq!(KernelPolicy::resolve(), KernelPolicy::tiled());
+    }
+
+    #[test]
+    fn cutoff_selects_plain_loops() {
+        let p = KernelPolicy::tiled();
+        assert_eq!(p.row_tile(p.tile_cutoff_flops - 1), 1);
+        assert_eq!(p.row_tile(p.tile_cutoff_flops), 4);
+        assert_eq!(p.gemm_tile(0), (1, LANES));
+        assert_eq!(p.gemm_tile(usize::MAX), (4, 8));
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back_to_plain() {
+        let p = KernelPolicy {
+            mr: 3,
+            nr: 5,
+            tile_cutoff_flops: 0,
+        };
+        assert_eq!(p.row_tile(usize::MAX), 1);
+        assert_eq!(p.gemm_tile(usize::MAX), (1, LANES));
+    }
+
+    #[test]
+    fn pack_buffer_is_zeroed_and_reused() {
+        with_pack_buffer(4, |b| b.fill(7.0));
+        with_pack_buffer(8, |b| assert!(b.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn matvec_rows_matches_dot_for_every_tile_height() {
+        let (rows, cols) = (13, 19); // crosses every MR and LANES boundary
+        let a = seq(rows * cols, 0.37, -3.0);
+        let x = seq(cols, -0.11, 1.0);
+        let mut reference = vec![0.0; rows];
+        matvec_rows(1, &a, cols, &x, &mut reference);
+        for i in 0..rows {
+            assert_eq!(
+                reference[i],
+                crate::ops::dot(&a[i * cols..(i + 1) * cols], &x)
+            );
+        }
+        for mr in [2, 4, 8] {
+            let mut y = vec![0.0; rows];
+            matvec_rows(mr, &a, cols, &x, &mut y);
+            assert_eq!(bits(&y), bits(&reference), "mr={mr}");
+        }
+    }
+
+    #[test]
+    fn gemm_acc_matches_plain_for_every_tile_shape() {
+        let (rows, n, k) = (11, 14, 9); // not multiples of any MR/NR
+        let a = seq(rows * k, 0.21, -1.0);
+        let b = seq(k * n, -0.13, 0.5);
+        let seed = seq(rows * n, 0.05, 0.2);
+        let mut reference = seed.clone();
+        gemm_acc((1, LANES), &mut reference, n, &a, k, &b, n, rows, n, k);
+        for tile in [(2, 4), (2, 8), (4, 4), (4, 8), (8, 4)] {
+            let mut c = seed.clone();
+            gemm_acc(tile, &mut c, n, &a, k, &b, n, rows, n, k);
+            assert_eq!(bits(&c), bits(&reference), "tile={tile:?}");
+        }
+    }
+
+    #[test]
+    fn gemm_acc_respects_row_strides() {
+        // Embed a 3x2 update inside wider C/A buffers (ldc/lda > n/k).
+        let (rows, n, k, ldc, lda) = (3, 2, 4, 5, 7);
+        let a = seq(rows * lda, 0.3, -0.7);
+        let b = seq(k * n, 0.9, 0.1);
+        let mut c = seq(rows * ldc, 0.0, 1.0);
+        let untouched = c.clone();
+        gemm_acc((4, 8), &mut c, ldc, &a, lda, &b, n, rows, n, k);
+        for i in 0..rows {
+            for j in 0..n {
+                let mut want = 1.0;
+                for kk in 0..k {
+                    want += a[i * lda + kk] * b[kk * n + j];
+                }
+                assert_eq!(c[i * ldc + j], want);
+            }
+            // Slack columns beyond n are untouched.
+            for j in n..ldc {
+                assert_eq!(c[i * ldc + j], untouched[i * ldc + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_row_matches_lane_tree() {
+        let values = seq(11, 0.7, -2.0);
+        let col_idx: Vec<usize> = (0..11).map(|p| (p * 3) % 17).collect();
+        let x = seq(17, -0.2, 3.0);
+        let gathered: Vec<f64> = col_idx.iter().map(|&j| x[j]).collect();
+        assert_eq!(
+            spmv_row(&values, &col_idx, &x).to_bits(),
+            crate::ops::dot(&values, &gathered).to_bits()
+        );
+    }
+}

@@ -15,6 +15,9 @@
 //!   sparse LU with symbolic-analysis reuse, the structure-exploiting
 //!   digital path matching the paper's O(N)-per-iteration argument,
 //! * [`ops`] — vector kernels (dot, axpy, norms) on plain `&[f64]` slices,
+//! * [`kernels`] — register-tiled, autovectorizer-friendly microkernels
+//!   behind the dense and CSR entry points, with a [`KernelPolicy`]
+//!   selecting tile shapes (all shapes are bitwise-identical),
 //! * [`parallel`] — the scoped-thread execution layer the hot kernels
 //!   (LU trailing update, matvec, multi-column solves) schedule through,
 //!   governed by `MEMLP_THREADS`.
@@ -45,10 +48,12 @@ mod sparse;
 mod sparse_lu;
 
 pub mod iterative;
+pub mod kernels;
 pub mod ops;
 pub mod parallel;
 
 pub use error::LinalgError;
+pub use kernels::KernelPolicy;
 pub use lu::LuFactors;
 pub use matrix::Matrix;
 pub use norms::{cond_1_estimate, inf_norm_mat, one_norm_mat};

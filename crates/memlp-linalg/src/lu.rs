@@ -1,4 +1,5 @@
 use crate::error::{dim_mismatch, LinalgError};
+use crate::kernels::{self, KernelPolicy};
 use crate::matrix::Matrix;
 use crate::parallel::{self, Threads};
 
@@ -132,26 +133,31 @@ impl LuFactors {
                     row.copy_from_slice(&a.row(k + r)[rest..]);
                 }
                 // Each trailing row reads only its own L21 segment and
-                // writes only its own tail, so the update fans out across
-                // threads row-disjointly; the per-row arithmetic order is
-                // unchanged, keeping results bit-for-bit identical to the
-                // serial path at every thread count.
-                let threads = Threads::resolve().for_flops(2 * (n - rest) * nb * width);
+                // writes only its own tail, and every tail element
+                // accumulates sequentially over the panel index, so the
+                // update fans out across thread bands and register tiles
+                // with bit-for-bit identical results. Each band packs its
+                // (negated) L21 panel into the reusable scratch first —
+                // IEEE negation is exact, so `A22 += (−L21)·U12` matches
+                // the subtraction bit-for-bit — which both breaks the
+                // aliasing between the L21 columns and the updated tail
+                // and gives the tile kernel a contiguous operand.
+                let flops = 2 * (n - rest) * nb * width;
+                let tile = KernelPolicy::resolve().gemm_tile(flops);
+                let threads = Threads::resolve().for_flops(flops);
                 let cols = a.cols();
                 let tail_rows = &mut a.as_mut_slice()[rest * cols..];
-                parallel::par_chunks(threads, tail_rows, cols, |_, row| {
-                    // Split borrows: copy the L21 row segment, then axpy.
-                    let mut l21 = [0.0; BLOCK];
-                    l21[..nb].copy_from_slice(&row[k..rest]);
-                    let target = &mut row[rest..];
-                    for (r, &lir) in l21[..nb].iter().enumerate() {
-                        if lir != 0.0 {
-                            let urow = &u12[r * width..(r + 1) * width];
-                            for (t, &u) in target.iter_mut().zip(urow) {
-                                *t -= lir * u;
+                parallel::par_chunk_bands(threads, tail_rows, cols, |_, band| {
+                    let rows = band.len() / cols;
+                    kernels::with_pack_buffer(rows * nb, |l21| {
+                        for (seg, row) in l21.chunks_exact_mut(nb).zip(band.chunks_exact(cols)) {
+                            for (li, &v) in seg.iter_mut().zip(&row[k..rest]) {
+                                *li = -v;
                             }
                         }
-                    }
+                        let tails = &mut band[rest..];
+                        kernels::gemm_acc(tile, tails, cols, l21, nb, &u12, width, rows, width, nb);
+                    });
                 });
             }
             k += nb;

@@ -2,6 +2,7 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 
 use crate::error::{dim_mismatch, LinalgError};
+use crate::kernels::{self, KernelPolicy};
 use crate::parallel::{self, Threads};
 
 /// A dense, row-major matrix of `f64` values.
@@ -234,13 +235,14 @@ impl Matrix {
             self.cols
         );
         let mut y = vec![0.0; self.rows];
-        // Row-disjoint: each output element is one dot product, so banding
-        // the output across threads is bit-for-bit identical to serial.
-        let threads = Threads::resolve().for_flops(2 * self.rows * self.cols);
+        // Row-disjoint: each output element is one fixed-order dot product,
+        // so banding the output across threads — and register-tiling rows
+        // inside each band — is bit-for-bit identical to serial.
+        let flops = 2 * self.rows * self.cols;
+        let mr = KernelPolicy::resolve().row_tile(flops);
+        let threads = Threads::resolve().for_flops(flops);
         parallel::par_bands(threads, &mut y, |start, band| {
-            for (i, yi) in band.iter_mut().enumerate() {
-                *yi = crate::ops::dot(self.row(start + i), x);
-            }
+            kernels::matvec_rows(mr, &self.data[start * self.cols..], self.cols, x, band);
         });
         y
     }
@@ -296,19 +298,26 @@ impl Matrix {
         if c.data.is_empty() {
             return Ok(c);
         }
-        // Rows of C are independent; each keeps the serial i-k-j order.
-        let threads = Threads::resolve().for_flops(2 * self.rows * self.cols * b.cols);
-        parallel::par_chunks(threads, &mut c.data, b.cols, |i, crow| {
-            let arow = self.row(i);
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = b.row(k);
-                for (cij, &bkj) in crow.iter_mut().zip(brow) {
-                    *cij += aik * bkj;
-                }
-            }
+        // Each C element accumulates sequentially over k regardless of the
+        // band partition or register-tile shape, so threading and tiling
+        // are both bitwise-invariant (see `kernels`).
+        let flops = 2 * self.rows * self.cols * b.cols;
+        let tile = KernelPolicy::resolve().gemm_tile(flops);
+        let threads = Threads::resolve().for_flops(flops);
+        parallel::par_chunk_bands(threads, &mut c.data, b.cols, |first_row, band| {
+            let rows = band.len() / b.cols;
+            kernels::gemm_acc(
+                tile,
+                band,
+                b.cols,
+                &self.data[first_row * self.cols..],
+                self.cols,
+                &b.data,
+                b.cols,
+                rows,
+                b.cols,
+                self.cols,
+            );
         });
         Ok(c)
     }
@@ -339,17 +348,22 @@ impl Matrix {
         if m == 0 {
             return out;
         }
-        let threads = Threads::resolve().for_flops(m * m * n + m * m);
+        // Row i packs its d-scaled copy `aᵢ ∘ d` once into the reusable
+        // scratch (one multiply per column instead of one per output
+        // element), then the upper-triangle entries are fixed-order dots
+        // against rows k ≥ i — register-tiled like matvec. Per-element
+        // bits depend only on the packed values, never on the tile shape.
+        let flops = m * m * n + m * n;
+        let mr = KernelPolicy::resolve().row_tile(flops);
+        let threads = Threads::resolve().for_flops(flops);
         parallel::par_chunks(threads, &mut out.data, m, |i, orow| {
-            let ai = self.row(i);
-            for (k, ok) in orow.iter_mut().enumerate().skip(i) {
-                let ak = self.row(k);
-                let mut sum = 0.0;
-                for j in 0..n {
-                    sum += ai[j] * d[j] * ak[j];
+            kernels::with_pack_buffer(n, |scaled| {
+                let ai = self.row(i);
+                for ((s, &aij), &dj) in scaled.iter_mut().zip(ai).zip(d) {
+                    *s = aij * dj;
                 }
-                *ok = sum;
-            }
+                kernels::matvec_rows(mr, &self.data[i * n..], n, scaled, &mut orow[i..]);
+            });
         });
         for i in 0..m {
             for k in 0..i {

@@ -32,7 +32,15 @@ use std::sync::OnceLock;
 
 /// Minimum flops a worker thread should amortize; below
 /// `work / MIN_FLOPS_PER_THREAD` threads, spawn overhead dominates.
-pub const MIN_FLOPS_PER_THREAD: usize = 64 * 1024;
+///
+/// Re-measured against the register-tiled microkernels (`kernels`
+/// module): a scoped-spawn round trip costs ~15–25 µs, and the tiled
+/// kernels retire ~6–9 Gflop/s per core (vs ~3.5–4 for the scalar loops
+/// they replaced), so the break-even work per extra worker roughly
+/// doubled — `rate × overhead ≈ 7e9 × 18e-6 ≈ 1.3e5` flops. The kernel
+/// microbench records the measured rates behind this number in
+/// `BENCH_kernels.json` (`threading_cutoff` cell).
+pub const MIN_FLOPS_PER_THREAD: usize = 128 * 1024;
 
 thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -245,6 +253,53 @@ pub fn par_chunks<T: Send>(
     });
 }
 
+/// Splits `data` into equal `chunk_len`-element chunks (e.g. matrix rows)
+/// and distributes contiguous **bands of whole chunks** across up to
+/// `threads` workers, calling `f(first_chunk_index, band)` once per band.
+/// Unlike [`par_chunks`] the callback sees a worker's whole contiguous
+/// range, so multi-row register tiles (`kernels` module) can span chunks
+/// inside a band. The band boundaries are a pure function of the lengths;
+/// kernels whose per-element arithmetic order is partition-independent
+/// (every kernel in this workspace) stay bit-for-bit reproducible at any
+/// worker count.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `chunk_len`.
+pub fn par_chunk_bands<T: Send>(
+    threads: usize,
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(
+        chunk_len > 0 && data.len().is_multiple_of(chunk_len),
+        "data must split into whole chunks"
+    );
+    let n_chunks = data.len() / chunk_len;
+    let t = threads.min(n_chunks).max(1);
+    if t <= 1 {
+        if n_chunks > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let f = &f;
+    // memlp-lint: allow(concurrency::primitive, reason = "the pool's own scoped spawn point")
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut first_chunk = 0;
+        for w in 0..t {
+            let count = n_chunks / t + usize::from(w < n_chunks % t);
+            let (band, tail) = rest.split_at_mut(count * chunk_len);
+            rest = tail;
+            let base = first_chunk;
+            first_chunk += count;
+            scope.spawn(move || f(base, band));
+        }
+    });
+}
+
 /// Splits `data` into at most `threads` contiguous bands of near-equal
 /// length and calls `f(start_offset, band)` on each concurrently. Like
 /// [`par_chunks`], the band boundaries depend only on the lengths, so a
@@ -349,6 +404,24 @@ mod tests {
             });
             for (i, chunk) in data.chunks(4).enumerate() {
                 assert!(chunk.iter().all(|&v| v == i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunk_bands_covers_whole_chunks() {
+        for threads in [1, 2, 3, 8] {
+            let mut data = vec![0usize; 7 * 4];
+            par_chunk_bands(threads, &mut data, 4, |first, band| {
+                assert!(band.len().is_multiple_of(4));
+                for (i, chunk) in band.chunks_mut(4).enumerate() {
+                    for v in chunk.iter_mut() {
+                        *v = first + i + 1;
+                    }
+                }
+            });
+            for (i, chunk) in data.chunks(4).enumerate() {
+                assert!(chunk.iter().all(|&v| v == i + 1), "chunk {i}");
             }
         }
     }

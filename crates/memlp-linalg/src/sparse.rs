@@ -178,12 +178,11 @@ impl SparseMatrix {
             self.cols
         );
         let mut y = vec![0.0; self.rows];
+        // Blocked over each row's nonzero span: the fixed 4-lane tree of
+        // `kernels::spmv_row` (gathered loads, four independent chains).
         for (i, yi) in y.iter_mut().enumerate() {
-            let mut s = 0.0;
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                s += self.values[k] * x[self.col_idx[k]];
-            }
-            *yi = s;
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            *yi = crate::kernels::spmv_row(&self.values[lo..hi], &self.col_idx[lo..hi], x);
         }
         y
     }

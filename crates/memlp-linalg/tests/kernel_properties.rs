@@ -1,0 +1,209 @@
+//! Bitwise equivalence of the register-tiled microkernels against the
+//! plain reference loops (DESIGN.md §14).
+//!
+//! The kernels module promises that tiling is a *scheduling* choice, not a
+//! numerics choice: every reduction uses the same fixed 4-lane tree as
+//! `ops::dot` regardless of the row-tile height, and every update kernel
+//! accumulates k-sequentially into the current `C` value exactly like the
+//! plain i-k-j loop. These tests pin that promise bit-for-bit across every
+//! supported tile shape, on shapes that land on, just under, and just over
+//! the MR/NR tile boundaries — the remainder-handling edge cases.
+//!
+//! Policies are forced through `kernels::with_policy` with a zero flop
+//! cutoff so even tiny shapes exercise the tiled paths (the production
+//! cutoff would route them to the plain loops and the test would compare
+//! the reference against itself).
+
+use memlp_linalg::kernels::{self, KernelPolicy};
+use memlp_linalg::{LuFactors, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every (MR, NR) pair the gemm dispatcher monomorphizes, plus the row
+/// tile heights matvec supports on its own.
+const TILE_SHAPES: [(usize, usize); 5] = [(2, 4), (2, 8), (4, 4), (4, 8), (8, 4)];
+
+/// A policy that forces the (mr, nr) tile at any problem size.
+fn forced(mr: usize, nr: usize) -> KernelPolicy {
+    KernelPolicy {
+        mr,
+        nr,
+        tile_cutoff_flops: 0,
+    }
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(-1.0..1.0))
+}
+
+fn dominant_matrix(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, n, |i, j| {
+        let v: f64 = rng.random_range(-1.0..1.0);
+        if i == j {
+            v + n as f64
+        } else {
+            v
+        }
+    })
+}
+
+fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(-1.0..1.0)).collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Runs `f` under the plain-loop policy and under every tile shape, and
+/// asserts all outputs are bit-identical.
+fn assert_tile_shape_invariant(label: &str, f: impl Fn() -> Vec<f64>) {
+    let reference = kernels::with_policy(KernelPolicy::plain(), &f);
+    for (mr, nr) in TILE_SHAPES {
+        let got = kernels::with_policy(forced(mr, nr), &f);
+        assert_eq!(
+            bits(&got),
+            bits(&reference),
+            "{label}: tile shape {mr}x{nr} changed the result"
+        );
+    }
+}
+
+// --- Fixed shapes that actually clear the production cutoff, so the
+// --- default policy's tiled path is also pinned against the plain loops
+// --- (not just the forced-policy variants).
+
+#[test]
+fn matvec_default_policy_matches_plain_loops() {
+    let a = random_matrix(257, 131, 40);
+    let x = random_vec(131, 41);
+    let reference = kernels::with_policy(KernelPolicy::plain(), || a.matvec(&x));
+    let tiled = a.matvec(&x);
+    assert_eq!(bits(&tiled), bits(&reference));
+}
+
+#[test]
+fn matmul_default_policy_matches_plain_loops() {
+    let a = random_matrix(67, 45, 42);
+    let b = random_matrix(45, 53, 43);
+    let reference = kernels::with_policy(KernelPolicy::plain(), || {
+        a.matmul(&b).unwrap().as_slice().to_vec()
+    });
+    let tiled = a.matmul(&b).unwrap().as_slice().to_vec();
+    assert_eq!(bits(&tiled), bits(&reference));
+}
+
+#[test]
+fn lu_default_policy_matches_plain_loops() {
+    // n = 129 crosses the LU panel width, so the packed trailing-update
+    // gemm runs on a multi-panel factorization with ragged remainders.
+    let a = dominant_matrix(129, 44);
+    let b = random_vec(129, 45);
+    let reference = kernels::with_policy(KernelPolicy::plain(), || {
+        LuFactors::factor(a.clone()).unwrap().solve(&b).unwrap()
+    });
+    let tiled = LuFactors::factor(a.clone()).unwrap().solve(&b).unwrap();
+    assert_eq!(bits(&tiled), bits(&reference));
+}
+
+#[test]
+fn scaled_gram_default_policy_matches_plain_loops() {
+    let a = random_matrix(66, 47, 46);
+    let d: Vec<f64> = random_vec(47, 47).iter().map(|v| v.abs() + 0.1).collect();
+    let reference = kernels::with_policy(KernelPolicy::plain(), || {
+        a.scaled_gram(&d).as_slice().to_vec()
+    });
+    let tiled = a.scaled_gram(&d).as_slice().to_vec();
+    assert_eq!(bits(&tiled), bits(&reference));
+}
+
+// --- Property tests: random shapes straddling the MR/NR boundaries
+// --- (1..=26 covers every remainder class of 2, 4, and 8), every tile
+// --- shape forced on each.
+
+proptest! {
+    #[test]
+    fn matvec_is_bitwise_tile_shape_invariant(
+        (rows, cols, seed) in (1usize..27, 1usize..27, 0u64..1000),
+    ) {
+        let a = random_matrix(rows, cols, seed);
+        let x = random_vec(cols, seed ^ 0x711e);
+        let reference = kernels::with_policy(KernelPolicy::plain(), || a.matvec(&x));
+        for (mr, nr) in TILE_SHAPES {
+            let got = kernels::with_policy(forced(mr, nr), || a.matvec(&x));
+            prop_assert_eq!(bits(&got), bits(&reference));
+        }
+    }
+
+    #[test]
+    fn matmul_is_bitwise_tile_shape_invariant(
+        (m, k, n, seed) in (1usize..18, 1usize..18, 1usize..18, 0u64..1000),
+    ) {
+        let a = random_matrix(m, k, seed);
+        let b = random_matrix(k, n, seed ^ 0x9e77);
+        let reference = kernels::with_policy(KernelPolicy::plain(), || {
+            a.matmul(&b).unwrap().as_slice().to_vec()
+        });
+        for (mr, nr) in TILE_SHAPES {
+            let got = kernels::with_policy(forced(mr, nr), || {
+                a.matmul(&b).unwrap().as_slice().to_vec()
+            });
+            prop_assert_eq!(bits(&got), bits(&reference));
+        }
+    }
+
+    #[test]
+    fn scaled_gram_is_bitwise_tile_shape_invariant(
+        (m, n, seed) in (1usize..18, 1usize..18, 0u64..1000),
+    ) {
+        let a = random_matrix(m, n, seed);
+        let d: Vec<f64> = random_vec(n, seed ^ 0x6ea3)
+            .iter()
+            .map(|v| v.abs() + 0.1)
+            .collect();
+        let reference = kernels::with_policy(KernelPolicy::plain(), || {
+            a.scaled_gram(&d).as_slice().to_vec()
+        });
+        for (mr, nr) in TILE_SHAPES {
+            let got = kernels::with_policy(forced(mr, nr), || {
+                a.scaled_gram(&d).as_slice().to_vec()
+            });
+            prop_assert_eq!(bits(&got), bits(&reference));
+        }
+    }
+
+    #[test]
+    fn lu_factor_is_bitwise_tile_shape_invariant(
+        (n, seed) in (1usize..40, 0u64..500),
+    ) {
+        let a = dominant_matrix(n, seed);
+        let b = random_vec(n, seed ^ 0x1a57);
+        let f = || LuFactors::factor(a.clone()).unwrap().solve(&b).unwrap();
+        let reference = kernels::with_policy(KernelPolicy::plain(), f);
+        for (mr, nr) in TILE_SHAPES {
+            let got = kernels::with_policy(forced(mr, nr), f);
+            prop_assert_eq!(bits(&got), bits(&reference));
+        }
+    }
+}
+
+// --- A multi-kernel chain under one override, the way a solver iteration
+// --- composes them: gram → factor → solve, every tile shape bit-identical.
+
+#[test]
+fn chained_kernels_are_bitwise_tile_shape_invariant() {
+    let a = random_matrix(93, 61, 50);
+    let d: Vec<f64> = random_vec(61, 51).iter().map(|v| v.abs() + 0.1).collect();
+    let b = random_vec(93, 52);
+    assert_tile_shape_invariant("gram+lu chain 93x61", || {
+        let mut g = a.scaled_gram(&d);
+        for i in 0..93 {
+            g[(i, i)] += 93.0;
+        }
+        LuFactors::factor(g).unwrap().solve(&b).unwrap()
+    });
+}

@@ -14,6 +14,7 @@
 //! `parallel::with_threads`) would be a deny finding. The pool's own
 //! internals carry the workspace's only reasoned allows.
 
+use memlp_linalg::kernels::{self, KernelPolicy};
 use memlp_linalg::parallel::with_threads;
 use memlp_linalg::{LuFactors, Matrix};
 use proptest::prelude::*;
@@ -119,6 +120,70 @@ fn lu_solve_matrix_large_is_bitwise_thread_invariant() {
             .unwrap()
             .as_slice()
             .to_vec()
+    });
+}
+
+// --- Tile-shape × thread-count cross product: the register-tiled kernels
+// --- must be invariant on BOTH axes at once. Threading partitions rows
+// --- into bands of whole tiles-worth of chunks; tiling partitions each
+// --- band's rows into MR-tall register tiles — neither changes the
+// --- per-element reduction tree, so every (policy, threads) pair lands on
+// --- the same bits. This is the contract that lets `KernelPolicy` be
+// --- retuned without re-baselining any golden output.
+
+/// Runs `f` under every (tile shape, thread budget) pair and asserts all
+/// outputs are bit-identical to the plain-loop single-thread result.
+fn assert_bitwise_tile_and_thread_invariant(label: &str, f: impl Fn() -> Vec<f64>) {
+    const SHAPES: [(usize, usize); 5] = [(2, 4), (2, 8), (4, 4), (4, 8), (8, 4)];
+    let reference = kernels::with_policy(KernelPolicy::plain(), || with_threads(1, &f));
+    for (mr, nr) in SHAPES {
+        let policy = KernelPolicy {
+            mr,
+            nr,
+            tile_cutoff_flops: 0,
+        };
+        for t in THREADS {
+            let got = kernels::with_policy(policy, || with_threads(t, &f));
+            assert_eq!(
+                bits(&got),
+                bits(&reference),
+                "{label}: tile {mr}x{nr} at {t} threads changed the result"
+            );
+        }
+    }
+}
+
+#[test]
+fn matvec_is_bitwise_tile_and_thread_invariant() {
+    let a = random_matrix(509, 387, 20);
+    let x = random_vec(387, 21);
+    assert_bitwise_tile_and_thread_invariant("matvec 509x387", || a.matvec(&x));
+}
+
+#[test]
+fn matmul_is_bitwise_tile_and_thread_invariant() {
+    let a = random_matrix(157, 93, 22);
+    let b = random_matrix(93, 101, 23);
+    assert_bitwise_tile_and_thread_invariant("matmul 157x93·93x101", || {
+        a.matmul(&b).unwrap().as_slice().to_vec()
+    });
+}
+
+#[test]
+fn scaled_gram_is_bitwise_tile_and_thread_invariant() {
+    let a = random_matrix(131, 87, 24);
+    let d: Vec<f64> = random_vec(87, 25).iter().map(|v| v.abs() + 0.1).collect();
+    assert_bitwise_tile_and_thread_invariant("scaled_gram 131x87", || {
+        a.scaled_gram(&d).as_slice().to_vec()
+    });
+}
+
+#[test]
+fn lu_solve_is_bitwise_tile_and_thread_invariant() {
+    let a = dominant_matrix(193, 26);
+    let b = random_vec(193, 27);
+    assert_bitwise_tile_and_thread_invariant("lu solve n=193", || {
+        LuFactors::factor(a.clone()).unwrap().solve(&b).unwrap()
     });
 }
 

@@ -1,0 +1,46 @@
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread tile-shape override — plain interior mutability, no
+    /// cross-thread primitive, restored by the caller.
+    static OVERRIDE: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+const LANES: usize = 4;
+
+/// The fixed 4-lane reduction tree: lane `l` sums elements `≡ l (mod 4)`,
+/// pairwise combine, sequential tail — a pure function of the length, so
+/// the result cannot depend on tile shape or thread count.
+fn dot_lanes(a: &[f64], x: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; LANES];
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += a[c * LANES + l] * x[c * LANES + l];
+        }
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for i in chunks * LANES..a.len() {
+        acc += a[i] * x[i];
+    }
+    acc
+}
+
+/// Scoped tile override in the thread-local, restored before returning —
+/// the pattern `with_policy` uses for tests and benches.
+fn with_forced_tile<T>(tile: (usize, usize), f: impl FnOnce() -> T) -> T {
+    let prev = OVERRIDE.with(|c| c.replace(Some(tile)));
+    let out = f();
+    OVERRIDE.with(|c| c.set(prev));
+    out
+}
+
+/// Exact-zero compares are the one strict float equality the regime
+/// allows: padding rows are exactly zero by construction.
+fn is_padding(row: &[f64]) -> bool {
+    row.iter().all(|v| *v == 0.0)
+}
+
+fn forced_dot(a: &[f64], x: &[f64]) -> f64 {
+    with_forced_tile((4, 8), || dot_lanes(a, x))
+}

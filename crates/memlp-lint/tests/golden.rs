@@ -245,6 +245,49 @@ fn sparse_modules_are_held_to_the_workspace_regime() {
     );
 }
 
+/// The register-tiled microkernel module is inner-loop and
+/// determinism-critical: a timing-fed tile auto-tuner is exactly what the
+/// regime exists to keep out — wall-clock in the dispatch path, an
+/// unordered rate cache, a cross-thread counter outside the pool, an
+/// unwrap in the hot path, and a strict compare against a nonzero rate
+/// must all fire, in the linalg kernel module and its matrix entry points
+/// alike.
+#[test]
+fn kernel_modules_are_held_to_the_workspace_regime() {
+    let expected: &[(u32, &str)] = &[
+        (1, "determinism::hash-container"),
+        (2, "concurrency::primitive"),
+        (3, "determinism::wall-clock"),
+        (9, "determinism::hash-container"),
+        (10, "concurrency::primitive"),
+        (14, "determinism::wall-clock"),
+        (18, "float::strict-eq"),
+        (26, "panic::unwrap"),
+    ];
+    check(
+        "bad_kernels_module.rs",
+        "crates/memlp-linalg/src/kernels.rs",
+        expected,
+    );
+    check(
+        "bad_kernels_module.rs",
+        "crates/memlp-linalg/src/matrix.rs",
+        expected,
+    );
+}
+
+/// The real idiom — a thread-local `Cell` policy override with scoped
+/// restore, the fixed 4-lane reduction tree, and exact-zero padding
+/// compares — lints clean in the same module.
+#[test]
+fn kernel_idiom_lints_clean() {
+    check(
+        "good_kernels_module.rs",
+        "crates/memlp-linalg/src/kernels.rs",
+        &[],
+    );
+}
+
 /// The real idiom — Vec-indexed fill pattern, NaN-safe pivot guard, and
 /// exact-zero skip compares — lints clean in the same modules.
 #[test]

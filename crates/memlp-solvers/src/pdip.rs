@@ -62,6 +62,46 @@ impl std::str::FromStr for SolvePath {
     }
 }
 
+/// Why a Newton-core solve produced no directions.
+///
+/// `Singular` is the paper's §4.3 variation-induced failure mode (the
+/// realized system lost rank; callers retry or classify). `CoreTooLarge`
+/// is a *guard*, not a numerical event: the dense factorization would
+/// need an allocation beyond the configured limit (e.g. the ~35 GB
+/// `(n+m)²` core of assignment@512), so it refuses up front.
+/// [`SolvePath::Auto`] falls back to the sparse core before this error
+/// can surface; an explicit [`SolvePath::Dense`] reports it to the
+/// caller instead of attempting the allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreSolveError {
+    /// The realized system is singular (or produced non-finite entries).
+    Singular,
+    /// The dense `(n+m)²` core would exceed the allocation guard.
+    CoreTooLarge {
+        /// Core dimension `n + m`.
+        dim: usize,
+        /// Bytes the dense core buffer would need (`8·dim²`).
+        bytes: u64,
+        /// The configured allocation limit in bytes.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for CoreSolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreSolveError::Singular => write!(f, "realized Newton system is singular"),
+            CoreSolveError::CoreTooLarge { dim, bytes, limit } => write!(
+                f,
+                "dense Newton core of dimension {dim} needs {bytes} bytes \
+                 (limit {limit}); use the sparse path"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreSolveError {}
+
 /// Options for PDIP iterations.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PdipOptions {
