@@ -200,6 +200,8 @@ impl HwContext {
     /// per write *or skip*, so the variation stream — and therefore every
     /// realized value of cells that are written — is identical whether
     /// delta programming is on or off.
+    ///
+    /// memlp-lint: analog_source
     pub fn write_matrix(&mut self, key: u32, target: &Matrix, phase: Phase) -> Matrix {
         let plan = self.plan_for(key, target.rows(), target.cols());
         let a_max = target.max_abs();
@@ -252,6 +254,8 @@ impl HwContext {
     /// programming (unchanged `config.write_bits`-bit code since the
     /// block's last write). The block's [`FaultPlan`] is a `len × 1` region
     /// (a private line per cell, so no shared-bit-line faults).
+    ///
+    /// memlp-lint: analog_source
     pub fn write_diag(&mut self, key: u32, target: &[f64], phase: Phase) -> Vec<f64> {
         let plan = self.plan_for(key, target.len(), 1);
         let a_max = target.iter().fold(0.0f64, |m, v| m.max(v.abs()));
@@ -312,6 +316,8 @@ impl HwContext {
     /// ADC counterpart of [`HwContext::dac_blocks`]. Transient read upsets
     /// (when configured) strike each segment independently — each block has
     /// its own converter bank.
+    ///
+    /// memlp-lint: analog_source
     pub fn adc_blocks(&mut self, v: &[f64], lens: &[usize]) -> Vec<f64> {
         debug_assert_eq!(lens.iter().sum::<usize>(), v.len());
         let mut out = Vec::with_capacity(v.len());
@@ -329,6 +335,8 @@ impl HwContext {
 
     /// ADC-quantizes a voltage vector read from the array, applying any
     /// configured transient read upsets.
+    ///
+    /// memlp-lint: analog_source
     pub fn adc(&mut self, v: &[f64]) -> Vec<f64> {
         let mut out = self.adc.quantize_vec(v);
         self.config
@@ -344,6 +352,8 @@ impl HwContext {
     /// the quantization grid. Algorithm 2 relies on this to bound the
     /// weakly determined step components its `RU`/`RL` fill produces
     /// without losing late-iteration resolution.
+    ///
+    /// memlp-lint: analog_source
     pub fn adc_clipped(&mut self, v: &[f64], max_scale: f64) -> Vec<f64> {
         let auto = v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
         let fs = auto.min(max_scale);

@@ -418,6 +418,8 @@ impl AugmentedSystem {
 
     /// The analog MVM `M̃·s` (Eqn 15b), with DAC-quantized input and
     /// ADC-quantized output, charged to the ledger.
+    ///
+    /// memlp-lint: analog_source
     pub fn mvm(&self, s: &[f64], hw: &mut HwContext) -> Vec<f64> {
         assert_eq!(s.len(), self.dim(), "s vector must span the full system");
         let (n, m) = (self.n, self.m);
@@ -501,6 +503,8 @@ impl AugmentedSystem {
     /// sparse breakdown with no feasible dense fallback) but the core
     /// exceeds [`DENSE_CORE_LIMIT_BYTES`]; under [`SolvePath::Auto`] an
     /// oversized core reroutes to the sparse path instead.
+    ///
+    /// memlp-lint: analog_source
     pub fn solve(
         &mut self,
         r: &[f64],

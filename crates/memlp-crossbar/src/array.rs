@@ -428,6 +428,8 @@ impl Crossbar {
     ///
     /// * [`CrossbarError::NotProgrammed`] before programming,
     /// * [`CrossbarError::ShapeMismatch`] if `x` has the wrong length.
+    ///
+    /// memlp-lint: analog_source
     pub fn mvm(&mut self, x: &[f64]) -> Result<Vec<f64>, CrossbarError> {
         let realized = self.realized.as_ref().ok_or(CrossbarError::NotProgrammed)?;
         if x.len() != realized.cols() {
@@ -468,6 +470,8 @@ impl Crossbar {
     ///   `b` length,
     /// * [`CrossbarError::Linalg`] if the realized matrix is singular (the
     ///   §4.3 variation-induced failure mode).
+    ///
+    /// memlp-lint: analog_source
     pub fn solve(&mut self, b: &[f64]) -> Result<Vec<f64>, CrossbarError> {
         let realized = self.realized.as_ref().ok_or(CrossbarError::NotProgrammed)?;
         if !realized.is_square() {

@@ -65,6 +65,8 @@ impl Memristor {
     }
 
     /// Non-destructive conductance read at the device's read voltage.
+    ///
+    /// memlp-lint: analog_source
     pub fn read_conductance(&self) -> f64 {
         // The read bias is below threshold, so state is untouched and the
         // device is Ohmic: g = i/v = 1/M(x).

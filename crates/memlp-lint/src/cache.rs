@@ -1,0 +1,879 @@
+//! Content-hash incremental cache (`.memlp-lint-cache.json`).
+//!
+//! Only pass 1 is cached: per-file lexing, token scanning, and IR parsing
+//! are pure in `(path, content)`, so a file whose FNV-1a hash is unchanged
+//! reloads its [`FileAnalysis`] instead of re-analyzing. Pass 2 — the call
+//! graph and fixed points — always re-runs over all files; it is cheap
+//! (the IR is tiny) and re-running it is what makes the cache sound: an
+//! edit to a *callee* re-derives every caller finding without any
+//! dependency bookkeeping, so there is no invalidation logic to get wrong.
+//!
+//! Cached directives carry **pass-1** usage only (entries are written
+//! before the cross pass consumes anything), so `lint::unused-allow`
+//! stays correct when a cross finding disappears between runs.
+//!
+//! The cache is keyed by a registry fingerprint: any change to the rule
+//! table or the serialization shape (bump [`FORMAT_VERSION`]) discards
+//! every entry at once. A missing or corrupt cache file is treated as
+//! empty — the cache can only ever skip work, never change output.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::parser::{Bind, CallSite, FileIr, FnIr, Rhs, Seed, SeedKind, Sink, SinkKind, UseDecl};
+use crate::rules::{severity_of, Directive, FileAnalysis, FileCtx, Finding, RULES};
+
+/// Bump when the serialized shape of [`FileAnalysis`] changes.
+const FORMAT_VERSION: u32 = 1;
+
+/// Default cache file name, resolved against the workspace root.
+pub const CACHE_FILE: &str = ".memlp-lint-cache.json";
+
+/// FNV-1a 64-bit hash, rendered as fixed-width hex.
+pub fn content_hash(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Fingerprint of the rule registry plus the serialization version: the
+/// cache self-invalidates whenever either changes.
+pub fn registry_fingerprint() -> String {
+    let mut acc = String::new();
+    let _ = write!(acc, "v{FORMAT_VERSION};");
+    for (id, sev, summary) in RULES {
+        let _ = write!(acc, "{id}|{}|{summary};", sev.label());
+    }
+    content_hash(acc.as_bytes())
+}
+
+/// One cached file: content hash plus the serialized pass-1 analysis.
+struct Entry {
+    hash: String,
+    analysis: Json,
+}
+
+/// The in-memory cache, loaded from and stored to one JSON file.
+#[derive(Default)]
+pub struct Cache {
+    entries: BTreeMap<String, Entry>,
+    /// Hits/misses for `--quiet`-less diagnostics and tests.
+    pub hits: usize,
+    pub misses: usize,
+    /// Set when entries changed since load — a fully-warm run skips the
+    /// rewrite entirely.
+    dirty: bool,
+}
+
+impl Cache {
+    /// Loads the cache from `path`. Missing, unreadable, corrupt, or
+    /// fingerprint-mismatched files all yield an empty cache.
+    pub fn load(path: &Path) -> Cache {
+        let mut cache = Cache::default();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return cache;
+        };
+        let Some(root) = parse_json(&text) else {
+            return cache;
+        };
+        let Some(obj) = root.as_obj() else {
+            return cache;
+        };
+        if obj.get("fingerprint").and_then(Json::as_str) != Some(&registry_fingerprint()) {
+            return cache;
+        }
+        let Some(files) = obj.get("files").and_then(Json::as_obj) else {
+            return cache;
+        };
+        for (rel, entry) in files {
+            let Some(eo) = entry.as_obj() else { continue };
+            let (Some(hash), Some(analysis)) =
+                (eo.get("hash").and_then(Json::as_str), eo.get("analysis"))
+            else {
+                continue;
+            };
+            cache.entries.insert(
+                rel.clone(),
+                Entry {
+                    hash: hash.to_string(),
+                    analysis: analysis.clone(),
+                },
+            );
+        }
+        cache
+    }
+
+    /// Returns the cached analysis for `(rel, src)` when the content hash
+    /// matches; counts a hit/miss either way.
+    pub fn get(&mut self, rel: &str, src: &str) -> Option<FileAnalysis> {
+        let hash = content_hash(src.as_bytes());
+        let hit = self
+            .entries
+            .get(rel)
+            .filter(|e| e.hash == hash)
+            .and_then(|e| analysis_from_json(rel, src, &e.analysis));
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Records `analysis` (which must hold pass-1 directive usage only —
+    /// call this before the cross pass mutates anything).
+    pub fn put(&mut self, analysis: &FileAnalysis, src: &str) {
+        self.dirty = true;
+        self.entries.insert(
+            analysis.path.clone(),
+            Entry {
+                hash: content_hash(src.as_bytes()),
+                analysis: analysis_to_json(analysis),
+            },
+        );
+    }
+
+    /// Drops entries for files no longer in the scan set.
+    pub fn retain_files(&mut self, live: &[String]) {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| live.binary_search(k).is_ok());
+        if self.entries.len() != before {
+            self.dirty = true;
+        }
+    }
+
+    /// True when [`Cache::store`] would write something new.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Serializes and writes the cache file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O failure.
+    pub fn store(&self, path: &Path) -> Result<(), String> {
+        let mut files = BTreeMap::new();
+        for (rel, e) in &self.entries {
+            let mut eo = BTreeMap::new();
+            eo.insert("hash".to_string(), Json::Str(e.hash.clone()));
+            eo.insert("analysis".to_string(), e.analysis.clone());
+            files.insert(rel.clone(), Json::Obj(eo));
+        }
+        let mut root = BTreeMap::new();
+        root.insert("fingerprint".to_string(), Json::Str(registry_fingerprint()));
+        root.insert("files".to_string(), Json::Obj(files));
+        std::fs::write(path, Json::Obj(root).render())
+            .map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileAnalysis <-> Json
+// ---------------------------------------------------------------------------
+
+fn jstr(s: &str) -> Json {
+    Json::Str(s.to_string())
+}
+
+fn jnum(n: u32) -> Json {
+    Json::Num(i64::from(n))
+}
+
+fn jstrs(v: &[String]) -> Json {
+    Json::Arr(v.iter().map(|s| jstr(s)).collect())
+}
+
+fn call_to_json(c: &CallSite) -> Json {
+    let mut o = BTreeMap::new();
+    o.insert("path".into(), jstrs(&c.path));
+    o.insert("method".into(), Json::Bool(c.method));
+    o.insert("line".into(), jnum(c.line));
+    Json::Obj(o)
+}
+
+fn rhs_to_json(r: &Rhs) -> Json {
+    let mut o = BTreeMap::new();
+    o.insert(
+        "calls".into(),
+        Json::Arr(r.calls.iter().map(call_to_json).collect()),
+    );
+    o.insert("idents".into(), jstrs(&r.idents));
+    Json::Obj(o)
+}
+
+fn fn_to_json(f: &FnIr) -> Json {
+    let mut o = BTreeMap::new();
+    o.insert("name".into(), jstr(&f.name));
+    o.insert("owner".into(), jstr(&f.owner));
+    o.insert("module".into(), jstrs(&f.module));
+    o.insert("line".into(), jnum(f.line));
+    o.insert("is_pub".into(), Json::Bool(f.is_pub));
+    o.insert("in_test".into(), Json::Bool(f.in_test));
+    o.insert("analog_source".into(), Json::Bool(f.analog_source));
+    o.insert(
+        "seeds".into(),
+        Json::Arr(
+            f.seeds
+                .iter()
+                .map(|s| {
+                    let mut so = BTreeMap::new();
+                    so.insert(
+                        "kind".into(),
+                        jstr(match s.kind {
+                            SeedKind::Panic => "panic",
+                            SeedKind::Entropy => "entropy",
+                        }),
+                    );
+                    so.insert("what".into(), jstr(&s.what));
+                    so.insert("line".into(), jnum(s.line));
+                    Json::Obj(so)
+                })
+                .collect(),
+        ),
+    );
+    o.insert(
+        "calls".into(),
+        Json::Arr(f.calls.iter().map(call_to_json).collect()),
+    );
+    o.insert(
+        "binds".into(),
+        Json::Arr(
+            f.binds
+                .iter()
+                .map(|b| {
+                    let mut bo = BTreeMap::new();
+                    bo.insert("vars".into(), jstrs(&b.vars));
+                    bo.insert("rhs".into(), rhs_to_json(&b.rhs));
+                    bo.insert("line".into(), jnum(b.line));
+                    Json::Obj(bo)
+                })
+                .collect(),
+        ),
+    );
+    o.insert(
+        "sinks".into(),
+        Json::Arr(
+            f.sinks
+                .iter()
+                .map(|s| {
+                    let mut so = BTreeMap::new();
+                    so.insert(
+                        "kind".into(),
+                        jstr(match s.kind {
+                            SinkKind::StrictEq => "eq",
+                            SinkKind::Index => "index",
+                        }),
+                    );
+                    so.insert("idents".into(), jstrs(&s.idents));
+                    so.insert("line".into(), jnum(s.line));
+                    so.insert("zero_cmp".into(), Json::Bool(s.zero_cmp));
+                    so.insert("guarded".into(), Json::Bool(s.guarded));
+                    Json::Obj(so)
+                })
+                .collect(),
+        ),
+    );
+    o.insert(
+        "rets".into(),
+        Json::Arr(f.rets.iter().map(rhs_to_json).collect()),
+    );
+    Json::Obj(o)
+}
+
+fn analysis_to_json(a: &FileAnalysis) -> Json {
+    let mut o = BTreeMap::new();
+    o.insert(
+        "findings".into(),
+        Json::Arr(
+            a.findings
+                .iter()
+                .map(|f| {
+                    let mut fo = BTreeMap::new();
+                    fo.insert("line".into(), jnum(f.line));
+                    fo.insert("rule".into(), jstr(f.rule));
+                    fo.insert("message".into(), jstr(&f.message));
+                    Json::Obj(fo)
+                })
+                .collect(),
+        ),
+    );
+    o.insert(
+        "directives".into(),
+        Json::Arr(
+            a.directives
+                .iter()
+                .map(|d| {
+                    let mut dobj = BTreeMap::new();
+                    dobj.insert("rule".into(), jstr(&d.rule));
+                    dobj.insert("line".into(), jnum(d.line));
+                    dobj.insert("used".into(), Json::Bool(d.used));
+                    dobj.insert("group".into(), Json::Num(d.group as i64));
+                    Json::Obj(dobj)
+                })
+                .collect(),
+        ),
+    );
+    let mut ir = BTreeMap::new();
+    ir.insert("module".into(), jstrs(&a.ir.module));
+    ir.insert(
+        "uses".into(),
+        Json::Arr(
+            a.ir.uses
+                .iter()
+                .map(|u| {
+                    let mut uo = BTreeMap::new();
+                    uo.insert("alias".into(), jstr(&u.alias));
+                    uo.insert("path".into(), jstrs(&u.path));
+                    Json::Obj(uo)
+                })
+                .collect(),
+        ),
+    );
+    ir.insert(
+        "fns".into(),
+        Json::Arr(a.ir.fns.iter().map(fn_to_json).collect()),
+    );
+    o.insert("ir".into(), Json::Obj(ir));
+    Json::Obj(o)
+}
+
+/// Looks up the `'static` rule id for a cached rule name.
+fn rule_id(name: &str) -> Option<&'static str> {
+    RULES
+        .iter()
+        .find(|(id, ..)| *id == name)
+        .map(|(id, ..)| *id)
+}
+
+fn strs_from(j: Option<&Json>) -> Option<Vec<String>> {
+    let arr = j?.as_arr()?;
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        out.push(v.as_str()?.to_string());
+    }
+    Some(out)
+}
+
+fn u32_from(j: Option<&Json>) -> Option<u32> {
+    u32::try_from(j?.as_num()?).ok()
+}
+
+fn bool_from(j: Option<&Json>) -> Option<bool> {
+    j?.as_bool()
+}
+
+fn call_from(j: &Json) -> Option<CallSite> {
+    let o = j.as_obj()?;
+    Some(CallSite {
+        path: strs_from(o.get("path"))?,
+        method: bool_from(o.get("method"))?,
+        line: u32_from(o.get("line"))?,
+    })
+}
+
+fn rhs_from(j: &Json) -> Option<Rhs> {
+    let o = j.as_obj()?;
+    let mut calls = Vec::new();
+    for c in o.get("calls")?.as_arr()? {
+        calls.push(call_from(c)?);
+    }
+    Some(Rhs {
+        calls,
+        idents: strs_from(o.get("idents"))?,
+    })
+}
+
+fn fn_from(j: &Json) -> Option<FnIr> {
+    let o = j.as_obj()?;
+    let mut seeds = Vec::new();
+    for s in o.get("seeds")?.as_arr()? {
+        let so = s.as_obj()?;
+        seeds.push(Seed {
+            kind: match so.get("kind")?.as_str()? {
+                "panic" => SeedKind::Panic,
+                "entropy" => SeedKind::Entropy,
+                _ => return None,
+            },
+            what: so.get("what")?.as_str()?.to_string(),
+            line: u32_from(so.get("line"))?,
+        });
+    }
+    let mut calls = Vec::new();
+    for c in o.get("calls")?.as_arr()? {
+        calls.push(call_from(c)?);
+    }
+    let mut binds = Vec::new();
+    for b in o.get("binds")?.as_arr()? {
+        let bo = b.as_obj()?;
+        binds.push(Bind {
+            vars: strs_from(bo.get("vars"))?,
+            rhs: rhs_from(bo.get("rhs")?)?,
+            line: u32_from(bo.get("line"))?,
+        });
+    }
+    let mut sinks = Vec::new();
+    for s in o.get("sinks")?.as_arr()? {
+        let so = s.as_obj()?;
+        sinks.push(Sink {
+            kind: match so.get("kind")?.as_str()? {
+                "eq" => SinkKind::StrictEq,
+                "index" => SinkKind::Index,
+                _ => return None,
+            },
+            idents: strs_from(so.get("idents"))?,
+            line: u32_from(so.get("line"))?,
+            zero_cmp: bool_from(so.get("zero_cmp"))?,
+            guarded: bool_from(so.get("guarded"))?,
+        });
+    }
+    let mut rets = Vec::new();
+    for r in o.get("rets")?.as_arr()? {
+        rets.push(rhs_from(r)?);
+    }
+    Some(FnIr {
+        name: o.get("name")?.as_str()?.to_string(),
+        owner: o.get("owner")?.as_str()?.to_string(),
+        module: strs_from(o.get("module"))?,
+        line: u32_from(o.get("line"))?,
+        is_pub: bool_from(o.get("is_pub"))?,
+        in_test: bool_from(o.get("in_test"))?,
+        analog_source: bool_from(o.get("analog_source"))?,
+        seeds,
+        calls,
+        binds,
+        sinks,
+        rets,
+    })
+}
+
+/// Rebuilds a [`FileAnalysis`] from its cached JSON. `src` supplies the
+/// snippet lines (the file content is already in hand for hashing, so
+/// snippets are re-derived instead of stored). Any shape mismatch yields
+/// `None` — treated as a cache miss.
+fn analysis_from_json(rel: &str, src: &str, j: &Json) -> Option<FileAnalysis> {
+    let o = j.as_obj()?;
+    let snippets: Vec<String> = src.lines().map(|l| l.trim().to_string()).collect();
+    let snippet =
+        |line: u32| -> String { snippets.get(line as usize - 1).cloned().unwrap_or_default() };
+    let mut findings = Vec::new();
+    for f in o.get("findings")?.as_arr()? {
+        let fo = f.as_obj()?;
+        let rule = rule_id(fo.get("rule")?.as_str()?)?;
+        let line = u32_from(fo.get("line"))?;
+        findings.push(Finding {
+            file: rel.to_string(),
+            line,
+            rule,
+            severity: severity_of(rule),
+            message: fo.get("message")?.as_str()?.to_string(),
+            snippet: snippet(line),
+            witness: Vec::new(),
+        });
+    }
+    let mut directives = Vec::new();
+    for d in o.get("directives")?.as_arr()? {
+        let dobj = d.as_obj()?;
+        directives.push(Directive {
+            rule: dobj.get("rule")?.as_str()?.to_string(),
+            line: u32_from(dobj.get("line"))?,
+            used: bool_from(dobj.get("used"))?,
+            group: usize::try_from(dobj.get("group")?.as_num()?).ok()?,
+        });
+    }
+    let iro = o.get("ir")?.as_obj()?;
+    let mut uses = Vec::new();
+    for u in iro.get("uses")?.as_arr()? {
+        let uo = u.as_obj()?;
+        uses.push(UseDecl {
+            alias: uo.get("alias")?.as_str()?.to_string(),
+            path: strs_from(uo.get("path"))?,
+        });
+    }
+    let mut fns = Vec::new();
+    for f in iro.get("fns")?.as_arr()? {
+        fns.push(fn_from(f)?);
+    }
+    Some(FileAnalysis {
+        path: rel.to_string(),
+        ctx: FileCtx::classify(rel),
+        findings,
+        directives,
+        ir: FileIr {
+            path: rel.to_string(),
+            module: strs_from(iro.get("module"))?,
+            uses,
+            fns,
+        },
+        snippets,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser (the analyzer is dependency-free by design)
+// ---------------------------------------------------------------------------
+
+/// JSON value. Numbers are integers — the cache never stores floats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering (deterministic: object keys are
+    /// `BTreeMap`-ordered).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(v) => {
+                out.push('[');
+                for (i, item) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses one JSON document; `None` on any syntax error.
+pub fn parse_json(text: &str) -> Option<Json> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Option<Json> {
+    if depth > MAX_DEPTH {
+        return None;
+    }
+    skip_ws(b, pos);
+    match b.get(*pos)? {
+        b'{' => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos)? == &b'}' {
+                *pos += 1;
+                return Some(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos)? != &b':' {
+                    return None;
+                }
+                *pos += 1;
+                let val = parse_value(b, pos, depth + 1)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Obj(map));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos)? == &b']' {
+                *pos += 1;
+                return Some(Json::Arr(arr));
+            }
+            loop {
+                let val = parse_value(b, pos, depth + 1)?;
+                arr.push(val);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Json::Arr(arr));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => Some(Json::Str(parse_string(b, pos)?)),
+        b't' => {
+            if b.len() >= *pos + 4 && &b[*pos..*pos + 4] == b"true" {
+                *pos += 4;
+                Some(Json::Bool(true))
+            } else {
+                None
+            }
+        }
+        b'f' => {
+            if b.len() >= *pos + 5 && &b[*pos..*pos + 5] == b"false" {
+                *pos += 5;
+                Some(Json::Bool(false))
+            } else {
+                None
+            }
+        }
+        b'n' => {
+            if b.len() >= *pos + 4 && &b[*pos..*pos + 4] == b"null" {
+                *pos += 4;
+                Some(Json::Null)
+            } else {
+                None
+            }
+        }
+        _ => {
+            let start = *pos;
+            if b.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while *pos < b.len() && b[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if *pos == start {
+                return None;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<i64>().ok())
+                .map(Json::Num)
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    if b.get(*pos)? != &b'"' {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        if b.len() < *pos + 5 {
+                            return None;
+                        }
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5]).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (the input came from a &str, so
+                // boundaries are valid; a partial tail still fails cleanly).
+                let start = *pos;
+                let len = utf8_len(b[start]);
+                let end = start + len;
+                if end > b.len() {
+                    return None;
+                }
+                out.push_str(std::str::from_utf8(&b[start..end]).ok()?);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze_file;
+
+    #[test]
+    fn json_round_trips() {
+        let mut o = BTreeMap::new();
+        o.insert("a".to_string(), Json::Num(-3));
+        o.insert(
+            "b".to_string(),
+            Json::Arr(vec![
+                Json::Str("x\"y\n".into()),
+                Json::Bool(true),
+                Json::Null,
+            ]),
+        );
+        let v = Json::Obj(o);
+        let text = v.render();
+        assert_eq!(parse_json(&text), Some(v));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_json("{"), None);
+        assert_eq!(parse_json("[1,]"), None);
+        assert_eq!(parse_json("tru"), None);
+        assert_eq!(parse_json("{} extra"), None);
+    }
+
+    #[test]
+    fn analysis_round_trips_through_cache_json() {
+        let src = "/// memlp-lint: analog_source\n\
+                   pub fn read() -> f64 { 0.0 }\n\
+                   // memlp-lint: allow(panic::unwrap, reason = \"test data\")\n\
+                   fn f(v: &[f64]) -> f64 { let x = read(); v[0] + x }\n";
+        let a = analyze_file("crates/memlp-core/src/x.rs", src);
+        let j = analysis_to_json(&a);
+        let text = j.render();
+        let reparsed = parse_json(&text).unwrap_or(Json::Null);
+        let back = analysis_from_json("crates/memlp-core/src/x.rs", src, &reparsed);
+        let Some(back) = back else {
+            unreachable!("round trip produced None")
+        };
+        assert_eq!(back.ir.fns.len(), a.ir.fns.len());
+        assert_eq!(back.ir.fns[0].analog_source, a.ir.fns[0].analog_source);
+        assert_eq!(back.directives.len(), a.directives.len());
+        assert_eq!(back.findings.len(), a.findings.len());
+        assert_eq!(back.snippets, a.snippets);
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        assert_eq!(content_hash(b""), "cbf29ce484222325");
+        assert_ne!(content_hash(b"a"), content_hash(b"b"));
+        assert_eq!(content_hash(b"abc"), content_hash(b"abc"));
+    }
+
+    #[test]
+    fn stale_hash_misses() {
+        let src_v1 = "pub fn f() {}\n";
+        let src_v2 = "pub fn f() { let _ = 1; }\n";
+        let a = analyze_file("crates/memlp-core/src/x.rs", src_v1);
+        let mut cache = Cache::default();
+        cache.put(&a, src_v1);
+        let hit = cache.get("crates/memlp-core/src/x.rs", src_v1);
+        assert!(hit.is_some());
+        let miss = cache.get("crates/memlp-core/src/x.rs", src_v2);
+        assert!(miss.is_none());
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+}

@@ -1,0 +1,846 @@
+//! Pass 2 of the cross-file analyzer: the workspace call graph and the
+//! fixed-point rule families.
+//!
+//! Input is the per-file IR from [`crate::parser`] (via
+//! [`crate::rules::FileAnalysis`]). This module:
+//!
+//! 1. builds a function table keyed by absolute path
+//!    (`crate::module::Owner::name`) plus a method-name index,
+//! 2. resolves call sites — `use` aliases, `crate::`/`self::`/`super::`
+//!    prefixes, module-relative and `Type::method` paths; bare method
+//!    calls resolve by name only when the name is workspace-unique (or,
+//!    for fact propagation, when every candidate agrees on the fact),
+//! 3. runs fixed-point propagation for three fact lattices — *may-panic*,
+//!    *touches-entropy*, *returns-analog* — and a per-function forward
+//!    taint pass over the recorded bindings, and
+//! 4. emits the `reach::panic`, `reach::nondeterminism`, and
+//!    `taint::analog-exact` findings, each carrying a full call-chain
+//!    witness from its anchor to the seed.
+//!
+//! Everything is deterministic: functions are processed in (file, line)
+//! order, worklists are sorted, and witnesses pick the lexicographically
+//! first discovery path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{CallSite, SeedKind, SinkKind};
+use crate::rules::{
+    severity_of, Directive, FileAnalysis, Finding, WitnessStep, DETERMINISM_CRATES,
+    PANIC_EXEMPT_CRATES,
+};
+
+/// Global function id: (file index, fn index within the file).
+type FnId = (usize, usize);
+
+/// Resolution result for one call site.
+#[derive(Debug, Clone)]
+enum Resolved {
+    /// Exactly one workspace function.
+    Unique(FnId),
+    /// A same-named method set (used with unanimity for fact propagation).
+    Candidates(Vec<FnId>),
+    /// Not a workspace function (std, vendored, closure, …).
+    External,
+}
+
+/// The assembled graph and resolution context.
+struct Graph<'a> {
+    files: &'a [FileAnalysis],
+    /// Absolute path string → fn id (e.g. `memlp_core::newton::solve`,
+    /// `memlp_linalg::lu::LuFactors::factor`).
+    by_path: BTreeMap<String, FnId>,
+    /// Method name → every impl fn with that name.
+    by_method: BTreeMap<String, Vec<FnId>>,
+    /// Free-fn name → every free fn with that name (for unique-name
+    /// fallback of single-segment calls that imports don't explain).
+    by_free: BTreeMap<String, Vec<FnId>>,
+    /// Owner type name → ids, for `Type::method` paths found anywhere.
+    by_owner_method: BTreeMap<(String, String), Vec<FnId>>,
+    /// Resolved call edges per fn, in source order: (callee, line).
+    edges: BTreeMap<FnId, Vec<(Resolved, u32, Vec<String>)>>,
+}
+
+impl<'a> Graph<'a> {
+    fn build(files: &'a [FileAnalysis]) -> Graph<'a> {
+        let mut by_path: BTreeMap<String, FnId> = BTreeMap::new();
+        let mut by_method: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut by_free: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut by_owner_method: BTreeMap<(String, String), Vec<FnId>> = BTreeMap::new();
+        for (fi, fa) in files.iter().enumerate() {
+            for (gi, f) in fa.ir.fns.iter().enumerate() {
+                let id = (fi, gi);
+                let mut key = f.module.join("::");
+                if !f.owner.is_empty() {
+                    key.push_str("::");
+                    key.push_str(&f.owner);
+                    by_owner_method
+                        .entry((f.owner.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                    by_method.entry(f.name.clone()).or_default().push(id);
+                } else {
+                    by_free.entry(f.name.clone()).or_default().push(id);
+                }
+                key.push_str("::");
+                key.push_str(&f.name);
+                // First definition wins on duplicates (deterministic: files
+                // and fns are walked in sorted order).
+                by_path.entry(key).or_insert(id);
+            }
+        }
+        let mut g = Graph {
+            files,
+            by_path,
+            by_method,
+            by_free,
+            by_owner_method,
+            edges: BTreeMap::new(),
+        };
+        for (fi, fa) in files.iter().enumerate() {
+            for (gi, f) in fa.ir.fns.iter().enumerate() {
+                let id = (fi, gi);
+                let mut out = Vec::new();
+                for call in &f.calls {
+                    out.push((g.resolve(call, id), call.line, call.path.clone()));
+                }
+                g.edges.insert(id, out);
+            }
+        }
+        g
+    }
+
+    fn fn_ir(&self, id: FnId) -> &crate::parser::FnIr {
+        &self.files[id.0].ir.fns[id.1]
+    }
+
+    fn file(&self, id: FnId) -> &FileAnalysis {
+        &self.files[id.0]
+    }
+
+    /// Resolves one call site in the context of the calling function.
+    fn resolve(&self, call: &CallSite, caller: FnId) -> Resolved {
+        let fa = &self.files[caller.0];
+        let f = &fa.ir.fns[caller.1];
+        if call.method {
+            let name = &call.path[0];
+            return match self.by_method.get(name) {
+                Some(ids) if ids.len() == 1 => Resolved::Unique(ids[0]),
+                Some(ids) => Resolved::Candidates(ids.clone()),
+                None => Resolved::External,
+            };
+        }
+        let crate_root = &f.module[..1];
+        let path = crate::parser::normalize_path(&call.path, crate_root, &f.module);
+        if path.is_empty() {
+            return Resolved::External;
+        }
+        // Alias substitution on the head segment.
+        let mut candidates: Vec<Vec<String>> = Vec::new();
+        if let Some(u) = fa.ir.uses.iter().find(|u| u.alias == path[0]) {
+            let mut p = u.path.clone();
+            p.extend(path[1..].iter().cloned());
+            candidates.push(p);
+        }
+        // As written (absolute path starting at some crate ident).
+        candidates.push(path.clone());
+        // Relative to the calling module and to the crate root.
+        for base in [&f.module[..], crate_root] {
+            let mut p: Vec<String> = base.to_vec();
+            p.extend(path.iter().cloned());
+            candidates.push(p);
+        }
+        // Glob imports: `use x::*;` may bring the head into scope.
+        for u in fa.ir.uses.iter().filter(|u| u.alias == "*") {
+            let mut p = u.path.clone();
+            p.extend(path.iter().cloned());
+            candidates.push(p);
+        }
+        for cand in &candidates {
+            if let Some(&id) = self.by_path.get(&cand.join("::")) {
+                return Resolved::Unique(id);
+            }
+        }
+        // `Type::method` with the type owner defined elsewhere: unique
+        // (owner, method) pairs resolve workspace-wide.
+        if path.len() >= 2 {
+            let owner = &path[path.len() - 2];
+            let name = &path[path.len() - 1];
+            if let Some(ids) = self.by_owner_method.get(&(owner.clone(), name.clone())) {
+                if ids.len() == 1 {
+                    return Resolved::Unique(ids[0]);
+                }
+                return Resolved::Candidates(ids.clone());
+            }
+        }
+        // Unique free-fn name imported via a path the parser didn't track.
+        if path.len() == 1 {
+            if let Some(ids) = self.by_free.get(&path[0]) {
+                if ids.len() == 1 {
+                    return Resolved::Unique(ids[0]);
+                }
+            }
+        }
+        Resolved::External
+    }
+}
+
+/// Marks directives used when they cover a cross-file finding; returns
+/// true (and suppresses) when one matches. `extra_rules` lets a family be
+/// silenced by its sibling per-file rule (e.g. `float::strict-eq` allows
+/// also cover `taint::analog-exact` sinks on the same line).
+fn suppressed(directives: &mut [Directive], rule: &str, extra_rules: &[&str], line: u32) -> bool {
+    for d in directives.iter_mut() {
+        if d.covers(line) && (d.rule == rule || extra_rules.contains(&d.rule.as_str())) {
+            d.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+/// True when a seed at `line` in `file` is locally justified by an allow
+/// directive (the per-file rule's or the cross-file family's).
+fn seed_allowed(directives: &[Directive], rules: &[&str], line: u32) -> bool {
+    directives
+        .iter()
+        .any(|d| d.covers(line) && rules.contains(&d.rule.as_str()))
+}
+
+/// Marks the matching directives used (seed-side suppression consumes the
+/// allow, so it never reports as unused).
+fn mark_seed_allow_used(directives: &mut [Directive], rules: &[&str], line: u32) {
+    for d in directives.iter_mut() {
+        if d.covers(line) && rules.contains(&d.rule.as_str()) {
+            d.used = true;
+        }
+    }
+}
+
+const PANIC_ALLOW_RULES: &[&str] = &[
+    "reach::panic",
+    "panic::unwrap",
+    "panic::expect",
+    "panic::panic-macro",
+];
+const ENTROPY_ALLOW_RULES: &[&str] = &[
+    "reach::nondeterminism",
+    "determinism::wall-clock",
+    "determinism::unseeded-rng",
+];
+
+/// Runs the cross-file pass over every analyzed file, marking directive
+/// usage in place and returning the cross findings (sorted by the caller).
+pub fn cross_findings(files: &mut [FileAnalysis]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // The graph borrows the files immutably; directive mutation happens
+    // after each family computes its raw findings.
+    let graph = Graph::build(files);
+
+    let (reach_panic, panic_allowed) = reach_family(
+        &graph,
+        SeedKind::Panic,
+        // Roots: public, non-test fns of non-exempt crates.
+        |fa, f| f.is_pub && !f.in_test && !PANIC_EXEMPT_CRATES.contains(&fa.ctx.krate.as_str()),
+        // Seeds: non-public, non-test fns (a panic in a public fn is part
+        // of its own visible contract; the blind spot is private helpers).
+        |fa, f| !f.is_pub && !f.in_test && !PANIC_EXEMPT_CRATES.contains(&fa.ctx.krate.as_str()),
+        PANIC_ALLOW_RULES,
+    );
+    let (reach_entropy, entropy_allowed) = reach_family(
+        &graph,
+        SeedKind::Entropy,
+        // Roots: any non-test fn inside a determinism-critical crate.
+        |fa, f| !f.in_test && DETERMINISM_CRATES.contains(&fa.ctx.krate.as_str()),
+        // Seeds: fns *outside* those crates (inside, the per-file rules
+        // already deny the tokens directly).
+        |fa, f| !f.in_test && !DETERMINISM_CRATES.contains(&fa.ctx.krate.as_str()),
+        ENTROPY_ALLOW_RULES,
+    );
+    let taint = taint_family(&graph);
+
+    // A seed-side allow that actually shielded a reached seed counts as
+    // used (otherwise it would surface as a false unused-allow warning).
+    for (fi, line) in panic_allowed {
+        mark_seed_allow_used(&mut files[fi].directives, PANIC_ALLOW_RULES, line);
+    }
+    for (fi, line) in entropy_allowed {
+        mark_seed_allow_used(&mut files[fi].directives, ENTROPY_ALLOW_RULES, line);
+    }
+
+    for (rule, raw) in [
+        ("reach::panic", reach_panic),
+        ("reach::nondeterminism", reach_entropy),
+    ] {
+        for rf in raw {
+            let fi = rf.seed_file;
+            if suppressed(
+                &mut files[fi].directives,
+                rule,
+                if rule == "reach::panic" {
+                    &PANIC_ALLOW_RULES[1..]
+                } else {
+                    &ENTROPY_ALLOW_RULES[1..]
+                },
+                rf.line,
+            ) {
+                continue;
+            }
+            findings.push(Finding {
+                file: files[fi].path.clone(),
+                line: rf.line,
+                rule: if rule == "reach::panic" {
+                    "reach::panic"
+                } else {
+                    "reach::nondeterminism"
+                },
+                severity: severity_of(rule),
+                message: rf.message,
+                snippet: files[fi].snippet(rf.line),
+                witness: rf.witness,
+            });
+        }
+    }
+    for rf in taint {
+        let fi = rf.seed_file;
+        if suppressed(
+            &mut files[fi].directives,
+            "taint::analog-exact",
+            &["float::strict-eq"],
+            rf.line,
+        ) {
+            continue;
+        }
+        findings.push(Finding {
+            file: files[fi].path.clone(),
+            line: rf.line,
+            rule: "taint::analog-exact",
+            severity: severity_of("taint::analog-exact"),
+            message: rf.message,
+            snippet: files[fi].snippet(rf.line),
+            witness: rf.witness,
+        });
+    }
+    findings
+}
+
+/// A raw cross finding before directive suppression.
+struct RawFinding {
+    seed_file: usize,
+    line: u32,
+    message: String,
+    witness: Vec<WitnessStep>,
+}
+
+/// Generic reachability family: BFS from `is_root` fns over resolved call
+/// edges; every `is_seed_scope` fn holding an unsuppressed seed of `kind`
+/// that is reached yields one finding per seed line, with the discovery
+/// chain as witness. The second return lists `(file, line)` of seeds that
+/// a seed-side allow shielded, so the caller can mark those allows used.
+fn reach_family(
+    graph: &Graph<'_>,
+    kind: SeedKind,
+    is_root: impl Fn(&FileAnalysis, &crate::parser::FnIr) -> bool,
+    is_seed_scope: impl Fn(&FileAnalysis, &crate::parser::FnIr) -> bool,
+    allow_rules: &[&str],
+) -> (Vec<RawFinding>, Vec<(usize, u32)>) {
+    // BFS with parent pointers; roots in deterministic order.
+    let mut parent: BTreeMap<FnId, (FnId, u32)> = BTreeMap::new();
+    let mut reached: BTreeSet<FnId> = BTreeSet::new();
+    let mut queue: Vec<FnId> = Vec::new();
+    for (fi, fa) in graph.files.iter().enumerate() {
+        for (gi, f) in fa.ir.fns.iter().enumerate() {
+            if is_root(fa, f) {
+                let id = (fi, gi);
+                reached.insert(id);
+                queue.push(id);
+            }
+        }
+    }
+    let mut head = 0usize;
+    while head < queue.len() {
+        let cur = queue[head];
+        head += 1;
+        if let Some(edges) = graph.edges.get(&cur) {
+            for (res, line, _) in edges {
+                let Resolved::Unique(next) = res else {
+                    continue;
+                };
+                if reached.insert(*next) {
+                    parent.insert(*next, (cur, *line));
+                    queue.push(*next);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut allowed = Vec::new();
+    for (fi, fa) in graph.files.iter().enumerate() {
+        for (gi, f) in fa.ir.fns.iter().enumerate() {
+            let id = (fi, gi);
+            if !is_seed_scope(fa, f) || !reached.contains(&id) {
+                continue;
+            }
+            // Indirect only: the fn must have been *discovered* through a
+            // call edge (roots discover themselves).
+            if !parent.contains_key(&id) {
+                continue;
+            }
+            let mut seed_lines: BTreeSet<(u32, String)> = BTreeSet::new();
+            for s in f.seeds.iter().filter(|s| s.kind == kind) {
+                if seed_allowed(&fa.directives, allow_rules, s.line) {
+                    allowed.push((fi, s.line));
+                    continue;
+                }
+                seed_lines.insert((s.line, s.what.clone()));
+            }
+            for (line, what) in seed_lines {
+                let witness = witness_chain(graph, &parent, id, line, &what);
+                let root_label = witness.first().map(|w| w.label.clone()).unwrap_or_default();
+                let message = match kind {
+                    SeedKind::Panic => format!(
+                        "`{what}` in `{}` can abort callers of {root_label} — return an \
+                         Error through the chain or allow with the invariant that makes \
+                         it unreachable",
+                        f.qname()
+                    ),
+                    SeedKind::Entropy => format!(
+                        "`{what}` in `{}` leaks ambient entropy into {root_label} — \
+                         solver results must replay from their seed alone",
+                        f.qname()
+                    ),
+                };
+                out.push(RawFinding {
+                    seed_file: fi,
+                    line,
+                    message,
+                    witness,
+                });
+            }
+        }
+    }
+    (out, allowed)
+}
+
+/// Reconstructs the discovery chain root → … → seed as witness steps.
+fn witness_chain(
+    graph: &Graph<'_>,
+    parent: &BTreeMap<FnId, (FnId, u32)>,
+    seed: FnId,
+    seed_line: u32,
+    what: &str,
+) -> Vec<WitnessStep> {
+    // (callee, its caller, call line in the caller's file)
+    let mut chain: Vec<(FnId, FnId, u32)> = Vec::new();
+    let mut cur = seed;
+    let mut guard = 0usize;
+    while let Some(&(up, line)) = parent.get(&cur) {
+        chain.push((cur, up, line));
+        cur = up;
+        guard += 1;
+        if guard > 64 {
+            break;
+        }
+    }
+    let root = cur;
+    let mut steps = Vec::new();
+    let rf = graph.fn_ir(root);
+    steps.push(WitnessStep {
+        file: graph.file(root).path.clone(),
+        line: rf.line,
+        label: format!("entry point `{}`", rf.qname()),
+    });
+    for &(id, caller, call_line) in chain.iter().rev() {
+        let f = graph.fn_ir(id);
+        steps.push(WitnessStep {
+            file: graph.file(caller).path.clone(),
+            line: call_line,
+            label: format!(
+                "calls `{}` (defined at {}:{})",
+                f.qname(),
+                graph.file(id).path,
+                f.line
+            ),
+        });
+    }
+    let sf = graph.fn_ir(seed);
+    steps.push(WitnessStep {
+        file: graph.file(seed).path.clone(),
+        line: seed_line,
+        label: format!("`{what}` in `{}`", sf.qname()),
+    });
+    steps
+}
+
+/// How a function became analog (for witness reconstruction).
+#[derive(Debug, Clone)]
+enum AnalogWhy {
+    Annotated,
+    /// Returns the result of calling an analog fn at `line`.
+    ViaCall(FnId, u32),
+    /// Returns a local tainted by a call to an analog fn at `line`.
+    ViaBind(FnId, u32),
+}
+
+/// Pre-resolved call sites of one function's binding RHSes and returns —
+/// resolution is fact-independent, so it runs once, not per fixed-point
+/// iteration.
+struct RhsRes {
+    /// Per bind, per RHS call: (resolution, call line).
+    binds: Vec<Vec<(Resolved, u32)>>,
+    /// Per return expression, per call.
+    rets: Vec<Vec<(Resolved, u32)>>,
+}
+
+/// The analog fact lattice plus the per-function taint pass and its sink
+/// findings.
+fn taint_family(graph: &Graph<'_>) -> Vec<RawFinding> {
+    // Fixed point over the returns-analog fact.
+    let mut analog: BTreeMap<FnId, AnalogWhy> = BTreeMap::new();
+    let mut rhs_res: BTreeMap<FnId, RhsRes> = BTreeMap::new();
+    for (fi, fa) in graph.files.iter().enumerate() {
+        for (gi, f) in fa.ir.fns.iter().enumerate() {
+            let id = (fi, gi);
+            if f.analog_source {
+                analog.insert(id, AnalogWhy::Annotated);
+            }
+            if f.in_test {
+                continue;
+            }
+            rhs_res.insert(
+                id,
+                RhsRes {
+                    binds: f
+                        .binds
+                        .iter()
+                        .map(|b| {
+                            b.rhs
+                                .calls
+                                .iter()
+                                .map(|c| (graph.resolve(c, id), c.line))
+                                .collect()
+                        })
+                        .collect(),
+                    rets: f
+                        .rets
+                        .iter()
+                        .map(|r| {
+                            r.calls
+                                .iter()
+                                .map(|c| (graph.resolve(c, id), c.line))
+                                .collect()
+                        })
+                        .collect(),
+                },
+            );
+        }
+    }
+    let is_analog_call = |analog: &BTreeMap<FnId, AnalogWhy>, res: &Resolved| -> Option<FnId> {
+        match res {
+            Resolved::Unique(id) if analog.contains_key(id) => Some(*id),
+            // Unanimity: an ambiguous method call propagates the fact only
+            // when every candidate carries it.
+            Resolved::Candidates(ids)
+                if !ids.is_empty() && ids.iter().all(|i| analog.contains_key(i)) =>
+            {
+                Some(ids[0])
+            }
+            _ => None,
+        }
+    };
+
+    loop {
+        let mut changed = false;
+        for (fi, fa) in graph.files.iter().enumerate() {
+            for (gi, f) in fa.ir.fns.iter().enumerate() {
+                let id = (fi, gi);
+                if analog.contains_key(&id) || f.in_test {
+                    continue;
+                }
+                let Some(res) = rhs_res.get(&id) else {
+                    continue;
+                };
+                let (tainted, provenance) = tainted_locals(graph, &analog, id, res);
+                // Returns-analog: a return expression calls an analog fn or
+                // carries a tainted local.
+                'rets: for (r, rres) in f.rets.iter().zip(&res.rets) {
+                    for (cres, line) in rres {
+                        if let Some(src) = is_analog_call(&analog, cres) {
+                            analog.insert(id, AnalogWhy::ViaCall(src, *line));
+                            changed = true;
+                            break 'rets;
+                        }
+                    }
+                    for ident in &r.idents {
+                        if tainted.contains(ident) {
+                            if let Some(&(src, line)) = provenance.get(ident) {
+                                analog.insert(id, AnalogWhy::ViaBind(src, line));
+                                changed = true;
+                                break 'rets;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sink detection with the final fact set.
+    let mut out = Vec::new();
+    for (fi, fa) in graph.files.iter().enumerate() {
+        for (gi, f) in fa.ir.fns.iter().enumerate() {
+            let id = (fi, gi);
+            if f.in_test {
+                continue;
+            }
+            let Some(res) = rhs_res.get(&id) else {
+                continue;
+            };
+            let (tainted, provenance) = tainted_locals(graph, &analog, id, res);
+            if tainted.is_empty() {
+                continue;
+            }
+            let mut seen_lines: BTreeSet<(u32, SinkKind)> = BTreeSet::new();
+            for s in &f.sinks {
+                let hit = s.idents.iter().find(|i| tainted.contains(*i));
+                let Some(var) = hit else { continue };
+                match s.kind {
+                    SinkKind::StrictEq if !s.zero_cmp => {}
+                    SinkKind::Index if !s.guarded => {}
+                    _ => continue,
+                }
+                if !seen_lines.insert((s.line, s.kind)) {
+                    continue;
+                }
+                let witness = taint_witness(graph, &analog, &provenance, id, var, s.line, s.kind);
+                let message = match s.kind {
+                    SinkKind::StrictEq => format!(
+                        "`{var}` carries an analog readout and feeds a strict float \
+                         compare — decide inside the calibrated tolerance envelope \
+                         instead (Fig 5)"
+                    ),
+                    SinkKind::Index => format!(
+                        "`{var}` carries an analog readout and indexes without \
+                         clamping — `.min()`/`.clamp()` the index first"
+                    ),
+                };
+                out.push(RawFinding {
+                    seed_file: fi,
+                    line: s.line,
+                    message,
+                    witness,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Forward taint pass over one function's bindings: locals assigned from
+/// analog calls (or from already-tainted locals) are tainted. Two sweeps
+/// handle use-before-def orderings the token pass can produce.
+fn tainted_locals(
+    graph: &Graph<'_>,
+    analog: &BTreeMap<FnId, AnalogWhy>,
+    id: FnId,
+    res: &RhsRes,
+) -> (BTreeSet<String>, BTreeMap<String, (FnId, u32)>) {
+    let f = graph.fn_ir(id);
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    let mut provenance: BTreeMap<String, (FnId, u32)> = BTreeMap::new();
+    for _ in 0..2 {
+        for (b, bres) in f.binds.iter().zip(&res.binds) {
+            let mut src: Option<(FnId, u32)> = None;
+            for (cres, line) in bres {
+                let hit = match cres {
+                    Resolved::Unique(i) if analog.contains_key(i) => Some(*i),
+                    Resolved::Candidates(ids)
+                        if !ids.is_empty() && ids.iter().all(|i| analog.contains_key(i)) =>
+                    {
+                        Some(ids[0])
+                    }
+                    _ => None,
+                };
+                if let Some(i) = hit {
+                    src = Some((i, *line));
+                    break;
+                }
+            }
+            if src.is_none() {
+                if let Some(t) = b.rhs.idents.iter().find(|i| tainted.contains(*i)) {
+                    src = provenance.get(t).copied();
+                    if src.is_none() {
+                        // Tainted via a var with unknown provenance; keep
+                        // the chain anchored at this binding.
+                        src = Some((id, b.line));
+                    }
+                }
+            }
+            if let Some(s) = src {
+                for v in &b.vars {
+                    tainted.insert(v.clone());
+                    provenance.entry(v.clone()).or_insert(s);
+                }
+            }
+        }
+    }
+    (tainted, provenance)
+}
+
+/// Witness for a taint finding: sink ← binding ← …analog provenance… ←
+/// annotated source.
+fn taint_witness(
+    graph: &Graph<'_>,
+    analog: &BTreeMap<FnId, AnalogWhy>,
+    provenance: &BTreeMap<String, (FnId, u32)>,
+    id: FnId,
+    var: &str,
+    sink_line: u32,
+    kind: SinkKind,
+) -> Vec<WitnessStep> {
+    let f = graph.fn_ir(id);
+    let mut steps = vec![WitnessStep {
+        file: graph.file(id).path.clone(),
+        line: sink_line,
+        label: format!(
+            "{} on analog-tainted `{var}` in `{}`",
+            match kind {
+                SinkKind::StrictEq => "strict compare",
+                SinkKind::Index => "unclamped index",
+            },
+            f.qname()
+        ),
+    }];
+    if let Some(&(src, line)) = provenance.get(var) {
+        steps.push(WitnessStep {
+            file: graph.file(id).path.clone(),
+            line,
+            label: format!("`{var}` bound from `{}` here", graph.fn_ir(src).qname()),
+        });
+        // Walk the analog provenance of the source fn down to the
+        // annotation.
+        let mut cur = src;
+        let mut guard = 0usize;
+        while guard < 8 {
+            guard += 1;
+            match analog.get(&cur) {
+                Some(AnalogWhy::Annotated) => {
+                    let cf = graph.fn_ir(cur);
+                    steps.push(WitnessStep {
+                        file: graph.file(cur).path.clone(),
+                        line: cf.line,
+                        label: format!("`{}` is an annotated analog source", cf.qname()),
+                    });
+                    break;
+                }
+                Some(AnalogWhy::ViaCall(next, line)) | Some(AnalogWhy::ViaBind(next, line)) => {
+                    let cf = graph.fn_ir(cur);
+                    steps.push(WitnessStep {
+                        file: graph.file(cur).path.clone(),
+                        line: *line,
+                        label: format!(
+                            "`{}` returns a value read from `{}`",
+                            cf.qname(),
+                            graph.fn_ir(*next).qname()
+                        ),
+                    });
+                    if *next == cur {
+                        break;
+                    }
+                    cur = *next;
+                }
+                None => break,
+            }
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze_file;
+
+    fn cross(files: &[(&str, &str)]) -> Vec<(String, u32, String)> {
+        let mut analyses: Vec<FileAnalysis> =
+            files.iter().map(|(p, s)| analyze_file(p, s)).collect();
+        cross_findings(&mut analyses)
+            .into_iter()
+            .map(|f| (f.rule.to_string(), f.line, f.file))
+            .collect()
+    }
+
+    #[test]
+    fn private_panic_helper_reachable_from_pub_api_is_found() {
+        let got = cross(&[
+            (
+                "crates/memlp-core/src/api.rs",
+                "use crate::helpers::check;\npub fn entry(x: usize) { check(x); }\n",
+            ),
+            (
+                "crates/memlp-core/src/helpers.rs",
+                "pub(crate) fn check(x: usize) { inner(x); }\nfn inner(x: usize) { assert!(x > 0); }\n",
+            ),
+        ]);
+        assert_eq!(
+            got,
+            vec![(
+                "reach::panic".to_string(),
+                2,
+                "crates/memlp-core/src/helpers.rs".to_string()
+            )]
+        );
+    }
+
+    #[test]
+    fn entropy_outside_solver_crates_reachable_from_inside_is_found() {
+        let got = cross(&[
+            (
+                "crates/memlp-core/src/run.rs",
+                "use memlp_bench::clock::stamp;\nfn tick() -> u64 { stamp() }\n",
+            ),
+            (
+                "crates/memlp-bench/src/clock.rs",
+                "pub fn stamp() -> u64 { let t = Instant::now(); 0 }\n",
+            ),
+        ]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "reach::nondeterminism");
+        assert_eq!(got[0].2, "crates/memlp-bench/src/clock.rs");
+    }
+
+    #[test]
+    fn tainted_readout_strict_compare_is_found_across_files() {
+        let got = cross(&[
+            (
+                "crates/memlp-device/src/read.rs",
+                "/// memlp-lint: analog_source\npub fn read_line() -> f64 { 0.0 }\n",
+            ),
+            (
+                "crates/memlp-core/src/use_it.rs",
+                "use memlp_device::read::read_line;\nfn f() { let v = read_line(); if v == 1.5 {} }\n",
+            ),
+        ]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "taint::analog-exact");
+        assert_eq!(got[0].2, "crates/memlp-core/src/use_it.rs");
+    }
+
+    #[test]
+    fn tolerant_compare_and_clamped_index_stay_clean() {
+        let got = cross(&[
+            (
+                "crates/memlp-device/src/read.rs",
+                "/// memlp-lint: analog_source\npub fn read_line() -> f64 { 0.0 }\n",
+            ),
+            (
+                "crates/memlp-core/src/use_it.rs",
+                "use memlp_device::read::read_line;\nfn f(t: &[f64]) {\n    let v = read_line();\n    if (v - 1.5).abs() < 1e-9 {}\n    let i = v as usize;\n    let _ = t[i.min(t.len() - 1)];\n}\n",
+            ),
+        ]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

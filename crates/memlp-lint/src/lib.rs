@@ -30,14 +30,18 @@
 //! // memlp-lint: allow(panic::expect, reason = "invariant: set by program()")
 //! ```
 
+pub mod cache;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 
 use std::path::{Path, PathBuf};
 
 pub use report::Report;
-pub use rules::{Finding, Severity, RULES};
+pub use rules::{Finding, Severity, WitnessStep, RULES};
 
 /// Directories scanned inside the workspace root and inside each crate.
 const SCAN_DIRS: &[&str] = &["src", "tests", "examples", "benches"];
@@ -46,21 +50,49 @@ const SCAN_DIRS: &[&str] = &["src", "tests", "examples", "benches"];
 /// lint's own rule fixtures (deliberately-violating test data).
 const EXCLUDED: &[&str] = &["vendor/", "target/", "crates/memlp-lint/tests/fixtures/"];
 
-/// Lints a single in-memory source file (`rel_path` drives scope rules).
+/// Lints a single in-memory source file (`rel_path` drives scope rules)
+/// through the full two-pass pipeline. Cross-file rules see only this one
+/// file, so findings they would derive from other files are absent — use
+/// [`lint_sources`] to analyze a file set together.
 pub fn lint_str(rel_path: &str, src: &str) -> Report {
+    lint_sources(vec![(rel_path.to_string(), src.to_string())])
+}
+
+/// Full pipeline over an in-memory file set: pass 1 per file, pass 2
+/// (call graph + fixed points) across all of them, then `unused-allow`
+/// accounting once both passes have consumed directives.
+pub fn lint_sources(files: Vec<(String, String)>) -> Report {
+    let mut analyses: Vec<rules::FileAnalysis> = files
+        .iter()
+        .map(|(rel, src)| rules::analyze_file(rel, src))
+        .collect();
     Report {
-        findings: rules::lint_source(rel_path, src),
-        files_scanned: 1,
+        findings: finish_pipeline(&mut analyses),
+        files_scanned: files.len(),
     }
 }
 
-/// Lints every workspace source file under `root`.
+/// Pass 2 + unused-allow over pass-1 results (fresh or cache-loaded),
+/// returning the merged, sorted finding list.
+fn finish_pipeline(analyses: &mut [rules::FileAnalysis]) -> Vec<Finding> {
+    let mut findings = graph::cross_findings(analyses);
+    for a in analyses.iter() {
+        findings.extend(a.findings.iter().cloned());
+        findings.extend(rules::unused_allow_findings(a));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// Collects the workspace-relative scan set under `root`, sorted: the
+/// root package's `src`/`tests`/`examples`/`benches` plus the same four
+/// directories of every crate under `crates/`, minus [`EXCLUDED`]. Public
+/// so the coverage tests can pin the scan set itself, not just the count.
 ///
 /// # Errors
 ///
-/// Returns a description of the first I/O failure (unreadable directory or
-/// file).
-pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+/// Returns a description of the first unreadable directory.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
     let mut files = Vec::new();
     for dir in SCAN_DIRS {
         collect_rs(&root.join(dir), root, &mut files)?;
@@ -77,18 +109,83 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     }
     files.sort();
     files.dedup();
+    Ok(files)
+}
 
-    let mut report = Report::default();
-    for rel in files {
+/// Lints every workspace source file under `root` (no cache).
+///
+/// # Errors
+///
+/// Returns a description of the first I/O failure (unreadable directory or
+/// file).
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    lint_workspace_cached(root, None)
+}
+
+/// Lints the workspace with an optional incremental cache file. When
+/// `cache_path` is `Some`, per-file pass-1 results are reloaded for files
+/// whose content hash is unchanged and the cache is rewritten afterwards;
+/// the cross-file pass always re-runs, so output is byte-identical with a
+/// cold, warm, or absent cache.
+///
+/// # Errors
+///
+/// Returns a description of the first I/O failure. A corrupt or stale
+/// cache is not an error — it reads as empty.
+pub fn lint_workspace_cached(root: &Path, cache_path: Option<&Path>) -> Result<Report, String> {
+    // Opt-in phase timing on stderr (stdout stays byte-stable).
+    let timing = std::env::var_os("MEMLP_LINT_TIMING").is_some();
+    let t0 = std::time::Instant::now();
+    let files = workspace_files(root)?;
+    let mut cache = match cache_path {
+        Some(p) => cache::Cache::load(p),
+        None => cache::Cache::default(),
+    };
+    let t_load = t0.elapsed();
+
+    let mut analyses = Vec::with_capacity(files.len());
+    for rel in &files {
         let src =
-            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("reading {rel}: {e}"))?;
-        report.findings.extend(rules::lint_source(&rel, &src));
-        report.files_scanned += 1;
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        let analysis = match cache.get(rel, &src) {
+            Some(a) => a,
+            None => {
+                let a = rules::analyze_file(rel, &src);
+                // Stored before the cross pass touches directives, so
+                // cached usage flags reflect pass 1 only.
+                cache.put(&a, &src);
+                a
+            }
+        };
+        analyses.push(analysis);
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+    let t_pass1 = t0.elapsed();
+
+    let findings = finish_pipeline(&mut analyses);
+    let t_pass2 = t0.elapsed();
+    if let Some(p) = cache_path {
+        cache.retain_files(&files);
+        // A fully-warm run leaves the file as-is (store is the expensive
+        // half of the round trip).
+        if cache.is_dirty() {
+            cache.store(p)?;
+        }
+    }
+    if timing {
+        eprintln!(
+            "memlp-lint timing: load {:?}, pass1 {:?} ({} hit / {} miss), pass2 {:?}, store {:?}",
+            t_load,
+            t_pass1 - t_load,
+            cache.hits,
+            cache.misses,
+            t_pass2 - t_pass1,
+            t0.elapsed() - t_pass2
+        );
+    }
+    Ok(Report {
+        findings,
+        files_scanned: files.len(),
+    })
 }
 
 /// Finds the workspace root by walking up from `start` to the first

@@ -3,29 +3,45 @@
 //! on deny-level findings.
 //!
 //! ```text
-//! memlp-lint [--root <path>] [--format human|json] [--list-rules] [--quiet]
+//! memlp-lint [--root <path>] [--format human|json|sarif] [--list-rules]
+//!            [--explain <rule>] [--no-cache] [--quiet]
 //! ```
 //!
 //! Exit codes: `0` clean (warn findings allowed), `1` deny findings, `2`
 //! usage or I/O error.
+//!
+//! By default pass-1 results are cached in `.memlp-lint-cache.json` at the
+//! workspace root (content-hash keyed; the cross-file pass always re-runs,
+//! so cached and cold runs print byte-identical output). `--no-cache`
+//! neither reads nor writes the cache file.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use memlp_lint::rules::Severity;
 
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Args {
     root: Option<PathBuf>,
-    json: bool,
+    format: Format,
     list_rules: bool,
+    explain: Option<String>,
+    no_cache: bool,
     quiet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
-        json: false,
+        format: Format::Human,
         list_rules: false,
+        explain: None,
+        no_cache: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -36,19 +52,27 @@ fn parse_args() -> Result<Args, String> {
                 args.root = Some(PathBuf::from(v));
             }
             "--format" => match it.next().as_deref() {
-                Some("json") => args.json = true,
-                Some("human") => args.json = false,
-                other => return Err(format!("--format expects human|json, got {other:?}")),
+                Some("json") => args.format = Format::Json,
+                Some("human") => args.format = Format::Human,
+                Some("sarif") => args.format = Format::Sarif,
+                other => return Err(format!("--format expects human|json|sarif, got {other:?}")),
             },
+            "--explain" => {
+                let v = it.next().ok_or("--explain needs a rule id")?;
+                args.explain = Some(v);
+            }
             // A bare `--` separator (e.g. from `cargo lint -- --flag` when
             // the alias already ends in `--`) is ignored.
             "--" => {}
             "--list-rules" => args.list_rules = true,
+            "--no-cache" => args.no_cache = true,
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
-                return Err("usage: memlp-lint [--root <path>] [--format human|json] \
-                            [--list-rules] [--quiet]"
-                    .into())
+                return Err(
+                    "usage: memlp-lint [--root <path>] [--format human|json|sarif] \
+                            [--list-rules] [--explain <rule>] [--no-cache] [--quiet]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -72,6 +96,20 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(rule) = &args.explain {
+        return match memlp_lint::rules::explain(rule) {
+            Some(text) => {
+                println!("{rule}\n");
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("memlp-lint: unknown rule `{rule}` (see --list-rules)");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let root = match args.root.or_else(|| {
         std::env::current_dir()
             .ok()
@@ -88,7 +126,13 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let report = match memlp_lint::lint_workspace(&root) {
+    let cache_path = root.join(memlp_lint::cache::CACHE_FILE);
+    let cache_arg = if args.no_cache {
+        None
+    } else {
+        Some(cache_path.as_path())
+    };
+    let report = match memlp_lint::lint_workspace_cached(&root, cache_arg) {
         Ok(r) => r,
         Err(msg) => {
             eprintln!("memlp-lint: {msg}");
@@ -96,18 +140,19 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.json {
-        print!("{}", report.to_json());
-    } else if !args.quiet {
-        print!("{}", report.to_human());
-    } else {
-        // Quiet mode: deny findings only, no snippets.
-        for f in report
-            .findings
-            .iter()
-            .filter(|f| f.severity == Severity::Deny)
-        {
-            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    match args.format {
+        Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => print!("{}", memlp_lint::sarif::to_sarif(&report)),
+        Format::Human if !args.quiet => print!("{}", report.to_human()),
+        Format::Human => {
+            // Quiet mode: deny findings only, no snippets or witnesses.
+            for f in report
+                .findings
+                .iter()
+                .filter(|f| f.severity == Severity::Deny)
+            {
+                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            }
         }
     }
 

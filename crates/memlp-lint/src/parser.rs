@@ -1,0 +1,1220 @@
+//! Pass 1 of the cross-file analyzer: an item-level parser built on the
+//! [`crate::lexer`] token stream.
+//!
+//! This is deliberately *not* a full Rust parser. It recovers just enough
+//! structure for whole-workspace reasoning — modules, `impl` owners, `use`
+//! aliases, `fn` items — and, per function, the facts the fixed-point rules
+//! in [`crate::graph`] consume:
+//!
+//! * **call sites** (path calls fully recorded, method calls by name),
+//! * **panic seeds** (`unwrap`/`expect`/`panic!`-family/`assert!`-family),
+//! * **entropy seeds** (wall clocks and ambient RNG),
+//! * **taint structure** (`let` bindings with their right-hand sides,
+//!   strict-compare and indexing sinks, return expressions) for the
+//!   analog-readout dataflow rule, and
+//! * the `memlp-lint: analog_source` doc-comment annotation that seeds the
+//!   analog fact lattice on `memlp-device`/`memlp-crossbar` readout APIs.
+//!
+//! Anything the parser cannot classify it skips: a linter over-approximates
+//! where cheap and under-approximates where a guess would lie, and every
+//! skip is deterministic.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Parsed shape of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct FileIr {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Root module path of the file (crate ident first).
+    pub module: Vec<String>,
+    /// `use` aliases visible in the file (alias `*` marks a glob import).
+    pub uses: Vec<UseDecl>,
+    /// Every `fn` item found (bodies of nested fns are not revisited).
+    pub fns: Vec<FnIr>,
+}
+
+/// One `use` alias: `alias` resolves to `path`.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Local name (`*` for glob imports).
+    pub alias: String,
+    /// Imported path segments as written (absolute after normalization).
+    pub path: Vec<String>,
+}
+
+/// One `fn` item with its extracted facts.
+#[derive(Debug, Clone, Default)]
+pub struct FnIr {
+    /// Bare function name.
+    pub name: String,
+    /// `impl`/`trait` owner type name (empty for free functions).
+    pub owner: String,
+    /// Absolute module path (crate ident + file + inline `mod`s).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True for unrestricted `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// True inside `#[cfg(test)]`/`#[test]` regions or test-scope files.
+    pub in_test: bool,
+    /// True when annotated with `memlp-lint: analog_source`.
+    pub analog_source: bool,
+    /// Local fact seeds (panic / entropy tokens) with their lines.
+    pub seeds: Vec<Seed>,
+    /// Call sites in the body.
+    pub calls: Vec<CallSite>,
+    /// `let`/reassignment/`for` bindings (taint propagation).
+    pub binds: Vec<Bind>,
+    /// Strict-compare and indexing sinks (taint consumption).
+    pub sinks: Vec<Sink>,
+    /// Right-hand sides of `return` statements and the trailing expression.
+    pub rets: Vec<Rhs>,
+}
+
+impl FnIr {
+    /// Display name: `module::Owner::name` / `module::name`.
+    pub fn qname(&self) -> String {
+        let mut parts: Vec<&str> = self.module.iter().map(String::as_str).collect();
+        if !self.owner.is_empty() {
+            parts.push(&self.owner);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+}
+
+/// What kind of fact a local seed contributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedKind {
+    /// May abort: `unwrap`/`expect`/`panic!`/`assert!` family.
+    Panic,
+    /// Ambient nondeterminism: wall clocks or unseeded RNG.
+    Entropy,
+}
+
+/// One local fact seed.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// Fact family.
+    pub kind: SeedKind,
+    /// The offending token (for messages), e.g. `assert_eq!`.
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Path segments as written (single segment for method calls).
+    pub path: Vec<String>,
+    /// True for `.name(...)` receiver calls (resolved by name, see graph).
+    pub method: bool,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Identifier/call summary of an expression (a binding RHS or return).
+#[derive(Debug, Clone, Default)]
+pub struct Rhs {
+    /// Calls appearing in the expression.
+    pub calls: Vec<CallSite>,
+    /// Plain identifiers appearing in the expression (call names and
+    /// shape-accessor receivers excluded).
+    pub idents: Vec<String>,
+}
+
+/// One binding: `vars` receive the value of `rhs`.
+#[derive(Debug, Clone)]
+pub struct Bind {
+    /// Bound variable names (all idents of the pattern).
+    pub vars: Vec<String>,
+    /// Value summary.
+    pub rhs: Rhs,
+    /// 1-based line of the binding.
+    pub line: u32,
+}
+
+/// Taint sink kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SinkKind {
+    /// Strict `==`/`!=` comparison.
+    StrictEq,
+    /// Slice/array indexing `a[i]`.
+    Index,
+}
+
+/// One potential taint sink.
+#[derive(Debug, Clone)]
+pub struct Sink {
+    /// Sink kind.
+    pub kind: SinkKind,
+    /// Identifiers feeding the sink (comparison operands / index expr).
+    pub idents: Vec<String>,
+    /// 1-based line.
+    pub line: u32,
+    /// `StrictEq` only: one side is an exact-zero float literal
+    /// (structural-sparsity checks are exempt, as in `float::strict-eq`).
+    pub zero_cmp: bool,
+    /// `Index` only: the index expression clamps (`min`/`clamp`/
+    /// `saturating_sub`) before indexing.
+    pub guarded: bool,
+}
+
+/// Methods that return shapes/sizes, not values: a tainted receiver does
+/// not taint `x.len()`-style results, so these receivers are dropped from
+/// ident summaries.
+const SHAPE_ACCESSORS: &[&str] = &[
+    "len", "is_empty", "rows", "cols", "count", "capacity", "dims", "side", "nnz",
+];
+
+/// Struct fields that hold shapes/dimensions, not analog values: a field
+/// access `sys.m` inside an index expression reads a problem dimension, so
+/// neither the receiver nor the field taints the index.
+const SHAPE_FIELDS: &[&str] = &["m", "n", "k", "rows", "cols", "dim", "len", "size", "nnz"];
+
+/// Keywords never treated as call heads or value identifiers.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "let", "mut",
+    "ref", "move", "as", "in", "fn", "pub", "use", "mod", "impl", "trait", "struct", "enum",
+    "type", "const", "static", "where", "dyn", "self", "Self", "super", "crate", "true", "false",
+    "async", "await", "unsafe", "extern",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Derives the absolute root module path for a workspace-relative file.
+///
+/// Crate library sources map to real module paths (`crates/memlp-core/src/
+/// newton.rs` → `memlp_core::newton`); test/example/bench targets and
+/// binaries are their own crate roots, so they get a unique synthetic root
+/// that nothing resolves into from outside.
+pub fn module_path_of(rel: &str) -> Vec<String> {
+    let rel = rel.replace('\\', "/");
+    let (crate_ident, rest) = match rel.strip_prefix("crates/") {
+        Some(r) => {
+            let mut it = r.splitn(2, '/');
+            let name = it.next().unwrap_or("").replace('-', "_");
+            (name, it.next().unwrap_or("").to_string())
+        }
+        None => ("memlp".to_string(), rel.clone()),
+    };
+    if let Some(inner) = rest.strip_prefix("src/") {
+        if !inner.contains("bin/") {
+            let mut path = vec![crate_ident];
+            let trimmed = inner.trim_end_matches(".rs");
+            for seg in trimmed.split('/') {
+                if seg == "lib" || seg == "mod" || seg.is_empty() {
+                    continue;
+                }
+                path.push(seg.to_string());
+            }
+            return path;
+        }
+    }
+    // Standalone compilation roots: give each a synthetic unique module.
+    vec![format!(
+        "__root_{}",
+        rel.trim_end_matches(".rs").replace(['/', '-', '.'], "_")
+    )]
+}
+
+/// Parses one lexed file into its IR. `test_file` marks whole-file test
+/// scope (integration tests, examples, benches); `test_mask` marks
+/// `#[cfg(test)]`/`#[test]` token regions inside library files.
+pub fn parse_file(rel: &str, lexed: &Lexed, test_file: bool, test_mask: &[bool]) -> FileIr {
+    let toks = &lexed.toks;
+    let root = module_path_of(rel);
+    let mut ir = FileIr {
+        path: rel.to_string(),
+        module: root.clone(),
+        uses: Vec::new(),
+        fns: Vec::new(),
+    };
+
+    // `memlp-lint: analog_source` annotation lines, ascending.
+    let mut annot_lines: Vec<u32> = lexed
+        .comments
+        .iter()
+        .filter(|c| {
+            c.text
+                .trim_start_matches(['/', '*', '!'])
+                .trim_start()
+                .strip_prefix("memlp-lint:")
+                .map(|rest| rest.trim_start().starts_with("analog_source"))
+                .unwrap_or(false)
+        })
+        .map(|c| c.line)
+        .collect();
+    annot_lines.sort_unstable();
+    let mut next_annot = 0usize;
+
+    let mut depth: i32 = 0;
+    let mut mod_stack: Vec<(String, i32)> = Vec::new();
+    let mut impl_stack: Vec<(String, i32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let text = toks[i].text.as_str();
+        match text {
+            "{" => {
+                depth += 1;
+                i += 1;
+            }
+            "}" => {
+                depth -= 1;
+                if mod_stack.last().map(|m| m.1 == depth).unwrap_or(false) {
+                    mod_stack.pop();
+                }
+                if impl_stack.last().map(|m| m.1 == depth).unwrap_or(false) {
+                    impl_stack.pop();
+                }
+                i += 1;
+            }
+            "use" if toks[i].kind == TokKind::Ident => {
+                i = parse_use(toks, i + 1, &root, &mut ir.uses);
+            }
+            "mod" if toks[i].kind == TokKind::Ident => {
+                // `mod name {` opens a nested module; `mod name;` is an
+                // out-of-line module (its file is parsed separately).
+                if let (Some(name), Some(open)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if name.kind == TokKind::Ident && open.text == "{" {
+                        mod_stack.push((name.text.clone(), depth));
+                    }
+                }
+                i += 1;
+            }
+            "impl" | "trait" if toks[i].kind == TokKind::Ident => {
+                let (owner, after) = parse_impl_header(toks, i + 1);
+                if toks.get(after).map(|t| t.text == "{").unwrap_or(false) {
+                    impl_stack.push((owner, depth));
+                }
+                i = after;
+            }
+            "fn" if toks[i].kind == TokKind::Ident => {
+                let Some(name_tok) = toks.get(i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                if name_tok.kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                let fn_line = toks[i].line;
+                let is_pub = visibility_is_pub(toks, i);
+                let mut module = root.clone();
+                module.extend(mod_stack.iter().map(|(n, _)| n.clone()));
+                let owner = impl_stack
+                    .last()
+                    .map(|(n, _)| n.clone())
+                    .unwrap_or_default();
+                // Find the body: the first `{` before a `;` ends the
+                // signature; a `;` first means a bodyless declaration.
+                let mut j = i + 2;
+                let mut body: Option<(usize, usize)> = None;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "{" => {
+                            body = Some((j, matching_brace(toks, j)));
+                            break;
+                        }
+                        ";" => break,
+                        _ => j += 1,
+                    }
+                }
+                let mut f = FnIr {
+                    name: name_tok.text.clone(),
+                    owner,
+                    module,
+                    line: fn_line,
+                    is_pub,
+                    in_test: test_file || test_mask.get(i).copied().unwrap_or(false),
+                    analog_source: false,
+                    ..FnIr::default()
+                };
+                while next_annot < annot_lines.len() && annot_lines[next_annot] < fn_line {
+                    f.analog_source = true;
+                    next_annot += 1;
+                }
+                if let Some((open, close)) = body {
+                    extract_body(&toks[open..=close.min(toks.len() - 1)], &mut f);
+                    ir.fns.push(f);
+                    i = close + 1;
+                } else {
+                    ir.fns.push(f);
+                    i = j + 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    ir
+}
+
+/// Index of the `}` matching the `{` at `open` (last token if unbalanced).
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// True when the tokens before `fn` at `i` carry an unrestricted `pub`.
+fn visibility_is_pub(toks: &[Tok], i: usize) -> bool {
+    // Walk back over modifier tokens (`const`, `async`, `extern "C"`).
+    let mut k = i;
+    while k > 0 {
+        let prev = &toks[k - 1];
+        match prev.text.as_str() {
+            "const" | "async" | "unsafe" | "extern" => k -= 1,
+            _ if prev.kind == TokKind::Str => k -= 1, // extern ABI string
+            _ => break,
+        }
+    }
+    if k == 0 {
+        return false;
+    }
+    let prev = &toks[k - 1];
+    if prev.text == "pub" {
+        // `pub` immediately: unrestricted only if not `pub(...)` — but a
+        // restriction would sit *after* `pub`, i.e. between it and `fn`,
+        // and we walked only over modifiers, so this `pub` is plain.
+        return true;
+    }
+    // `pub(crate) fn`: the token before `fn` is `)`; scan back to `pub`.
+    if prev.text == ")" {
+        let mut b = k - 1;
+        while b > 0 && toks[b].text != "(" {
+            b -= 1;
+        }
+        if b >= 1 && toks[b - 1].text == "pub" {
+            return false; // restricted visibility is not public API
+        }
+    }
+    false
+}
+
+/// Parses a `use` declaration starting after the `use` keyword; returns the
+/// index one past the terminating `;`. Handles `a::b::c`, `as` renames,
+/// nested groups `{…}`, and glob `*` imports.
+fn parse_use(toks: &[Tok], mut i: usize, root: &[String], out: &mut Vec<UseDecl>) -> usize {
+    // Collect the raw token texts up to `;`, then parse the tree textually.
+    let start = i;
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            ";" if depth <= 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    let texts: Vec<&str> = toks[start..i].iter().map(|t| t.text.as_str()).collect();
+    expand_use_tree(&texts, &[], root, out);
+    i + 1
+}
+
+/// Recursively expands a use-tree token slice into flat alias → path decls.
+fn expand_use_tree(toks: &[&str], prefix: &[String], root: &[String], out: &mut Vec<UseDecl>) {
+    let mut path: Vec<String> = Vec::new();
+    let mut k = 0usize;
+    while k < toks.len() {
+        match toks[k] {
+            "::" => k += 1,
+            "{" => {
+                // Split the group body at top-level commas and recurse.
+                let mut depth = 1i32;
+                let mut item_start = k + 1;
+                let mut m = k + 1;
+                let mut full = prefix.to_vec();
+                full.extend(path.iter().cloned());
+                while m < toks.len() {
+                    match toks[m] {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                if m > item_start {
+                                    expand_use_tree(&toks[item_start..m], &full, root, out);
+                                }
+                                break;
+                            }
+                        }
+                        "," if depth == 1 => {
+                            if m > item_start {
+                                expand_use_tree(&toks[item_start..m], &full, root, out);
+                            }
+                            item_start = m + 1;
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                return;
+            }
+            "*" => {
+                push_use(prefix, &path, "*", root, out);
+                return;
+            }
+            "as" => {
+                let alias = toks.get(k + 1).copied().unwrap_or("_").to_string();
+                push_use(prefix, &path, &alias, root, out);
+                return;
+            }
+            seg => {
+                path.push(seg.to_string());
+                k += 1;
+            }
+        }
+    }
+    if let Some(last) = path.last().cloned() {
+        push_use(prefix, &path, &last, root, out);
+    }
+}
+
+/// Records one flattened use decl, normalizing `crate`/`self`/`super`
+/// prefixes against the file's root module.
+fn push_use(
+    prefix: &[String],
+    path: &[String],
+    alias: &str,
+    root: &[String],
+    out: &mut Vec<UseDecl>,
+) {
+    if alias == "_" {
+        return;
+    }
+    let mut full: Vec<String> = prefix.to_vec();
+    full.extend(path.iter().cloned());
+    let abs = normalize_path(&full, root, root);
+    out.push(UseDecl {
+        alias: alias.to_string(),
+        path: abs,
+    });
+}
+
+/// Rewrites `crate::`/`self::`/`super::` heads against the crate root and
+/// current module. Paths that start elsewhere are returned unchanged.
+pub fn normalize_path(path: &[String], crate_root: &[String], module: &[String]) -> Vec<String> {
+    let Some(head) = path.first() else {
+        return Vec::new();
+    };
+    match head.as_str() {
+        "crate" => {
+            let mut v = vec![crate_root
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "crate".into())];
+            v.extend(path[1..].iter().cloned());
+            v
+        }
+        "self" => {
+            let mut v = module.to_vec();
+            v.extend(path[1..].iter().cloned());
+            v
+        }
+        "super" => {
+            let mut v: Vec<String> = module.to_vec();
+            let mut rest = path;
+            while rest.first().map(|s| s == "super").unwrap_or(false) {
+                v.pop();
+                rest = &rest[1..];
+            }
+            v.extend(rest.iter().cloned());
+            v
+        }
+        _ => path.to_vec(),
+    }
+}
+
+/// Parses an `impl`/`trait` header starting after the keyword; returns the
+/// owner type name and the index of the opening `{` (or stop token).
+fn parse_impl_header(toks: &[Tok], mut i: usize) -> (String, usize) {
+    let mut owner = String::new();
+    let mut after_for = false;
+    let mut angle = 0i32;
+    while i < toks.len() {
+        let t = toks[i].text.as_str();
+        match t {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "{" | ";" if angle <= 0 => break,
+            "for" if angle <= 0 => {
+                after_for = true;
+                owner.clear();
+            }
+            _ if angle > 0 => {}
+            _ => {
+                if toks[i].kind == TokKind::Ident && !is_keyword(t) {
+                    // Keep the last plain segment: `impl a::b::Type` → Type.
+                    let _ = after_for;
+                    owner = t.to_string();
+                }
+            }
+        }
+        i += 1;
+    }
+    (owner, i)
+}
+
+/// Walks a function body token slice (including the outer braces) and
+/// fills the fn's seeds, calls, binds, sinks, and returns.
+fn extract_body(body: &[Tok], f: &mut FnIr) {
+    extract_seeds(body, &mut f.seeds);
+    extract_calls(body, &mut f.calls);
+    extract_binds(body, &mut f.binds);
+    extract_sinks(body, &mut f.sinks);
+    extract_rets(body, &mut f.rets);
+}
+
+/// Local panic / entropy fact seeds.
+fn extract_seeds(body: &[Tok], out: &mut Vec<Seed>) {
+    for (k, t) in body.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = k.checked_sub(1).and_then(|p| body.get(p));
+        let next = body.get(k + 1);
+        let text = t.text.as_str();
+        let bang = next.map(|n| n.text == "!").unwrap_or(false);
+        let call = next.map(|n| n.text == "(").unwrap_or(false);
+        let dotted = prev
+            .map(|p| p.text == "." || p.text == "::")
+            .unwrap_or(false);
+        if matches!(text, "unwrap" | "expect") && dotted && call {
+            out.push(Seed {
+                kind: SeedKind::Panic,
+                what: format!(".{text}()"),
+                line: t.line,
+            });
+        }
+        if bang
+            && matches!(
+                text,
+                "panic"
+                    | "todo"
+                    | "unimplemented"
+                    | "unreachable"
+                    | "assert"
+                    | "assert_eq"
+                    | "assert_ne"
+            )
+        {
+            out.push(Seed {
+                kind: SeedKind::Panic,
+                what: format!("{text}!"),
+                line: t.line,
+            });
+        }
+        if matches!(text, "Instant" | "SystemTime") {
+            out.push(Seed {
+                kind: SeedKind::Entropy,
+                what: text.to_string(),
+                line: t.line,
+            });
+        }
+        if matches!(text, "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy") {
+            out.push(Seed {
+                kind: SeedKind::Entropy,
+                what: text.to_string(),
+                line: t.line,
+            });
+        }
+        if text == "rand"
+            && next.map(|n| n.text == "::").unwrap_or(false)
+            && body.get(k + 2).map(|n| n.text == "random").unwrap_or(false)
+        {
+            out.push(Seed {
+                kind: SeedKind::Entropy,
+                what: "rand::random".into(),
+                line: t.line,
+            });
+        }
+    }
+}
+
+/// Call-site extraction: `a::b::f(...)`, `f(...)`, and `.m(...)`.
+fn extract_calls(body: &[Tok], out: &mut Vec<CallSite>) {
+    let mut k = 0usize;
+    while k < body.len() {
+        let t = &body[k];
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            k += 1;
+            continue;
+        }
+        let prev = k.checked_sub(1).and_then(|p| body.get(p));
+        if prev.map(|p| p.text == ".").unwrap_or(false) {
+            // Method call `.name(`.
+            if body.get(k + 1).map(|n| n.text == "(").unwrap_or(false) {
+                out.push(CallSite {
+                    path: vec![t.text.clone()],
+                    method: true,
+                    line: t.line,
+                });
+            }
+            k += 1;
+            continue;
+        }
+        // Path walk: ident (:: ident)*.
+        let mut segs = vec![t.text.clone()];
+        let mut m = k + 1;
+        while m + 1 < body.len() && body[m].text == "::" && body[m + 1].kind == TokKind::Ident {
+            segs.push(body[m + 1].text.clone());
+            m += 2;
+        }
+        // Skip one turbofish `::<...>` between the path and the arg list.
+        let mut call_at = m;
+        if m + 1 < body.len() && body[m].text == "::" && body[m + 1].text == "<" {
+            let mut angle = 1i32;
+            let mut a = m + 2;
+            while a < body.len() && angle > 0 {
+                match body[a].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    _ => {}
+                }
+                a += 1;
+            }
+            call_at = a;
+        }
+        let is_macro = body.get(call_at).map(|n| n.text == "!").unwrap_or(false);
+        if !is_macro && body.get(call_at).map(|n| n.text == "(").unwrap_or(false) {
+            out.push(CallSite {
+                path: segs,
+                method: false,
+                line: t.line,
+            });
+        }
+        k = m.max(k + 1);
+    }
+}
+
+/// Summarizes an expression token slice: its calls and its value idents.
+fn rhs_of(slice: &[Tok]) -> Rhs {
+    let mut rhs = Rhs::default();
+    extract_calls(slice, &mut rhs.calls);
+    for (k, t) in slice.iter().enumerate() {
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            continue;
+        }
+        // Skip call names (`f(` / `.m(`) — the call list covers them.
+        if slice.get(k + 1).map(|n| n.text == "(").unwrap_or(false) {
+            continue;
+        }
+        // Skip macro names and path-interior segments.
+        if slice.get(k + 1).map(|n| n.text == "!").unwrap_or(false) {
+            continue;
+        }
+        if slice.get(k + 1).map(|n| n.text == "::").unwrap_or(false) {
+            continue;
+        }
+        // Drop receivers of shape accessors: `x.len()` is not a value of x.
+        if slice.get(k + 1).map(|n| n.text == ".").unwrap_or(false) {
+            if let (Some(m), Some(p)) = (slice.get(k + 2), slice.get(k + 3)) {
+                if p.text == "(" && SHAPE_ACCESSORS.contains(&m.text.as_str()) {
+                    continue;
+                }
+            }
+        }
+        rhs.idents.push(t.text.clone());
+    }
+    rhs.idents.sort();
+    rhs.idents.dedup();
+    rhs
+}
+
+/// Binding extraction: `let pat = expr;` / `pat = expr;` reassignment /
+/// `for pat in expr {`, including `if let` / `while let` forms.
+fn extract_binds(body: &[Tok], out: &mut Vec<Bind>) {
+    let mut k = 0usize;
+    while k < body.len() {
+        let t = &body[k];
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "let" => {
+                let line = t.line;
+                let cond_let = k
+                    .checked_sub(1)
+                    .and_then(|p| body.get(p))
+                    .map(|p| p.text == "if" || p.text == "while")
+                    .unwrap_or(false);
+                // Pattern idents until `:` (type) or `=`.
+                let mut vars = Vec::new();
+                let mut m = k + 1;
+                let mut saw_eq = false;
+                while m < body.len() {
+                    match body[m].text.as_str() {
+                        "=" => {
+                            saw_eq = true;
+                            m += 1;
+                            break;
+                        }
+                        ":" | ";" => break,
+                        _ => {
+                            if body[m].kind == TokKind::Ident && !is_keyword(&body[m].text) {
+                                vars.push(body[m].text.clone());
+                            }
+                            m += 1;
+                        }
+                    }
+                }
+                // Skip an explicit type annotation to the `=`.
+                if !saw_eq {
+                    while m < body.len() && body[m].text != "=" && body[m].text != ";" {
+                        m += 1;
+                    }
+                    if body.get(m).map(|x| x.text == "=").unwrap_or(false) {
+                        saw_eq = true;
+                        m += 1;
+                    }
+                }
+                if saw_eq && !vars.is_empty() {
+                    let end = rhs_end(body, m, cond_let);
+                    out.push(Bind {
+                        vars,
+                        rhs: rhs_of(&body[m..end]),
+                        line,
+                    });
+                    k = end;
+                    continue;
+                }
+                k = m.max(k + 1);
+            }
+            "for" => {
+                let line = t.line;
+                let mut vars = Vec::new();
+                let mut m = k + 1;
+                while m < body.len() && body[m].text != "in" && body[m].text != "{" {
+                    if body[m].kind == TokKind::Ident && !is_keyword(&body[m].text) {
+                        vars.push(body[m].text.clone());
+                    }
+                    m += 1;
+                }
+                if body.get(m).map(|x| x.text == "in").unwrap_or(false) {
+                    let end = rhs_end(body, m + 1, true);
+                    if !vars.is_empty() {
+                        out.push(Bind {
+                            vars,
+                            rhs: rhs_of(&body[m + 1..end]),
+                            line,
+                        });
+                    }
+                    k = end;
+                    continue;
+                }
+                k = m.max(k + 1);
+            }
+            name if !is_keyword(name) => {
+                // Reassignment `x = expr;` at statement start.
+                let at_stmt_start = k == 0 || matches!(body[k - 1].text.as_str(), ";" | "{" | "}");
+                if at_stmt_start
+                    && body.get(k + 1).map(|n| n.text == "=").unwrap_or(false)
+                    && body.get(k + 2).map(|n| n.text != "=").unwrap_or(false)
+                {
+                    let end = rhs_end(body, k + 2, false);
+                    out.push(Bind {
+                        vars: vec![name.to_string()],
+                        rhs: rhs_of(&body[k + 2..end]),
+                        line: t.line,
+                    });
+                    k = end;
+                    continue;
+                }
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+}
+
+/// End index (exclusive) of an expression starting at `m`: runs to the
+/// first `;` at local brace depth zero (or to `{` when `stop_at_brace`,
+/// for `if let`/`while let`/`for` headers).
+fn rhs_end(body: &[Tok], m: usize, stop_at_brace: bool) -> usize {
+    let mut depth = 0i32;
+    let mut k = m;
+    while k < body.len() {
+        match body[k].text.as_str() {
+            "{" => {
+                if stop_at_brace && depth == 0 {
+                    return k;
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            ";" if depth == 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Sink extraction: strict float comparisons and unclamped indexing.
+fn extract_sinks(body: &[Tok], out: &mut Vec<Sink>) {
+    for (k, t) in body.iter().enumerate() {
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let mut idents = Vec::new();
+            let mut zero_lit = false;
+            let mut nonzero_lit = false;
+            let mut path_cmp = false;
+            collect_cmp_side(
+                body,
+                k,
+                true,
+                &mut idents,
+                &mut zero_lit,
+                &mut nonzero_lit,
+                &mut path_cmp,
+            );
+            collect_cmp_side(
+                body,
+                k,
+                false,
+                &mut idents,
+                &mut zero_lit,
+                &mut nonzero_lit,
+                &mut path_cmp,
+            );
+            // A `::`-qualified operand (`status == LpStatus::Optimal`) is an
+            // enum-variant or associated-const compare, not a raw float
+            // compare — exact equality is the *point* there, so no sink.
+            if path_cmp {
+                continue;
+            }
+            idents.sort();
+            idents.dedup();
+            out.push(Sink {
+                kind: SinkKind::StrictEq,
+                idents,
+                line: t.line,
+                zero_cmp: zero_lit && !nonzero_lit,
+                guarded: false,
+            });
+        }
+        if t.text == "[" {
+            let indexing = k
+                .checked_sub(1)
+                .and_then(|p| body.get(p))
+                .map(|p| {
+                    (p.kind == TokKind::Ident && !is_keyword(&p.text))
+                        || p.text == ")"
+                        || p.text == "]"
+                })
+                .unwrap_or(false);
+            if !indexing {
+                continue;
+            }
+            let mut depth = 1i32;
+            let mut m = k + 1;
+            let mut idents = Vec::new();
+            let mut guarded = false;
+            while m < body.len() && depth > 0 {
+                match body[m].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    txt => {
+                        if body[m].kind == TokKind::Ident && !is_keyword(txt) {
+                            // `recv.m` / `recv.len()` read a dimension, not
+                            // a value: skip the receiver and the accessor
+                            // together.
+                            if let (Some(dot), Some(field)) = (body.get(m + 1), body.get(m + 2)) {
+                                let is_call = body.get(m + 3).map(|p| p.text == "(") == Some(true);
+                                let shape = dot.text == "."
+                                    && field.kind == TokKind::Ident
+                                    && if is_call {
+                                        SHAPE_ACCESSORS.contains(&field.text.as_str())
+                                    } else {
+                                        SHAPE_FIELDS.contains(&field.text.as_str())
+                                    };
+                                if shape {
+                                    m += 3;
+                                    continue;
+                                }
+                            }
+                            if matches!(txt, "min" | "clamp" | "saturating_sub") {
+                                guarded = true;
+                            } else {
+                                idents.push(txt.to_string());
+                            }
+                        }
+                    }
+                }
+                m += 1;
+            }
+            if !idents.is_empty() {
+                idents.sort();
+                idents.dedup();
+                out.push(Sink {
+                    kind: SinkKind::Index,
+                    idents,
+                    line: body[k].line,
+                    zero_cmp: false,
+                    guarded,
+                });
+            }
+        }
+    }
+}
+
+/// Gathers one side of a `==`/`!=`: nearby value idents, literal flags,
+/// and whether the operand is a `::`-qualified path (enum variant or
+/// associated const — exact compares are intended there).
+#[allow(clippy::too_many_arguments)]
+fn collect_cmp_side(
+    body: &[Tok],
+    op: usize,
+    left: bool,
+    idents: &mut Vec<String>,
+    zero_lit: &mut bool,
+    nonzero_lit: &mut bool,
+    path_cmp: &mut bool,
+) {
+    let mut steps = 0usize;
+    let mut k = op;
+    loop {
+        let next = if left { k.checked_sub(1) } else { Some(k + 1) };
+        let Some(n) = next else { break };
+        let Some(t) = body.get(n) else { break };
+        // Skip over bracket/paren groups so `out[0] == 1.5` still reaches
+        // the receiver `out`.
+        if left && (t.text == "]" || t.text == ")") {
+            let closer = t.text.clone();
+            let opener = if closer == "]" { "[" } else { "(" };
+            let mut depth = 1i32;
+            let mut j = n;
+            while depth > 0 {
+                let Some(p) = j.checked_sub(1) else { break };
+                j = p;
+                let Some(pt) = body.get(j) else { break };
+                if pt.text == closer {
+                    depth += 1;
+                } else if pt.text == opener {
+                    depth -= 1;
+                }
+            }
+            if depth > 0 {
+                break;
+            }
+            k = j;
+            steps += 1;
+            if steps >= 6 {
+                break;
+            }
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if !is_keyword(&t.text) => {
+                // Shape accessors keep their receivers out (see rhs_of).
+                let is_shape_recv = !left || !SHAPE_ACCESSORS.contains(&t.text.as_str());
+                let is_call_name = body.get(n + 1).map(|x| x.text == "(").unwrap_or(false);
+                if is_shape_recv && !is_call_name {
+                    idents.push(t.text.clone());
+                }
+            }
+            TokKind::Num => {
+                if crate::rules::float_literal_is_zero(&t.text) {
+                    *zero_lit = true;
+                } else if crate::rules::is_float_literal_text(&t.text) {
+                    *nonzero_lit = true;
+                }
+            }
+            TokKind::Punct if t.text == "::" => *path_cmp = true,
+            TokKind::Punct if matches!(t.text.as_str(), "." | "-") => {}
+            _ => break,
+        }
+        steps += 1;
+        k = n;
+        if steps >= 6 {
+            break;
+        }
+    }
+}
+
+/// Return-expression extraction: every `return expr;` plus the trailing
+/// expression of the body (tokens after the last top-level `;`).
+fn extract_rets(body: &[Tok], out: &mut Vec<Rhs>) {
+    let mut k = 0usize;
+    while k < body.len() {
+        if body[k].kind == TokKind::Ident && body[k].text == "return" {
+            let end = rhs_end(body, k + 1, false);
+            if end > k + 1 {
+                out.push(rhs_of(&body[k + 1..end]));
+            }
+            k = end;
+            continue;
+        }
+        k += 1;
+    }
+    // Trailing expression: after the last `;` at body depth 1 (the slice
+    // includes the outer braces, so depth 1 is the statement level).
+    let mut depth = 0i32;
+    let mut last_semi: Option<usize> = None;
+    for (i, t) in body.iter().enumerate() {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            ";" if depth == 1 => last_semi = Some(i),
+            _ => {}
+        }
+    }
+    let start = last_semi.map(|s| s + 1).unwrap_or(1);
+    if start < body.len().saturating_sub(1) {
+        let tail = &body[start..body.len() - 1];
+        if tail.iter().any(|t| t.kind == TokKind::Ident) {
+            out.push(rhs_of(tail));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_region_mask_of;
+
+    fn parse(path: &str, src: &str) -> FileIr {
+        let lexed = lex(src);
+        let mask = test_region_mask_of(&lexed.toks);
+        parse_file(path, &lexed, false, &mask)
+    }
+
+    #[test]
+    fn module_paths_map_files_to_crates() {
+        assert_eq!(
+            module_path_of("crates/memlp-core/src/lib.rs"),
+            vec!["memlp_core"]
+        );
+        assert_eq!(
+            module_path_of("crates/memlp-core/src/newton.rs"),
+            vec!["memlp_core", "newton"]
+        );
+        assert_eq!(module_path_of("src/lib.rs"), vec!["memlp"]);
+        assert!(module_path_of("crates/memlp-core/tests/x.rs")[0].starts_with("__root_"));
+    }
+
+    #[test]
+    fn fns_modules_impls_and_uses_are_recovered() {
+        let ir = parse(
+            "crates/memlp-core/src/m.rs",
+            "use memlp_linalg::lu::{LuFactors, factor as lu_factor};\n\
+             pub fn free() { helper(); }\n\
+             fn helper() {}\n\
+             mod inner { pub fn deep() {} }\n\
+             impl Widget { pub fn method(&self) -> f64 { 1.0 } }\n",
+        );
+        assert_eq!(ir.uses.len(), 2);
+        assert_eq!(ir.uses[1].alias, "lu_factor");
+        assert_eq!(ir.uses[1].path, vec!["memlp_linalg", "lu", "factor"]);
+        let names: Vec<&str> = ir.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["free", "helper", "deep", "method"]);
+        assert_eq!(ir.fns[2].module, vec!["memlp_core", "m", "inner"]);
+        assert_eq!(ir.fns[3].owner, "Widget");
+        assert!(ir.fns[0].is_pub && !ir.fns[1].is_pub);
+        assert_eq!(ir.fns[0].calls.len(), 1);
+        assert_eq!(ir.fns[0].calls[0].path, vec!["helper"]);
+    }
+
+    #[test]
+    fn pub_crate_is_not_public_api() {
+        let ir = parse(
+            "crates/memlp-core/src/m.rs",
+            "pub(crate) fn internal() {}\npub fn api() {}\n",
+        );
+        assert!(!ir.fns[0].is_pub);
+        assert!(ir.fns[1].is_pub);
+    }
+
+    #[test]
+    fn seeds_capture_panic_and_entropy_tokens() {
+        let ir = parse(
+            "crates/memlp-core/src/m.rs",
+            "fn f(o: Option<u8>) {\n    assert!(true);\n    o.unwrap();\n    let t = Instant::now();\n}\n",
+        );
+        let kinds: Vec<(&str, SeedKind)> = ir.fns[0]
+            .seeds
+            .iter()
+            .map(|s| (s.what.as_str(), s.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("assert!", SeedKind::Panic),
+                (".unwrap()", SeedKind::Panic),
+                ("Instant", SeedKind::Entropy),
+            ]
+        );
+    }
+
+    #[test]
+    fn analog_annotation_attaches_to_next_fn() {
+        let ir = parse(
+            "crates/memlp-device/src/m.rs",
+            "/// Reads the settled line voltages.\n/// memlp-lint: analog_source\npub fn read_lines() -> Vec<f64> { Vec::new() }\npub fn other() {}\n",
+        );
+        assert!(ir.fns[0].analog_source);
+        assert!(!ir.fns[1].analog_source);
+    }
+
+    #[test]
+    fn binds_sinks_and_rets_feed_the_taint_pass() {
+        let ir = parse(
+            "crates/memlp-core/src/m.rs",
+            "fn f() -> f64 {\n    let v = read_adc();\n    let w = v + 1.0;\n    if w == 2.5 { return w; }\n    let i = idx(w);\n    table[i];\n    table[i.min(7)];\n    w\n}\n",
+        );
+        let f = &ir.fns[0];
+        assert_eq!(f.binds[0].vars, vec!["v"]);
+        assert_eq!(f.binds[0].rhs.calls[0].path, vec!["read_adc"]);
+        assert!(f.binds[1].rhs.idents.contains(&"v".to_string()));
+        let eqs: Vec<&Sink> = f
+            .sinks
+            .iter()
+            .filter(|s| s.kind == SinkKind::StrictEq)
+            .collect();
+        assert_eq!(eqs.len(), 1);
+        assert!(eqs[0].idents.contains(&"w".to_string()));
+        let idx: Vec<&Sink> = f
+            .sinks
+            .iter()
+            .filter(|s| s.kind == SinkKind::Index)
+            .collect();
+        assert_eq!(idx.len(), 2);
+        assert!(!idx[0].guarded && idx[1].guarded);
+        // Returns: the `return w;` statement and the trailing `w`.
+        assert_eq!(f.rets.len(), 2);
+        assert!(f.rets.iter().all(|r| r.idents.contains(&"w".to_string())));
+    }
+
+    #[test]
+    fn test_regions_mark_fns_in_test() {
+        let ir = parse(
+            "crates/memlp-core/src/m.rs",
+            "fn lib_fn() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        );
+        assert!(!ir.fns[0].in_test);
+        assert!(ir.fns[1].in_test);
+    }
+}

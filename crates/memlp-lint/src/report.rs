@@ -14,6 +14,10 @@
 //!   ]
 //! }
 //! ```
+//!
+//! Cross-file findings additionally carry a `"witness"` array of
+//! `{"file", "line", "label"}` steps — the call chain from the rule's
+//! anchor to the finding site. SARIF output lives in [`crate::sarif`].
 
 use std::fmt::Write as _;
 
@@ -61,6 +65,13 @@ impl Report {
             if !f.snippet.is_empty() {
                 let _ = writeln!(out, "    {}", f.snippet);
             }
+            // Cross-file findings carry their call-chain witness: every hop
+            // from the rule's anchor (public API, solver entry, analog
+            // source) down to the finding site.
+            for (i, w) in f.witness.iter().enumerate() {
+                let arrow = if i == 0 { "   " } else { "-> " };
+                let _ = writeln!(out, "    {arrow}{}:{}: {}", w.file, w.line, w.label);
+            }
         }
         let _ = writeln!(
             out,
@@ -97,6 +108,22 @@ impl Report {
                 json_str(&f.message),
                 json_str(&f.snippet)
             );
+            if !f.witness.is_empty() {
+                out.push_str(", \"witness\": [");
+                for (j, w) in f.witness.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"file\": {}, \"line\": {}, \"label\": {}}}",
+                        json_str(&w.file),
+                        w.line,
+                        json_str(&w.label)
+                    );
+                }
+                out.push(']');
+            }
             out.push('}');
         }
         if !self.findings.is_empty() {

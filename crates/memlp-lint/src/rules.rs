@@ -15,9 +15,21 @@
 //!   is almost always a tolerance bug in solver code (exact-zero sparsity
 //!   checks are exempt);
 //! * **safety** — `#![forbid(unsafe_code)]` on every crate root, and no
-//!   `unsafe` anywhere.
+//!   `unsafe` anywhere;
+//! * **cross-file reachability & taint** (`reach::*`, `taint::*`) — the
+//!   two-pass analyzer in [`crate::parser`] / [`crate::graph`] follows the
+//!   workspace call graph to find invariant leaks no single file shows:
+//!   panicking private helpers reachable from public API, entropy escaping
+//!   the solver crates through any call chain, and analog readouts flowing
+//!   into exact comparisons or unclamped indexing.
+//!
+//! This module owns the rule registry, the per-file token pass
+//! ([`analyze_file`] — pass 1, content-addressed and cacheable), and the
+//! directive (`memlp-lint: allow(...)`) machinery. The cross-file pass
+//! lives in [`crate::graph`] and is stitched in by [`crate::lint_sources`].
 
 use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::parser::{self, FileIr};
 
 /// Finding severity. `Deny` findings fail the build; `Warn` findings are
 /// advisory.
@@ -39,6 +51,20 @@ impl Severity {
     }
 }
 
+/// One step of a cross-file call-chain witness: how the analyzer got from
+/// the rule's anchor (public API, solver-crate entry, analog source) to
+/// the finding site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What this step is (e.g. `public API memlp_core::Solver::solve`,
+    /// `calls helper() here`).
+    pub label: String,
+}
+
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
@@ -54,6 +80,8 @@ pub struct Finding {
     pub message: String,
     /// The trimmed source line.
     pub snippet: String,
+    /// Call-chain witness (cross-file rules only; empty for token rules).
+    pub witness: Vec<WitnessStep>,
 }
 
 /// Registry of every rule: (id, severity, summary). `--list-rules` prints
@@ -129,11 +157,120 @@ pub const RULES: &[(&str, Severity, &str)] = &[
         Severity::Warn,
         "memlp-lint: allow(...) directive suppressed nothing",
     ),
+    (
+        "reach::panic",
+        Severity::Deny,
+        "panicking private helper transitively reachable from public library API",
+    ),
+    (
+        "reach::nondeterminism",
+        Severity::Deny,
+        "entropy/wall-clock source outside the solver crates reachable from solver code",
+    ),
+    (
+        "taint::analog-exact",
+        Severity::Deny,
+        "analog readout flows into strict float ==/!= or unclamped indexing",
+    ),
 ];
+
+/// Long-form rationale for `--explain <rule>`. Every registry entry has
+/// one; the cross-file rules also document their witness output.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "determinism::wall-clock" => {
+            "Every solver result in this reproduction must replay bit-for-bit from a seed \
+             (paper Eqn 18 / §4.1). `Instant`/`SystemTime` reads make control flow depend on \
+             the host scheduler, so they are confined to memlp-bench and the CLI. Move timing \
+             out of the solver crates, or thread a simulated clock through the cost ledger."
+        }
+        "determinism::unseeded-rng" => {
+            "`thread_rng`/`OsRng`/`from_entropy` draw from ambient entropy, so two runs of \
+             the same seed diverge. Construct a seeded `StdRng` stream (salted per block, as \
+             in memlp-crossbar::fault) instead."
+        }
+        "determinism::hash-container" => {
+            "`HashMap`/`HashSet` iteration order is unspecified and changes across runs and \
+             toolchains. Solver paths iterate containers to build matrices and reports, so \
+             use `BTreeMap`/`BTreeSet` or a `Vec`."
+        }
+        "concurrency::primitive" => {
+            "PR 1's bitwise thread-invariance proof lives entirely in \
+             memlp-linalg::parallel. Any primitive outside it (threads, locks, atomics, \
+             channels) would need its own proof; route work through the shared pool."
+        }
+        "panic::unwrap" | "panic::expect" => {
+            "Library code aborting mid-solve loses the trace and the partially-programmed \
+             crossbar state. Return the crate's Error type; reserve panics for tests. If the \
+             value is provably present, say why: \
+             // memlp-lint: allow(panic::unwrap, reason = \"...\")."
+        }
+        "panic::panic-macro" => {
+            "`panic!`/`todo!`/`unimplemented!` in non-test library code aborts the caller's \
+             solve. Return an Error instead."
+        }
+        "float::strict-eq" => {
+            "Strict equality against a non-zero float literal is a tolerance bug in solver \
+             code: analog readouts and LU results carry quantization and variation error. \
+             Compare with an epsilon. Exact-zero compares are exempt (structural sparsity)."
+        }
+        "safety::unsafe-code" => {
+            "The workspace is 100% safe Rust; every kernel is written so the \
+             autovectorizer, not unsafe SIMD, provides the speed (DESIGN.md §14)."
+        }
+        "safety::forbid-unsafe-missing" => {
+            "`#![forbid(unsafe_code)]` on every crate root turns the no-unsafe policy into \
+             a compiler guarantee that survives refactors."
+        }
+        "style::dbg-macro" => "`dbg!` is a leftover debugging aid; remove it before merging.",
+        "lint::allow-missing-reason" => {
+            "Escape hatches must be auditable: every `memlp-lint: allow(...)` carries \
+             reason = \"...\" explaining why the invariant holds anyway."
+        }
+        "lint::unknown-rule" => {
+            "The allow directive names a rule that is not in the registry — most likely a \
+             typo; see --list-rules."
+        }
+        "lint::unused-allow" => {
+            "The directive suppressed nothing on its own or the following line. For a \
+             multi-rule directive `allow(a, b, reason = ...)` the message names which rule \
+             went unused; delete the stale rule (or the whole directive)."
+        }
+        "reach::panic" => {
+            "Cross-file pass. A private helper that can panic (unwrap/expect/panic!-family \
+             or assert!-family) is transitively reachable from a public, non-test function \
+             of a library crate: the panic is part of the public contract but invisible at \
+             the API boundary. The finding prints the full call-chain witness, e.g.\n  \
+             public API memlp_core::Solver::solve (solver.rs:120)\n  \
+             -> calls assemble() (solver.rs:140)\n  \
+             -> assemble: `assert_eq!` may panic here (newton.rs:88)\n\
+             Return an Error through the chain, or allow at the seed with the invariant \
+             that makes the panic unreachable."
+        }
+        "reach::nondeterminism" => {
+            "Cross-file pass. A function in a determinism-critical solver crate can reach \
+             — through any call chain, across crates and `use` aliases — a wall-clock or \
+             ambient-RNG source that is per-file legal where it lives (bench/CLI code). \
+             Entropy must not flow back into solver results; break the edge or move the \
+             helper."
+        }
+        "taint::analog-exact" => {
+            "Cross-file pass. A value derived from an analog readout (an API annotated \
+             `memlp-lint: analog_source`, or any function the fixed point proves returns \
+             one) flows into a strict float ==/!= or into slice indexing without clamping. \
+             ADC outputs are only trustworthy inside the calibrated tolerance envelope \
+             (paper Fig 5), so exact decisions on them are miscompiles of the math: compare \
+             against a tolerance, or clamp before indexing. Exact-zero compares are exempt \
+             (structural sparsity survives the ADC). The finding's witness traces \
+             sink <- binding <- call <- ... <- annotated source."
+        }
+        _ => return None,
+    })
+}
 
 /// Crates whose solver paths must be bit-reproducible (paper Eqn 18 /
 /// §4.1): wall clocks, unseeded RNGs, and hash containers are banned.
-const DETERMINISM_CRATES: &[&str] = &[
+pub(crate) const DETERMINISM_CRATES: &[&str] = &[
     "memlp-core",
     "memlp-linalg",
     "memlp-crossbar",
@@ -148,9 +285,10 @@ const DETERMINISM_CRATES: &[&str] = &[
 const FLOAT_CRATES: &[&str] = &["memlp-core", "memlp-linalg", "memlp-solvers"];
 
 /// Crates exempt from panic rules (the bench harness is allowed to abort).
-const PANIC_EXEMPT_CRATES: &[&str] = &["memlp-bench"];
+pub(crate) const PANIC_EXEMPT_CRATES: &[&str] = &["memlp-bench"];
 
-fn severity_of(rule: &str) -> Severity {
+/// Severity of a registry rule (Deny for unknown ids, fail-closed).
+pub(crate) fn severity_of(rule: &str) -> Severity {
     RULES
         .iter()
         .find(|(id, ..)| *id == rule)
@@ -165,18 +303,19 @@ fn is_known_rule(rule: &str) -> bool {
 /// How a scanned file is classified, derived from its workspace-relative
 /// path.
 #[derive(Debug, Clone)]
-struct FileCtx {
+pub struct FileCtx {
     /// Crate the file belongs to (`memlp` for the root package).
-    krate: String,
+    pub krate: String,
     /// True for integration tests / examples / benches (whole file is test
     /// scope).
-    test_file: bool,
+    pub test_file: bool,
     /// True for `src/lib.rs` of a crate (the root package included).
-    crate_root: bool,
+    pub crate_root: bool,
 }
 
 impl FileCtx {
-    fn classify(rel: &str) -> FileCtx {
+    /// Classifies a workspace-relative path.
+    pub fn classify(rel: &str) -> FileCtx {
         let rel = rel.replace('\\', "/");
         let krate = rel
             .strip_prefix("crates/")
@@ -196,26 +335,68 @@ impl FileCtx {
     }
 }
 
-/// An `allow` escape-hatch directive parsed from a comment.
-#[derive(Debug)]
-struct Directive {
-    rule: String,
-    line: u32,
-    used: bool,
+/// An `allow` escape-hatch directive parsed from a comment. A multi-rule
+/// directive `allow(a, b, reason = "...")` expands to one `Directive` per
+/// rule, sharing `line` and `group` size, so unused-allow reporting can
+/// name exactly which rule went stale.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// The rule this directive suppresses.
+    pub rule: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// Set when the directive suppressed at least one finding (either
+    /// pass).
+    pub used: bool,
+    /// Number of rules in the same comma-separated directive (1 = simple).
+    pub group: usize,
 }
 
-/// Lints one file's source. `rel_path` is the workspace-relative path and
-/// drives the scope rules (which crate, test vs. library code).
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+impl Directive {
+    /// True when this directive covers findings on `line` (its own line or
+    /// the next, so trailing and line-above placements both work).
+    pub fn covers(&self, line: u32) -> bool {
+        line == self.line || line == self.line + 1
+    }
+}
+
+/// Pass-1 result for one file: per-file findings (without `unused-allow`,
+/// which is only decidable after the cross-file pass consumes directives),
+/// the parsed directives, the item-level IR, and the file class.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Path classification.
+    pub ctx: FileCtx,
+    /// Token-rule findings, already directive-suppressed.
+    pub findings: Vec<Finding>,
+    /// Directives, with pass-1 usage recorded.
+    pub directives: Vec<Directive>,
+    /// Item-level IR for the cross-file pass.
+    pub ir: FileIr,
+    /// Per-line trimmed snippets the cross pass anchors findings to.
+    pub snippets: Vec<String>,
+}
+
+impl FileAnalysis {
+    /// Trimmed source line (1-based), or empty when out of range.
+    pub fn snippet(&self, line: u32) -> String {
+        self.snippets
+            .get(line as usize - 1)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Pass 1: lex, token-scan, and parse one file. Pure in the file content
+/// and path — this is the unit the content-hash cache stores.
+pub fn analyze_file(rel_path: &str, src: &str) -> FileAnalysis {
     let ctx = FileCtx::classify(rel_path);
     let lexed = lex(src);
-    let lines: Vec<&str> = src.lines().collect();
-    let snippet = |line: u32| -> String {
-        lines
-            .get(line as usize - 1)
-            .map(|l| l.trim().to_string())
-            .unwrap_or_default()
-    };
+    let snippets: Vec<String> = src.lines().map(|l| l.trim().to_string()).collect();
+    let snippet =
+        |line: u32| -> String { snippets.get(line as usize - 1).cloned().unwrap_or_default() };
 
     let mut findings: Vec<Finding> = Vec::new();
     let mut directives = parse_directives(rel_path, &lexed.comments, &mut findings, &snippet);
@@ -238,6 +419,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
             severity: severity_of("safety::forbid-unsafe-missing"),
             message: "crate root is missing `#![forbid(unsafe_code)]`".into(),
             snippet: snippet(1),
+            witness: Vec::new(),
         });
     }
 
@@ -249,7 +431,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
             return true;
         }
         for d in directives.iter_mut() {
-            if d.rule == f.rule && (f.line == d.line || f.line == d.line + 1) {
+            if d.rule == f.rule && d.covers(f.line) {
                 d.used = true;
                 return false;
             }
@@ -257,31 +439,124 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         true
     });
 
-    for d in &directives {
-        if !d.used {
-            findings.push(Finding {
-                file: rel_path.to_string(),
-                line: d.line,
-                rule: "lint::unused-allow",
-                severity: severity_of("lint::unused-allow"),
-                message: format!(
-                    "allow({}) suppressed nothing on this or the next line",
-                    d.rule
-                ),
-                snippet: snippet(d.line),
-            });
-        }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    let ir = parser::parse_file(rel_path, &lexed, ctx.test_file, &test_mask);
+    FileAnalysis {
+        path: rel_path.to_string(),
+        ctx,
+        findings,
+        directives,
+        ir,
+        snippets,
     }
+}
 
+/// Emits `lint::unused-allow` warnings for directives neither pass used.
+/// For multi-rule directives the message names the stale rule and notes
+/// that a sibling rule did match, so the fix is precise.
+pub fn unused_allow_findings(analysis: &FileAnalysis) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for d in &analysis.directives {
+        if d.used {
+            continue;
+        }
+        let sibling_used = d.group > 1
+            && analysis
+                .directives
+                .iter()
+                .any(|o| o.line == d.line && o.used);
+        let message = if sibling_used {
+            let used: Vec<&str> = analysis
+                .directives
+                .iter()
+                .filter(|o| o.line == d.line && o.used)
+                .map(|o| o.rule.as_str())
+                .collect();
+            format!(
+                "allow({}) suppressed nothing on this or the next line ({} in the same \
+                 directive did — drop the stale rule)",
+                d.rule,
+                used.join(", ")
+            )
+        } else {
+            format!(
+                "allow({}) suppressed nothing on this or the next line",
+                d.rule
+            )
+        };
+        out.push(Finding {
+            file: analysis.path.clone(),
+            line: d.line,
+            rule: "lint::unused-allow",
+            severity: severity_of("lint::unused-allow"),
+            message,
+            snippet: analysis.snippet(d.line),
+            witness: Vec::new(),
+        });
+    }
+    out
+}
+
+/// Lints one file's source with the per-file token pass only. `rel_path`
+/// drives the scope rules (which crate, test vs. library code). The full
+/// pipeline — cross-file rules included — is [`crate::lint_str`] /
+/// [`crate::lint_sources`].
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let analysis = analyze_file(rel_path, src);
+    let mut findings = analysis.findings.clone();
+    findings.extend(unused_allow_findings(&analysis));
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
 
-/// Parses `memlp-lint: allow(rule, reason = "...")` directives out of the
-/// comment stream. A directive must *start* the comment (after the comment
-/// markers), so prose that merely mentions the syntax never parses as one.
-/// Directives without a reason, or naming unknown rules, become findings
-/// themselves (and do not suppress anything).
+/// Parses `memlp-lint: allow(rule_a[, rule_b…], reason = "...")` directives
+/// out of the comment stream. A directive must *start* the comment (after
+/// the comment markers), so prose that merely mentions the syntax never
+/// parses as one. Directives without a reason, or naming unknown rules,
+/// become findings themselves (and do not suppress anything). One comment
+/// may allow several rules; each is tracked separately for usage.
+/// `memlp-lint: analog_source` fact annotations (consumed by the parser)
+/// are recognized and skipped here.
+/// Splits a directive's argument list (everything after the opening paren)
+/// into top-level comma-separated parts. Commas and parens inside the
+/// quoted reason string don't split or terminate; the scan stops at the
+/// matching close paren (or end of comment for unterminated input, which
+/// the reason check then rejects).
+fn directive_args(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escape = false;
+    for ch in s.chars() {
+        if in_str {
+            cur.push(ch);
+            if escape {
+                escape = false;
+            } else if ch == '\\' {
+                escape = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_str = true;
+                cur.push(ch);
+            }
+            ',' => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            ')' => break,
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
 fn parse_directives(
     rel_path: &str,
     comments: &[Comment],
@@ -296,6 +571,10 @@ fn parse_directives(
                 continue;
             };
             let body = rest.trim_start();
+            // Fact annotations are the parser's business, not suppressions.
+            if body.starts_with("analog_source") {
+                continue;
+            }
             let Some(args) = body.strip_prefix("allow") else {
                 findings.push(Finding {
                     file: rel_path.to_string(),
@@ -306,11 +585,12 @@ fn parse_directives(
                         "malformed directive: expected `memlp-lint: allow(rule, reason = \"...\")`"
                             .into(),
                     snippet: snippet(c.line),
+                    witness: Vec::new(),
                 });
                 continue;
             };
             let args = args.trim_start();
-            let inner = args.strip_prefix('(').and_then(|a| a.split(')').next());
+            let inner = args.strip_prefix('(').map(directive_args);
             let Some(inner) = inner else {
                 findings.push(Finding {
                     file: rel_path.to_string(),
@@ -319,49 +599,86 @@ fn parse_directives(
                     severity: severity_of("lint::allow-missing-reason"),
                     message: "malformed directive: missing `(rule, reason = \"...\")`".into(),
                     snippet: snippet(c.line),
+                    witness: Vec::new(),
                 });
                 continue;
             };
-            let mut parts = inner.splitn(2, ',');
-            let rule = parts.next().unwrap_or("").trim().to_string();
-            let reason_part = parts.next().unwrap_or("").trim();
-            let has_reason = reason_part
-                .strip_prefix("reason")
-                .map(|r| r.trim_start())
-                .and_then(|r| r.strip_prefix('='))
-                .map(|r| r.trim_start())
-                .map(|r| r.starts_with('"') && r.len() > 2)
-                .unwrap_or(false);
-            if !is_known_rule(&rule) {
+            // Every top-level part before the `reason = "..."` clause is a
+            // rule name (the splitter ignores commas inside the quoted
+            // reason and parens inside its text).
+            let mut rules: Vec<String> = Vec::new();
+            let mut has_reason = false;
+            for part in inner {
+                let part = part.trim();
+                if let Some(r) = part.strip_prefix("reason") {
+                    has_reason = r
+                        .trim_start()
+                        .strip_prefix('=')
+                        .map(|v| v.trim_start())
+                        .map(|v| v.starts_with('"') && v.len() > 2 && v[1..].contains('"'))
+                        .unwrap_or(false);
+                } else if !part.is_empty() {
+                    rules.push(part.to_string());
+                }
+            }
+            if rules.is_empty() {
                 findings.push(Finding {
                     file: rel_path.to_string(),
                     line: c.line,
-                    rule: "lint::unknown-rule",
-                    severity: severity_of("lint::unknown-rule"),
-                    message: format!("allow names unknown rule `{rule}` (see --list-rules)"),
+                    rule: "lint::allow-missing-reason",
+                    severity: severity_of("lint::allow-missing-reason"),
+                    message: "malformed directive: missing `(rule, reason = \"...\")`".into(),
                     snippet: snippet(c.line),
+                    witness: Vec::new(),
                 });
-            } else if !has_reason {
+                continue;
+            }
+            // One finding per reasonless directive (not per listed rule).
+            if !has_reason {
                 findings.push(Finding {
                     file: rel_path.to_string(),
                     line: c.line,
                     rule: "lint::allow-missing-reason",
                     severity: severity_of("lint::allow-missing-reason"),
                     message: format!(
-                        "allow({rule}) has no reason — every escape hatch must say why"
+                        "allow({}) has no reason — every escape hatch must say why",
+                        rules.join(", ")
                     ),
                     snippet: snippet(c.line),
+                    witness: Vec::new(),
                 });
-            } else {
-                out.push(Directive {
-                    rule,
-                    line: c.line,
-                    used: false,
-                });
+            }
+            let group = rules.len();
+            for rule in rules {
+                if !is_known_rule(&rule) {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: c.line,
+                        rule: "lint::unknown-rule",
+                        severity: severity_of("lint::unknown-rule"),
+                        message: format!("allow names unknown rule `{rule}` (see --list-rules)"),
+                        snippet: snippet(c.line),
+                        witness: Vec::new(),
+                    });
+                } else if has_reason {
+                    out.push(Directive {
+                        rule,
+                        line: c.line,
+                        used: false,
+                        group,
+                    });
+                }
             }
         }
     }
     out
+}
+
+/// Public alias for [`test_region_mask`] so the parser's unit tests share
+/// the exact same notion of test scope.
+#[cfg(test)]
+pub(crate) fn test_region_mask_of(toks: &[Tok]) -> Vec<bool> {
+    test_region_mask(toks)
 }
 
 /// Marks token index ranges covered by `#[cfg(test)]` / `#[test]` items so
@@ -464,6 +781,18 @@ fn has_forbid_unsafe(toks: &[Tok]) -> bool {
 }
 
 /// True for a float literal token (decimal point, exponent, or f32/f64
+/// suffix; radix-prefixed integers are excluded). Shared with the parser's
+/// sink extraction.
+pub(crate) fn is_float_literal_text(text: &str) -> bool {
+    is_float_literal(text)
+}
+
+/// True when a float literal is exactly zero; shared with the parser.
+pub(crate) fn float_literal_is_zero(text: &str) -> bool {
+    is_zero_literal(text)
+}
+
+/// True for a float literal token (decimal point, exponent, or f32/f64
 /// suffix; radix-prefixed integers are excluded).
 fn is_float_literal(text: &str) -> bool {
     let t = text.to_ascii_lowercase();
@@ -523,6 +852,7 @@ fn scan_tokens(
             severity: severity_of(rule),
             message,
             snippet: snippet(line),
+            witness: Vec::new(),
         });
     };
 

@@ -1,0 +1,167 @@
+//! SARIF 2.1.0 emitter (`--format sarif`).
+//!
+//! GitHub's code-scanning upload understands this shape and annotates
+//! findings inline on PRs. Each finding becomes one `result`; cross-file
+//! findings attach their call-chain witness as `relatedLocations`, so the
+//! annotation links every hop from the public entry point to the seed.
+//! Output is deterministic: rules appear in registry order, results in
+//! report order, and object keys are `BTreeMap`-sorted.
+
+use std::collections::BTreeMap;
+
+use crate::cache::Json;
+use crate::report::Report;
+use crate::rules::{Severity, RULES};
+
+fn s(text: &str) -> Json {
+    Json::Str(text.to_string())
+}
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    let mut m = BTreeMap::new();
+    for (k, v) in pairs {
+        m.insert(k.to_string(), v);
+    }
+    Json::Obj(m)
+}
+
+fn message(text: &str) -> Json {
+    obj(vec![("text", s(text))])
+}
+
+fn location(uri: &str, line: u32, msg: Option<&str>) -> Json {
+    let mut pairs = vec![(
+        "physicalLocation",
+        obj(vec![
+            ("artifactLocation", obj(vec![("uri", s(uri))])),
+            (
+                "region",
+                obj(vec![("startLine", Json::Num(i64::from(line.max(1))))]),
+            ),
+        ]),
+    )];
+    if let Some(m) = msg {
+        pairs.push(("message", message(m)));
+    }
+    obj(pairs)
+}
+
+fn level_of(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+    }
+}
+
+/// Renders a report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &Report) -> String {
+    let rules: Vec<Json> = RULES
+        .iter()
+        .map(|(id, sev, summary)| {
+            obj(vec![
+                ("id", s(id)),
+                ("shortDescription", message(summary)),
+                (
+                    "defaultConfiguration",
+                    obj(vec![("level", s(level_of(*sev)))]),
+                ),
+            ])
+        })
+        .collect();
+    let rule_index: BTreeMap<&str, usize> = RULES
+        .iter()
+        .enumerate()
+        .map(|(i, (id, ..))| (*id, i))
+        .collect();
+
+    let results: Vec<Json> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let mut pairs = vec![
+                ("ruleId", s(f.rule)),
+                (
+                    "ruleIndex",
+                    Json::Num(rule_index.get(f.rule).map_or(-1, |&i| i as i64)),
+                ),
+                ("level", s(level_of(f.severity))),
+                ("message", message(&f.message)),
+                (
+                    "locations",
+                    Json::Arr(vec![location(&f.file, f.line, None)]),
+                ),
+            ];
+            if !f.witness.is_empty() {
+                pairs.push((
+                    "relatedLocations",
+                    Json::Arr(
+                        f.witness
+                            .iter()
+                            .map(|w| location(&w.file, w.line, Some(&w.label)))
+                            .collect(),
+                    ),
+                ));
+            }
+            obj(pairs)
+        })
+        .collect();
+
+    let doc = obj(vec![
+        (
+            "$schema",
+            s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Json::Arr(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("memlp-lint")),
+                            (
+                                "informationUri",
+                                s("https://github.com/memlp/memlp#static-guarantees"),
+                            ),
+                            ("rules", Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
+    ]);
+    let mut out = doc.render();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_str;
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let report = lint_str(
+            "crates/memlp-core/src/x.rs",
+            "fn f() { Some(1).unwrap(); }\n",
+        );
+        let text = to_sarif(&report);
+        assert!(text.contains("\"version\":\"2.1.0\""));
+        assert!(text.contains("\"ruleId\":\"panic::unwrap\""));
+        assert!(text.contains("\"level\":\"error\""));
+        assert!(text.contains("\"startLine\":1"));
+        // Parses back with the cache's JSON reader.
+        assert!(crate::cache::parse_json(text.trim()).is_some());
+    }
+
+    #[test]
+    fn clean_input_yields_empty_results() {
+        let report = lint_str("crates/memlp-core/src/x.rs", "pub fn f() -> u8 { 1 }\n");
+        let text = to_sarif(&report);
+        assert!(text.contains("\"results\":[]"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Incremental-cache behavior, end to end through the binary: cold and
+//! warm runs must emit byte-identical output, and editing a *callee* must
+//! re-trigger (or retire) cross-file findings even while the caller's
+//! pass-1 analysis is served from the cache.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const LIB_RS: &str = "#![forbid(unsafe_code)]\n\
+    mod helper;\n\
+    \n\
+    pub fn api(xs: &[u32]) -> u32 {\n\
+    \x20   crate::helper::pick(xs)\n\
+    }\n";
+
+/// Callee with a reachable private panic (seed for `reach::panic`).
+const HELPER_PANICKY: &str = "fn pick(xs: &[u32]) -> u32 {\n\
+    \x20   xs.first().copied().unwrap()\n\
+    }\n";
+
+/// Same callee, total: no seed.
+const HELPER_TOTAL: &str = "fn pick(xs: &[u32]) -> u32 {\n\
+    \x20   xs.first().copied().unwrap_or(0)\n\
+    }\n";
+
+fn mini_workspace(name: &str, helper_rs: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src = root.join("src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(src.join("lib.rs"), LIB_RS).unwrap();
+    std::fs::write(src.join("helper.rs"), helper_rs).unwrap();
+    root
+}
+
+fn run_json(root: &Path, extra: &[&str]) -> (Option<i32>, String) {
+    let mut args = vec!["--root", root.to_str().unwrap(), "--format", "json"];
+    args.extend_from_slice(extra);
+    let out = Command::new(env!("CARGO_BIN_EXE_memlp-lint"))
+        .args(&args)
+        .output()
+        .expect("spawn memlp-lint");
+    (out.status.code(), String::from_utf8(out.stdout).unwrap())
+}
+
+#[test]
+fn cold_warm_and_uncached_runs_are_byte_identical() {
+    let root = mini_workspace("cache_identical", HELPER_PANICKY);
+    let (code_cold, cold) = run_json(&root, &[]);
+    assert!(
+        root.join(".memlp-lint-cache.json").is_file(),
+        "first run should write the cache"
+    );
+    let (code_warm, warm) = run_json(&root, &[]);
+    let (code_none, none) = run_json(&root, &["--no-cache"]);
+    assert_eq!(code_cold, Some(1));
+    assert_eq!(code_warm, Some(1));
+    assert_eq!(code_none, Some(1));
+    assert_eq!(cold, warm, "cold vs warm output diverged");
+    assert_eq!(cold, none, "cached vs --no-cache output diverged");
+    assert!(cold.contains("\"rule\": \"reach::panic\""), "{cold}");
+}
+
+#[test]
+fn editing_a_callee_retriggers_the_cross_file_finding_through_the_cache() {
+    let root = mini_workspace("cache_invalidation", HELPER_TOTAL);
+    let helper = root.join("src/helper.rs");
+
+    // Run 1 (cold): the total helper is clean.
+    let (code, out) = run_json(&root, &[]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(!out.contains("reach::panic"), "{out}");
+
+    // Run 2: only the callee changes; `lib.rs` pass-1 comes from the
+    // cache, yet the cross pass must surface the new reachable panic and
+    // its witness chain through the cached caller.
+    std::fs::write(&helper, HELPER_PANICKY).unwrap();
+    let (code, out) = run_json(&root, &[]);
+    assert_eq!(code, Some(1), "{out}");
+    assert!(out.contains("\"rule\": \"reach::panic\""), "{out}");
+    assert!(out.contains("entry point `memlp::api`"), "{out}");
+
+    // Run 3: revert the callee; the finding must retire the same way.
+    std::fs::write(&helper, HELPER_TOTAL).unwrap();
+    let (code, out) = run_json(&root, &[]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(!out.contains("reach::panic"), "{out}");
+}
+
+#[test]
+fn corrupt_cache_reads_as_empty_and_is_rewritten() {
+    let root = mini_workspace("cache_corrupt", HELPER_PANICKY);
+    let (_, want) = run_json(&root, &[]);
+    let cache = root.join(".memlp-lint-cache.json");
+    std::fs::write(&cache, "{ not json at all").unwrap();
+    let (code, got) = run_json(&root, &[]);
+    assert_eq!(code, Some(1));
+    assert_eq!(want, got, "corrupt cache changed output");
+    let rewritten = std::fs::read_to_string(&cache).unwrap();
+    assert!(rewritten.starts_with('{') && rewritten.contains("\"files\""));
+}

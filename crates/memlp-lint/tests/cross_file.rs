@@ -1,0 +1,254 @@
+//! Cross-file golden tests: each fixture *set* under
+//! `tests/fixtures/cross/` is a multi-file workspace slice linted through
+//! [`memlp_lint::lint_sources`], with the exact `(file, line, rule)` set
+//! asserted and the call-chain witness checked step by step. Bad/good
+//! pairs keep the same call shape so a pass that stops resolving calls
+//! cannot silently turn a bad fixture "clean".
+
+use memlp_lint::{lint_sources, Finding, Report};
+
+const PANIC_FILES: &[(&str, &str)] = &[
+    ("api.rs", "crates/memlp-lp/src/api.rs"),
+    ("scale.rs", "crates/memlp-lp/src/scale.rs"),
+    ("pivot.rs", "crates/memlp-lp/src/pivot.rs"),
+];
+
+const ENTROPY_FILES: &[(&str, &str)] = &[
+    ("diag.rs", "src/diag.rs"),
+    ("sched.rs", "crates/memlp-noc/src/sched.rs"),
+];
+
+const TAINT_FILES: &[(&str, &str)] = &[
+    ("probe.rs", "crates/memlp-device/src/probe.rs"),
+    ("verify.rs", "crates/memlp-core/src/verify.rs"),
+];
+
+fn load(set: &str, files: &[(&str, &str)]) -> Report {
+    let sources = files
+        .iter()
+        .map(|&(fixture, simulated)| {
+            let path = format!(
+                "{}/tests/fixtures/cross/{set}/{fixture}",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            (simulated.to_string(), src)
+        })
+        .collect();
+    lint_sources(sources)
+}
+
+fn triples(report: &Report) -> Vec<(&str, u32, &str)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule))
+        .collect()
+}
+
+fn the_finding<'a>(report: &'a Report, rule: &str) -> &'a Finding {
+    let mut hits = report.findings.iter().filter(|f| f.rule == rule);
+    let f = hits.next().unwrap_or_else(|| panic!("no {rule} finding"));
+    assert!(hits.next().is_none(), "more than one {rule} finding");
+    f
+}
+
+/// Asserts the witness chain step by step: `(file, line, label fragment)`.
+fn check_witness(f: &Finding, expected: &[(&str, u32, &str)]) {
+    let got: Vec<String> = f
+        .witness
+        .iter()
+        .map(|w| format!("{}:{}: {}", w.file, w.line, w.label))
+        .collect();
+    assert_eq!(
+        f.witness.len(),
+        expected.len(),
+        "witness for [{}] {}:\n{}",
+        f.rule,
+        f.file,
+        got.join("\n")
+    );
+    for (step, &(file, line, fragment)) in f.witness.iter().zip(expected) {
+        assert_eq!((step.file.as_str(), step.line), (file, line), "{got:?}");
+        assert!(
+            step.label.contains(fragment),
+            "step label `{}` missing `{fragment}`",
+            step.label
+        );
+    }
+}
+
+/// The 3-hop chain `solve_entry` → `scale_rhs` → `pick_pivot` ends in a
+/// private `.unwrap()`: the per-file rule flags the token and the
+/// reachability pass pins the abort on the public entry point, with the
+/// full discovery chain as witness.
+#[test]
+fn three_hop_panic_chain_is_traced_to_the_entry_point() {
+    let r = load("panic_bad", PANIC_FILES);
+    assert_eq!(
+        triples(&r),
+        vec![
+            ("crates/memlp-lp/src/pivot.rs", 4, "panic::unwrap"),
+            ("crates/memlp-lp/src/pivot.rs", 4, "reach::panic"),
+        ]
+    );
+    let f = the_finding(&r, "reach::panic");
+    assert!(
+        f.message
+            .contains("can abort callers of entry point `memlp_lp::api::solve_entry`"),
+        "{}",
+        f.message
+    );
+    check_witness(
+        f,
+        &[
+            (
+                "crates/memlp-lp/src/api.rs",
+                4,
+                "entry point `memlp_lp::api::solve_entry`",
+            ),
+            (
+                "crates/memlp-lp/src/api.rs",
+                5,
+                "calls `memlp_lp::scale::scale_rhs`",
+            ),
+            (
+                "crates/memlp-lp/src/scale.rs",
+                4,
+                "calls `memlp_lp::pivot::pick_pivot`",
+            ),
+            (
+                "crates/memlp-lp/src/pivot.rs",
+                4,
+                "`.unwrap()` in `memlp_lp::pivot::pick_pivot`",
+            ),
+        ],
+    );
+}
+
+/// The same chain returning `Option` through every hop lints clean.
+#[test]
+fn option_returning_panic_chain_lints_clean() {
+    let r = load("panic_good", PANIC_FILES);
+    assert_eq!(triples(&r), vec![]);
+}
+
+/// A wall-clock helper in the (determinism-exempt) root crate is reached
+/// from `memlp-noc` through an aliased import: the leak is reported at the
+/// entropy seed, and the witness walks alias resolution back to the
+/// scheduler entry point.
+#[test]
+fn aliased_import_entropy_leak_is_traced_across_crates() {
+    let r = load("entropy_bad", ENTROPY_FILES);
+    assert_eq!(
+        triples(&r),
+        vec![("src/diag.rs", 7, "reach::nondeterminism")]
+    );
+    let f = the_finding(&r, "reach::nondeterminism");
+    assert!(f.message.contains("leaks ambient entropy"), "{}", f.message);
+    check_witness(
+        f,
+        &[
+            (
+                "crates/memlp-noc/src/sched.rs",
+                6,
+                "entry point `memlp_noc::sched::stamp_epoch`",
+            ),
+            (
+                "crates/memlp-noc/src/sched.rs",
+                7,
+                "calls `memlp::diag::stamp_millis`",
+            ),
+            ("src/diag.rs", 7, "`Instant` in `memlp::diag::stamp_millis`"),
+        ],
+    );
+}
+
+/// The same import/call shape fed by a replayable tick counter is clean.
+#[test]
+fn tick_fed_scheduler_lints_clean() {
+    let r = load("entropy_good", ENTROPY_FILES);
+    assert_eq!(triples(&r), vec![]);
+}
+
+/// A readout bound from the annotated `analog_source` method and compared
+/// with `==` (or used as a raw index) fires the taint rule; each witness
+/// walks the provenance back to the annotation in the other crate.
+#[test]
+fn tainted_readout_exact_compare_and_index_are_found() {
+    let r = load("taint_bad", TAINT_FILES);
+    assert_eq!(
+        triples(&r),
+        vec![
+            ("crates/memlp-core/src/verify.rs", 8, "float::strict-eq"),
+            ("crates/memlp-core/src/verify.rs", 8, "taint::analog-exact"),
+            ("crates/memlp-core/src/verify.rs", 14, "taint::analog-exact"),
+        ]
+    );
+    let taints: Vec<&Finding> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "taint::analog-exact")
+        .collect();
+    check_witness(
+        taints[0],
+        &[
+            (
+                "crates/memlp-core/src/verify.rs",
+                8,
+                "strict compare on analog-tainted `v`",
+            ),
+            ("crates/memlp-core/src/verify.rs", 7, "`v` bound from"),
+            (
+                "crates/memlp-device/src/probe.rs",
+                12,
+                "is an annotated analog source",
+            ),
+        ],
+    );
+    check_witness(
+        taints[1],
+        &[
+            (
+                "crates/memlp-core/src/verify.rs",
+                14,
+                "unclamped index on analog-tainted `v`",
+            ),
+            ("crates/memlp-core/src/verify.rs", 13, "`v` bound from"),
+            (
+                "crates/memlp-device/src/probe.rs",
+                12,
+                "is an annotated analog source",
+            ),
+        ],
+    );
+}
+
+/// Tolerance-band compares and `.min()`-clamped indexing over the same
+/// tainted readout lint clean.
+#[test]
+fn tolerant_compare_and_clamped_index_lint_clean() {
+    let r = load("taint_good", TAINT_FILES);
+    assert_eq!(triples(&r), vec![]);
+}
+
+/// Acceptance criterion: every cross-file finding carries a non-empty
+/// witness chain whose last step lands on the reported seed line.
+#[test]
+fn every_cross_file_finding_has_a_witness_ending_at_the_seed() {
+    for (set, files) in [
+        ("panic_bad", PANIC_FILES),
+        ("entropy_bad", ENTROPY_FILES),
+        ("taint_bad", TAINT_FILES),
+    ] {
+        let r = load(set, files);
+        for f in r.findings.iter().filter(|f| f.rule.starts_with("reach::")) {
+            let last = f
+                .witness
+                .last()
+                .unwrap_or_else(|| panic!("[{}] {}:{} has no witness", f.rule, f.file, f.line));
+            assert_eq!((last.file.as_str(), last.line), (f.file.as_str(), f.line));
+            assert!(f.witness.len() >= 2, "witness too short in {set}");
+        }
+    }
+}

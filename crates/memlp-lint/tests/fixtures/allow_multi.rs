@@ -1,0 +1,14 @@
+fn both(o: Option<u32>) -> u32 {
+    // memlp-lint: allow(panic::unwrap, panic::expect, reason = "caller checks is_some() (cases a, b)")
+    o.unwrap() + o.expect("set")
+}
+
+fn one(o: Option<u32>) -> u32 {
+    // memlp-lint: allow(panic::unwrap, determinism::wall-clock, reason = "only the unwrap fires")
+    o.unwrap()
+}
+
+fn missing(o: Option<u32>) -> u32 {
+    // memlp-lint: allow(panic::unwrap, panic::expect)
+    o.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Wall-clock diagnostics for the CLI layer (legal here, but must never
+//! feed a solver path).
+use std::time::Instant;
+
+/// Milliseconds of wall-clock latency for a log stamp.
+pub fn stamp_millis() -> u128 {
+    Instant::now().elapsed().as_millis()
+}

@@ -1,0 +1,8 @@
+//! Epoch scheduling for the mesh NoC (wrong: stamps epochs off the
+//! aliased wall-clock helper, so replays diverge).
+use memlp::diag::stamp_millis as clock;
+
+/// Stamps an epoch header before dispatch.
+pub fn stamp_epoch(epoch: u64) -> u128 {
+    clock() + u128::from(epoch)
+}

@@ -1,0 +1,6 @@
+//! Deterministic diagnostics for the CLI layer.
+
+/// Scales a caller-supplied tick count (no ambient clock anywhere).
+pub fn stamp_tick(tick: u128) -> u128 {
+    tick.wrapping_mul(1000)
+}

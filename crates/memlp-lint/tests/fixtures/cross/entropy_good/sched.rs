@@ -1,0 +1,8 @@
+//! Epoch scheduling for the mesh NoC (right: stamps come from the
+//! replayable epoch counter, through the same aliased import shape).
+use memlp::diag::stamp_tick as clock;
+
+/// Stamps an epoch header from the epoch counter.
+pub fn stamp_epoch(epoch: u64) -> u128 {
+    clock(u128::from(epoch))
+}

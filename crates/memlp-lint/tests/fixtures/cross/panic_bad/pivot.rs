@@ -1,0 +1,5 @@
+//! Pivot selection helper (wrong: aborts on an empty RHS).
+
+fn pick_pivot(rhs: &[f64]) -> f64 {
+    *rhs.first().unwrap()
+}

@@ -1,0 +1,5 @@
+//! RHS scaling pass between the public API and pivot selection.
+
+pub(crate) fn scale_rhs(rhs: &[f64]) -> f64 {
+    2.0 * crate::pivot::pick_pivot(rhs)
+}

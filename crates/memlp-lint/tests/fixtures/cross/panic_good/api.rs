@@ -1,0 +1,6 @@
+//! Public solve entry points feeding the scaling pass.
+
+/// Entry point: scales the RHS, then reduces it to a pivot value.
+pub fn solve_entry(rhs: &[f64]) -> Option<f64> {
+    crate::scale::scale_rhs(rhs)
+}

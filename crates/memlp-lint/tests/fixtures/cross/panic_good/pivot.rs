@@ -1,0 +1,5 @@
+//! Pivot selection helper (right: an empty RHS is the caller's problem).
+
+fn pick_pivot(rhs: &[f64]) -> Option<f64> {
+    rhs.first().copied()
+}

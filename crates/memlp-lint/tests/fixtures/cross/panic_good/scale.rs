@@ -1,0 +1,5 @@
+//! RHS scaling pass between the public API and pivot selection.
+
+pub(crate) fn scale_rhs(rhs: &[f64]) -> Option<f64> {
+    crate::pivot::pick_pivot(rhs).map(|p| 2.0 * p)
+}

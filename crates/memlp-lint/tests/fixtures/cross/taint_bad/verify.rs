@@ -1,0 +1,15 @@
+//! Write–verify checks against the probe model.
+use memlp_device::probe::LineProbe;
+
+/// Wrong: the probed value rides the analog path, so exact equality
+/// against a target voltage is load-bearing noise.
+pub fn verify_cell(probe: &LineProbe) -> bool {
+    let v = probe.read_voltage();
+    v == 0.98
+}
+
+/// Wrong: an unguarded table index computed from an analog readout.
+pub fn bucket(probe: &LineProbe, table: &[u32]) -> u32 {
+    let v = probe.read_voltage();
+    table[v as usize]
+}

@@ -1,0 +1,15 @@
+//! Line-voltage probe model over the ADC path.
+
+/// A single readout probe with a fixed front-end gain.
+pub struct LineProbe {
+    /// Front-end gain applied before the ADC.
+    pub gain: f64,
+}
+
+impl LineProbe {
+    /// Reads the settled line voltage through the ADC model.
+    /// memlp-lint: analog_source
+    pub fn read_voltage(&self) -> f64 {
+        self.gain * 0.5
+    }
+}

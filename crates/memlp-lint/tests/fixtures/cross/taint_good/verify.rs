@@ -1,0 +1,15 @@
+//! Write–verify checks against the probe model.
+use memlp_device::probe::LineProbe;
+
+/// Right: compare within the ADC tolerance band.
+pub fn verify_cell(probe: &LineProbe, tol: f64) -> bool {
+    let v = probe.read_voltage();
+    (v - 0.98).abs() <= tol
+}
+
+/// Right: the derived index is clamped into the table before use.
+pub fn bucket(probe: &LineProbe, table: &[u32]) -> u32 {
+    let v = probe.read_voltage();
+    let idx = (v * 16.0) as usize;
+    table[idx.min(table.len() - 1)]
+}

@@ -172,6 +172,39 @@ fn allow_directives_suppress_validate_and_report_unused() {
     );
 }
 
+/// Multi-rule directives: a shared reason may contain commas and
+/// parentheses; a rule that fires nothing is reported *by name* while its
+/// used sibling stays silent; and a multi-rule directive still needs a
+/// reason to suppress anything.
+#[test]
+fn multi_rule_allows_suppress_together_and_report_stale_rules_by_name() {
+    check(
+        "allow_multi.rs",
+        "crates/memlp-core/src/fake.rs",
+        &[
+            (7, "lint::unused-allow"),
+            (12, "lint::allow-missing-reason"),
+            (13, "panic::unwrap"),
+        ],
+    );
+    let path = format!(
+        "{}/tests/fixtures/allow_multi.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(path).unwrap();
+    let report = lint_str("crates/memlp-core/src/fake.rs", &src);
+    let unused = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "lint::unused-allow")
+        .expect("unused-allow finding");
+    assert!(
+        unused.message.contains("determinism::wall-clock"),
+        "stale rule not named: {}",
+        unused.message
+    );
+}
+
 #[test]
 fn crate_roots_must_forbid_unsafe() {
     check(
