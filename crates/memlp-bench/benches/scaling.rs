@@ -90,7 +90,9 @@ fn main() {
                         let t = Instant::now();
                         let results = with_threads(threads, || solver.solve_batch(&lps, threads));
                         assert!(
-                            results.iter().all(|r| r.solution.status.is_optimal()),
+                            results
+                                .iter()
+                                .all(|r| r.as_ref().is_ok_and(|r| r.solution.status.is_optimal())),
                             "suite problem failed to solve"
                         );
                         t.elapsed().as_secs_f64()

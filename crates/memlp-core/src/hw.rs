@@ -184,6 +184,26 @@ impl HwContext {
             StdRng::seed_from_u64(self.config.seed.wrapping_add(salt) ^ TRANSIENT_SALT);
     }
 
+    /// Starts a new solve on **warm** hardware: restarts only the
+    /// transient-upset stream (so request `salt` is reproducible on its
+    /// own), while keeping the variation state, the delta-programming code
+    /// caches, fault plans, repairs, remaps and the accumulated ledger.
+    ///
+    /// This is the serving-pool counterpart of
+    /// [`HwContext::begin_attempt`]: the physical array still holds the
+    /// conductances of the previous solve of the same problem family, so a
+    /// repeat request's writes hit the code caches and are skipped as
+    /// delta no-ops instead of being re-pulsed. A variation redraw is
+    /// exactly what warm reuse must *not* do — that is the cold path.
+    pub fn begin_reuse(&mut self, salt: u64) {
+        self.transient_rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ TRANSIENT_SALT,
+        );
+    }
+
     /// Writes a non-negative block matrix under block key `key`; returns
     /// the realized block. Targets are resolved to `config.write_bits`-bit
     /// conductance codes; one write is charged per **non-zero** healthy
@@ -533,6 +553,21 @@ impl HwContext {
             remap: LineRemap::new(spares, spares),
             reported: false,
         });
+        // A long-lived (pooled) context may reprogram a block key at a new
+        // shape when a different problem lands on the same array. That is
+        // a re-allocation of silicon, not a rewrite: the old plan, its
+        // repairs, and its reported-once latch all describe cells that no
+        // longer exist, so the block's defect state is drawn afresh (the
+        // shape is mixed into the seed to keep distinct allocations
+        // independent).
+        if entry.plan.rows() != rows || entry.plan.cols() != cols {
+            let reseed = seed ^ (rows as u64).rotate_left(32) ^ cols as u64;
+            *entry = BlockFaults {
+                plan: FaultPlan::draw(&faults, rows, cols, reseed),
+                remap: LineRemap::new(spares, spares),
+                reported: false,
+            };
+        }
         entry.plan.clone()
     }
 
@@ -872,6 +907,34 @@ mod tests {
         c.invalidate_codes();
         c.write_matrix(0, &m, Phase::Run);
         assert_eq!(c.ledger().counts().update_writes, 16, "manual invalidation");
+    }
+
+    #[test]
+    fn begin_reuse_keeps_code_cache_and_fault_state() {
+        let faults = FaultModel::symmetric(0.05).unwrap();
+        let mut c = faulty_ctx(faults, 3);
+        let m = Matrix::from_fn(16, 16, |_, _| 1.0);
+        let first = c.write_matrix(0, &m, Phase::Setup);
+        assert!(c.saw_faults());
+        // Same-context repeat: every healthy cell is a delta skip.
+        c.write_matrix(0, &m, Phase::Run);
+        let per_repeat = c.ledger().counts().skipped_writes;
+        assert!(per_repeat > 0);
+        assert_eq!(c.ledger().counts().update_writes, 0);
+        // Warm reuse keeps the code cache: the next repeat skips the same
+        // cell set, and the fault plan still pins the same dead cells.
+        c.begin_reuse(1);
+        let r = c.write_matrix(0, &m, Phase::Run);
+        assert_eq!(c.ledger().counts().skipped_writes, 2 * per_repeat);
+        assert_eq!(c.ledger().counts().update_writes, 0);
+        assert!(c.saw_faults(), "fault plans survive reuse");
+        for i in 0..16 {
+            for j in 0..16 {
+                if first[(i, j)] == 0.0 {
+                    assert_eq!(r[(i, j)], 0.0, "stuck-off cell moved at ({i},{j})");
+                }
+            }
+        }
     }
 
     #[test]

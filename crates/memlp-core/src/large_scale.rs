@@ -1,7 +1,8 @@
 use memlp_crossbar::{CrossbarConfig, Phase};
 use memlp_linalg::{ops, parallel, LuFactors, Matrix};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
-use memlp_solvers::pdip::{PdipOptions, PdipState};
+use memlp_solvers::budget::{Budget, BudgetCause};
+use memlp_solvers::pdip::{CoreSolveError, PdipOptions, PdipState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -188,6 +189,15 @@ impl LargeScaleSolver {
     /// best-scoring one (smallest relative residual/gap) is what the final
     /// classification sees once the retry budget is spent.
     pub fn solve(&self, lp: &LpProblem) -> crate::CrossbarSolution {
+        self.solve_budgeted(lp, Budget::none())
+    }
+
+    /// [`Self::solve`] under an explicit iteration/deadline [`Budget`],
+    /// polled once per split iteration cumulatively across retry attempts.
+    /// Expiry returns the best iterate seen so far with
+    /// [`crate::CrossbarSolution::degraded`] set; with [`Budget::none()`]
+    /// this is bitwise identical to [`Self::solve`].
+    pub fn solve_budgeted(&self, lp: &LpProblem, budget: Budget<'_>) -> crate::CrossbarSolution {
         let mut report = RecoveryReport::new(self.options.recovery);
         let bnorm = 1.0 + ops::inf_norm(lp.b());
         let cnorm = 1.0 + ops::inf_norm(lp.c());
@@ -220,9 +230,19 @@ impl LargeScaleSolver {
         // to the physical array, while each `begin_attempt` redraws the
         // Eqn 18 variation (the §4.3 double check).
         let mut hw = HwContext::new(self.config);
+        let mut spent = 0usize;
         for attempt in 0..=self.options.retries {
             hw.begin_attempt(0x1A26_0000 + attempt as u64);
-            let outcome = self.attempt(lp, &wlp, &eq, &at, &mut hw, attempt as u64);
+            let outcome = self.attempt(
+                lp,
+                &wlp,
+                &eq,
+                &at,
+                &mut hw,
+                attempt as u64,
+                budget,
+                &mut spent,
+            );
             for e in hw.take_recovery_events() {
                 report.push(e);
             }
@@ -231,7 +251,22 @@ impl LargeScaleSolver {
             // certificate — keep climbing the ladder.
             let hw_suspect = self.options.recovery.acts() && report.saw_faults();
             match outcome {
-                Ok((mut solution, mut trace)) => {
+                Ok((solution, mut trace, Some(cause))) => {
+                    // Budget expiry ends the solve now: return the best
+                    // iterate available, skipping retry escalation and the
+                    // digital fallback the caller no longer has time for.
+                    trace.events = report.events.clone();
+                    trace.writes = WriteStats::from_ledger(hw.ledger());
+                    return crate::CrossbarSolution {
+                        solution,
+                        ledger: *hw.ledger(),
+                        trace,
+                        retries_used: attempt,
+                        recovery: report,
+                        degraded: Some(cause),
+                    };
+                }
+                Ok((mut solution, mut trace, None)) => {
                     let failed = matches!(solution.status, LpStatus::NumericalFailure)
                         || (matches!(
                             solution.status,
@@ -254,6 +289,7 @@ impl LargeScaleSolver {
                             trace,
                             retries_used: attempt,
                             recovery: report,
+                            degraded: None,
                         };
                     }
                     let score = score_of(&solution);
@@ -318,7 +354,26 @@ impl LargeScaleSolver {
             trace,
             retries_used: attempt,
             recovery: report,
+            degraded: None,
         }
+    }
+
+    /// Cheap admission check mirroring
+    /// [`crate::CrossbarPdipSolver::preflight`]: the Eqn 16c core is a
+    /// dense `(n+m)²` factorization, so an instance whose core would blow
+    /// the [`crate::DENSE_CORE_LIMIT_BYTES`] allocation guard is refused up
+    /// front instead of attempting the allocation.
+    pub fn preflight(&self, lp: &LpProblem) -> Result<(), CoreSolveError> {
+        let dim = lp.num_vars() + lp.num_constraints();
+        let bytes = 8 * (dim as u64) * (dim as u64);
+        if bytes > crate::DENSE_CORE_LIMIT_BYTES {
+            return Err(CoreSolveError::CoreTooLarge {
+                dim,
+                bytes,
+                limit: crate::DENSE_CORE_LIMIT_BYTES,
+            });
+        }
+        Ok(())
     }
 
     /// Solves a batch of problems concurrently (one independent solver pass
@@ -332,14 +387,21 @@ impl LargeScaleSolver {
     /// avoid oversubscription on the small per-solve matrices.
     ///
     /// [`CrossbarPdipSolver::solve_batch`]: crate::CrossbarPdipSolver::solve_batch
-    pub fn solve_batch(&self, lps: &[LpProblem], jobs: usize) -> Vec<crate::CrossbarSolution> {
+    pub fn solve_batch(
+        &self,
+        lps: &[LpProblem],
+        jobs: usize,
+    ) -> Vec<Result<crate::CrossbarSolution, CoreSolveError>> {
         let jobs = if jobs == 0 {
             parallel::Threads::resolve().get()
         } else {
             jobs
         };
         parallel::run_indexed(jobs, lps.len(), |i| {
-            parallel::with_threads(1, || self.solve(&lps[i]))
+            parallel::with_threads(1, || {
+                self.preflight(&lps[i])?;
+                Ok(self.solve(&lps[i]))
+            })
         })
     }
 
@@ -379,6 +441,7 @@ impl LargeScaleSolver {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         lp: &LpProblem,
@@ -387,20 +450,26 @@ impl LargeScaleSolver {
         at: &Matrix,
         hw: &mut HwContext,
         salt: u64,
-    ) -> Result<(LpSolution, SolverTrace), ()> {
+        budget: Budget<'_>,
+        spent: &mut usize,
+    ) -> Result<(LpSolution, SolverTrace, Option<BudgetCause>), ()> {
         let opts = &self.options.pdip;
         // Hardware sees the equilibrated problem (`wlp`, with `at = wlp.Aᵀ`
         // precomputed by the caller); acceptance checks and the reported
         // solution always refer to the original `lp` (x is shared;
         // duals/slacks are un-scaled via `finish`).
-        let finish = |mut state: PdipState, status: LpStatus, iter: usize, trace: SolverTrace| {
+        let finish = |mut state: PdipState,
+                      status: LpStatus,
+                      iter: usize,
+                      trace: SolverTrace,
+                      cause: Option<BudgetCause>| {
             if let Some(eq) = eq {
                 state.y = eq.unscale_duals(&state.y);
                 for (w, s) in state.w.iter_mut().zip(&eq.row_scales) {
                     *w *= s;
                 }
             }
-            Ok((state.into_solution(lp, status, iter), trace))
+            Ok((state.into_solution(lp, status, iter), trace, cause))
         };
         let mut state = PdipState::new(wlp, opts);
         let mut trace = SolverTrace::new();
@@ -435,14 +504,25 @@ impl LargeScaleSolver {
         let mut tail = TailAverage::new(lp.num_vars(), lp.num_constraints());
 
         for iter in 0..opts.max_iterations {
+            // Cooperative cancellation, as in the Algorithm-1 solver: one
+            // budget poll per split iteration, cumulative across attempts.
+            if let Some(cause) = budget.check(*spent) {
+                let chosen = if best_score.is_finite() {
+                    best_state
+                } else {
+                    state
+                };
+                return finish(chosen, LpStatus::IterationLimit, iter, trace, Some(cause));
+            }
+            *spent += 1;
             if !(ops::all_finite(&state.x) && ops::all_finite(&state.y)) {
-                return finish(state, LpStatus::NumericalFailure, iter, trace);
+                return finish(state, LpStatus::NumericalFailure, iter, trace, None);
             }
             if ops::inf_norm(&state.y) > opts.divergence_bound {
-                return finish(state, LpStatus::Infeasible, iter, trace);
+                return finish(state, LpStatus::Infeasible, iter, trace, None);
             }
             if ops::inf_norm(&state.x) > opts.divergence_bound {
-                return finish(state, LpStatus::Unbounded, iter, trace);
+                return finish(state, LpStatus::Unbounded, iter, trace, None);
             }
 
             let theta = if self.options.theta_decay == 0 {
@@ -471,7 +551,7 @@ impl LargeScaleSolver {
                 } else {
                     LpStatus::NumericalFailure
                 };
-                return finish(state, status, iter, trace);
+                return finish(state, status, iter, trace, None);
             }
             let score = pr.max(dr).max(gap);
             if score < 0.95 * best_score {
@@ -513,7 +593,7 @@ impl LargeScaleSolver {
                     } else {
                         LpStatus::NumericalFailure
                     };
-                    return finish(candidate, status, iter, trace);
+                    return finish(candidate, status, iter, trace, None);
                 }
             }
 
@@ -528,7 +608,7 @@ impl LargeScaleSolver {
                 hw.note_rebuild_avoided();
             }
             let Some((dx, dy)) = sys.solve1(&r1, clip, hw) else {
-                return finish(state, LpStatus::NumericalFailure, iter, trace);
+                return finish(state, LpStatus::NumericalFailure, iter, trace, None);
             };
 
             // --- Update s1 = (x, y) with constant θ, capped at the
@@ -564,7 +644,7 @@ impl LargeScaleSolver {
             _ => LpStatus::IterationLimit,
         };
         let iters = opts.max_iterations;
-        finish(state, status, iters, trace)
+        finish(state, status, iters, trace, None)
     }
 }
 

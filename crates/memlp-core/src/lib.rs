@@ -60,3 +60,8 @@ pub use recovery::{RecoveryEvent, RecoveryPolicy, RecoveryReport};
 pub use solver::{CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions};
 pub use trace::{FactorStats, IterationRecord, SolverTrace, WriteStats};
 pub use transform::SignSplit;
+
+// Budget machinery, re-exported so callers holding a crossbar solver (the
+// CLI, the serve daemon) don't need a direct memlp-solvers dependency for
+// cooperative cancellation.
+pub use memlp_solvers::budget::{Budget, BudgetCause, Deadline, IterationDeadline};

@@ -1,10 +1,11 @@
 use memlp_crossbar::{CostLedger, CrossbarConfig};
 use memlp_linalg::{ops, parallel, Matrix};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
-use memlp_solvers::pdip::{PdipOptions, PdipState};
+use memlp_solvers::budget::{Budget, BudgetCause};
+use memlp_solvers::pdip::{CoreSolveError, PdipOptions, PdipState, SolvePath};
 
 use crate::hw::HwContext;
-use crate::newton::AugmentedSystem;
+use crate::newton::{AugmentedSystem, DENSE_CORE_LIMIT_BYTES};
 use crate::recovery::{self, RecoveryEvent, RecoveryPolicy, RecoveryReport};
 use crate::trace::{FactorStats, IterationRecord, SolverTrace, WriteStats};
 
@@ -83,6 +84,12 @@ pub struct CrossbarSolution {
     /// Structured account of fault detections and every recovery rung the
     /// solve climbed (empty on defect-free hardware).
     pub recovery: RecoveryReport,
+    /// `Some(cause)` when an explicit [`Budget`] expired mid-solve: the
+    /// solution then carries the **best feasible iterate observed so far**
+    /// under [`LpStatus::IterationLimit`] instead of a converged optimum —
+    /// graceful degradation rather than an open-ended hang. `None` for
+    /// unbudgeted solves and for budgeted solves that finished in time.
+    pub degraded: Option<BudgetCause>,
 }
 
 /// **Algorithm 1** — the memristor crossbar-based linear program solver.
@@ -135,6 +142,56 @@ impl CrossbarPdipSolver {
     /// retry budget and escalating through the fault-recovery ladder
     /// between attempts (see [`RecoveryPolicy`]).
     pub fn solve(&self, lp: &LpProblem) -> CrossbarSolution {
+        self.solve_budgeted(lp, Budget::none())
+    }
+
+    /// [`Self::solve`] under an explicit iteration/deadline [`Budget`].
+    ///
+    /// The budget is polled once per Newton iteration, cumulatively across
+    /// retry attempts. When it expires the solve stops cooperatively and
+    /// returns the best iterate observed so far with
+    /// [`CrossbarSolution::degraded`] set — no retry escalation and no
+    /// digital fallback are attempted past the deadline. With
+    /// [`Budget::none()`] this is bitwise identical to [`Self::solve`].
+    pub fn solve_budgeted(&self, lp: &LpProblem, budget: Budget<'_>) -> CrossbarSolution {
+        let mut hw = HwContext::new(self.config);
+        self.solve_inner(lp, &mut hw, budget, None, None)
+    }
+
+    /// Solves `lp` on an **existing** hardware context — the warm-pool entry
+    /// point used by `memlp-serve`.
+    ///
+    /// Unlike [`Self::solve`], which provisions a fresh array per call, this
+    /// restarts transient noise via [`HwContext::begin_reuse`] (salted with
+    /// `reuse_salt`, e.g. a per-context solve counter) while keeping the
+    /// array's variation draw, delta-write code caches, and fault state —
+    /// so a repeat solve of the same problem family skips unchanged cell
+    /// writes. Escalation retries still redraw variation via
+    /// [`HwContext::begin_attempt`], exactly as a cold solve would.
+    ///
+    /// `warm` optionally seeds the interior-point iteration from a previous
+    /// solution's `(x, y)` pair (see [`PdipState::warm_start`]); it applies
+    /// to the first attempt only — escalation retries restart centrally so
+    /// a bad warm point can never mask a hardware fault.
+    pub fn solve_on(
+        &self,
+        lp: &LpProblem,
+        hw: &mut HwContext,
+        budget: Budget<'_>,
+        warm: Option<(&[f64], &[f64])>,
+        reuse_salt: u64,
+    ) -> CrossbarSolution {
+        self.solve_inner(lp, hw, budget, warm, Some(reuse_salt))
+    }
+
+    fn solve_inner(
+        &self,
+        lp: &LpProblem,
+        hw: &mut HwContext,
+        budget: Budget<'_>,
+        warm: Option<(&[f64], &[f64])>,
+        reuse_salt: Option<u64>,
+    ) -> CrossbarSolution {
         let mut report = RecoveryReport::new(self.options.recovery);
         let mut last = None;
         // Aᵀ is attempt-invariant; hoist it out of the retry loop. The
@@ -142,12 +199,34 @@ impl CrossbarPdipSolver {
         // physical array and must persist across §4.3 re-solve attempts
         // (only the Eqn 18 variation redraws).
         let at = lp.a().transpose();
-        let mut hw = HwContext::new(self.config);
+        let mut spent = 0usize;
         for attempt in 0..=self.options.retries {
-            hw.begin_attempt(attempt as u64);
-            let (solution, mut trace) = self.attempt(lp, &at, &mut hw);
+            match reuse_salt {
+                // Warm reuse applies to the first attempt only; escalation
+                // retries redraw variation like any cold re-solve.
+                Some(salt) if attempt == 0 => hw.begin_reuse(salt),
+                _ => hw.begin_attempt(attempt as u64),
+            }
+            let init = if attempt == 0 { warm } else { None };
+            let (solution, mut trace, cause) = self.attempt(lp, &at, hw, budget, &mut spent, init);
             for e in hw.take_recovery_events() {
                 report.push(e);
+            }
+            // Budget expiry ends the solve *now*: the caller asked for the
+            // best answer available by the deadline, not for the recovery
+            // ladder to keep burning iterations it no longer has.
+            if let Some(cause) = cause {
+                trace.events = report.events.clone();
+                trace.writes = WriteStats::from_ledger(hw.ledger());
+                trace.factors = FactorStats::from_ledger(hw.ledger());
+                return CrossbarSolution {
+                    solution,
+                    ledger: *hw.ledger(),
+                    trace,
+                    retries_used: attempt,
+                    recovery: report,
+                    degraded: Some(cause),
+                };
             }
             // An Infeasible verdict from hardware that write–verify has
             // flagged as defective is not trustworthy: a dead line erases a
@@ -176,11 +255,12 @@ impl CrossbarPdipSolver {
                     trace,
                     retries_used: attempt,
                     recovery: report,
+                    degraded: None,
                 };
             }
             last = Some((solution, trace, attempt));
             if attempt < self.options.retries {
-                recovery::escalate_hardware(self.options.recovery, &mut hw, &mut report);
+                recovery::escalate_hardware(self.options.recovery, hw, &mut report);
                 // Rung 3 — the §4.3 double check: the next attempt rewrites
                 // everything with freshly drawn variation.
                 report.push(RecoveryEvent::VariationRedraw {
@@ -243,11 +323,39 @@ impl CrossbarPdipSolver {
             trace,
             retries_used: attempt,
             recovery: report,
+            degraded: None,
         }
     }
 
+    /// Cheap admission check a batch or service front-end can run **before**
+    /// committing hardware attempts: an explicit [`SolvePath::Dense`] whose
+    /// `(n+m)²` core would blow the [`DENSE_CORE_LIMIT_BYTES`] allocation
+    /// guard is refused up front with [`CoreSolveError::CoreTooLarge`]
+    /// instead of burning a full retry ladder to learn the same thing.
+    /// (`Auto`/`Sparse` paths reroute around the guard, so they pass.)
+    pub fn preflight(&self, lp: &LpProblem) -> Result<(), CoreSolveError> {
+        if self.options.pdip.path == SolvePath::Dense {
+            let dim = lp.num_vars() + lp.num_constraints();
+            let bytes = 8 * (dim as u64) * (dim as u64);
+            if bytes > DENSE_CORE_LIMIT_BYTES {
+                return Err(CoreSolveError::CoreTooLarge {
+                    dim,
+                    bytes,
+                    limit: DENSE_CORE_LIMIT_BYTES,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Solves a batch of problems concurrently, one independent solver pass
-    /// per problem, returning results in input order.
+    /// per problem, returning per-item results in input order.
+    ///
+    /// Admission is per item: a poisoned instance (e.g. one whose explicit
+    /// dense core trips [`CoreSolveError::CoreTooLarge`], see
+    /// [`Self::preflight`]) yields an `Err` in *its* slot while every
+    /// sibling still solves and returns normally — the serve worker relies
+    /// on this to shed one bad job without failing the batch.
     ///
     /// `jobs = 0` resolves the worker count from the environment
     /// (`MEMLP_THREADS`, then available parallelism). Each problem is an
@@ -260,14 +368,21 @@ impl CrossbarPdipSolver {
     /// matrices are far too small to amortize nested thread fan-out, and
     /// oversubscribing (jobs × kernel threads) used to make `threads=2`
     /// slower than `threads=1`.
-    pub fn solve_batch(&self, lps: &[LpProblem], jobs: usize) -> Vec<CrossbarSolution> {
+    pub fn solve_batch(
+        &self,
+        lps: &[LpProblem],
+        jobs: usize,
+    ) -> Vec<Result<CrossbarSolution, CoreSolveError>> {
         let jobs = if jobs == 0 {
             parallel::Threads::resolve().get()
         } else {
             jobs
         };
         parallel::run_indexed(jobs, lps.len(), |i| {
-            parallel::with_threads(1, || self.solve(&lps[i]))
+            parallel::with_threads(1, || {
+                self.preflight(&lps[i])?;
+                Ok(self.solve(&lps[i]))
+            })
         })
     }
 
@@ -277,9 +392,19 @@ impl CrossbarPdipSolver {
         lp: &LpProblem,
         at: &Matrix,
         hw: &mut HwContext,
-    ) -> (LpSolution, SolverTrace) {
+        budget: Budget<'_>,
+        spent: &mut usize,
+        init: Option<(&[f64], &[f64])>,
+    ) -> (LpSolution, SolverTrace, Option<BudgetCause>) {
         let opts = &self.options.pdip;
-        let mut state = PdipState::new(lp, opts);
+        // A warm start clamps the previous iterate strictly inside the
+        // positive orthant; the floor keeps the first complementarity
+        // products well-scaled even when the seed solution had active
+        // (near-zero) coordinates.
+        let mut state = match init {
+            Some((x0, y0)) => PdipState::warm_start(lp, x0, y0, 1e-2),
+            None => PdipState::new(lp, opts),
+        };
         let mut trace = SolverTrace::new();
         let mut system = AugmentedSystem::program_with_at(lp, at, &state, hw);
         system.set_solve_path(opts.path);
@@ -296,18 +421,44 @@ impl CrossbarPdipSolver {
         let mut iter_clock = hw.ledger().run_time_s();
 
         for iter in 0..opts.max_iterations {
+            // Cooperative cancellation: the budget is polled once per
+            // Newton iteration (`spent` accumulates across retry attempts).
+            // Expiry surrenders the best iterate seen so far — degradation,
+            // not failure — so a deadline can never hang a request.
+            if let Some(cause) = budget.check(*spent) {
+                let best = if best_score.is_finite() {
+                    best_state
+                } else {
+                    state
+                };
+                return (
+                    best.into_solution(lp, LpStatus::IterationLimit, iter),
+                    trace,
+                    Some(cause),
+                );
+            }
+            *spent += 1;
             // Divergence / NaN checks are digital (the controller tracks s).
             if !(ops::all_finite(&state.x) && ops::all_finite(&state.y)) {
                 return (
                     state.into_solution(lp, LpStatus::NumericalFailure, iter),
                     trace,
+                    None,
                 );
             }
             if ops::inf_norm(&state.y) > opts.divergence_bound {
-                return (state.into_solution(lp, LpStatus::Infeasible, iter), trace);
+                return (
+                    state.into_solution(lp, LpStatus::Infeasible, iter),
+                    trace,
+                    None,
+                );
             }
             if ops::inf_norm(&state.x) > opts.divergence_bound {
-                return (state.into_solution(lp, LpStatus::Unbounded, iter), trace);
+                return (
+                    state.into_solution(lp, LpStatus::Unbounded, iter),
+                    trace,
+                    None,
+                );
             }
 
             // (1) O(N) coefficient updates; static blocks age by the
@@ -358,7 +509,7 @@ impl CrossbarPdipSolver {
                         status = LpStatus::NumericalFailure;
                     }
                 }
-                return (state.into_solution(lp, status, iter), trace);
+                return (state.into_solution(lp, status, iter), trace, None);
             }
             let score = pr.max(dr).max(gap);
             if score < 0.95 * best_score {
@@ -399,7 +550,7 @@ impl CrossbarPdipSolver {
                 } else {
                     LpStatus::NumericalFailure
                 };
-                return (best_state.into_solution(lp, status, iter), trace);
+                return (best_state.into_solution(lp, status, iter), trace, None);
             }
 
             // (3) analog solve for the step directions. A singular realized
@@ -418,7 +569,7 @@ impl CrossbarPdipSolver {
                 } else {
                     LpStatus::NumericalFailure
                 };
-                return (state.into_solution(lp, status, iter), trace);
+                return (state.into_solution(lp, status, iter), trace, None);
             };
 
             // (4) damped update.
@@ -434,7 +585,11 @@ impl CrossbarPdipSolver {
             _ if ops::inf_norm(&state.x) > opts.divergence_bound => LpStatus::Unbounded,
             _ => LpStatus::IterationLimit,
         };
-        (state.into_solution(lp, status, opts.max_iterations), trace)
+        (
+            state.into_solution(lp, status, opts.max_iterations),
+            trace,
+            None,
+        )
     }
 
     /// The §3.2 post-check: a "converged" solution that violates
@@ -553,6 +708,88 @@ mod tests {
             res.retries_used, 0,
             "ideal hardware should not need retries"
         );
+    }
+
+    #[test]
+    fn budget_degrades_with_best_iterate() {
+        use memlp_solvers::{Budget, BudgetCause, IterationDeadline};
+        let lp = RandomLp::paper(24, 2).feasible();
+        let s = solver(0.0, 3);
+        let full = s.solve(&lp);
+        assert!(full.degraded.is_none());
+        // A tiny iteration cap degrades instead of hanging or failing: the
+        // best iterate so far comes back under IterationLimit.
+        let capped = s.solve_budgeted(&lp, Budget::none().with_max_iters(3));
+        assert_eq!(capped.degraded, Some(BudgetCause::MaxIters));
+        assert_eq!(capped.solution.status, LpStatus::IterationLimit);
+        assert_eq!(capped.solution.x.len(), lp.num_vars());
+        assert!(capped.solution.iterations <= 3);
+        // A deterministic deadline reports its own cause.
+        let dl = IterationDeadline::new(5);
+        let timed = s.solve_budgeted(&lp, Budget::none().with_deadline(&dl));
+        assert_eq!(timed.degraded, Some(BudgetCause::DeadlineExceeded));
+        // An ample budget is bitwise identical to the unbudgeted solve.
+        let ample = s.solve_budgeted(&lp, Budget::none().with_max_iters(100_000));
+        assert!(ample.degraded.is_none());
+        assert_eq!(ample.solution.status, full.solution.status);
+        assert_eq!(ample.solution.x, full.solution.x);
+        assert_eq!(ample.solution.objective, full.solution.objective);
+    }
+
+    #[test]
+    fn solve_on_reuses_warm_context_and_state() {
+        use memlp_solvers::Budget;
+        let lp = RandomLp::paper(16, 5).feasible();
+        let s = solver(5.0, 7);
+        let mut hw = HwContext::new(*s.config());
+        let cold = s.solve_on(&lp, &mut hw, Budget::none(), None, 0);
+        assert_eq!(cold.solution.status, LpStatus::Optimal, "{}", cold.solution);
+        let after_cold = cold.ledger.counts();
+        // Same problem family on the same warm context: the delta-write
+        // cache short-circuits repeated cell programming, and the previous
+        // solution warm-starts the interior-point iteration.
+        let warm = s.solve_on(
+            &lp,
+            &mut hw,
+            Budget::none(),
+            Some((&cold.solution.x, &cold.solution.y)),
+            1,
+        );
+        assert_eq!(warm.solution.status, LpStatus::Optimal, "{}", warm.solution);
+        let after_warm = warm.ledger.counts();
+        assert!(
+            after_warm.skipped_writes > after_cold.skipped_writes,
+            "warm repeat must skip unchanged cells: {} -> {}",
+            after_cold.skipped_writes,
+            after_warm.skipped_writes
+        );
+        let rel = (warm.solution.objective - cold.solution.objective).abs()
+            / (1.0 + cold.solution.objective.abs());
+        assert!(rel < 0.05, "warm objective drifted: {rel}");
+    }
+
+    #[test]
+    fn batch_surfaces_per_item_errors() {
+        use memlp_lp::domains::{assignment_lp, AssignmentProblem};
+        use memlp_solvers::pdip::SolvePath;
+        let good = RandomLp::paper(12, 1).feasible();
+        let big = assignment_lp(&AssignmentProblem::random(128, 7)).expect("valid instance");
+        let opts = CrossbarSolverOptions {
+            pdip: PdipOptions {
+                path: SolvePath::Dense,
+                ..CrossbarSolverOptions::default().pdip
+            },
+            ..CrossbarSolverOptions::default()
+        };
+        let s = CrossbarPdipSolver::new(CrossbarConfig::paper_default().with_seed(3), opts);
+        // The poisoned middle item errors in its own slot; siblings solve.
+        let out = s.solve_batch(&[good.clone(), big, good], 2);
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out[1], Err(CoreSolveError::CoreTooLarge { .. })));
+        for i in [0usize, 2] {
+            let res = out[i].as_ref().expect("sibling must still solve");
+            assert_eq!(res.solution.status, LpStatus::Optimal, "item {i}");
+        }
     }
 
     #[test]

@@ -47,6 +47,22 @@ impl WriteStats {
         }
     }
 
+    /// Write counters attributable to one request on a **shared** warm
+    /// context: the ledger accumulates across a context's whole life, so a
+    /// per-request snapshot is the difference between the ledger after the
+    /// solve and the `before` stats captured as the request was admitted.
+    /// (Saturating, so a reset context can never produce underflowed
+    /// counts.)
+    pub fn since(&self, before: &WriteStats) -> WriteStats {
+        WriteStats {
+            cells_written: self.cells_written.saturating_sub(before.cells_written),
+            cells_skipped: self.cells_skipped.saturating_sub(before.cells_skipped),
+            rebuilds_avoided: self
+                .rebuilds_avoided
+                .saturating_sub(before.rebuilds_avoided),
+        }
+    }
+
     /// Fraction of would-be write pulses that delta programming skipped
     /// (0 when nothing was written).
     pub fn skip_fraction(&self) -> f64 {
@@ -176,6 +192,30 @@ mod tests {
         }
         let r = t.mean_gap_reduction().unwrap();
         assert!((r - 0.5).abs() < 1e-12, "reduction {r}");
+    }
+
+    #[test]
+    fn write_stats_delta_is_saturating() {
+        let before = WriteStats {
+            cells_written: 10,
+            cells_skipped: 5,
+            rebuilds_avoided: 1,
+        };
+        let after = WriteStats {
+            cells_written: 25,
+            cells_skipped: 30,
+            rebuilds_avoided: 1,
+        };
+        assert_eq!(
+            after.since(&before),
+            WriteStats {
+                cells_written: 15,
+                cells_skipped: 25,
+                rebuilds_avoided: 0,
+            }
+        );
+        // A reset context (counters behind the snapshot) clamps to zero.
+        assert_eq!(before.since(&after), WriteStats::default());
     }
 
     #[test]

@@ -19,6 +19,13 @@ fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
+/// Unwraps a per-item batch result; none of these instances trip admission.
+fn ok_batch<T, E: std::fmt::Debug>(v: Vec<Result<T, E>>) -> Vec<T> {
+    v.into_iter()
+        .map(|r| r.expect("batch item admitted"))
+        .collect()
+}
+
 fn config(seed: u64, delta: bool) -> CrossbarConfig {
     CrossbarConfig::paper_default()
         .with_variation(5.0)
@@ -78,9 +85,9 @@ fn alg1_delta_matches_full_reprogram_at_all_thread_counts() {
     };
     let on = CrossbarPdipSolver::new(config(7, true), opts);
     let off = CrossbarPdipSolver::new(config(7, false), opts);
-    let baseline = with_threads(1, || off.solve_batch(&lps, 1));
+    let baseline = ok_batch(with_threads(1, || off.solve_batch(&lps, 1)));
     for threads in THREADS {
-        let got = with_threads(threads, || on.solve_batch(&lps, threads));
+        let got = ok_batch(with_threads(threads, || on.solve_batch(&lps, threads)));
         for (i, (full, delta)) in baseline.iter().zip(&got).enumerate() {
             let ctx = format!("alg1 lp {i} at {threads} threads");
             assert_same_behaviour(delta, full, &ctx);
@@ -94,9 +101,9 @@ fn alg2_delta_matches_full_reprogram_at_all_thread_counts() {
     let lps = problems();
     let on = LargeScaleSolver::new(config(9, true), LargeScaleOptions::default());
     let off = LargeScaleSolver::new(config(9, false), LargeScaleOptions::default());
-    let baseline = with_threads(1, || off.solve_batch(&lps, 1));
+    let baseline = ok_batch(with_threads(1, || off.solve_batch(&lps, 1)));
     for threads in THREADS {
-        let got = with_threads(threads, || on.solve_batch(&lps, threads));
+        let got = ok_batch(with_threads(threads, || on.solve_batch(&lps, threads)));
         for (i, (full, delta)) in baseline.iter().zip(&got).enumerate() {
             let ctx = format!("alg2 lp {i} at {threads} threads");
             assert_same_behaviour(delta, full, &ctx);

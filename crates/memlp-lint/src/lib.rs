@@ -135,6 +135,7 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
 pub fn lint_workspace_cached(root: &Path, cache_path: Option<&Path>) -> Result<Report, String> {
     // Opt-in phase timing on stderr (stdout stays byte-stable).
     let timing = std::env::var_os("MEMLP_LINT_TIMING").is_some();
+    // memlp-lint: allow(determinism::wall-clock, reason = "diagnostic phase timing printed to stderr behind MEMLP_LINT_TIMING; findings and exit code never depend on it")
     let t0 = std::time::Instant::now();
     let files = workspace_files(root)?;
     let mut cache = match cache_path {

@@ -90,7 +90,7 @@ pub const RULES: &[(&str, Severity, &str)] = &[
     (
         "determinism::wall-clock",
         Severity::Deny,
-        "no Instant/SystemTime in determinism-critical crates (timing lives in memlp-bench/CLI)",
+        "no Instant/SystemTime outside memlp-bench/memlp-serve; solver timing is the cost ledger",
     ),
     (
         "determinism::unseeded-rng",
@@ -105,7 +105,12 @@ pub const RULES: &[(&str, Severity, &str)] = &[
     (
         "concurrency::primitive",
         Severity::Deny,
-        "no thread::spawn/scope, Mutex, RwLock, atomics, … outside memlp-linalg::parallel",
+        "no thread::spawn/scope, Mutex, RwLock, atomics, … outside memlp-linalg::parallel and memlp-serve",
+    ),
+    (
+        "net::socket",
+        Severity::Deny,
+        "no TcpListener/TcpStream/UdpSocket outside memlp-serve; the daemon owns the network edge",
     ),
     (
         "panic::unwrap",
@@ -181,8 +186,11 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         "determinism::wall-clock" => {
             "Every solver result in this reproduction must replay bit-for-bit from a seed \
              (paper Eqn 18 / §4.1). `Instant`/`SystemTime` reads make control flow depend on \
-             the host scheduler, so they are confined to memlp-bench and the CLI. Move timing \
-             out of the solver crates, or thread a simulated clock through the cost ledger."
+             the host scheduler, so they are confined to the two crates whose job is timing: \
+             memlp-bench (kernel measurement) and memlp-serve (request latency stamps and \
+             load-gen percentiles, which never feed back into a solve). Everywhere else — \
+             solver crates, the CLI, the lint tool — thread a simulated clock through the \
+             cost ledger, or use the solver's iteration-tick deadlines (`IterationDeadline`)."
         }
         "determinism::unseeded-rng" => {
             "`thread_rng`/`OsRng`/`from_entropy` draw from ambient entropy, so two runs of \
@@ -197,7 +205,19 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         "concurrency::primitive" => {
             "PR 1's bitwise thread-invariance proof lives entirely in \
              memlp-linalg::parallel. Any primitive outside it (threads, locks, atomics, \
-             channels) would need its own proof; route work through the shared pool."
+             channels) would need its own proof; route work through the shared pool. \
+             memlp-serve is the one other crate allowed primitives: a daemon's accept \
+             loop, admission queue, and worker pool are concurrency by definition, and \
+             its determinism story is different — each *solve* replays bitwise on pooled \
+             seeded hardware, while scheduling order is explicitly out of scope \
+             (DESIGN.md §16)."
+        }
+        "net::socket" => {
+            "Sockets are ambient, nondeterministic I/O and an availability surface. All \
+             network access is confined to memlp-serve, whose framed length-prefixed \
+             protocol, admission control, and drain lifecycle are property-tested; solver \
+             crates stay pure functions of their seeds, and the CLI talks to the daemon \
+             through memlp_serve::ServeClient rather than raw sockets."
         }
         "panic::unwrap" | "panic::expect" => {
             "Library code aborting mid-solve loses the trace and the partially-programmed \
@@ -283,6 +303,24 @@ pub(crate) const DETERMINISM_CRATES: &[&str] = &[
 /// Crates whose numerics are tolerance-based: strict float equality against
 /// a non-zero literal is flagged.
 const FLOAT_CRATES: &[&str] = &["memlp-core", "memlp-linalg", "memlp-solvers"];
+
+/// The only crates allowed to read wall clocks: the bench harness times
+/// kernels, and the serve daemon stamps request latencies (which never
+/// feed back into a solve). Everywhere else `Instant`/`SystemTime` is
+/// banned — including the CLI and this lint tool, which carry explicit
+/// allows where a human has argued the read is inert.
+pub(crate) const WALL_CLOCK_CRATES: &[&str] = &["memlp-bench", "memlp-serve"];
+
+/// Crates allowed to own concurrency primitives wholesale. The serving
+/// daemon is concurrency by definition (accept loop, admission queue,
+/// worker pool); its per-solve determinism contract is documented in
+/// DESIGN.md §16. memlp-linalg is *not* listed: its `parallel` module
+/// carries per-site allows so any new primitive there is still a
+/// conscious decision.
+pub(crate) const CONCURRENCY_CRATES: &[&str] = &["memlp-serve"];
+
+/// The only crate allowed to open sockets; see `net::socket`.
+pub(crate) const NET_CRATES: &[&str] = &["memlp-serve"];
 
 /// Crates exempt from panic rules (the bench harness is allowed to abort).
 pub(crate) const PANIC_EXEMPT_CRATES: &[&str] = &["memlp-bench"];
@@ -838,6 +876,9 @@ fn scan_tokens(
     let determinism = DETERMINISM_CRATES.contains(&ctx.krate.as_str()) && !ctx.test_file;
     let float_scope = FLOAT_CRATES.contains(&ctx.krate.as_str()) && !ctx.test_file;
     let panic_scope = !PANIC_EXEMPT_CRATES.contains(&ctx.krate.as_str()) && !ctx.test_file;
+    let clock_scope = !WALL_CLOCK_CRATES.contains(&ctx.krate.as_str()) && !ctx.test_file;
+    let conc_scope = !CONCURRENCY_CRATES.contains(&ctx.krate.as_str());
+    let net_scope = !NET_CRATES.contains(&ctx.krate.as_str()) && !ctx.test_file;
 
     let mut seen: Vec<(u32, &'static str)> = Vec::new();
     let mut emit = |line: u32, rule: &'static str, message: String| {
@@ -873,9 +914,10 @@ fn scan_tokens(
                     );
                 }
 
-                // concurrency::primitive — everywhere (tests included, so
-                // the thread-invariance suites run under the same regime);
-                // memlp-linalg::parallel carries explicit allows.
+                // concurrency::primitive — everywhere outside the serve
+                // daemon (tests included, so the thread-invariance suites
+                // run under the same regime); memlp-linalg::parallel
+                // carries explicit allows.
                 let is_conc_ident = matches!(
                     text,
                     "Mutex" | "RwLock" | "Condvar" | "OnceLock" | "OnceCell" | "mpsc" | "Barrier"
@@ -887,29 +929,47 @@ fn scan_tokens(
                         toks.get(idx + 2).map(|t| t.text.as_str()),
                         Some("spawn") | Some("scope")
                     );
-                if is_conc_ident || is_thread_call {
+                if conc_scope && (is_conc_ident || is_thread_call) {
                     emit(
                         tok.line,
                         "concurrency::primitive",
                         format!(
-                            "`{text}` outside memlp-linalg::parallel — route all threading \
-                             through the shared pool so thread-invariance stays provable in \
-                             one place"
+                            "`{text}` outside memlp-linalg::parallel and memlp-serve — route \
+                             threading through the shared pool so thread-invariance stays \
+                             provable in one place"
+                        ),
+                    );
+                }
+
+                // net::socket — only the serve daemon opens sockets.
+                if net_scope
+                    && !in_test
+                    && matches!(text, "TcpListener" | "TcpStream" | "UdpSocket")
+                {
+                    emit(
+                        tok.line,
+                        "net::socket",
+                        format!(
+                            "`{text}` outside memlp-serve — network I/O is confined to the \
+                             daemon's framed protocol; talk to it through ServeClient"
+                        ),
+                    );
+                }
+
+                // determinism::wall-clock — everywhere except the two
+                // timing crates (memlp-bench, memlp-serve).
+                if clock_scope && !in_test && matches!(text, "Instant" | "SystemTime") {
+                    emit(
+                        tok.line,
+                        "determinism::wall-clock",
+                        format!(
+                            "`{text}` outside memlp-bench/memlp-serve — time a solve via the \
+                             cost ledger or bound it with IterationDeadline"
                         ),
                     );
                 }
 
                 if determinism && !in_test {
-                    if matches!(text, "Instant" | "SystemTime") {
-                        emit(
-                            tok.line,
-                            "determinism::wall-clock",
-                            format!(
-                                "`{text}` in a determinism-critical crate — timing belongs in \
-                                 memlp-bench or the CLI"
-                            ),
-                        );
-                    }
                     if matches!(text, "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy")
                         || (text == "rand"
                             && next.map(|n| n.text == "::").unwrap_or(false)

@@ -133,16 +133,23 @@ fn option_returning_panic_chain_lints_clean() {
     assert_eq!(triples(&r), vec![]);
 }
 
-/// A wall-clock helper in the (determinism-exempt) root crate is reached
-/// from `memlp-noc` through an aliased import: the leak is reported at the
-/// entropy seed, and the witness walks alias resolution back to the
-/// scheduler entry point.
+/// A wall-clock helper in the root crate is reached from `memlp-noc`
+/// through an aliased import: the leak is reported at the entropy seed,
+/// and the witness walks alias resolution back to the scheduler entry
+/// point. Since the wall-clock ban widened beyond the solver crates
+/// (timing now lives only in memlp-bench/memlp-serve), the token pass
+/// flags the helper's `Instant` reads too — the cross-file finding is
+/// still the one that names the solver-side entry point.
 #[test]
 fn aliased_import_entropy_leak_is_traced_across_crates() {
     let r = load("entropy_bad", ENTROPY_FILES);
     assert_eq!(
         triples(&r),
-        vec![("src/diag.rs", 7, "reach::nondeterminism")]
+        vec![
+            ("src/diag.rs", 3, "determinism::wall-clock"),
+            ("src/diag.rs", 7, "determinism::wall-clock"),
+            ("src/diag.rs", 7, "reach::nondeterminism"),
+        ]
     );
     let f = the_finding(&r, "reach::nondeterminism");
     assert!(f.message.contains("leaks ambient entropy"), "{}", f.message);

@@ -1,0 +1,15 @@
+//! A "serving" pastiche smuggled into a solver crate: every banned
+//! surface must fire — sockets, wall clocks, and raw threading belong
+//! to memlp-serve.
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::Instant;
+
+pub fn stream_solution(addr: &str) -> std::io::Result<u64> {
+    let t0 = Instant::now();
+    let _conn = TcpStream::connect(addr)?;
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || tx.send(1u64).ok());
+    let v: u64 = rx.recv().unwrap_or(0);
+    Ok(v + t0.elapsed().as_micros() as u64)
+}

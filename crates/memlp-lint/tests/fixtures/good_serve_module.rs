@@ -1,0 +1,20 @@
+//! The same surfaces are the serve daemon's job: sockets, latency
+//! stamps, and lock-based sharing lint clean inside memlp-serve.
+use std::net::TcpListener;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Completed-request counter with poison recovery: one panicking
+/// connection must not wedge the rest of the daemon.
+pub fn bump(counter: &Mutex<u64>) -> u64 {
+    let mut n = counter.lock().unwrap_or_else(PoisonError::into_inner);
+    *n += 1;
+    *n
+}
+
+/// Binds an ephemeral port, returning the bind latency in microseconds.
+pub fn bind_latency(addr: &str) -> std::io::Result<u64> {
+    let t0 = Instant::now();
+    let _listener = TcpListener::bind(addr)?;
+    Ok(t0.elapsed().as_micros() as u64)
+}

@@ -220,6 +220,53 @@ fn bench_crate_may_time_and_abort() {
     check("bench_timing_ok.rs", "crates/memlp-bench/src/fake.rs", &[]);
 }
 
+/// The serve daemon's trifecta — sockets, wall clocks, concurrency
+/// primitives — fires in a solver crate and in the CLI alike: neither is
+/// a refuge for smuggled network I/O or timing.
+#[test]
+fn serve_surfaces_are_confined_to_the_serve_crate() {
+    let expected: &[(u32, &str)] = &[
+        (4, "net::socket"),
+        (5, "concurrency::primitive"),
+        (6, "determinism::wall-clock"),
+        (9, "determinism::wall-clock"),
+        (10, "net::socket"),
+        (11, "concurrency::primitive"),
+        (12, "concurrency::primitive"),
+    ];
+    check(
+        "bad_serve_module.rs",
+        "crates/memlp-solvers/src/fake.rs",
+        expected,
+    );
+    check("bad_serve_module.rs", "src/fake.rs", expected);
+}
+
+/// The same surfaces, written in the daemon's real idiom (poison-recovering
+/// locks, latency stamps, listener bind), lint clean under memlp-serve —
+/// and it is the *path* that licenses them, not the code: the identical
+/// file under a solver crate fires every confinement rule.
+#[test]
+fn serve_idiom_is_clean_at_home_and_flagged_abroad() {
+    check(
+        "good_serve_module.rs",
+        "crates/memlp-serve/src/fake.rs",
+        &[],
+    );
+    check(
+        "good_serve_module.rs",
+        "crates/memlp-core/src/fake.rs",
+        &[
+            (3, "net::socket"),
+            (4, "concurrency::primitive"),
+            (5, "determinism::wall-clock"),
+            (9, "concurrency::primitive"),
+            (17, "determinism::wall-clock"),
+            (18, "net::socket"),
+        ],
+    );
+}
+
 #[test]
 fn unsafe_is_flagged_even_in_exempt_crates() {
     check(

@@ -1,0 +1,100 @@
+//! Synchronous client for the serve protocol.
+//!
+//! Wraps the socket and codec so callers (CLI, benches, tests) never
+//! touch `TcpStream` or frame bytes directly. The `send`/`recv` split
+//! exists for burst tests that need several requests in flight across
+//! connections before reading any response.
+
+use std::io;
+use std::net::TcpStream;
+
+use crate::codec::{
+    encode_request, read_response, write_frame, FrameError, HealthInfo, Request, Response, SolveJob,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Transport(FrameError),
+    /// The server answered with a kind this call cannot accept.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "{e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Transport(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Transport(FrameError::Io(e))
+    }
+}
+
+/// One connection to a serve daemon.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient { stream })
+    }
+
+    /// Writes one request without waiting for the response.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        Ok(())
+    }
+
+    /// Reads the next response.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        Ok(read_response(&mut self.stream)?)
+    }
+
+    /// One request/response exchange.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Submits a solve job; the response may be `Solution`, `Overloaded`,
+    /// or `Error` — backpressure is part of the contract, so it is not
+    /// folded into `ClientError`.
+    pub fn solve(&mut self, job: SolveJob) -> Result<Response, ClientError> {
+        self.call(&Request::Solve(job))
+    }
+
+    /// Health probe.
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            _ => Err(ClientError::Unexpected("health")),
+        }
+    }
+
+    /// Requests a graceful drain; returns the lifetime completed-job
+    /// count once all in-flight work has finished.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Drain)? {
+            Response::DrainAck { completed } => Ok(completed),
+            _ => Err(ClientError::Unexpected("drain ack")),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Server configuration.
+
+use memlp_core::CrossbarSolverOptions;
+use memlp_crossbar::CrossbarConfig;
+
+/// Everything a [`Server`](crate::server::Server) needs to start.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Simulated hardware every worker builds its contexts from.
+    pub crossbar: CrossbarConfig,
+    /// Solver policy (tolerances, retries, recovery ladder).
+    pub options: CrossbarSolverOptions,
+    /// Admission-queue capacity (jobs), summed across families. Full
+    /// queue ⇒ load shed with `Overloaded`.
+    pub queue_depth: usize,
+    /// Worker threads, each owning a private warm-context pool. One
+    /// worker serving sequential requests is deterministic end to end.
+    pub workers: usize,
+    /// Warm contexts each worker keeps before LRU eviction.
+    pub pool_capacity: usize,
+    /// Extra solve attempts on a *replacement* array after a solve fails
+    /// with confirmed hardware defects (this is on top of the solver's
+    /// own in-context recovery ladder).
+    pub retry_limit: usize,
+    /// Base worker backoff before retrying on a replacement array,
+    /// milliseconds; decays by half per further attempt.
+    pub backoff_ms: u64,
+    /// Server-side default Newton-iteration cap applied to jobs that
+    /// carry none (`0` = unlimited). A job's own nonzero cap wins.
+    pub default_max_iters: u32,
+    /// Server-side default iteration-tick deadline for jobs that carry
+    /// none (`0` = no deadline). A job's own nonzero deadline wins.
+    pub default_deadline_ticks: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            crossbar: CrossbarConfig::paper_default(),
+            options: CrossbarSolverOptions::default(),
+            queue_depth: 16,
+            workers: 1,
+            pool_capacity: 8,
+            retry_limit: 1,
+            backoff_ms: 1,
+            default_max_iters: 0,
+            default_deadline_ticks: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Replaces the hardware model.
+    pub fn with_crossbar(mut self, crossbar: CrossbarConfig) -> Self {
+        self.crossbar = crossbar;
+        self
+    }
+
+    /// Replaces the solver options.
+    pub fn with_options(mut self, options: CrossbarSolverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the admission-queue capacity (min 1).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count (min 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}

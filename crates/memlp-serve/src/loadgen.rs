@@ -1,0 +1,162 @@
+//! Closed-loop load generator for the serve path.
+//!
+//! `concurrency` clients each run a synchronous request loop against one
+//! connection; per-request latency is sampled client-side. Overloaded
+//! responses honour the server's retry hint (bounded), so a burst above
+//! queue capacity sheds and then completes rather than hanging — the
+//! behaviour the serve bench gates on.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::client::ServeClient;
+use crate::codec::{Response, SolveJob};
+
+/// One load scenario.
+pub struct LoadConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Retries per request on `Overloaded` (each sleeps the server's
+    /// hint) before counting the request as shed.
+    pub max_overload_retries: usize,
+}
+
+/// Aggregated results of one load run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadReport {
+    /// Requests issued (excluding overload retries).
+    pub sent: usize,
+    /// Solves that returned `Optimal`.
+    pub ok: usize,
+    /// Solves that returned a budget-degraded iterate.
+    pub degraded: usize,
+    /// `Overloaded` responses observed (retries included).
+    pub overload_replies: usize,
+    /// Requests still shed after every retry.
+    pub shed: usize,
+    /// Structured error responses.
+    pub errors: usize,
+    /// Median solve latency, microseconds (client-observed).
+    pub p50_us: u64,
+    /// 99th-percentile solve latency, microseconds.
+    pub p99_us: u64,
+    /// Wall-clock for the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Completed solves per second over the run.
+    pub solves_per_sec: f64,
+    /// Cells pulsed across all solves (from response ledgers).
+    pub cells_written: u64,
+    /// Write pulses skipped by delta programming across all solves.
+    pub cells_skipped: u64,
+    /// Solves that started from a pooled warm iterate.
+    pub warm_hits: usize,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one scenario. `make_job(client, request)` builds each job, so a
+/// scenario can spread families across clients or vary budgets per
+/// request.
+pub fn run_load(
+    cfg: &LoadConfig,
+    make_job: impl Fn(usize, usize) -> SolveJob + Sync,
+) -> LoadReport {
+    let collected: Mutex<(Vec<u64>, LoadReport)> = Mutex::new((Vec::new(), LoadReport::default()));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_idx in 0..cfg.concurrency {
+            let make_job = &make_job;
+            let collected = &collected;
+            scope.spawn(move || {
+                let mut client = match ServeClient::connect(&cfg.addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        collected
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .1
+                            .errors += cfg.requests_per_client;
+                        return;
+                    }
+                };
+                let mut latencies = Vec::new();
+                let mut local = LoadReport::default();
+                for req_idx in 0..cfg.requests_per_client {
+                    local.sent += 1;
+                    let job = make_job(client_idx, req_idx);
+                    let t0 = Instant::now();
+                    let mut outcome = client.solve(job.clone());
+                    let mut retries = 0;
+                    while let Ok(Response::Overloaded {
+                        retry_after_hint_ms,
+                        ..
+                    }) = &outcome
+                    {
+                        local.overload_replies += 1;
+                        if retries >= cfg.max_overload_retries {
+                            break;
+                        }
+                        retries += 1;
+                        std::thread::sleep(Duration::from_millis(*retry_after_hint_ms as u64));
+                        outcome = client.solve(job.clone());
+                    }
+                    match outcome {
+                        Ok(Response::Solution(s)) => {
+                            latencies.push(t0.elapsed().as_micros() as u64);
+                            if s.degraded.is_some() {
+                                local.degraded += 1;
+                            } else if s.status.is_optimal() {
+                                local.ok += 1;
+                            } else {
+                                local.errors += 1;
+                            }
+                            local.cells_written += s.cells_written;
+                            local.cells_skipped += s.cells_skipped;
+                            if s.warm_start {
+                                local.warm_hits += 1;
+                            }
+                        }
+                        Ok(Response::Overloaded { .. }) => local.shed += 1,
+                        Ok(_) | Err(_) => local.errors += 1,
+                    }
+                }
+                let mut g = collected.lock().unwrap_or_else(PoisonError::into_inner);
+                g.0.extend(latencies);
+                let r = &mut g.1;
+                r.sent += local.sent;
+                r.ok += local.ok;
+                r.degraded += local.degraded;
+                r.overload_replies += local.overload_replies;
+                r.shed += local.shed;
+                r.errors += local.errors;
+                r.cells_written += local.cells_written;
+                r.cells_skipped += local.cells_skipped;
+                r.warm_hits += local.warm_hits;
+            });
+        }
+    });
+    let (mut latencies, mut report) = collected
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 50.0);
+    report.p99_us = percentile(&latencies, 99.0);
+    report.elapsed_s = started.elapsed().as_secs_f64();
+    let completed = (report.ok + report.degraded) as f64;
+    report.solves_per_sec = if report.elapsed_s > 0.0 {
+        completed / report.elapsed_s
+    } else {
+        0.0
+    };
+    report
+}

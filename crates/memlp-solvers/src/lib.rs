@@ -36,8 +36,10 @@ mod pdip_mehrotra;
 mod pdip_normal;
 mod simplex;
 
+pub mod budget;
 pub mod pdip;
 
+pub use budget::{Budget, BudgetCause, Deadline, IterationDeadline};
 pub use pdip::{PdipOptions, SolvePath};
 pub use pdip_dense::DensePdip;
 pub use pdip_mehrotra::MehrotraPdip;
@@ -52,6 +54,21 @@ use memlp_lp::{LpProblem, LpSolution};
 pub trait LpSolver {
     /// Solves the canonical-form problem.
     fn solve(&self, lp: &LpProblem) -> LpSolution;
+
+    /// Solves under an iteration [`Budget`], polled once per Newton
+    /// iteration. On a budget exit the best-so-far iterate is returned
+    /// with `LpStatus::IterationLimit` and the triggering [`BudgetCause`];
+    /// with [`Budget::none`] the behaviour (and bit pattern) of
+    /// [`LpSolver::solve`] is preserved exactly. Solvers without
+    /// cooperative checks (e.g. simplex) ignore the budget.
+    fn solve_budgeted(
+        &self,
+        lp: &LpProblem,
+        budget: Budget<'_>,
+    ) -> (LpSolution, Option<BudgetCause>) {
+        let _ = budget;
+        (self.solve(lp), None)
+    }
 
     /// Short human-readable name for tables and logs.
     fn name(&self) -> &'static str;

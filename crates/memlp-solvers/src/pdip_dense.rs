@@ -1,6 +1,7 @@
 use memlp_linalg::{LuFactors, Matrix};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 
+use crate::budget::{Budget, BudgetCause};
 use crate::pdip::{status_for, IterationOutcome, PdipOptions, PdipState, StepDirections};
 use crate::LpSolver;
 
@@ -77,6 +78,14 @@ impl DensePdip {
 
 impl LpSolver for DensePdip {
     fn solve(&self, lp: &LpProblem) -> LpSolution {
+        self.solve_budgeted(lp, Budget::none()).0
+    }
+
+    fn solve_budgeted(
+        &self,
+        lp: &LpProblem,
+        budget: Budget<'_>,
+    ) -> (LpSolution, Option<BudgetCause>) {
         let opts = &self.options;
         let n = lp.num_vars();
         let m = lp.num_constraints();
@@ -85,7 +94,11 @@ impl LpSolver for DensePdip {
         for iter in 0..opts.max_iterations {
             match state.outcome(lp, opts) {
                 IterationOutcome::Continue => {}
-                terminal => return state.into_solution(lp, status_for(terminal), iter),
+                terminal => return (state.into_solution(lp, status_for(terminal), iter), None),
+            }
+            if let Some(cause) = budget.check(iter) {
+                let sol = state.into_solution(lp, LpStatus::IterationLimit, iter);
+                return (sol, Some(cause));
             }
             let mu = state.mu(opts.delta);
             let k = Self::newton_matrix(lp, &state);
@@ -94,7 +107,7 @@ impl LpSolver for DensePdip {
                 Ok(d) => d,
                 Err(_) => {
                     let status = crate::pdip::classify_breakdown(&state, opts);
-                    return state.into_solution(lp, status, iter);
+                    return (state.into_solution(lp, status, iter), None);
                 }
             };
             let dirs = StepDirections {
@@ -110,7 +123,7 @@ impl LpSolver for DensePdip {
             IterationOutcome::Continue => LpStatus::IterationLimit,
             terminal => status_for(terminal),
         };
-        state.into_solution(lp, status, opts.max_iterations)
+        (state.into_solution(lp, status, opts.max_iterations), None)
     }
 
     fn name(&self) -> &'static str {

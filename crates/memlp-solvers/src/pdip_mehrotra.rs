@@ -1,6 +1,7 @@
 use memlp_linalg::{ops, LuFactors};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 
+use crate::budget::{Budget, BudgetCause};
 use crate::pdip::{
     classify_breakdown, status_for, IterationOutcome, PdipOptions, PdipState, StepDirections,
 };
@@ -118,6 +119,14 @@ impl MehrotraPdip {
 
 impl LpSolver for MehrotraPdip {
     fn solve(&self, lp: &LpProblem) -> LpSolution {
+        self.solve_budgeted(lp, Budget::none()).0
+    }
+
+    fn solve_budgeted(
+        &self,
+        lp: &LpProblem,
+        budget: Budget<'_>,
+    ) -> (LpSolution, Option<BudgetCause>) {
         let opts = &self.options;
         let n = lp.num_vars();
         let m = lp.num_constraints();
@@ -126,11 +135,15 @@ impl LpSolver for MehrotraPdip {
         for iter in 0..opts.max_iterations {
             match state.outcome(lp, opts) {
                 IterationOutcome::Continue => {}
-                terminal => return state.into_solution(lp, status_for(terminal), iter),
+                terminal => return (state.into_solution(lp, status_for(terminal), iter), None),
+            }
+            if let Some(cause) = budget.check(iter) {
+                let sol = state.into_solution(lp, LpStatus::IterationLimit, iter);
+                return (sol, Some(cause));
             }
             let Some(red) = Self::factor(lp, &state) else {
                 let status = classify_breakdown(&state, opts);
-                return state.into_solution(lp, status, iter);
+                return (state.into_solution(lp, status, iter), None);
             };
 
             // Predictor: pure affine step (µ = 0).
@@ -138,7 +151,7 @@ impl LpSolver for MehrotraPdip {
             let comp_yw_aff: Vec<f64> = (0..m).map(|i| -state.y[i] * state.w[i]).collect();
             let Some(aff) = Self::directions(lp, &state, &red, &comp_xz_aff, &comp_yw_aff) else {
                 let status = classify_breakdown(&state, opts);
-                return state.into_solution(lp, status, iter);
+                return (state.into_solution(lp, status, iter), None);
             };
             let alpha_aff = state.step_length(&aff, 1.0);
 
@@ -166,7 +179,7 @@ impl LpSolver for MehrotraPdip {
                 .collect();
             let Some(dirs) = Self::directions(lp, &state, &red, &comp_xz, &comp_yw) else {
                 let status = classify_breakdown(&state, opts);
-                return state.into_solution(lp, status, iter);
+                return (state.into_solution(lp, status, iter), None);
             };
             let theta = state.step_length(&dirs, opts.step_safety);
             state.apply_step(&dirs, theta);
@@ -175,7 +188,7 @@ impl LpSolver for MehrotraPdip {
             IterationOutcome::Continue => LpStatus::IterationLimit,
             terminal => status_for(terminal),
         };
-        state.into_solution(lp, status, opts.max_iterations)
+        (state.into_solution(lp, status, opts.max_iterations), None)
     }
 
     fn name(&self) -> &'static str {

@@ -1,6 +1,7 @@
 use memlp_linalg::{iterative, ops, LuFactors, Matrix, SparseLu, SparseMatrix};
 use memlp_lp::{LpProblem, LpSolution, LpStatus};
 
+use crate::budget::{Budget, BudgetCause};
 use crate::pdip::{status_for, IterationOutcome, PdipOptions, PdipState, StepDirections};
 use crate::LpSolver;
 
@@ -272,6 +273,14 @@ impl NormalEqPdip {
 
 impl LpSolver for NormalEqPdip {
     fn solve(&self, lp: &LpProblem) -> LpSolution {
+        self.solve_budgeted(lp, Budget::none()).0
+    }
+
+    fn solve_budgeted(
+        &self,
+        lp: &LpProblem,
+        budget: Budget<'_>,
+    ) -> (LpSolution, Option<BudgetCause>) {
         let opts = &self.options;
         let mut state = PdipState::new(lp, opts);
         let mut scratch = NormalScratch::default();
@@ -280,14 +289,18 @@ impl LpSolver for NormalEqPdip {
         for iter in 0..opts.max_iterations {
             match state.outcome(lp, opts) {
                 IterationOutcome::Continue => {}
-                terminal => return state.into_solution(lp, status_for(terminal), iter),
+                terminal => return (state.into_solution(lp, status_for(terminal), iter), None),
+            }
+            if let Some(cause) = budget.check(iter) {
+                let sol = state.into_solution(lp, LpStatus::IterationLimit, iter);
+                return (sol, Some(cause));
             }
             let mu = state.mu(opts.delta);
             let dirs = match Self::directions(lp, &state, mu, &mut scratch, use_sparse) {
                 Some(d) => d,
                 None => {
                     let status = crate::pdip::classify_breakdown(&state, opts);
-                    return state.into_solution(lp, status, iter);
+                    return (state.into_solution(lp, status, iter), None);
                 }
             };
             let theta = state.step_length(&dirs, opts.step_safety);
@@ -297,7 +310,7 @@ impl LpSolver for NormalEqPdip {
             IterationOutcome::Continue => LpStatus::IterationLimit,
             terminal => status_for(terminal),
         };
-        state.into_solution(lp, status, opts.max_iterations)
+        (state.into_solution(lp, status, opts.max_iterations), None)
     }
 
     fn name(&self) -> &'static str {

@@ -5,9 +5,13 @@
 //!             [--solver alg1|alg2|simplex|pdip|mehrotra]
 //!             [--path auto|dense|sparse]
 //!             [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
+//!             [--max-iters <n>] [--timeout-iters <n>]
 //!             [--stuck-rate <frac>] [--dead-line-rate <frac>]
 //!             [--transient-rate <frac>] [--spares <n>]
 //!             [--recovery off|hardware|full]
+//! memlp serve [--addr <host:port>] [--queue-depth <n>] [--workers <n>]
+//!             [--variation <pct>] [--seed <n>]        # long-running daemon
+//! memlp client <addr> [solve <file.lp> ... | health | drain]
 //! memlp generate <m> [--seed <n>] [--infeasible]   # emit a random LP
 //! memlp info <file.lp>                             # problem statistics
 //! ```
@@ -21,7 +25,11 @@
 //! the solvers escalate when write–verify reports defects. `--path` selects
 //! the digital Newton factorization (sparse Schur core vs dense LU; `auto`
 //! picks by constraint-matrix density) for the solvers that honor it.
-//! The `.lp` dialect is documented in `memlp_lp::format`.
+//! `--max-iters` caps total Newton iterations and `--timeout-iters` sets a
+//! deterministic per-solve deadline (in iteration polls); either budget
+//! expiring returns the best iterate found with a `degraded:` verdict
+//! instead of failing. The `.lp` dialect is documented in
+//! `memlp_lp::format`.
 
 use std::process::ExitCode;
 
@@ -44,7 +52,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   memlp solve <file.lp> [<file.lp> ...] [--solver alg1|alg2|simplex|pdip|mehrotra] [--path auto|dense|sparse] [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
+              [--max-iters <n>] [--timeout-iters <n>]
               [--stuck-rate <frac>] [--dead-line-rate <frac>] [--transient-rate <frac>] [--spares <n>] [--recovery off|hardware|full]
+  memlp serve [--addr <host:port>] [--queue-depth <n>] [--workers <n>] [--variation <pct>] [--seed <n>] [--max-iters <n>] [--timeout-iters <n>]
+  memlp client <addr> (solve <file.lp> [...] [--max-iters <n>] [--timeout-iters <n>] [--family <tag>] | health | drain)
   memlp generate <m> [--seed <n>] [--infeasible]
   memlp info <file.lp>";
 
@@ -52,6 +63,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("solve") => solve_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("client") => client_cmd(&args[1..]),
         Some("generate") => generate_cmd(&args[1..]),
         Some("info") => info_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -81,6 +94,18 @@ struct Flags {
     recovery: RecoveryPolicy,
     /// Digital Newton factorization path: auto | dense | sparse.
     path: SolvePath,
+    /// Cap on total Newton iterations (None = unlimited).
+    max_iters: Option<usize>,
+    /// Deterministic deadline in iteration polls (None = none).
+    timeout_iters: Option<usize>,
+    /// Listen/connect address for serve/client.
+    addr: String,
+    /// Admission-queue depth for serve.
+    queue_depth: usize,
+    /// Worker threads for serve (1 = deterministic).
+    workers: usize,
+    /// Problem-family tag for client jobs (warm-context pooling key).
+    family: String,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -98,6 +123,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         spares: None,
         recovery: RecoveryPolicy::Full,
         path: SolvePath::Auto,
+        max_iters: None,
+        timeout_iters: None,
+        addr: "127.0.0.1:0".into(),
+        queue_depth: 16,
+        workers: 1,
+        family: "default".into(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -162,6 +193,38 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
             }
             "--path" => f.path = it.next().ok_or("--path needs a value")?.parse()?,
+            "--max-iters" => {
+                f.max_iters = Some(
+                    it.next()
+                        .ok_or("--max-iters needs a value")?
+                        .parse()
+                        .map_err(|_| "--max-iters must be an integer")?,
+                )
+            }
+            "--timeout-iters" => {
+                f.timeout_iters = Some(
+                    it.next()
+                        .ok_or("--timeout-iters needs a value")?
+                        .parse()
+                        .map_err(|_| "--timeout-iters must be an integer")?,
+                )
+            }
+            "--addr" => f.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--queue-depth" => {
+                f.queue_depth = it
+                    .next()
+                    .ok_or("--queue-depth needs a value")?
+                    .parse()
+                    .map_err(|_| "--queue-depth must be an integer")?
+            }
+            "--workers" => {
+                f.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer")?
+            }
+            "--family" => f.family = it.next().ok_or("--family needs a value")?.clone(),
             "--quiet" => f.quiet = true,
             "--infeasible" => f.infeasible = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
@@ -207,59 +270,106 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
         LpSolution,
         Option<memlp_crossbar::CostLedger>,
         Option<RecoveryReport>,
+        Option<BudgetCause>,
     );
+    // Per-item budget: the deterministic deadline is owned by the worker
+    // closure, so every problem gets its own fresh tick count. (A plain fn
+    // rather than a closure so the deadline borrow's lifetime stays
+    // generic.)
+    fn budget_for(max_iters: Option<usize>, dl: Option<&IterationDeadline>) -> Budget<'_> {
+        let mut b = Budget::none();
+        if let Some(n) = max_iters {
+            b = b.with_max_iters(n);
+        }
+        if let Some(d) = dl {
+            b = b.with_deadline(d);
+        }
+        b
+    }
+    let max_iters = f.max_iters;
+    let timeout_iters = f.timeout_iters;
     // Multi-file batches fan out across `jobs` workers; every problem is an
     // isolated deterministic simulation, so results (and the single-file
-    // output) are identical to sequential solves.
-    let results: Vec<SolveRow> = match f.solver.as_str() {
+    // output) are identical to sequential solves. Admission errors (e.g. an
+    // oversized explicit-dense core) land in the failing item's slot only.
+    let results: Vec<Result<SolveRow, String>> = match f.solver.as_str() {
         "alg1" => {
             let mut options = CrossbarSolverOptions {
                 recovery: f.recovery,
                 ..CrossbarSolverOptions::default()
             };
             options.pdip.path = f.path;
-            CrossbarPdipSolver::new(config, options)
-                .solve_batch(&lps, jobs)
-                .into_iter()
-                .map(|r| (r.solution, Some(r.ledger), Some(r.recovery)))
-                .collect()
+            let s = CrossbarPdipSolver::new(config, options);
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| {
+                memlp_linalg::parallel::with_threads(1, || {
+                    s.preflight(&lps[i]).map_err(|e| e.to_string())?;
+                    let dl = timeout_iters.map(IterationDeadline::new);
+                    let r = s.solve_budgeted(&lps[i], budget_for(max_iters, dl.as_ref()));
+                    Ok((r.solution, Some(r.ledger), Some(r.recovery), r.degraded))
+                })
+            })
         }
         "alg2" => {
             let options = LargeScaleOptions {
                 recovery: f.recovery,
                 ..LargeScaleOptions::default()
             };
-            LargeScaleSolver::new(config, options)
-                .solve_batch(&lps, jobs)
-                .into_iter()
-                .map(|r| (r.solution, Some(r.ledger), Some(r.recovery)))
-                .collect()
+            let s = LargeScaleSolver::new(config, options);
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| {
+                memlp_linalg::parallel::with_threads(1, || {
+                    s.preflight(&lps[i]).map_err(|e| e.to_string())?;
+                    let dl = timeout_iters.map(IterationDeadline::new);
+                    let r = s.solve_budgeted(&lps[i], budget_for(max_iters, dl.as_ref()));
+                    Ok((r.solution, Some(r.ledger), Some(r.recovery), r.degraded))
+                })
+            })
         }
         "simplex" => {
             let s = Simplex::default();
-            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None, None))
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| {
+                Ok((s.solve(&lps[i]), None, None, None))
+            })
         }
         "pdip" => {
             let s = NormalEqPdip::new(PdipOptions {
                 path: f.path,
                 ..PdipOptions::default()
             });
-            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None, None))
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| {
+                let dl = timeout_iters.map(IterationDeadline::new);
+                let (sol, cause) = s.solve_budgeted(&lps[i], budget_for(max_iters, dl.as_ref()));
+                Ok((sol, None, None, cause))
+            })
         }
         "mehrotra" => {
             let s = MehrotraPdip::default();
-            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| (s.solve(&lps[i]), None, None))
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| {
+                let dl = timeout_iters.map(IterationDeadline::new);
+                let (sol, cause) = s.solve_budgeted(&lps[i], budget_for(max_iters, dl.as_ref()));
+                Ok((sol, None, None, cause))
+            })
         }
         other => return Err(format!("unknown solver `{other}`")),
     };
 
     let multi = results.len() > 1;
     let mut failures = Vec::new();
-    for (path, (solution, hardware, recovery)) in f.positional.iter().zip(&results) {
+    for (path, row) in f.positional.iter().zip(&results) {
         if multi {
             println!("== {path} ==");
         }
+        let (solution, hardware, recovery, degraded) = match row {
+            Ok(row) => row,
+            Err(msg) => {
+                println!("status:    rejected ({msg})");
+                failures.push((path.as_str(), LpStatus::NumericalFailure));
+                continue;
+            }
+        };
         println!("status:    {}", solution.status);
+        if let Some(cause) = degraded {
+            println!("degraded:  {cause} — best iterate returned");
+        }
         println!("objective: {:.9}", solution.objective);
         println!("iterations: {}", solution.iterations);
         if !f.quiet {
@@ -310,7 +420,9 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
                 );
             }
         }
-        if !solution.status.is_optimal() {
+        // A budget expiry is a requested degradation, not a failure: the
+        // caller traded optimality for a bounded response.
+        if !solution.status.is_optimal() && degraded.is_none() {
             failures.push((path.as_str(), solution.status));
         }
     }
@@ -326,6 +438,149 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
                 .collect::<Vec<_>>()
                 .join(", ")
         )),
+    }
+}
+
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args)?;
+    if !f.positional.is_empty() {
+        return Err(format!(
+            "serve takes no positional arguments, got `{}`",
+            f.positional[0]
+        ));
+    }
+    let crossbar = CrossbarConfig::paper_default()
+        .with_variation(f.variation)
+        .with_seed(f.seed);
+    let config = memlp_serve::ServeConfig::default()
+        .with_crossbar(crossbar)
+        .with_queue_depth(f.queue_depth)
+        .with_workers(f.workers);
+    let config = memlp_serve::ServeConfig {
+        default_max_iters: f.max_iters.unwrap_or(0) as u32,
+        default_deadline_ticks: f.timeout_iters.unwrap_or(0) as u32,
+        ..config
+    };
+    let server = memlp_serve::Server::bind(&f.addr, config)
+        .map_err(|e| format!("cannot bind {}: {e}", f.addr))?;
+    // The literal `listening on <addr>` line is the startup handshake:
+    // scripts (and tests/cli.rs) parse the ephemeral port out of it.
+    println!("listening on {}", server.addr());
+    println!(
+        "queue depth {}, {} worker(s); stop with `memlp client {} drain`",
+        config.queue_depth,
+        config.workers,
+        server.addr()
+    );
+    server.wait();
+    println!("drained; all in-flight work completed");
+    Ok(())
+}
+
+/// Converts a parsed LP into a wire job under the given family/budgets.
+fn job_for(lp: &LpProblem, f: &Flags) -> memlp_serve::SolveJob {
+    memlp_serve::SolveJob {
+        family: f.family.clone(),
+        rows: lp.num_constraints() as u32,
+        cols: lp.num_vars() as u32,
+        a: lp.a().as_slice().to_vec(),
+        b: lp.b().to_vec(),
+        c: lp.c().to_vec(),
+        max_iters: f.max_iters.unwrap_or(0) as u32,
+        deadline_ticks: f.timeout_iters.unwrap_or(0) as u32,
+    }
+}
+
+fn client_cmd(args: &[String]) -> Result<(), String> {
+    let addr = args
+        .first()
+        .ok_or("client needs a server address (host:port)")?;
+    let action = args.get(1).map(String::as_str);
+    let connect = || {
+        memlp_serve::ServeClient::connect(addr)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))
+    };
+    match action {
+        Some("health") => {
+            let h = connect()?.health().map_err(|e| e.to_string())?;
+            println!(
+                "ready:     {}{}",
+                h.ready,
+                if h.draining { " (draining)" } else { "" }
+            );
+            println!("queue:     {}/{}", h.queued, h.capacity);
+            println!("workers:   {}", h.workers);
+            println!("completed: {}", h.completed);
+            println!("rejected:  {}", h.rejected);
+            Ok(())
+        }
+        Some("drain") => {
+            let completed = connect()?.drain().map_err(|e| e.to_string())?;
+            println!("drained; server completed {completed} solve(s) over its lifetime");
+            Ok(())
+        }
+        Some("solve") => {
+            let f = parse_flags(&args[2..])?;
+            if f.positional.is_empty() {
+                return Err("client solve needs a file argument".into());
+            }
+            let mut client = connect()?;
+            let mut failures: Vec<(&str, String)> = Vec::new();
+            for path in &f.positional {
+                let lp = load(path)?;
+                println!("{path}:");
+                match client.solve(job_for(&lp, &f)).map_err(|e| e.to_string())? {
+                    memlp_serve::Response::Solution(s) => {
+                        println!("  status:    {}", s.status);
+                        if let Some(cause) = s.degraded {
+                            println!("  degraded:  {cause} — best iterate returned");
+                        }
+                        println!("  objective: {:.6}", s.objective);
+                        println!("  iters:     {}", s.iterations);
+                        println!(
+                            "  hardware:  {} start, {} cells written, {} skipped",
+                            if s.warm_start { "warm" } else { "cold" },
+                            s.cells_written,
+                            s.cells_skipped
+                        );
+                        println!("  latency:   {} us (server-side)", s.latency_us);
+                        if !s.status.is_optimal() && s.degraded.is_none() {
+                            failures.push((path, s.status.to_string()));
+                        }
+                    }
+                    memlp_serve::Response::Overloaded {
+                        retry_after_hint_ms,
+                        queue_depth,
+                    } => {
+                        println!(
+                            "  status:    overloaded (queue depth {queue_depth}); retry in {retry_after_hint_ms} ms"
+                        );
+                        failures.push((path, "overloaded".into()));
+                    }
+                    memlp_serve::Response::Error { message } => {
+                        println!("  status:    rejected ({message})");
+                        failures.push((path, message));
+                    }
+                    other => return Err(format!("unexpected response: {other:?}")),
+                }
+            }
+            if failures.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} of {} jobs did not complete ({})",
+                    failures.len(),
+                    f.positional.len(),
+                    failures
+                        .iter()
+                        .map(|(p, s)| format!("{p}: {s}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            }
+        }
+        Some(other) => Err(format!("unknown client action `{other}`")),
+        None => Err("client needs one of: solve, health, drain".into()),
     }
 }
 

@@ -71,6 +71,7 @@ pub mod prelude {
     pub use memlp_lp::{domains, generator::RandomLp, LpProblem, LpSolution, LpStatus};
     pub use memlp_noc::{NocConfig, TiledCrossbar, Topology};
     pub use memlp_solvers::{
-        DensePdip, LpSolver, MehrotraPdip, NormalEqPdip, PdipOptions, Simplex, SolvePath,
+        Budget, BudgetCause, Deadline, DensePdip, IterationDeadline, LpSolver, MehrotraPdip,
+        NormalEqPdip, PdipOptions, Simplex, SolvePath,
     };
 }

@@ -248,6 +248,152 @@ fn path_flag_selects_newton_factorization() {
     );
 }
 
+/// `--max-iters` / `--timeout-iters` degrade gracefully: the exhausted
+/// budget is reported with a `degraded:` verdict, the best iterate is
+/// still printed, and the exit code stays zero (a requested degradation
+/// is not a failure). An ample budget must not change the result at all.
+#[test]
+fn budget_flags_degrade_gracefully() {
+    let dir = std::env::temp_dir().join("memlp-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("budget.lp");
+    let out = memlp()
+        .args(["generate", "24", "--seed", "17"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    // Tiny iteration cap: degraded, zero exit, iterate still reported.
+    let out = memlp()
+        .args(["solve", path.to_str().unwrap(), "--max-iters", "2"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "budget expiry must exit zero: {text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        text.contains("degraded:") && text.contains("iteration budget exhausted"),
+        "{text}"
+    );
+    assert!(text.contains("objective:"), "{text}");
+
+    // Tiny tick deadline: same contract, different cause.
+    let out = memlp()
+        .args(["solve", path.to_str().unwrap(), "--timeout-iters", "2"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(
+        text.contains("degraded:") && text.contains("deadline exceeded"),
+        "{text}"
+    );
+
+    // Ample budgets leave the solve untouched: no degraded line, and the
+    // objective matches the unbudgeted run exactly.
+    let unbudgeted = memlp()
+        .args(["solve", path.to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    assert!(unbudgeted.status.success());
+    let ample = memlp()
+        .args([
+            "solve",
+            path.to_str().unwrap(),
+            "--quiet",
+            "--max-iters",
+            "100000",
+            "--timeout-iters",
+            "100000",
+        ])
+        .output()
+        .unwrap();
+    assert!(ample.status.success());
+    let objective = |bytes: &[u8]| -> String {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .find_map(|l| l.strip_prefix("objective: ").map(str::to_string))
+            .expect("objective line")
+    };
+    assert!(!String::from_utf8_lossy(&ample.stdout).contains("degraded:"));
+    assert_eq!(objective(&ample.stdout), objective(&unbudgeted.stdout));
+}
+
+/// Full serve lifecycle through the real binary: daemon up, warm repeat
+/// solves through `client solve`, health, budget degradation over the
+/// wire, and a graceful drain that stops the daemon.
+#[test]
+fn serve_and_client_round_trip() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = std::env::temp_dir().join("memlp-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve.lp");
+    let out = memlp()
+        .args(["generate", "16", "--seed", "29"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    // Daemon on an ephemeral port; the startup line announces the address.
+    let mut server = memlp()
+        .args(["serve", "--queue-depth", "4", "--variation", "5"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let first = lines.next().expect("startup line").unwrap();
+    let addr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {first}"))
+        .to_string();
+
+    // Cold then warm solve of the same family.
+    let solve = |extra: &[&str]| {
+        let out = memlp()
+            .args(["client", &addr, "solve", path.to_str().unwrap()])
+            .args(extra)
+            .output()
+            .unwrap();
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+        )
+    };
+    let (ok, cold) = solve(&["--family", "fam"]);
+    assert!(ok, "{cold}");
+    assert!(cold.contains("cold start"), "{cold}");
+    let (ok, warm) = solve(&["--family", "fam"]);
+    assert!(ok, "{warm}");
+    assert!(warm.contains("warm start"), "{warm}");
+
+    // Budget degradation over the wire: zero exit, degraded verdict.
+    let (ok, degraded) = solve(&["--family", "fam", "--timeout-iters", "2"]);
+    assert!(ok, "degraded solve must exit zero: {degraded}");
+    assert!(degraded.contains("degraded:"), "{degraded}");
+
+    // Health reflects the three completed solves.
+    let out = memlp().args(["client", &addr, "health"]).output().unwrap();
+    assert!(out.status.success());
+    let health = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(health.contains("completed: 3"), "{health}");
+
+    // Drain stops the daemon; it exits zero on its own.
+    let out = memlp().args(["client", &addr, "drain"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server must exit cleanly after drain");
+}
+
 #[test]
 fn bad_usage_prints_help() {
     let out = memlp().args(["frobnicate"]).output().unwrap();
