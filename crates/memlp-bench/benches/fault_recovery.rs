@@ -143,15 +143,7 @@ fn main() {
         "recovery off: {unrecovered_ok}/{} seeds Optimal within envelope",
         cases.len()
     );
-    assert_eq!(
-        recovered,
-        cases.len(),
-        "every seed must recover to the Fig 5 envelope with the ladder on"
-    );
-    assert_eq!(
-        unrecovered_ok, 0,
-        "with recovery off the same seeds must fail or leave the envelope"
-    );
+    let gate_pass = recovered == cases.len() && unrecovered_ok == 0;
 
     // --- BENCH_fault_recovery.json at the repository root.
     let mut json = String::from("{\n");
@@ -198,12 +190,20 @@ fn main() {
         cases.len()
     ));
     json.push_str(&format!(
-        "  \"unrecovered_in_envelope\": \"{unrecovered_ok}/{}\"\n}}\n",
+        "  \"unrecovered_in_envelope\": \"{unrecovered_ok}/{}\",\n",
         cases.len()
     ));
+    json.push_str(&format!("  \"gate_pass\": {gate_pass}\n}}\n"));
 
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = std::path::Path::new(root).join("BENCH_fault_recovery.json");
     std::fs::write(&path, &json).expect("write BENCH_fault_recovery.json");
     println!("wrote {}", path.display());
+
+    assert!(
+        gate_pass,
+        "fault-recovery gate failed: ladder on {recovered}/{} in envelope, \
+         ladder off {unrecovered_ok} (must be 0)",
+        cases.len()
+    );
 }

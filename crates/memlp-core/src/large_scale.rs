@@ -341,9 +341,11 @@ impl LargeScaleSolver {
         ) || (solution.status == LpStatus::Optimal
             && !lp.satisfies_relaxed_scaled(&solution.x, self.options.alpha));
         if unresolved && self.options.recovery.allows_digital() && report.saw_faults() {
-            let (digital, iterations) =
+            let (digital, events) =
                 recovery::digital_fallback(lp, self.options.pdip.max_iterations);
-            report.push(RecoveryEvent::DigitalFallback { iterations });
+            for e in events {
+                report.push(e);
+            }
             solution = digital;
         }
         trace.events = report.events.clone();

@@ -48,6 +48,7 @@
 mod hw;
 mod large_scale;
 mod newton;
+mod pdhg_analog;
 mod recovery;
 mod solver;
 mod trace;
@@ -56,6 +57,7 @@ mod transform;
 pub use hw::HwContext;
 pub use large_scale::{LargeScaleOptions, LargeScaleSolver};
 pub use newton::{AugmentedDirections, AugmentedSystem, DENSE_CORE_LIMIT_BYTES};
+pub use pdhg_analog::{CrossbarPdhgOptions, CrossbarPdhgSolver};
 pub use recovery::{RecoveryEvent, RecoveryPolicy, RecoveryReport};
 pub use solver::{CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions};
 pub use trace::{FactorStats, IterationRecord, SolverTrace, WriteStats};

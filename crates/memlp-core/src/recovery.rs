@@ -11,17 +11,22 @@
 //!    ([`memlp_crossbar::LineRemap`]).
 //! 3. **Variation redraw** — the existing §4.3 double-checking scheme:
 //!    re-write everything, redrawing Eqn 18 variation, and re-solve.
-//! 4. **Digital fallback** — a bounded digital iterative-refinement PDIP
-//!    solve ([`memlp_solvers::NormalEqPdip`]) guarantees an answer when the
-//!    analog path cannot, at digital latency/energy cost.
+//! 4. **First-order digital fallback** — a matrix-free digital PDHG solve
+//!    ([`memlp_solvers::PdhgSolver`]) at tight tolerance: O(nnz) working
+//!    memory and MVM-only work make it the cheaper digital rung, and past
+//!    the dense-core allocation wall it is the only one that fits.
+//! 5. **Dense digital fallback** — a bounded digital iterative-refinement
+//!    PDIP solve ([`memlp_solvers::NormalEqPdip`]) guarantees an answer
+//!    (and the trusted infeasibility/unboundedness certificates) when the
+//!    first-order rung does not converge, at digital latency/energy cost.
 //!
 //! The full ladder is the [`RecoveryPolicy::Full`] policy;
 //! [`RecoveryPolicy::Hardware`] stops after rung 3 (analog-only recovery),
 //! and [`RecoveryPolicy::Disabled`] reports faults without acting on them —
 //! the ablation baseline.
 
-use memlp_lp::{LpProblem, LpSolution};
-use memlp_solvers::{LpSolver, NormalEqPdip, PdipOptions};
+use memlp_lp::{LpProblem, LpSolution, LpStatus};
+use memlp_solvers::{LpSolver, NormalEqPdip, PdhgOptions, PdhgSolver, PdipOptions};
 
 /// How far the solvers may escalate when faults are detected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,7 +93,13 @@ pub enum RecoveryEvent {
         /// Attempt number the redraw precedes (1-based).
         attempt: usize,
     },
-    /// Rung 4: bounded digital iterative-refinement solve replaced the
+    /// Rung 4: matrix-free digital PDHG ran as the cheap first digital
+    /// rung; its result replaced the analog one only if it converged.
+    FirstOrderFallback {
+        /// Iterations the first-order solver spent.
+        iterations: usize,
+    },
+    /// Rung 5: bounded digital iterative-refinement solve replaced the
     /// analog result.
     DigitalFallback {
         /// Iterations the digital solver spent.
@@ -135,11 +146,15 @@ impl RecoveryReport {
             .any(|e| matches!(e, RecoveryEvent::FaultsDetected { .. }))
     }
 
-    /// `true` if the digital fallback rung ran.
+    /// `true` if either digital fallback rung (first-order PDHG or dense
+    /// iterative-refinement PDIP) ran.
     pub fn used_digital_fallback(&self) -> bool {
-        self.events
-            .iter()
-            .any(|e| matches!(e, RecoveryEvent::DigitalFallback { .. }))
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                RecoveryEvent::DigitalFallback { .. } | RecoveryEvent::FirstOrderFallback { .. }
+            )
+        })
     }
 }
 
@@ -171,17 +186,39 @@ pub(crate) fn escalate_hardware(
     }
 }
 
-/// Rung 4: solves `lp` digitally with the iterative-refinement PDIP,
-/// bounded at `max_iterations`. Returns the solution and the iterations
-/// actually spent.
-pub(crate) fn digital_fallback(lp: &LpProblem, max_iterations: usize) -> (LpSolution, usize) {
+/// Rungs 4–5: the digital fallback ladder. Tries the matrix-free
+/// first-order solve (digital PDHG at tight tolerance) first — O(nnz)
+/// memory and MVM-only work make it the cheaper rung, and past the
+/// dense-core wall the only admissible one. A non-`Optimal` first-order
+/// exit falls through to the bounded iterative-refinement PDIP, whose
+/// infeasibility/unboundedness certificates are the trusted ones.
+/// Returns the adopted solution plus the rung events in climb order.
+pub(crate) fn digital_fallback(
+    lp: &LpProblem,
+    max_iterations: usize,
+) -> (LpSolution, Vec<RecoveryEvent>) {
+    let first_order = PdhgSolver::new(PdhgOptions {
+        eps_primal: 1e-6,
+        eps_dual: 1e-6,
+        eps_gap: 1e-6,
+        ..PdhgOptions::default()
+    });
+    let sol = first_order.solve(lp);
+    let mut events = vec![RecoveryEvent::FirstOrderFallback {
+        iterations: sol.iterations,
+    }];
+    if sol.status == LpStatus::Optimal {
+        return (sol, events);
+    }
     let solver = NormalEqPdip::new(PdipOptions {
         max_iterations,
         ..PdipOptions::default()
     });
     let sol = solver.solve(lp);
-    let iters = sol.iterations;
-    (sol, iters)
+    events.push(RecoveryEvent::DigitalFallback {
+        iterations: sol.iterations,
+    });
+    (sol, events)
 }
 
 #[cfg(test)]
@@ -229,8 +266,27 @@ mod tests {
     #[test]
     fn digital_fallback_solves_a_feasible_lp() {
         let lp = RandomLp::paper(10, 3).feasible();
-        let (sol, iters) = digital_fallback(&lp, 200);
+        let (sol, events) = digital_fallback(&lp, 200);
         assert_eq!(sol.status, LpStatus::Optimal);
-        assert!(iters > 0 && iters <= 200);
+        // A feasible LP is settled by the cheap first-order rung alone.
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            RecoveryEvent::FirstOrderFallback { iterations } if iterations > 0
+        ));
+    }
+
+    #[test]
+    fn digital_fallback_escalates_to_pdip_on_infeasible() {
+        let lp = RandomLp::paper(10, 4).infeasible();
+        let (sol, events) = digital_fallback(&lp, 200);
+        assert_eq!(sol.status, LpStatus::Infeasible);
+        // The first-order rung could not certify; the dense rung did.
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            RecoveryEvent::FirstOrderFallback { .. }
+        ));
+        assert!(matches!(events[1], RecoveryEvent::DigitalFallback { .. }));
     }
 }

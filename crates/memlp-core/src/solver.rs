@@ -309,9 +309,11 @@ impl CrossbarPdipSolver {
         ) || (solution.status == LpStatus::Optimal
             && !lp.satisfies_relaxed_scaled(&solution.x, self.options.alpha));
         if unresolved && self.options.recovery.allows_digital() && report.saw_faults() {
-            let (digital, iterations) =
+            let (digital, events) =
                 recovery::digital_fallback(lp, self.options.pdip.max_iterations);
-            report.push(RecoveryEvent::DigitalFallback { iterations });
+            for e in events {
+                report.push(e);
+            }
             solution = digital;
         }
         trace.events = report.events.clone();
@@ -402,7 +404,7 @@ impl CrossbarPdipSolver {
         // products well-scaled even when the seed solution had active
         // (near-zero) coordinates.
         let mut state = match init {
-            Some((x0, y0)) => PdipState::warm_start(lp, x0, y0, 1e-2),
+            Some((x0, y0)) => PdipState::warm_start(lp, x0, y0, opts.warm_start_floor),
             None => PdipState::new(lp, opts),
         };
         let mut trace = SolverTrace::new();

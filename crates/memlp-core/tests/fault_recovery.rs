@@ -139,7 +139,12 @@ fn every_ladder_rung_is_recorded() {
             RecoveryEvent::Remapped { rows, .. } if *rows > 0
         )));
         assert!(has(&|e| matches!(e, RecoveryEvent::VariationRedraw { .. })));
-        assert!(has(&|e| matches!(e, RecoveryEvent::DigitalFallback { .. })));
+        // The digital ladder climbs the cheap first-order rung first and
+        // only escalates to the dense PDIP rung if PDHG fails to certify.
+        assert!(has(&|e| matches!(
+            e,
+            RecoveryEvent::FirstOrderFallback { .. } | RecoveryEvent::DigitalFallback { .. }
+        )));
         assert!(res.recovery.used_digital_fallback());
         // The trace mirrors the report event-for-event.
         assert_eq!(res.trace.events, res.recovery.events);
@@ -158,6 +163,7 @@ fn disabled_policy_detects_but_never_acts() {
             e,
             RecoveryEvent::Reprogrammed { .. }
                 | RecoveryEvent::Remapped { .. }
+                | RecoveryEvent::FirstOrderFallback { .. }
                 | RecoveryEvent::DigitalFallback { .. }
         )));
     }

@@ -458,6 +458,46 @@ impl Crossbar {
         Ok(y)
     }
 
+    /// Analog transposed matrix–vector multiply `x = Aᵀ·y`: the same
+    /// physical array driven from the opposite side (voltages on the word
+    /// lines, currents sensed on the bit lines), so `Aᵀ` needs **no
+    /// second array program**. This is what lets a first-order solver
+    /// alternate `A` and `Aᵀ` products against one programmed crossbar.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::NotProgrammed`] before programming,
+    /// * [`CrossbarError::ShapeMismatch`] if `y` has the wrong length.
+    ///
+    /// memlp-lint: analog_source
+    pub fn mvm_transposed(&mut self, y: &[f64]) -> Result<Vec<f64>, CrossbarError> {
+        let realized = self.realized.as_ref().ok_or(CrossbarError::NotProgrammed)?;
+        if y.len() != realized.rows() {
+            return Err(CrossbarError::ShapeMismatch {
+                expected: format!("input of length {}", realized.rows()),
+                found: format!("length {}", y.len()),
+            });
+        }
+        let yq = self.dac.quantize_vec(y);
+        let mut x = match self.config.fidelity {
+            Fidelity::Functional => realized.matvec_transposed(&yq),
+            Fidelity::Circuit => self.circuit_mvm_transposed(&yq)?,
+        };
+        self.adc.quantize_in_place(&mut x);
+        self.config
+            .faults
+            .upset_read(&mut x, &mut self.transient_rng);
+        self.ledger.charge_analog_op(
+            &self.config.cost,
+            false,
+            yq.len() as u64,
+            x.len() as u64,
+            self.g_total,
+            self.config.device.v_read,
+        );
+        Ok(x)
+    }
+
     /// Analog linear-system solve `A·x = b` (the crossbar's signature O(1)
     /// operation, §2.3): voltages proportional to `b` are applied at the
     /// bit-line sense resistors and the settled word-line voltages are the
@@ -641,6 +681,34 @@ impl Crossbar {
             y.push(val);
         }
         Ok(y)
+    }
+
+    /// Circuit-fidelity transposed MVM: the Eqn 5 divider mirrored onto
+    /// the bit lines (column conductance sums replace row sums).
+    fn circuit_mvm_transposed(&self, yq: &[f64]) -> Result<Vec<f64>, CrossbarError> {
+        let gm = self.gmat.as_ref().ok_or(CrossbarError::NotProgrammed)?;
+        let map = self.map.ok_or(CrossbarError::NotProgrammed)?;
+        let gs = self.config.sense_conductance;
+        let sum_y: f64 = yq.iter().sum();
+        let mut x = Vec::with_capacity(gm.cols());
+        for c in 0..gm.cols() {
+            let mut current = 0.0f64;
+            let mut col_sum = 0.0f64;
+            for r in 0..gm.rows() {
+                let g = gm[(r, c)];
+                current += g * yq[r];
+                col_sum += g;
+            }
+            let vo = current / (gs + col_sum);
+            let val = match self.config.readout {
+                ReadoutMode::Calibrated => {
+                    (vo * (gs + col_sum) - map.g_off() * sum_y) / map.slope()
+                }
+                ReadoutMode::RawDivider => vo * gs / map.slope(),
+            };
+            x.push(val);
+        }
+        Ok(x)
     }
 
     /// Circuit-fidelity solve: `G·x_v = g_s·b`, read word lines, rescale.

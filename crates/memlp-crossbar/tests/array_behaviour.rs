@@ -27,6 +27,29 @@ fn ideal_mvm_matches_exact() {
 }
 
 #[test]
+fn ideal_transposed_mvm_matches_exact() {
+    // Rectangular on purpose: the transposed read swaps the roles of the
+    // word and bit lines, so shapes must follow the realized matrix.
+    let mut xb = Crossbar::new(8, CrossbarConfig::ideal()).unwrap();
+    let a = Matrix::from_rows(&[
+        &[2.0, 0.5, 0.0, 1.0, 0.3],
+        &[0.0, 3.0, 1.0, 0.0, 0.7],
+        &[1.0, 0.0, 2.5, 0.4, 0.0],
+    ])
+    .expect("well-formed");
+    xb.program(&a).unwrap();
+    let y = [1.0, -0.5, 2.0];
+    let x = xb.mvm_transposed(&y).unwrap();
+    assert_eq!(x.len(), 5);
+    let exact = a.matvec_transposed(&y);
+    for (got, want) in x.iter().zip(&exact) {
+        assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+    }
+    // Wrong input length (column count instead of row count) is rejected.
+    assert!(xb.mvm_transposed(&[1.0; 5]).is_err());
+}
+
+#[test]
 fn ideal_solve_matches_exact() {
     let mut xb = Crossbar::new(8, CrossbarConfig::ideal()).unwrap();
     let a = test_matrix();
@@ -267,6 +290,32 @@ fn circuit_fidelity_close_to_functional_when_calibrated() {
         assert!(
             (f - c).abs() / scale < 0.02,
             "calibrated circuit MVM {c} vs functional {f}"
+        );
+    }
+}
+
+#[test]
+fn circuit_transposed_fidelity_close_to_functional_when_calibrated() {
+    let a = test_matrix();
+    let y = [0.8, -0.3, 1.0, 0.5];
+
+    let mut func = Crossbar::new(8, CrossbarConfig::ideal()).unwrap();
+    func.program(&a).unwrap();
+    let xf = func.mvm_transposed(&y).unwrap();
+
+    let cfg = CrossbarConfig {
+        fidelity: Fidelity::Circuit,
+        ..CrossbarConfig::ideal()
+    };
+    let mut circ = Crossbar::new(8, cfg).unwrap();
+    circ.program(&a).unwrap();
+    let xc = circ.mvm_transposed(&y).unwrap();
+
+    let scale = ops::inf_norm(&xf).max(1e-9);
+    for (f, c) in xf.iter().zip(&xc) {
+        assert!(
+            (f - c).abs() / scale < 0.02,
+            "calibrated circuit transposed MVM {c} vs functional {f}"
         );
     }
 }

@@ -20,7 +20,10 @@
 //!   selecting tile shapes (all shapes are bitwise-identical),
 //! * [`parallel`] — the scoped-thread execution layer the hot kernels
 //!   (LU trailing update, matvec, multi-column solves) schedule through,
-//!   governed by `MEMLP_THREADS`.
+//!   governed by `MEMLP_THREADS`,
+//! * [`norm_est`] — a deterministic power-iteration estimate of `‖A‖₂`
+//!   for first-order step-size selection, built on the CSR kernels and
+//!   the thread pool.
 //!
 //! Vectors are deliberately plain `Vec<f64>` / `&[f64]`: every consumer in
 //! the workspace (solvers, crossbar models, generators) wants to own and
@@ -49,6 +52,7 @@ mod sparse_lu;
 
 pub mod iterative;
 pub mod kernels;
+pub mod norm_est;
 pub mod ops;
 pub mod parallel;
 

@@ -1,0 +1,154 @@
+//! Property-based tests for the power-iteration spectral-norm estimator.
+//!
+//! Three contracts back the PDHG step-size rule:
+//!
+//! * **Range** — the Rayleigh iterate converges to `σ_max` *from below*,
+//!   so the estimate must sit in `[σ_max·(1−ε), σ_max]`; the upper side
+//!   is checked against the dense Gram spectral bound
+//!   `σ_max² = λ_max(AᵀA) ≤ ‖AᵀA‖∞`, the lower side against an
+//!   independently-converged dense Gram power iteration.
+//! * **Thread invariance** — the estimate's bit pattern is identical at
+//!   every worker count (the parallel spmv assigns whole rows to
+//!   workers and reduces each row sequentially).
+//! * **Presentation invariance** — CSR and dense presentations of the
+//!   same matrix produce bitwise-identical estimates (the dense entry
+//!   point converts to CSR once and runs the identical iteration).
+
+use memlp_linalg::norm_est::{self, NormEstimate};
+use memlp_linalg::parallel::with_threads;
+use memlp_linalg::{Matrix, SparseMatrix};
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Strategy: a dense matrix with a controlled sparsity mix, 1..=10 in
+/// each dimension, entries in [-4, 4].
+fn matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (1usize..=10, 1usize..=10).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(prop_oneof![Just(0.0), Just(0.0), -4.0f64..4.0], rows * cols)
+            .prop_map(move |entries| Matrix::from_vec(rows, cols, entries).expect("sized buffer"))
+    })
+}
+
+/// Reference `σ_max` from an independent, heavily-converged power
+/// iteration on the **dense** Gram matrix `AᵀA` (different code path,
+/// different start vector, far tighter tolerance than the estimator
+/// under test).
+fn dense_gram_sigma(a: &Matrix) -> f64 {
+    let n = a.cols();
+    if n == 0 || a.rows() == 0 {
+        return 0.0;
+    }
+    // Gram matrix, built densely.
+    let mut g = Matrix::zeros(n, n);
+    for i in 0..a.rows() {
+        for j in 0..n {
+            for k in 0..n {
+                g[(j, k)] += a[(i, j)] * a[(i, k)];
+            }
+        }
+    }
+    let mut v: Vec<f64> = (0..n).map(|j| 1.0 + (j as f64) * 0.01).collect();
+    let mut lambda = 0.0f64;
+    for _ in 0..5000 {
+        let w = g.matvec(&v);
+        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return 0.0;
+        }
+        let next = v.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>()
+            / v.iter().map(|x| x * x).sum::<f64>();
+        v = w.iter().map(|x| x / norm).collect();
+        if (next - lambda).abs() <= 1e-13 * next.max(1.0) {
+            lambda = next;
+            break;
+        }
+        lambda = next;
+    }
+    lambda.max(0.0).sqrt()
+}
+
+/// `‖AᵀA‖∞` — an upper bound on `λ_max(AᵀA) = σ_max²` (the spectral
+/// radius is dominated by every induced norm).
+fn gram_inf_norm(a: &Matrix) -> f64 {
+    let n = a.cols();
+    let mut bound = 0.0f64;
+    for j in 0..n {
+        let mut row_abs = 0.0f64;
+        for k in 0..n {
+            let mut g = 0.0f64;
+            for i in 0..a.rows() {
+                g += a[(i, j)] * a[(i, k)];
+            }
+            row_abs += g.abs();
+        }
+        bound = bound.max(row_abs);
+    }
+    bound
+}
+
+fn estimate(a: &Matrix) -> NormEstimate {
+    norm_est::spectral_norm(&SparseMatrix::from_dense(a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Range contract: `σ̂ ∈ [σ_max·(1−ε), σ_max]`, with the upper side
+    /// certified by the dense Gram spectral bound.
+    #[test]
+    fn estimate_brackets_sigma_max(a in matrix_strategy()) {
+        let est = estimate(&a);
+        prop_assert!(est.sigma.is_finite());
+        prop_assert!(est.sigma >= 0.0);
+        // Upper: σ̂² may not exceed the Gram bound ‖AᵀA‖∞.
+        let gram_bound = gram_inf_norm(&a);
+        prop_assert!(
+            est.sigma * est.sigma <= gram_bound * (1.0 + 1e-9) + 1e-12,
+            "sigma² {} above Gram bound {}", est.sigma * est.sigma, gram_bound
+        );
+        // Lower: within ε of the independently-converged reference.
+        let reference = dense_gram_sigma(&a);
+        prop_assert!(
+            est.sigma >= reference * (1.0 - 1e-4) - 1e-9,
+            "sigma {} below reference {}", est.sigma, reference
+        );
+        // And never above it beyond round-off (both converge from below
+        // to the same σ_max; the reference is the tighter of the two).
+        prop_assert!(
+            est.sigma <= reference.max(est.sigma * (1.0 - 1e-9)) + 1e-9,
+            "sigma {} exceeds reference {}", est.sigma, reference
+        );
+        // The safe step-size value dominates the raw estimate and stays
+        // under the provable upper bound.
+        let ub = norm_est::upper_bound(&SparseMatrix::from_dense(&a));
+        let safe = est.safe_sigma(ub);
+        prop_assert!(safe >= est.sigma);
+        prop_assert!(safe <= ub.max(est.sigma) + 1e-12);
+    }
+
+    /// Bitwise thread invariance of the full estimate.
+    #[test]
+    fn estimate_is_bitwise_thread_invariant(a in matrix_strategy()) {
+        let s = SparseMatrix::from_dense(&a);
+        let reference = with_threads(1, || norm_est::spectral_norm(&s));
+        for t in THREADS {
+            let est = with_threads(t, || norm_est::spectral_norm(&s));
+            prop_assert_eq!(est.sigma.to_bits(), reference.sigma.to_bits(),
+                "sigma bits differ at {} threads", t);
+            prop_assert_eq!(est.iterations, reference.iterations);
+            prop_assert_eq!(est.converged, reference.converged);
+        }
+    }
+
+    /// CSR and dense presentations produce bitwise-identical estimates.
+    #[test]
+    fn csr_and_dense_presentations_agree_bitwise(a in matrix_strategy()) {
+        let s = SparseMatrix::from_dense(&a);
+        let from_csr = norm_est::spectral_norm(&s);
+        let from_dense = norm_est::spectral_norm_dense(&a);
+        prop_assert_eq!(from_csr.sigma.to_bits(), from_dense.sigma.to_bits());
+        prop_assert_eq!(from_csr.iterations, from_dense.iterations);
+        prop_assert_eq!(from_csr.converged, from_dense.converged);
+    }
+}

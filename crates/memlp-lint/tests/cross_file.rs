@@ -23,6 +23,11 @@ const TAINT_FILES: &[(&str, &str)] = &[
     ("verify.rs", "crates/memlp-core/src/verify.rs"),
 ];
 
+const PDHG_FILES: &[(&str, &str)] = &[
+    ("operator.rs", "crates/memlp-core/src/pdhg_op.rs"),
+    ("converge.rs", "crates/memlp-solvers/src/pdhg_check.rs"),
+];
+
 fn load(set: &str, files: &[(&str, &str)]) -> Report {
     let sources = files
         .iter()
@@ -239,6 +244,89 @@ fn tolerant_compare_and_clamped_index_lint_clean() {
     assert_eq!(triples(&r), vec![]);
 }
 
+/// The first-order backend's smuggling hazard: the PDHG operator's
+/// annotated analog drives feed the convergence check, and a strict `==`
+/// against zero on the readout (or a raw checkpoint index) fires the
+/// taint rule with provenance walked back to the annotation in the
+/// operator crate.
+#[test]
+fn pdhg_readout_must_not_reach_strict_convergence_compares() {
+    let r = load("pdhg_bad", PDHG_FILES);
+    assert_eq!(
+        triples(&r),
+        vec![
+            (
+                "crates/memlp-solvers/src/pdhg_check.rs",
+                8,
+                "float::strict-eq"
+            ),
+            (
+                "crates/memlp-solvers/src/pdhg_check.rs",
+                8,
+                "taint::analog-exact"
+            ),
+            (
+                "crates/memlp-solvers/src/pdhg_check.rs",
+                14,
+                "taint::analog-exact"
+            ),
+        ]
+    );
+    let taints: Vec<&Finding> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "taint::analog-exact")
+        .collect();
+    check_witness(
+        taints[0],
+        &[
+            (
+                "crates/memlp-solvers/src/pdhg_check.rs",
+                8,
+                "strict compare on analog-tainted `r`",
+            ),
+            (
+                "crates/memlp-solvers/src/pdhg_check.rs",
+                7,
+                "`r` bound from",
+            ),
+            (
+                "crates/memlp-core/src/pdhg_op.rs",
+                12,
+                "is an annotated analog source",
+            ),
+        ],
+    );
+    check_witness(
+        taints[1],
+        &[
+            (
+                "crates/memlp-solvers/src/pdhg_check.rs",
+                14,
+                "unclamped index on analog-tainted `r`",
+            ),
+            (
+                "crates/memlp-solvers/src/pdhg_check.rs",
+                13,
+                "`r` bound from",
+            ),
+            (
+                "crates/memlp-core/src/pdhg_op.rs",
+                12,
+                "is an annotated analog source",
+            ),
+        ],
+    );
+}
+
+/// Tolerance-banded convergence and clamped checkpoint indices — the
+/// real loop's idiom — lint clean over the same call shape.
+#[test]
+fn pdhg_tolerance_band_checks_lint_clean() {
+    let r = load("pdhg_good", PDHG_FILES);
+    assert_eq!(triples(&r), vec![]);
+}
+
 /// Acceptance criterion: every cross-file finding carries a non-empty
 /// witness chain whose last step lands on the reported seed line.
 #[test]
@@ -247,6 +335,7 @@ fn every_cross_file_finding_has_a_witness_ending_at_the_seed() {
         ("panic_bad", PANIC_FILES),
         ("entropy_bad", ENTROPY_FILES),
         ("taint_bad", TAINT_FILES),
+        ("pdhg_bad", PDHG_FILES),
     ] {
         let r = load(set, files);
         for f in r.findings.iter().filter(|f| f.rule.starts_with("reach::")) {

@@ -1,0 +1,15 @@
+//! Convergence checks for the first-order loop.
+use memlp_core::pdhg_op::SplitOp;
+
+/// Wrong: the KKT residual rides the analog readout, so a strict
+/// equality test against the convergence target is load-bearing noise.
+pub fn converged(op: &SplitOp, x: f64) -> bool {
+    let r = op.apply_row(x);
+    r == 1e-8
+}
+
+/// Wrong: an unguarded checkpoint index derived from an analog readout.
+pub fn checkpoint(op: &SplitOp, x: f64, scores: &[u32]) -> u32 {
+    let r = op.apply_row(x);
+    scores[r as usize]
+}

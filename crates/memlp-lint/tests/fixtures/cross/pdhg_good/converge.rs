@@ -1,0 +1,15 @@
+//! Convergence checks for the first-order loop.
+use memlp_core::pdhg_op::SplitOp;
+
+/// Right: residuals are judged inside the converter noise band.
+pub fn converged(op: &SplitOp, x: f64, tol: f64) -> bool {
+    let r = op.apply_row(x);
+    r.abs() <= tol
+}
+
+/// Right: the checkpoint index is clamped into the table before use.
+pub fn checkpoint(op: &SplitOp, x: f64, scores: &[u32]) -> u32 {
+    let r = op.apply_row(x);
+    let idx = (r * 16.0) as usize;
+    scores[idx.min(scores.len() - 1)]
+}

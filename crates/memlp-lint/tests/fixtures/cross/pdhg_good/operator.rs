@@ -1,0 +1,15 @@
+//! Sign-split PDHG operator over the crossbar ADC path.
+
+/// Analog sign-split operator: one programmed array pair.
+pub struct SplitOp {
+    /// Read-back gain of the positive block.
+    pub gain: f64,
+}
+
+impl SplitOp {
+    /// Drives one row of `A·x` through the arrays and reads it back.
+    /// memlp-lint: analog_source
+    pub fn apply_row(&self, x: f64) -> f64 {
+        self.gain * x
+    }
+}

@@ -100,6 +100,26 @@ impl TiledCrossbar {
         (self.rows, self.cols)
     }
 
+    /// The assembled **realized** logical matrix: every tile's realized
+    /// block (post write-quantization, variation, and stuck faults)
+    /// stitched back together at its `(row, col)` offset. This is the
+    /// exact matrix the analog fabric multiplies by — digital reference
+    /// computations (solve cores, property tests) compare against it.
+    ///
+    /// # Errors
+    ///
+    /// [`CrossbarError::NotProgrammed`] if any tile was never programmed.
+    pub fn assembled_realized(&self) -> Result<Matrix, CrossbarError> {
+        let mut assembled = Matrix::zeros(self.rows, self.cols);
+        for (bi, tile_row) in self.tiles.iter().enumerate() {
+            for (bj, tile) in tile_row.iter().enumerate() {
+                let block = tile.realized()?;
+                assembled.set_block(bi * self.tile_side, bj * self.tile_side, block);
+            }
+        }
+        Ok(assembled)
+    }
+
     /// Merged cost ledger: every tile plus the NoC fabric.
     pub fn ledger(&self) -> CostLedger {
         let mut total = self.noc_ledger;
@@ -166,6 +186,61 @@ impl TiledCrossbar {
         Ok(y)
     }
 
+    /// Analog tiled transposed MVM `x = Aᵀ·y`: every tile drives its
+    /// **word lines** with its row segment of `y` and senses the bit
+    /// lines ([`Crossbar::mvm_transposed`]), so the transpose costs no
+    /// second array program — tile `(bi, bj)` contributes `Aᵢⱼᵀ·y_bi`
+    /// into the output segment at its *column* offset, and the partials
+    /// ride the same NoC fan-in as the forward product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::ShapeMismatch`] if `y.len()` differs from
+    /// the logical row count, or any tile-level error.
+    pub fn mvm_transposed(&mut self, y: &[f64]) -> Result<Vec<f64>, CrossbarError> {
+        if y.len() != self.rows {
+            return Err(CrossbarError::ShapeMismatch {
+                expected: format!("input of length {}", self.rows),
+                found: format!("length {}", y.len()),
+            });
+        }
+        let tile_count = self.tile_count();
+        let mut x = vec![0.0; self.cols];
+        let tile_side = self.tile_side;
+        let rows = self.rows;
+        let col_blocks = self.tiles.first().map_or(0, |r| r.len());
+
+        // Phase 1: concurrent per-tile transposed partials (private RNG
+        // stream per tile, as in `mvm`).
+        let threads = Threads::resolve().for_flops(2 * self.rows * self.cols);
+        let mut refs: Vec<&mut Crossbar> =
+            self.tiles.iter_mut().flat_map(|r| r.iter_mut()).collect();
+        let partials = parallel::par_map_mut(threads, &mut refs, |idx, tile| {
+            let r0 = (idx / col_blocks) * tile_side;
+            let seg = &y[r0..(r0 + tile_side).min(rows)];
+            tile.mvm_transposed(seg)
+        });
+
+        // Phase 2: fixed-order NoC accumulation at the tiles' *column*
+        // offsets; noise and ledger events replay serially.
+        for (idx, partial) in partials.into_iter().enumerate() {
+            let partial = partial?;
+            let c0 = (idx % col_blocks) * tile_side;
+            let scale = partial.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            for (k, p) in partial.iter().enumerate() {
+                let noise = if self.noc.buffer_noise > 0.0 && tile_count > 1 {
+                    self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale
+                } else {
+                    0.0
+                };
+                x[c0 + k] += p + noise;
+            }
+            let (t, e) = self.noc.transfer_cost(tile_count, partial.len());
+            self.noc_ledger.charge_noc_transfer(t, e, 1);
+        }
+        Ok(x)
+    }
+
     /// Analog tiled solve `A·x = b` for a square logical matrix: the tiles
     /// settle jointly as one composite resistive network, equivalent to
     /// solving the assembled realized system; the word-line read-back
@@ -193,13 +268,7 @@ impl TiledCrossbar {
         }
         // Assemble the realized system the composite network embodies
         // (cheap block copies; the LU below runs on the threaded kernels).
-        let mut assembled = Matrix::zeros(self.rows, self.cols);
-        for (bi, tile_row) in self.tiles.iter().enumerate() {
-            for (bj, tile) in tile_row.iter().enumerate() {
-                let block = tile.realized()?;
-                assembled.set_block(bi * self.tile_side, bj * self.tile_side, block);
-            }
-        }
+        let assembled = self.assembled_realized()?;
         let mut x = LuFactors::factor(assembled)?.solve(b)?;
         // Read-back through NoC buffers: bounded offset per line.
         let tile_count = self.tile_count();
@@ -355,6 +424,30 @@ mod tests {
                 "{got} vs {want}"
             );
         }
+    }
+
+    #[test]
+    fn tiled_transposed_mvm_matches_monolithic_when_ideal() {
+        // Rectangular so the row/column tile offsets genuinely swap.
+        let a = Matrix::from_fn(12, 9, |i, j| 0.2 + ((i * 29 + j * 13) % 11) as f64 * 0.07);
+        let cfg = CrossbarConfig::ideal();
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.0);
+        let mut t = TiledCrossbar::program(&a, 5, cfg, noc).unwrap();
+        let y: Vec<f64> = (0..12).map(|i| (i as f64 * 0.9).cos()).collect();
+        let x = t.mvm_transposed(&y).unwrap();
+        assert_eq!(x.len(), 9);
+        let exact = a.matvec_transposed(&y);
+        for (got, want) in x.iter().zip(&exact) {
+            assert!(
+                (got - want).abs() < 2e-3 * want.abs().max(1.0),
+                "{got} vs {want}"
+            );
+        }
+        // Wrong input length (columns instead of rows) is rejected.
+        assert!(t.mvm_transposed(&[1.0; 9]).is_err());
+        // The transposed fan-in pays the same NoC traffic as the forward
+        // product: one transfer per tile.
+        assert_eq!(t.ledger().counts().noc_transfers, 6); // 3×2 tiles
     }
 
     #[test]

@@ -3,12 +3,33 @@
 use memlp_core::CrossbarSolverOptions;
 use memlp_crossbar::CrossbarConfig;
 
+/// Which crossbar solver family the workers run.
+///
+/// Both families share the warm-context pool, budgets, and recovery
+/// machinery; the choice is the per-iteration primitive. PDIP converges
+/// in tens of iterations but pays O(N) diagonal rewrites plus an analog
+/// solve each one; PDHG takes more iterations but each is two writes-free
+/// analog MVMs, so repeat requests against a warm array consume no write
+/// endurance at all and the digital controller state stays O(n + m).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeSolver {
+    /// Algorithm 1: the crossbar PDIP solver (default).
+    #[default]
+    Pdip,
+    /// The crossbar-native first-order backend (restarted PDHG).
+    Pdhg,
+}
+
 /// Everything a [`Server`](crate::server::Server) needs to start.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Simulated hardware every worker builds its contexts from.
     pub crossbar: CrossbarConfig,
-    /// Solver policy (tolerances, retries, recovery ladder).
+    /// Solver family the workers instantiate.
+    pub solver: ServeSolver,
+    /// Solver policy (tolerances, retries, recovery ladder). The PDHG
+    /// family adopts the recovery policy from here; its first-order
+    /// tolerances come from `CrossbarPdhgOptions::default()`.
     pub options: CrossbarSolverOptions,
     /// Admission-queue capacity (jobs), summed across families. Full
     /// queue ⇒ load shed with `Overloaded`.
@@ -37,6 +58,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             crossbar: CrossbarConfig::paper_default(),
+            solver: ServeSolver::default(),
             options: CrossbarSolverOptions::default(),
             queue_depth: 16,
             workers: 1,
@@ -59,6 +81,12 @@ impl ServeConfig {
     /// Replaces the solver options.
     pub fn with_options(mut self, options: CrossbarSolverOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Selects the solver family the workers run.
+    pub fn with_solver(mut self, solver: ServeSolver) -> Self {
+        self.solver = solver;
         self
     }
 

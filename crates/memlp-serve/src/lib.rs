@@ -55,7 +55,7 @@ pub use codec::{
     DecodeError, FrameError, HealthInfo, Request, Response, SolutionBody, SolveJob,
     MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-pub use config::ServeConfig;
+pub use config::{ServeConfig, ServeSolver};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use pool::{problem_fingerprint, ContextPool, FamilyKey, PoolEntry};
 pub use queue::{JobQueue, PushError, Rejection};

@@ -15,12 +15,15 @@
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use memlp_core::{Budget, CrossbarPdipSolver, IterationDeadline, WriteStats};
+use memlp_core::{
+    Budget, CrossbarPdhgOptions, CrossbarPdhgSolver, CrossbarPdipSolver, CrossbarSolution,
+    HwContext, IterationDeadline, WriteStats,
+};
 use memlp_linalg::Matrix;
 use memlp_lp::LpProblem;
 
 use crate::codec::{Response, SolutionBody, SolveJob};
-use crate::config::ServeConfig;
+use crate::config::{ServeConfig, ServeSolver};
 use crate::pool::{problem_fingerprint, ContextPool, FamilyKey};
 use crate::queue::JobQueue;
 use crate::server::ServerStats;
@@ -36,7 +39,7 @@ pub struct QueuedJob {
 /// Runs until the queue is closed **and** drained, so a graceful drain
 /// finishes every admitted job before the worker exits.
 pub fn run_worker(queue: &JobQueue<QueuedJob>, cfg: &ServeConfig, stats: &ServerStats) {
-    let solver = CrossbarPdipSolver::new(cfg.crossbar, cfg.options);
+    let solver = WorkerSolver::new(cfg);
     let mut pool = ContextPool::new(cfg.crossbar, cfg.pool_capacity);
     while let Some(q) = queue.pop() {
         let resp = solve_one(&solver, &mut pool, cfg, &q.job);
@@ -44,6 +47,55 @@ pub fn run_worker(queue: &JobQueue<QueuedJob>, cfg: &ServeConfig, stats: &Server
         // A gone receiver means the client hung up; the result is wasted
         // but the worker keeps serving.
         let _ = q.reply.send(resp);
+    }
+}
+
+/// The worker's solver dispatch: one [`ServeSolver`] family instantiated
+/// at startup, both driven through the identical warm-pool `solve_on`
+/// contract (warm `(x, y)` seeds plus delta-programmed setup writes work
+/// the same way for Newton iterates and PDHG iterates).
+enum WorkerSolver {
+    Pdip(CrossbarPdipSolver),
+    Pdhg(CrossbarPdhgSolver),
+}
+
+impl WorkerSolver {
+    fn new(cfg: &ServeConfig) -> Self {
+        match cfg.solver {
+            ServeSolver::Pdip => {
+                WorkerSolver::Pdip(CrossbarPdipSolver::new(cfg.crossbar, cfg.options))
+            }
+            ServeSolver::Pdhg => WorkerSolver::Pdhg(CrossbarPdhgSolver::new(
+                cfg.crossbar,
+                CrossbarPdhgOptions {
+                    recovery: cfg.options.recovery,
+                    ..CrossbarPdhgOptions::default()
+                },
+            )),
+        }
+    }
+
+    /// Admission check. The first-order backend is matrix-free — it has
+    /// no dense core to refuse, so every well-formed problem is admitted.
+    fn preflight(&self, lp: &LpProblem) -> Result<(), String> {
+        match self {
+            WorkerSolver::Pdip(s) => s.preflight(lp).map_err(|e| e.to_string()),
+            WorkerSolver::Pdhg(_) => Ok(()),
+        }
+    }
+
+    fn solve_on(
+        &self,
+        lp: &LpProblem,
+        hw: &mut HwContext,
+        budget: Budget<'_>,
+        warm: Option<(&[f64], &[f64])>,
+        salt: u64,
+    ) -> CrossbarSolution {
+        match self {
+            WorkerSolver::Pdip(s) => s.solve_on(lp, hw, budget, warm, salt),
+            WorkerSolver::Pdhg(s) => s.solve_on(lp, hw, budget, warm, salt),
+        }
     }
 }
 
@@ -57,7 +109,7 @@ fn build_problem(job: &SolveJob) -> Result<LpProblem, String> {
 }
 
 fn solve_one(
-    solver: &CrossbarPdipSolver,
+    solver: &WorkerSolver,
     pool: &mut ContextPool,
     cfg: &ServeConfig,
     job: &SolveJob,
@@ -67,10 +119,8 @@ fn solve_one(
         Ok(lp) => lp,
         Err(message) => return Response::Error { message },
     };
-    if let Err(e) = solver.preflight(&lp) {
-        return Response::Error {
-            message: e.to_string(),
-        };
+    if let Err(message) = solver.preflight(&lp) {
+        return Response::Error { message };
     }
     let key = FamilyKey {
         tag: job.family.clone(),

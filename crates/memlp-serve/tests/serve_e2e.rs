@@ -11,7 +11,7 @@ use memlp_core::BudgetCause;
 use memlp_crossbar::CrossbarConfig;
 use memlp_lp::{generator::RandomLp, LpStatus};
 use memlp_serve::codec::{Request, Response, SolveJob};
-use memlp_serve::{ServeClient, ServeConfig, Server};
+use memlp_serve::{ServeClient, ServeConfig, ServeSolver, Server};
 
 /// Builds a solve job from a deterministic random LP.
 fn job(family: &str, m: usize, seed: u64, max_iters: u32, deadline_ticks: u32) -> SolveJob {
@@ -214,4 +214,40 @@ fn single_worker_serving_is_replayable() {
         out
     };
     assert_eq!(run(), run(), "same requests, same bits");
+}
+
+/// The first-order worker family: PDHG solves served from the same warm
+/// pool. Repeats must warm-start from the previous PDHG iterate and skip
+/// every unchanged setup write — the first-order backend performs no
+/// update writes at all, so a warm repeat costs zero write endurance.
+#[test]
+fn pdhg_workers_serve_warm_repeats() {
+    let server =
+        Server::bind("127.0.0.1:0", config().with_solver(ServeSolver::Pdhg)).expect("bind");
+    let addr = server.addr().to_string();
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    let cold = expect_solution(client.solve(job("fam", 16, 3, 0, 0)).unwrap());
+    assert_eq!(cold.status, LpStatus::Optimal);
+    assert!(!cold.warm_start);
+    assert!(cold.cells_written > 0);
+
+    let warm = expect_solution(client.solve(job("fam", 16, 3, 0, 0)).unwrap());
+    assert_eq!(warm.status, LpStatus::Optimal);
+    assert!(warm.warm_start, "repeat must start from the pooled iterate");
+    // PDHG programs only the static sign-split blocks, so an identical
+    // repeat re-offers nothing new: every write is delta-skipped and the
+    // warm request consumes zero write endurance.
+    assert_eq!(
+        warm.cells_written, 0,
+        "a PDHG repeat must be write-free, wrote {} cells",
+        warm.cells_written
+    );
+    assert!(
+        warm.cells_skipped >= cold.cells_written,
+        "static blocks must be delta-skipped: {} skipped vs {} cold writes",
+        warm.cells_skipped,
+        cold.cells_written
+    );
+    server.shutdown();
 }

@@ -16,6 +16,11 @@
 //!   figure.
 //! * [`Simplex`] — a two-phase primal simplex (§2.1's classical
 //!   alternative), used as an independent cross-check at small sizes.
+//! * [`PdhgSolver`] — a restarted primal–dual hybrid gradient method
+//!   (first-order, matrix-free: one MVM with `A` and one with `Aᵀ` per
+//!   iteration), the scale regime past the dense Newton-core wall; see
+//!   [`pdhg`] for the iteration and the operator abstraction the analog
+//!   path plugs into.
 //!
 //! All solvers consume [`memlp_lp::LpProblem`] (canonical
 //! `max cᵀx, Ax ⪯ b, x ⪰ 0`) and produce [`memlp_lp::LpSolution`].
@@ -37,9 +42,11 @@ mod pdip_normal;
 mod simplex;
 
 pub mod budget;
+pub mod pdhg;
 pub mod pdip;
 
 pub use budget::{Budget, BudgetCause, Deadline, IterationDeadline};
+pub use pdhg::{PdhgOptions, PdhgSolver};
 pub use pdip::{PdipOptions, SolvePath};
 pub use pdip_dense::DensePdip;
 pub use pdip_mehrotra::MehrotraPdip;

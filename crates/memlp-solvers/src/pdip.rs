@@ -124,6 +124,14 @@ pub struct PdipOptions {
     pub max_iterations: usize,
     /// Initial value for every component of `(x, w, y, z)`.
     pub initial_value: f64,
+    /// Interiority floor applied when warm-starting from a previous
+    /// solution ([`PdipState::warm_start`]): every warm component is
+    /// clamped to at least this value so the barrier path starts strictly
+    /// interior even when the previous optimum sits on the boundary. The
+    /// serving path and the PDHG warm starts share this one knob; larger
+    /// values are more robust to stale iterates, smaller values preserve
+    /// more of the warm information.
+    pub warm_start_floor: f64,
     /// Which factorization path solves the Newton system (honored by the
     /// solvers that have a sparse formulation; purely-dense solvers ignore
     /// it).
@@ -141,6 +149,7 @@ impl Default for PdipOptions {
             divergence_bound: 1e6,
             max_iterations: 200,
             initial_value: 1.0,
+            warm_start_floor: 1e-2,
             path: SolvePath::Auto,
         }
     }

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Shared CI bench gate: every BENCH_*.json artifact carries a top-level
+# "gate_pass" boolean asserted by the bench binary itself; this script is
+# the single grep CI jobs call instead of per-job one-liners.
+#
+# Usage: scripts/check_bench_gates.sh BENCH_foo.json [BENCH_bar.json ...]
+#        scripts/check_bench_gates.sh            # checks every BENCH_*.json
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+    files="$*"
+else
+    files=$(ls BENCH_*.json 2>/dev/null || true)
+fi
+
+if [ -z "$files" ]; then
+    echo "check_bench_gates: no BENCH_*.json artifacts found" >&2
+    exit 1
+fi
+
+fail=0
+for f in $files; do
+    if [ ! -f "$f" ]; then
+        echo "FAIL $f: artifact missing" >&2
+        fail=1
+    elif ! grep -q '"gate_pass": *true' "$f"; then
+        echo "FAIL $f: gate_pass is not true" >&2
+        fail=1
+    else
+        echo "ok   $f"
+    fi
+done
+exit $fail

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! memlp solve <file.lp> [<file.lp> ...]
-//!             [--solver alg1|alg2|simplex|pdip|mehrotra]
+//!             [--solver alg1|alg2|simplex|pdip|mehrotra|pdhg|pdhg-analog|auto]
 //!             [--path auto|dense|sparse]
 //!             [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
 //!             [--max-iters <n>] [--timeout-iters <n>]
@@ -28,8 +28,11 @@
 //! `--max-iters` caps total Newton iterations and `--timeout-iters` sets a
 //! deterministic per-solve deadline (in iteration polls); either budget
 //! expiring returns the best iterate found with a `degraded:` verdict
-//! instead of failing. The `.lp` dialect is documented in
-//! `memlp_lp::format`.
+//! instead of failing. `--solver pdhg` is the matrix-free first-order
+//! backend (digital CSR), `pdhg-analog` runs the same loop on crossbar
+//! MVMs, and `auto` picks per problem: PDIP while the dense Newton core
+//! fits the `DENSE_CORE_LIMIT_BYTES` allocation guard, PDHG past it. The
+//! `.lp` dialect is documented in `memlp_lp::format`.
 
 use std::process::ExitCode;
 
@@ -51,10 +54,10 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  memlp solve <file.lp> [<file.lp> ...] [--solver alg1|alg2|simplex|pdip|mehrotra] [--path auto|dense|sparse] [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
+  memlp solve <file.lp> [<file.lp> ...] [--solver alg1|alg2|simplex|pdip|mehrotra|pdhg|pdhg-analog|auto] [--path auto|dense|sparse] [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
               [--max-iters <n>] [--timeout-iters <n>]
               [--stuck-rate <frac>] [--dead-line-rate <frac>] [--transient-rate <frac>] [--spares <n>] [--recovery off|hardware|full]
-  memlp serve [--addr <host:port>] [--queue-depth <n>] [--workers <n>] [--variation <pct>] [--seed <n>] [--max-iters <n>] [--timeout-iters <n>]
+  memlp serve [--addr <host:port>] [--solver pdip|pdhg] [--queue-depth <n>] [--workers <n>] [--variation <pct>] [--seed <n>] [--max-iters <n>] [--timeout-iters <n>]
   memlp client <addr> (solve <file.lp> [...] [--max-iters <n>] [--timeout-iters <n>] [--family <tag>] | health | drain)
   memlp generate <m> [--seed <n>] [--infeasible]
   memlp info <file.lp>";
@@ -349,6 +352,48 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
                 Ok((sol, None, None, cause))
             })
         }
+        "pdhg" => {
+            let s = PdhgSolver::default();
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| {
+                let dl = timeout_iters.map(IterationDeadline::new);
+                let (sol, cause) = s.solve_budgeted(&lps[i], budget_for(max_iters, dl.as_ref()));
+                Ok((sol, None, None, cause))
+            })
+        }
+        "pdhg-analog" => {
+            let options = CrossbarPdhgOptions {
+                recovery: f.recovery,
+                ..CrossbarPdhgOptions::default()
+            };
+            let s = CrossbarPdhgSolver::new(config, options);
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| {
+                memlp_linalg::parallel::with_threads(1, || {
+                    let dl = timeout_iters.map(IterationDeadline::new);
+                    let r = s.solve_budgeted(&lps[i], budget_for(max_iters, dl.as_ref()));
+                    Ok((r.solution, Some(r.ledger), Some(r.recovery), r.degraded))
+                })
+            })
+        }
+        // Digital auto-selection: PDIP while the dense Newton core fits
+        // the allocation guard, the matrix-free PDHG backend past it.
+        "auto" => {
+            let pdip = NormalEqPdip::new(PdipOptions {
+                path: f.path,
+                ..PdipOptions::default()
+            });
+            let pdhg = PdhgSolver::default();
+            memlp_linalg::parallel::run_indexed(jobs, lps.len(), |i| {
+                let dim = (lps[i].num_vars() + lps[i].num_constraints()) as u64;
+                let dl = timeout_iters.map(IterationDeadline::new);
+                let budget = budget_for(max_iters, dl.as_ref());
+                let (sol, cause) = if 8 * dim * dim > memlp_core::DENSE_CORE_LIMIT_BYTES {
+                    pdhg.solve_budgeted(&lps[i], budget)
+                } else {
+                    pdip.solve_budgeted(&lps[i], budget)
+                };
+                Ok((sol, None, None, cause))
+            })
+        }
         other => return Err(format!("unknown solver `{other}`")),
     };
 
@@ -452,8 +497,16 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     let crossbar = CrossbarConfig::paper_default()
         .with_variation(f.variation)
         .with_seed(f.seed);
+    let serve_solver = match f.solver.as_str() {
+        // `alg1` is the solve-command default; treat it as PDIP here so
+        // `memlp serve` without `--solver` keeps its historical behavior.
+        "alg1" | "pdip" => memlp_serve::ServeSolver::Pdip,
+        "pdhg" | "pdhg-analog" => memlp_serve::ServeSolver::Pdhg,
+        other => return Err(format!("serve supports --solver pdip|pdhg, got `{other}`")),
+    };
     let config = memlp_serve::ServeConfig::default()
         .with_crossbar(crossbar)
+        .with_solver(serve_solver)
         .with_queue_depth(f.queue_depth)
         .with_workers(f.workers);
     let config = memlp_serve::ServeConfig {

@@ -51,8 +51,9 @@ pub use memlp_noc as noc;
 pub use memlp_solvers as solvers;
 
 pub use memlp_core::{
-    CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions, LargeScaleOptions,
-    LargeScaleSolver, RecoveryEvent, RecoveryPolicy, RecoveryReport, SignSplit,
+    CrossbarPdhgOptions, CrossbarPdhgSolver, CrossbarPdipSolver, CrossbarSolution,
+    CrossbarSolverOptions, LargeScaleOptions, LargeScaleSolver, RecoveryEvent, RecoveryPolicy,
+    RecoveryReport, SignSplit,
 };
 pub use memlp_crossbar::{CostLedger, Crossbar, CrossbarConfig, FaultModel};
 pub use memlp_noc::{NocConfig, TiledCrossbar, Topology};
@@ -60,8 +61,9 @@ pub use memlp_noc::{NocConfig, TiledCrossbar, Topology};
 /// The most common imports in one place.
 pub mod prelude {
     pub use memlp_core::{
-        CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions, LargeScaleOptions,
-        LargeScaleSolver, RecoveryEvent, RecoveryPolicy, RecoveryReport, SignSplit,
+        CrossbarPdhgOptions, CrossbarPdhgSolver, CrossbarPdipSolver, CrossbarSolution,
+        CrossbarSolverOptions, LargeScaleOptions, LargeScaleSolver, RecoveryEvent, RecoveryPolicy,
+        RecoveryReport, SignSplit,
     };
     pub use memlp_crossbar::{
         CostLedger, Crossbar, CrossbarConfig, FaultModel, Fidelity, ReadoutMode,
@@ -72,6 +74,6 @@ pub mod prelude {
     pub use memlp_noc::{NocConfig, TiledCrossbar, Topology};
     pub use memlp_solvers::{
         Budget, BudgetCause, Deadline, DensePdip, IterationDeadline, LpSolver, MehrotraPdip,
-        NormalEqPdip, PdipOptions, Simplex, SolvePath,
+        NormalEqPdip, PdhgOptions, PdhgSolver, PdipOptions, Simplex, SolvePath,
     };
 }
