@@ -90,7 +90,15 @@ fn run_pdip(lp: &LpProblem) -> SolveRecord {
 }
 
 fn run_pdhg(lp: &LpProblem) -> SolveRecord {
-    let solver = PdhgSolver::new(PdhgOptions::from_pdip(&shared_pdip_options()));
+    run_pdhg_with(lp, true)
+}
+
+fn run_pdhg_with(lp: &LpProblem, equilibrate: bool) -> SolveRecord {
+    let opts = PdhgOptions {
+        equilibrate,
+        ..PdhgOptions::from_pdip(&shared_pdip_options())
+    };
+    let solver = PdhgSolver::new(opts);
     let t = Instant::now();
     let out = solver.solve_full(lp, Budget::none(), None);
     SolveRecord {
@@ -178,6 +186,7 @@ fn main() {
     );
 
     let mut crossover = String::new();
+    let mut equilibration = String::new();
     let mut all_verdicts_ok = true;
     let domains = ["transport", "routing", "scheduling", "assignment"];
     let mut first = true;
@@ -186,6 +195,22 @@ fn main() {
             let lp = build(domain, m_target);
             let pdip = run_pdip(&lp);
             let pdhg = run_pdhg(&lp);
+            // Equilibration study: the same loop with the pre-step off.
+            // Positive delta = iterations the row scaling saves.
+            let raw = run_pdhg_with(&lp, false);
+            if !equilibration.is_empty() {
+                equilibration.push_str(",\n");
+            }
+            equilibration.push_str(&format!(
+                "    {{\"domain\": \"{domain}\", \"m_target\": {m_target}, \
+                 \"iterations_equilibrated\": {}, \"status_equilibrated\": \"{}\", \
+                 \"iterations_raw\": {}, \"status_raw\": \"{}\", \"iters_delta\": {}}}",
+                pdhg.iterations,
+                pdhg.status,
+                raw.iterations,
+                raw.status,
+                raw.iterations as i64 - pdhg.iterations as i64,
+            ));
             // Both solvers must deliver at the shared tolerance for the
             // comparison to mean anything.
             all_verdicts_ok &= pdip.status == LpStatus::Optimal;
@@ -284,6 +309,9 @@ fn main() {
     json.push_str(&format!("  \"shared_tolerance\": {TOL:e},\n"));
     json.push_str("  \"crossover\": [\n");
     json.push_str(&crossover);
+    json.push_str("\n  ],\n");
+    json.push_str("  \"equilibration\": [\n");
+    json.push_str(&equilibration);
     json.push_str("\n  ],\n");
     json.push_str(&format!(
         "  \"headline\": {{\"domain\": \"assignment\", \"agents\": 256, \"m\": {}, \"n\": {}, \

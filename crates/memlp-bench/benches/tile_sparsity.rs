@@ -1,0 +1,308 @@
+//! Block-sparse analog execution study (DESIGN.md §18).
+//!
+//! Zero-tile elision on the analog PDHG backend: the sign-split planes of
+//! every memlp-lp domain are block-sparse at the 128-cell analog tile
+//! side (an assignment constraint matrix is 0/1 with two ones per column,
+//! so half its positive-plane tiles — and the *entire* negative plane —
+//! are planned dead). With `CrossbarConfig::tile_elision` the dead tiles
+//! are never fabricated: no programming sweep, no fault plan, no fabric
+//! traffic. This bench measures what that buys and proves it costs
+//! nothing in results:
+//!
+//! 1. **Write/energy table** — every domain at m ∈ {128, 512}, elision on
+//!    vs off: setup writes, programming (write) energy, total energy,
+//!    modeled run latency, NoC transfers. The off mode is the oracle —
+//!    bit-for-bit, not approximately.
+//! 2. **Bitwise identity** — for each row, elision-on `x`/`y` must equal
+//!    the elision-off run *bitwise* at worker counts {1, 2, 8} (dead
+//!    tiles contribute exact zeros; live tiles keep position-salted RNG
+//!    streams and a fixed accumulation order).
+//! 3. **Headline** — assignment at k = 256 (m = 512, n = 65536): the CI
+//!    gate requires ≥ 50% setup-write and write-energy reduction and a
+//!    strictly lower modeled MVM/run latency with elision on.
+//!
+//! Run cost is modeled hardware cost from the [`CostLedger`], not
+//! wall-clock: the win is fewer cells programmed and fewer tile transfers
+//! scheduled, which the ledger prices deterministically.
+//!
+//! [`CostLedger`]: memlp_crossbar::CostLedger
+
+use memlp_core::{CrossbarPdhgOptions, CrossbarPdhgSolver, ANALOG_TILE_SIDE};
+use memlp_crossbar::{CrossbarConfig, TileOccupancy};
+use memlp_device::CostParams;
+use memlp_linalg::parallel::with_threads;
+use memlp_linalg::Matrix;
+use memlp_lp::domains::{
+    assignment_lp, max_flow_lp, production_schedule_lp, transportation_lp, AssignmentProblem,
+    MaxFlowNetwork, ProductionPlan, TransportationProblem,
+};
+use memlp_lp::LpProblem;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const SEED: u64 = 21;
+const VARIATION_PCT: f64 = 5.0;
+
+/// Same constructors and seed as the PDHG crossover study, so rows line
+/// up across benches.
+fn build(domain: &'static str, m_target: usize) -> LpProblem {
+    let lp = match (domain, m_target) {
+        ("transport", 128) => transportation_lp(&TransportationProblem::random(4, 124, SEED)),
+        ("transport", 512) => transportation_lp(&TransportationProblem::random(4, 508, SEED)),
+        ("routing", 128) => max_flow_lp(&MaxFlowNetwork::random_layered(6, 6, SEED)),
+        ("routing", 512) => max_flow_lp(&MaxFlowNetwork::random_layered(12, 12, SEED)),
+        ("scheduling", 128) => production_schedule_lp(&ProductionPlan::random(8, 120, SEED)),
+        ("scheduling", 512) => production_schedule_lp(&ProductionPlan::random(8, 504, SEED)),
+        ("assignment", 128) => assignment_lp(&AssignmentProblem::random(64, SEED)),
+        ("assignment", 512) => assignment_lp(&AssignmentProblem::random(256, SEED)),
+        _ => unreachable!("unknown bench row"),
+    };
+    lp.expect("valid domain instance")
+}
+
+/// Tile-grid geometry of the sign-split planes the analog operator
+/// programs (planned coefficients only — the same index the solver
+/// builds).
+fn plane_geometry(lp: &LpProblem) -> (u64, u64) {
+    let a = lp.a();
+    let pos = Matrix::from_fn(a.rows(), a.cols(), |i, j| a[(i, j)].max(0.0));
+    let neg = Matrix::from_fn(a.rows(), a.cols(), |i, j| (-a[(i, j)]).max(0.0));
+    let p = TileOccupancy::from_matrix(&pos, ANALOG_TILE_SIDE);
+    let n = TileOccupancy::from_matrix(&neg, ANALOG_TILE_SIDE);
+    (
+        (p.grid_tiles() + n.grid_tiles()) as u64,
+        (p.live_tiles() + n.live_tiles()) as u64,
+    )
+}
+
+struct ModeCost {
+    status: String,
+    iterations: usize,
+    setup_writes: u64,
+    tiles_elided: u64,
+    elided_writes: u64,
+    noc_transfers: u64,
+    mvms: u64,
+    write_energy_j: f64,
+    energy_j: f64,
+    run_time_s: f64,
+    setup_time_s: f64,
+    x_bits: Vec<u64>,
+    y_bits: Vec<u64>,
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// One analog PDHG solve with elision forced to `elide`. The large rows
+/// are iteration-capped: cost accounting and bitwise identity are
+/// trajectory properties, not convergence properties, and the trajectory
+/// is identical across modes by construction.
+fn run(lp: &LpProblem, m_target: usize, elide: bool) -> ModeCost {
+    let cfg = CrossbarConfig::paper_default()
+        .with_variation(VARIATION_PCT)
+        .with_seed(SEED)
+        .with_tile_elision(elide);
+    let mut opts = CrossbarPdhgOptions::default();
+    if m_target >= 512 {
+        opts.pdhg.max_iterations = 400;
+        opts.retries = 0;
+    }
+    let res = CrossbarPdhgSolver::new(cfg, opts).solve(lp);
+    let ledger = res.ledger;
+    let c = ledger.counts();
+    let cost = CostParams::default();
+    ModeCost {
+        status: res.solution.status.to_string(),
+        iterations: res.solution.iterations,
+        setup_writes: c.setup_writes,
+        tiles_elided: c.tiles_elided,
+        elided_writes: c.elided_writes,
+        noc_transfers: c.noc_transfers,
+        mvms: c.mvm_ops,
+        write_energy_j: cost.write_energy(VARIATION_PCT / 100.0)
+            * (c.setup_writes + c.update_writes) as f64,
+        energy_j: ledger.energy_j(&cost),
+        run_time_s: ledger.run_time_s(),
+        setup_time_s: ledger.setup_time_s(),
+        x_bits: bits(&res.solution.x),
+        y_bits: bits(&res.solution.y),
+    }
+}
+
+fn reduction(off: f64, on: f64) -> f64 {
+    if off > 0.0 {
+        1.0 - on / off
+    } else {
+        0.0
+    }
+}
+
+fn mode_json(m: &ModeCost) -> String {
+    format!(
+        "{{\"status\": \"{}\", \"iterations\": {}, \"setup_writes\": {}, \
+         \"tiles_elided\": {}, \"elided_writes\": {}, \"noc_transfers\": {}, \
+         \"mvms\": {}, \"write_energy_j\": {:.6}, \"energy_j\": {:.6}, \
+         \"run_time_s\": {:.9}, \"setup_time_s\": {:.6}}}",
+        m.status,
+        m.iterations,
+        m.setup_writes,
+        m.tiles_elided,
+        m.elided_writes,
+        m.noc_transfers,
+        m.mvms,
+        m.write_energy_j,
+        m.energy_j,
+        m.run_time_s,
+        m.setup_time_s,
+    )
+}
+
+fn main() {
+    println!(
+        "block-sparse analog execution: zero-tile elision at tile side {ANALOG_TILE_SIDE}, \
+         {VARIATION_PCT}% variation, seed {SEED}"
+    );
+    println!();
+    println!(
+        "{:>11} {:>5} {:>6} {:>6} {:>5} {:>12} {:>12} {:>7} {:>7} {:>8}",
+        "domain",
+        "m",
+        "n",
+        "tiles",
+        "live",
+        "writes off",
+        "writes on",
+        "wr red",
+        "en red",
+        "bitwise"
+    );
+
+    let domains = ["transport", "routing", "scheduling", "assignment"];
+    let mut rows_json = String::new();
+    let mut all_bitwise = true;
+    let mut headline_pair: Option<(ModeCost, ModeCost)> = None;
+    for &m_target in &[128usize, 512] {
+        for domain in domains {
+            let lp = build(domain, m_target);
+            let (grid, live) = plane_geometry(&lp);
+
+            // Oracle: elision off, one worker. Bit-for-bit, not a tolerance.
+            let off = with_threads(1, || run(&lp, m_target, false));
+            let on = with_threads(1, || run(&lp, m_target, true));
+
+            // Elision on must be invisible at every worker count. The
+            // one-worker run is `on` itself; the sweep covers the rest.
+            let mut bitwise = on.x_bits == off.x_bits && on.y_bits == off.y_bits;
+            for &threads in THREADS.iter().filter(|&&t| t != 1) {
+                let t = with_threads(threads, || run(&lp, m_target, true));
+                bitwise &= t.x_bits == off.x_bits && t.y_bits == off.y_bits;
+            }
+            all_bitwise &= bitwise;
+
+            let wr_red = reduction(off.setup_writes as f64, on.setup_writes as f64);
+            let we_red = reduction(off.write_energy_j, on.write_energy_j);
+            let en_red = reduction(off.energy_j, on.energy_j);
+            let rt_red = reduction(off.run_time_s, on.run_time_s);
+            println!(
+                "{domain:>11} {:>5} {:>6} {:>6} {:>5} {:>12} {:>12} {:>6.1}% {:>6.1}% {:>8}",
+                lp.num_constraints(),
+                lp.num_vars(),
+                grid,
+                live,
+                off.setup_writes,
+                on.setup_writes,
+                wr_red * 100.0,
+                en_red * 100.0,
+                if bitwise { "ok" } else { "FAIL" },
+            );
+            if !rows_json.is_empty() {
+                rows_json.push_str(",\n");
+            }
+            rows_json.push_str(&format!(
+                "    {{\"domain\": \"{domain}\", \"m_target\": {m_target}, \"m\": {}, \
+                 \"n\": {}, \"grid_tiles\": {grid}, \"live_tiles\": {live}, \
+                 \"off\": {}, \"on\": {}, \"write_reduction\": {wr_red:.6}, \
+                 \"write_energy_reduction\": {we_red:.6}, \"energy_reduction\": {en_red:.6}, \
+                 \"run_time_reduction\": {rt_red:.6}, \"bitwise_identical\": {bitwise}, \
+                 \"threads_checked\": [1, 2, 8]}}",
+                lp.num_constraints(),
+                lp.num_vars(),
+                mode_json(&off),
+                mode_json(&on),
+            ));
+            if domain == "assignment" && m_target == 512 {
+                headline_pair = Some((off, on));
+            }
+        }
+    }
+
+    // --- Headline: assignment at k = 256 agents. Half the positive-plane
+    // tiles and the whole negative plane are planned dead, so the full-
+    // grid fabrication sweep is mostly hardware that never needed to
+    // exist.
+    let lp = build("assignment", 512);
+    let (grid, live) = plane_geometry(&lp);
+    let (off, on) = headline_pair.expect("assignment@512 row ran");
+    let hl_bitwise = on.x_bits == off.x_bits && on.y_bits == off.y_bits;
+    let wr_red = reduction(off.setup_writes as f64, on.setup_writes as f64);
+    let we_red = reduction(off.write_energy_j, on.write_energy_j);
+    let en_red = reduction(off.energy_j, on.energy_j);
+    let latency_win = on.run_time_s < off.run_time_s;
+    println!();
+    println!(
+        "headline assignment@k=256: {live}/{grid} tiles live, writes {} -> {} \
+         ({:.1}% reduction), write energy {:.3} J -> {:.3} J, run {:.3} ms -> {:.3} ms",
+        off.setup_writes,
+        on.setup_writes,
+        wr_red * 100.0,
+        off.write_energy_j,
+        on.write_energy_j,
+        off.run_time_s * 1e3,
+        on.run_time_s * 1e3,
+    );
+
+    let gate_pass =
+        all_bitwise && hl_bitwise && wr_red >= 0.5 && we_red >= 0.5 && en_red >= 0.5 && latency_win;
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"tile_sparsity\",\n");
+    json.push_str(
+        "  \"suite\": \"block-sparse analog execution: zero-tile elision on the analog PDHG \
+         backend, elision-off as bitwise oracle\",\n",
+    );
+    json.push_str(&format!("  \"tile_side\": {ANALOG_TILE_SIDE},\n"));
+    json.push_str(&format!("  \"variation_pct\": {VARIATION_PCT},\n"));
+    json.push_str("  \"rows\": [\n");
+    json.push_str(&rows_json);
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"headline\": {{\"domain\": \"assignment\", \"agents\": 256, \"m\": {}, \"n\": {}, \
+         \"grid_tiles\": {grid}, \"live_tiles\": {live}, \"off\": {}, \"on\": {}, \
+         \"write_reduction\": {wr_red:.6}, \"write_energy_reduction\": {we_red:.6}, \
+         \"energy_reduction\": {en_red:.6}, \"mvm_latency_win\": {latency_win}, \
+         \"bitwise_identical\": {hl_bitwise}}},\n",
+        lp.num_constraints(),
+        lp.num_vars(),
+        mode_json(&off),
+        mode_json(&on),
+    ));
+    json.push_str(&format!(
+        "  \"gates\": {{\"all_rows_bitwise\": {all_bitwise}, \"write_reduction_min\": 0.5, \
+         \"write_energy_reduction_min\": 0.5, \"energy_reduction_min\": 0.5, \
+         \"mvm_latency_win\": {latency_win}}},\n"
+    ));
+    json.push_str(&format!("  \"gate_pass\": {gate_pass}\n}}\n"));
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_tile_sparsity.json");
+    std::fs::write(&path, &json).expect("write BENCH_tile_sparsity.json");
+    println!("wrote {}", path.display());
+
+    assert!(
+        gate_pass,
+        "tile-sparsity gate failed: bitwise={all_bitwise}/{hl_bitwise} \
+         write_red={wr_red:.3} write_energy_red={we_red:.3} energy_red={en_red:.3} \
+         latency_win={latency_win}"
+    );
+}

@@ -27,7 +27,8 @@
 use std::collections::BTreeMap;
 
 use memlp_crossbar::{
-    CostLedger, CrossbarConfig, FaultKind, FaultPlan, LineRemap, Phase, Quantizer, WriteQuantizer,
+    CostLedger, CrossbarConfig, FaultKind, FaultPlan, LineRemap, Phase, Quantizer, TileOccupancy,
+    WriteQuantizer,
 };
 use memlp_device::FaultMap;
 use memlp_linalg::Matrix;
@@ -36,6 +37,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::recovery::RecoveryEvent;
+use crate::tiles::TiledMatrix;
 
 /// Salt separating per-block fault-plan seeds from the variation stream.
 const FAULT_STREAM_SALT: u64 = 0x0FA0_17ED_B10C_0000;
@@ -69,6 +71,19 @@ struct BlockCodes {
     rows: usize,
     cols: usize,
     codes: Vec<u64>,
+}
+
+/// NoC scheduling geometry for one occupancy-aware analog op: how many
+/// tiles actually fired, how many the die provisions (hop distances come
+/// from the full grid), and the line-segment length each live tile ships.
+#[derive(Debug, Clone, Copy)]
+pub struct TileTraffic {
+    /// Tiles that hold at least one planned non-zero and were scheduled.
+    pub live_tiles: usize,
+    /// Tiles the full grid provisions, live or not.
+    pub grid_tiles: usize,
+    /// Line segments each live tile ships through the fabric.
+    pub lines_per_tile: usize,
 }
 
 /// Per-solve hardware state: RNG, converters, per-block fault plans and the
@@ -223,6 +238,63 @@ impl HwContext {
     ///
     /// memlp-lint: analog_source
     pub fn write_matrix(&mut self, key: u32, target: &Matrix, phase: Phase) -> Matrix {
+        self.write_matrix_masked(key, target, phase, None)
+    }
+
+    /// [`HwContext::write_matrix`] over a tiled block region: the target's
+    /// [`TileOccupancy`] is scanned first (from *planned* coefficients,
+    /// never analog read-backs), and with `config.tile_elision` set the
+    /// all-zero tiles are never fabricated — no write pulses, no fault
+    /// pins, no delta-cache entries for their cells — and the elision is
+    /// noted on the ledger. Fault-free realizations are bitwise identical
+    /// with elision on or off (a planned-zero healthy cell realizes an
+    /// exact zero and draws no variation either way); with faults
+    /// configured, elision additionally keeps stuck-on defects out of
+    /// planned-dead tiles, because there is no hardware there to be stuck.
+    ///
+    /// Cost accounting differs from the flat path: programming a *tile* is
+    /// a full write-verify sweep over the tile's cell grid — the same
+    /// per-cell semantics the device layer charges (`Crossbar::program`
+    /// sweeps `side × side`; the NoC fabric charges every cell of every
+    /// fabricated tile) — so every healthy cell of a fabricated tile costs
+    /// one write (or one delta skip), planned zeros included. Only the
+    /// pulse of a *non-zero* code moves the device, so zero-code cells
+    /// still draw no variation deviate: the accounting change is invisible
+    /// to realized conductances.
+    ///
+    /// memlp-lint: analog_source
+    pub fn write_matrix_tiled(
+        &mut self,
+        key: u32,
+        target: &Matrix,
+        tile_side: usize,
+        phase: Phase,
+    ) -> TiledMatrix {
+        let occ = TileOccupancy::from_matrix(target, tile_side);
+        let elide = self.config.tile_elision;
+        if elide {
+            self.ledger
+                .note_elided_tiles(occ.dead_tiles() as u64, occ.dead_cells());
+        }
+        let realized = self.write_matrix_masked(key, target, phase, Some((&occ, elide)));
+        TiledMatrix::from_parts(realized, occ, elide)
+    }
+
+    /// Shared write path. `tiled`, when present, carries the occupancy
+    /// index plus the elision flag: with elision on, dead-tile cells have
+    /// no hardware — they skip fault application entirely and realize
+    /// exact zeros (their planned values are zero by construction of the
+    /// occupancy index). Tiled writes charge one write (or delta skip) per
+    /// fabricated healthy cell — the device layer's per-cell sweep — while
+    /// the flat path charges non-zero codes only (§3.5: erased cells need
+    /// no pulse).
+    fn write_matrix_masked(
+        &mut self,
+        key: u32,
+        target: &Matrix,
+        phase: Phase,
+        tiled: Option<(&TileOccupancy, bool)>,
+    ) -> Matrix {
         let plan = self.plan_for(key, target.rows(), target.cols());
         let a_max = target.max_abs();
         let cache = self
@@ -232,8 +304,14 @@ impl HwContext {
         let mut skipped = 0u64;
         let mut codes = vec![0u64; target.rows() * target.cols()];
         let mut realized = Matrix::zeros(target.rows(), target.cols());
+        let ts = tiled.map_or(1, |(o, _)| o.tile_side());
         for i in 0..target.rows() {
             for j in 0..target.cols() {
+                if let Some((occ, true)) = tiled {
+                    if !occ.is_live(i / ts, j / ts) {
+                        continue; // elided tile: no hardware, exact zero
+                    }
+                }
                 let idx = i * target.cols() + j;
                 let code = self.wq.code(target[(i, j)]);
                 codes[idx] = code;
@@ -242,6 +320,15 @@ impl HwContext {
                     FaultKind::StuckOff => 0.0,
                     FaultKind::Healthy => {
                         if code == 0 {
+                            // The tile sweep visits (and verifies) every
+                            // fabricated cell; only a non-zero pulse moves
+                            // the device, so no variation deviate here.
+                            if tiled.is_some() {
+                                match cache.as_ref() {
+                                    Some(c) if c.codes[idx] == code => skipped += 1,
+                                    _ => written += 1,
+                                }
+                            }
                             0.0
                         } else {
                             let factor = self.config.variation.draw_factor(&mut self.rng);
@@ -415,6 +502,39 @@ impl HwContext {
             let (t, e) = self.noc.transfer_cost(tiles, lines);
             self.ledger
                 .charge_noc_transfer(t * tiles as f64, e * tiles as f64, tiles as u64);
+        }
+    }
+
+    /// Occupancy-aware variant of [`HwContext::charge_analog`] for
+    /// operands carried as a [`TiledMatrix`]: only the `live_tiles` that
+    /// were actually scheduled ship their `lines_per_tile` line segments
+    /// through the fabric, while hop distances (and the decision that a
+    /// fabric exists at all) follow the full `grid_tiles` geometry — a
+    /// dead tile frees bandwidth, it does not shrink the die.
+    pub fn charge_analog_tiled(
+        &mut self,
+        is_solve: bool,
+        inputs: usize,
+        outputs: usize,
+        g_estimate: f64,
+        traffic: TileTraffic,
+    ) {
+        self.ledger.charge_analog_op(
+            &self.config.cost,
+            is_solve,
+            inputs as u64,
+            outputs as u64,
+            g_estimate,
+            self.config.device.v_read,
+        );
+        if traffic.grid_tiles > 1 && traffic.live_tiles > 0 {
+            let lines = traffic.lines_per_tile.min(inputs.max(outputs)).max(1);
+            let (t, e) = self.noc.transfer_cost(traffic.grid_tiles, lines);
+            self.ledger.charge_noc_transfer(
+                t * traffic.live_tiles as f64,
+                e * traffic.live_tiles as f64,
+                traffic.live_tiles as u64,
+            );
         }
     }
 
@@ -957,6 +1077,104 @@ mod tests {
             "post-repair write re-programs everything incl. repaired cells"
         );
         assert_eq!(c.ledger().counts().skipped_writes, 0);
+    }
+
+    #[test]
+    fn tiled_write_elides_planned_zero_tiles() {
+        // 256×256 block-diagonal at tile 128: two live tiles, two dead.
+        let m = Matrix::from_fn(256, 256, |i, j| {
+            if (i < 128) == (j < 128) {
+                1.0 + (i + j) as f64 * 1e-3
+            } else {
+                0.0
+            }
+        });
+        let mut c = ctx(0.0);
+        let t = c.write_matrix_tiled(0, &m, 128, Phase::Setup);
+        assert!(t.elides());
+        assert_eq!(t.occupancy().live_tiles(), 2);
+        assert_eq!(t.occupancy().grid_tiles(), 4);
+        let counts = c.ledger().counts();
+        assert_eq!(counts.tiles_elided, 2);
+        assert_eq!(counts.elided_writes, 2 * 128 * 128);
+        assert_eq!(counts.setup_writes, 2 * 128 * 128);
+    }
+
+    #[test]
+    fn tiled_write_matches_flat_write_bitwise_when_fault_free() {
+        let m = Matrix::from_fn(256, 200, |i, j| {
+            if (i < 128) == (j < 128) {
+                0.2 + ((i * 7 + j * 3) % 53) as f64 * 0.01
+            } else {
+                0.0
+            }
+        });
+        let mut flat = ctx(10.0);
+        let r_flat = flat.write_matrix(0, &m, Phase::Setup);
+        let mut tiled = ctx(10.0);
+        let r_tiled = tiled.write_matrix_tiled(0, &m, 128, Phase::Setup);
+        let bits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(r_flat.as_slice()),
+            bits(r_tiled.realized().as_slice()),
+            "fault-free elision must not change realized state"
+        );
+        // Same pulses charged: planned-zero cells never cost a write.
+        assert_eq!(
+            flat.ledger().counts().setup_writes,
+            tiled.ledger().counts().setup_writes
+        );
+    }
+
+    #[test]
+    fn elision_keeps_faults_out_of_dead_tiles() {
+        let m = Matrix::from_fn(
+            256,
+            256,
+            |i, j| {
+                if (i < 128) == (j < 128) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
+        let faults = FaultModel::symmetric(0.05).unwrap();
+        let mut c = faulty_ctx(faults, 3);
+        let t = c.write_matrix_tiled(0, &m, 128, Phase::Setup);
+        assert!(c.saw_faults(), "5% over 64Ki cells must draw faults");
+        let r = t.realized();
+        for i in 0..256 {
+            for j in 0..256 {
+                if (i < 128) != (j < 128) {
+                    assert_eq!(
+                        r[(i, j)],
+                        0.0,
+                        "elided tile has no hardware to be stuck at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn charge_analog_tiled_scales_transfers_with_live_tiles() {
+        let traffic = |live_tiles, grid_tiles| TileTraffic {
+            live_tiles,
+            grid_tiles,
+            lines_per_tile: 128,
+        };
+        let mut c = ctx(0.0);
+        c.charge_analog_tiled(false, 512, 512, 1e-3, traffic(8, 16));
+        assert_eq!(c.ledger().counts().noc_transfers, 8, "live tiles ship");
+        assert_eq!(c.ledger().counts().mvm_ops, 1);
+        // Single-tile grids and fully dead operands need no fabric.
+        let mut c1 = ctx(0.0);
+        c1.charge_analog_tiled(false, 64, 64, 1e-3, traffic(1, 1));
+        assert_eq!(c1.ledger().counts().noc_transfers, 0);
+        let mut c0 = ctx(0.0);
+        c0.charge_analog_tiled(false, 512, 512, 1e-3, traffic(0, 16));
+        assert_eq!(c0.ledger().counts().noc_transfers, 0);
     }
 
     #[test]

@@ -6,8 +6,9 @@ use memlp_solvers::pdip::{CoreSolveError, PdipOptions, PdipState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::hw::HwContext;
+use crate::hw::{HwContext, TileTraffic};
 use crate::recovery::{self, RecoveryEvent, RecoveryPolicy, RecoveryReport};
+use crate::tiles::{TiledMatrix, ANALOG_TILE_SIDE};
 use crate::trace::{IterationRecord, SolverTrace, WriteStats};
 use crate::transform::SignSplit;
 
@@ -153,13 +154,15 @@ struct LargeScaleSystem {
     // Effective corrections for Δp back-substitution.
     ipx: Vec<f64>,
     ipy: Vec<f64>,
-    an_solve: Matrix,
-    atn_solve: Matrix,
-    // MVM realization (without fill) per Eqn 17a.
-    ap_mvm: Matrix,
-    an_mvm: Matrix,
-    atp_mvm: Matrix,
-    atn_mvm: Matrix,
+    an_solve: TiledMatrix,
+    atn_solve: TiledMatrix,
+    // MVM realization (without fill) per Eqn 17a, carried with the
+    // occupancy index of its planned coefficients so the fill-free MVMs
+    // schedule (and the cost model charges) live tiles only.
+    ap_mvm: TiledMatrix,
+    an_mvm: TiledMatrix,
+    atp_mvm: TiledMatrix,
+    atn_mvm: TiledMatrix,
     selx_mvm: Vec<f64>,
     sely_mvm: Vec<f64>,
     ipx_mvm: Vec<f64>,
@@ -168,6 +171,13 @@ struct LargeScaleSystem {
     xd: Vec<f64>,
     yd: Vec<f64>,
     cells: usize,
+    /// Cells with hardware behind them in the MVM realization (live tiles
+    /// under elision), for its settle-energy estimate.
+    mvm_cells: usize,
+    /// Tiles each fill-free MVM schedules across the four planes.
+    mvm_live_tiles: usize,
+    /// Fabric grid positions across the four MVM planes (hop geometry).
+    mvm_grid_tiles: usize,
     /// Nominal λ the controller targeted for the RU/RL fill.
     fill_nominal: f64,
     /// Residual-feedback gain κ (from the solver options).
@@ -751,11 +761,15 @@ impl LargeScaleSystem {
             .map(|_| frng.random_range(0.75 * fill..1.25 * fill))
             .collect();
 
-        // --- Solve realization (with fill).
-        let ap_s = hw.write_matrix(key::AP_S, &split_a.pos, Phase::Setup);
-        let an_s = hw.write_matrix(key::AN_S, &split_a.neg, Phase::Setup);
-        let atp_s = hw.write_matrix(key::ATP_S, &split_at.pos, Phase::Setup);
-        let atn_s = hw.write_matrix(key::ATN_S, &split_at.neg, Phase::Setup);
+        // --- Solve realization (with fill). Matrix blocks go through the
+        //     occupancy-indexed write path so planned-zero tiles of
+        //     block-structured operands are never programmed.
+        let ap_s = hw.write_matrix_tiled(key::AP_S, &split_a.pos, ANALOG_TILE_SIDE, Phase::Setup);
+        let an_s = hw.write_matrix_tiled(key::AN_S, &split_a.neg, ANALOG_TILE_SIDE, Phase::Setup);
+        let atp_s =
+            hw.write_matrix_tiled(key::ATP_S, &split_at.pos, ANALOG_TILE_SIDE, Phase::Setup);
+        let atn_s =
+            hw.write_matrix_tiled(key::ATN_S, &split_at.neg, ANALOG_TILE_SIDE, Phase::Setup);
         let ru_s = hw.write_diag(key::RU_S, &ru, Phase::Setup);
         let rl_s = hw.write_diag(key::RL_S, &rl, Phase::Setup);
         let selx = hw.write_diag(key::SELX, &vec![1.0; kx], Phase::Setup);
@@ -767,18 +781,18 @@ impl LargeScaleSystem {
         }
 
         // Eliminate Δp: effective A blocks get column corrections.
-        let mut ax_eff = ap_s.clone();
+        let mut ax_eff = ap_s.realized().clone();
         for (r, &j) in split_a.comp_cols.iter().enumerate() {
             let f = selx[r] / ipx[r];
             for i in 0..m {
-                ax_eff[(i, j)] -= an_s[(i, r)] * f;
+                ax_eff[(i, j)] -= an_s.realized()[(i, r)] * f;
             }
         }
-        let mut ay_eff = atp_s.clone();
+        let mut ay_eff = atp_s.realized().clone();
         for (r, &j) in split_at.comp_cols.iter().enumerate() {
             let f = sely[r] / ipy[r];
             for i in 0..n {
-                ay_eff[(i, j)] -= atn_s[(i, r)] * f;
+                ay_eff[(i, j)] -= atn_s.realized()[(i, r)] * f;
             }
         }
         // Core (m+n) system: [A_eff λI; λI Aᵀ_eff], factored once.
@@ -792,16 +806,22 @@ impl LargeScaleSystem {
 
         // --- MVM realization (fill-free, Eqn 17a) — independently written,
         //     so it carries its own variation draws.
-        let ap_mvm = hw.write_matrix(key::AP_M, &split_a.pos, Phase::Setup);
-        let an_mvm = hw.write_matrix(key::AN_M, &split_a.neg, Phase::Setup);
-        let atp_mvm = hw.write_matrix(key::ATP_M, &split_at.pos, Phase::Setup);
-        let atn_mvm = hw.write_matrix(key::ATN_M, &split_at.neg, Phase::Setup);
+        let ap_mvm = hw.write_matrix_tiled(key::AP_M, &split_a.pos, ANALOG_TILE_SIDE, Phase::Setup);
+        let an_mvm = hw.write_matrix_tiled(key::AN_M, &split_a.neg, ANALOG_TILE_SIDE, Phase::Setup);
+        let atp_mvm =
+            hw.write_matrix_tiled(key::ATP_M, &split_at.pos, ANALOG_TILE_SIDE, Phase::Setup);
+        let atn_mvm =
+            hw.write_matrix_tiled(key::ATN_M, &split_at.neg, ANALOG_TILE_SIDE, Phase::Setup);
         let selx_mvm = hw.write_diag(key::SELX_M, &vec![1.0; kx], Phase::Setup);
         let sely_mvm = hw.write_diag(key::SELY_M, &vec![1.0; ky], Phase::Setup);
         let ipx_mvm = hw.write_diag(key::IPX_M, &vec![1.0; kx], Phase::Setup);
         let ipy_mvm = hw.write_diag(key::IPY_M, &vec![1.0; ky], Phase::Setup);
 
         let cells = 2 * (m * n * 2 + m * kx + n * ky) + m * m + n * n + 2 * (kx + ky);
+        let mvm_blocks = [&ap_mvm, &an_mvm, &atp_mvm, &atn_mvm];
+        let mvm_cells = mvm_blocks.iter().map(|t| t.active_cells()).sum::<usize>() + 2 * (kx + ky);
+        let mvm_live_tiles = mvm_blocks.iter().map(|t| t.scheduled_tiles()).sum();
+        let mvm_grid_tiles = mvm_blocks.iter().map(|t| t.occupancy().grid_tiles()).sum();
         let mut sys = LargeScaleSystem {
             n,
             m,
@@ -823,6 +843,9 @@ impl LargeScaleSystem {
             xd: Vec::new(),
             yd: Vec::new(),
             cells,
+            mvm_cells,
+            mvm_live_tiles,
+            mvm_grid_tiles,
             fill_nominal: fill,
             dual_feedback,
         };
@@ -887,8 +910,18 @@ impl LargeScaleSystem {
                 .enumerate()
                 .map(|(r, &j)| self.sely_mvm[r] * y[j] + self.ipy_mvm[r] * py[r]),
         );
-        let g = hw.conductance_estimate(self.cells / 2, 1.0, 1.0);
-        hw.charge_analog(false, sq.len(), out.len(), g);
+        let g = hw.conductance_estimate(self.mvm_cells, 1.0, 1.0);
+        hw.charge_analog_tiled(
+            false,
+            sq.len(),
+            out.len(),
+            g,
+            TileTraffic {
+                live_tiles: self.mvm_live_tiles,
+                grid_tiles: self.mvm_grid_tiles,
+                lines_per_tile: ANALOG_TILE_SIDE,
+            },
+        );
         let ms = hw.adc_blocks(&out, &[m, n, kx + ky]);
 
         // Constant part: [b − w, c + z, 0] (summing amplifiers).
@@ -1095,6 +1128,37 @@ mod tests {
             dual_obj >= res.solution.objective - 0.5 * (1.0 + res.solution.objective.abs()),
             "dual {dual_obj} vs primal {} — unscaling broken?",
             res.solution.objective
+        );
+    }
+
+    #[test]
+    fn tile_elision_is_bitwise_invisible_to_the_split_solver() {
+        // Dense random planes have no dead tiles, so elision must change
+        // nothing at all — not the iterates, not the write counts.
+        let lp = RandomLp::paper(24, 33).feasible();
+        let run = |elide: bool| {
+            LargeScaleSolver::new(
+                CrossbarConfig::paper_default()
+                    .with_variation(10.0)
+                    .with_seed(3)
+                    .with_tile_elision(elide),
+                LargeScaleOptions::default(),
+            )
+            .solve(&lp)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.solution.status, off.solution.status);
+        assert_eq!(on.solution.x, off.solution.x, "primal must not see elision");
+        assert_eq!(on.solution.y, off.solution.y, "duals must not see elision");
+        assert_eq!(
+            on.ledger.counts().setup_writes,
+            off.ledger.counts().setup_writes
+        );
+        assert_eq!(
+            on.ledger.counts().tiles_elided,
+            0,
+            "dense: nothing to elide"
         );
     }
 

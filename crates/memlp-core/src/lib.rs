@@ -51,6 +51,7 @@ mod newton;
 mod pdhg_analog;
 mod recovery;
 mod solver;
+mod tiles;
 mod trace;
 mod transform;
 
@@ -60,6 +61,7 @@ pub use newton::{AugmentedDirections, AugmentedSystem, DENSE_CORE_LIMIT_BYTES};
 pub use pdhg_analog::{CrossbarPdhgOptions, CrossbarPdhgSolver};
 pub use recovery::{RecoveryEvent, RecoveryPolicy, RecoveryReport};
 pub use solver::{CrossbarPdipSolver, CrossbarSolution, CrossbarSolverOptions};
+pub use tiles::{TiledMatrix, ANALOG_TILE_SIDE};
 pub use trace::{FactorStats, IterationRecord, SolverTrace, WriteStats};
 pub use transform::SignSplit;
 

@@ -31,14 +31,15 @@
 //! [`TiledCrossbar::mvm_transposed`]: memlp_noc::TiledCrossbar::mvm_transposed
 
 use memlp_crossbar::{CrossbarConfig, Phase};
-use memlp_linalg::{norm_est, Matrix};
-use memlp_lp::{LpProblem, LpStatus};
+use memlp_linalg::{kernels, norm_est};
+use memlp_lp::{Equilibration, LpProblem, LpStatus};
 use memlp_solvers::budget::Budget;
 use memlp_solvers::pdhg::{self, PdhgOperator, PdhgOptions, PdhgStats};
 
-use crate::hw::HwContext;
+use crate::hw::{HwContext, TileTraffic};
 use crate::recovery::{self, RecoveryEvent, RecoveryPolicy, RecoveryReport};
 use crate::solver::CrossbarSolution;
+use crate::tiles::{TiledMatrix, ANALOG_TILE_SIDE};
 use crate::trace::{FactorStats, IterationRecord, SolverTrace, WriteStats};
 use crate::transform::SignSplit;
 
@@ -103,41 +104,67 @@ impl Default for CrossbarPdhgOptions {
 /// realized matrices, charged to the context's ledger.
 struct AnalogSplitOperator<'hw> {
     hw: &'hw mut HwContext,
-    /// Realized `A′` (m×n, ⪰ 0).
-    pos: Matrix,
+    /// Realized `A′` (m×n, ⪰ 0) with the occupancy of the planned split.
+    pos: TiledMatrix,
     /// Realized `A″` (m×k, ⪰ 0); zero columns when `A ⪰ 0`.
-    neg: Matrix,
+    neg: TiledMatrix,
     /// Source column of each compensation column.
     comp_cols: Vec<usize>,
-    /// Cell count across both blocks, for settle-energy estimates.
+    /// Cells with hardware behind them (live tiles under elision), for
+    /// settle-energy estimates.
     cells: usize,
+    /// Tiles each MVM schedules across both planes (live under elision).
+    live_tiles: usize,
+    /// Fabric grid positions across both planes (hop geometry).
+    grid_tiles: usize,
     mvms: u64,
 }
 
 impl<'hw> AnalogSplitOperator<'hw> {
-    /// Programs the sign-split blocks (setup phase) on `hw`.
+    /// Programs the sign-split blocks (setup phase) on `hw`, tiled at the
+    /// NoC sub-array granularity so planned-zero tiles are elided when the
+    /// configuration asks for it.
     fn program(lp: &LpProblem, hw: &'hw mut HwContext) -> Self {
         let split = SignSplit::split(lp.a());
-        let pos = hw.write_matrix(key::POS, &split.pos, Phase::Setup);
+        let pos = hw.write_matrix_tiled(key::POS, &split.pos, ANALOG_TILE_SIDE, Phase::Setup);
         let neg = if split.num_compensations() > 0 {
-            hw.write_matrix(key::NEG, &split.neg, Phase::Setup)
+            hw.write_matrix_tiled(key::NEG, &split.neg, ANALOG_TILE_SIDE, Phase::Setup)
         } else {
-            split.neg
+            TiledMatrix::new(
+                &split.neg,
+                split.neg.clone(),
+                ANALOG_TILE_SIDE,
+                hw.config().tile_elision,
+            )
         };
-        let cells = pos.rows() * pos.cols() + neg.rows() * neg.cols();
+        let cells = pos.active_cells() + neg.active_cells();
+        let live_tiles = pos.scheduled_tiles() + neg.scheduled_tiles();
+        let grid_tiles = pos.occupancy().grid_tiles() + neg.occupancy().grid_tiles();
         AnalogSplitOperator {
             hw,
             pos,
             neg,
             comp_cols: split.comp_cols,
             cells,
+            live_tiles,
+            grid_tiles,
             mvms: 0,
         }
     }
 
     fn charge(&mut self, inputs: usize, outputs: usize) {
         let g = self.hw.conductance_estimate(self.cells, 1.0, 1.0);
-        self.hw.charge_analog(false, inputs, outputs, g);
+        self.hw.charge_analog_tiled(
+            false,
+            inputs,
+            outputs,
+            g,
+            TileTraffic {
+                live_tiles: self.live_tiles,
+                grid_tiles: self.grid_tiles,
+                lines_per_tile: ANALOG_TILE_SIDE,
+            },
+        );
         self.mvms += 1;
     }
 
@@ -193,6 +220,37 @@ impl<'hw> AnalogSplitOperator<'hw> {
         }
         (ax, aty)
     }
+
+    /// Folds the compensation plane into a forward product: drives `A″`
+    /// with `p = −xq[comp_cols]` and accumulates into `y`. The rail
+    /// vector and the plane's read-back live in one thread-local pack
+    /// buffer, so the per-MVM compensation costs no allocation.
+    fn add_compensation_forward(&self, xq: &[f64], y: &mut [f64]) {
+        let k = self.comp_cols.len();
+        let m = self.neg.rows();
+        kernels::with_pack_buffer(k + m, |buf| {
+            let (p, extra) = buf.split_at_mut(k);
+            for (pi, &j) in p.iter_mut().zip(&self.comp_cols) {
+                *pi = -xq[j];
+            }
+            self.neg.matvec_into(p, extra);
+            for (yi, e) in y.iter_mut().zip(extra.iter()) {
+                *yi += e;
+            }
+        });
+    }
+
+    /// Transposed counterpart: subtracts `A″ᵀ·yq` from the source columns
+    /// of `x`, through the same thread-local scratch.
+    fn sub_compensation_transposed(&self, yq: &[f64], x: &mut [f64]) {
+        let k = self.comp_cols.len();
+        kernels::with_pack_buffer(k, |extra| {
+            self.neg.matvec_transposed_into(yq, extra);
+            for (r, &j) in self.comp_cols.iter().enumerate() {
+                x[j] -= extra[r];
+            }
+        });
+    }
 }
 
 /// Power-iteration rounds for the realized-norm estimate; `AᵀA` squares
@@ -223,11 +281,7 @@ impl PdhgOperator for AnalogSplitOperator<'_> {
         let xq = self.hw.dac(x);
         let mut y = self.pos.matvec(&xq);
         if !self.comp_cols.is_empty() {
-            let p: Vec<f64> = self.comp_cols.iter().map(|&j| -xq[j]).collect();
-            let extra = self.neg.matvec(&p);
-            for (yi, e) in y.iter_mut().zip(&extra) {
-                *yi += e;
-            }
+            self.add_compensation_forward(&xq, &mut y);
         }
         self.charge(self.cols(), self.rows());
         self.hw.adc(&y)
@@ -242,10 +296,7 @@ impl PdhgOperator for AnalogSplitOperator<'_> {
         let yq = self.hw.dac(y);
         let mut x = self.pos.matvec_transposed(&yq);
         if !self.comp_cols.is_empty() {
-            let extra = self.neg.matvec_transposed(&yq);
-            for (r, &j) in self.comp_cols.iter().enumerate() {
-                x[j] -= extra[r];
-            }
+            self.sub_compensation_transposed(&yq, &mut x);
         }
         self.charge(self.rows(), self.cols());
         self.hw.adc(&x)
@@ -340,11 +391,34 @@ impl CrossbarPdhgSolver {
         reuse_salt: Option<u64>,
     ) -> CrossbarSolution {
         let mut report = RecoveryReport::new(self.options.recovery);
-        // Digital preprocessing on the *true* A gives the floor; each
-        // attempt then refines it through the programmed arrays (see
+        // Row equilibration (when enabled) happens *before* the arrays
+        // are programmed: the crossbar maps every coefficient onto one
+        // shared conductance range, so balancing row maxima is worth
+        // conductance resolution on hardware, not just iteration count.
+        // Duals are unscaled (and residuals rescored against the original
+        // problem) on the way out; equilibration failure falls back to
+        // the unscaled problem.
+        let (wlp, eq): (LpProblem, Option<Equilibration>) = if self.options.pdhg.equilibrate {
+            match memlp_lp::equilibrate(lp) {
+                Ok((scaled, eq)) => (scaled, Some(eq)),
+                Err(_) => (lp.clone(), None),
+            }
+        } else {
+            (lp.clone(), None)
+        };
+        // Warm duals ride into the scaled space (`y_scaled = y·s`).
+        let warm_scaled: Option<(Vec<f64>, Vec<f64>)> = warm.map(|(x0, y0)| {
+            let ys = match &eq {
+                Some(e) => pdhg::scale_duals(y0, &e.row_scales),
+                None => y0.to_vec(),
+            };
+            (x0.to_vec(), ys)
+        });
+        // Digital preprocessing on the (scaled) true A gives the floor;
+        // each attempt then refines it through the programmed arrays (see
         // `realized_norm`), because the variation-skewed operator the
         // loop drives can have a larger norm than the ideal matrix.
-        let a = lp.sparse_a();
+        let a = wlp.sparse_a();
         let est = norm_est::spectral_norm(a);
         let sigma_floor = est.safe_sigma(norm_est::upper_bound(a));
         let mut last = None;
@@ -353,11 +427,17 @@ impl CrossbarPdhgSolver {
                 Some(salt) if attempt == 0 => hw.begin_reuse(salt),
                 _ => hw.begin_attempt(attempt as u64),
             }
-            let init = if attempt == 0 { warm } else { None };
-            let mut op = AnalogSplitOperator::program(lp, hw);
+            let init = if attempt == 0 {
+                warm_scaled
+                    .as_ref()
+                    .map(|(x0, y0)| (x0.as_slice(), y0.as_slice()))
+            } else {
+                None
+            };
+            let mut op = AnalogSplitOperator::program(&wlp, hw);
             let sigma = op.realized_norm(sigma_floor);
             let mut outcome =
-                pdhg::solve_with_operator(lp, &mut op, sigma, &self.options.pdhg, budget, init);
+                pdhg::solve_with_operator(&wlp, &mut op, sigma, &self.options.pdhg, budget, init);
             // The loop terminates on residuals estimated through the
             // array readout, and readout noise puts a floor under the
             // measured dual residual — a run that exhausts its iterations
@@ -369,7 +449,7 @@ impl CrossbarPdhgSolver {
             if outcome.cause.is_none() && outcome.solution.status == LpStatus::IterationLimit {
                 let s = &mut outcome.solution;
                 let (ax, aty) = op.realized_products(&s.x, &s.y);
-                let (pr, dr, gap) = pdhg::kkt_with_products(lp, &s.x, &s.y, &ax, &aty);
+                let (pr, dr, gap) = pdhg::kkt_with_products(&wlp, &s.x, &s.y, &ax, &aty);
                 let o = &self.options.pdhg;
                 if pr <= o.eps_primal && dr <= o.eps_dual && gap <= o.eps_gap {
                     s.status = LpStatus::Optimal;
@@ -379,6 +459,14 @@ impl CrossbarPdhgSolver {
                 }
             }
             drop(op);
+            // Back to the caller's space: unscale duals and rescore the
+            // residual fields against the original problem (the digital
+            // recomputation `solve_with_operator` itself performs, just
+            // against `lp` instead of the scaled copy).
+            if let Some(e) = &eq {
+                outcome.solution.y = e.unscale_duals(&outcome.solution.y);
+                pdhg::rescore(lp, &mut outcome.solution);
+            }
             let trace = trace_from_stats(&outcome.stats);
             for e in hw.take_recovery_events() {
                 report.push(e);
@@ -573,6 +661,70 @@ mod tests {
             after_cold.skipped_writes,
             after_warm.skipped_writes
         );
+    }
+
+    #[test]
+    fn elision_is_bitwise_invisible_on_fault_free_domains() {
+        use memlp_linalg::Matrix;
+        // Block-sparse constraint matrix spanning a 2×2 tile grid at the
+        // analog tile side, with the (1, 1) block planned dead.
+        let m = 192;
+        let n = 200;
+        let a = Matrix::from_fn(m, n, |i, j| {
+            let live = i < 128 || j < 128;
+            if live {
+                0.05 + ((i * 13 + j * 7) % 41) as f64 * 0.02
+            } else {
+                0.0
+            }
+        });
+        let ones = vec![1.0; n];
+        let b: Vec<f64> = a.matvec(&ones).iter().map(|v| v * 1.2 + 1.0).collect();
+        let lp = memlp_lp::LpProblem::new(a, b, vec![1.0; n]).unwrap();
+        let run = |elide: bool| {
+            let cfg = CrossbarConfig::paper_default()
+                .with_variation(5.0)
+                .with_seed(9)
+                .with_tile_elision(elide);
+            let opts = CrossbarPdhgOptions {
+                pdhg: PdhgOptions {
+                    max_iterations: 600,
+                    ..CrossbarPdhgOptions::default().pdhg
+                },
+                retries: 0,
+                ..CrossbarPdhgOptions::default()
+            };
+            CrossbarPdhgSolver::new(cfg, opts).solve(&lp)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.solution.status, off.solution.status);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&on.solution.x), bits(&off.solution.x));
+        assert_eq!(bits(&on.solution.y), bits(&off.solution.y));
+        // Only the cost model sees the elision.
+        let (con, coff) = (on.ledger.counts(), off.ledger.counts());
+        assert!(con.tiles_elided > 0, "dead tile must be elided");
+        assert_eq!(coff.tiles_elided, 0);
+        assert!(
+            con.setup_writes < coff.setup_writes,
+            "the tile sweep charges every fabricated cell, so eliding dead \
+             tiles must shed setup writes: {} vs {}",
+            con.setup_writes,
+            coff.setup_writes
+        );
+        assert_eq!(
+            con.setup_writes + con.elided_writes,
+            coff.setup_writes + coff.elided_writes,
+            "charged + elided must reconstruct the full-grid sweep"
+        );
+        assert!(
+            con.noc_transfers < coff.noc_transfers,
+            "live-tile scheduling must shed fabric traffic: {} vs {}",
+            con.noc_transfers,
+            coff.noc_transfers
+        );
+        assert!(on.ledger.run_time_s() < off.ledger.run_time_s());
     }
 
     #[test]

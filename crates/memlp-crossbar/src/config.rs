@@ -72,6 +72,13 @@ pub struct CrossbarConfig {
     /// cache (DESIGN.md §12). Fault-free solves are bitwise identical with
     /// this on or off; only the write counts differ.
     pub delta_writes: bool,
+    /// Zero-tile elision: skip fabricating and programming tiles whose
+    /// planned block is entirely zero, and schedule only live tiles on the
+    /// NoC (DESIGN.md §18). An elided tile has no hardware — no fault
+    /// plan, no spares, no delta cache — and its MVM contribution is an
+    /// exact zero. Fault-free results are bitwise identical with this on
+    /// or off; only writes, energy and fabric traffic differ.
+    pub tile_elision: bool,
     /// MVM read-out calibration mode.
     pub readout: ReadoutMode,
     /// Sense conductance `g_s` at each bit line, S (Eqn 5).
@@ -103,6 +110,7 @@ impl CrossbarConfig {
             dac_bits: 8,
             write_bits: 12,
             delta_writes: true,
+            tile_elision: true,
             readout: ReadoutMode::Calibrated,
             sense_conductance: 10.0 * DeviceParams::default().g_on(),
             cost: CostParams::default(),
@@ -162,6 +170,14 @@ impl CrossbarConfig {
         }
     }
 
+    /// Returns a copy with zero-tile elision switched on or off.
+    pub fn with_tile_elision(self, tile_elision: bool) -> Self {
+        CrossbarConfig {
+            tile_elision,
+            ..self
+        }
+    }
+
     /// Returns a copy at circuit fidelity.
     pub fn circuit(self) -> Self {
         CrossbarConfig {
@@ -188,6 +204,7 @@ mod tests {
         assert_eq!(c.dac_bits, 8);
         assert_eq!(c.write_bits, 12);
         assert!(c.delta_writes, "write sparsity is the default");
+        assert!(c.tile_elision, "tile sparsity is the default");
         assert_eq!(c.fidelity, Fidelity::Functional);
         assert!(c.variation.is_none());
     }
@@ -202,6 +219,7 @@ mod tests {
             .with_spare_lines(4)
             .with_write_bits(10)
             .with_delta_writes(false)
+            .with_tile_elision(false)
             .circuit();
         assert_eq!(c.variation.max_fraction, 0.10);
         assert_eq!(c.seed, 42);
@@ -209,6 +227,7 @@ mod tests {
         assert_eq!(c.spare_lines, 4);
         assert_eq!(c.write_bits, 10);
         assert!(!c.delta_writes);
+        assert!(!c.tile_elision);
         assert_eq!(c.fidelity, Fidelity::Circuit);
     }
 

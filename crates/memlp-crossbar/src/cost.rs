@@ -55,6 +55,14 @@ pub struct OpCounts {
     pub dac_samples: u64,
     /// NoC transfers (filled in by the `memlp-noc` crate).
     pub noc_transfers: u64,
+    /// Tiles never fabricated because their planned block was entirely
+    /// zero (DESIGN.md §18). No hardware exists for them: no fault plan,
+    /// no spares, no programming pulses, no fabric traffic.
+    pub tiles_elided: u64,
+    /// Write pulses those elided tiles would have cost — the full-grid
+    /// fabrication total is `setup_writes + elided_writes` (plus the
+    /// delta-skip ledger on the run side).
+    pub elided_writes: u64,
 }
 
 impl Add for OpCounts {
@@ -74,6 +82,8 @@ impl Add for OpCounts {
             adc_samples: self.adc_samples + o.adc_samples,
             dac_samples: self.dac_samples + o.dac_samples,
             noc_transfers: self.noc_transfers + o.noc_transfers,
+            tiles_elided: self.tiles_elided + o.tiles_elided,
+            elided_writes: self.elided_writes + o.elided_writes,
         }
     }
 }
@@ -171,6 +181,15 @@ impl CostLedger {
         self.counts.rebuilds_avoided += 1;
     }
 
+    /// Records `tiles` elided (never-fabricated) all-zero tiles covering
+    /// `cells` coefficients. Hardware that was never built costs no time
+    /// and no energy; the counters exist so the block-sparsity win is
+    /// auditable next to the delta-write ledger.
+    pub fn note_elided_tiles(&mut self, tiles: u64, cells: u64) {
+        self.counts.tiles_elided += tiles;
+        self.counts.elided_writes += cells;
+    }
+
     /// Records one digital core factorization: its floating-point operation
     /// count and the factor fill (`|L|+|U|` entries). Digital bookkeeping —
     /// no analog time or energy — but the counters are what the sparse-path
@@ -238,7 +257,7 @@ impl fmt::Display for CostLedger {
         let c = self.counts;
         write!(
             f,
-            "setup {:.3} ms | run {:.3} ms | dynamic {:.3} mJ | writes {}+{} (skipped {}) | reuse {} | factor {}x/{}f/{}nz | mvm {} | solve {} | adc {} | dac {} | noc {}",
+            "setup {:.3} ms | run {:.3} ms | dynamic {:.3} mJ | writes {}+{} (skipped {}) | reuse {} | factor {}x/{}f/{}nz | mvm {} | solve {} | adc {} | dac {} | noc {} | elided {}t/{}w",
             self.setup_time_s * 1e3,
             self.run_time_s * 1e3,
             self.dynamic_energy_j * 1e3,
@@ -254,6 +273,8 @@ impl fmt::Display for CostLedger {
             c.adc_samples,
             c.dac_samples,
             c.noc_transfers,
+            c.tiles_elided,
+            c.elided_writes,
         )
     }
 }
@@ -349,6 +370,22 @@ mod tests {
         other.note_factorization(1, 1);
         l.merge(&other);
         assert_eq!(l.counts().factorizations, 3);
+    }
+
+    #[test]
+    fn elided_tiles_cost_nothing_but_accumulate() {
+        let mut l = CostLedger::new();
+        l.note_elided_tiles(3, 3 * 16384);
+        assert_eq!(l.counts().tiles_elided, 3);
+        assert_eq!(l.counts().elided_writes, 3 * 16384);
+        assert_eq!(l.run_time_s(), 0.0);
+        assert_eq!(l.setup_time_s(), 0.0);
+        assert_eq!(l.dynamic_energy_j(), 0.0);
+        let mut other = CostLedger::new();
+        other.note_elided_tiles(1, 9);
+        l.merge(&other);
+        assert_eq!(l.counts().tiles_elided, 4);
+        assert_eq!(l.counts().elided_writes, 3 * 16384 + 9);
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod config;
 mod cost;
 mod error;
 mod fault;
+mod occupancy;
 mod quantize;
 
 pub mod mapping;
@@ -73,4 +74,5 @@ pub use cost::{CostLedger, OpCounts, Phase};
 pub use error::CrossbarError;
 pub use fault::{CellFault, FaultKind, FaultModel, FaultPlan};
 pub use mapping::LineRemap;
+pub use occupancy::TileOccupancy;
 pub use quantize::{Quantizer, WriteQuantizer};

@@ -1,0 +1,274 @@
+//! Tile occupancy: which `tile_side × tile_side` blocks of a **planned**
+//! operand hold any nonzero coefficient.
+//!
+//! The index is the contract between the mapping layer and the NoC
+//! scheduler (DESIGN.md §18): an all-zero block needs no physical array —
+//! no fabrication, no programming pulses, no fault plan, no spare lines —
+//! and its MVM contribution is an exact zero that never rides the fabric.
+//! The index is always built from *planned* (target) coefficients, never
+//! from analog read-backs: occupancy gates scheduling and indexing, and
+//! letting a variation- or fault-corrupted readout decide which tiles
+//! exist would make hardware noise load-bearing (the taint::analog-exact
+//! regime memlp-lint enforces).
+//!
+//! Elided is not faulted: a dead tile has *no* hardware, so fault plans,
+//! transient upsets, spare-line remaps and delta-write code caches never
+//! target it. A refresh that makes a dead tile live performs a real first
+//! program (setup-phase pulses, fresh per-tile variation stream).
+
+use memlp_linalg::Matrix;
+
+/// Occupancy bitmap for one operand plane tiled at `tile_side`.
+///
+/// Sign-split planes (`A′`/`A″`) carry independent indices: a tile can be
+/// live in one plane and elided in the other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileOccupancy {
+    rows: usize,
+    cols: usize,
+    tile_side: usize,
+    row_blocks: usize,
+    col_blocks: usize,
+    live: Vec<bool>, // row-major [bi * col_blocks + bj]
+}
+
+impl TileOccupancy {
+    /// Scans `matrix` (planned coefficients) and records which tiles hold
+    /// at least one nonzero. A `tile_side` of zero is clamped to one.
+    pub fn from_matrix(matrix: &Matrix, tile_side: usize) -> Self {
+        let tile_side = tile_side.max(1);
+        let rows = matrix.rows();
+        let cols = matrix.cols();
+        let row_blocks = rows.div_ceil(tile_side);
+        let col_blocks = cols.div_ceil(tile_side);
+        let mut live = vec![false; row_blocks * col_blocks];
+        for i in 0..rows {
+            let base = (i / tile_side) * col_blocks;
+            let row = matrix.row(i);
+            for (j, v) in row.iter().enumerate() {
+                if *v != 0.0 {
+                    live[base + j / tile_side] = true;
+                }
+            }
+        }
+        TileOccupancy {
+            rows,
+            cols,
+            tile_side,
+            row_blocks,
+            col_blocks,
+            live,
+        }
+    }
+
+    /// Logical operand dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Tile side the operand was partitioned at.
+    pub fn tile_side(&self) -> usize {
+        self.tile_side
+    }
+
+    /// Number of tile rows.
+    pub fn row_blocks(&self) -> usize {
+        self.row_blocks
+    }
+
+    /// Number of tile columns.
+    pub fn col_blocks(&self) -> usize {
+        self.col_blocks
+    }
+
+    /// Total grid positions (fabric geometry, live or not). Hop distances
+    /// and buffer-noise gating depend on this, not on how many positions
+    /// are populated.
+    pub fn grid_tiles(&self) -> usize {
+        self.row_blocks * self.col_blocks
+    }
+
+    /// Number of live (fabricated) tiles.
+    pub fn live_tiles(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    /// Number of elided tiles.
+    pub fn dead_tiles(&self) -> usize {
+        self.grid_tiles() - self.live_tiles()
+    }
+
+    /// Whether tile `(bi, bj)` is live. Out-of-range positions are dead.
+    pub fn is_live(&self, bi: usize, bj: usize) -> bool {
+        bi < self.row_blocks && bj < self.col_blocks && self.live[bi * self.col_blocks + bj]
+    }
+
+    /// Marks tile `(bi, bj)` live (a refresh wrote a nonzero into it).
+    /// Out-of-range positions are ignored.
+    pub fn mark_live(&mut self, bi: usize, bj: usize) {
+        if bi < self.row_blocks && bj < self.col_blocks {
+            self.live[bi * self.col_blocks + bj] = true;
+        }
+    }
+
+    /// Logical dimensions `(nr, nc)` of tile `(bi, bj)` (edge tiles are
+    /// clipped to the operand).
+    pub fn tile_dims(&self, bi: usize, bj: usize) -> (usize, usize) {
+        let nr = self
+            .tile_side
+            .min(self.rows.saturating_sub(bi * self.tile_side));
+        let nc = self
+            .tile_side
+            .min(self.cols.saturating_sub(bj * self.tile_side));
+        (nr, nc)
+    }
+
+    /// Cells covered by live tiles (respecting edge clipping).
+    pub fn live_cells(&self) -> u64 {
+        self.iter_live()
+            .map(|(bi, bj)| {
+                let (nr, nc) = self.tile_dims(bi, bj);
+                (nr * nc) as u64
+            })
+            .sum()
+    }
+
+    /// Cells covered by elided tiles — the writes the fabric never spends.
+    pub fn dead_cells(&self) -> u64 {
+        let total = (self.rows * self.cols) as u64;
+        total - self.live_cells()
+    }
+
+    /// Iterates live tile coordinates in fixed `(bi, bj)` row-major order —
+    /// the same serial order the NoC accumulation replays, so elided
+    /// scheduling stays bitwise thread-invariant.
+    pub fn iter_live(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cb = self.col_blocks;
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(move |(idx, _)| (idx / cb, idx % cb))
+    }
+
+    /// FNV-1a fingerprint of the occupancy *shape* (dims, tile side, and
+    /// the live bitmap). Two operands share a fingerprint exactly when an
+    /// array fabricated for one has hardware wherever the other needs it —
+    /// the key the serve-layer warm pools reuse elided layouts under.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(self.rows as u64);
+        eat(self.cols as u64);
+        eat(self.tile_side as u64);
+        // Pack the bitmap 64 tiles per word.
+        let mut word = 0u64;
+        for (idx, l) in self.live.iter().enumerate() {
+            if *l {
+                word |= 1 << (idx % 64);
+            }
+            if idx % 64 == 63 {
+                eat(word);
+                word = 0;
+            }
+        }
+        if !self.live.is_empty() && !self.live.len().is_multiple_of(64) {
+            eat(word);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_sparse() -> Matrix {
+        // 6×6 at tile side 3: only the (0,0) and (1,1) blocks are live.
+        Matrix::from_fn(6, 6, |i, j| {
+            if (i < 3 && j < 3) || (i >= 3 && j >= 3) {
+                1.0 + (i + j) as f64
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn scans_live_and_dead_tiles() {
+        let occ = TileOccupancy::from_matrix(&block_sparse(), 3);
+        assert_eq!(occ.grid_tiles(), 4);
+        assert_eq!(occ.live_tiles(), 2);
+        assert_eq!(occ.dead_tiles(), 2);
+        assert!(occ.is_live(0, 0));
+        assert!(!occ.is_live(0, 1));
+        assert!(!occ.is_live(1, 0));
+        assert!(occ.is_live(1, 1));
+        assert_eq!(occ.live_cells(), 18);
+        assert_eq!(occ.dead_cells(), 18);
+    }
+
+    #[test]
+    fn edge_tiles_are_clipped() {
+        let a = Matrix::from_fn(5, 7, |_, _| 1.0);
+        let occ = TileOccupancy::from_matrix(&a, 3);
+        assert_eq!((occ.row_blocks(), occ.col_blocks()), (2, 3));
+        assert_eq!(occ.tile_dims(1, 2), (2, 1));
+        assert_eq!(occ.live_cells(), 35);
+        assert_eq!(occ.dead_cells(), 0);
+    }
+
+    #[test]
+    fn iter_live_is_row_major() {
+        let occ = TileOccupancy::from_matrix(&block_sparse(), 3);
+        let order: Vec<_> = occ.iter_live().collect();
+        assert_eq!(order, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn mark_live_updates_the_index() {
+        let mut occ = TileOccupancy::from_matrix(&block_sparse(), 3);
+        assert!(!occ.is_live(0, 1));
+        occ.mark_live(0, 1);
+        assert!(occ.is_live(0, 1));
+        assert_eq!(occ.live_tiles(), 3);
+        occ.mark_live(9, 9); // out of range: ignored
+        assert_eq!(occ.live_tiles(), 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_shape_not_values() {
+        let a = block_sparse();
+        let b = a.map(|v| v * 3.5); // same nonzero pattern
+        let occ_a = TileOccupancy::from_matrix(&a, 3);
+        let occ_b = TileOccupancy::from_matrix(&b, 3);
+        assert_eq!(occ_a.fingerprint(), occ_b.fingerprint());
+
+        let dense = Matrix::from_fn(6, 6, |_, _| 1.0);
+        let occ_d = TileOccupancy::from_matrix(&dense, 3);
+        assert_ne!(occ_a.fingerprint(), occ_d.fingerprint());
+
+        // Different tile side → different layout even for the same matrix.
+        let occ_a2 = TileOccupancy::from_matrix(&a, 2);
+        assert_ne!(occ_a.fingerprint(), occ_a2.fingerprint());
+    }
+
+    #[test]
+    fn zero_tile_side_is_clamped() {
+        let occ = TileOccupancy::from_matrix(&block_sparse(), 0);
+        assert_eq!(occ.tile_side(), 1);
+        assert_eq!(occ.grid_tiles(), 36);
+    }
+
+    #[test]
+    fn out_of_range_is_dead() {
+        let occ = TileOccupancy::from_matrix(&block_sparse(), 3);
+        assert!(!occ.is_live(2, 0));
+        assert!(!occ.is_live(0, 2));
+    }
+}

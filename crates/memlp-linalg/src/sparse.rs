@@ -170,6 +170,20 @@ impl SparseMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// In-place [`matvec`](SparseMatrix::matvec): writes `A·x` into `y`
+    /// without allocating. Results are bitwise identical to the allocating
+    /// variant — iterative solvers hoist their product buffers through
+    /// this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(
             x.len(),
             self.cols,
@@ -177,14 +191,19 @@ impl SparseMatrix {
             x.len(),
             self.cols
         );
-        let mut y = vec![0.0; self.rows];
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "matvec: output length {} != rows {}",
+            y.len(),
+            self.rows
+        );
         // Blocked over each row's nonzero span: the fixed 4-lane tree of
         // `kernels::spmv_row` (gathered loads, four independent chains).
         for (i, yi) in y.iter_mut().enumerate() {
             let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
             *yi = crate::kernels::spmv_row(&self.values[lo..hi], &self.col_idx[lo..hi], x);
         }
-        y
     }
 
     /// Sparse transposed product `Aᵀ·x`.
@@ -193,6 +212,19 @@ impl SparseMatrix {
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.cols];
+        self.matvec_transposed_into(x, &mut y);
+        y
+    }
+
+    /// In-place [`matvec_transposed`](SparseMatrix::matvec_transposed):
+    /// writes `Aᵀ·x` into `y` without allocating, bitwise identical to the
+    /// allocating variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()` or `y.len() != self.cols()`.
+    pub fn matvec_transposed_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(
             x.len(),
             self.rows,
@@ -200,7 +232,14 @@ impl SparseMatrix {
             x.len(),
             self.rows
         );
-        let mut y = vec![0.0; self.cols];
+        assert_eq!(
+            y.len(),
+            self.cols,
+            "matvec_transposed: output length {} != cols {}",
+            y.len(),
+            self.cols
+        );
+        y.fill(0.0);
         for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
@@ -209,7 +248,6 @@ impl SparseMatrix {
                 y[self.col_idx[k]] += self.values[k] * xi;
             }
         }
-        y
     }
 
     /// Iterates `(row, col, value)` over stored entries in row order.

@@ -28,6 +28,11 @@ const PDHG_FILES: &[(&str, &str)] = &[
     ("converge.rs", "crates/memlp-solvers/src/pdhg_check.rs"),
 ];
 
+const TILE_FILES: &[(&str, &str)] = &[
+    ("readback.rs", "crates/memlp-noc/src/tile_readback.rs"),
+    ("scan.rs", "crates/memlp-crossbar/src/tile_scan.rs"),
+];
+
 fn load(set: &str, files: &[(&str, &str)]) -> Report {
     let sources = files
         .iter()
@@ -327,6 +332,88 @@ fn pdhg_tolerance_band_checks_lint_clean() {
     assert_eq!(triples(&r), vec![]);
 }
 
+/// The elision discipline (DESIGN.md §18): a tile-occupancy index must be
+/// built from *planned* coefficients, never analog read-backs — a
+/// liveness verdict riding converter noise makes fabrication decisions
+/// depend on entropy. Deciding liveness by strict-comparing a read-back
+/// (or indexing the occupancy bitmap with one) fires the taint rule with
+/// provenance walked back to the annotated source in the fabric crate —
+/// and it fires in `memlp-crossbar`, *outside* the per-file float-rule
+/// scope: taint provenance, not crate lists, is what guards the index.
+#[test]
+fn occupancy_built_from_analog_readbacks_is_flagged() {
+    let r = load("tile_bad", TILE_FILES);
+    assert_eq!(
+        triples(&r),
+        vec![
+            (
+                "crates/memlp-crossbar/src/tile_scan.rs",
+                8,
+                "taint::analog-exact"
+            ),
+            (
+                "crates/memlp-crossbar/src/tile_scan.rs",
+                14,
+                "taint::analog-exact"
+            ),
+        ]
+    );
+    let taints: Vec<&Finding> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "taint::analog-exact")
+        .collect();
+    check_witness(
+        taints[0],
+        &[
+            (
+                "crates/memlp-crossbar/src/tile_scan.rs",
+                8,
+                "strict compare on analog-tainted `g`",
+            ),
+            (
+                "crates/memlp-crossbar/src/tile_scan.rs",
+                7,
+                "`g` bound from",
+            ),
+            (
+                "crates/memlp-noc/src/tile_readback.rs",
+                12,
+                "is an annotated analog source",
+            ),
+        ],
+    );
+    check_witness(
+        taints[1],
+        &[
+            (
+                "crates/memlp-crossbar/src/tile_scan.rs",
+                14,
+                "unclamped index on analog-tainted `g`",
+            ),
+            (
+                "crates/memlp-crossbar/src/tile_scan.rs",
+                13,
+                "`g` bound from",
+            ),
+            (
+                "crates/memlp-noc/src/tile_readback.rs",
+                12,
+                "is an annotated analog source",
+            ),
+        ],
+    );
+}
+
+/// The real occupancy idiom — liveness from planned coefficients (exact
+/// zero tests on digital values), read-backs band-checked, indices
+/// clamped — lints clean over the same call shape.
+#[test]
+fn occupancy_built_from_planned_values_lints_clean() {
+    let r = load("tile_good", TILE_FILES);
+    assert_eq!(triples(&r), vec![]);
+}
+
 /// Acceptance criterion: every cross-file finding carries a non-empty
 /// witness chain whose last step lands on the reported seed line.
 #[test]
@@ -336,6 +423,7 @@ fn every_cross_file_finding_has_a_witness_ending_at_the_seed() {
         ("entropy_bad", ENTROPY_FILES),
         ("taint_bad", TAINT_FILES),
         ("pdhg_bad", PDHG_FILES),
+        ("tile_bad", TILE_FILES),
     ] {
         let r = load(set, files);
         for f in r.findings.iter().filter(|f| f.rule.starts_with("reach::")) {

@@ -1,0 +1,15 @@
+//! Per-tile conductance read-back over the fabric ADC path.
+
+/// One fabricated tile's sense port.
+pub struct TileReadback {
+    /// Read gain of the tile's sense amplifier.
+    pub gain: f64,
+}
+
+impl TileReadback {
+    /// Reads one cell's conductance back through the ADC.
+    /// memlp-lint: analog_source
+    pub fn read_cell(&self, j: f64) -> f64 {
+        self.gain * j
+    }
+}

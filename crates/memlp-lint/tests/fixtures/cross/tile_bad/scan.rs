@@ -1,0 +1,15 @@
+//! Occupancy scan for zero-tile elision.
+use memlp_noc::tile_readback::TileReadback;
+
+/// Wrong: tile liveness decided from an analog read-back — the strict
+/// compare against the sub-LSB floor is load-bearing converter noise.
+pub fn tile_is_live(rb: &TileReadback, j: f64) -> bool {
+    let g = rb.read_cell(j);
+    g != 1e-9
+}
+
+/// Wrong: a raw occupancy-bitmap index derived from an analog readout.
+pub fn live_word(rb: &TileReadback, j: f64, bitmap: &[u32]) -> u32 {
+    let g = rb.read_cell(j);
+    bitmap[g as usize]
+}

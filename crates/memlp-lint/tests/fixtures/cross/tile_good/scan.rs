@@ -1,0 +1,17 @@
+//! Occupancy scan for zero-tile elision.
+use memlp_noc::tile_readback::TileReadback;
+
+/// Right: liveness comes from the *planned* coefficient (exact zero
+/// tests on digital values are well-defined); the read-back is only ever
+/// judged inside the calibrated band.
+pub fn tile_is_live(rb: &TileReadback, planned: f64, j: f64, band: f64) -> bool {
+    let g = rb.read_cell(j);
+    planned != 0.0 && (g - planned).abs() <= band
+}
+
+/// Right: the bitmap word index is clamped into the table before use.
+pub fn live_word(rb: &TileReadback, j: f64, bitmap: &[u32]) -> u32 {
+    let g = rb.read_cell(j);
+    let idx = (g * 16.0) as usize;
+    bitmap[idx.min(bitmap.len() - 1)]
+}

@@ -1,4 +1,4 @@
-use memlp_crossbar::{CostLedger, Crossbar, CrossbarConfig, CrossbarError};
+use memlp_crossbar::{CostLedger, Crossbar, CrossbarConfig, CrossbarError, TileOccupancy};
 use memlp_linalg::parallel::{self, Threads};
 use memlp_linalg::{LuFactors, Matrix};
 use rand::rngs::StdRng;
@@ -10,25 +10,36 @@ use crate::config::NocConfig;
 /// analog NoC.
 ///
 /// Programming splits the matrix into `tile_side × tile_side` blocks, one
-/// per physical crossbar. Operations:
+/// per physical crossbar. With `config.tile_elision` on (the default),
+/// blocks that are entirely zero are **elided**: no tile is fabricated, no
+/// pulses are spent, and the NoC never schedules the position — the
+/// [`TileOccupancy`] index records which grid positions carry hardware.
+/// Operations:
 ///
-/// * **MVM** — each tile multiplies its block by its input segment; row
-///   partial sums flow through the NoC (analog buffers) to accumulating
-///   arbiters. One NoC transfer per tile is charged, and buffer noise is
-///   added per partial sum.
+/// * **MVM** — each live tile multiplies its block by its input segment;
+///   row partial sums flow through the NoC (analog buffers) to
+///   accumulating arbiters. One NoC transfer per live tile is charged, and
+///   buffer noise is added per nonzero partial sum (a zero-signal partial
+///   induces no offset, so elided positions and zero-input live tiles are
+///   indistinguishable to the noise stream — elision stays bitwise exact).
 /// * **Solve** — bit-line drive voltages are distributed to the tiles and
 ///   the composite resistive network settles jointly; the settled state is
-///   the solution of the *assembled* realized system (tile realizations
-///   stitched together), read back through the NoC with buffer noise.
+///   the solution of the *assembled* realized system (live tile
+///   realizations stitched together, elided blocks exactly zero), read
+///   back through the NoC with buffer noise.
 ///
 /// All per-tile ledgers plus NoC transfer costs merge into one
-/// [`CostLedger`].
+/// [`CostLedger`]; elided positions appear in its `tiles_elided` /
+/// `elided_writes` counters and nowhere else.
 #[derive(Debug, Clone)]
 pub struct TiledCrossbar {
-    tiles: Vec<Vec<Crossbar>>, // [row_block][col_block]
+    tiles: Vec<Vec<Option<Crossbar>>>, // [row_block][col_block], None = elided
+    occupancy: TileOccupancy,
     rows: usize,
     cols: usize,
     tile_side: usize,
+    a_max: f64,
+    config: CrossbarConfig,
     noc: NocConfig,
     noise_rng: StdRng,
     noc_ledger: CostLedger,
@@ -36,8 +47,11 @@ pub struct TiledCrossbar {
 
 impl TiledCrossbar {
     /// Partitions `matrix` into tiles of side `tile_side` and programs each
-    /// tile (setup phase). Tile `(i, j)` receives a distinct RNG seed so
-    /// variation draws are independent across tiles.
+    /// live tile (setup phase), skipping all-zero blocks when
+    /// `config.tile_elision` is set. Tile `(i, j)` receives a distinct RNG
+    /// seed so variation draws are independent across tiles — and
+    /// independent of which *other* tiles exist, so elision never shifts a
+    /// live tile's stream.
     ///
     /// # Errors
     ///
@@ -61,6 +75,11 @@ impl TiledCrossbar {
         // One shared full-scale value so every tile maps coefficients onto
         // the same conductance scale (required for analog accumulation).
         let a_max = matrix.max_abs().max(f64::MIN_POSITIVE);
+        // Occupancy is decided by the *planned* coefficients — never by
+        // realized read-backs — so hardware noise can't gate scheduling.
+        let mut occupancy = TileOccupancy::from_matrix(matrix, tile_side);
+        let elide = config.tile_elision;
+        let mut noc_ledger = CostLedger::new();
 
         let mut tiles = Vec::with_capacity(row_blocks);
         for bi in 0..row_blocks {
@@ -70,29 +89,62 @@ impl TiledCrossbar {
                 let c0 = bj * tile_side;
                 let nr = tile_side.min(matrix.rows() - r0);
                 let nc = tile_side.min(matrix.cols() - c0);
+                if elide && !occupancy.is_live(bi, bj) {
+                    // No hardware: no fabrication, no fault plan, no pulses.
+                    noc_ledger.note_elided_tiles(1, (nr * nc) as u64);
+                    row.push(None);
+                    continue;
+                }
                 let block = matrix.block(r0, c0, nr, nc);
                 let tile_cfg =
                     config.with_seed(config.seed ^ ((bi as u64) << 32) ^ (bj as u64) ^ 0x7173);
                 let mut xb = Crossbar::new(tile_side, tile_cfg)?;
                 xb.program_with_scale(&block, a_max)?;
-                row.push(xb);
+                row.push(Some(xb));
             }
             tiles.push(row);
         }
+        if !elide {
+            // Every position carries hardware; the index reflects that.
+            for bi in 0..row_blocks {
+                for bj in 0..col_blocks {
+                    occupancy.mark_live(bi, bj);
+                }
+            }
+        }
         Ok(TiledCrossbar {
             tiles,
+            occupancy,
             rows: matrix.rows(),
             cols: matrix.cols(),
             tile_side,
+            a_max,
+            config,
             noise_rng: StdRng::seed_from_u64(noc.seed),
             noc,
-            noc_ledger: CostLedger::new(),
+            noc_ledger,
         })
     }
 
-    /// Number of physical tiles.
+    /// Number of physical (fabricated) tiles. With elision off this equals
+    /// [`TiledCrossbar::grid_tile_count`].
     pub fn tile_count(&self) -> usize {
-        self.tiles.iter().map(|r| r.len()).sum()
+        self.tiles
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|t| t.is_some())
+            .count()
+    }
+
+    /// Total grid positions (`row_blocks × col_blocks`) — the fabric
+    /// geometry hop distances are computed over, live or not.
+    pub fn grid_tile_count(&self) -> usize {
+        self.occupancy.grid_tiles()
+    }
+
+    /// The tile occupancy index: which grid positions carry hardware.
+    pub fn occupancy(&self) -> &TileOccupancy {
+        &self.occupancy
     }
 
     /// Logical matrix dimensions `(rows, cols)`.
@@ -100,38 +152,108 @@ impl TiledCrossbar {
         (self.rows, self.cols)
     }
 
-    /// The assembled **realized** logical matrix: every tile's realized
-    /// block (post write-quantization, variation, and stuck faults)
-    /// stitched back together at its `(row, col)` offset. This is the
-    /// exact matrix the analog fabric multiplies by — digital reference
-    /// computations (solve cores, property tests) compare against it.
+    /// The assembled **realized** logical matrix: every live tile's
+    /// realized block (post write-quantization, variation, and stuck
+    /// faults) stitched back together at its `(row, col)` offset; elided
+    /// positions contribute exact zeros. This is the exact matrix the
+    /// analog fabric multiplies by — digital reference computations (solve
+    /// cores, property tests) compare against it.
     ///
     /// # Errors
     ///
-    /// [`CrossbarError::NotProgrammed`] if any tile was never programmed.
+    /// [`CrossbarError::NotProgrammed`] if any live tile lost its state.
     pub fn assembled_realized(&self) -> Result<Matrix, CrossbarError> {
         let mut assembled = Matrix::zeros(self.rows, self.cols);
         for (bi, tile_row) in self.tiles.iter().enumerate() {
             for (bj, tile) in tile_row.iter().enumerate() {
-                let block = tile.realized()?;
-                assembled.set_block(bi * self.tile_side, bj * self.tile_side, block);
+                if let Some(tile) = tile {
+                    let block = tile.realized()?;
+                    assembled.set_block(bi * self.tile_side, bj * self.tile_side, block);
+                }
             }
         }
         Ok(assembled)
     }
 
-    /// Merged cost ledger: every tile plus the NoC fabric.
+    /// Merged cost ledger: every live tile plus the NoC fabric (which
+    /// carries the elision counters).
     pub fn ledger(&self) -> CostLedger {
         let mut total = self.noc_ledger;
         for row in &self.tiles {
-            for t in row {
+            for t in row.iter().flatten() {
                 total.merge(t.ledger());
             }
         }
         total
     }
 
-    /// Analog tiled MVM `y = A·x`.
+    /// Re-programs the fabric with a same-shape `matrix` (run phase): live
+    /// tiles delta-program their block (unchanged conductance codes skip
+    /// pulses), a previously-elided position whose block became nonzero is
+    /// fabricated and receives a **real first program** — setup-phase
+    /// pulses on its own per-position variation stream — and positions
+    /// that stay all-zero stay elided (another round of avoided pulses,
+    /// recorded in `elided_writes`). The programming-time full-scale value
+    /// is retained, as in [`Crossbar::program_delta`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossbarError::ShapeMismatch`] on a shape change,
+    /// * any tile-level programming error.
+    pub fn refresh(&mut self, matrix: &Matrix) -> Result<(), CrossbarError> {
+        if matrix.rows() != self.rows || matrix.cols() != self.cols {
+            return Err(CrossbarError::ShapeMismatch {
+                expected: format!("{}x{} refresh operand", self.rows, self.cols),
+                found: format!("{}x{}", matrix.rows(), matrix.cols()),
+            });
+        }
+        let incoming = TileOccupancy::from_matrix(matrix, self.tile_side);
+        for bi in 0..self.tiles.len() {
+            for bj in 0..self.tiles[bi].len() {
+                let r0 = bi * self.tile_side;
+                let c0 = bj * self.tile_side;
+                let nr = self.tile_side.min(self.rows - r0);
+                let nc = self.tile_side.min(self.cols - c0);
+                if let Some(xb) = self.tiles[bi][bj].as_mut() {
+                    // Hardware exists: delta refresh (even if the block is
+                    // now all-zero — fabricated cells must be erased).
+                    xb.program_delta(&matrix.block(r0, c0, nr, nc))?;
+                } else if incoming.is_live(bi, bj) {
+                    // Revival: the position gains hardware now, on the same
+                    // (bi, bj)-salted seed it would have used at setup.
+                    let tile_cfg = self
+                        .config
+                        .with_seed(self.config.seed ^ ((bi as u64) << 32) ^ (bj as u64) ^ 0x7173);
+                    let mut xb = Crossbar::new(self.tile_side, tile_cfg)?;
+                    xb.program_with_scale(&matrix.block(r0, c0, nr, nc), self.a_max)?;
+                    self.tiles[bi][bj] = Some(xb);
+                    self.occupancy.mark_live(bi, bj);
+                } else {
+                    self.noc_ledger.note_elided_tiles(1, (nr * nc) as u64);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sweeps every live tile's spare-line remap
+    /// ([`Crossbar::remap_dead_lines`]); elided positions have no hardware
+    /// and are never touched. Returns the summed
+    /// `(rows_remapped, cols_remapped, unresolved)` over the fabric.
+    pub fn remap_dead_lines(&mut self) -> (usize, usize, usize) {
+        let mut rows = 0;
+        let mut cols = 0;
+        let mut unresolved = 0;
+        for tile in self.tiles.iter_mut().flat_map(|r| r.iter_mut()).flatten() {
+            let (r, c, u) = tile.remap_dead_lines();
+            rows += r;
+            cols += c;
+            unresolved += u;
+        }
+        (rows, cols, unresolved)
+    }
+
+    /// Analog tiled MVM `y = A·x`, scheduling live tiles only.
     ///
     /// # Errors
     ///
@@ -144,54 +266,71 @@ impl TiledCrossbar {
                 found: format!("length {}", x.len()),
             });
         }
-        let tile_count = self.tile_count();
+        let grid = self.occupancy.grid_tiles();
+        let live_cells = self.occupancy.live_cells();
         let mut y = vec![0.0; self.rows];
         let tile_side = self.tile_side;
         let cols = self.cols;
-        let col_blocks = self.tiles.first().map_or(0, |r| r.len());
+        let col_blocks = self.occupancy.col_blocks();
 
-        // Phase 1: every tile computes its partial product concurrently.
-        // Each tile owns a private RNG stream (seeded per (bi, bj) at
-        // programming time), so its variation/noise draws are independent
-        // of worker scheduling and the partials are bit-for-bit
-        // reproducible at any thread count.
-        let threads = Threads::resolve().for_flops(2 * self.rows * self.cols);
-        let mut refs: Vec<&mut Crossbar> =
-            self.tiles.iter_mut().flat_map(|r| r.iter_mut()).collect();
-        let partials = parallel::par_map_mut(threads, &mut refs, |idx, tile| {
-            let c0 = (idx % col_blocks) * tile_side;
+        // Phase 1: every live tile computes its partial product
+        // concurrently. Each tile owns a private RNG stream (seeded per
+        // (bi, bj) at programming time), so its variation/noise draws are
+        // independent of worker scheduling — and of which other tiles
+        // exist — and the partials are bit-for-bit reproducible at any
+        // thread count, elided or not.
+        let threads = Threads::resolve().for_flops(2 * live_cells as usize);
+        let mut refs: Vec<(usize, &mut Crossbar)> = self
+            .tiles
+            .iter_mut()
+            .flat_map(|r| r.iter_mut())
+            .enumerate()
+            .filter_map(|(idx, slot)| slot.as_mut().map(|t| (idx, t)))
+            .collect();
+        let partials = parallel::par_map_mut(threads, &mut refs, |_, (idx, tile)| {
+            let c0 = (*idx % col_blocks) * tile_side;
             let seg = &x[c0..(c0 + tile_side).min(cols)];
             tile.mvm(seg)
         });
+        let idxs: Vec<usize> = refs.iter().map(|(idx, _)| *idx).collect();
 
         // Phase 2: partial sums ride the NoC to the accumulating arbiters
-        // in fixed (bi, bj) order — the shared buffer-noise RNG and the
-        // fabric ledger see exactly the serial event sequence.
-        for (idx, partial) in partials.into_iter().enumerate() {
+        // in fixed (bi, bj) order over the live set — the shared
+        // buffer-noise RNG and the fabric ledger see exactly the serial
+        // event sequence. Elided positions contribute exact zeros and no
+        // events; a zero-signal partial draws no offset noise, so the
+        // noise stream is identical whether an all-zero block is elided or
+        // physically driven.
+        let noisy_fabric = self.noc.buffer_noise > 0.0 && grid > 1;
+        for (idx, partial) in idxs.into_iter().zip(partials) {
             let partial = partial?;
             let r0 = (idx / col_blocks) * tile_side;
             // Each line picks up bounded buffer offset noise.
             let scale = partial.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-            for (k, p) in partial.iter().enumerate() {
-                let noise = if self.noc.buffer_noise > 0.0 && tile_count > 1 {
-                    self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale
-                } else {
-                    0.0
-                };
-                y[r0 + k] += p + noise;
+            if noisy_fabric && scale > 0.0 {
+                for (k, p) in partial.iter().enumerate() {
+                    let noise =
+                        self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale;
+                    y[r0 + k] += p + noise;
+                }
+            } else {
+                for (k, p) in partial.iter().enumerate() {
+                    y[r0 + k] += p;
+                }
             }
-            let (t, e) = self.noc.transfer_cost(tile_count, partial.len());
+            let (t, e) = self.noc.transfer_cost(grid, partial.len());
             self.noc_ledger.charge_noc_transfer(t, e, 1);
         }
         Ok(y)
     }
 
-    /// Analog tiled transposed MVM `x = Aᵀ·y`: every tile drives its
+    /// Analog tiled transposed MVM `x = Aᵀ·y`: every live tile drives its
     /// **word lines** with its row segment of `y` and senses the bit
     /// lines ([`Crossbar::mvm_transposed`]), so the transpose costs no
     /// second array program — tile `(bi, bj)` contributes `Aᵢⱼᵀ·y_bi`
     /// into the output segment at its *column* offset, and the partials
-    /// ride the same NoC fan-in as the forward product.
+    /// ride the same NoC fan-in as the forward product. The tile-transpose
+    /// reduction iterates live tiles only.
     ///
     /// # Errors
     ///
@@ -204,47 +343,59 @@ impl TiledCrossbar {
                 found: format!("length {}", y.len()),
             });
         }
-        let tile_count = self.tile_count();
+        let grid = self.occupancy.grid_tiles();
+        let live_cells = self.occupancy.live_cells();
         let mut x = vec![0.0; self.cols];
         let tile_side = self.tile_side;
         let rows = self.rows;
-        let col_blocks = self.tiles.first().map_or(0, |r| r.len());
+        let col_blocks = self.occupancy.col_blocks();
 
-        // Phase 1: concurrent per-tile transposed partials (private RNG
-        // stream per tile, as in `mvm`).
-        let threads = Threads::resolve().for_flops(2 * self.rows * self.cols);
-        let mut refs: Vec<&mut Crossbar> =
-            self.tiles.iter_mut().flat_map(|r| r.iter_mut()).collect();
-        let partials = parallel::par_map_mut(threads, &mut refs, |idx, tile| {
-            let r0 = (idx / col_blocks) * tile_side;
+        // Phase 1: concurrent per-tile transposed partials over the live
+        // set (private RNG stream per tile, as in `mvm`).
+        let threads = Threads::resolve().for_flops(2 * live_cells as usize);
+        let mut refs: Vec<(usize, &mut Crossbar)> = self
+            .tiles
+            .iter_mut()
+            .flat_map(|r| r.iter_mut())
+            .enumerate()
+            .filter_map(|(idx, slot)| slot.as_mut().map(|t| (idx, t)))
+            .collect();
+        let partials = parallel::par_map_mut(threads, &mut refs, |_, (idx, tile)| {
+            let r0 = (*idx / col_blocks) * tile_side;
             let seg = &y[r0..(r0 + tile_side).min(rows)];
             tile.mvm_transposed(seg)
         });
+        let idxs: Vec<usize> = refs.iter().map(|(idx, _)| *idx).collect();
 
-        // Phase 2: fixed-order NoC accumulation at the tiles' *column*
-        // offsets; noise and ledger events replay serially.
-        for (idx, partial) in partials.into_iter().enumerate() {
+        // Phase 2: fixed-order NoC accumulation at the live tiles' *column*
+        // offsets; noise and ledger events replay serially, zero-signal
+        // partials drawing no offset (see `mvm`).
+        let noisy_fabric = self.noc.buffer_noise > 0.0 && grid > 1;
+        for (idx, partial) in idxs.into_iter().zip(partials) {
             let partial = partial?;
             let c0 = (idx % col_blocks) * tile_side;
             let scale = partial.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-            for (k, p) in partial.iter().enumerate() {
-                let noise = if self.noc.buffer_noise > 0.0 && tile_count > 1 {
-                    self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale
-                } else {
-                    0.0
-                };
-                x[c0 + k] += p + noise;
+            if noisy_fabric && scale > 0.0 {
+                for (k, p) in partial.iter().enumerate() {
+                    let noise =
+                        self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale;
+                    x[c0 + k] += p + noise;
+                }
+            } else {
+                for (k, p) in partial.iter().enumerate() {
+                    x[c0 + k] += p;
+                }
             }
-            let (t, e) = self.noc.transfer_cost(tile_count, partial.len());
+            let (t, e) = self.noc.transfer_cost(grid, partial.len());
             self.noc_ledger.charge_noc_transfer(t, e, 1);
         }
         Ok(x)
     }
 
-    /// Analog tiled solve `A·x = b` for a square logical matrix: the tiles
-    /// settle jointly as one composite resistive network, equivalent to
-    /// solving the assembled realized system; the word-line read-back
-    /// passes through the NoC buffers.
+    /// Analog tiled solve `A·x = b` for a square logical matrix: the live
+    /// tiles settle jointly as one composite resistive network, equivalent
+    /// to solving the assembled realized system (elided blocks exactly
+    /// zero); the word-line read-back passes through the NoC buffers.
     ///
     /// # Errors
     ///
@@ -252,7 +403,7 @@ impl TiledCrossbar {
     ///   wrong-length `b`,
     /// * [`CrossbarError::Linalg`] if the assembled realized system is
     ///   singular,
-    /// * [`CrossbarError::NotProgrammed`] if any tile lost its state.
+    /// * [`CrossbarError::NotProgrammed`] if any live tile lost its state.
     pub fn solve(&mut self, b: &[f64]) -> Result<Vec<f64>, CrossbarError> {
         if self.rows != self.cols {
             return Err(CrossbarError::ShapeMismatch {
@@ -270,25 +421,23 @@ impl TiledCrossbar {
         // (cheap block copies; the LU below runs on the threaded kernels).
         let assembled = self.assembled_realized()?;
         let mut x = LuFactors::factor(assembled)?.solve(b)?;
-        // Read-back through NoC buffers: bounded offset per line.
-        let tile_count = self.tile_count();
-        if self.noc.buffer_noise > 0.0 && tile_count > 1 {
+        // Read-back through NoC buffers: bounded offset per line. The
+        // fabric geometry (grid), not the population, decides whether the
+        // read-back crosses buffers.
+        let grid = self.occupancy.grid_tiles();
+        let live = self.tile_count();
+        if self.noc.buffer_noise > 0.0 && grid > 1 {
             let scale = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
             for v in &mut x {
                 *v += self.noise_rng.random_range(-1.0..=1.0) * self.noc.buffer_noise * scale;
             }
         }
-        // Charge: one settle on every tile (they participate jointly) plus
-        // the read-back transfers. Tile-level solve charging is applied via
-        // each tile's ledger by issuing a zero-input... instead, charge the
-        // fabric: one transfer per tile plus one solve-op recorded on the
-        // ledger of the top-left tile as the representative array.
-        let (t, e) = self.noc.transfer_cost(tile_count, self.rows);
-        self.noc_ledger.charge_noc_transfer(
-            t * tile_count as f64,
-            e * tile_count as f64,
-            tile_count as u64,
-        );
+        // Charge: one settle on every live tile (they participate jointly)
+        // plus the read-back transfers — an elided position has no array to
+        // settle and nothing to transfer.
+        let (t, e) = self.noc.transfer_cost(grid, self.rows);
+        self.noc_ledger
+            .charge_noc_transfer(t * live as f64, e * live as f64, live as u64);
         Ok(x)
     }
 
@@ -303,15 +452,18 @@ impl TiledCrossbar {
     /// x_i ← D_ii⁻¹ · (b_i − Σ_{j≠i} A_ij · x_j)
     /// ```
     ///
-    /// until the update stops moving. Converges when the block-diagonal
-    /// dominates (it charges per-sweep NoC + analog costs, so the ledger
-    /// shows the latency price of not having composite settling).
+    /// until the update stops moving. Elided off-diagonal couplings are
+    /// exact zeros and cost no fabric traffic. Converges when the block
+    /// diagonal dominates (it charges per-sweep NoC + analog costs, so the
+    /// ledger shows the latency price of not having composite settling).
     ///
     /// # Errors
     ///
     /// Shape errors as in [`TiledCrossbar::solve`];
-    /// [`CrossbarError::Linalg`] with a `NotConverged` source if `sweeps`
-    /// relaxations do not reach `tol` (relative to `‖b‖∞`).
+    /// [`CrossbarError::Linalg`] with a `Singular` source if a diagonal
+    /// block is all-zero (elided — the relaxation has no pivot block), or
+    /// a `NotConverged` source if `sweeps` relaxations do not reach `tol`
+    /// (relative to `‖b‖∞`).
     pub fn solve_block_jacobi(
         &mut self,
         b: &[f64],
@@ -332,7 +484,7 @@ impl TiledCrossbar {
         }
         let bnorm = b.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
         let blocks = self.tiles.len();
-        let tile_count = self.tile_count();
+        let grid = self.occupancy.grid_tiles();
         let tile_side = self.tile_side;
         let cols = self.cols;
         let mut x = vec![0.0; self.rows];
@@ -341,15 +493,17 @@ impl TiledCrossbar {
             for bi in 0..blocks {
                 let r0 = bi * tile_side;
                 let rows_here = tile_side.min(self.rows - r0);
-                // Off-diagonal couplings via per-tile analog MVMs, fanned
-                // out concurrently (each tile has a private RNG stream);
-                // accumulation into the rhs stays in fixed bj order.
+                // Off-diagonal couplings via per-tile analog MVMs over the
+                // live set, fanned out concurrently (each tile has a
+                // private RNG stream); accumulation into the rhs stays in
+                // fixed bj order.
                 let mut rhs: Vec<f64> = b[r0..r0 + rows_here].to_vec();
                 let threads = Threads::resolve().for_flops(2 * rows_here * self.cols);
                 let mut refs: Vec<(usize, &mut Crossbar)> = self.tiles[bi]
                     .iter_mut()
                     .enumerate()
                     .filter(|(bj, _)| *bj != bi)
+                    .filter_map(|(bj, slot)| slot.as_mut().map(|t| (bj, t)))
                     .collect();
                 let partials = parallel::par_map_mut(threads, &mut refs, |_, (bj, tile)| {
                     let c0 = *bj * tile_side;
@@ -361,11 +515,17 @@ impl TiledCrossbar {
                     for (r, p) in rhs.iter_mut().zip(&partial) {
                         *r -= p;
                     }
-                    let (t, e) = self.noc.transfer_cost(tile_count, partial.len());
+                    let (t, e) = self.noc.transfer_cost(grid, partial.len());
                     self.noc_ledger.charge_noc_transfer(t, e, 1);
                 }
-                // Diagonal tile solves its block in O(1).
-                let xi = self.tiles[bi][bi].solve(&rhs)?;
+                // Diagonal tile solves its block in O(1); an elided
+                // diagonal block is all-zero — structurally singular.
+                let Some(diag) = self.tiles[bi][bi].as_mut() else {
+                    return Err(CrossbarError::Linalg(memlp_linalg::LinalgError::Singular {
+                        column: r0,
+                    }));
+                };
+                let xi = diag.solve(&rhs)?;
                 for (k, v) in xi.iter().enumerate() {
                     max_delta = max_delta.max((v - x[r0 + k]).abs());
                     x[r0 + k] = *v;
@@ -400,13 +560,146 @@ mod tests {
         })
     }
 
+    /// 12×12 at tile side 4: a 3×3 grid where only the diagonal blocks and
+    /// the (0, 2) block are nonzero — 4 live, 5 elided.
+    fn block_sparse_matrix() -> Matrix {
+        Matrix::from_fn(12, 12, |i, j| {
+            let (bi, bj) = (i / 4, j / 4);
+            if bi == bj || (bi == 0 && bj == 2) {
+                0.3 + ((i * 7 + j * 5) % 9) as f64 * 0.1 + if i == j { 4.0 } else { 0.0 }
+            } else {
+                0.0
+            }
+        })
+    }
+
     #[test]
     fn tile_grid_covers_matrix() {
         let a = big_matrix(10);
         let t = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), NocConfig::hierarchical())
             .unwrap();
         assert_eq!(t.tile_count(), 9); // ceil(10/4)² = 3²
+        assert_eq!(t.grid_tile_count(), 9);
         assert_eq!(t.shape(), (10, 10));
+    }
+
+    #[test]
+    fn zero_tiles_are_elided() {
+        let a = block_sparse_matrix();
+        let t = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), NocConfig::hierarchical())
+            .unwrap();
+        assert_eq!(t.grid_tile_count(), 9);
+        assert_eq!(t.tile_count(), 4, "only live blocks fabricated");
+        assert_eq!(t.occupancy().live_tiles(), 4);
+        let counts = t.ledger().counts();
+        assert_eq!(counts.tiles_elided, 5);
+        assert_eq!(counts.elided_writes, 5 * 16);
+        assert_eq!(counts.setup_writes, 4 * 16, "live tiles pay full pulses");
+    }
+
+    #[test]
+    fn elision_off_fabricates_the_full_grid() {
+        let a = block_sparse_matrix();
+        let cfg = CrossbarConfig::ideal().with_tile_elision(false);
+        let t = TiledCrossbar::program(&a, 4, cfg, NocConfig::hierarchical()).unwrap();
+        assert_eq!(t.tile_count(), 9);
+        assert_eq!(t.occupancy().live_tiles(), 9);
+        let counts = t.ledger().counts();
+        assert_eq!(counts.tiles_elided, 0);
+        assert_eq!(counts.setup_writes, 9 * 16);
+    }
+
+    #[test]
+    fn elided_mvm_is_bitwise_identical_to_dense() {
+        let a = block_sparse_matrix();
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.01);
+        let cfg = CrossbarConfig::paper_default().with_variation(5.0);
+        let mut on = TiledCrossbar::program(&a, 4, cfg, noc).unwrap();
+        let mut off = TiledCrossbar::program(&a, 4, cfg.with_tile_elision(false), noc).unwrap();
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y_on = on.mvm(&x).unwrap();
+        let y_off = off.mvm(&x).unwrap();
+        assert_eq!(y_on, y_off, "elision must not change the MVM bits");
+        let xt_on = on.mvm_transposed(&x).unwrap();
+        let xt_off = off.mvm_transposed(&x).unwrap();
+        assert_eq!(xt_on, xt_off);
+        // But the fabric traffic differs: live tiles only.
+        assert!(
+            on.ledger().counts().noc_transfers < off.ledger().counts().noc_transfers,
+            "elision must cut NoC transfers"
+        );
+    }
+
+    #[test]
+    fn refresh_revives_elided_tiles_with_a_first_program() {
+        let a = block_sparse_matrix();
+        let cfg = CrossbarConfig::ideal();
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.0);
+        let mut t = TiledCrossbar::program(&a, 4, cfg, noc).unwrap();
+        assert!(!t.occupancy().is_live(1, 0));
+        let before = t.ledger().counts().setup_writes;
+
+        // Make block (1, 0) live; everything else keeps its values.
+        let mut b = a.clone();
+        b[(5, 1)] = 2.5;
+        t.refresh(&b).unwrap();
+        assert!(t.occupancy().is_live(1, 0), "revived in the index");
+        assert_eq!(t.tile_count(), 5);
+        let counts = t.ledger().counts();
+        assert_eq!(
+            counts.setup_writes,
+            before + 16,
+            "revival is a real first program"
+        );
+        // The other four elided positions were skipped again.
+        assert_eq!(counts.tiles_elided, 5 + 4);
+
+        let y = t.mvm(&[1.0; 12]).unwrap();
+        let exact = b.matvec(&[1.0; 12]);
+        for (got, want) in y.iter().zip(&exact) {
+            assert!((got - want).abs() < 2e-3 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn refresh_rejects_shape_changes() {
+        let a = block_sparse_matrix();
+        let mut t =
+            TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), NocConfig::default()).unwrap();
+        let wrong = Matrix::zeros(10, 12);
+        assert!(matches!(
+            t.refresh(&wrong),
+            Err(CrossbarError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn remap_sweep_never_touches_elided_positions() {
+        let a = block_sparse_matrix();
+        let mut t =
+            TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), NocConfig::default()).unwrap();
+        let occ_before = t.occupancy().clone();
+        let (r, c, u) = t.remap_dead_lines();
+        assert_eq!(
+            (r, c, u),
+            (0, 0, 0),
+            "fault-free fabric has nothing to remap"
+        );
+        assert_eq!(t.occupancy(), &occ_before, "remap never changes occupancy");
+    }
+
+    #[test]
+    fn elided_solve_matches_dense_solve() {
+        let a = block_sparse_matrix();
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.0);
+        let b = vec![1.0; 12];
+        let mut on = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), noc).unwrap();
+        let mut off =
+            TiledCrossbar::program(&a, 4, CrossbarConfig::ideal().with_tile_elision(false), noc)
+                .unwrap();
+        let x_on = on.solve(&b).unwrap();
+        let x_off = off.solve(&b).unwrap();
+        assert_eq!(x_on, x_off, "assembled system is identical");
     }
 
     #[test]
@@ -568,6 +861,56 @@ mod tests {
             t2.ledger().counts().noc_transfers > t1.ledger().counts().noc_transfers,
             "block-Jacobi should cost more fabric traffic"
         );
+    }
+
+    #[test]
+    fn block_jacobi_elides_dead_couplings() {
+        // Block-diagonal system: every off-diagonal coupling is elided, so
+        // the relaxation converges in one sweep with zero coupling traffic.
+        let n = 8;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i / 4 == j / 4 {
+                if i == j {
+                    6.0
+                } else {
+                    0.5
+                }
+            } else {
+                0.0
+            }
+        });
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.0);
+        let mut t = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), noc).unwrap();
+        assert_eq!(t.tile_count(), 2);
+        let x = t.solve_block_jacobi(&vec![1.0; n], 10, 1e-9).unwrap();
+        let back = a.matvec(&x);
+        for v in &back {
+            assert!((v - 1.0).abs() < 1e-2);
+        }
+        // No off-diagonal hardware → no coupling transfers at all.
+        assert_eq!(t.ledger().counts().noc_transfers, 0);
+    }
+
+    #[test]
+    fn block_jacobi_reports_elided_diagonal_as_singular() {
+        // The (1, 1) diagonal block is all-zero: elided, so the relaxation
+        // has no pivot block to invert.
+        let n = 8;
+        let a = Matrix::from_fn(
+            n,
+            n,
+            |i, j| {
+                if i < 4 && j < 4 && i == j {
+                    3.0
+                } else {
+                    0.0
+                }
+            },
+        );
+        let noc = NocConfig::hierarchical().with_buffer_noise(0.0);
+        let mut t = TiledCrossbar::program(&a, 4, CrossbarConfig::ideal(), noc).unwrap();
+        let err = t.solve_block_jacobi(&vec![1.0; n], 10, 1e-9).unwrap_err();
+        assert!(matches!(err, CrossbarError::Linalg(_)), "{err}");
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use codec::{
 };
 pub use config::{ServeConfig, ServeSolver};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
-pub use pool::{problem_fingerprint, ContextPool, FamilyKey, PoolEntry};
+pub use pool::{occupancy_fingerprint, problem_fingerprint, ContextPool, FamilyKey, PoolEntry};
 pub use queue::{JobQueue, PushError, Rejection};
 pub use server::{Server, ServerHandle, ServerStats};
 pub use worker::QueuedJob;

@@ -14,8 +14,8 @@
 
 use std::collections::BTreeMap;
 
-use memlp_core::HwContext;
-use memlp_crossbar::CrossbarConfig;
+use memlp_core::{HwContext, ANALOG_TILE_SIDE};
+use memlp_crossbar::{CrossbarConfig, TileOccupancy};
 use memlp_lp::LpProblem;
 
 /// FNV-1a over a byte stream — the fingerprint used to gate warm starts.
@@ -26,6 +26,13 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Fingerprints a problem's tile-occupancy *shape* at the analog tile
+/// granularity — the [`FamilyKey::occupancy`] component. Built from the
+/// planned coefficients only, never from analog read-backs.
+pub fn occupancy_fingerprint(lp: &LpProblem) -> u64 {
+    TileOccupancy::from_matrix(lp.a(), ANALOG_TILE_SIDE).fingerprint()
 }
 
 /// Fingerprints a problem's constraint matrix (dims + coefficient bits).
@@ -39,9 +46,12 @@ pub fn problem_fingerprint(lp: &LpProblem) -> u64 {
     h
 }
 
-/// Pool key: the client-supplied family tag plus the problem shape. Two
-/// shapes under one tag get separate arrays — a crossbar programmed for
-/// `m×n` cannot serve `m'×n'`.
+/// Pool key: the client-supplied family tag plus the problem shape and
+/// its tile-occupancy fingerprint. Two shapes under one tag get separate
+/// arrays — a crossbar programmed for `m×n` cannot serve `m'×n'` — and
+/// so do two *occupancy* shapes: an array fabricated with elided tiles
+/// (DESIGN.md §18) has no hardware where another problem's coefficients
+/// would need it, so block-sparsity layouts cannot share a warm slot.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct FamilyKey {
     /// Client-supplied family tag.
@@ -50,6 +60,11 @@ pub struct FamilyKey {
     pub rows: usize,
     /// Variable count `n`.
     pub cols: usize,
+    /// [`TileOccupancy::fingerprint`] of the planned constraint matrix at
+    /// the analog tile granularity.
+    ///
+    /// [`TileOccupancy::fingerprint`]: memlp_crossbar::TileOccupancy::fingerprint
+    pub occupancy: u64,
 }
 
 /// One warm slot: a live array plus the state a repeat solve reuses.
@@ -168,6 +183,7 @@ mod tests {
             tag: tag.into(),
             rows: 12,
             cols: 4,
+            occupancy: 0,
         }
     }
 
@@ -184,6 +200,23 @@ mod tests {
         e.warm = Some((vec![1.0; 4], vec![1.0; 12]));
         assert!(pool.entry(&key("k"), fp_a).warm.is_some());
         assert!(pool.entry(&key("k"), fp_b).warm.is_none());
+    }
+
+    #[test]
+    fn occupancy_shapes_get_separate_warm_slots() {
+        // Same tag and dims, different block-sparsity layout: the arrays
+        // cannot be shared (elided tiles have no hardware), so the keys
+        // must map to distinct pool entries.
+        let mut pool = ContextPool::new(CrossbarConfig::paper_default(), 4);
+        let lp = RandomLp::paper(12, 3).feasible();
+        let dense = occupancy_fingerprint(&lp);
+        let mut k_dense = key("k");
+        k_dense.occupancy = dense;
+        let mut k_sparse = key("k");
+        k_sparse.occupancy = dense ^ 0xABCD; // a different layout
+        pool.entry(&k_dense, 1).solves = 5;
+        assert_eq!(pool.entry(&k_sparse, 1).solves, 0, "fresh slot expected");
+        assert_eq!(pool.len(), 2);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use memlp_lp::LpProblem;
 
 use crate::codec::{Response, SolutionBody, SolveJob};
 use crate::config::{ServeConfig, ServeSolver};
-use crate::pool::{problem_fingerprint, ContextPool, FamilyKey};
+use crate::pool::{occupancy_fingerprint, problem_fingerprint, ContextPool, FamilyKey};
 use crate::queue::JobQueue;
 use crate::server::ServerStats;
 
@@ -126,6 +126,7 @@ fn solve_one(
         tag: job.family.clone(),
         rows: job.rows as usize,
         cols: job.cols as usize,
+        occupancy: occupancy_fingerprint(&lp),
     };
     let fingerprint = problem_fingerprint(&lp);
 

@@ -57,6 +57,20 @@ pub trait PdhgOperator {
     fn apply(&mut self, x: &[f64]) -> Vec<f64>;
     /// `Aᵀ·y` (length `n`).
     fn apply_transposed(&mut self, y: &[f64]) -> Vec<f64>;
+    /// `A·x` into a caller-owned buffer. The iteration loop hoists its
+    /// product vectors and drives this, so an operator that can compute
+    /// in place (the CSR path) performs zero per-iteration allocations;
+    /// the default forwards to [`apply`](PdhgOperator::apply) for
+    /// operators whose pipeline allocates anyway (the analog converters).
+    /// Must be bitwise identical to the allocating variant.
+    fn apply_into(&mut self, x: &[f64], out: &mut Vec<f64>) {
+        *out = self.apply(x);
+    }
+    /// `Aᵀ·y` into a caller-owned buffer; see
+    /// [`apply_into`](PdhgOperator::apply_into).
+    fn apply_transposed_into(&mut self, y: &[f64], out: &mut Vec<f64>) {
+        *out = self.apply_transposed(y);
+    }
     /// Total MVMs performed so far (forward + transposed).
     fn mvms(&self) -> u64;
 }
@@ -92,6 +106,18 @@ impl PdhgOperator for CsrOperator<'_> {
     fn apply_transposed(&mut self, y: &[f64]) -> Vec<f64> {
         self.mvms += 1;
         self.a.matvec_transposed(y)
+    }
+
+    fn apply_into(&mut self, x: &[f64], out: &mut Vec<f64>) {
+        self.mvms += 1;
+        out.resize(self.a.rows(), 0.0);
+        self.a.matvec_into(x, out);
+    }
+
+    fn apply_transposed_into(&mut self, y: &[f64], out: &mut Vec<f64>) {
+        self.mvms += 1;
+        out.resize(self.a.cols(), 0.0);
+        self.a.matvec_transposed_into(y, out);
     }
 
     fn mvms(&self) -> u64 {
@@ -143,6 +169,18 @@ pub struct PdhgOptions {
     /// data drifts enough that a stale active set is worth perturbing;
     /// [`PdhgOptions::from_pdip`] copies the PDIP floor for matched runs.
     pub warm_start_floor: f64,
+    /// Row-equilibrate the problem (`memlp_lp::equilibrate`) before
+    /// iterating and unscale the duals on exit. First-order convergence
+    /// degrades with the spread of row norms (the step sizes are global,
+    /// set by `‖A‖₂`), so balancing `[A | b]` rows typically cuts the
+    /// iteration count on lopsided problems; the analog backends get the
+    /// same benefit plus better per-row conductance utilization. Applied
+    /// by the solver entry points ([`PdhgSolver::solve_full`] and the
+    /// crossbar PDHG solver), not by [`solve_with_operator`] — the
+    /// operator there already embodies whatever scaling the caller chose.
+    /// On by default; equilibration failure (overflow on a subnormal row
+    /// maximum) falls back to the unscaled problem.
+    pub equilibrate: bool,
 }
 
 impl Default for PdhgOptions {
@@ -158,6 +196,7 @@ impl Default for PdhgOptions {
             restart_every: 64,
             initial_weight: 1.0,
             warm_start_floor: 0.0,
+            equilibrate: true,
         }
     }
 }
@@ -209,6 +248,13 @@ pub struct PdhgStats {
     /// Final (best) KKT score `max(pr/εp, dr/εd, gap/εg)`; ≤ 1 means
     /// converged.
     pub score: f64,
+    /// Buffer allocations the iteration loop performed — the setup-time
+    /// iterate, product, window-sum and scratch vectors. Everything the
+    /// hot loop touches is hoisted into these, so the count is a
+    /// function of the problem shape only, *independent of the iteration
+    /// count* (the regression tests pin this); operator-internal
+    /// allocations (e.g. the analog converter pipeline) are not counted.
+    pub alloc_events: u64,
     /// KKT checkpoint samples in order.
     pub samples: Vec<PdhgSample>,
 }
@@ -255,18 +301,75 @@ impl PdhgSolver {
 
     /// Full-control entry point: digital CSR operator, optional warm
     /// start, budget, and access to the run statistics.
+    ///
+    /// With [`PdhgOptions::equilibrate`] set the problem is row-scaled
+    /// first, warm duals are carried *into* the scaled space
+    /// (`y_scaled = y·s`), and on exit the duals are unscaled and the
+    /// residual fields recomputed against the original problem.
     pub fn solve_full(
         &self,
         lp: &LpProblem,
         budget: Budget<'_>,
         warm: Option<(&[f64], &[f64])>,
     ) -> PdhgOutcome {
+        if self.options.equilibrate {
+            if let Ok((scaled, eq)) = memlp_lp::equilibrate(lp) {
+                let warm_y: Option<Vec<f64>> = warm.map(|(_, y0)| scale_duals(y0, &eq.row_scales));
+                let warm_scaled = match (warm, &warm_y) {
+                    (Some((x0, _)), Some(ys)) => Some((x0, ys.as_slice())),
+                    _ => None,
+                };
+                let a = scaled.sparse_a();
+                let est = norm_est::spectral_norm(a);
+                let sigma = est.safe_sigma(norm_est::upper_bound(a));
+                let mut op = CsrOperator::new(a);
+                let mut out = solve_with_operator(
+                    &scaled,
+                    &mut op,
+                    sigma,
+                    &self.options,
+                    budget,
+                    warm_scaled,
+                );
+                out.solution.y = eq.unscale_duals(&out.solution.y);
+                rescore(lp, &mut out.solution);
+                return out;
+            }
+        }
         let a = lp.sparse_a();
         let est = norm_est::spectral_norm(a);
         let sigma = est.safe_sigma(norm_est::upper_bound(a));
         let mut op = CsrOperator::new(a);
         solve_with_operator(lp, &mut op, sigma, &self.options, budget, warm)
     }
+}
+
+/// Carries original-space duals *into* a row-equilibrated problem:
+/// scaling row i by `1/s_i` multiplies its dual by `s_i`.
+pub fn scale_duals(y: &[f64], row_scales: &[f64]) -> Vec<f64> {
+    y.iter().zip(row_scales).map(|(y, s)| y * s).collect()
+}
+
+/// Recomputes an [`LpSolution`]'s residual, objective and gap fields
+/// digitally against `lp` (one CSR spmv pair, the same quantities the
+/// loop's own exit path fills in). Used after dual unscaling so a
+/// solution solved in equilibrated space reports residuals of the
+/// problem the caller posed.
+pub fn rescore(lp: &LpProblem, sol: &mut LpSolution) {
+    let ax = lp.sparse_a().matvec(&sol.x);
+    let aty = lp.sparse_a().matvec_transposed(&sol.y);
+    let mut pr = 0.0f64;
+    for (axi, bi) in ax.iter().zip(lp.b()) {
+        pr = pr.max(axi - bi);
+    }
+    let mut dr = 0.0f64;
+    for (ci, atyi) in lp.c().iter().zip(&aty) {
+        dr = dr.max(ci - atyi);
+    }
+    sol.primal_residual = pr;
+    sol.dual_residual = dr;
+    sol.objective = lp.objective(&sol.x);
+    sol.duality_gap = (sol.objective - ops::dot(lp.b(), &sol.y)).abs();
 }
 
 impl LpSolver for PdhgSolver {
@@ -379,6 +482,11 @@ pub fn solve_with_operator(
     };
     let check_every = opts.check_every.max(1);
 
+    // Every buffer the hot loop touches is allocated here, once — the
+    // loop body itself performs no allocations (`stats.alloc_events`
+    // measures exactly these sites, so the regression tests can pin the
+    // count independent of the iteration count).
+    let mut alloc_events = 0u64;
     let (mut x, mut y) = match warm {
         Some((x0, y0)) => {
             let floor = opts.warm_start_floor.max(0.0);
@@ -389,6 +497,7 @@ pub fn solve_with_operator(
         }
         None => (vec![0.0; n], vec![0.0; m]),
     };
+    alloc_events += 2;
     // PDLP weight convention: τ = 1/(ω·‖A‖), σ = ω/‖A‖, so a larger ω
     // (dual movement dominating) buys larger dual steps.
     let mut omega = opts.initial_weight.max(1e-6);
@@ -397,6 +506,7 @@ pub fn solve_with_operator(
 
     let mut ax = op.apply(&x);
     let mut aty = op.apply_transposed(&y);
+    alloc_events += 2;
 
     let mut stats = PdhgStats {
         sigma: norm,
@@ -419,7 +529,19 @@ pub fn solve_with_operator(
     let mut sum_y = vec![0.0f64; m];
     let mut sum_ax = vec![0.0f64; m];
     let mut sum_aty = vec![0.0f64; n];
+    alloc_events += 8;
     let mut window = 0usize;
+    // Step scratch (double-buffered iterates and products, swapped each
+    // iteration) and the checkpoint window-average temporaries.
+    let mut x_next = vec![0.0f64; n];
+    let mut y_next = vec![0.0f64; m];
+    let mut ax_next = vec![0.0f64; m];
+    let mut aty_next = vec![0.0f64; n];
+    let mut avg_x = vec![0.0f64; n];
+    let mut avg_y = vec![0.0f64; m];
+    let mut avg_ax = vec![0.0f64; m];
+    let mut avg_aty = vec![0.0f64; n];
+    alloc_events += 8;
 
     let mut status: Option<LpStatus> = None;
     let mut cause: Option<BudgetCause> = None;
@@ -433,23 +555,22 @@ pub fn solve_with_operator(
         }
         iterations = iter + 1;
 
-        // Primal step + extrapolated dual step.
-        let mut x1 = vec![0.0f64; n];
+        // Primal step + extrapolated dual step, computed into the hoisted
+        // double buffers and swapped in — no per-iteration allocations.
         for j in 0..n {
-            x1[j] = (x[j] + tau * (lp.c()[j] - aty[j])).max(0.0);
+            x_next[j] = (x[j] + tau * (lp.c()[j] - aty[j])).max(0.0);
         }
-        let ax1 = op.apply(&x1);
-        let mut y1 = vec![0.0f64; m];
+        op.apply_into(&x_next, &mut ax_next);
         for i in 0..m {
-            let axbar = 2.0 * ax1[i] - ax[i];
-            y1[i] = (y[i] + sig * (axbar - lp.b()[i])).max(0.0);
+            let axbar = 2.0 * ax_next[i] - ax[i];
+            y_next[i] = (y[i] + sig * (axbar - lp.b()[i])).max(0.0);
         }
-        let aty1 = op.apply_transposed(&y1);
+        op.apply_transposed_into(&y_next, &mut aty_next);
 
-        x = x1;
-        y = y1;
-        ax = ax1;
-        aty = aty1;
+        std::mem::swap(&mut x, &mut x_next);
+        std::mem::swap(&mut y, &mut y_next);
+        std::mem::swap(&mut ax, &mut ax_next);
+        std::mem::swap(&mut aty, &mut aty_next);
         for j in 0..n {
             sum_x[j] += x[j];
             sum_aty[j] += aty[j];
@@ -505,32 +626,41 @@ pub fn solve_with_operator(
             break;
         }
 
-        // Window average candidate (linearity gives A·avg from the sums).
+        // Window average candidate (linearity gives A·avg from the sums),
+        // computed into the hoisted average buffers.
         let inv = 1.0 / window as f64;
         let avg_score = if window > 1 {
-            let avg_x: Vec<f64> = sum_x.iter().map(|v| v * inv).collect();
-            let avg_y: Vec<f64> = sum_y.iter().map(|v| v * inv).collect();
-            let avg_ax: Vec<f64> = sum_ax.iter().map(|v| v * inv).collect();
-            let avg_aty: Vec<f64> = sum_aty.iter().map(|v| v * inv).collect();
+            for (o, v) in avg_x.iter_mut().zip(&sum_x) {
+                *o = v * inv;
+            }
+            for (o, v) in avg_y.iter_mut().zip(&sum_y) {
+                *o = v * inv;
+            }
+            for (o, v) in avg_ax.iter_mut().zip(&sum_ax) {
+                *o = v * inv;
+            }
+            for (o, v) in avg_aty.iter_mut().zip(&sum_aty) {
+                *o = v * inv;
+            }
             let (apr, adr, agap) = kkt(lp, &avg_x, &avg_y, &avg_ax, &avg_aty, bnorm, cnorm);
             let s = (apr / opts.eps_primal)
                 .max(adr / opts.eps_dual)
                 .max(agap / opts.eps_gap);
-            Some((s, avg_x, avg_y))
+            Some(s)
         } else {
             None
         };
-        let candidate_score = avg_score.as_ref().map_or(score, |(s, _, _)| s.min(score));
+        let candidate_score = avg_score.map_or(score, |s| s.min(score));
         let decayed = candidate_score <= opts.restart_beta * restart_score;
         let overdue = checks_since_restart >= opts.restart_every.max(1);
         if decayed || overdue {
             // Jump to the better of current iterate and window average.
-            if let Some((s, avg_x, avg_y)) = avg_score {
+            if let Some(s) = avg_score {
                 if s < score {
-                    x = avg_x;
-                    y = avg_y;
-                    ax = op.apply(&x);
-                    aty = op.apply_transposed(&y);
+                    x.copy_from_slice(&avg_x);
+                    y.copy_from_slice(&avg_y);
+                    op.apply_into(&x, &mut ax);
+                    op.apply_transposed_into(&y, &mut aty);
                 }
             }
             // Re-balance the primal weight from the window movement
@@ -586,6 +716,7 @@ pub fn solve_with_operator(
     };
     stats.iterations = iterations;
     stats.mvms = op.mvms();
+    stats.alloc_events = alloc_events;
     stats.score = if matches!(status, LpStatus::Optimal) {
         // Recompute nothing: the converged checkpoint's score is ≤ 1 by
         // construction; keep the best observed for reporting.
@@ -754,6 +885,64 @@ mod tests {
             "warm {} > cold {}",
             warm.stats.iterations,
             cold.stats.iterations
+        );
+    }
+
+    #[test]
+    fn hot_loop_allocations_are_iteration_independent() {
+        let lp = RandomLp::paper(14, 9).feasible();
+        let solver = PdhgSolver::new(loose());
+        let short = solver.solve_full(&lp, Budget::none().with_max_iters(8), None);
+        let long = solver.solve_full(&lp, Budget::none(), None);
+        assert!(
+            long.stats.iterations > short.stats.iterations,
+            "need runs of different length: {} vs {}",
+            long.stats.iterations,
+            short.stats.iterations
+        );
+        // Every loop buffer is hoisted: the allocation count is a shape
+        // constant, not a per-iteration cost.
+        assert_eq!(short.stats.alloc_events, long.stats.alloc_events);
+        assert_eq!(long.stats.alloc_events, 20);
+    }
+
+    #[test]
+    fn equilibrated_solve_matches_unscaled_and_unscales_duals() {
+        // Lopsided row scales: row 0 is ×1000 the sample problem's.
+        let lp = LpProblem::new(
+            Matrix::from_rows(&[&[1000.0, 2000.0], &[3.0, 1.0]]).unwrap(),
+            vec![4000.0, 6.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        let on = PdhgSolver::new(loose()).solve_full(&lp, Budget::none(), None);
+        let off = PdhgSolver::new(PdhgOptions {
+            equilibrate: false,
+            ..loose()
+        })
+        .solve_full(&lp, Budget::none(), None);
+        assert_eq!(on.solution.status, LpStatus::Optimal);
+        assert!(
+            (on.solution.objective - 2.8).abs() < 1e-3,
+            "obj {}",
+            on.solution.objective
+        );
+        // Duals come back in the original row scaling: strong duality
+        // must hold against the *original* b, not the scaled one.
+        let dual_obj = on.solution.y[0] * 4000.0 + on.solution.y[1] * 6.0;
+        assert!(
+            (dual_obj - on.solution.objective).abs() < 1e-3,
+            "bᵀy {dual_obj}"
+        );
+        // The scaling is the tractability: the unscaled run needs more
+        // iterations on the lopsided rows (at these tolerances it stalls
+        // in its iteration budget entirely).
+        assert!(
+            off.solution.status != LpStatus::Optimal || off.stats.iterations > on.stats.iterations,
+            "unscaled: {:?} in {} iters vs equilibrated {}",
+            off.solution.status,
+            off.stats.iterations,
+            on.stats.iterations
         );
     }
 

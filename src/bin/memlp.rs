@@ -5,7 +5,7 @@
 //!             [--solver alg1|alg2|simplex|pdip|mehrotra|pdhg|pdhg-analog|auto]
 //!             [--path auto|dense|sparse]
 //!             [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
-//!             [--max-iters <n>] [--timeout-iters <n>]
+//!             [--max-iters <n>] [--timeout-iters <n>] [--no-tile-elision]
 //!             [--stuck-rate <frac>] [--dead-line-rate <frac>]
 //!             [--transient-rate <frac>] [--spares <n>]
 //!             [--recovery off|hardware|full]
@@ -55,7 +55,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   memlp solve <file.lp> [<file.lp> ...] [--solver alg1|alg2|simplex|pdip|mehrotra|pdhg|pdhg-analog|auto] [--path auto|dense|sparse] [--variation <pct>] [--seed <n>] [--jobs <n>] [--quiet]
-              [--max-iters <n>] [--timeout-iters <n>]
+              [--max-iters <n>] [--timeout-iters <n>] [--no-tile-elision]
               [--stuck-rate <frac>] [--dead-line-rate <frac>] [--transient-rate <frac>] [--spares <n>] [--recovery off|hardware|full]
   memlp serve [--addr <host:port>] [--solver pdip|pdhg] [--queue-depth <n>] [--workers <n>] [--variation <pct>] [--seed <n>] [--max-iters <n>] [--timeout-iters <n>]
   memlp client <addr> (solve <file.lp> [...] [--max-iters <n>] [--timeout-iters <n>] [--family <tag>] | health | drain)
@@ -109,6 +109,9 @@ struct Flags {
     workers: usize,
     /// Problem-family tag for client jobs (warm-context pooling key).
     family: String,
+    /// Escape hatch: fabricate and program every tile, including
+    /// planned-zero ones (disables DESIGN.md §18 zero-tile elision).
+    no_tile_elision: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -132,6 +135,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         queue_depth: 16,
         workers: 1,
         family: "default".into(),
+        no_tile_elision: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -229,6 +233,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--family" => f.family = it.next().ok_or("--family needs a value")?.clone(),
             "--quiet" => f.quiet = true,
+            "--no-tile-elision" => f.no_tile_elision = true,
             "--infeasible" => f.infeasible = true,
             other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
             other => f.positional.push(other.to_string()),
@@ -259,6 +264,7 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
     let mut config = CrossbarConfig::paper_default()
         .with_variation(f.variation)
         .with_seed(f.seed)
+        .with_tile_elision(!f.no_tile_elision)
         .with_faults(faults);
     if let Some(spares) = f.spares {
         config = config.with_spare_lines(spares);
@@ -496,7 +502,8 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     }
     let crossbar = CrossbarConfig::paper_default()
         .with_variation(f.variation)
-        .with_seed(f.seed);
+        .with_seed(f.seed)
+        .with_tile_elision(!f.no_tile_elision);
     let serve_solver = match f.solver.as_str() {
         // `alg1` is the solve-command default; treat it as PDIP here so
         // `memlp serve` without `--solver` keeps its historical behavior.
